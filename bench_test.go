@@ -1,0 +1,374 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§IV) as testing.B benchmarks, plus ablations for the design choices
+// DESIGN.md calls out. Each figure benchmark runs the corresponding
+// transports at a fixed weak-scaling point and reports the modeled
+// completion time as the "exchange-s" metric (the number the paper plots);
+// ns/op additionally includes setup/teardown. The full parameter sweeps
+// with the calibrated cost models are produced by cmd/lowfive-bench and
+// cmd/nyx-reeber.
+package lowfive_test
+
+import (
+	"testing"
+
+	"lowfive"
+	"lowfive/h5"
+	"lowfive/internal/core"
+	"lowfive/internal/grid"
+	"lowfive/internal/harness"
+	"lowfive/internal/workload"
+	"lowfive/mpi"
+)
+
+// benchConfig is the benchmark regime: no modeled network/storage delays,
+// so the numbers measure the real protocol and copy work.
+func benchConfig() harness.Config {
+	c := harness.QuickConfig()
+	c.Trials = 1
+	c.NetAlpha = 0
+	c.NetBeta = 0
+	c.FS.OSTLatency = 0
+	c.FS.OSTBandwidth = 0
+	c.FS.SharedLockLatency = 0
+	return c
+}
+
+// benchSpec is the fixed weak-scaling point used by the figure benchmarks:
+// 16 total processes (12 producers + 4 consumers), 10^4 elements/producer.
+func benchSpec() workload.Spec {
+	return workload.PaperSpec(16).Scaled(100)
+}
+
+func runTrial(b *testing.B, fn func(workload.Spec) (float64, error)) {
+	b.Helper()
+	spec := benchSpec()
+	total := 0.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sec, err := fn(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += sec
+	}
+	b.ReportMetric(total/float64(b.N), "exchange-s")
+}
+
+// BenchmarkTable1Sizing exercises the Table I sizing computation for every
+// row of the paper's table.
+func BenchmarkTable1Sizing(b *testing.B) {
+	scales := []int{4, 16, 64, 256, 1024, 4096, 16384}
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		for _, s := range scales {
+			spec := workload.PaperSpec(s)
+			sink += spec.TotalBytes() + spec.TotalGridPoints() + spec.TotalParticles()
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkFig5FileVsMemory compares LowFive's two transport modes.
+func BenchmarkFig5FileVsMemory(b *testing.B) {
+	c := benchConfig()
+	b.Run("FileMode", func(b *testing.B) { runTrial(b, c.TrialLowFiveFile) })
+	b.Run("MemoryMode", func(b *testing.B) { runTrial(b, c.TrialLowFiveMemory) })
+}
+
+// BenchmarkFig6FileModeVsHDF5 measures the overhead of the LowFive layer
+// over direct container-file I/O.
+func BenchmarkFig6FileModeVsHDF5(b *testing.B) {
+	c := benchConfig()
+	b.Run("LowFiveFileMode", func(b *testing.B) { runTrial(b, c.TrialLowFiveFile) })
+	b.Run("PureHDF5", func(b *testing.B) { runTrial(b, c.TrialPureHDF5) })
+}
+
+// BenchmarkFig7MemoryVsPureMPI compares LowFive in situ with the
+// hand-written element-at-a-time MPI redistribution.
+func BenchmarkFig7MemoryVsPureMPI(b *testing.B) {
+	c := benchConfig()
+	b.Run("LowFiveMemoryMode", func(b *testing.B) { runTrial(b, c.TrialLowFiveMemory) })
+	b.Run("PureMPI", func(b *testing.B) { runTrial(b, c.TrialPureMPI) })
+}
+
+// BenchmarkFig8MemoryVsDataSpaces compares LowFive with the staging service.
+func BenchmarkFig8MemoryVsDataSpaces(b *testing.B) {
+	c := benchConfig()
+	b.Run("LowFiveMemoryMode", func(b *testing.B) { runTrial(b, c.TrialLowFiveMemory) })
+	b.Run("DataSpaces", func(b *testing.B) { runTrial(b, c.TrialDataSpaces) })
+}
+
+// BenchmarkFig9MemoryVsBredala compares LowFive with Bredala's two
+// redistribution policies.
+func BenchmarkFig9MemoryVsBredala(b *testing.B) {
+	c := benchConfig()
+	b.Run("LowFiveMemoryMode", func(b *testing.B) { runTrial(b, c.TrialLowFiveMemory) })
+	b.Run("Bredala", func(b *testing.B) {
+		spec := benchSpec()
+		var g, p float64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			gs, ps, err := c.TrialBredala(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g += gs
+			p += ps
+		}
+		b.ReportMetric(g/float64(b.N), "grid-s")
+		b.ReportMetric(p/float64(b.N), "particles-s")
+	})
+}
+
+// BenchmarkFig11LargeData repeats the three fastest transports with 10x
+// larger per-producer data.
+func BenchmarkFig11LargeData(b *testing.B) {
+	c := benchConfig()
+	large := workload.PaperSpec(16).Scaled(10)
+	run := func(fn func(workload.Spec) (float64, error)) func(*testing.B) {
+		return func(b *testing.B) {
+			total := 0.0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sec, err := fn(large)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += sec
+			}
+			b.ReportMetric(total/float64(b.N), "exchange-s")
+		}
+	}
+	b.Run("LowFiveMemoryMode", run(c.TrialLowFiveMemory))
+	b.Run("DataSpaces", run(c.TrialDataSpaces))
+	b.Run("PureMPI", run(c.TrialPureMPI))
+}
+
+// BenchmarkTable2NyxReeber runs the three scenarios of the science use case
+// at a small grid and reports the paper's write/read metrics.
+func BenchmarkTable2NyxReeber(b *testing.B) {
+	c := benchConfig()
+	u := harness.UseCaseConfig{
+		GridSides:     []int64{24},
+		NyxProcs:      8,
+		ReeberProcs:   2,
+		Steps:         2,
+		Threshold:     10,
+		PlotfileGroup: 4,
+	}
+	var lfW, lfR, h5W, h5R, plW float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := c.TableII(u)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := rows[0]
+		lfW += r.LFWrite
+		lfR += r.LFRead
+		h5W += r.H5Write
+		h5R += r.H5Read
+		plW += r.PlotWrite
+	}
+	n := float64(b.N)
+	b.ReportMetric(lfW/n, "lowfive-write-s")
+	b.ReportMetric(lfR/n, "lowfive-read-s")
+	b.ReportMetric(h5W/n, "hdf5-write-s")
+	b.ReportMetric(h5R/n, "hdf5-read-s")
+	b.ReportMetric(plW/n, "plotfiles-write-s")
+}
+
+// --- ablations ---
+
+// BenchmarkAblationSerialization isolates the Figure 7 explanation: the
+// cost of serializing the intersection of two boxes run-coalesced (what
+// LowFive does) versus element at a time (what the hand-written code does).
+func BenchmarkAblationSerialization(b *testing.B) {
+	dims := []int64{64, 64, 64}
+	src := grid.Box{Min: []int64{0, 0, 0}, Max: []int64{31, 63, 63}}    // row slab
+	inter := grid.Box{Min: []int64{0, 0, 16}, Max: []int64{31, 63, 47}} // column overlap
+	data := make([]byte, src.NumPoints()*8)
+	b.Run("RunCoalesced", func(b *testing.B) {
+		b.SetBytes(inter.NumPoints() * 8)
+		for i := 0; i < b.N; i++ {
+			out := grid.GatherRegion(make([]byte, 0, inter.NumPoints()*8), data, src, inter, 8)
+			_ = out
+		}
+	})
+	b.Run("ElementAtATime", func(b *testing.B) {
+		b.SetBytes(inter.NumPoints() * 8)
+		for i := 0; i < b.N; i++ {
+			out := make([]byte, 0, inter.NumPoints()*8)
+			// The hand-written code's inner loop: one coordinate conversion
+			// and an 8-byte append per point.
+			pt := append([]int64(nil), inter.Min...)
+			for {
+				off := grid.LocalIndex(src, pt) * 8
+				out = append(out, data[off:off+8]...)
+				k := 2
+				for k >= 0 {
+					pt[k]++
+					if pt[k] <= inter.Max[k] {
+						break
+					}
+					pt[k] = inter.Min[k]
+					k--
+				}
+				if k < 0 {
+					break
+				}
+			}
+		}
+	})
+	_ = dims
+}
+
+// BenchmarkAblationDeepVsShallow isolates the write-side cost of the
+// ownership modes: deep copies pay at write time, shallow writes are
+// constant time until (and unless) the data is consumed.
+func BenchmarkAblationDeepVsShallow(b *testing.B) {
+	space := h5.NewSimple(256, 256)
+	sel := space.Clone()
+	if err := sel.SelectHyperslab(h5.SelectSet, []int64{0, 0}, []int64{256, 256}); err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 256*256*8)
+	b.Run("Deep", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			n := core.NewDatasetNode("d", h5.U64, space.Clone())
+			n.Ownership = core.OwnDeep
+			if err := n.RecordWrite(nil, sel, data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Shallow", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			n := core.NewDatasetNode("d", h5.U64, space.Clone())
+			n.Ownership = core.OwnShallow
+			if err := n.RecordWrite(nil, sel, data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationAlltoall measures the index exchange's collective: the
+// Bruck all-to-all that replaces a flat n^2 message pattern.
+func BenchmarkAblationAlltoall(b *testing.B) {
+	for _, n := range []int{8, 32} {
+		b.Run(b.Name()[len("BenchmarkAblationAlltoall"):]+sizeName(n), func(b *testing.B) {
+			payload := make([]byte, 64)
+			for i := 0; i < b.N; i++ {
+				err := mpi.Run(n, func(c *mpi.Comm) {
+					data := make([][]byte, n)
+					for j := range data {
+						data[j] = payload
+					}
+					c.Alltoall(data)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	if n == 8 {
+		return "n=8"
+	}
+	return "n=32"
+}
+
+// BenchmarkAblationServeOverlap compares serve-on-close (the LowFive
+// default) against the paper's future-work knob of explicit serving — the
+// synchronization the paper identifies as LowFive's cost vs DataSpaces.
+func BenchmarkAblationServeOverlap(b *testing.B) {
+	spec := workload.Spec{Producers: 3, Consumers: 1, GridPointsPerProducer: 1000, ParticlesPerProducer: 1000}
+	run := func(serveOnClose bool) func(*testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				err := mpi.RunWorkflow([]mpi.TaskSpec{
+					{Name: "producer", Procs: spec.Producers, Main: func(p *mpi.Proc) {
+						gv, pv := workload.GenerateProducer(spec, p.Task.Rank())
+						vol := lowfive.NewDistMetadataVOL(p.Task, nil)
+						vol.SetIntercomm("*", p.Intercomm("consumer"))
+						vol.ServeOnClose = serveOnClose
+						fapl := h5.NewFileAccessProps(vol)
+						f, err := h5.CreateFile("s.h5", fapl)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if err := workload.WriteSynthetic(f, spec, p.Task.Rank(), gv, pv); err != nil {
+							b.Error(err)
+						}
+						if err := f.Close(); err != nil {
+							b.Error(err)
+						}
+						if !serveOnClose {
+							// Producer does some post-close work here —
+							// overlap that serve-on-close cannot have —
+							// then serves explicitly.
+							if err := vol.Serve("s.h5"); err != nil {
+								b.Error(err)
+							}
+						}
+					}},
+					{Name: "consumer", Procs: spec.Consumers, Main: func(p *mpi.Proc) {
+						vol := lowfive.NewDistMetadataVOL(p.Task, nil)
+						vol.SetIntercomm("*", p.Intercomm("producer"))
+						fapl := h5.NewFileAccessProps(vol)
+						f, err := h5.OpenFile("s.h5", fapl)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if err := workload.ReadAndValidate(f, spec, p.Task.Rank()); err != nil {
+							b.Error(err)
+						}
+						if err := f.Close(); err != nil {
+							b.Error(err)
+						}
+					}},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("ServeOnClose", run(true))
+	b.Run("ExplicitServe", run(false))
+}
+
+// BenchmarkRedistribution measures one end-to-end n-to-m redistribution at
+// several shapes (no cost models: pure protocol + copy work).
+func BenchmarkRedistribution(b *testing.B) {
+	c := benchConfig()
+	shapes := []struct {
+		name  string
+		procs int
+	}{
+		{"4procs", 4}, {"16procs", 16}, {"64procs", 64},
+	}
+	for _, s := range shapes {
+		b.Run(s.name, func(b *testing.B) {
+			spec := workload.PaperSpec(s.procs).Scaled(100)
+			total := 0.0
+			for i := 0; i < b.N; i++ {
+				sec, err := c.TrialLowFiveMemory(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += sec
+			}
+			b.ReportMetric(total/float64(b.N), "exchange-s")
+		})
+	}
+}

@@ -1,0 +1,122 @@
+// Command lowfive-bench regenerates the paper's synthetic-benchmark tables
+// and figures (Table I and Figures 5–9 and 11). Each figure is printed as
+// an aligned text table: one row per total process count, one column per
+// transport, completion time in seconds.
+//
+// Usage:
+//
+//	lowfive-bench                      # all experiments at default scale
+//	lowfive-bench -exp fig7            # a single experiment
+//	lowfive-bench -scales 4,16,64,256,1024 -factor 100 -trials 3
+//	lowfive-bench -quick               # tiny smoke-test configuration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"lowfive/internal/harness"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table1|fig5|fig6|fig7|fig8|fig9|fig11|overlap|all")
+		scales  = flag.String("scales", "", "comma-separated total process counts (default 4,16,64,256)")
+		factor  = flag.Int64("factor", 0, "divide the paper's per-producer element counts (10^6) by this (default 10)")
+		large   = flag.Int64("large-factor", 0, "scale factor for the Fig. 11 large-data runs (default 1 = the paper-size data)")
+		trials  = flag.Int("trials", 0, "trials averaged per point (default 3, as in the paper)")
+		alpha   = flag.Duration("net-alpha", -1, "interconnect per-message latency (default 2ms, the scaled-Aries regime)")
+		beta    = flag.Float64("net-beta", 0, "interconnect bandwidth, bytes/s (default 50e6, the scaled-Aries regime)")
+		quick   = flag.Bool("quick", false, "tiny configuration for a fast smoke run")
+		format  = flag.String("format", "table", "output format: table|csv")
+		verbose = flag.Bool("v", true, "print per-trial progress")
+	)
+	flag.Parse()
+
+	cfg := harness.DefaultConfig()
+	if *quick {
+		cfg = harness.QuickConfig()
+	}
+	if *scales != "" {
+		cfg.Scales = nil
+		for _, s := range strings.Split(*scales, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || v < 4 {
+				fmt.Fprintf(os.Stderr, "bad scale %q (need integers >= 4)\n", s)
+				os.Exit(2)
+			}
+			cfg.Scales = append(cfg.Scales, v)
+		}
+	}
+	if *factor > 0 {
+		cfg.ScaleFactor = *factor
+	}
+	if *large > 0 {
+		cfg.LargeFactor = *large
+	}
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+	if *alpha >= 0 {
+		cfg.NetAlpha = *alpha
+	}
+	if *beta > 0 {
+		cfg.NetBeta = *beta
+	}
+	cfg.Verbose = *verbose
+	cfg.Log = os.Stderr
+
+	type experiment struct {
+		name string
+		run  func() (harness.Figure, error)
+	}
+	experiments := []experiment{
+		{"fig5", cfg.Fig5},
+		{"fig6", cfg.Fig6},
+		{"fig7", cfg.Fig7},
+		{"fig8", cfg.Fig8},
+		{"fig9", cfg.Fig9},
+		{"fig11", cfg.Fig11},
+		{"overlap", cfg.FigOverlap},
+	}
+
+	want := strings.ToLower(*exp)
+	if want == "table1" || want == "all" {
+		cfg.PrintTableI(os.Stdout)
+		fmt.Println()
+		if want == "table1" {
+			return
+		}
+	}
+	ran := false
+	for _, e := range experiments {
+		if want != "all" && want != e.name {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		fig, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		if *format == "csv" {
+			fmt.Printf("# %s: %s\n", fig.ID, fig.Title)
+			if err := fig.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+				os.Exit(1)
+			}
+		} else {
+			fig.Print(os.Stdout)
+		}
+		fmt.Fprintf(os.Stderr, "%s completed in %v\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !ran && want != "all" && want != "table1" {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

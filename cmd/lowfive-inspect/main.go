@@ -1,0 +1,39 @@
+// Command lowfive-inspect dumps the metadata hierarchy of a native
+// container file (the Base VOL's on-disk format): groups, datasets with
+// their types and extents, attributes, and (with -stats) value summaries.
+//
+// Usage:
+//
+//	lowfive-inspect [-stats] file.h5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"lowfive/h5"
+	"lowfive/internal/inspect"
+	"lowfive/internal/native"
+)
+
+func main() {
+	stats := flag.Bool("stats", false, "compute min/max/mean for numeric datasets")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lowfive-inspect [-stats] <container-file>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	conn := native.New(native.OSBackend(filepath.Dir(path)))
+	f, err := h5.OpenFile(filepath.Base(path), h5.NewFileAccessProps(conn))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lowfive-inspect: %v\n", err)
+		os.Exit(1)
+	}
+	if err := inspect.Dump(os.Stdout, f, inspect.Options{Stats: *stats}); err != nil {
+		fmt.Fprintf(os.Stderr, "lowfive-inspect: %v\n", err)
+		os.Exit(1)
+	}
+}

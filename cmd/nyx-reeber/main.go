@@ -1,0 +1,78 @@
+// Command nyx-reeber regenerates Table II: the cosmology use case coupling
+// the Nyx proxy simulation with the Reeber proxy halo finder in three
+// scenarios — baseline HDF5 files, AMReX-style plotfiles, and LowFive in
+// situ — and prints write/read times and the speed-up columns.
+//
+// Usage:
+//
+//	nyx-reeber                          # default: 32^3..128^3, 16+4 procs
+//	nyx-reeber -sides 32,64,128 -nyx 64 -reeber 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"lowfive/internal/harness"
+)
+
+func main() {
+	var (
+		sides  = flag.String("sides", "", "comma-separated grid sides N for N^3 grids (default 32,64,128)")
+		nyxN   = flag.Int("nyx", 0, "Nyx (simulation) processes (default 16; paper used 4096)")
+		reeb   = flag.Int("reeber", 0, "Reeber (analysis) processes (default 4; paper used 1024)")
+		steps  = flag.Int("steps", 0, "snapshots to write/analyze (default 2, as in the paper)")
+		thresh = flag.Float64("threshold", 0, "halo density threshold (default 10)")
+		group  = flag.Int("plot-group", 0, "Nyx ranks per plotfile (default 4)")
+		format = flag.String("format", "table", "output format: table|csv")
+	)
+	flag.Parse()
+
+	cfg := harness.DefaultConfig()
+	cfg.Verbose = true
+	cfg.Log = os.Stderr
+	u := harness.DefaultUseCaseConfig()
+	if *sides != "" {
+		u.GridSides = nil
+		for _, s := range strings.Split(*sides, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+			if err != nil || v < 8 {
+				fmt.Fprintf(os.Stderr, "bad grid side %q\n", s)
+				os.Exit(2)
+			}
+			u.GridSides = append(u.GridSides, v)
+		}
+	}
+	if *nyxN > 0 {
+		u.NyxProcs = *nyxN
+	}
+	if *reeb > 0 {
+		u.ReeberProcs = *reeb
+	}
+	if *steps > 0 {
+		u.Steps = *steps
+	}
+	if *thresh > 0 {
+		u.Threshold = *thresh
+	}
+	if *group > 0 {
+		u.PlotfileGroup = *group
+	}
+
+	rows, err := cfg.TableII(u)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nyx-reeber failed: %v\n", err)
+		os.Exit(1)
+	}
+	if *format == "csv" {
+		if err := harness.WriteTableIICSV(os.Stdout, rows); err != nil {
+			fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	harness.PrintTableII(os.Stdout, rows)
+}

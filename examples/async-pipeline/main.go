@@ -1,0 +1,150 @@
+// Async pipeline: the paper's future-work overlap (§V-C) in action — the
+// producer serves snapshot k in the background (ServeAsync) while already
+// computing and writing snapshot k+1, instead of blocking in the file close
+// until the consumer is done. The snapshot also demonstrates extendable
+// datasets (H5Dset_extent): an event log grows inside each step before the
+// file is published.
+//
+// Run with: go run ./examples/async-pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"lowfive"
+	"lowfive/h5"
+	"lowfive/mpi"
+)
+
+const (
+	steps    = 4
+	gridSide = 8
+)
+
+func producer(p *mpi.Proc) {
+	vol := lowfive.NewDistMetadataVOL(p.Task, nil)
+	vol.SetIntercomm("snap*", p.Intercomm("analysis"))
+	vol.ServeOnClose = false // we manage serving ourselves
+	fapl := h5.NewFileAccessProps(vol)
+
+	n, r := int64(p.Task.Size()), int64(p.Task.Rank())
+	var pending []*lowfive.ServeHandle
+	start := time.Now()
+	for step := 0; step < steps; step++ {
+		name := fmt.Sprintf("snap%d", step)
+		f, err := h5.CreateFile(name, fapl)
+		check(err)
+
+		// The field of this step, row-decomposed.
+		ds, err := f.CreateDataset("field", h5.F64, h5.NewSimple(gridSide, gridSide))
+		check(err)
+		r0, r1 := r*gridSide/n, (r+1)*gridSide/n
+		sel := h5.NewSimple(gridSide, gridSide)
+		check(sel.SelectHyperslab(h5.SelectSet, []int64{r0, 0}, []int64{r1 - r0, gridSide}))
+		vals := make([]float64, (r1-r0)*gridSide)
+		for i := range vals {
+			vals[i] = float64(step*1000) + float64(r0*gridSide+int64(i))
+		}
+		check(ds.Write(nil, sel, h5.Bytes(vals)))
+		check(ds.Close())
+
+		// An event log that grows during the step (rank 0 appends twice).
+		if r == 0 {
+			space, err := h5.NewSimpleMax([]int64{2}, []int64{h5.Unlimited})
+			check(err)
+			logDS, err := f.CreateDataset("events", h5.I64, space)
+			check(err)
+			check(logDS.Write(nil, nil, h5.Bytes([]int64{int64(step), int64(step) + 10})))
+			check(logDS.Extend(4)) // two more events happened
+			tail := h5.NewSimple(4)
+			check(tail.SelectHyperslab(h5.SelectSet, []int64{2}, []int64{2}))
+			check(logDS.Write(nil, tail, h5.Bytes([]int64{int64(step) + 20, int64(step) + 30})))
+			check(logDS.Close())
+		} else {
+			// Dataset creation is collective in this workflow: the other
+			// ranks create it too but write nothing.
+			space, err := h5.NewSimpleMax([]int64{2}, []int64{h5.Unlimited})
+			check(err)
+			logDS, err := f.CreateDataset("events", h5.I64, space)
+			check(err)
+			check(logDS.Extend(4))
+			check(logDS.Close())
+		}
+
+		check(f.Close()) // does NOT serve (ServeOnClose = false)
+		h, err := vol.ServeAsync(name)
+		check(err)
+		pending = append(pending, h)
+		fmt.Printf("producer %d: step %d published asynchronously, computing step %d...\n",
+			r, step, step+1)
+		// ... the next step's compute overlaps the previous step's serving.
+	}
+	for _, h := range pending {
+		check(h.Wait())
+	}
+	if r == 0 {
+		fmt.Printf("producer: %d overlapped steps in %v\n", steps, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func analysis(p *mpi.Proc) {
+	vol := lowfive.NewDistMetadataVOL(p.Task, nil)
+	vol.SetIntercomm("snap*", p.Intercomm("producer"))
+	fapl := h5.NewFileAccessProps(vol)
+
+	m, r := int64(p.Task.Size()), int64(p.Task.Rank())
+	for step := 0; step < steps; step++ {
+		f, err := h5.OpenFile(fmt.Sprintf("snap%d", step), fapl)
+		check(err)
+		ds, err := f.OpenDataset("field")
+		check(err)
+		c0, c1 := r*gridSide/m, (r+1)*gridSide/m
+		sel := h5.NewSimple(gridSide, gridSide)
+		check(sel.SelectHyperslab(h5.SelectSet, []int64{0, c0}, []int64{gridSide, c1 - c0}))
+		vals := make([]float64, sel.NumSelected())
+		check(ds.Read(nil, sel, h5.Bytes(vals)))
+		for i, v := range vals {
+			row := int64(i) / (c1 - c0)
+			col := c0 + int64(i)%(c1-c0)
+			if want := float64(step*1000) + float64(row*gridSide+col); v != want {
+				log.Fatalf("analysis %d step %d: (%d,%d)=%v want %v", r, step, row, col, v, want)
+			}
+		}
+		check(ds.Close())
+
+		// The event log arrived with its extended extent.
+		events, err := f.OpenDataset("events")
+		check(err)
+		if dims := events.Dataspace().Dims(); dims[0] != 4 {
+			log.Fatalf("analysis %d: events extent %v, want 4", r, dims)
+		}
+		ev := make([]int64, 4)
+		check(events.Read(nil, nil, h5.Bytes(ev)))
+		want := []int64{int64(step), int64(step) + 10, int64(step) + 20, int64(step) + 30}
+		for i := range want {
+			if ev[i] != want[i] {
+				log.Fatalf("analysis %d step %d: events %v want %v", r, step, ev, want)
+			}
+		}
+		check(events.Close())
+		check(f.Close())
+		fmt.Printf("analysis %d: step %d validated (field + %d events)\n", r, step, len(ev))
+	}
+}
+
+func main() {
+	err := mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "producer", Procs: 2, Main: producer},
+		{Name: "analysis", Procs: 2, Main: analysis},
+	})
+	check(err)
+	fmt.Println("async-pipeline: OK")
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,166 @@
+// Fan-in / fan-out: the workflow task graph features of §I — more than one
+// task producing and more than one task consuming.
+//
+//	simulationA (3 procs) --- fields.h5 ---+--> vizualization (2 procs)
+//	                                       +--> statistics   (1 proc)
+//	simulationB (2 procs) --- events.h5 ------> statistics
+//
+// simulationA fans its file out to two different consumer tasks (each gets
+// the full n-to-m redistribution independently); statistics fans in data
+// from both producers. Every edge is an ordinary HDF5-style open/read.
+//
+// Run with: go run ./examples/fanin-fanout
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lowfive"
+	"lowfive/h5"
+	"lowfive/mpi"
+)
+
+const (
+	fieldSide = 12
+	numEvents = 64
+)
+
+func simulationA(p *mpi.Proc) {
+	vol := lowfive.NewDistMetadataVOL(p.Task, nil)
+	// One file pattern, two consumer intercomms: producers serve both.
+	vol.SetIntercomm("fields.h5", p.Intercomm("viz"), p.Intercomm("stats"))
+	fapl := h5.NewFileAccessProps(vol)
+
+	f, err := h5.CreateFile("fields.h5", fapl)
+	check(err)
+	ds, err := f.CreateDataset("temperature", h5.F64, h5.NewSimple(fieldSide, fieldSide))
+	check(err)
+	n, r := int64(p.Task.Size()), int64(p.Task.Rank())
+	r0, r1 := r*fieldSide/n, (r+1)*fieldSide/n
+	sel := h5.NewSimple(fieldSide, fieldSide)
+	check(sel.SelectHyperslab(h5.SelectSet, []int64{r0, 0}, []int64{r1 - r0, fieldSide}))
+	vals := make([]float64, (r1-r0)*fieldSide)
+	for i := range vals {
+		vals[i] = float64(r0*fieldSide + int64(i))
+	}
+	check(ds.Write(nil, sel, h5.Bytes(vals)))
+	check(ds.Close())
+	check(f.Close()) // serves BOTH viz and stats until each is done
+	if r == 0 {
+		fmt.Println("simulationA: fields.h5 served to viz and stats")
+	}
+}
+
+func simulationB(p *mpi.Proc) {
+	vol := lowfive.NewDistMetadataVOL(p.Task, nil)
+	vol.SetIntercomm("events.h5", p.Intercomm("stats"))
+	fapl := h5.NewFileAccessProps(vol)
+
+	f, err := h5.CreateFile("events.h5", fapl)
+	check(err)
+	ds, err := f.CreateDataset("energies", h5.F32, h5.NewSimple(numEvents))
+	check(err)
+	n, r := int64(p.Task.Size()), int64(p.Task.Rank())
+	lo, hi := r*numEvents/n, (r+1)*numEvents/n
+	sel := h5.NewSimple(numEvents)
+	check(sel.SelectHyperslab(h5.SelectSet, []int64{lo}, []int64{hi - lo}))
+	vals := make([]float32, hi-lo)
+	for i := range vals {
+		vals[i] = float32(lo + int64(i))
+	}
+	check(ds.Write(nil, sel, h5.Bytes(vals)))
+	check(ds.Close())
+	check(f.Close())
+	if r == 0 {
+		fmt.Println("simulationB: events.h5 served to stats")
+	}
+}
+
+func viz(p *mpi.Proc) {
+	vol := lowfive.NewDistMetadataVOL(p.Task, nil)
+	vol.SetIntercomm("fields.h5", p.Intercomm("simA"))
+	fapl := h5.NewFileAccessProps(vol)
+
+	f, err := h5.OpenFile("fields.h5", fapl)
+	check(err)
+	ds, err := f.OpenDataset("temperature")
+	check(err)
+	// Column bands — a different decomposition than simulationA wrote.
+	m, r := int64(p.Task.Size()), int64(p.Task.Rank())
+	c0, c1 := r*fieldSide/m, (r+1)*fieldSide/m
+	sel := h5.NewSimple(fieldSide, fieldSide)
+	check(sel.SelectHyperslab(h5.SelectSet, []int64{0, c0}, []int64{fieldSide, c1 - c0}))
+	vals := make([]float64, sel.NumSelected())
+	check(ds.Read(nil, sel, h5.Bytes(vals)))
+	for i, v := range vals {
+		row := int64(i) / (c1 - c0)
+		col := c0 + int64(i)%(c1-c0)
+		if v != float64(row*fieldSide+col) {
+			log.Fatalf("viz %d: (%d,%d)=%v", r, row, col, v)
+		}
+	}
+	check(ds.Close())
+	check(f.Close())
+	fmt.Printf("viz %d: rendered columns %d..%d\n", r, c0, c1-1)
+}
+
+func stats(p *mpi.Proc) {
+	vol := lowfive.NewDistMetadataVOL(p.Task, nil)
+	vol.SetIntercomm("fields.h5", p.Intercomm("simA"))
+	vol.SetIntercomm("events.h5", p.Intercomm("simB"))
+	fapl := h5.NewFileAccessProps(vol)
+
+	// Fan-in edge 1: the whole temperature field.
+	ff, err := h5.OpenFile("fields.h5", fapl)
+	check(err)
+	fds, err := ff.OpenDataset("temperature")
+	check(err)
+	field := make([]float64, fieldSide*fieldSide)
+	check(fds.Read(nil, nil, h5.Bytes(field)))
+	sum := 0.0
+	for _, v := range field {
+		sum += v
+	}
+	check(fds.Close())
+	check(ff.Close())
+
+	// Fan-in edge 2: all event energies.
+	ef, err := h5.OpenFile("events.h5", fapl)
+	check(err)
+	eds, err := ef.OpenDataset("energies")
+	check(err)
+	energies := make([]float32, numEvents)
+	check(eds.Read(nil, nil, h5.Bytes(energies)))
+	esum := float32(0)
+	for _, v := range energies {
+		esum += v
+	}
+	check(eds.Close())
+	check(ef.Close())
+
+	wantField := float64(fieldSide*fieldSide-1) * float64(fieldSide*fieldSide) / 2
+	wantE := float32(numEvents-1) * numEvents / 2
+	if sum != wantField || esum != wantE {
+		log.Fatalf("stats: field sum %v (want %v), energy sum %v (want %v)", sum, wantField, esum, wantE)
+	}
+	fmt.Printf("stats: mean temperature %.2f, mean energy %.2f\n",
+		sum/float64(len(field)), esum/float32(numEvents))
+}
+
+func main() {
+	err := mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "simA", Procs: 3, Main: simulationA},
+		{Name: "simB", Procs: 2, Main: simulationB},
+		{Name: "viz", Procs: 2, Main: viz},
+		{Name: "stats", Procs: 1, Main: stats},
+	})
+	check(err)
+	fmt.Println("fanin-fanout: OK")
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

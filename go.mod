@@ -1,0 +1,3 @@
+module lowfive
+
+go 1.22

@@ -1,0 +1,296 @@
+package h5
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Object is the user-facing wrapper shared by files and groups: it resolves
+// slash-separated paths and delegates single-segment operations to the VOL
+// handle underneath.
+type Object struct {
+	h    ObjectHandle
+	path string
+}
+
+// File is an open file. It doubles as the root group.
+type File struct {
+	Object
+	name string
+}
+
+// Group is an open group.
+type Group struct {
+	Object
+}
+
+// Dataset is an open dataset.
+type Dataset struct {
+	h    DatasetHandle
+	path string
+}
+
+// CreateFile creates (truncating) a file through the connector in fapl.
+func CreateFile(name string, fapl *FileAccessProps) (*File, error) {
+	if fapl == nil || fapl.VOL == nil {
+		return nil, fmt.Errorf("h5: CreateFile %q: no VOL connector in file access properties", name)
+	}
+	h, err := fapl.VOL.FileCreate(name, fapl)
+	if err != nil {
+		return nil, err
+	}
+	return &File{Object: Object{h: h, path: name}, name: name}, nil
+}
+
+// OpenFile opens an existing file through the connector in fapl.
+func OpenFile(name string, fapl *FileAccessProps) (*File, error) {
+	if fapl == nil || fapl.VOL == nil {
+		return nil, fmt.Errorf("h5: OpenFile %q: no VOL connector in file access properties", name)
+	}
+	h, err := fapl.VOL.FileOpen(name, fapl)
+	if err != nil {
+		return nil, err
+	}
+	return &File{Object: Object{h: h, path: name}, name: name}, nil
+}
+
+// Name returns the file name.
+func (f *File) Name() string { return f.name }
+
+// Close closes the file. In LowFive's distributed mode this is the
+// synchronization point between producer and consumer.
+func (f *File) Close() error { return f.h.Close() }
+
+// Close closes the group handle.
+func (g *Group) Close() error { return g.h.Close() }
+
+// Path returns the full path of this object within its file.
+func (o *Object) Path() string { return o.path }
+
+// Handle exposes the underlying VOL handle (for transport-layer callers).
+func (o *Object) Handle() ObjectHandle { return o.h }
+
+func splitPath(path string) ([]string, error) {
+	path = strings.Trim(path, "/")
+	if path == "" {
+		return nil, fmt.Errorf("h5: empty object path")
+	}
+	segs := strings.Split(path, "/")
+	for _, s := range segs {
+		if s == "" || s == "." || s == ".." {
+			return nil, fmt.Errorf("h5: invalid path %q", path)
+		}
+	}
+	return segs, nil
+}
+
+// walk opens intermediate groups down to the parent of the last segment.
+// The returned cleanup closes the intermediates (not o.h itself).
+func (o *Object) walk(path string) (parent ObjectHandle, last string, cleanup func(), err error) {
+	segs, err := splitPath(path)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	var opened []ObjectHandle
+	cleanup = func() {
+		for i := len(opened) - 1; i >= 0; i-- {
+			opened[i].Close()
+		}
+	}
+	cur := o.h
+	for _, seg := range segs[:len(segs)-1] {
+		next, err := cur.GroupOpen(seg)
+		if err != nil {
+			cleanup()
+			return nil, "", nil, fmt.Errorf("h5: opening group %q under %q: %w", seg, o.path, err)
+		}
+		opened = append(opened, next)
+		cur = next
+	}
+	return cur, segs[len(segs)-1], cleanup, nil
+}
+
+// CreateGroup creates a group at the (possibly nested) path; intermediate
+// groups must already exist.
+func (o *Object) CreateGroup(path string) (*Group, error) {
+	parent, last, cleanup, err := o.walk(path)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	h, err := parent.GroupCreate(last)
+	if err != nil {
+		return nil, err
+	}
+	return &Group{Object{h: h, path: o.path + "/" + strings.Trim(path, "/")}}, nil
+}
+
+// OpenGroup opens a group at the (possibly nested) path.
+func (o *Object) OpenGroup(path string) (*Group, error) {
+	parent, last, cleanup, err := o.walk(path)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	h, err := parent.GroupOpen(last)
+	if err != nil {
+		return nil, err
+	}
+	return &Group{Object{h: h, path: o.path + "/" + strings.Trim(path, "/")}}, nil
+}
+
+// CreateDataset creates a dataset of the given type and shape at the path.
+func (o *Object) CreateDataset(path string, dt *Datatype, space *Dataspace) (*Dataset, error) {
+	if dt == nil || space == nil {
+		return nil, fmt.Errorf("h5: CreateDataset %q: nil datatype or dataspace", path)
+	}
+	parent, last, cleanup, err := o.walk(path)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	h, err := parent.DatasetCreate(last, dt, space.Clone().SelectAll())
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{h: h, path: o.path + "/" + strings.Trim(path, "/")}, nil
+}
+
+// OpenDataset opens the dataset at the path.
+func (o *Object) OpenDataset(path string) (*Dataset, error) {
+	parent, last, cleanup, err := o.walk(path)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	h, err := parent.DatasetOpen(last)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{h: h, path: o.path + "/" + strings.Trim(path, "/")}, nil
+}
+
+// Children lists this object's direct children.
+func (o *Object) Children() ([]ObjectInfo, error) { return o.h.Children() }
+
+// Delete unlinks the object at the (possibly nested) path and everything
+// under it.
+func (o *Object) Delete(path string) error {
+	parent, last, cleanup, err := o.walk(path)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	return parent.Delete(last)
+}
+
+// WriteAttribute attaches (or replaces) an attribute with n = len(data)/dt.Size
+// elements in a 1-d dataspace.
+func (o *Object) WriteAttribute(name string, dt *Datatype, data []byte) error {
+	if len(data)%dt.Size != 0 {
+		return fmt.Errorf("h5: attribute %q data length %d not a multiple of element size %d",
+			name, len(data), dt.Size)
+	}
+	n := int64(len(data)) / int64(dt.Size)
+	if n == 0 {
+		return fmt.Errorf("h5: attribute %q has no data", name)
+	}
+	return o.h.AttributeWrite(name, dt, NewSimple(n), append([]byte(nil), data...))
+}
+
+// ReadAttribute returns an attribute's type and raw data.
+func (o *Object) ReadAttribute(name string) (*Datatype, []byte, error) {
+	dt, _, data, err := o.h.AttributeRead(name)
+	return dt, data, err
+}
+
+// AttributeNames lists the attributes on this object.
+func (o *Object) AttributeNames() ([]string, error) { return o.h.AttributeNames() }
+
+// Path returns the dataset's full path within its file.
+func (d *Dataset) Path() string { return d.path }
+
+// Handle exposes the underlying VOL handle.
+func (d *Dataset) Handle() DatasetHandle { return d.h }
+
+// Datatype returns the element type.
+func (d *Dataset) Datatype() *Datatype { return d.h.Datatype() }
+
+// Dataspace returns the dataset extent with everything selected.
+func (d *Dataset) Dataspace() *Dataspace { return d.h.Dataspace() }
+
+// Close releases the dataset.
+func (d *Dataset) Close() error { return d.h.Close() }
+
+// Extend changes the dataset's current extent (growing or shrinking) within
+// the maximum dims of the dataspace it was created with.
+func (d *Dataset) Extend(dims ...int64) error { return d.h.SetExtent(dims) }
+
+// validateTransfer checks the mem/file space pairing shared by Read/Write.
+func (d *Dataset) validateTransfer(memSpace, fileSpace *Dataspace, data []byte) error {
+	es := int64(d.h.Datatype().Size)
+	n := d.h.Dataspace().NumPoints()
+	if fileSpace != nil {
+		fdims := fileSpace.Dims()
+		ddims := d.h.Dataspace().Dims()
+		if len(fdims) != len(ddims) {
+			return fmt.Errorf("h5: file space rank %d != dataset rank %d", len(fdims), len(ddims))
+		}
+		for i := range fdims {
+			if fdims[i] != ddims[i] {
+				return fmt.Errorf("h5: file space dims %v != dataset dims %v", fdims, ddims)
+			}
+		}
+		n = fileSpace.NumSelected()
+	}
+	if memSpace != nil {
+		if memSpace.NumSelected() != n {
+			return fmt.Errorf("h5: memory selection has %d elements, file selection %d",
+				memSpace.NumSelected(), n)
+		}
+		if need := memSpace.NumPoints() * es; int64(len(data)) < need {
+			return fmt.Errorf("h5: buffer %d bytes, memory extent needs %d", len(data), need)
+		}
+	} else if need := n * es; int64(len(data)) < need {
+		return fmt.Errorf("h5: buffer %d bytes, selection needs %d", len(data), need)
+	}
+	return nil
+}
+
+// Write transfers the memSpace-selected elements of data into the
+// fileSpace-selected elements of the dataset. A nil fileSpace means the
+// whole dataset; a nil memSpace means data is packed in selection order.
+func (d *Dataset) Write(memSpace, fileSpace *Dataspace, data []byte) error {
+	if err := d.validateTransfer(memSpace, fileSpace, data); err != nil {
+		return err
+	}
+	return d.h.Write(memSpace, fileSpace, data)
+}
+
+// Read transfers the fileSpace-selected elements of the dataset into the
+// memSpace-selected elements of data. Nil spaces as in Write.
+func (d *Dataset) Read(memSpace, fileSpace *Dataspace, data []byte) error {
+	if err := d.validateTransfer(memSpace, fileSpace, data); err != nil {
+		return err
+	}
+	return d.h.Read(memSpace, fileSpace, data)
+}
+
+// WriteAttribute attaches an attribute to the dataset.
+func (d *Dataset) WriteAttribute(name string, dt *Datatype, data []byte) error {
+	if len(data)%dt.Size != 0 || len(data) == 0 {
+		return fmt.Errorf("h5: attribute %q data length %d invalid for element size %d",
+			name, len(data), dt.Size)
+	}
+	n := int64(len(data)) / int64(dt.Size)
+	return d.h.AttributeWrite(name, dt, NewSimple(n), append([]byte(nil), data...))
+}
+
+// ReadAttribute returns an attribute's type and raw data.
+func (d *Dataset) ReadAttribute(name string) (*Datatype, []byte, error) {
+	dt, _, data, err := d.h.AttributeRead(name)
+	return dt, data, err
+}
+
+// AttributeNames lists the attributes on this dataset.
+func (d *Dataset) AttributeNames() ([]string, error) { return d.h.AttributeNames() }

@@ -1,0 +1,33 @@
+package h5
+
+import "unsafe"
+
+// Typed views over byte buffers. Dataset I/O in this package moves []byte;
+// these helpers reinterpret numeric slices without copying, in the machine's
+// native byte order (as HDF5 native types do).
+
+// Bytes returns the raw bytes backing a numeric slice without copying.
+// The view aliases s: writes through either are visible in both.
+func Bytes[T any](s []T) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*int(unsafe.Sizeof(s[0])))
+}
+
+// View reinterprets a byte slice as a numeric slice without copying.
+// len(b) must be a multiple of the element size.
+func View[T any](b []byte) []T {
+	if len(b) == 0 {
+		return nil
+	}
+	var zero T
+	es := int(unsafe.Sizeof(zero))
+	if len(b)%es != 0 {
+		panic("h5: buffer length not a multiple of the element size")
+	}
+	return unsafe.Slice((*T)(unsafe.Pointer(&b[0])), len(b)/es)
+}
+
+// Alloc returns a zeroed buffer holding n elements of the given datatype.
+func Alloc(t *Datatype, n int64) []byte { return make([]byte, n*int64(t.Size)) }

@@ -1,0 +1,227 @@
+package h5
+
+import (
+	"fmt"
+	"math"
+)
+
+// Datatype conversion between numeric types, the H5T soft-conversion path:
+// HDF5 converts between the file datatype and the (different) memory
+// datatype during H5Dread/H5Dwrite. Supported: any integer width/signedness
+// and float32/float64, in any combination, with clamping on narrowing
+// (HDF5's default hard conversion also clamps out-of-range values).
+
+// Convertible reports whether Convert supports the pair: any combination
+// of fixed-width integers and floats, or compound-to-compound where every
+// destination field exists in the source (by name) with convertible types —
+// the H5T subset-of-fields read that lets a consumer extract, say, just the
+// coordinates from a particle record.
+func Convertible(dst, src *Datatype) bool {
+	if dst.Class == ClassCompound && src.Class == ClassCompound {
+		for _, df := range dst.Fields {
+			sf, ok := src.FieldByName(df.Name)
+			if !ok || !Convertible(df.Type, sf.Type) {
+				return false
+			}
+		}
+		return true
+	}
+	ok := func(t *Datatype) bool {
+		switch t.Class {
+		case ClassInteger:
+			return t.Size == 1 || t.Size == 2 || t.Size == 4 || t.Size == 8
+		case ClassFloat:
+			return t.Size == 4 || t.Size == 8
+		}
+		return false
+	}
+	return ok(dst) && ok(src)
+}
+
+// loadElem reads element i of buf as a canonical pair (int64, float64, isFloat).
+func loadElem(buf []byte, i int, t *Datatype) (iv int64, fv float64, isFloat bool) {
+	off := i * t.Size
+	switch t.Class {
+	case ClassFloat:
+		if t.Size == 4 {
+			return 0, float64(View[float32](buf[off : off+4])[0]), true
+		}
+		return 0, View[float64](buf[off : off+8])[0], true
+	default: // integer
+		switch t.Size {
+		case 1:
+			if t.Signed {
+				return int64(int8(buf[off])), 0, false
+			}
+			return int64(buf[off]), 0, false
+		case 2:
+			if t.Signed {
+				return int64(View[int16](buf[off : off+2])[0]), 0, false
+			}
+			return int64(View[uint16](buf[off : off+2])[0]), 0, false
+		case 4:
+			if t.Signed {
+				return int64(View[int32](buf[off : off+4])[0]), 0, false
+			}
+			return int64(View[uint32](buf[off : off+4])[0]), 0, false
+		default:
+			if t.Signed {
+				return View[int64](buf[off : off+8])[0], 0, false
+			}
+			// uint64 values above MaxInt64 clamp through the canonical
+			// int64 only when converting to signed/narrower targets; keep
+			// the bit pattern and let storeElem decide via unsigned path.
+			return int64(View[uint64](buf[off : off+8])[0]), 0, false
+		}
+	}
+}
+
+func clampInt(v int64, size int, signed bool) int64 {
+	if signed {
+		lo := int64(-1) << (size*8 - 1)
+		hi := -lo - 1
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	if v < 0 {
+		return 0
+	}
+	if size < 8 {
+		hi := int64(1)<<(size*8) - 1
+		if v > hi {
+			return hi
+		}
+	}
+	return v
+}
+
+// storeElem writes the canonical value into element i of buf.
+func storeElem(buf []byte, i int, t *Datatype, iv int64, fv float64, isFloat bool) {
+	off := i * t.Size
+	switch t.Class {
+	case ClassFloat:
+		f := fv
+		if !isFloat {
+			f = float64(iv)
+		}
+		if t.Size == 4 {
+			View[float32](buf[off : off+4])[0] = float32(f)
+		} else {
+			View[float64](buf[off : off+8])[0] = f
+		}
+	default:
+		v := iv
+		if isFloat {
+			// Truncate toward zero, clamping NaN to 0 and infinities to the
+			// integer range bounds (HDF5 hard-conversion behaviour).
+			switch {
+			case math.IsNaN(fv):
+				v = 0
+			case fv >= math.MaxInt64:
+				v = math.MaxInt64
+			case fv <= math.MinInt64:
+				v = math.MinInt64
+			default:
+				v = int64(fv)
+			}
+		}
+		v = clampInt(v, t.Size, t.Signed)
+		switch t.Size {
+		case 1:
+			buf[off] = byte(v)
+		case 2:
+			View[uint16](buf[off : off+2])[0] = uint16(v)
+		case 4:
+			View[uint32](buf[off : off+4])[0] = uint32(v)
+		default:
+			View[uint64](buf[off : off+8])[0] = uint64(v)
+		}
+	}
+}
+
+// Convert converts n = len(src)/srcType.Size elements from srcType to
+// dstType, writing into dst (which must hold n dstType elements).
+func Convert(dst []byte, dstType *Datatype, src []byte, srcType *Datatype) error {
+	if !Convertible(dstType, srcType) {
+		return fmt.Errorf("h5: no conversion from %s to %s", srcType, dstType)
+	}
+	if len(src)%srcType.Size != 0 {
+		return fmt.Errorf("h5: source length %d not a multiple of %s size", len(src), srcType)
+	}
+	n := len(src) / srcType.Size
+	if len(dst) < n*dstType.Size {
+		return fmt.Errorf("h5: destination holds %d elements, need %d", len(dst)/dstType.Size, n)
+	}
+	if dstType.Equal(srcType) {
+		copy(dst, src)
+		return nil
+	}
+	if dstType.Class == ClassCompound {
+		// Field-by-field: each destination field pulls the same-named source
+		// field, converting scalars as needed.
+		for _, df := range dstType.Fields {
+			sf, _ := srcType.FieldByName(df.Name)
+			for i := 0; i < n; i++ {
+				so := i*srcType.Size + sf.Offset
+				do := i*dstType.Size + df.Offset
+				if df.Type.Equal(sf.Type) {
+					copy(dst[do:do+df.Type.Size], src[so:so+sf.Type.Size])
+					continue
+				}
+				iv, fv, isF := loadElem(src[so:so+sf.Type.Size], 0, sf.Type)
+				storeElem(dst[do:do+df.Type.Size], 0, df.Type, iv, fv, isF)
+			}
+		}
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		iv, fv, isF := loadElem(src, i, srcType)
+		storeElem(dst, i, dstType, iv, fv, isF)
+	}
+	return nil
+}
+
+// ReadAs reads the fileSpace-selected elements and converts them to memType
+// into data (packed in selection order; memType must be convertible from
+// the dataset's type). This is HDF5's read-with-memory-type.
+func (d *Dataset) ReadAs(memType *Datatype, fileSpace *Dataspace, data []byte) error {
+	fileType := d.h.Datatype()
+	if memType.Equal(fileType) {
+		return d.Read(nil, fileSpace, data)
+	}
+	if !Convertible(memType, fileType) {
+		return fmt.Errorf("h5: cannot read %s dataset as %s", fileType, memType)
+	}
+	n := d.h.Dataspace().NumPoints()
+	if fileSpace != nil {
+		n = fileSpace.NumSelected()
+	}
+	raw := make([]byte, n*int64(fileType.Size))
+	if err := d.Read(nil, fileSpace, raw); err != nil {
+		return err
+	}
+	return Convert(data, memType, raw, fileType)
+}
+
+// WriteAs converts data (packed elements of memType, selection order) to
+// the dataset's type and writes the fileSpace selection.
+func (d *Dataset) WriteAs(memType *Datatype, fileSpace *Dataspace, data []byte) error {
+	fileType := d.h.Datatype()
+	if memType.Equal(fileType) {
+		return d.Write(nil, fileSpace, data)
+	}
+	if !Convertible(fileType, memType) {
+		return fmt.Errorf("h5: cannot write %s data to %s dataset", memType, fileType)
+	}
+	n := len(data) / memType.Size
+	raw := make([]byte, n*fileType.Size)
+	if err := Convert(raw, fileType, data, memType); err != nil {
+		return err
+	}
+	return d.Write(nil, fileSpace, raw)
+}

@@ -1,0 +1,237 @@
+package h5_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lowfive/h5"
+	"lowfive/internal/core"
+)
+
+func convert(t *testing.T, dst *h5.Datatype, src *h5.Datatype, srcBytes []byte) []byte {
+	t.Helper()
+	n := len(srcBytes) / src.Size
+	out := make([]byte, n*dst.Size)
+	if err := h5.Convert(out, dst, srcBytes, src); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestConvertWidening(t *testing.T) {
+	out := convert(t, h5.I64, h5.I16, h5.Bytes([]int16{-3, 0, 1000}))
+	got := h5.View[int64](out)
+	want := []int64{-3, 0, 1000}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got[%d]=%d", i, got[i])
+		}
+	}
+	fout := convert(t, h5.F64, h5.F32, h5.Bytes([]float32{1.5, -2.25}))
+	if f := h5.View[float64](fout); f[0] != 1.5 || f[1] != -2.25 {
+		t.Errorf("floats %v", f)
+	}
+}
+
+func TestConvertNarrowingClamps(t *testing.T) {
+	out := convert(t, h5.I8, h5.I32, h5.Bytes([]int32{-1000, -5, 5, 1000}))
+	got := h5.View[int8](out)
+	want := []int8{-128, -5, 5, 127}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got[%d]=%d want %d", i, got[i], want[i])
+		}
+	}
+	// Signed negative to unsigned clamps at zero.
+	uout := convert(t, h5.U16, h5.I32, h5.Bytes([]int32{-7, 70000, 12}))
+	ug := h5.View[uint16](uout)
+	if ug[0] != 0 || ug[1] != 65535 || ug[2] != 12 {
+		t.Errorf("unsigned clamp %v", ug)
+	}
+}
+
+func TestConvertIntFloat(t *testing.T) {
+	out := convert(t, h5.F32, h5.U32, h5.Bytes([]uint32{0, 7, 1 << 20}))
+	f := h5.View[float32](out)
+	if f[0] != 0 || f[1] != 7 || f[2] != float32(1<<20) {
+		t.Errorf("int->float %v", f)
+	}
+	back := convert(t, h5.I32, h5.F64, h5.Bytes([]float64{2.9, -2.9, math.NaN(), math.Inf(1)}))
+	g := h5.View[int32](back)
+	if g[0] != 2 || g[1] != -2 {
+		t.Errorf("truncation %v", g)
+	}
+	if g[2] != 0 {
+		t.Errorf("NaN should convert to 0, got %d", g[2])
+	}
+	if g[3] != math.MaxInt32 {
+		t.Errorf("+Inf should clamp, got %d", g[3])
+	}
+}
+
+func TestConvertValidation(t *testing.T) {
+	if err := h5.Convert(make([]byte, 8), h5.NewString(4), make([]byte, 8), h5.U64); err == nil {
+		t.Error("string conversion should be unsupported")
+	}
+	if err := h5.Convert(make([]byte, 8), h5.I64, make([]byte, 7), h5.U32); err == nil {
+		t.Error("misaligned source should fail")
+	}
+	if err := h5.Convert(make([]byte, 4), h5.I64, make([]byte, 8), h5.U32); err == nil {
+		t.Error("short destination should fail")
+	}
+	if !h5.Convertible(h5.I8, h5.F64) || h5.Convertible(h5.I8, h5.NewOpaque(3)) {
+		t.Error("Convertible wrong")
+	}
+}
+
+func TestConvertRoundTripProperty(t *testing.T) {
+	// Widening then narrowing back is the identity for in-range values.
+	f := func(vals []int16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		wide := make([]byte, len(vals)*8)
+		if err := h5.Convert(wide, h5.I64, h5.Bytes(vals), h5.I16); err != nil {
+			return false
+		}
+		back := make([]byte, len(vals)*2)
+		if err := h5.Convert(back, h5.I16, wide, h5.I64); err != nil {
+			return false
+		}
+		got := h5.View[int16](back)
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadAsWriteAsThroughVOL(t *testing.T) {
+	fapl := h5.NewFileAccessProps(core.NewMetadataVOL(nil))
+	f, _ := h5.CreateFile("conv.h5", fapl)
+	ds, _ := f.CreateDataset("d", h5.U32, h5.NewSimple(4))
+	// Write float64 values into the uint32 dataset.
+	if err := ds.WriteAs(h5.F64, nil, h5.Bytes([]float64{1.7, 2, 3.2, 4})); err != nil {
+		t.Fatal(err)
+	}
+	// Read back natively: truncated to integers.
+	nat := make([]uint32, 4)
+	ds.Read(nil, nil, h5.Bytes(nat))
+	if nat[0] != 1 || nat[2] != 3 {
+		t.Errorf("native %v", nat)
+	}
+	// Read as int64.
+	wide := make([]int64, 4)
+	if err := ds.ReadAs(h5.I64, nil, h5.Bytes(wide)); err != nil {
+		t.Fatal(err)
+	}
+	if wide[3] != 4 {
+		t.Errorf("wide %v", wide)
+	}
+	// Sub-selection read with conversion.
+	sel := h5.NewSimple(4)
+	sel.SelectHyperslab(h5.SelectSet, []int64{1}, []int64{2})
+	part := make([]float32, 2)
+	if err := ds.ReadAs(h5.F32, sel, h5.Bytes(part)); err != nil {
+		t.Fatal(err)
+	}
+	if part[0] != 2 || part[1] != 3 {
+		t.Errorf("part %v", part)
+	}
+	// Unsupported conversions error cleanly.
+	if err := ds.ReadAs(h5.NewString(4), nil, make([]byte, 16)); err == nil {
+		t.Error("string read should fail")
+	}
+	if err := ds.WriteAs(h5.NewOpaque(2), nil, make([]byte, 8)); err == nil {
+		t.Error("opaque write should fail")
+	}
+	// Same-type fast paths.
+	same := make([]uint32, 4)
+	if err := ds.ReadAs(h5.U32, nil, h5.Bytes(same)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.WriteAs(h5.U32, nil, h5.Bytes(same)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvertCompoundFieldSubset(t *testing.T) {
+	// A particle record on "disk"...
+	full, err := h5.NewCompound(24,
+		h5.Field{Name: "x", Offset: 0, Type: h5.F32},
+		h5.Field{Name: "y", Offset: 4, Type: h5.F32},
+		h5.Field{Name: "z", Offset: 8, Type: h5.F32},
+		h5.Field{Name: "id", Offset: 16, Type: h5.U64},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...and a memory record wanting only id (widened) and x (as float64).
+	sub, err := h5.NewCompound(16,
+		h5.Field{Name: "id", Offset: 0, Type: h5.U32},
+		h5.Field{Name: "x", Offset: 8, Type: h5.F64},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h5.Convertible(sub, full) {
+		t.Fatal("subset extraction should be convertible")
+	}
+	src := make([]byte, 2*24)
+	for i := 0; i < 2; i++ {
+		rec := src[i*24:]
+		copy(rec[0:], h5.Bytes([]float32{float32(i) + 0.5, 0, 0}))
+		copy(rec[16:], h5.Bytes([]uint64{uint64(100 + i)}))
+	}
+	dst := make([]byte, 2*16)
+	if err := h5.Convert(dst, sub, src, full); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		rec := dst[i*16:]
+		if id := h5.View[uint32](rec[0:4])[0]; id != uint32(100+i) {
+			t.Errorf("record %d id=%d", i, id)
+		}
+		if x := h5.View[float64](rec[8:16])[0]; x != float64(i)+0.5 {
+			t.Errorf("record %d x=%v", i, x)
+		}
+	}
+	// Destination fields missing from the source are not convertible.
+	bad, _ := h5.NewCompound(8, h5.Field{Name: "vx", Offset: 0, Type: h5.F64})
+	if h5.Convertible(bad, full) {
+		t.Error("missing field should not be convertible")
+	}
+}
+
+func TestReadAsCompoundSubsetThroughVOL(t *testing.T) {
+	full, _ := h5.NewCompound(12,
+		h5.Field{Name: "a", Offset: 0, Type: h5.U32},
+		h5.Field{Name: "b", Offset: 4, Type: h5.F64},
+	)
+	fapl := h5.NewFileAccessProps(core.NewMetadataVOL(nil))
+	f, _ := h5.CreateFile("sub.h5", fapl)
+	ds, _ := f.CreateDataset("recs", full, h5.NewSimple(3))
+	src := make([]byte, 3*12)
+	for i := 0; i < 3; i++ {
+		copy(src[i*12:], h5.Bytes([]uint32{uint32(i)}))
+		copy(src[i*12+4:], h5.Bytes([]float64{float64(i) * 1.5}))
+	}
+	ds.Write(nil, nil, src)
+	bOnly, _ := h5.NewCompound(8, h5.Field{Name: "b", Offset: 0, Type: h5.F64})
+	out := make([]byte, 3*8)
+	if err := ds.ReadAs(bOnly, nil, out); err != nil {
+		t.Fatal(err)
+	}
+	bs := h5.View[float64](out)
+	for i := range bs {
+		if bs[i] != float64(i)*1.5 {
+			t.Errorf("b[%d]=%v", i, bs[i])
+		}
+	}
+}

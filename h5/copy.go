@@ -1,0 +1,94 @@
+package h5
+
+import "fmt"
+
+// runCursor walks a selection's runs, allowing chunked co-iteration of two
+// selections with different run structure.
+type runCursor struct {
+	runs [][2]int64
+	i    int
+	pos  int64 // progress within runs[i]
+}
+
+func (c *runCursor) next(maxLen int64) (offset, n int64, ok bool) {
+	for c.i < len(c.runs) && c.runs[c.i][1] == 0 {
+		c.i++
+	}
+	if c.i >= len(c.runs) {
+		return 0, 0, false
+	}
+	r := c.runs[c.i]
+	offset = r[0] + c.pos
+	n = r[1] - c.pos
+	if n > maxLen {
+		n = maxLen
+	}
+	c.pos += n
+	if c.pos == r[1] {
+		c.i++
+		c.pos = 0
+	}
+	return offset, n, true
+}
+
+// CopySelected copies the elements selected in srcSpace (read from src,
+// which holds the full extent of srcSpace row-major) to the elements
+// selected in dstSpace (written into dst, holding the full extent of
+// dstSpace row-major). The two selections must contain the same number of
+// elements; they are paired in selection order. This is the engine behind
+// HDF5's mem-space/file-space transfers.
+func CopySelected(dst []byte, dstSpace *Dataspace, src []byte, srcSpace *Dataspace, elemSize int) error {
+	sn, dn := srcSpace.NumSelected(), dstSpace.NumSelected()
+	if sn != dn {
+		return fmt.Errorf("h5: selection size mismatch: src %d vs dst %d elements", sn, dn)
+	}
+	if need := srcSpace.NumPoints() * int64(elemSize); int64(len(src)) < need {
+		return fmt.Errorf("h5: source buffer %d bytes, extent needs %d", len(src), need)
+	}
+	if need := dstSpace.NumPoints() * int64(elemSize); int64(len(dst)) < need {
+		return fmt.Errorf("h5: destination buffer %d bytes, extent needs %d", len(dst), need)
+	}
+	es := int64(elemSize)
+	sc := &runCursor{runs: srcSpace.runs()}
+	dc := &runCursor{runs: dstSpace.runs()}
+	for {
+		so, n, ok := sc.next(1 << 62)
+		if !ok {
+			return nil
+		}
+		for n > 0 {
+			do, m, ok := dc.next(n)
+			if !ok {
+				return fmt.Errorf("h5: destination selection exhausted early")
+			}
+			copy(dst[do*es:(do+m)*es], src[so*es:(so+m)*es])
+			so += m
+			n -= m
+		}
+	}
+}
+
+// GatherSelected appends the selected elements of space, read from buf
+// (full extent, row-major), to out in selection order and returns the
+// extended slice.
+func GatherSelected(out []byte, buf []byte, space *Dataspace, elemSize int) []byte {
+	es := int64(elemSize)
+	for _, r := range space.runs() {
+		out = append(out, buf[r[0]*es:(r[0]+r[1])*es]...)
+	}
+	return out
+}
+
+// ScatterSelected writes packed (selection-order) data into the selected
+// elements of space within buf (full extent, row-major). It returns the
+// number of bytes consumed from data.
+func ScatterSelected(buf []byte, space *Dataspace, data []byte, elemSize int) int64 {
+	es := int64(elemSize)
+	pos := int64(0)
+	for _, r := range space.runs() {
+		n := r[1] * es
+		copy(buf[r[0]*es:r[0]*es+n], data[pos:pos+n])
+		pos += n
+	}
+	return pos
+}

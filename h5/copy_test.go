@@ -1,0 +1,140 @@
+package h5
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBytesViewRoundTrip(t *testing.T) {
+	u := []uint64{1, 2, 3, 1 << 40}
+	b := Bytes(u)
+	if len(b) != 32 {
+		t.Fatalf("len=%d", len(b))
+	}
+	v := View[uint64](b)
+	for i := range u {
+		if v[i] != u[i] {
+			t.Errorf("v[%d]=%d", i, v[i])
+		}
+	}
+	// The view aliases: mutating b changes u.
+	v[0] = 99
+	if u[0] != 99 {
+		t.Error("view should alias the original slice")
+	}
+	f := []float32{1.5, -2.25}
+	if got := View[float32](Bytes(f)); got[1] != -2.25 {
+		t.Errorf("float roundtrip got %v", got)
+	}
+}
+
+func TestViewBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on misaligned length")
+		}
+	}()
+	View[uint64](make([]byte, 7))
+}
+
+func TestGatherScatterSelected(t *testing.T) {
+	s := NewSimple(4, 4)
+	s.SelectHyperslab(SelectSet, []int64{1, 1}, []int64{2, 2})
+	buf := make([]byte, 16)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	packed := GatherSelected(nil, buf, s, 1)
+	if !bytes.Equal(packed, []byte{5, 6, 9, 10}) {
+		t.Errorf("gathered %v", packed)
+	}
+	out := make([]byte, 16)
+	n := ScatterSelected(out, s, packed, 1)
+	if n != 4 {
+		t.Errorf("consumed %d", n)
+	}
+	for _, i := range []int{5, 6, 9, 10} {
+		if out[i] != byte(i) {
+			t.Errorf("out[%d]=%d", i, out[i])
+		}
+	}
+}
+
+func TestCopySelectedReshape(t *testing.T) {
+	// Copy a 2x3 block out of an 8x8 source into a 3x2 block of a 6x6
+	// destination: different run structures must pair correctly.
+	src := NewSimple(8, 8)
+	src.SelectHyperslab(SelectSet, []int64{1, 2}, []int64{2, 3})
+	dst := NewSimple(6, 6)
+	dst.SelectHyperslab(SelectSet, []int64{0, 0}, []int64{3, 2})
+	sbuf := make([]byte, 64)
+	for i := range sbuf {
+		sbuf[i] = byte(i)
+	}
+	dbuf := make([]byte, 36)
+	if err := CopySelected(dbuf, dst, sbuf, src, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Source selection order: 10,11,12, 18,19,20. Destination slots: 0,1, 6,7, 12,13.
+	want := map[int]byte{0: 10, 1: 11, 6: 12, 7: 18, 12: 19, 13: 20}
+	for slot, v := range want {
+		if dbuf[slot] != v {
+			t.Errorf("dbuf[%d]=%d want %d", slot, dbuf[slot], v)
+		}
+	}
+}
+
+func TestCopySelectedSizeMismatch(t *testing.T) {
+	a := NewSimple(4)
+	b := NewSimple(4)
+	b.SelectHyperslab(SelectSet, []int64{0}, []int64{2})
+	if err := CopySelected(make([]byte, 4), a, make([]byte, 4), b, 1); err == nil {
+		t.Error("selection size mismatch should fail")
+	}
+}
+
+func TestCopySelectedShortBuffers(t *testing.T) {
+	a := NewSimple(8)
+	if err := CopySelected(make([]byte, 8), a, make([]byte, 4), a, 1); err == nil {
+		t.Error("short source should fail")
+	}
+	if err := CopySelected(make([]byte, 4), a, make([]byte, 8), a, 1); err == nil {
+		t.Error("short destination should fail")
+	}
+}
+
+func TestCopySelectedPropertyRoundTrip(t *testing.T) {
+	// Property: gather(src selection) then scatter via an equal-size 1-d
+	// destination and back reproduces the selected bytes.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dims := []int64{1 + r.Int63n(10), 1 + r.Int63n(10)}
+		s := NewSimple(dims...)
+		start := []int64{r.Int63n(dims[0]), r.Int63n(dims[1])}
+		count := []int64{1 + r.Int63n(dims[0]-start[0]), 1 + r.Int63n(dims[1]-start[1])}
+		if err := s.SelectHyperslab(SelectSet, start, count); err != nil {
+			return false
+		}
+		elem := 1 + r.Intn(4)
+		src := make([]byte, s.NumPoints()*int64(elem))
+		r.Read(src)
+		n := s.NumSelected()
+		flat := NewSimple(n)
+		mid := make([]byte, n*int64(elem))
+		if err := CopySelected(mid, flat, src, s, elem); err != nil {
+			return false
+		}
+		back := make([]byte, len(src))
+		if err := CopySelected(back, s, mid, flat, elem); err != nil {
+			return false
+		}
+		want := GatherSelected(nil, src, s, elem)
+		got := GatherSelected(nil, back, s, elem)
+		return bytes.Equal(want, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,217 @@
+package h5
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Class identifies the family of a Datatype, mirroring H5T classes.
+type Class uint8
+
+const (
+	// ClassInteger is a fixed-width integer type.
+	ClassInteger Class = iota
+	// ClassFloat is an IEEE-754 floating-point type.
+	ClassFloat
+	// ClassString is a fixed-length byte string.
+	ClassString
+	// ClassCompound is a struct of named, typed fields at fixed offsets.
+	ClassCompound
+	// ClassArray is a fixed-shape array of an element type.
+	ClassArray
+	// ClassOpaque is an uninterpreted fixed-size blob.
+	ClassOpaque
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassInteger:
+		return "integer"
+	case ClassFloat:
+		return "float"
+	case ClassString:
+		return "string"
+	case ClassCompound:
+		return "compound"
+	case ClassArray:
+		return "array"
+	case ClassOpaque:
+		return "opaque"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Field is one member of a compound datatype.
+type Field struct {
+	Name   string
+	Offset int
+	Type   *Datatype
+}
+
+// Datatype describes the in-memory representation of one dataset element,
+// mirroring the HDF5 datatype model. Datatypes are immutable once built;
+// treat the exported fields as read-only.
+type Datatype struct {
+	Class  Class
+	Size   int  // total bytes per element
+	Signed bool // integers only
+
+	Fields []Field // compound only
+
+	Elem *Datatype // array only
+	Dims []int64   // array only
+}
+
+// Predefined datatypes, matching HDF5's native types.
+var (
+	I8  = &Datatype{Class: ClassInteger, Size: 1, Signed: true}
+	I16 = &Datatype{Class: ClassInteger, Size: 2, Signed: true}
+	I32 = &Datatype{Class: ClassInteger, Size: 4, Signed: true}
+	I64 = &Datatype{Class: ClassInteger, Size: 8, Signed: true}
+	U8  = &Datatype{Class: ClassInteger, Size: 1}
+	U16 = &Datatype{Class: ClassInteger, Size: 2}
+	U32 = &Datatype{Class: ClassInteger, Size: 4}
+	U64 = &Datatype{Class: ClassInteger, Size: 8}
+	F32 = &Datatype{Class: ClassFloat, Size: 4}
+	F64 = &Datatype{Class: ClassFloat, Size: 8}
+)
+
+// NewString returns a fixed-length string type of n bytes.
+func NewString(n int) *Datatype {
+	if n <= 0 {
+		panic("h5: string datatype must have positive size")
+	}
+	return &Datatype{Class: ClassString, Size: n}
+}
+
+// NewOpaque returns an uninterpreted fixed-size type of n bytes.
+func NewOpaque(n int) *Datatype {
+	if n <= 0 {
+		panic("h5: opaque datatype must have positive size")
+	}
+	return &Datatype{Class: ClassOpaque, Size: n}
+}
+
+// NewCompound builds a compound type of the given total size. Field offsets
+// must fit within the size and not overlap is not enforced (HDF5 allows
+// padding and even overlap); offsets+field sizes must stay in bounds.
+func NewCompound(size int, fields ...Field) (*Datatype, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("h5: compound size must be positive, got %d", size)
+	}
+	seen := map[string]bool{}
+	for _, f := range fields {
+		if f.Name == "" {
+			return nil, fmt.Errorf("h5: compound field with empty name")
+		}
+		if seen[f.Name] {
+			return nil, fmt.Errorf("h5: duplicate compound field %q", f.Name)
+		}
+		seen[f.Name] = true
+		if f.Type == nil {
+			return nil, fmt.Errorf("h5: compound field %q has nil type", f.Name)
+		}
+		if f.Offset < 0 || f.Offset+f.Type.Size > size {
+			return nil, fmt.Errorf("h5: compound field %q at [%d,%d) exceeds size %d",
+				f.Name, f.Offset, f.Offset+f.Type.Size, size)
+		}
+	}
+	return &Datatype{Class: ClassCompound, Size: size, Fields: append([]Field(nil), fields...)}, nil
+}
+
+// NewArray builds a fixed-shape array type.
+func NewArray(elem *Datatype, dims ...int64) (*Datatype, error) {
+	if elem == nil {
+		return nil, fmt.Errorf("h5: array element type is nil")
+	}
+	n := int64(1)
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("h5: array dimension %d must be positive", d)
+		}
+		n *= d
+	}
+	return &Datatype{Class: ClassArray, Size: int(n) * elem.Size, Elem: elem, Dims: append([]int64(nil), dims...)}, nil
+}
+
+// FieldByName returns the compound field with the given name.
+func (t *Datatype) FieldByName(name string) (Field, bool) {
+	for _, f := range t.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Field{}, false
+}
+
+// Equal reports structural equality of two datatypes.
+func (t *Datatype) Equal(o *Datatype) bool {
+	if t == o {
+		return true
+	}
+	if t == nil || o == nil {
+		return false
+	}
+	if t.Class != o.Class || t.Size != o.Size || t.Signed != o.Signed {
+		return false
+	}
+	if len(t.Fields) != len(o.Fields) {
+		return false
+	}
+	for i := range t.Fields {
+		a, b := t.Fields[i], o.Fields[i]
+		if a.Name != b.Name || a.Offset != b.Offset || !a.Type.Equal(b.Type) {
+			return false
+		}
+	}
+	if (t.Elem == nil) != (o.Elem == nil) {
+		return false
+	}
+	if t.Elem != nil && !t.Elem.Equal(o.Elem) {
+		return false
+	}
+	if len(t.Dims) != len(o.Dims) {
+		return false
+	}
+	for i := range t.Dims {
+		if t.Dims[i] != o.Dims[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact human-readable description.
+func (t *Datatype) String() string {
+	switch t.Class {
+	case ClassInteger:
+		s := "uint"
+		if t.Signed {
+			s = "int"
+		}
+		return fmt.Sprintf("%s%d", s, t.Size*8)
+	case ClassFloat:
+		return fmt.Sprintf("float%d", t.Size*8)
+	case ClassString:
+		return fmt.Sprintf("string[%d]", t.Size)
+	case ClassOpaque:
+		return fmt.Sprintf("opaque[%d]", t.Size)
+	case ClassArray:
+		return fmt.Sprintf("%v array of %s", t.Dims, t.Elem)
+	case ClassCompound:
+		var b strings.Builder
+		b.WriteString("compound{")
+		for i, f := range t.Fields {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s:%s@%d", f.Name, f.Type, f.Offset)
+		}
+		fmt.Fprintf(&b, "}[%d]", t.Size)
+		return b.String()
+	default:
+		return fmt.Sprintf("datatype(class=%d,size=%d)", t.Class, t.Size)
+	}
+}

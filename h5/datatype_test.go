@@ -1,0 +1,134 @@
+package h5
+
+import "testing"
+
+func TestPredefinedSizes(t *testing.T) {
+	cases := []struct {
+		dt   *Datatype
+		size int
+		sign bool
+	}{
+		{I8, 1, true}, {I16, 2, true}, {I32, 4, true}, {I64, 8, true},
+		{U8, 1, false}, {U16, 2, false}, {U32, 4, false}, {U64, 8, false},
+		{F32, 4, false}, {F64, 8, false},
+	}
+	for _, c := range cases {
+		if c.dt.Size != c.size || c.dt.Signed != c.sign {
+			t.Errorf("%v: size=%d signed=%v", c.dt, c.dt.Size, c.dt.Signed)
+		}
+	}
+}
+
+func TestCompound(t *testing.T) {
+	// A particle: 3 float32 coordinates plus a uint64 id.
+	dt, err := NewCompound(24,
+		Field{Name: "x", Offset: 0, Type: F32},
+		Field{Name: "y", Offset: 4, Type: F32},
+		Field{Name: "z", Offset: 8, Type: F32},
+		Field{Name: "id", Offset: 16, Type: U64},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt.Size != 24 || dt.Class != ClassCompound {
+		t.Errorf("size=%d class=%v", dt.Size, dt.Class)
+	}
+	f, ok := dt.FieldByName("z")
+	if !ok || f.Offset != 8 || !f.Type.Equal(F32) {
+		t.Errorf("field z: %+v ok=%v", f, ok)
+	}
+	if _, ok := dt.FieldByName("w"); ok {
+		t.Error("field w should not exist")
+	}
+}
+
+func TestCompoundValidation(t *testing.T) {
+	if _, err := NewCompound(4, Field{Name: "big", Offset: 0, Type: U64}); err == nil {
+		t.Error("field exceeding size should fail")
+	}
+	if _, err := NewCompound(16,
+		Field{Name: "a", Offset: 0, Type: U32},
+		Field{Name: "a", Offset: 4, Type: U32}); err == nil {
+		t.Error("duplicate field should fail")
+	}
+	if _, err := NewCompound(8, Field{Name: "", Offset: 0, Type: U32}); err == nil {
+		t.Error("empty field name should fail")
+	}
+	if _, err := NewCompound(0); err == nil {
+		t.Error("zero size should fail")
+	}
+}
+
+func TestArrayType(t *testing.T) {
+	dt, err := NewArray(F32, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt.Size != 12 {
+		t.Errorf("size=%d", dt.Size)
+	}
+	if _, err := NewArray(F32, 0); err == nil {
+		t.Error("zero dim should fail")
+	}
+	if _, err := NewArray(nil, 3); err == nil {
+		t.Error("nil elem should fail")
+	}
+}
+
+func TestDatatypeEqual(t *testing.T) {
+	p1, _ := NewCompound(12, Field{Name: "x", Offset: 0, Type: F32}, Field{Name: "y", Offset: 4, Type: F64})
+	p2, _ := NewCompound(12, Field{Name: "x", Offset: 0, Type: F32}, Field{Name: "y", Offset: 4, Type: F64})
+	p3, _ := NewCompound(12, Field{Name: "x", Offset: 0, Type: F32}, Field{Name: "y", Offset: 4, Type: F32})
+	if !p1.Equal(p2) {
+		t.Error("identical compounds should be equal")
+	}
+	if p1.Equal(p3) {
+		t.Error("different field types should differ")
+	}
+	if U64.Equal(I64) {
+		t.Error("signedness should matter")
+	}
+	if U64.Equal(U32) {
+		t.Error("size should matter")
+	}
+	a1, _ := NewArray(F32, 3)
+	a2, _ := NewArray(F32, 4)
+	if a1.Equal(a2) {
+		t.Error("array dims should matter")
+	}
+}
+
+func TestDatatypeString(t *testing.T) {
+	if U64.String() != "uint64" || I32.String() != "int32" || F32.String() != "float32" {
+		t.Errorf("%v %v %v", U64, I32, F32)
+	}
+	if NewString(16).String() != "string[16]" {
+		t.Errorf("%v", NewString(16))
+	}
+}
+
+func TestDatatypeSerialRoundTrip(t *testing.T) {
+	arr, _ := NewArray(F32, 3)
+	comp, _ := NewCompound(20,
+		Field{Name: "pos", Offset: 0, Type: arr},
+		Field{Name: "id", Offset: 12, Type: U64},
+	)
+	for _, dt := range []*Datatype{U8, I64, F64, NewString(7), NewOpaque(13), arr, comp} {
+		got, err := UnmarshalDatatype(MarshalDatatype(dt))
+		if err != nil {
+			t.Fatalf("%v: %v", dt, err)
+		}
+		if !got.Equal(dt) {
+			t.Errorf("roundtrip %v -> %v", dt, got)
+		}
+	}
+}
+
+func TestDatatypeDecodeTruncated(t *testing.T) {
+	b := MarshalDatatype(U64)
+	for n := 0; n < len(b); n++ {
+		if _, err := UnmarshalDatatype(b[:n]); err == nil {
+			t.Errorf("truncation at %d bytes should fail", n)
+		}
+	}
+}

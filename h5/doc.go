@@ -1,0 +1,22 @@
+// Package h5 implements an HDF5-like hierarchical data model and I/O API
+// with a Virtual Object Layer (VOL): files, groups, datasets and attributes;
+// rich datatypes (fixed-width integers and floats, strings, compounds,
+// arrays); and N-dimensional dataspaces with hyperslab and point selections.
+//
+// Every API call is dispatched through a VOL Connector chosen per file via
+// FileAccessProps, exactly like HDF5 1.12's VOL plugin mechanism. This is
+// the property LowFive exploits: application code written against this
+// package is oblivious to whether a "file" is stored in a container file on
+// a (simulated) parallel file system, kept as an in-memory metadata
+// hierarchy, or served over MPI to the processes of another task. Swapping
+// the connector in the file-access property list — or setting none and using
+// a default — changes the transport with zero changes to user code.
+//
+// Differences from real HDF5, chosen deliberately for a clean Go library:
+// buffers are byte slices with typed views provided by generics helpers;
+// errors are returned, not stacked; and the selection iteration order for
+// multi-block hyperslab selections is "blocks in lexicographic order of
+// their start coordinate, row-major within each block", which coincides
+// with HDF5's order for the single-block selections used throughout the
+// paper's workloads.
+package h5

@@ -1,0 +1,68 @@
+package h5_test
+
+import (
+	"fmt"
+
+	"lowfive/h5"
+	"lowfive/internal/core"
+)
+
+// ExampleDataspace_SelectHyperslab shows the hyperslab algebra: selections
+// combine with OR and deduplicate overlaps.
+func ExampleDataspace_SelectHyperslab() {
+	s := h5.NewSimple(8, 8)
+	s.SelectHyperslab(h5.SelectSet, []int64{0, 0}, []int64{4, 4})
+	s.SelectHyperslab(h5.SelectOr, []int64{2, 2}, []int64{4, 4})
+	fmt.Println(s.NumSelected(), "elements selected")
+	fmt.Println("bounds:", s.Bounds())
+	// Output:
+	// 28 elements selected
+	// bounds: [0..5 0..5]
+}
+
+// ExampleConvert converts between numeric datatypes with clamping, the
+// H5T soft-conversion behaviour.
+func ExampleConvert() {
+	src := []int32{-1000, 5, 300}
+	dst := make([]byte, 3)
+	_ = h5.Convert(dst, h5.I8, h5.Bytes(src), h5.I32)
+	fmt.Println(h5.View[int8](dst))
+	// Output:
+	// [-128 5 127]
+}
+
+// ExampleCreateFile is the minimal single-process h5 round trip through the
+// in-memory metadata VOL.
+func ExampleCreateFile() {
+	fapl := h5.NewFileAccessProps(core.NewMetadataVOL(nil))
+	f, _ := h5.CreateFile("demo.h5", fapl)
+	ds, _ := f.CreateDataset("values", h5.F64, h5.NewSimple(3))
+	_ = ds.Write(nil, nil, h5.Bytes([]float64{1, 2, 3}))
+	_ = f.Close()
+
+	f2, _ := h5.OpenFile("demo.h5", fapl)
+	ds2, _ := f2.OpenDataset("values")
+	out := make([]float64, 3)
+	_ = ds2.Read(nil, nil, h5.Bytes(out))
+	fmt.Println(out)
+	// Output:
+	// [1 2 3]
+}
+
+// ExampleDataset_Extend grows an unlimited dataset, H5Dset_extent style.
+func ExampleDataset_Extend() {
+	fapl := h5.NewFileAccessProps(core.NewMetadataVOL(nil))
+	f, _ := h5.CreateFile("log.h5", fapl)
+	space, _ := h5.NewSimpleMax([]int64{2}, []int64{h5.Unlimited})
+	ds, _ := f.CreateDataset("events", h5.I64, space)
+	_ = ds.Write(nil, nil, h5.Bytes([]int64{1, 2}))
+	_ = ds.Extend(4)
+	tail := h5.NewSimple(4)
+	_ = tail.SelectHyperslab(h5.SelectSet, []int64{2}, []int64{2})
+	_ = ds.Write(nil, tail, h5.Bytes([]int64{3, 4}))
+	out := make([]int64, 4)
+	_ = ds.Read(nil, nil, h5.Bytes(out))
+	fmt.Println(out)
+	// Output:
+	// [1 2 3 4]
+}

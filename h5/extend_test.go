@@ -1,0 +1,149 @@
+package h5_test
+
+import (
+	"testing"
+
+	"lowfive/h5"
+	"lowfive/internal/core"
+	"lowfive/internal/native"
+	"lowfive/internal/pfs"
+)
+
+func TestNewSimpleMaxValidation(t *testing.T) {
+	if _, err := h5.NewSimpleMax([]int64{4}, []int64{4, 4}); err == nil {
+		t.Error("rank mismatch should fail")
+	}
+	if _, err := h5.NewSimpleMax([]int64{4}, []int64{2}); err == nil {
+		t.Error("max below current should fail")
+	}
+	sp, err := h5.NewSimpleMax([]int64{4}, []int64{h5.Unlimited})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sp.Extendable() {
+		t.Error("unlimited dataspace should be extendable")
+	}
+	if h5.NewSimple(4).Extendable() {
+		t.Error("fixed dataspace should not be extendable")
+	}
+	md := sp.MaxDims()
+	if md[0] != h5.Unlimited {
+		t.Errorf("max dims %v", md)
+	}
+	if fixed := h5.NewSimple(3).MaxDims(); fixed[0] != 3 {
+		t.Errorf("fixed max dims %v", fixed)
+	}
+}
+
+func TestDataspaceSetExtent(t *testing.T) {
+	sp, _ := h5.NewSimpleMax([]int64{2, 4}, []int64{8, 4})
+	if err := sp.SetExtent([]int64{6, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if d := sp.Dims(); d[0] != 6 {
+		t.Errorf("dims %v", d)
+	}
+	if err := sp.SetExtent([]int64{9, 4}); err == nil {
+		t.Error("exceeding max should fail")
+	}
+	if err := sp.SetExtent([]int64{6}); err == nil {
+		t.Error("rank mismatch should fail")
+	}
+	if err := sp.SetExtent([]int64{0, 4}); err == nil {
+		t.Error("non-positive extent should fail")
+	}
+	// Fixed dataspaces cannot grow (but can "set" to the same extent).
+	fixed := h5.NewSimple(4)
+	if err := fixed.SetExtent([]int64{4}); err != nil {
+		t.Error(err)
+	}
+	if err := fixed.SetExtent([]int64{5}); err == nil {
+		t.Error("growing a fixed dataspace should fail")
+	}
+	// Shrinking is allowed (H5Dset_extent semantics).
+	if err := sp.SetExtent([]int64{2, 4}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExtendThroughMetadataVOL(t *testing.T) {
+	fapl := h5.NewFileAccessProps(core.NewMetadataVOL(nil))
+	f, _ := h5.CreateFile("ext.h5", fapl)
+	sp, _ := h5.NewSimpleMax([]int64{4}, []int64{h5.Unlimited})
+	ds, err := f.CreateDataset("log", h5.I64, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Write(nil, nil, h5.Bytes([]int64{1, 2, 3, 4}))
+	if err := ds.Extend(8); err != nil {
+		t.Fatal(err)
+	}
+	if d := ds.Dataspace().Dims(); d[0] != 8 {
+		t.Fatalf("dims after extend %v", d)
+	}
+	sel := h5.NewSimple(8)
+	sel.SelectHyperslab(h5.SelectSet, []int64{4}, []int64{4})
+	ds.Write(nil, sel, h5.Bytes([]int64{5, 6, 7, 8}))
+	out := make([]int64, 8)
+	if err := ds.Read(nil, nil, h5.Bytes(out)); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != int64(i)+1 {
+			t.Errorf("out[%d]=%d", i, v)
+		}
+	}
+}
+
+func TestExtendThroughNativeVOL(t *testing.T) {
+	conn := native.New(native.PFSBackend(pfs.NewZeroCost()))
+	fapl := h5.NewFileAccessProps(conn)
+	f, _ := h5.CreateFile("extn.h5", fapl)
+	// Native requires bounded max dims.
+	unb, _ := h5.NewSimpleMax([]int64{2}, []int64{h5.Unlimited})
+	if _, err := f.CreateDataset("bad", h5.U8, unb); err == nil {
+		t.Error("unlimited dims should be rejected by the contiguous layout")
+	}
+	sp, _ := h5.NewSimpleMax([]int64{2, 3}, []int64{4, 3})
+	ds, err := f.CreateDataset("grow", h5.U8, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Write(nil, nil, []byte{1, 2, 3, 4, 5, 6})
+	if err := ds.Extend(4, 3); err != nil {
+		t.Fatal(err)
+	}
+	sel := h5.NewSimple(4, 3)
+	sel.SelectHyperslab(h5.SelectSet, []int64{2, 0}, []int64{2, 3})
+	ds.Write(nil, sel, []byte{7, 8, 9, 10, 11, 12})
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Everything written before and after the extension reads back.
+	f2, _ := h5.OpenFile("extn.h5", fapl)
+	ds2, _ := f2.OpenDataset("grow")
+	if d := ds2.Dataspace().Dims(); d[0] != 4 {
+		t.Fatalf("persisted dims %v", d)
+	}
+	out := make([]byte, 12)
+	if err := ds2.Read(nil, nil, out); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != byte(i)+1 {
+			t.Errorf("out[%d]=%d", i, v)
+		}
+	}
+}
+
+func TestMaxDimsSerialRoundTrip(t *testing.T) {
+	sp, _ := h5.NewSimpleMax([]int64{2, 3}, []int64{h5.Unlimited, 6})
+	got, err := h5.UnmarshalDataspace(h5.MarshalDataspace(sp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := got.MaxDims()
+	if md[0] != h5.Unlimited || md[1] != 6 {
+		t.Errorf("max dims %v", md)
+	}
+}

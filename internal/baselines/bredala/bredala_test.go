@@ -1,0 +1,157 @@
+package bredala
+
+import (
+	"testing"
+
+	"lowfive/h5"
+	"lowfive/internal/grid"
+	"lowfive/mpi"
+)
+
+func TestContainerFields(t *testing.T) {
+	c := &Container{}
+	c.Append(&Field{Name: "grid", Policy: SplitBBox})
+	c.Append(&Field{Name: "particles", Policy: SplitContiguous})
+	if f, ok := c.Field("particles"); !ok || f.Policy != SplitContiguous {
+		t.Error("field lookup failed")
+	}
+	if _, ok := c.Field("nope"); ok {
+		t.Error("missing field should not be found")
+	}
+}
+
+func TestRedistributeContiguous(t *testing.T) {
+	// 3 producers with 4 items each -> 2 consumers with 6 each, order kept.
+	const perProd, nProd, nCons = 4, 3, 2
+	N := int64(perProd * nProd)
+	err := mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "prod", Procs: nProd, Main: func(p *mpi.Proc) {
+			r := int64(p.Task.Rank())
+			vals := make([]uint64, perProd)
+			for i := range vals {
+				vals[i] = uint64(r*perProd + int64(i))
+			}
+			f := &Field{
+				Name: "list", Policy: SplitContiguous, ElemSize: 8,
+				Data: h5.Bytes(vals), GlobalOffset: r * perProd, GlobalCount: N,
+			}
+			if _, err := RedistributeContiguous(p.Intercomm("cons"), true, f, 8); err != nil {
+				t.Error(err)
+			}
+		}},
+		{Name: "cons", Procs: nCons, Main: func(p *mpi.Proc) {
+			out, err := RedistributeContiguous(p.Intercomm("prod"), false, nil, 8)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			r := int64(p.Task.Rank())
+			wantLo := r * N / nCons
+			wantN := (r+1)*N/nCons - wantLo
+			if out.GlobalOffset != wantLo || out.GlobalCount != wantN {
+				t.Errorf("rank %d: got [%d,+%d) want [%d,+%d)",
+					r, out.GlobalOffset, out.GlobalCount, wantLo, wantN)
+				return
+			}
+			vals := h5.View[uint64](out.Data)
+			for i := range vals {
+				if vals[i] != uint64(wantLo+int64(i)) {
+					t.Errorf("rank %d: item %d = %d", r, i, vals[i])
+					return
+				}
+			}
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRedistributeBBox(t *testing.T) {
+	dims := []int64{6, 6}
+	nProd, nCons := 2, 3
+	err := mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "prod", Procs: nProd, Main: func(p *mpi.Proc) {
+			r := int64(p.Task.Rank())
+			n := int64(nProd)
+			box := grid.Box{Min: []int64{r * dims[0] / n, 0}, Max: []int64{(r+1)*dims[0]/n - 1, dims[1] - 1}}
+			vals := make([]uint32, box.NumPoints())
+			i := 0
+			for x := box.Min[0]; x <= box.Max[0]; x++ {
+				for y := box.Min[1]; y <= box.Max[1]; y++ {
+					vals[i] = uint32(x*dims[1] + y)
+					i++
+				}
+			}
+			f := &Field{Name: "grid", Policy: SplitBBox, ElemSize: 4, Data: h5.Bytes(vals), Box: box, Dims: dims}
+			if _, err := RedistributeBBox(p.Intercomm("cons"), true, f, grid.Box{}, 4, dims); err != nil {
+				t.Error(err)
+			}
+		}},
+		{Name: "cons", Procs: nCons, Main: func(p *mpi.Proc) {
+			r := int64(p.Task.Rank())
+			m := int64(nCons)
+			box := grid.Box{Min: []int64{0, r * dims[1] / m}, Max: []int64{dims[0] - 1, (r+1)*dims[1]/m - 1}}
+			out, err := RedistributeBBox(p.Intercomm("prod"), false, nil, box, 4, dims)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			vals := h5.View[uint32](out.Data)
+			i := 0
+			for x := box.Min[0]; x <= box.Max[0]; x++ {
+				for y := box.Min[1]; y <= box.Max[1]; y++ {
+					if vals[i] != uint32(x*dims[1]+y) {
+						t.Errorf("rank %d: (%d,%d)=%d", r, x, y, vals[i])
+						return
+					}
+					i++
+				}
+			}
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContiguousUnevenSplit(t *testing.T) {
+	// 7 items over 2 producers -> 3 consumers; boundaries must not lose or
+	// duplicate items.
+	N := int64(7)
+	err := mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "prod", Procs: 2, Main: func(p *mpi.Proc) {
+			r := int64(p.Task.Rank())
+			lo := r * N / 2
+			hi := (r + 1) * N / 2
+			vals := make([]uint64, hi-lo)
+			for i := range vals {
+				vals[i] = uint64(lo + int64(i))
+			}
+			f := &Field{Policy: SplitContiguous, ElemSize: 8, Data: h5.Bytes(vals), GlobalOffset: lo, GlobalCount: N}
+			RedistributeContiguous(p.Intercomm("cons"), true, f, 8)
+		}},
+		{Name: "cons", Procs: 3, Main: func(p *mpi.Proc) {
+			out, err := RedistributeContiguous(p.Intercomm("prod"), false, nil, 8)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			r := int64(p.Task.Rank())
+			wantLo := r * N / 3
+			wantN := (r+1)*N/3 - wantLo
+			if out.GlobalCount != wantN {
+				t.Errorf("rank %d: count %d want %d", r, out.GlobalCount, wantN)
+			}
+			vals := h5.View[uint64](out.Data)
+			for i := range vals {
+				if vals[i] != uint64(wantLo+int64(i)) {
+					t.Errorf("rank %d: item %d=%d", r, i, vals[i])
+				}
+			}
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

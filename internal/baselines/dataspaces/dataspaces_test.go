@@ -1,0 +1,139 @@
+package dataspaces
+
+import (
+	"testing"
+
+	"lowfive/h5"
+	"lowfive/internal/grid"
+	"lowfive/mpi"
+)
+
+func TestPutLocalGetRoundTrip(t *testing.T) {
+	dims := []int64{8, 8}
+	nProd, nCons, nSrv := 3, 2, 1
+	err := mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "prod", Procs: nProd, Main: func(p *mpi.Proc) {
+			pr := NewProducer(p.Intercomm("srv"), p.Intercomm("cons"))
+			r := int64(p.Task.Rank())
+			n := int64(nProd)
+			box := grid.Box{Min: []int64{r * dims[0] / n, 0}, Max: []int64{(r+1)*dims[0]/n - 1, dims[1] - 1}}
+			vals := make([]uint64, box.NumPoints())
+			i := 0
+			for x := box.Min[0]; x <= box.Max[0]; x++ {
+				for y := box.Min[1]; y <= box.Max[1]; y++ {
+					vals[i] = uint64(x*dims[1] + y)
+					i++
+				}
+			}
+			if err := pr.PutLocal("grid", 0, box, h5.Bytes(vals), 8); err != nil {
+				t.Error(err)
+			}
+			pr.Finalize()
+		}},
+		{Name: "cons", Procs: nCons, Main: func(p *mpi.Proc) {
+			c := NewConsumer(p.Intercomm("srv"), p.Intercomm("prod"))
+			r := int64(p.Task.Rank())
+			m := int64(nCons)
+			box := grid.Box{Min: []int64{0, r * dims[1] / m}, Max: []int64{dims[0] - 1, (r+1)*dims[1]/m - 1}}
+			out, err := c.Get("grid", 0, box, 8)
+			if err != nil {
+				t.Error(err)
+				c.Finalize()
+				return
+			}
+			vals := h5.View[uint64](out)
+			i := 0
+			for x := box.Min[0]; x <= box.Max[0]; x++ {
+				for y := box.Min[1]; y <= box.Max[1]; y++ {
+					if vals[i] != uint64(x*dims[1]+y) {
+						t.Errorf("rank %d: (%d,%d)=%d", r, x, y, vals[i])
+						c.Finalize()
+						return
+					}
+					i++
+				}
+			}
+			c.Finalize()
+		}},
+		{Name: "srv", Procs: nSrv, Main: func(p *mpi.Proc) {
+			RunServer(p.Task, p.Intercomm("prod"), p.Intercomm("cons"))
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultipleVersions(t *testing.T) {
+	err := mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "prod", Procs: 1, Main: func(p *mpi.Proc) {
+			pr := NewProducer(p.Intercomm("srv"), p.Intercomm("cons"))
+			box := grid.NewBox([]int64{0}, []int64{4})
+			v0 := []uint64{1, 2, 3, 4}
+			v1 := []uint64{5, 6, 7, 8}
+			pr.PutLocal("x", 0, box, h5.Bytes(v0), 8)
+			pr.PutLocal("x", 1, box, h5.Bytes(v1), 8)
+			pr.Finalize()
+		}},
+		{Name: "cons", Procs: 1, Main: func(p *mpi.Proc) {
+			c := NewConsumer(p.Intercomm("srv"), p.Intercomm("prod"))
+			box := grid.NewBox([]int64{0}, []int64{4})
+			for v := 0; v < 2; v++ {
+				out, err := c.Get("x", v, box, 8)
+				if err != nil {
+					t.Error(err)
+					break
+				}
+				vals := h5.View[uint64](out)
+				if vals[0] != uint64(1+4*v) {
+					t.Errorf("version %d: %v", v, vals)
+				}
+			}
+			c.Finalize()
+		}},
+		{Name: "srv", Procs: 2, Main: func(p *mpi.Proc) {
+			RunServer(p.Task, p.Intercomm("prod"), p.Intercomm("cons"))
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutLocalValidatesBuffer(t *testing.T) {
+	err := mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "prod", Procs: 1, Main: func(p *mpi.Proc) {
+			pr := NewProducer(p.Intercomm("srv"), p.Intercomm("cons"))
+			if err := pr.PutLocal("bad", 0, grid.NewBox([]int64{0}, []int64{10}), make([]byte, 8), 8); err == nil {
+				t.Error("short buffer should fail")
+			}
+			pr.Finalize()
+		}},
+		{Name: "cons", Procs: 1, Main: func(p *mpi.Proc) {
+			c := NewConsumer(p.Intercomm("srv"), p.Intercomm("prod"))
+			c.Finalize()
+		}},
+		{Name: "srv", Procs: 1, Main: func(p *mpi.Proc) {
+			RunServer(p.Task, p.Intercomm("prod"), p.Intercomm("cons"))
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerSharding(t *testing.T) {
+	for _, n := range []int{1, 2, 7} {
+		seen := map[int]bool{}
+		for v := 0; v < 50; v++ {
+			s := serverFor("array", v, n)
+			if s < 0 || s >= n {
+				t.Fatalf("serverFor out of range: %d of %d", s, n)
+			}
+			seen[s] = true
+		}
+		if n > 1 && len(seen) < 2 {
+			t.Errorf("sharding over %d servers hit only %d", n, len(seen))
+		}
+	}
+}

@@ -1,0 +1,726 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"lowfive/h5"
+	"lowfive/internal/grid"
+	"lowfive/internal/rpc"
+	"lowfive/mpi"
+)
+
+// DistMetadataVOL is the top VOL class (§III-A-c): it extends the metadata
+// VOL with distributed producer/consumer data exchange over MPI
+// intercommunicators, implementing the index–serve–query redistribution of
+// §III-B (Algorithms 1–3).
+//
+// Roles are implicit, as in LowFive: a task that creates a file matching a
+// data intercomm pattern is a producer for it; closing that file builds the
+// distributed index and serves consumer queries until every consumer rank
+// has signaled done. A task that opens a file it does not hold locally, and
+// that matches a data intercomm pattern, is a consumer: the open fetches the
+// file's metadata from its partner producer rank, reads run Algorithm 3, and
+// the close sends done.
+type DistMetadataVOL struct {
+	*MetadataVOL
+
+	local *mpi.Comm
+
+	intercomms   []*mpi.Intercomm
+	dataPatterns []icPattern
+
+	// ServeOnClose makes a producer's file close trigger Serve
+	// automatically (the LowFive default). When false, the producer must
+	// call Serve explicitly — this is the paper's future-work knob for
+	// overlapping production with serving.
+	ServeOnClose bool
+
+	// serveMu serializes request handling when several intercommunicators
+	// are served concurrently (fan-out).
+	serveMu sync.Mutex
+
+	indexes map[string]map[string][]indexEntry // file -> dataset path -> entries
+
+	// parked holds consumer requests for files this producer does not have
+	// yet — e.g. a consumer racing ahead to the next timestep's file while
+	// we are still serving the current one. They are replayed at the start
+	// of each subsequent serve session.
+	parked map[*mpi.Intercomm][]parkedReq
+
+	// servers holds the per-intercommunicator receive loops that multiplex
+	// (possibly overlapping) serve sessions.
+	servers map[*mpi.Intercomm]*icServer
+
+	stats ServeStats
+}
+
+// ServeStats counts this rank's producer-side serve activity — the
+// finer-grain communication profiling the paper lists as future work.
+type ServeStats struct {
+	// MetadataRequests is the number of file-metadata requests answered.
+	MetadataRequests int64
+	// BoxQueries is the number of redirect (intersection) queries answered
+	// from the distributed index (Alg. 2 lines 4-8).
+	BoxQueries int64
+	// DataQueries is the number of data queries served (Alg. 2 lines 9-14).
+	DataQueries int64
+	// BytesServed is the total payload bytes of data responses.
+	BytesServed int64
+	// DoneMessages is the number of consumer done notifications received.
+	DoneMessages int64
+	// ParkedRequests counts requests deferred to a later serve session.
+	ParkedRequests int64
+}
+
+type parkedReq struct {
+	src int
+	req []byte
+}
+
+type icPattern struct {
+	pat  string
+	role Role
+	ics  []int // indices into intercomms
+}
+
+// Role restricts which operations a data intercommunicator registration
+// applies to — needed by pipeline tasks that both consume a pattern from an
+// upstream task and produce it for a downstream one.
+type Role uint8
+
+const (
+	// RoleBoth serves created files and opens missing ones (the default).
+	RoleBoth Role = iota
+	// RoleProduce only serves files this task creates.
+	RoleProduce
+	// RoleConsume only opens files from the remote task.
+	RoleConsume
+)
+
+type indexEntry struct {
+	box grid.Box
+	src int // producer rank that wrote the box
+}
+
+// NewDistMetadataVOL builds the distributed VOL for one rank of a task.
+// local is the task's communicator; base (optional) handles file passthru.
+func NewDistMetadataVOL(local *mpi.Comm, base h5.Connector) *DistMetadataVOL {
+	return &DistMetadataVOL{
+		MetadataVOL:  NewMetadataVOL(base),
+		local:        local,
+		ServeOnClose: true,
+		indexes:      map[string]map[string][]indexEntry{},
+		parked:       map[*mpi.Intercomm][]parkedReq{},
+	}
+}
+
+// ConnectorName implements h5.Connector.
+func (v *DistMetadataVOL) ConnectorName() string { return "lowfive-dist-metadata" }
+
+// SetIntercomm routes files matching the glob pattern over the given
+// intercommunicators in both roles: files this task creates are served to
+// the remote task (fan-out over all of them); files it opens are fetched
+// from the first.
+func (v *DistMetadataVOL) SetIntercomm(filePat string, ics ...*mpi.Intercomm) {
+	v.SetIntercommRole(filePat, RoleBoth, ics...)
+}
+
+// SetIntercommRole is the direction-aware registration used by pipeline
+// tasks that consume a pattern from an upstream task (RoleConsume) and
+// produce the same pattern for a downstream one (RoleProduce).
+func (v *DistMetadataVOL) SetIntercommRole(filePat string, role Role, ics ...*mpi.Intercomm) {
+	var idx []int
+	for _, ic := range ics {
+		found := -1
+		for i, have := range v.intercomms {
+			if have == ic {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			v.intercomms = append(v.intercomms, ic)
+			found = len(v.intercomms) - 1
+		}
+		idx = append(idx, found)
+	}
+	v.dataPatterns = append(v.dataPatterns, icPattern{pat: filePat, role: role, ics: idx})
+}
+
+// fileIntercomms returns the intercomms registered for a file name in a
+// role compatible with want.
+func (v *DistMetadataVOL) fileIntercomms(name string, want Role) []*mpi.Intercomm {
+	var out []*mpi.Intercomm
+	for _, p := range v.dataPatterns {
+		if p.role != RoleBoth && want != RoleBoth && p.role != want {
+			continue
+		}
+		if matchPattern(p.pat, name) {
+			for _, i := range p.ics {
+				out = append(out, v.intercomms[i])
+			}
+		}
+	}
+	return out
+}
+
+// FileCreate implements h5.Connector: it creates the file through the
+// metadata VOL and, if the file is exchanged over an intercomm, hooks the
+// close to index + serve.
+func (v *DistMetadataVOL) FileCreate(name string, fapl *h5.FileAccessProps) (h5.FileHandle, error) {
+	fh, err := v.MetadataVOL.FileCreate(name, fapl)
+	if err != nil {
+		return nil, err
+	}
+	mf := fh.(*metaFile)
+	if ics := v.fileIntercomms(name, RoleProduce); len(ics) > 0 && mf.node != nil {
+		mf.closeHook = func(f *metaFile) error {
+			if !v.ServeOnClose {
+				return nil
+			}
+			return v.Serve(f.name)
+		}
+	}
+	return mf, nil
+}
+
+// FileOpen implements h5.Connector: local in-memory files win; otherwise a
+// file matching a data intercomm pattern is opened remotely from the
+// producer task; otherwise the open passes through to the base connector.
+func (v *DistMetadataVOL) FileOpen(name string, fapl *h5.FileAccessProps) (h5.FileHandle, error) {
+	if fn, ok := v.File(name); ok && v.memoryOn(name) {
+		return &metaFile{vol: v.MetadataVOL, name: name, node: fn.Node}, nil
+	}
+	if ics := v.fileIntercomms(name, RoleConsume); len(ics) > 0 {
+		return v.openRemote(name, ics[0])
+	}
+	return v.MetadataVOL.FileOpen(name, fapl)
+}
+
+// --- producer side ---
+
+// Serve builds the distributed index for the named local file (Alg. 1) and
+// answers consumer queries (Alg. 2) until every consumer rank on every
+// intercomm registered for the file has sent done. It must be called
+// collectively by all producer ranks (file close does this automatically
+// when ServeOnClose is set).
+func (v *DistMetadataVOL) Serve(name string) error {
+	fn, ok := v.File(name)
+	if !ok {
+		return fmt.Errorf("lowfive: Serve(%q): file not in memory", name)
+	}
+	ics := v.fileIntercomms(name, RoleProduce)
+	if len(ics) == 0 {
+		return fmt.Errorf("lowfive: Serve(%q): no intercomm registered", name)
+	}
+	if err := v.buildIndex(fn); err != nil {
+		return err
+	}
+	// Serve all intercomms concurrently (fan-out); request handling is
+	// serialized by serveMu, preserving single-threaded rank semantics.
+	var wg sync.WaitGroup
+	for _, ic := range ics {
+		wg.Add(1)
+		go func(ic *mpi.Intercomm) {
+			defer wg.Done()
+			v.serveIntercomm(name, ic)
+		}(ic)
+	}
+	wg.Wait()
+	return nil
+}
+
+// ServeHandle tracks an asynchronous serve session started by ServeAsync.
+type ServeHandle struct {
+	done chan error
+}
+
+// Wait blocks until the serve session completes (every consumer rank has
+// sent done) and returns its error.
+func (h *ServeHandle) Wait() error { return <-h.done }
+
+// ServeAsync is the paper's future-work overlap: it builds the index
+// synchronously (a collective over the producer task, so all producer
+// ranks must call it together) and then serves consumers from a background
+// goroutine, returning immediately so the producer can compute — and even
+// write the next timestep's file — while the previous one is consumed.
+// Call Wait before mutating or removing the served file's data; with
+// shallow (zero-copy) datasets that includes the user buffers.
+func (v *DistMetadataVOL) ServeAsync(name string) (*ServeHandle, error) {
+	fn, ok := v.File(name)
+	if !ok {
+		return nil, fmt.Errorf("lowfive: ServeAsync(%q): file not in memory", name)
+	}
+	ics := v.fileIntercomms(name, RoleProduce)
+	if len(ics) == 0 {
+		return nil, fmt.Errorf("lowfive: ServeAsync(%q): no intercomm registered", name)
+	}
+	// The index exchange stays synchronous: it is collective over the
+	// producer ranks, and overlapping two collectives would reorder them.
+	if err := v.buildIndex(fn); err != nil {
+		return nil, err
+	}
+	h := &ServeHandle{done: make(chan error, 1)}
+	go func() {
+		var wg sync.WaitGroup
+		for _, ic := range ics {
+			wg.Add(1)
+			go func(ic *mpi.Intercomm) {
+				defer wg.Done()
+				v.serveIntercomm(name, ic)
+			}(ic)
+		}
+		wg.Wait()
+		h.done <- nil
+	}()
+	return h, nil
+}
+
+// buildIndex implements Algorithm 1: every producer rank sends the bounding
+// box of each written data space to the ranks owning intersecting blocks of
+// the common decomposition; owners record (box, source).
+func (v *DistMetadataVOL) buildIndex(fn *FileNode) error {
+	n := v.local.Size()
+	out := make([]*h5.Encoder, n)
+	for i := range out {
+		out[i] = &h5.Encoder{}
+	}
+	var walk func(node *Node)
+	walk = func(node *Node) {
+		if node.Kind == h5.KindDataset {
+			dc := grid.CommonDecomposition(node.Space.Dims(), n)
+			path := node.Path()
+			for _, bb := range node.WrittenBoxes() {
+				for _, blk := range dc.Intersecting(bb) {
+					e := out[blk]
+					e.PutString(path)
+					encodeBox(e, bb)
+				}
+			}
+		}
+		for _, c := range node.Children() {
+			walk(c)
+		}
+	}
+	walk(fn.Node)
+	msgs := make([][]byte, n)
+	for i, e := range out {
+		msgs[i] = e.Buf
+	}
+	// The index exchange is the collective synchronization the paper
+	// blames for part of LowFive's overhead vs DataSpaces (§IV-B-d).
+	in := v.local.Alltoall(msgs)
+	idx := map[string][]indexEntry{}
+	for src, buf := range in {
+		d := &h5.Decoder{Buf: buf}
+		for d.Pos < len(d.Buf) {
+			path := d.String()
+			box := decodeBox(d)
+			if d.Err != nil {
+				return fmt.Errorf("lowfive: corrupt index message from rank %d: %v", src, d.Err)
+			}
+			idx[path] = append(idx[path], indexEntry{box: box, src: src})
+		}
+	}
+	v.serveMu.Lock()
+	v.indexes[fn.FileName] = idx
+	v.serveMu.Unlock()
+	return nil
+}
+
+// icServer multiplexes serve sessions for one intercommunicator: a single
+// receive loop dispatches requests (for any file) and routes done messages
+// to the session that is waiting for them, so an asynchronous serve of one
+// timestep's file can overlap the next one's session without the two
+// stealing each other's messages.
+type icServer struct {
+	ic  *mpi.Intercomm
+	srv *rpc.Server
+
+	mu          sync.Mutex
+	sessions    map[string]*serveSession
+	pendingDone map[string]int // dones that arrived before their session
+	running     bool
+}
+
+type serveSession struct {
+	want, got int
+	finished  chan struct{}
+}
+
+func (v *DistMetadataVOL) icServerFor(ic *mpi.Intercomm) *icServer {
+	v.serveMu.Lock()
+	defer v.serveMu.Unlock()
+	if v.servers == nil {
+		v.servers = map[*mpi.Intercomm]*icServer{}
+	}
+	s, ok := v.servers[ic]
+	if !ok {
+		s = &icServer{
+			ic:          ic,
+			srv:         &rpc.Server{IC: ic},
+			sessions:    map[string]*serveSession{},
+			pendingDone: map[string]int{},
+		}
+		v.servers[ic] = s
+	}
+	return s
+}
+
+// serveIntercomm implements Algorithm 2 for one intercommunicator: answer
+// redirect and data queries until all remote ranks sent done for this file.
+// Requests referencing files this rank does not have yet (a consumer racing
+// ahead to a future timestep) are parked and replayed when they become
+// answerable.
+func (v *DistMetadataVOL) serveIntercomm(name string, ic *mpi.Intercomm) {
+	s := v.icServerFor(ic)
+
+	// Register the session, consuming any dones that arrived early.
+	s.mu.Lock()
+	sess := &serveSession{want: ic.RemoteSize(), finished: make(chan struct{})}
+	sess.got = s.pendingDone[name]
+	delete(s.pendingDone, name)
+	if sess.got >= sess.want {
+		close(sess.finished)
+		s.mu.Unlock()
+		return
+	}
+	s.sessions[name] = sess
+	startLoop := !s.running
+	if startLoop {
+		s.running = true
+	}
+	s.mu.Unlock()
+
+	if startLoop {
+		go v.serveLoop(s)
+	}
+	<-sess.finished
+}
+
+// serveLoop is the single receiver for an intercommunicator. It replays
+// parked requests, then receives until every registered session has
+// finished, exiting so a blocked receive never outlives the rank.
+func (v *DistMetadataVOL) serveLoop(s *icServer) {
+	// Replay requests parked by earlier loops.
+	v.serveMu.Lock()
+	replay := v.parked[s.ic]
+	v.parked[s.ic] = nil
+	v.serveMu.Unlock()
+	for _, pr := range replay {
+		v.processRequest(s, pr.src, pr.req)
+	}
+	for {
+		s.mu.Lock()
+		active := len(s.sessions)
+		if active == 0 {
+			s.running = false
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+		src, req := s.srv.Recv()
+		v.processRequest(s, src, req)
+	}
+}
+
+func (v *DistMetadataVOL) processRequest(s *icServer, src int, req []byte) {
+	v.serveMu.Lock()
+	resp, isDone, file, park := v.handleRequest(req)
+	if park {
+		v.parked[s.ic] = append(v.parked[s.ic], parkedReq{src: src, req: req})
+		v.stats.ParkedRequests++
+		v.serveMu.Unlock()
+		return
+	}
+	v.serveMu.Unlock()
+	if isDone {
+		s.mu.Lock()
+		if sess, ok := s.sessions[file]; ok {
+			sess.got++
+			if sess.got >= sess.want {
+				delete(s.sessions, file)
+				close(sess.finished)
+			}
+		} else {
+			// Done for a session not yet registered (another rank's close
+			// raced ahead); credit it when the session starts.
+			s.pendingDone[file]++
+		}
+		s.mu.Unlock()
+		return
+	}
+	if resp != nil {
+		s.srv.Respond(src, resp)
+	}
+}
+
+// handleRequest dispatches one consumer request. A nil response means
+// one-way (done). The returned file name is meaningful for done messages.
+// park=true means the request refers to a file this rank does not have yet.
+func (v *DistMetadataVOL) handleRequest(req []byte) (resp []byte, isDone bool, file string, park bool) {
+	d := &h5.Decoder{Buf: req}
+	op := d.U8()
+	file = d.String()
+	switch op {
+	case opMetadata:
+		fn, ok := v.File(file)
+		if !ok {
+			return nil, false, file, true
+		}
+		v.stats.MetadataRequests++
+		return encodeMetadataResp(fn), false, file, false
+	case opBoxes:
+		dset := d.String()
+		bb := decodeBox(d)
+		var ranks []int
+		seen := map[int]bool{}
+		for _, ent := range v.indexes[file][dset] {
+			if ent.box.Intersects(bb) && !seen[ent.src] {
+				seen[ent.src] = true
+				ranks = append(ranks, ent.src)
+			}
+		}
+		v.stats.BoxQueries++
+		return encodeBoxesResp(ranks), false, file, false
+	case opData:
+		dset := d.String()
+		sel := h5.DecodeDataspace(d)
+		e := &h5.Encoder{}
+		served := false
+		if fn, ok := v.File(file); ok {
+			if node, err := fn.Resolve(dset); err == nil {
+				if err := node.EncodeRegions(e, sel); err == nil {
+					served = true
+				}
+			}
+		}
+		if !served {
+			e.PutI64(0)
+		}
+		v.stats.DataQueries++
+		v.stats.BytesServed += int64(len(e.Buf))
+		return e.Buf, false, file, false
+	case opDone:
+		v.stats.DoneMessages++
+		return nil, true, file, false
+	default:
+		return encodeBoxesResp(nil), false, file, false
+	}
+}
+
+// Stats returns a snapshot of this rank's producer-side serve counters.
+func (v *DistMetadataVOL) Stats() ServeStats {
+	v.serveMu.Lock()
+	defer v.serveMu.Unlock()
+	return v.stats
+}
+
+// --- consumer side ---
+
+// distFile is the consumer-side handle to a file living in a producer task.
+type distFile struct {
+	vol    *DistMetadataVOL
+	name   string
+	ic     *mpi.Intercomm
+	client *rpc.Client
+	root   *Node
+}
+
+func (v *DistMetadataVOL) openRemote(name string, ic *mpi.Intercomm) (h5.FileHandle, error) {
+	client := &rpc.Client{IC: ic}
+	partner := ic.LocalRank() % ic.RemoteSize()
+	resp := client.Call(partner, encodeMetadataReq(name))
+	root, err := decodeMetadataResp(resp)
+	if err != nil {
+		return nil, fmt.Errorf("lowfive: opening %q remotely: %w", name, err)
+	}
+	f := &distFile{vol: v, name: name, ic: ic, client: client, root: root}
+	return f, nil
+}
+
+// Close sends done to every producer rank, releasing its serve loop.
+func (f *distFile) Close() error {
+	for p := 0; p < f.ic.RemoteSize(); p++ {
+		f.client.Notify(p, encodeDone(f.name))
+	}
+	return nil
+}
+
+func (f *distFile) object(n *Node) *distObject { return &distObject{file: f, node: n} }
+
+func (f *distFile) GroupCreate(string) (h5.ObjectHandle, error) {
+	return nil, fmt.Errorf("lowfive: remote file %q is read-only", f.name)
+}
+func (f *distFile) GroupOpen(name string) (h5.ObjectHandle, error) {
+	return f.object(f.root).GroupOpen(name)
+}
+func (f *distFile) DatasetCreate(string, *h5.Datatype, *h5.Dataspace) (h5.DatasetHandle, error) {
+	return nil, fmt.Errorf("lowfive: remote file %q is read-only", f.name)
+}
+func (f *distFile) DatasetOpen(name string) (h5.DatasetHandle, error) {
+	return f.object(f.root).DatasetOpen(name)
+}
+func (f *distFile) Children() ([]h5.ObjectInfo, error) { return f.object(f.root).Children() }
+func (f *distFile) Delete(string) error {
+	return fmt.Errorf("lowfive: remote file %q is read-only", f.name)
+}
+func (f *distFile) AttributeWrite(string, *h5.Datatype, *h5.Dataspace, []byte) error {
+	return fmt.Errorf("lowfive: remote file %q is read-only", f.name)
+}
+func (f *distFile) AttributeRead(name string) (*h5.Datatype, *h5.Dataspace, []byte, error) {
+	return f.object(f.root).AttributeRead(name)
+}
+func (f *distFile) AttributeNames() ([]string, error) { return f.object(f.root).AttributeNames() }
+
+// distObject is a consumer-side group handle over the fetched metadata.
+type distObject struct {
+	file *distFile
+	node *Node
+}
+
+func (o *distObject) GroupCreate(string) (h5.ObjectHandle, error) {
+	return nil, fmt.Errorf("lowfive: remote file %q is read-only", o.file.name)
+}
+
+func (o *distObject) GroupOpen(name string) (h5.ObjectHandle, error) {
+	c, ok := o.node.Child(name)
+	if !ok || c.Kind != h5.KindGroup {
+		return nil, fmt.Errorf("lowfive: group %q not found under %q", name, o.node.Path())
+	}
+	return &distObject{file: o.file, node: c}, nil
+}
+
+func (o *distObject) DatasetCreate(string, *h5.Datatype, *h5.Dataspace) (h5.DatasetHandle, error) {
+	return nil, fmt.Errorf("lowfive: remote file %q is read-only", o.file.name)
+}
+
+func (o *distObject) DatasetOpen(name string) (h5.DatasetHandle, error) {
+	c, ok := o.node.Child(name)
+	if !ok || c.Kind != h5.KindDataset {
+		return nil, fmt.Errorf("lowfive: dataset %q not found under %q", name, o.node.Path())
+	}
+	return &distDataset{file: o.file, node: c}, nil
+}
+
+func (o *distObject) Children() ([]h5.ObjectInfo, error) {
+	var out []h5.ObjectInfo
+	for _, c := range o.node.Children() {
+		out = append(out, h5.ObjectInfo{Name: c.Name, Kind: c.Kind})
+	}
+	return out, nil
+}
+
+func (o *distObject) Delete(string) error {
+	return fmt.Errorf("lowfive: remote file %q is read-only", o.file.name)
+}
+
+func (o *distObject) AttributeWrite(string, *h5.Datatype, *h5.Dataspace, []byte) error {
+	return fmt.Errorf("lowfive: remote file %q is read-only", o.file.name)
+}
+
+func (o *distObject) AttributeRead(name string) (*h5.Datatype, *h5.Dataspace, []byte, error) {
+	a, ok := o.node.Attribute(name)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("lowfive: attribute %q not found on %q", name, o.node.Path())
+	}
+	return a.Type, a.Space, a.Data, nil
+}
+
+func (o *distObject) AttributeNames() ([]string, error) { return o.node.AttributeNames(), nil }
+
+func (o *distObject) Close() error { return nil }
+
+// distDataset reads via Algorithm 3.
+type distDataset struct {
+	file *distFile
+	node *Node
+}
+
+func (d *distDataset) Datatype() *h5.Datatype   { return d.node.Type }
+func (d *distDataset) Dataspace() *h5.Dataspace { return d.node.Space.Clone().SelectAll() }
+
+func (d *distDataset) Write(_, _ *h5.Dataspace, _ []byte) error {
+	return fmt.Errorf("lowfive: remote dataset %q is read-only", d.node.Path())
+}
+
+// Read implements Algorithm 3: query the common-decomposition block owners
+// intersecting the selection's bounding box for redirects, then request the
+// data from each producer that has some, and assemble.
+func (d *distDataset) Read(memSpace, fileSpace *h5.Dataspace, data []byte) error {
+	es := d.node.Type.Size
+	if fileSpace == nil {
+		fileSpace = d.node.Space.Clone().SelectAll()
+	}
+	pieces, err := QueryPieces(d.file.client, d.file.ic, d.file.name, d.node, fileSpace)
+	if err != nil {
+		return err
+	}
+	if memSpace == nil {
+		AssemblePiecesInto(data[:fileSpace.NumSelected()*int64(es)], fileSpace, pieces, es)
+		return nil
+	}
+	packed := AssemblePieces(fileSpace, pieces, es)
+	h5.ScatterSelected(data, memSpace, packed, es)
+	return nil
+}
+
+// QueryPieces runs the two steps of Algorithm 3 and returns the raw pieces.
+func QueryPieces(client *rpc.Client, ic *mpi.Intercomm, file string, node *Node, fileSpace *h5.Dataspace) ([]Piece, error) {
+	n := ic.RemoteSize()
+	dc := grid.CommonDecomposition(node.Space.Dims(), n)
+	bb := fileSpace.Bounds()
+	if bb.IsEmpty() {
+		return nil, nil
+	}
+	path := node.Path()
+	// Step 1: redirects from the owners of intersecting blocks. Requests to
+	// all owners are pipelined (posted as nonblocking sends) before any
+	// response is awaited.
+	withData := map[int]bool{}
+	var order []int
+	for i, resp := range client.CallAll(dc.Intersecting(bb), encodeBoxesReq(file, path, bb)) {
+		ranks, err := decodeBoxesResp(resp)
+		if err != nil {
+			return nil, fmt.Errorf("lowfive: redirect query %d: %w", i, err)
+		}
+		for _, r := range ranks {
+			if !withData[r] {
+				withData[r] = true
+				order = append(order, r)
+			}
+		}
+	}
+	// Step 2: request the data from each producer that has some, again
+	// pipelined.
+	var pieces []Piece
+	for i, resp := range client.CallAll(order, encodeDataReq(file, path, fileSpace)) {
+		ps, err := decodeDataResp(resp)
+		if err != nil {
+			return nil, fmt.Errorf("lowfive: data query to producer %d: %w", order[i], err)
+		}
+		pieces = append(pieces, ps...)
+	}
+	return pieces, nil
+}
+
+func (d *distDataset) SetExtent([]int64) error {
+	return fmt.Errorf("lowfive: remote dataset %q is read-only", d.node.Path())
+}
+
+func (d *distDataset) AttributeWrite(string, *h5.Datatype, *h5.Dataspace, []byte) error {
+	return fmt.Errorf("lowfive: remote dataset %q is read-only", d.node.Path())
+}
+
+func (d *distDataset) AttributeRead(name string) (*h5.Datatype, *h5.Dataspace, []byte, error) {
+	a, ok := d.node.Attribute(name)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("lowfive: attribute %q not found on %q", name, d.node.Path())
+	}
+	return a.Type, a.Space, a.Data, nil
+}
+
+func (d *distDataset) AttributeNames() ([]string, error) { return d.node.AttributeNames(), nil }
+
+func (d *distDataset) Close() error { return nil }

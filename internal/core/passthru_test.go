@@ -1,0 +1,79 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"lowfive/h5"
+	"lowfive/internal/core"
+	"lowfive/internal/native"
+	"lowfive/internal/pfs"
+)
+
+func TestMetaVOLPassthruAndMemoryCombined(t *testing.T) {
+	fs := pfs.NewZeroCost()
+	base := native.New(native.PFSBackend(fs))
+	vol := core.NewMetadataVOL(base)
+	vol.SetPassthru("*", true) // memory "*" is on by default: both modes
+	fapl := h5.NewFileAccessProps(vol)
+
+	f, err := h5.CreateFile("both.h5", fapl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, _ := f.CreateDataset("d", h5.U32, h5.NewSimple(4))
+	ds.Write(nil, nil, h5.Bytes([]uint32{1, 2, 3, 4}))
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The file must exist on "disk" and be readable via the base connector
+	// directly.
+	bf, err := h5.OpenFile("both.h5", h5.NewFileAccessProps(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bds, err := bf.OpenDataset("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]uint32, 4)
+	if err := bds.Read(nil, nil, h5.Bytes(out)); err != nil {
+		t.Fatal(err)
+	}
+	if out[3] != 4 {
+		t.Errorf("file passthrough data %v", out)
+	}
+	// And it is also still in memory.
+	if _, ok := vol.File("both.h5"); !ok {
+		t.Error("file should also be in memory")
+	}
+}
+
+func TestMetaVOLPassthruOnlyReadsFromBase(t *testing.T) {
+	fs := pfs.NewZeroCost()
+	base := native.New(native.PFSBackend(fs))
+	vol := core.NewMetadataVOL(base)
+	vol.SetMemory("*", false)
+	vol.SetPassthru("*", true)
+	fapl := h5.NewFileAccessProps(vol)
+
+	f, _ := h5.CreateFile("disk.h5", fapl)
+	ds, _ := f.CreateDataset("d", h5.U8, h5.NewSimple(2))
+	ds.Write(nil, nil, []byte{5, 6})
+	f.Close()
+	if _, ok := vol.File("disk.h5"); ok {
+		t.Error("memory-off file should not be in the tree")
+	}
+
+	f2, err := h5.OpenFile("disk.h5", fapl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds2, _ := f2.OpenDataset("d")
+	out := make([]byte, 2)
+	ds2.Read(nil, nil, out)
+	if !bytes.Equal(out, []byte{5, 6}) {
+		t.Errorf("got %v", out)
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+
+	"lowfive/h5"
+	"lowfive/internal/grid"
+)
+
+// Wire protocol between consumer (client) and producer (server) ranks.
+// Requests are dispatched by a one-byte opcode; all payloads use the h5
+// binary encoder.
+
+const (
+	opMetadata uint8 = iota + 1 // file metadata at open
+	opBoxes                     // Alg. 2 lines 4–8: which producers intersect a bbox
+	opData                      // Alg. 2 lines 9–14: serialize intersecting data
+	opDone                      // consumer finished with a file (no response)
+)
+
+func encodeBox(e *h5.Encoder, b grid.Box) {
+	e.PutI64(int64(b.Dim()))
+	for d := range b.Min {
+		e.PutI64(b.Min[d])
+		e.PutI64(b.Max[d])
+	}
+}
+
+func decodeBox(d *h5.Decoder) grid.Box {
+	nd := d.I64()
+	if d.Err != nil || nd < 0 || nd > 64 {
+		return grid.Box{}
+	}
+	b := grid.Box{Min: make([]int64, nd), Max: make([]int64, nd)}
+	for k := int64(0); k < nd; k++ {
+		b.Min[k] = d.I64()
+		b.Max[k] = d.I64()
+	}
+	return b
+}
+
+// --- metadata request ---
+
+func encodeMetadataReq(file string) []byte {
+	e := &h5.Encoder{}
+	e.PutU8(opMetadata)
+	e.PutString(file)
+	return e.Buf
+}
+
+func encodeMetadataResp(fn *FileNode) []byte {
+	e := &h5.Encoder{}
+	if fn == nil {
+		e.PutU8(0)
+		return e.Buf
+	}
+	e.PutU8(1)
+	EncodeTree(e, fn.Node, nil)
+	return e.Buf
+}
+
+func decodeMetadataResp(buf []byte) (*Node, error) {
+	d := &h5.Decoder{Buf: buf}
+	if d.U8() == 0 {
+		return nil, fmt.Errorf("lowfive: producer does not have the requested file")
+	}
+	return DecodeTree(d, nil)
+}
+
+// --- box (redirect) query ---
+
+func encodeBoxesReq(file, dset string, bb grid.Box) []byte {
+	e := &h5.Encoder{}
+	e.PutU8(opBoxes)
+	e.PutString(file)
+	e.PutString(dset)
+	encodeBox(e, bb)
+	return e.Buf
+}
+
+func encodeBoxesResp(ranks []int) []byte {
+	e := &h5.Encoder{}
+	e.PutI64(int64(len(ranks)))
+	for _, r := range ranks {
+		e.PutI64(int64(r))
+	}
+	return e.Buf
+}
+
+func decodeBoxesResp(buf []byte) ([]int, error) {
+	d := &h5.Decoder{Buf: buf}
+	n := d.I64()
+	if d.Err != nil || n < 0 || n > 1<<24 {
+		return nil, fmt.Errorf("lowfive: corrupt box-query response")
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(d.I64())
+	}
+	return out, d.Err
+}
+
+// --- data query ---
+
+func encodeDataReq(file, dset string, sel *h5.Dataspace) []byte {
+	e := &h5.Encoder{}
+	e.PutU8(opData)
+	e.PutString(file)
+	e.PutString(dset)
+	h5.EncodeDataspace(e, sel)
+	return e.Buf
+}
+
+func decodeDataResp(buf []byte) ([]Piece, error) {
+	d := &h5.Decoder{Buf: buf}
+	n := d.I64()
+	if d.Err != nil || n < 0 || n > 1<<24 {
+		return nil, fmt.Errorf("lowfive: corrupt data response")
+	}
+	out := make([]Piece, 0, n)
+	for i := int64(0); i < n; i++ {
+		p := Piece{Box: decodeBox(d), Data: d.Bytes()}
+		if d.Err != nil {
+			return nil, fmt.Errorf("lowfive: corrupt data response: %v", d.Err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// --- done notification ---
+
+func encodeDone(file string) []byte {
+	e := &h5.Encoder{}
+	e.PutU8(opDone)
+	e.PutString(file)
+	return e.Buf
+}
+
+// AssemblePieces builds the fileSel-selected region (packed in selection
+// order) from rectangular pieces, applying them in order.
+func AssemblePieces(fileSel *h5.Dataspace, pieces []Piece, elemSize int) []byte {
+	dst := make([]byte, fileSel.NumSelected()*int64(elemSize))
+	AssemblePiecesInto(dst, fileSel, pieces, elemSize)
+	return dst
+}
+
+// AssemblePiecesInto scatters the pieces into dst, which holds the packed
+// fileSel selection, avoiding an intermediate buffer.
+func AssemblePiecesInto(dst []byte, fileSel *h5.Dataspace, pieces []Piece, elemSize int) {
+	es := int64(elemSize)
+	base := int64(0)
+	for _, rb := range fileSel.SelectionBoxes() {
+		for _, p := range pieces {
+			region := p.Box.Intersect(rb)
+			if !region.IsEmpty() {
+				grid.CopyRegion(dst[base*es:], rb, p.Data, p.Box, region, elemSize)
+			}
+		}
+		base += rb.NumPoints()
+	}
+}
+
+// HandleRequestBytes is a test hook: it dispatches a raw request buffer as
+// the serve loop would, exercising the decoder paths.
+func (v *DistMetadataVOL) HandleRequestBytes(req []byte) (resp []byte, isDone bool) {
+	resp, isDone, _, _ = v.handleRequest(req)
+	return resp, isDone
+}

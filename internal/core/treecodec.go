@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+
+	"lowfive/h5"
+)
+
+// Binary encoding of a metadata hierarchy (structure, types, spaces and
+// attributes — not dataset triple data). Used by the native container file
+// format (with per-node extras for data extents) and by the distributed VOL
+// when a producer ships file metadata to a consumer at open time.
+
+// NodeExtra hooks let callers append and parse extra per-node payload
+// (e.g. the native format's dataset extents).
+type NodeExtra struct {
+	Encode func(e *h5.Encoder, n *Node)
+	Decode func(d *h5.Decoder, n *Node)
+}
+
+// EncodeTree appends the hierarchy rooted at n.
+func EncodeTree(e *h5.Encoder, n *Node, extra *NodeExtra) {
+	e.PutString(n.Name)
+	e.PutU8(uint8(n.Kind))
+	if n.Kind == h5.KindDataset {
+		h5.EncodeDatatype(e, n.Type)
+		h5.EncodeDataspace(e, n.Space)
+	}
+	e.PutI64(int64(len(n.attrNames)))
+	for _, an := range n.attrNames {
+		a := n.attrs[an]
+		e.PutString(a.Name)
+		h5.EncodeDatatype(e, a.Type)
+		h5.EncodeDataspace(e, a.Space)
+		e.PutBytes(a.Data)
+	}
+	if extra != nil && extra.Encode != nil {
+		extra.Encode(e, n)
+	}
+	e.PutI64(int64(len(n.children)))
+	for _, c := range n.children {
+		EncodeTree(e, c, extra)
+	}
+}
+
+// DecodeTree reads a hierarchy encoded by EncodeTree.
+func DecodeTree(d *h5.Decoder, extra *NodeExtra) (*Node, error) {
+	name := d.String()
+	kind := h5.ObjectKind(d.U8())
+	var n *Node
+	if kind == h5.KindDataset {
+		dt := h5.DecodeDatatype(d)
+		sp := h5.DecodeDataspace(d)
+		n = NewDatasetNode(name, dt, sp)
+	} else {
+		n = NewGroupNode(name)
+	}
+	na := d.I64()
+	if d.Err != nil || na < 0 || na > 1<<24 {
+		return nil, fmt.Errorf("lowfive: corrupt tree encoding (attribute count %d): %v", na, d.Err)
+	}
+	for i := int64(0); i < na; i++ {
+		a := &Attribute{Name: d.String()}
+		a.Type = h5.DecodeDatatype(d)
+		a.Space = h5.DecodeDataspace(d)
+		a.Data = append([]byte(nil), d.Bytes()...)
+		if d.Err != nil {
+			return nil, fmt.Errorf("lowfive: corrupt attribute encoding: %v", d.Err)
+		}
+		n.SetAttribute(a)
+	}
+	if extra != nil && extra.Decode != nil {
+		extra.Decode(d, n)
+	}
+	nc := d.I64()
+	if d.Err != nil || nc < 0 || nc > 1<<24 {
+		return nil, fmt.Errorf("lowfive: corrupt tree encoding (child count %d): %v", nc, d.Err)
+	}
+	for i := int64(0); i < nc; i++ {
+		c, err := DecodeTree(d, extra)
+		if err != nil {
+			return nil, err
+		}
+		if err := n.AddChild(c); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}

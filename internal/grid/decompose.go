@@ -1,0 +1,165 @@
+package grid
+
+import "sort"
+
+// FactorBalanced factors n into d factors that are as close to each other as
+// possible (paper §III-B: "The decomposition is found by factoring n into d
+// factors n1,...,nd that are as close to each other as possible"). The
+// product of the result is exactly n. Factors are returned unordered-by-size
+// but deterministically; callers map them onto dimensions themselves.
+func FactorBalanced(n, d int) []int64 {
+	if n <= 0 || d <= 0 {
+		panic("grid: FactorBalanced requires positive n and d")
+	}
+	factors := make([]int64, d)
+	for i := range factors {
+		factors[i] = 1
+	}
+	// Assign prime factors of n, largest first, to the currently smallest
+	// factor slot (the classic MPI_Dims_create strategy).
+	for _, p := range primeFactorsDesc(n) {
+		smallest := 0
+		for i := 1; i < d; i++ {
+			if factors[i] < factors[smallest] {
+				smallest = i
+			}
+		}
+		factors[smallest] *= p
+	}
+	sort.Slice(factors, func(i, j int) bool { return factors[i] > factors[j] })
+	return factors
+}
+
+// primeFactorsDesc returns the prime factorization of n in descending order.
+func primeFactorsDesc(n int) []int64 {
+	var f []int64
+	m := int64(n)
+	for p := int64(2); p*p <= m; p++ {
+		for m%p == 0 {
+			f = append(f, p)
+			m /= p
+		}
+	}
+	if m > 1 {
+		f = append(f, m)
+	}
+	sort.Slice(f, func(i, j int) bool { return f[i] > f[j] })
+	return f
+}
+
+// Decomposition is a regular block decomposition of an extent: the paper's
+// "common decomposition" that producer and consumer implicitly agree on.
+type Decomposition struct {
+	// Dims is the extent being decomposed.
+	Dims []int64
+	// Blocks is the per-dimension block grid shape (n1, ..., nd).
+	Blocks []int64
+}
+
+// CommonDecomposition cuts a dataset extent of the given dims into n blocks,
+// one per producer process: factor n into len(dims) near-equal factors,
+// assigning larger factors to larger extents so blocks stay close to cubic.
+func CommonDecomposition(dims []int64, n int) Decomposition {
+	d := len(dims)
+	factors := FactorBalanced(n, d) // descending
+	// Assign the largest factor to the largest dimension; ties broken by
+	// dimension order for determinism.
+	order := make([]int, d)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool { return dims[order[i]] > dims[order[j]] })
+	blocks := make([]int64, d)
+	for i, dim := range order {
+		blocks[dim] = factors[i]
+	}
+	return Decomposition{Dims: append([]int64(nil), dims...), Blocks: blocks}
+}
+
+// NumBlocks returns the total number of blocks.
+func (dc Decomposition) NumBlocks() int {
+	n := int64(1)
+	for _, b := range dc.Blocks {
+		n *= b
+	}
+	return int(n)
+}
+
+// Block returns the bounds of block i (row-major order over the block grid).
+// Blocks partition the extent; along a dimension of length L split into k
+// blocks, block j spans [floor(j*L/k), floor((j+1)*L/k)-1], which may be
+// empty when L < k.
+func (dc Decomposition) Block(i int) Box {
+	coords := Coords(dc.Blocks, int64(i))
+	b := Box{Min: make([]int64, len(dc.Dims)), Max: make([]int64, len(dc.Dims))}
+	for d := range dc.Dims {
+		L, k, j := dc.Dims[d], dc.Blocks[d], coords[d]
+		b.Min[d] = j * L / k
+		b.Max[d] = (j+1)*L/k - 1
+	}
+	return b
+}
+
+// Intersecting returns the indices of all blocks whose bounds intersect the
+// query box. It walks only the block-coordinate subrange covering the query
+// rather than scanning all n blocks.
+func (dc Decomposition) Intersecting(q Box) []int {
+	if q.IsEmpty() {
+		return nil
+	}
+	d := len(dc.Dims)
+	lo := make([]int64, d)
+	hi := make([]int64, d)
+	for k := 0; k < d; k++ {
+		L, nb := dc.Dims[k], dc.Blocks[k]
+		qmin, qmax := q.Min[k], q.Max[k]
+		if qmin < 0 {
+			qmin = 0
+		}
+		if qmax > L-1 {
+			qmax = L - 1
+		}
+		if qmin > qmax {
+			return nil
+		}
+		// Block j spans [j*L/nb, (j+1)*L/nb-1]; invert: the block containing
+		// coordinate x is floor(((x+1)*nb-1)/L) == largest j with j*L/nb <= x.
+		lo[k] = blockOf(qmin, L, nb)
+		hi[k] = blockOf(qmax, L, nb)
+	}
+	var out []int
+	cur := append([]int64(nil), lo...)
+	for {
+		idx := LinearIndex(dc.Blocks, cur)
+		// Guard against empty blocks at this coordinate (possible when L < nb).
+		if dc.Block(int(idx)).Intersects(q) {
+			out = append(out, int(idx))
+		}
+		k := d - 1
+		for k >= 0 {
+			cur[k]++
+			if cur[k] <= hi[k] {
+				break
+			}
+			cur[k] = lo[k]
+			k--
+		}
+		if k < 0 {
+			return out
+		}
+	}
+}
+
+// blockOf returns the index of the block containing coordinate x when an
+// extent of length L is split into nb blocks with bounds [j*L/nb, (j+1)*L/nb-1].
+func blockOf(x, L, nb int64) int64 {
+	j := (x*nb + nb - 1) / L
+	// Adjust for integer-rounding boundary cases.
+	for j > 0 && j*L/nb > x {
+		j--
+	}
+	for (j+1)*L/nb-1 < x {
+		j++
+	}
+	return j
+}

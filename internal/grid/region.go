@@ -1,0 +1,131 @@
+package grid
+
+// LocalIndex returns the row-major linear index of pt within the local
+// extent of box b (i.e. treating b.Min as the origin).
+func LocalIndex(b Box, pt []int64) int64 {
+	idx := int64(0)
+	for d := range b.Min {
+		idx = idx*(b.Max[d]-b.Min[d]+1) + (pt[d] - b.Min[d])
+	}
+	return idx
+}
+
+// CopyRegion copies the lattice points of region from src to dst, where src
+// holds srcBox in row-major order and dst holds dstBox in row-major order,
+// with elemSize bytes per point. region must be contained in both boxes.
+// Rows of the region are copied as contiguous chunks.
+func CopyRegion(dst []byte, dstBox Box, src []byte, srcBox Box, region Box, elemSize int) {
+	if region.IsEmpty() {
+		return
+	}
+	d := region.Dim()
+	rowLen := region.Max[d-1] - region.Min[d-1] + 1
+	pt := append([]int64(nil), region.Min...)
+	for {
+		so := LocalIndex(srcBox, pt) * int64(elemSize)
+		do := LocalIndex(dstBox, pt) * int64(elemSize)
+		copy(dst[do:do+rowLen*int64(elemSize)], src[so:so+rowLen*int64(elemSize)])
+		// Odometer over all but the last dimension.
+		k := d - 2
+		for k >= 0 {
+			pt[k]++
+			if pt[k] <= region.Max[k] {
+				break
+			}
+			pt[k] = region.Min[k]
+			k--
+		}
+		if k < 0 {
+			return
+		}
+	}
+}
+
+// GatherRegion appends the points of region (row-major) from src, which
+// holds srcBox in row-major order, to out and returns the extended slice.
+func GatherRegion(out []byte, src []byte, srcBox Box, region Box, elemSize int) []byte {
+	if region.IsEmpty() {
+		return out
+	}
+	d := region.Dim()
+	rowBytes := (region.Max[d-1] - region.Min[d-1] + 1) * int64(elemSize)
+	pt := append([]int64(nil), region.Min...)
+	for {
+		so := LocalIndex(srcBox, pt) * int64(elemSize)
+		out = append(out, src[so:so+rowBytes]...)
+		k := d - 2
+		for k >= 0 {
+			pt[k]++
+			if pt[k] <= region.Max[k] {
+				break
+			}
+			pt[k] = region.Min[k]
+			k--
+		}
+		if k < 0 {
+			return out
+		}
+	}
+}
+
+// ScatterRegion is the inverse of GatherRegion: it consumes len(region)
+// points from data (row-major over region) and writes them into dst, which
+// holds dstBox in row-major order. It returns the number of bytes consumed.
+func ScatterRegion(dst []byte, dstBox Box, data []byte, region Box, elemSize int) int64 {
+	if region.IsEmpty() {
+		return 0
+	}
+	d := region.Dim()
+	rowBytes := (region.Max[d-1] - region.Min[d-1] + 1) * int64(elemSize)
+	pt := append([]int64(nil), region.Min...)
+	consumed := int64(0)
+	for {
+		do := LocalIndex(dstBox, pt) * int64(elemSize)
+		copy(dst[do:do+rowBytes], data[consumed:consumed+rowBytes])
+		consumed += rowBytes
+		k := d - 2
+		for k >= 0 {
+			pt[k]++
+			if pt[k] <= region.Max[k] {
+				break
+			}
+			pt[k] = region.Min[k]
+			k--
+		}
+		if k < 0 {
+			return consumed
+		}
+	}
+}
+
+// Subtract returns a minus b as a set of disjoint boxes. The result has at
+// most 2*dim pieces (the standard axis-sweep decomposition).
+func Subtract(a, b Box) []Box {
+	inter := a.Intersect(b)
+	if inter.IsEmpty() {
+		if a.IsEmpty() {
+			return nil
+		}
+		return []Box{a.Clone()}
+	}
+	var out []Box
+	cur := a.Clone()
+	for d := 0; d < a.Dim(); d++ {
+		// Piece below the intersection along dimension d.
+		if cur.Min[d] < inter.Min[d] {
+			p := cur.Clone()
+			p.Max[d] = inter.Min[d] - 1
+			out = append(out, p)
+		}
+		// Piece above the intersection along dimension d.
+		if cur.Max[d] > inter.Max[d] {
+			p := cur.Clone()
+			p.Min[d] = inter.Max[d] + 1
+			out = append(out, p)
+		}
+		// Clamp cur to the intersection along d and continue.
+		cur.Min[d] = inter.Min[d]
+		cur.Max[d] = inter.Max[d]
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func fillPattern(b Box, elemSize int) []byte {
+	buf := make([]byte, b.NumPoints()*int64(elemSize))
+	for i := range buf {
+		buf[i] = byte(i * 31)
+	}
+	return buf
+}
+
+func TestLocalIndex(t *testing.T) {
+	b := NewBox([]int64{2, 3}, []int64{4, 5})
+	if got := LocalIndex(b, []int64{2, 3}); got != 0 {
+		t.Errorf("origin index %d", got)
+	}
+	if got := LocalIndex(b, []int64{3, 4}); got != 6 {
+		t.Errorf("(3,4) index %d want 6", got)
+	}
+	if got := LocalIndex(b, []int64{5, 7}); got != 19 {
+		t.Errorf("last index %d want 19", got)
+	}
+}
+
+func TestCopyRegionIdentity(t *testing.T) {
+	b := NewBox([]int64{0, 0}, []int64{3, 4})
+	src := fillPattern(b, 2)
+	dst := make([]byte, len(src))
+	CopyRegion(dst, b, src, b, b, 2)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("byte %d: %d != %d", i, dst[i], src[i])
+		}
+	}
+}
+
+func TestCopyRegionSubBox(t *testing.T) {
+	srcBox := NewBox([]int64{0, 0}, []int64{4, 4})
+	dstBox := NewBox([]int64{1, 1}, []int64{2, 2})
+	src := make([]byte, srcBox.NumPoints())
+	for i := range src {
+		src[i] = byte(i)
+	}
+	dst := make([]byte, dstBox.NumPoints())
+	CopyRegion(dst, dstBox, src, srcBox, dstBox, 1)
+	// dstBox covers points (1,1),(1,2),(2,1),(2,2) = linear 5,6,9,10 in src.
+	want := []byte{5, 6, 9, 10}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Errorf("dst[%d]=%d want %d", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dims := randomDims(r, 8)
+		whole := WholeExtent(dims)
+		region := randomBoxInExtent(r, dims)
+		elem := 1 + r.Intn(8)
+		src := make([]byte, whole.NumPoints()*int64(elem))
+		r.Read(src)
+		gathered := GatherRegion(nil, src, whole, region, elem)
+		if int64(len(gathered)) != region.NumPoints()*int64(elem) {
+			return false
+		}
+		dst := make([]byte, len(src))
+		n := ScatterRegion(dst, whole, gathered, region, elem)
+		if n != int64(len(gathered)) {
+			return false
+		}
+		// Every point in region must match src; everything else must be zero.
+		ok := true
+		region.Runs(dims, func(off, cnt int64) {
+			for i := off * int64(elem); i < (off+cnt)*int64(elem); i++ {
+				if dst[i] != src[i] {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubtractDisjoint(t *testing.T) {
+	a := NewBox([]int64{0, 0}, []int64{2, 2})
+	b := NewBox([]int64{5, 5}, []int64{2, 2})
+	out := Subtract(a, b)
+	if len(out) != 1 || !out[0].Equal(a) {
+		t.Errorf("got %v", out)
+	}
+}
+
+func TestSubtractFullCover(t *testing.T) {
+	a := NewBox([]int64{1, 1}, []int64{2, 2})
+	b := NewBox([]int64{0, 0}, []int64{5, 5})
+	if out := Subtract(a, b); len(out) != 0 {
+		t.Errorf("got %v", out)
+	}
+}
+
+func TestSubtractProperty(t *testing.T) {
+	// Property: Subtract(a,b) pieces are disjoint, contained in a, disjoint
+	// from b, and together with a∩b cover a exactly (by point count).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dims := randomDims(r, 10)
+		a := randomBoxInExtent(r, dims)
+		b := randomBoxInExtent(r, dims)
+		pieces := Subtract(a, b)
+		total := a.Intersect(b).NumPoints()
+		for i, p := range pieces {
+			if p.IsEmpty() {
+				return false
+			}
+			if !a.Intersect(p).Equal(p) {
+				return false // not contained in a
+			}
+			if p.Intersects(b) {
+				return false
+			}
+			for j := i + 1; j < len(pieces); j++ {
+				if p.Intersects(pieces[j]) {
+					return false
+				}
+			}
+			total += p.NumPoints()
+		}
+		return total == a.NumPoints()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

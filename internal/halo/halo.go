@@ -1,0 +1,93 @@
+// Package halo implements structured ghost-cell exchange for
+// block-decomposed fields — the neighbor communication every stencil-based
+// simulation performs between steps (in the real stack this is DIY's ghost
+// exchange). Each rank owns one block of a regular decomposition; Exchange
+// returns the rank's field enlarged by a ghost layer filled with the
+// neighbors' boundary data.
+package halo
+
+import (
+	"fmt"
+
+	"lowfive/h5"
+	"lowfive/internal/grid"
+	"lowfive/mpi"
+)
+
+const tagHalo = 61
+
+// Exchange grows this rank's block by width cells (clipped to the domain),
+// returning the ghosted box and a row-major buffer over it with the
+// interior copied from field and the ghost cells received from the owning
+// ranks. blocks lists every rank's block (blocks[task.Rank()] must equal
+// the caller's block); fields are float32 with one value per cell.
+func Exchange(task *mpi.Comm, dims []int64, blocks []grid.Box, field []float32, width int) (grid.Box, []float32, error) {
+	if width < 0 {
+		return grid.Box{}, nil, fmt.Errorf("halo: negative width %d", width)
+	}
+	me := task.Rank()
+	mine := blocks[me]
+	if !mine.IsEmpty() && int64(len(field)) != mine.NumPoints() {
+		return grid.Box{}, nil, fmt.Errorf("halo: field has %d cells, block has %d", len(field), mine.NumPoints())
+	}
+	ghost := grow(mine, dims, width)
+	out := make([]float32, ghost.NumPoints())
+	if !mine.IsEmpty() {
+		grid.CopyRegion(h5.Bytes(out), ghost, h5.Bytes(field), mine, mine, 4)
+	}
+	if width == 0 || mine.IsEmpty() {
+		return ghost, out, nil
+	}
+
+	// For every other rank: what I need from them (their block ∩ my ghost)
+	// and what they need from me (my block ∩ their ghost). Both sides
+	// compute the same intersections, so no negotiation round is needed.
+	type xfer struct {
+		rank   int
+		region grid.Box
+	}
+	var sends, recvs []xfer
+	for r, b := range blocks {
+		if r == me || b.IsEmpty() {
+			continue
+		}
+		if in := b.Intersect(ghost); !in.IsEmpty() {
+			recvs = append(recvs, xfer{r, in})
+		}
+		if out := mine.Intersect(grow(b, dims, width)); !out.IsEmpty() {
+			sends = append(sends, xfer{r, out})
+		}
+	}
+	for _, s := range sends {
+		buf := grid.GatherRegion(make([]byte, 0, s.region.NumPoints()*4), h5.Bytes(field), mine, s.region, 4)
+		task.Send(s.rank, tagHalo, buf)
+	}
+	for _, rv := range recvs {
+		buf, _ := task.Recv(rv.rank, tagHalo)
+		if int64(len(buf)) != rv.region.NumPoints()*4 {
+			return grid.Box{}, nil, fmt.Errorf("halo: neighbor %d sent %d bytes for %d cells",
+				rv.rank, len(buf), rv.region.NumPoints())
+		}
+		grid.ScatterRegion(h5.Bytes(out), ghost, buf, rv.region, 4)
+	}
+	return ghost, out, nil
+}
+
+// grow expands a box by w in every direction, clipped to the domain.
+func grow(b grid.Box, dims []int64, w int) grid.Box {
+	if b.IsEmpty() {
+		return b
+	}
+	g := b.Clone()
+	for d := range g.Min {
+		g.Min[d] -= int64(w)
+		if g.Min[d] < 0 {
+			g.Min[d] = 0
+		}
+		g.Max[d] += int64(w)
+		if g.Max[d] > dims[d]-1 {
+			g.Max[d] = dims[d] - 1
+		}
+	}
+	return g
+}

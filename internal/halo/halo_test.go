@@ -1,0 +1,117 @@
+package halo
+
+import (
+	"testing"
+
+	"lowfive/internal/grid"
+	"lowfive/mpi"
+)
+
+func blocksOf(dims []int64, n int) []grid.Box {
+	dc := grid.CommonDecomposition(dims, n)
+	out := make([]grid.Box, n)
+	for i := range out {
+		out[i] = dc.Block(i)
+	}
+	return out
+}
+
+// fill sets cell values to their global linear index.
+func fill(dims []int64, b grid.Box) []float32 {
+	f := make([]float32, b.NumPoints())
+	i := 0
+	b.Runs(dims, func(off, n int64) {
+		for k := int64(0); k < n; k++ {
+			f[i] = float32(off + k)
+			i++
+		}
+	})
+	return f
+}
+
+func TestExchangeFillsGhosts(t *testing.T) {
+	dims := []int64{8, 8, 8}
+	for _, n := range []int{2, 4, 8} {
+		n := n
+		blocks := blocksOf(dims, n)
+		err := mpi.Run(n, func(c *mpi.Comm) {
+			mine := blocks[c.Rank()]
+			field := fill(dims, mine)
+			ghost, out, err := Exchange(c, dims, blocks, field, 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// Every cell of the ghosted box must hold its global index.
+			i := 0
+			bad := false
+			ghost.Runs(dims, func(off, cnt int64) {
+				for k := int64(0); k < cnt; k++ {
+					if !bad && out[i] != float32(off+k) {
+						t.Errorf("n=%d rank %d: ghost cell %d = %v want %d", n, c.Rank(), i, out[i], off+k)
+						bad = true
+					}
+					i++
+				}
+			})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestExchangeWidthZeroAndValidation(t *testing.T) {
+	dims := []int64{4, 4, 4}
+	blocks := blocksOf(dims, 2)
+	err := mpi.Run(2, func(c *mpi.Comm) {
+		mine := blocks[c.Rank()]
+		field := fill(dims, mine)
+		ghost, out, err := Exchange(c, dims, blocks, field, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !ghost.Equal(mine) || int64(len(out)) != mine.NumPoints() {
+			t.Error("width 0 should return the block unchanged")
+		}
+		if _, _, err := Exchange(c, dims, blocks, field, -1); err == nil {
+			t.Error("negative width should fail")
+		}
+		if _, _, err := Exchange(c, dims, blocks, field[:1], 1); err == nil {
+			t.Error("wrong field size should fail")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExchangeWideGhost(t *testing.T) {
+	// Width 2 ghosts spanning across more than the face-adjacent neighbor.
+	dims := []int64{6, 6, 6}
+	blocks := blocksOf(dims, 6)
+	err := mpi.Run(6, func(c *mpi.Comm) {
+		mine := blocks[c.Rank()]
+		field := fill(dims, mine)
+		ghost, out, err := Exchange(c, dims, blocks, field, 2)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		i := 0
+		ok := true
+		ghost.Runs(dims, func(off, cnt int64) {
+			for k := int64(0); k < cnt; k++ {
+				if ok && out[i] != float32(off+k) {
+					t.Errorf("rank %d: cell %d = %v want %d", c.Rank(), i, out[i], off+k)
+					ok = false
+				}
+				i++
+			}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,210 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"lowfive/internal/workload"
+)
+
+// sweep runs fn over the configured weak-scaling process counts. A first
+// run at the smallest scale is discarded as warmup so the smallest point
+// does not absorb one-time allocation and page-fault costs.
+func (c Config) sweep(name string, factor int64, fn func(spec workload.Spec) (float64, error)) (Series, error) {
+	s := Series{Name: name}
+	if len(c.Scales) > 0 {
+		if spec, err := c.specFor(c.Scales[0], factor); err == nil {
+			if _, err := fn(spec); err != nil {
+				return s, fmt.Errorf("%s warmup: %w", name, err)
+			}
+		}
+	}
+	for _, procs := range c.Scales {
+		spec, err := c.specFor(procs, factor)
+		if err != nil {
+			return s, err
+		}
+		avg, err := c.average(func() (float64, error) { return fn(spec) })
+		if err != nil {
+			return s, fmt.Errorf("%s at %d procs: %w", name, procs, err)
+		}
+		c.logf("  %-28s procs=%-6d %.4fs\n", name, procs, avg)
+		s.Points = append(s.Points, Point{Procs: procs, Seconds: avg})
+	}
+	return s, nil
+}
+
+// Fig5 compares LowFive file mode with LowFive memory mode (weak scaling).
+func (c Config) Fig5() (Figure, error) {
+	fig := Figure{ID: "Figure 5", Title: "Weak Scaling LowFive File vs Memory Mode (completion time)"}
+	file, err := c.sweep("LowFive File Mode", c.ScaleFactor, c.trialLowFiveFile)
+	if err != nil {
+		return fig, err
+	}
+	mem, err := c.sweep("LowFive Memory Mode", c.ScaleFactor, c.trialLowFiveMemory)
+	if err != nil {
+		return fig, err
+	}
+	fig.Series = []Series{file, mem}
+	return fig, nil
+}
+
+// Fig6 compares LowFive file mode with pure HDF5 file I/O.
+func (c Config) Fig6() (Figure, error) {
+	fig := Figure{ID: "Figure 6", Title: "Weak Scaling LowFive File Mode vs. HDF5 (completion time)"}
+	lf, err := c.sweep("LowFive File Mode", c.ScaleFactor, c.trialLowFiveFile)
+	if err != nil {
+		return fig, err
+	}
+	pure, err := c.sweep("Pure HDF5", c.ScaleFactor, c.trialPureHDF5)
+	if err != nil {
+		return fig, err
+	}
+	fig.Series = []Series{lf, pure}
+	return fig, nil
+}
+
+// Fig7 compares LowFive memory mode with the hand-written MPI code.
+func (c Config) Fig7() (Figure, error) {
+	fig := Figure{ID: "Figure 7", Title: "Weak Scaling LowFive Memory Mode vs MPI (completion time)"}
+	mem, err := c.sweep("LowFive Memory Mode", c.ScaleFactor, c.trialLowFiveMemory)
+	if err != nil {
+		return fig, err
+	}
+	pure, err := c.sweep("Pure MPI", c.ScaleFactor, c.trialPureMPI)
+	if err != nil {
+		return fig, err
+	}
+	fig.Series = []Series{mem, pure}
+	return fig, nil
+}
+
+// Fig8 compares LowFive memory mode with the DataSpaces staging service.
+func (c Config) Fig8() (Figure, error) {
+	fig := Figure{ID: "Figure 8", Title: "Weak Scaling LowFive Memory Mode vs DataSpaces (completion time)"}
+	mem, err := c.sweep("LowFive Memory Mode", c.ScaleFactor, c.trialLowFiveMemory)
+	if err != nil {
+		return fig, err
+	}
+	ds, err := c.sweep("DataSpaces", c.ScaleFactor, c.trialDataSpaces)
+	if err != nil {
+		return fig, err
+	}
+	fig.Series = []Series{mem, ds}
+	return fig, nil
+}
+
+// Fig9 compares LowFive memory mode with Bredala, decomposing Bredala's
+// time into its grid (bounding-box policy) and particle (contiguous
+// policy) phases as the paper does.
+func (c Config) Fig9() (Figure, error) {
+	fig := Figure{ID: "Figure 9", Title: "Weak Scaling LowFive Memory Mode vs Bredala (completion time)"}
+	mem, err := c.sweep("LowFive Memory Mode", c.ScaleFactor, c.trialLowFiveMemory)
+	if err != nil {
+		return fig, err
+	}
+	total := Series{Name: "Bredala total"}
+	gridS := Series{Name: "Bredala grid"}
+	partS := Series{Name: "Bredala particles"}
+	if len(c.Scales) > 0 {
+		if spec, err := c.specFor(c.Scales[0], c.ScaleFactor); err == nil {
+			if _, _, err := c.trialBredala(spec); err != nil {
+				return fig, fmt.Errorf("bredala warmup: %w", err)
+			}
+		}
+	}
+	for _, procs := range c.Scales {
+		spec, err := c.specFor(procs, c.ScaleFactor)
+		if err != nil {
+			return fig, err
+		}
+		var g, p float64
+		_, err = c.average(func() (float64, error) {
+			gs, ps, err := c.trialBredala(spec)
+			g += gs / float64(c.Trials)
+			p += ps / float64(c.Trials)
+			return gs + ps, err
+		})
+		if err != nil {
+			return fig, fmt.Errorf("bredala at %d procs: %w", procs, err)
+		}
+		c.logf("  %-28s procs=%-6d grid=%.4fs particles=%.4fs\n", "Bredala", procs, g, p)
+		gridS.Points = append(gridS.Points, Point{Procs: procs, Seconds: g})
+		partS.Points = append(partS.Points, Point{Procs: procs, Seconds: p})
+		total.Points = append(total.Points, Point{Procs: procs, Seconds: g + p})
+	}
+	fig.Series = []Series{mem, total, gridS, partS}
+	return fig, nil
+}
+
+// Fig11 repeats the three fastest transports with 10x larger data.
+func (c Config) Fig11() (Figure, error) {
+	fig := Figure{ID: "Figure 11", Title: "Weak Scaling LowFive vs DataSpaces vs MPI, Large Data (completion time)"}
+	if len(c.LargeScales) > 0 {
+		c.Scales = c.LargeScales
+	}
+	mem, err := c.sweep("LowFive Memory Mode", c.LargeFactor, c.trialLowFiveMemory)
+	if err != nil {
+		return fig, err
+	}
+	ds, err := c.sweep("DataSpaces", c.LargeFactor, c.trialDataSpaces)
+	if err != nil {
+		return fig, err
+	}
+	pure, err := c.sweep("MPI", c.LargeFactor, c.trialPureMPI)
+	if err != nil {
+		return fig, err
+	}
+	fig.Series = []Series{mem, ds, pure}
+	return fig, nil
+}
+
+// PrintTableI reproduces Table I: process counts and data sizes, both at
+// the paper's sizing and at this configuration's scaled sizing.
+func (c Config) PrintTableI(w io.Writer) {
+	fmt.Fprintln(w, "Table I: number of MPI processes and data sizes for 1 producer and 1 consumer task")
+	fmt.Fprintf(w, "%-10s %-10s %-10s %-14s %-14s %-12s %-14s\n",
+		"total", "producer", "consumer", "grid pts", "particles", "paper GiB", "scaled MiB")
+	paperScales := []int{4, 16, 64, 256, 1024, 4096, 16384}
+	for _, total := range paperScales {
+		paper := workload.PaperSpec(total)
+		scaled := paper.Scaled(c.ScaleFactor)
+		fmt.Fprintf(w, "%-10d %-10d %-10d %-14.1e %-14.1e %-12.2f %-14.2f\n",
+			total, paper.Producers, paper.Consumers,
+			float64(paper.TotalGridPoints()), float64(paper.TotalParticles()),
+			float64(paper.TotalBytes())/(1<<30),
+			float64(scaled.TotalBytes())/(1<<20))
+	}
+}
+
+// FigOverlap is an ablation beyond the paper: the producer-side cost of
+// serve-on-close (the LowFive default, where each snapshot's close blocks
+// until consumed) versus asynchronous serving (the paper's §V-C future
+// work), with per-step computation available for overlap.
+func (c Config) FigOverlap() (Figure, error) {
+	fig := Figure{ID: "Ablation", Title: "Producer wall time: serve-on-close vs asynchronous serve (3 steps, 50 ms compute/step)"}
+	const steps = 3
+	compute := 50 * time.Millisecond
+	sync := Series{Name: "Serve on close"}
+	async := Series{Name: "ServeAsync overlap"}
+	for _, procs := range c.Scales {
+		spec, err := c.specFor(procs, c.ScaleFactor)
+		if err != nil {
+			return fig, err
+		}
+		sv, err := c.average(func() (float64, error) { return c.trialOverlap(spec, steps, compute, false) })
+		if err != nil {
+			return fig, fmt.Errorf("overlap(sync) at %d procs: %w", procs, err)
+		}
+		av, err := c.average(func() (float64, error) { return c.trialOverlap(spec, steps, compute, true) })
+		if err != nil {
+			return fig, fmt.Errorf("overlap(async) at %d procs: %w", procs, err)
+		}
+		c.logf("  overlap procs=%-6d sync=%.4fs async=%.4fs\n", procs, sv, av)
+		sync.Points = append(sync.Points, Point{Procs: procs, Seconds: sv})
+		async.Points = append(async.Points, Point{Procs: procs, Seconds: av})
+	}
+	fig.Series = []Series{sync, async}
+	return fig, nil
+}

@@ -1,0 +1,278 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"lowfive/internal/nyx"
+	"lowfive/internal/workload"
+)
+
+func testConfig() Config {
+	c := QuickConfig()
+	c.Scales = []int{4}
+	c.NetAlpha = 0
+	c.NetBeta = 0
+	return c
+}
+
+func testSpec() workload.Spec {
+	return workload.Spec{Producers: 3, Consumers: 1, GridPointsPerProducer: 512, ParticlesPerProducer: 500}
+}
+
+func TestRecorder(t *testing.T) {
+	r := &Recorder{}
+	if r.Seconds() != 0 {
+		t.Error("empty recorder should read 0")
+	}
+	r.Start()
+	time.Sleep(5 * time.Millisecond)
+	r.Stop()
+	if s := r.Seconds(); s < 0.004 || s > 1 {
+		t.Errorf("seconds=%v", s)
+	}
+	// Start keeps the earliest, Stop the latest.
+	first := r.Seconds()
+	r.Start() // later start must not shrink the interval
+	if r.Seconds() < first {
+		t.Error("later Start must not move t0 forward")
+	}
+}
+
+func TestTrialLowFiveMemory(t *testing.T) {
+	c := testConfig()
+	sec, err := c.trialLowFiveMemory(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sec <= 0 {
+		t.Errorf("seconds=%v", sec)
+	}
+}
+
+func TestTrialLowFiveFileAndPureHDF5(t *testing.T) {
+	c := testConfig()
+	if _, err := c.trialLowFiveFile(testSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.trialPureHDF5(testSpec()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrialPureMPI(t *testing.T) {
+	c := testConfig()
+	if _, err := c.trialPureMPI(testSpec()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrialDataSpaces(t *testing.T) {
+	c := testConfig()
+	if _, err := c.trialDataSpaces(testSpec()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrialBredala(t *testing.T) {
+	c := testConfig()
+	g, p, err := c.trialBredala(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g <= 0 || p <= 0 {
+		t.Errorf("grid=%v particles=%v", g, p)
+	}
+}
+
+func TestFigurePrint(t *testing.T) {
+	fig := Figure{
+		ID:    "Figure X",
+		Title: "test",
+		Series: []Series{
+			{Name: "a", Points: []Point{{4, 1.5}, {16, 2.5}}},
+			{Name: "b", Points: []Point{{4, 0.5}}},
+		},
+	}
+	var buf bytes.Buffer
+	fig.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"Figure X", "a", "b", "4", "16", "1.5000s", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintTableI(t *testing.T) {
+	var buf bytes.Buffer
+	DefaultConfig().PrintTableI(&buf)
+	out := buf.String()
+	// 228.88 GiB is the exact total at 16384 procs; the paper's 223.51
+	// comes from rounding the point counts to 1.2e10 first.
+	for _, want := range []string{"16384", "12288", "4096", "228.88"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpecForValidation(t *testing.T) {
+	c := testConfig()
+	if _, err := c.specFor(2, 10); err == nil {
+		t.Error("fewer than 4 procs should fail")
+	}
+	spec, err := c.specFor(16, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Producers != 12 || spec.Consumers != 4 {
+		t.Errorf("split %d/%d", spec.Producers, spec.Consumers)
+	}
+}
+
+func TestFig7EndToEnd(t *testing.T) {
+	// One full (tiny) figure: both series produced for every scale.
+	c := testConfig()
+	c.Scales = []int{4, 8}
+	c.ScaleFactor = 2000
+	fig, err := c.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series=%d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != 2 {
+			t.Errorf("series %q has %d points", s.Name, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Seconds <= 0 {
+				t.Errorf("series %q at %d procs: %v", s.Name, p.Procs, p.Seconds)
+			}
+		}
+	}
+}
+
+func TestTableIISmoke(t *testing.T) {
+	c := testConfig()
+	u := UseCaseConfig{
+		GridSides:     []int64{16},
+		NyxProcs:      4,
+		ReeberProcs:   2,
+		Steps:         2,
+		Threshold:     10,
+		PlotfileGroup: 2,
+	}
+	rows, err := c.TableII(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	r := rows[0]
+	if r.Halos != nyx.DefaultParams(16).NumHalos {
+		t.Errorf("halos=%d", r.Halos)
+	}
+	if r.LFWrite <= 0 || r.H5Write <= 0 || r.PlotWrite <= 0 {
+		t.Errorf("timings %+v", r)
+	}
+	var buf bytes.Buffer
+	PrintTableII(&buf, rows)
+	if !strings.Contains(buf.String(), "16^3") {
+		t.Errorf("table output:\n%s", buf.String())
+	}
+}
+
+func TestFigureWriteCSV(t *testing.T) {
+	fig := Figure{
+		ID: "F", Title: "t",
+		Series: []Series{
+			{Name: "a", Points: []Point{{4, 1.5}, {16, 2.0}}},
+			{Name: "b", Points: []Point{{16, 0.25}}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := fig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "procs,a,b\n4,1.500000,\n16,2.000000,0.250000\n"
+	if got != want {
+		t.Errorf("csv:\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestAllFiguresSmoke(t *testing.T) {
+	// One tiny end-to-end pass through every figure generator.
+	c := testConfig()
+	c.Scales = []int{4}
+	c.LargeScales = []int{4}
+	c.ScaleFactor = 2000
+	c.LargeFactor = 2000
+	figs := []struct {
+		name string
+		run  func() (Figure, error)
+	}{
+		{"fig5", c.Fig5},
+		{"fig6", c.Fig6},
+		{"fig8", c.Fig8},
+		{"fig9", c.Fig9},
+		{"fig11", c.Fig11},
+	}
+	for _, f := range figs {
+		fig, err := f.run()
+		if err != nil {
+			t.Fatalf("%s: %v", f.name, err)
+		}
+		if len(fig.Series) < 2 {
+			t.Errorf("%s: %d series", f.name, len(fig.Series))
+		}
+		for _, s := range fig.Series {
+			if len(s.Points) != 1 || s.Points[0].Seconds <= 0 {
+				t.Errorf("%s series %q: points %v", f.name, s.Name, s.Points)
+			}
+		}
+	}
+}
+
+func TestFigOverlapShowsBenefit(t *testing.T) {
+	c := testConfig()
+	spec := workload.Spec{Producers: 3, Consumers: 1, GridPointsPerProducer: 500, ParticlesPerProducer: 500}
+	const steps = 3
+	compute := 40 * time.Millisecond
+	sync, err := c.trialOverlap(spec, steps, compute, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	async, err := c.trialOverlap(spec, steps, compute, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both include steps*compute of work; the async variant must not be
+	// meaningfully slower (it overlaps serving with that work).
+	if async > sync+float64(compute)/1e9*float64(steps)/2 {
+		t.Errorf("async %v should not exceed sync %v by half the compute budget", async, sync)
+	}
+	if sync < (float64(compute) / 1e9 * steps) {
+		t.Errorf("sync %v should include the compute time", sync)
+	}
+}
+
+func TestWriteTableIICSV(t *testing.T) {
+	rows := []TableIIRow{{Side: 32, LFWrite: 0.1, LFRead: 0.1, H5Write: 0.4, H5Read: 0.2, PlotWrite: 0.3, Halos: 24}}
+	var buf bytes.Buffer
+	if err := WriteTableIICSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"grid_side", "32,0.100000", "3.000", "1.500", ",24\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("csv missing %q:\n%s", want, out)
+		}
+	}
+}

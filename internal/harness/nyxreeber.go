@@ -1,0 +1,354 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"lowfive/h5"
+	"lowfive/internal/core"
+	"lowfive/internal/grid"
+	"lowfive/internal/native"
+	"lowfive/internal/nyx"
+	"lowfive/internal/pfs"
+	"lowfive/internal/plotfile"
+	"lowfive/internal/reeber"
+	"lowfive/mpi"
+)
+
+// UseCaseConfig sizes the Nyx–Reeber reproduction of Table II. The paper
+// runs grids 256^3–2048^3 on 4096 Nyx + 1024 Reeber processes and writes
+// two snapshots; the defaults scale that to laptop size while keeping the
+// 4:1 process ratio and the two-snapshot protocol.
+type UseCaseConfig struct {
+	// GridSides are the N of the N^3 grids swept (the paper's 256..2048).
+	GridSides []int64
+	// NyxProcs and ReeberProcs are the task sizes (4096 and 1024 in the paper).
+	NyxProcs, ReeberProcs int
+	// Steps is the number of snapshots (2 in the paper).
+	Steps int
+	// Threshold is the halo-finding density threshold.
+	Threshold float64
+	// PlotfileGroup is how many Nyx ranks share one plotfile.
+	PlotfileGroup int
+	// FS overrides the harness's file-system model for this use case (the
+	// paper ran it on Cori scratch, a busier allocation than the synthetic
+	// benchmarks' Theta setup). Nil uses the harness default.
+	FS *pfs.Options
+}
+
+// DefaultUseCaseConfig returns a laptop-scale Table II setup.
+func DefaultUseCaseConfig() UseCaseConfig {
+	return UseCaseConfig{
+		GridSides:     []int64{32, 64, 128},
+		NyxProcs:      16,
+		ReeberProcs:   4,
+		Steps:         2,
+		Threshold:     10,
+		PlotfileGroup: 4,
+		FS: &pfs.Options{
+			NumOSTs:           8,
+			StripeSize:        64 << 10,
+			OSTBandwidth:      2e6,
+			OSTLatency:        2 * time.Millisecond,
+			SharedLockLatency: 1 * time.Millisecond,
+		},
+	}
+}
+
+// fsOptions picks the use case's file-system model.
+func (u UseCaseConfig) fsOptions(c Config) pfs.Options {
+	if u.FS != nil {
+		return *u.FS
+	}
+	return c.FS
+}
+
+// TableIIRow is one grid size's measurements.
+type TableIIRow struct {
+	Side                             int64
+	LFWrite, LFRead, H5Write, H5Read float64
+	PlotWrite                        float64
+	Halos                            int
+}
+
+// SpeedupVsHDF5 is the paper's "LowFive vs HDF5" column:
+// (HDF5 write + read) / (LowFive write + read).
+func (r TableIIRow) SpeedupVsHDF5() float64 {
+	return (r.H5Write + r.H5Read) / (r.LFWrite + r.LFRead)
+}
+
+// SpeedupVsPlotfiles is the paper's "LowFive vs Plotfiles" column, a lower
+// bound that assumes the (unreported) plotfile read time is zero.
+func (r TableIIRow) SpeedupVsPlotfiles() float64 {
+	return r.PlotWrite / (r.LFWrite + r.LFRead)
+}
+
+// TableII runs the three scenarios of the science use case for every grid
+// size and returns the rows of Table II. All three transports' halo counts
+// are validated to be identical.
+func (c Config) TableII(u UseCaseConfig) ([]TableIIRow, error) {
+	var rows []TableIIRow
+	for _, side := range u.GridSides {
+		row := TableIIRow{Side: side}
+		params := nyx.DefaultParams(side)
+		params.Repack = true // the AMReX writer repacks; zero-copy disabled
+
+		lfW, lfR, halosLF, err := c.useCaseLowFive(u, params)
+		if err != nil {
+			return rows, fmt.Errorf("LowFive at %d^3: %w", side, err)
+		}
+		h5W, h5R, halosH5, err := c.useCaseHDF5(u, params)
+		if err != nil {
+			return rows, fmt.Errorf("HDF5 at %d^3: %w", side, err)
+		}
+		plW, halosPl, err := c.useCasePlotfiles(u, params)
+		if err != nil {
+			return rows, fmt.Errorf("plotfiles at %d^3: %w", side, err)
+		}
+		if halosLF != halosH5 || halosLF != halosPl {
+			return rows, fmt.Errorf("halo counts disagree at %d^3: lowfive=%d hdf5=%d plotfiles=%d",
+				side, halosLF, halosH5, halosPl)
+		}
+		if halosLF != params.NumHalos {
+			return rows, fmt.Errorf("found %d halos at %d^3, seeded %d", halosLF, side, params.NumHalos)
+		}
+		row.LFWrite, row.LFRead = lfW, lfR
+		row.H5Write, row.H5Read = h5W, h5R
+		row.PlotWrite = plW
+		row.Halos = halosLF
+		c.logf("  %d^3: LF %.3f/%.3f  HDF5 %.3f/%.3f  plot %.3f  halos %d\n",
+			side, lfW, lfR, h5W, h5R, plW, halosLF)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// useCaseLowFive couples Nyx and Reeber in situ through the distributed
+// metadata VOL: zero changes to either code — both just get a different
+// file-access property list.
+func (c Config) useCaseLowFive(u UseCaseConfig, params nyx.Params) (writeSec, readSec float64, halos int, err error) {
+	recW := newRecorders(u.Steps)
+	recR := newRecorders(u.Steps)
+	var errs errCollector
+	var firstHalos int
+	werr := mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "nyx", Procs: u.NyxProcs, Main: func(p *mpi.Proc) {
+			vol := core.NewDistMetadataVOL(p.Task, nil)
+			vol.SetIntercomm("*", p.Intercomm("reeber"))
+			fapl := h5.NewFileAccessProps(vol)
+			sim, err := nyx.New(params, p.Task)
+			if err != nil {
+				errs.add(err)
+				return
+			}
+			for step := 0; step < u.Steps; step++ {
+				if step > 0 {
+					sim.Step()
+				}
+				name := fmt.Sprintf("plt%05d.h5", step)
+				p.Task.Barrier()
+				recW[step].Start()
+				errs.add(sim.WriteSnapshot(name, fapl)) // close serves Reeber
+				p.Task.Barrier()
+				recW[step].Stop()
+				vol.RemoveFile(name) // snapshot delivered; free the memory
+			}
+		}},
+		{Name: "reeber", Procs: u.ReeberProcs, Main: func(p *mpi.Proc) {
+			vol := core.NewDistMetadataVOL(p.Task, nil)
+			vol.SetIntercomm("*", p.Intercomm("nyx"))
+			fapl := h5.NewFileAccessProps(vol)
+			for step := 0; step < u.Steps; step++ {
+				name := fmt.Sprintf("plt%05d.h5", step)
+				p.Task.Barrier()
+				recR[step].Start()
+				f, err := h5.OpenFile(name, fapl)
+				if err != nil {
+					errs.add(err)
+					return
+				}
+				dims, box, density, err := reeber.ReadDensity(p.Task, f, nyx.DatasetPath)
+				errs.add(err)
+				errs.add(f.Close())
+				p.Task.Barrier()
+				recR[step].Stop()
+				// The halo finding itself is analysis, not transport: untimed.
+				if err == nil {
+					res, ferr := reeber.FindHalos(p.Task, dims, box, density, u.Threshold)
+					errs.add(ferr)
+					if p.Task.Rank() == 0 && step == 0 {
+						firstHalos = res.NumHalos
+					}
+				}
+			}
+		}},
+	}, c.mpiOpts()...)
+	if werr == nil {
+		werr = errs.first()
+	}
+	return sumSeconds(recW), sumSeconds(recR), firstHalos, werr
+}
+
+// useCaseHDF5 is the baseline: Nyx saves both snapshots to single shared
+// container files on the parallel file system; after Nyx finishes, Reeber
+// reads them back.
+func (c Config) useCaseHDF5(u UseCaseConfig, params nyx.Params) (writeSec, readSec float64, halos int, err error) {
+	fs := pfs.New(u.fsOptions(c))
+	recW := newRecorders(u.Steps)
+	recR := newRecorders(u.Steps)
+	var errs errCollector
+	var firstHalos int
+	werr := mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "nyx", Procs: u.NyxProcs, Main: func(p *mpi.Proc) {
+			fapl := h5.NewFileAccessProps(native.New(native.PFSBackend(fs)))
+			sim, err := nyx.New(params, p.Task)
+			if err != nil {
+				errs.add(err)
+				return
+			}
+			for step := 0; step < u.Steps; step++ {
+				if step > 0 {
+					sim.Step()
+				}
+				p.Task.Barrier()
+				recW[step].Start()
+				errs.add(sim.WriteSnapshot(fmt.Sprintf("plt%05d.h5", step), fapl))
+				p.Task.Barrier()
+				recW[step].Stop()
+			}
+			p.World.Barrier() // Nyx finished; Reeber may start
+		}},
+		{Name: "reeber", Procs: u.ReeberProcs, Main: func(p *mpi.Proc) {
+			fapl := h5.NewFileAccessProps(native.New(native.PFSBackend(fs)))
+			p.World.Barrier() // wait for Nyx
+			for step := 0; step < u.Steps; step++ {
+				p.Task.Barrier()
+				recR[step].Start()
+				f, err := h5.OpenFile(fmt.Sprintf("plt%05d.h5", step), fapl)
+				if err != nil {
+					errs.add(err)
+					return
+				}
+				dims, box, density, err := reeber.ReadDensity(p.Task, f, nyx.DatasetPath)
+				errs.add(err)
+				errs.add(f.Close())
+				p.Task.Barrier()
+				recR[step].Stop()
+				if err == nil {
+					res, ferr := reeber.FindHalos(p.Task, dims, box, density, u.Threshold)
+					errs.add(ferr)
+					if p.Task.Rank() == 0 && step == 0 {
+						firstHalos = res.NumHalos
+					}
+				}
+			}
+		}},
+	}, c.mpiOpts()...)
+	if werr == nil {
+		werr = errs.first()
+	}
+	return sumSeconds(recW), sumSeconds(recR), firstHalos, werr
+}
+
+// useCasePlotfiles writes snapshots in the grouped plotfile format. The
+// paper excludes the (unoptimized) plotfile read time; for validation the
+// Nyx task itself re-reads the files and runs the halo finding, untimed.
+func (c Config) useCasePlotfiles(u UseCaseConfig, params nyx.Params) (writeSec float64, halos int, err error) {
+	fs := pfs.New(u.fsOptions(c))
+	recW := newRecorders(u.Steps)
+	var errs errCollector
+	var firstHalos int
+	werr := mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "nyx", Procs: u.NyxProcs, Main: func(p *mpi.Proc) {
+			be := native.PFSBackend(fs)
+			sim, err := nyx.New(params, p.Task)
+			if err != nil {
+				errs.add(err)
+				return
+			}
+			dc := simBlocks(params, p.Task.Size())
+			for step := 0; step < u.Steps; step++ {
+				if step > 0 {
+					sim.Step()
+				}
+				name := fmt.Sprintf("plt%05d", step)
+				p.Task.Barrier()
+				recW[step].Start()
+				errs.add(plotfile.Write(be, name, p.Task, u.PlotfileGroup, sim.Dims(), dc, sim.Field()))
+				p.Task.Barrier()
+				recW[step].Stop()
+				if step == 0 {
+					// Untimed validation read + halo finding.
+					dims, box, data, err := plotfile.Read(be, name, p.Task)
+					errs.add(err)
+					if err == nil {
+						res, err := reeber.FindHalos(p.Task, dims, box, data, u.Threshold)
+						errs.add(err)
+						if p.Task.Rank() == 0 {
+							firstHalos = res.NumHalos
+						}
+					}
+				}
+			}
+		}},
+	}, c.mpiOpts()...)
+	if werr == nil {
+		werr = errs.first()
+	}
+	return sumSeconds(recW), firstHalos, werr
+}
+
+// simBlocks returns every rank's block of the Nyx decomposition (all ranks
+// can compute it, so plotfile offsets need no communication).
+func simBlocks(params nyx.Params, n int) []grid.Box {
+	dims := []int64{params.GridSide, params.GridSide, params.GridSide}
+	dc := grid.CommonDecomposition(dims, n)
+	out := make([]grid.Box, n)
+	for i := range out {
+		out[i] = dc.Block(i)
+	}
+	return out
+}
+
+// PrintTableII renders rows in the paper's format.
+func PrintTableII(w io.Writer, rows []TableIIRow) {
+	fmt.Fprintln(w, "Table II: results of Nyx-Reeber use case (timings in seconds)")
+	fmt.Fprintf(w, "%-10s %12s %12s %12s %12s %12s %12s %12s %8s\n",
+		"data size", "LF write", "LF read", "HDF5 write", "HDF5 read",
+		"plot write", "LF/HDF5", "LF/plot", "halos")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %12.3f %12.3f %12.3f %12.3f %12.3f %12.2f %12.2f %8d\n",
+			fmt.Sprintf("%d^3", r.Side), r.LFWrite, r.LFRead, r.H5Write, r.H5Read,
+			r.PlotWrite, r.SpeedupVsHDF5(), r.SpeedupVsPlotfiles(), r.Halos)
+	}
+}
+
+// WriteTableIICSV emits Table II rows as CSV.
+func WriteTableIICSV(w io.Writer, rows []TableIIRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"grid_side", "lf_write_s", "lf_read_s", "hdf5_write_s", "hdf5_read_s",
+		"plot_write_s", "speedup_vs_hdf5", "speedup_vs_plotfiles", "halos"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			strconv.FormatInt(r.Side, 10),
+			strconv.FormatFloat(r.LFWrite, 'f', 6, 64),
+			strconv.FormatFloat(r.LFRead, 'f', 6, 64),
+			strconv.FormatFloat(r.H5Write, 'f', 6, 64),
+			strconv.FormatFloat(r.H5Read, 'f', 6, 64),
+			strconv.FormatFloat(r.PlotWrite, 'f', 6, 64),
+			strconv.FormatFloat(r.SpeedupVsHDF5(), 'f', 3, 64),
+			strconv.FormatFloat(r.SpeedupVsPlotfiles(), 'f', 3, 64),
+			strconv.Itoa(r.Halos),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,461 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"lowfive/h5"
+	"lowfive/internal/baselines/bredala"
+	"lowfive/internal/baselines/dataspaces"
+	"lowfive/internal/baselines/puremp"
+	"lowfive/internal/core"
+	"lowfive/internal/grid"
+	"lowfive/internal/native"
+	"lowfive/internal/pfs"
+	"lowfive/internal/workload"
+	"lowfive/mpi"
+)
+
+// errCollector gathers the first error raised by any rank of a workflow.
+type errCollector struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (e *errCollector) add(err error) {
+	if err == nil {
+		return
+	}
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.mu.Unlock()
+}
+
+func (e *errCollector) first() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+func (c Config) mpiOpts() []mpi.Option {
+	return []mpi.Option{mpi.WithCostModel(c.NetAlpha, c.NetBeta)}
+}
+
+// trialLowFiveMemory measures one in situ exchange through the distributed
+// metadata VOL (the "LowFive Memory Mode" series).
+func (c Config) trialLowFiveMemory(spec workload.Spec) (float64, error) {
+	rec := &Recorder{}
+	var errs errCollector
+	err := mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "producer", Procs: spec.Producers, Main: func(p *mpi.Proc) {
+			gridVals, partVals := workload.GenerateProducer(spec, p.Task.Rank())
+			vol := core.NewDistMetadataVOL(p.Task, nil)
+			vol.SetIntercomm("*", p.Intercomm("consumer"))
+			// The paper's benchmark serves from the original user buffers
+			// ("LowFive ... does not allocate additional memory for indexing
+			// and serving data"), i.e. shallow copies.
+			vol.SetZeroCopy("*", "*")
+			fapl := h5.NewFileAccessProps(vol)
+			p.World.Barrier()
+			rec.Start()
+			f, err := h5.CreateFile("synthetic.h5", fapl)
+			if err != nil {
+				errs.add(err)
+				return
+			}
+			errs.add(workload.WriteSynthetic(f, spec, p.Task.Rank(), gridVals, partVals))
+			errs.add(f.Close()) // index + serve
+			p.World.Barrier()
+			rec.Stop()
+		}},
+		{Name: "consumer", Procs: spec.Consumers, Main: func(p *mpi.Proc) {
+			vol := core.NewDistMetadataVOL(p.Task, nil)
+			vol.SetIntercomm("*", p.Intercomm("producer"))
+			fapl := h5.NewFileAccessProps(vol)
+			p.World.Barrier()
+			rec.Start()
+			f, err := h5.OpenFile("synthetic.h5", fapl)
+			if err != nil {
+				errs.add(err)
+				return
+			}
+			gridBuf, partBuf, err := workload.ReadConsumer(f, spec, p.Task.Rank())
+			errs.add(err)
+			errs.add(f.Close()) // done
+			p.World.Barrier()
+			rec.Stop()
+			if err == nil {
+				errs.add(workload.ValidateConsumer(spec, p.Task.Rank(), gridBuf, partBuf))
+			}
+		}},
+	}, c.mpiOpts()...)
+	if err == nil {
+		err = errs.first()
+	}
+	return rec.Seconds(), err
+}
+
+// fileTrial measures a write-to-storage + read-from-storage exchange using
+// the given per-rank connector factories (LowFive file mode or pure HDF5).
+func (c Config) fileTrial(spec workload.Spec, mkVOL func() h5.Connector) (float64, error) {
+	rec := &Recorder{}
+	var errs errCollector
+	err := mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "producer", Procs: spec.Producers, Main: func(p *mpi.Proc) {
+			gridVals, partVals := workload.GenerateProducer(spec, p.Task.Rank())
+			fapl := h5.NewFileAccessProps(mkVOL())
+			p.World.Barrier()
+			rec.Start()
+			f, err := h5.CreateFile("synthetic.h5", fapl)
+			if err != nil {
+				errs.add(err)
+				return
+			}
+			errs.add(workload.WriteSynthetic(f, spec, p.Task.Rank(), gridVals, partVals))
+			errs.add(f.Close())
+			p.World.Barrier() // file now complete on "disk"
+			p.World.Barrier() // consumers done reading
+			rec.Stop()
+		}},
+		{Name: "consumer", Procs: spec.Consumers, Main: func(p *mpi.Proc) {
+			fapl := h5.NewFileAccessProps(mkVOL())
+			p.World.Barrier()
+			rec.Start()
+			p.World.Barrier() // wait for writers
+			f, err := h5.OpenFile("synthetic.h5", fapl)
+			if err != nil {
+				errs.add(err)
+				p.World.Barrier()
+				return
+			}
+			gridBuf, partBuf, err := workload.ReadConsumer(f, spec, p.Task.Rank())
+			errs.add(err)
+			errs.add(f.Close())
+			p.World.Barrier()
+			rec.Stop()
+			if err == nil {
+				errs.add(workload.ValidateConsumer(spec, p.Task.Rank(), gridBuf, partBuf))
+			}
+		}},
+	}, c.mpiOpts()...)
+	if err == nil {
+		err = errs.first()
+	}
+	return rec.Seconds(), err
+}
+
+// trialLowFiveFile is LowFive in file mode: the full VOL stack with memory
+// and passthru both enabled, over the simulated parallel file system.
+func (c Config) trialLowFiveFile(spec workload.Spec) (float64, error) {
+	fs := pfs.New(c.FS)
+	return c.fileTrial(spec, func() h5.Connector {
+		vol := core.NewMetadataVOL(native.New(native.PFSBackend(fs)))
+		vol.SetPassthru("*", true)
+		return vol
+	})
+}
+
+// trialPureHDF5 writes and reads the container file directly, without the
+// LowFive layer (the "Pure HDF5" series of Figure 6).
+func (c Config) trialPureHDF5(spec workload.Spec) (float64, error) {
+	fs := pfs.New(c.FS)
+	return c.fileTrial(spec, func() h5.Connector {
+		return native.New(native.PFSBackend(fs))
+	})
+}
+
+// particleBox returns the [rows, 3] box of a contiguous particle range.
+func particleBox(lo, hi int64) grid.Box {
+	return grid.Box{Min: []int64{lo, 0}, Max: []int64{hi - 1, 2}}
+}
+
+// trialPureMPI measures the hand-written MPI redistribution (Figure 7).
+func (c Config) trialPureMPI(spec workload.Spec) (float64, error) {
+	rec := &Recorder{}
+	var errs errCollector
+	totalParts := spec.TotalParticles()
+	prodGridBox := func(r int) grid.Box { return spec.ProducerGridBox(r) }
+	consGridBox := func(r int) grid.Box { return spec.ConsumerGridBox(r) }
+	prodPartBox := func(r int) grid.Box {
+		lo, hi := workload.ParticleRange(totalParts, spec.Producers, r)
+		return particleBox(lo, hi)
+	}
+	consPartBox := func(r int) grid.Box {
+		lo, hi := workload.ParticleRange(totalParts, spec.Consumers, r)
+		return particleBox(lo, hi)
+	}
+	err := mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "producer", Procs: spec.Producers, Main: func(p *mpi.Proc) {
+			r := p.Task.Rank()
+			gridVals, partVals := workload.GenerateProducer(spec, r)
+			ic := p.Intercomm("consumer")
+			p.World.Barrier()
+			rec.Start()
+			puremp.ProducerSend(ic, prodGridBox(r), h5.Bytes(gridVals), 8, consGridBox)
+			puremp.ProducerSend(ic, prodPartBox(r), h5.Bytes(partVals), 4, consPartBox)
+			p.World.Barrier()
+			rec.Stop()
+		}},
+		{Name: "consumer", Procs: spec.Consumers, Main: func(p *mpi.Proc) {
+			r := p.Task.Rank()
+			ic := p.Intercomm("producer")
+			p.World.Barrier()
+			rec.Start()
+			gridBuf := puremp.ConsumerRecv(ic, consGridBox(r), 8, prodGridBox)
+			partBuf := puremp.ConsumerRecv(ic, consPartBox(r), 4, prodPartBox)
+			p.World.Barrier()
+			rec.Stop()
+			errs.add(workload.ValidateConsumer(spec, r, h5.View[uint64](gridBuf), h5.View[float32](partBuf)))
+		}},
+	}, c.mpiOpts()...)
+	if err == nil {
+		err = errs.first()
+	}
+	return rec.Seconds(), err
+}
+
+// trialDataSpaces measures the staging baseline (Figure 8). Server ranks
+// are additional resources beyond the producer/consumer counts, as in the
+// paper ("we used 4 additional compute nodes for the DataSpaces server").
+func (c Config) trialDataSpaces(spec workload.Spec) (float64, error) {
+	rec := &Recorder{}
+	var errs errCollector
+	nsrv := (spec.Producers + spec.Consumers) / 16
+	if nsrv < 1 {
+		nsrv = 1
+	}
+	totalParts := spec.TotalParticles()
+	err := mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "producer", Procs: spec.Producers, Main: func(p *mpi.Proc) {
+			r := p.Task.Rank()
+			gridVals, partVals := workload.GenerateProducer(spec, r)
+			clients := p.World.Split(0, 0)
+			pr := dataspaces.NewProducer(p.Intercomm("dsserver"), p.Intercomm("consumer"))
+			clients.Barrier()
+			rec.Start()
+			box := spec.ProducerGridBox(r)
+			if !box.IsEmpty() {
+				errs.add(pr.PutLocal("grid", 0, box, h5.Bytes(gridVals), 8))
+			}
+			lo, hi := workload.ParticleRange(totalParts, spec.Producers, r)
+			if hi > lo {
+				errs.add(pr.PutLocal("particles", 0, particleBox(lo, hi), h5.Bytes(partVals), 4))
+			}
+			clients.Barrier() // all consumers finished their gets
+			rec.Stop()
+			pr.Finalize()
+		}},
+		{Name: "consumer", Procs: spec.Consumers, Main: func(p *mpi.Proc) {
+			r := p.Task.Rank()
+			clients := p.World.Split(0, 1<<20) // keys after producers
+			cons := dataspaces.NewConsumer(p.Intercomm("dsserver"), p.Intercomm("producer"))
+			clients.Barrier()
+			rec.Start()
+			var gridBuf []byte
+			box := spec.ConsumerGridBox(r)
+			if !box.IsEmpty() {
+				b, err := cons.Get("grid", 0, box, 8)
+				errs.add(err)
+				gridBuf = b
+			}
+			var partBuf []byte
+			lo, hi := workload.ParticleRange(totalParts, spec.Consumers, r)
+			if hi > lo {
+				b, err := cons.Get("particles", 0, particleBox(lo, hi), 4)
+				errs.add(err)
+				partBuf = b
+			}
+			clients.Barrier()
+			rec.Stop()
+			cons.Finalize()
+			errs.add(workload.ValidateConsumer(spec, r, h5.View[uint64](gridBuf), h5.View[float32](partBuf)))
+		}},
+		{Name: "dsserver", Procs: nsrv, Main: func(p *mpi.Proc) {
+			p.World.Split(-1, 0)
+			dataspaces.RunServer(p.Task, p.Intercomm("producer"), p.Intercomm("consumer"))
+		}},
+	}, c.mpiOpts()...)
+	if err == nil {
+		err = errs.first()
+	}
+	return rec.Seconds(), err
+}
+
+// trialBredala measures the Bredala baseline, returning the grid phase,
+// particle phase and total times that Figure 9 plots separately.
+func (c Config) trialBredala(spec workload.Spec) (gridSec, partSec float64, err error) {
+	recGrid := &Recorder{}
+	recPart := &Recorder{}
+	var errs errCollector
+	dims := spec.GridDims()
+	totalParts := spec.TotalParticles()
+	err = mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "producer", Procs: spec.Producers, Main: func(p *mpi.Proc) {
+			r := p.Task.Rank()
+			gridVals, partVals := workload.GenerateProducer(spec, r)
+			ic := p.Intercomm("consumer")
+			lo, _ := workload.ParticleRange(totalParts, spec.Producers, r)
+			gf := &bredala.Field{
+				Name: "grid", Policy: bredala.SplitBBox, ElemSize: 8,
+				Data: h5.Bytes(gridVals), Box: spec.ProducerGridBox(r), Dims: dims,
+			}
+			pf := &bredala.Field{
+				Name: "particles", Policy: bredala.SplitContiguous, ElemSize: 12,
+				Data: h5.Bytes(partVals), GlobalOffset: lo, GlobalCount: totalParts,
+			}
+			container := &bredala.Container{}
+			container.Append(gf)
+			container.Append(pf)
+			p.World.Barrier()
+			recGrid.Start()
+			_, e := bredala.RedistributeBBox(ic, true, gf, grid.Box{}, 8, dims)
+			errs.add(e)
+			p.World.Barrier()
+			recGrid.Stop()
+			recPart.Start()
+			_, e = bredala.RedistributeContiguous(ic, true, pf, 12)
+			errs.add(e)
+			p.World.Barrier()
+			recPart.Stop()
+		}},
+		{Name: "consumer", Procs: spec.Consumers, Main: func(p *mpi.Proc) {
+			r := p.Task.Rank()
+			ic := p.Intercomm("producer")
+			p.World.Barrier()
+			recGrid.Start()
+			gf, e := bredala.RedistributeBBox(ic, false, nil, spec.ConsumerGridBox(r), 8, dims)
+			errs.add(e)
+			p.World.Barrier()
+			recGrid.Stop()
+			recPart.Start()
+			pf, e := bredala.RedistributeContiguous(ic, false, nil, 12)
+			errs.add(e)
+			p.World.Barrier()
+			recPart.Stop()
+			if gf != nil && pf != nil {
+				errs.add(workload.ValidateConsumer(spec, r, h5.View[uint64](gf.Data), h5.View[float32](pf.Data)))
+			}
+		}},
+	}, c.mpiOpts()...)
+	if err == nil {
+		err = errs.first()
+	}
+	return recGrid.Seconds(), recPart.Seconds(), err
+}
+
+// specFor builds the scaled workload spec for one total process count.
+func (c Config) specFor(totalProcs int, factor int64) (workload.Spec, error) {
+	if totalProcs < 4 {
+		return workload.Spec{}, fmt.Errorf("harness: need at least 4 processes, got %d", totalProcs)
+	}
+	return workload.PaperSpec(totalProcs).Scaled(factor), nil
+}
+
+// Exported trial entry points for the top-level benchmark suite
+// (bench_test.go), one per transport.
+
+// TrialLowFiveMemory runs one in situ exchange and returns its seconds.
+func (c Config) TrialLowFiveMemory(spec workload.Spec) (float64, error) {
+	return c.trialLowFiveMemory(spec)
+}
+
+// TrialLowFiveFile runs one file-mode exchange through the LowFive stack.
+func (c Config) TrialLowFiveFile(spec workload.Spec) (float64, error) {
+	return c.trialLowFiveFile(spec)
+}
+
+// TrialPureHDF5 runs one file exchange without the LowFive layer.
+func (c Config) TrialPureHDF5(spec workload.Spec) (float64, error) {
+	return c.trialPureHDF5(spec)
+}
+
+// TrialPureMPI runs one hand-written MPI redistribution.
+func (c Config) TrialPureMPI(spec workload.Spec) (float64, error) {
+	return c.trialPureMPI(spec)
+}
+
+// TrialDataSpaces runs one staged exchange.
+func (c Config) TrialDataSpaces(spec workload.Spec) (float64, error) {
+	return c.trialDataSpaces(spec)
+}
+
+// TrialBredala runs one Bredala exchange, returning grid and particle times.
+func (c Config) TrialBredala(spec workload.Spec) (gridSec, partSec float64, err error) {
+	return c.trialBredala(spec)
+}
+
+// trialOverlap measures the serve-overlap ablation: a producer publishes
+// several snapshots, doing computeTime of work after each; with overlap it
+// serves asynchronously during that work, without it each close blocks
+// until the consumer is done. Returns the producer-side wall time.
+func (c Config) trialOverlap(spec workload.Spec, steps int, computeTime time.Duration, async bool) (float64, error) {
+	rec := &Recorder{}
+	var errs errCollector
+	err := mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "producer", Procs: spec.Producers, Main: func(p *mpi.Proc) {
+			vol := core.NewDistMetadataVOL(p.Task, nil)
+			vol.SetIntercomm("*", p.Intercomm("consumer"))
+			vol.ServeOnClose = !async
+			fapl := h5.NewFileAccessProps(vol)
+			buffers := make([][2]interface{}, steps)
+			for s := 0; s < steps; s++ {
+				g, pv := workload.GenerateProducer(spec, p.Task.Rank())
+				buffers[s] = [2]interface{}{g, pv}
+			}
+			p.World.Barrier()
+			rec.Start()
+			var pending []*core.ServeHandle
+			for s := 0; s < steps; s++ {
+				name := fmt.Sprintf("ov%d.h5", s)
+				f, err := h5.CreateFile(name, fapl)
+				if err != nil {
+					errs.add(err)
+					return
+				}
+				g := buffers[s][0].([]uint64)
+				pv := buffers[s][1].([]float32)
+				errs.add(workload.WriteSynthetic(f, spec, p.Task.Rank(), g, pv))
+				errs.add(f.Close())
+				if async {
+					h, err := vol.ServeAsync(name)
+					if err != nil {
+						errs.add(err)
+						return
+					}
+					pending = append(pending, h)
+				}
+				// The next step's "compute", overlappable when async.
+				time.Sleep(computeTime)
+			}
+			for _, h := range pending {
+				errs.add(h.Wait())
+			}
+			rec.Stop()
+			p.World.Barrier()
+		}},
+		{Name: "consumer", Procs: spec.Consumers, Main: func(p *mpi.Proc) {
+			vol := core.NewDistMetadataVOL(p.Task, nil)
+			vol.SetIntercomm("*", p.Intercomm("producer"))
+			fapl := h5.NewFileAccessProps(vol)
+			p.World.Barrier()
+			for s := 0; s < steps; s++ {
+				f, err := h5.OpenFile(fmt.Sprintf("ov%d.h5", s), fapl)
+				if err != nil {
+					errs.add(err)
+					return
+				}
+				_, _, err = workload.ReadConsumer(f, spec, p.Task.Rank())
+				errs.add(err)
+				errs.add(f.Close())
+			}
+			p.World.Barrier()
+		}},
+	}, c.mpiOpts()...)
+	if err == nil {
+		err = errs.first()
+	}
+	return rec.Seconds(), err
+}

@@ -1,0 +1,112 @@
+// Package inspect renders the metadata hierarchy of an h5 file (through any
+// VOL) as text, with optional per-dataset value statistics — the engine
+// behind cmd/lowfive-inspect.
+package inspect
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"lowfive/h5"
+)
+
+// Options control the rendering.
+type Options struct {
+	// Stats computes min/max/mean for numeric datasets (requires reading
+	// the data).
+	Stats bool
+}
+
+// Dump writes the hierarchy of an open file.
+func Dump(w io.Writer, f *h5.File, opts Options) error {
+	fmt.Fprintf(w, "file %s\n", f.Name())
+	return dumpObject(w, &f.Object, 1, opts)
+}
+
+func indent(n int) string { return strings.Repeat("  ", n) }
+
+func dumpAttrs(w io.Writer, names []string, read func(string) (*h5.Datatype, []byte, error), depth int) error {
+	for _, a := range names {
+		dt, data, err := read(a)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s@%s: %s (%d bytes)\n", indent(depth), a, dt, len(data))
+	}
+	return nil
+}
+
+func dumpObject(w io.Writer, obj *h5.Object, depth int, opts Options) error {
+	names, err := obj.AttributeNames()
+	if err != nil {
+		return err
+	}
+	if err := dumpAttrs(w, names, obj.ReadAttribute, depth); err != nil {
+		return err
+	}
+	kids, err := obj.Children()
+	if err != nil {
+		return err
+	}
+	for _, k := range kids {
+		switch k.Kind {
+		case h5.KindGroup:
+			fmt.Fprintf(w, "%sgroup %s\n", indent(depth), k.Name)
+			g, err := obj.OpenGroup(k.Name)
+			if err != nil {
+				return err
+			}
+			if err := dumpObject(w, &g.Object, depth+1, opts); err != nil {
+				return err
+			}
+		case h5.KindDataset:
+			ds, err := obj.OpenDataset(k.Name)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%sdataset %s: %s %v\n", indent(depth), k.Name, ds.Datatype(), ds.Dataspace().Dims())
+			anames, err := ds.AttributeNames()
+			if err != nil {
+				return err
+			}
+			if err := dumpAttrs(w, anames, ds.ReadAttribute, depth+1); err != nil {
+				return err
+			}
+			if opts.Stats {
+				if line, ok := statsLine(ds); ok {
+					fmt.Fprintf(w, "%s%s\n", indent(depth+1), line)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// statsLine computes min/max/mean of a numeric dataset via the F64
+// conversion path. Non-numeric datasets report no stats.
+func statsLine(ds *h5.Dataset) (string, bool) {
+	if !h5.Convertible(h5.F64, ds.Datatype()) {
+		return "", false
+	}
+	n := ds.Dataspace().NumPoints()
+	if n == 0 {
+		return "", false
+	}
+	buf := make([]float64, n)
+	if err := ds.ReadAs(h5.F64, nil, h5.Bytes(buf)); err != nil {
+		return "", false
+	}
+	minV, maxV, sum := math.Inf(1), math.Inf(-1), 0.0
+	for _, v := range buf {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+		sum += v
+	}
+	return fmt.Sprintf("stats: min=%g max=%g mean=%g (%d elements)", minV, maxV, sum/float64(n), n), true
+}

@@ -1,0 +1,59 @@
+package inspect
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lowfive/h5"
+	"lowfive/internal/core"
+)
+
+func TestDump(t *testing.T) {
+	fapl := h5.NewFileAccessProps(core.NewMetadataVOL(nil))
+	f, _ := h5.CreateFile("dump.h5", fapl)
+	f.WriteAttribute("created", h5.I64, h5.Bytes([]int64{2026}))
+	g, _ := f.CreateGroup("fields")
+	ds, _ := g.CreateDataset("rho", h5.F32, h5.NewSimple(2, 2))
+	ds.Write(nil, nil, h5.Bytes([]float32{1, 2, 3, 4}))
+	ds.WriteAttribute("units", h5.NewString(2), []byte("kg"))
+	str, _ := g.CreateDataset("names", h5.NewString(4), h5.NewSimple(2))
+	str.Write(nil, nil, []byte("ab  cd  "))
+
+	var buf bytes.Buffer
+	if err := Dump(&buf, f, Options{Stats: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"file dump.h5",
+		"@created: int64",
+		"group fields",
+		"dataset rho: float32 [2 2]",
+		"@units: string[2]",
+		"stats: min=1 max=4 mean=2.5 (4 elements)",
+		"dataset names: string[4]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// String datasets get no stats line after their entry.
+	if strings.Count(out, "stats:") != 1 {
+		t.Errorf("expected exactly one stats line:\n%s", out)
+	}
+}
+
+func TestDumpNoStats(t *testing.T) {
+	fapl := h5.NewFileAccessProps(core.NewMetadataVOL(nil))
+	f, _ := h5.CreateFile("plain.h5", fapl)
+	ds, _ := f.CreateDataset("d", h5.U8, h5.NewSimple(1))
+	ds.Write(nil, nil, []byte{1})
+	var buf bytes.Buffer
+	if err := Dump(&buf, f, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "stats:") {
+		t.Error("stats disabled but printed")
+	}
+}

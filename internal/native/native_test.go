@@ -1,0 +1,321 @@
+package native
+
+import (
+	"bytes"
+	"testing"
+
+	"lowfive/h5"
+	"lowfive/internal/pfs"
+)
+
+func newTestConnector() *Connector { return New(PFSBackend(pfs.NewZeroCost())) }
+
+func TestFileRoundTrip(t *testing.T) {
+	c := newTestConnector()
+	fapl := h5.NewFileAccessProps(c)
+
+	f, err := h5.CreateFile("round.h5", fapl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := f.CreateGroup("group1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := g.CreateDataset("grid", h5.U64, h5.NewSimple(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]uint64, 16)
+	for i := range vals {
+		vals[i] = uint64(i) * 3
+	}
+	if err := ds.Write(nil, nil, h5.Bytes(vals)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteAttribute("level", h5.I64, h5.Bytes([]int64{2})); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f2, err := h5.OpenFile("round.h5", fapl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := f2.OpenGroup("group1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, data, err := g2.ReadAttribute("level")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dt.Equal(h5.I64) || h5.View[int64](data)[0] != 2 {
+		t.Errorf("attribute %v %v", dt, data)
+	}
+	ds2, err := g2.OpenDataset("grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds2.Datatype().Equal(h5.U64) {
+		t.Errorf("type %v", ds2.Datatype())
+	}
+	out := make([]uint64, 16)
+	if err := ds2.Read(nil, nil, h5.Bytes(out)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if out[i] != vals[i] {
+			t.Errorf("out[%d]=%d want %d", i, out[i], vals[i])
+		}
+	}
+}
+
+func TestPartialWriteReadSelections(t *testing.T) {
+	c := newTestConnector()
+	fapl := h5.NewFileAccessProps(c)
+	f, _ := h5.CreateFile("sel.h5", fapl)
+	ds, _ := f.CreateDataset("d", h5.U8, h5.NewSimple(4, 4))
+	inner := h5.NewSimple(4, 4)
+	inner.SelectHyperslab(h5.SelectSet, []int64{1, 1}, []int64{2, 2})
+	if err := ds.Write(nil, inner, []byte{9, 8, 7, 6}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	f2, _ := h5.OpenFile("sel.h5", fapl)
+	ds2, _ := f2.OpenDataset("d")
+	whole := make([]byte, 16)
+	if err := ds2.Read(nil, nil, whole); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, 16)
+	want[5], want[6], want[9], want[10] = 9, 8, 7, 6
+	if !bytes.Equal(whole, want) {
+		t.Errorf("whole=%v", whole)
+	}
+	// Sub-selection read.
+	col := h5.NewSimple(4, 4)
+	col.SelectHyperslab(h5.SelectSet, []int64{0, 1}, []int64{4, 1})
+	out := make([]byte, 4)
+	if err := ds2.Read(nil, col, out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, []byte{0, 9, 7, 0}) {
+		t.Errorf("column=%v", out)
+	}
+}
+
+func TestCollectiveSharedFileWrites(t *testing.T) {
+	// Two "ranks" (connectors on the same FS) create the same file with
+	// identical structure and write disjoint halves; both close; the result
+	// must contain both halves.
+	fs := pfs.NewZeroCost()
+	mk := func() *h5.FileAccessProps { return h5.NewFileAccessProps(New(PFSBackend(fs))) }
+
+	write := func(fapl *h5.FileAccessProps, rank int) {
+		f, err := h5.CreateFile("shared.h5", fapl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, err := f.CreateDataset("d", h5.U8, h5.NewSimple(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel := h5.NewSimple(8)
+		sel.SelectHyperslab(h5.SelectSet, []int64{int64(rank) * 4}, []int64{4})
+		buf := bytes.Repeat([]byte{byte(rank + 1)}, 4)
+		if err := ds.Write(nil, sel, buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(mk(), 0)
+	write(mk(), 1)
+
+	f, err := h5.OpenFile("shared.h5", mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, _ := f.OpenDataset("d")
+	out := make([]byte, 8)
+	ds.Read(nil, nil, out)
+	want := []byte{1, 1, 1, 1, 2, 2, 2, 2}
+	if !bytes.Equal(out, want) {
+		t.Errorf("got %v want %v", out, want)
+	}
+}
+
+func TestOpenMissingAndCorrupt(t *testing.T) {
+	fs := pfs.NewZeroCost()
+	c := New(PFSBackend(fs))
+	fapl := h5.NewFileAccessProps(c)
+	if _, err := h5.OpenFile("missing.h5", fapl); err == nil {
+		t.Error("opening a missing file should fail")
+	}
+	// A file with garbage content must be rejected by magic check.
+	st, _ := fs.Create("garbage.h5")
+	st.WriteAt([]byte("this is not a container file, definitely not"), 0)
+	if _, err := h5.OpenFile("garbage.h5", fapl); err == nil {
+		t.Error("garbage file should fail magic check")
+	}
+}
+
+func TestMultipleDatasetExtentsDoNotOverlap(t *testing.T) {
+	c := newTestConnector()
+	fapl := h5.NewFileAccessProps(c)
+	f, _ := h5.CreateFile("multi.h5", fapl)
+	a, _ := f.CreateDataset("a", h5.U8, h5.NewSimple(100))
+	b, _ := f.CreateDataset("b", h5.U8, h5.NewSimple(100))
+	a.Write(nil, nil, bytes.Repeat([]byte{0xAA}, 100))
+	b.Write(nil, nil, bytes.Repeat([]byte{0xBB}, 100))
+	f.Close()
+	f2, _ := h5.OpenFile("multi.h5", fapl)
+	da, _ := f2.OpenDataset("a")
+	db, _ := f2.OpenDataset("b")
+	bufA := make([]byte, 100)
+	bufB := make([]byte, 100)
+	da.Read(nil, nil, bufA)
+	db.Read(nil, nil, bufB)
+	if bufA[50] != 0xAA || bufB[50] != 0xBB {
+		t.Errorf("extents overlap: a=%x b=%x", bufA[50], bufB[50])
+	}
+}
+
+func TestOSBackend(t *testing.T) {
+	dir := t.TempDir()
+	c := New(OSBackend(dir))
+	fapl := h5.NewFileAccessProps(c)
+	f, err := h5.CreateFile("real.h5", fapl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, _ := f.CreateDataset("d", h5.F64, h5.NewSimple(3))
+	ds.Write(nil, nil, h5.Bytes([]float64{1.5, 2.5, 3.5}))
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := h5.OpenFile("real.h5", fapl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds2, _ := f2.OpenDataset("d")
+	out := make([]float64, 3)
+	ds2.Read(nil, nil, h5.Bytes(out))
+	if out[2] != 3.5 {
+		t.Errorf("got %v", out)
+	}
+	if err := f2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnwrittenRegionsReadZero(t *testing.T) {
+	c := newTestConnector()
+	fapl := h5.NewFileAccessProps(c)
+	f, _ := h5.CreateFile("zeros.h5", fapl)
+	ds, _ := f.CreateDataset("d", h5.U64, h5.NewSimple(10))
+	sel := h5.NewSimple(10)
+	sel.SelectHyperslab(h5.SelectSet, []int64{0}, []int64{1})
+	ds.Write(nil, sel, h5.Bytes([]uint64{7}))
+	out := make([]uint64, 10)
+	if err := ds.Read(nil, nil, h5.Bytes(out)); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 7 || out[9] != 0 {
+		t.Errorf("got %v", out)
+	}
+}
+
+func TestConnectorNameAndChildren(t *testing.T) {
+	c := newTestConnector()
+	if c.ConnectorName() == "" {
+		t.Error("connector must be named")
+	}
+	fapl := h5.NewFileAccessProps(c)
+	f, _ := h5.CreateFile("k.h5", fapl)
+	f.CreateGroup("g1")
+	f.CreateDataset("d1", h5.U8, h5.NewSimple(1))
+	kids, err := f.Children()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kids) != 2 || kids[0].Name != "g1" || kids[1].Kind != h5.KindDataset {
+		t.Errorf("children %v", kids)
+	}
+	names, err := f.AttributeNames()
+	if err != nil || len(names) != 0 {
+		t.Errorf("names=%v err=%v", names, err)
+	}
+}
+
+func TestDatasetAttributesOnNative(t *testing.T) {
+	c := newTestConnector()
+	fapl := h5.NewFileAccessProps(c)
+	f, _ := h5.CreateFile("da.h5", fapl)
+	ds, _ := f.CreateDataset("d", h5.F32, h5.NewSimple(2))
+	if err := ds.WriteAttribute("gain", h5.F64, h5.Bytes([]float64{1.25})); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := ds.AttributeNames()
+	if len(names) != 1 || names[0] != "gain" {
+		t.Errorf("names=%v", names)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Attributes survive the round trip through the container format.
+	f2, _ := h5.OpenFile("da.h5", fapl)
+	ds2, _ := f2.OpenDataset("d")
+	dt, data, err := ds2.ReadAttribute("gain")
+	if err != nil || !dt.Equal(h5.F64) || h5.View[float64](data)[0] != 1.25 {
+		t.Errorf("dt=%v data=%v err=%v", dt, data, err)
+	}
+	if _, _, err := ds2.ReadAttribute("missing"); err == nil {
+		t.Error("missing dataset attribute should fail")
+	}
+}
+
+func TestOSFileSize(t *testing.T) {
+	dir := t.TempDir()
+	be := OSBackend(dir)
+	st, err := be.Create("sz.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.WriteAt(make([]byte, 100), 0)
+	if n, err := st.Size(); err != nil || n != 100 {
+		t.Errorf("size=%d err=%v", n, err)
+	}
+	st.Close()
+	if _, err := be.Open("absent.bin"); err == nil {
+		t.Error("opening a missing OS file should fail")
+	}
+}
+
+func TestDeletePersistsThroughClose(t *testing.T) {
+	c := newTestConnector()
+	fapl := h5.NewFileAccessProps(c)
+	f, _ := h5.CreateFile("del.h5", fapl)
+	ds, _ := f.CreateDataset("gone", h5.U8, h5.NewSimple(4))
+	ds.Write(nil, nil, []byte{1, 2, 3, 4})
+	f.CreateDataset("kept", h5.U8, h5.NewSimple(2))
+	if err := f.Delete("gone"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	f2, _ := h5.OpenFile("del.h5", fapl)
+	if _, err := f2.OpenDataset("gone"); err == nil {
+		t.Error("deleted dataset should not be in the reopened file")
+	}
+	if _, err := f2.OpenDataset("kept"); err != nil {
+		t.Errorf("kept dataset missing: %v", err)
+	}
+}

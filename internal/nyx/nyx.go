@@ -1,0 +1,431 @@
+// Package nyx is a proxy for the Nyx cosmological simulation used in the
+// paper's science use case (§IV-C): a massively parallel code computing a
+// 3-d baryon density field on a block-decomposed grid, writing snapshots
+// through the h5 API at certain time steps so a halo finder can analyze
+// them. The density field is a smooth background plus a deterministic set
+// of Gaussian halos whose positions drift over time, so the downstream
+// halo count is known and identical across transports — which is how the
+// Table II reproduction validates that every transport moved the data
+// correctly.
+//
+// Like the real Nyx, the writer can optionally "repack" the data into a
+// fresh buffer before writing (AMReX does this to get a layout more
+// amenable to disk I/O). The paper calls out that this repacking defeats
+// LowFive's zero-copy path and forces deep copies; the flag exists here to
+// reproduce exactly that behaviour.
+package nyx
+
+import (
+	"fmt"
+	"math"
+
+	"lowfive/h5"
+	"lowfive/internal/grid"
+	"lowfive/internal/halo"
+	"lowfive/mpi"
+)
+
+// Params configure the proxy simulation.
+type Params struct {
+	// GridSide is N for the global N^3 density grid.
+	GridSide int64
+	// NumHalos is the number of Gaussian halos seeded in the box.
+	NumHalos int
+	// Seed makes the halo population deterministic.
+	Seed int64
+	// Repack copies the local field into a fresh buffer before every write,
+	// imitating the AMReX HDF5 writer.
+	Repack bool
+	// FullOutput writes all variables (velocity, dark matter, the refined
+	// level) in every snapshot, like Nyx's full dumps. Off, only the baryon
+	// density is written — the Table II configuration, where all three
+	// storage scenarios write the same bytes.
+	FullOutput bool
+}
+
+// DefaultParams returns a small but structured universe. The halo count
+// scales down on small grids so halos stay separated enough to remain
+// distinct superlevel-set components (at least ~8 cells apart).
+func DefaultParams(side int64) Params {
+	k := side / 8
+	if k < 1 {
+		k = 1
+	}
+	n := k * k * k
+	if n > 24 {
+		n = 24
+	}
+	return Params{GridSide: side, NumHalos: int(n), Seed: 42}
+}
+
+// Halo is one Gaussian overdensity.
+type Halo struct {
+	Pos   [3]float64
+	Vel   [3]float64
+	Amp   float64
+	Sigma float64
+}
+
+// Halos returns the deterministic halo population for the parameters.
+// Halos are placed on a jittered coarse lattice so they never overlap,
+// keeping the halo count well-defined for the finder.
+func (p Params) Halos() []Halo {
+	// Cells of a k^3 lattice, k chosen so k^3 >= NumHalos.
+	k := int64(1)
+	for k*k*k < int64(p.NumHalos) {
+		k++
+	}
+	cell := float64(p.GridSide) / float64(k)
+	rng := splitmix(uint64(p.Seed))
+	halos := make([]Halo, 0, p.NumHalos)
+	for i := int64(0); i < k*k*k && len(halos) < p.NumHalos; i++ {
+		c := grid.Coords([]int64{k, k, k}, i)
+		var h Halo
+		for d := 0; d < 3; d++ {
+			jitter := (rng.next() - 0.5) * cell * 0.25
+			h.Pos[d] = (float64(c[d])+0.5)*cell + jitter
+			h.Vel[d] = (rng.next() - 0.5) * cell * 0.05
+		}
+		h.Amp = 40 + 20*rng.next()
+		h.Sigma = cell / 10
+		if h.Sigma < 1 {
+			h.Sigma = 1
+		}
+		halos = append(halos, h)
+	}
+	return halos
+}
+
+// Sim is one rank's portion of the simulation.
+type Sim struct {
+	Params
+	task  *mpi.Comm
+	box   grid.Box
+	dims  []int64
+	halos []Halo
+	step  int
+	field []float32
+}
+
+// New decomposes the grid over the task and initializes step 0.
+func New(p Params, task *mpi.Comm) (*Sim, error) {
+	if p.GridSide < 4 {
+		return nil, fmt.Errorf("nyx: grid side %d too small", p.GridSide)
+	}
+	dims := []int64{p.GridSide, p.GridSide, p.GridSide}
+	dc := grid.CommonDecomposition(dims, task.Size())
+	s := &Sim{
+		Params: p,
+		task:   task,
+		box:    dc.Block(task.Rank()),
+		dims:   dims,
+		halos:  p.Halos(),
+	}
+	s.compute()
+	return s, nil
+}
+
+// Box returns this rank's block.
+func (s *Sim) Box() grid.Box { return s.box }
+
+// Dims returns the global extent.
+func (s *Sim) Dims() []int64 { return append([]int64(nil), s.dims...) }
+
+// Step advances the halo positions and recomputes the local field.
+func (s *Sim) Step() {
+	s.step++
+	s.compute()
+}
+
+// Diffuse applies one explicit 7-point diffusion step with coefficient
+// kappa (stable for kappa <= 1/6), using ghost-cell exchange with the
+// neighboring ranks — the communication pattern every stencil-based PDE
+// solver performs. Boundary cells use clamped (Neumann-like) neighbors.
+func (s *Sim) Diffuse(kappa float64) error {
+	if s.box.IsEmpty() {
+		return nil
+	}
+	blocks := make([]grid.Box, s.task.Size())
+	dc := grid.CommonDecomposition(s.dims, s.task.Size())
+	for i := range blocks {
+		blocks[i] = dc.Block(i)
+	}
+	ghost, g, err := halo.Exchange(s.task, s.dims, blocks, s.field, 1)
+	if err != nil {
+		return err
+	}
+	gc := ghost.Count()
+	at := func(x, y, z int64) float64 {
+		// Clamp to the ghosted box (domain boundaries).
+		if x < ghost.Min[0] {
+			x = ghost.Min[0]
+		}
+		if x > ghost.Max[0] {
+			x = ghost.Max[0]
+		}
+		if y < ghost.Min[1] {
+			y = ghost.Min[1]
+		}
+		if y > ghost.Max[1] {
+			y = ghost.Max[1]
+		}
+		if z < ghost.Min[2] {
+			z = ghost.Min[2]
+		}
+		if z > ghost.Max[2] {
+			z = ghost.Max[2]
+		}
+		i := ((x-ghost.Min[0])*gc[1]+(y-ghost.Min[1]))*gc[2] + (z - ghost.Min[2])
+		return float64(g[i])
+	}
+	out := make([]float32, len(s.field))
+	i := 0
+	for x := s.box.Min[0]; x <= s.box.Max[0]; x++ {
+		for y := s.box.Min[1]; y <= s.box.Max[1]; y++ {
+			for z := s.box.Min[2]; z <= s.box.Max[2]; z++ {
+				c := at(x, y, z)
+				lap := at(x-1, y, z) + at(x+1, y, z) +
+					at(x, y-1, z) + at(x, y+1, z) +
+					at(x, y, z-1) + at(x, y, z+1) - 6*c
+				out[i] = float32(c + kappa*lap)
+				i++
+			}
+		}
+	}
+	s.field = out
+	return nil
+}
+
+// StepIndex returns the current step number.
+func (s *Sim) StepIndex() int { return s.step }
+
+// Field returns the local density field (row-major over Box).
+func (s *Sim) Field() []float32 { return s.field }
+
+// compute fills the local density: background 1.0 plus Gaussian halos at
+// their drifted positions.
+func (s *Sim) compute() {
+	if s.box.IsEmpty() {
+		s.field = nil
+		return
+	}
+	field := make([]float32, s.box.NumPoints())
+	t := float64(s.step)
+	type blob struct {
+		pos       [3]float64
+		amp, inv2 float64
+		cut       float64
+	}
+	blobs := make([]blob, len(s.halos))
+	for i, h := range s.halos {
+		var b blob
+		for d := 0; d < 3; d++ {
+			b.pos[d] = h.Pos[d] + t*h.Vel[d]
+		}
+		b.amp = h.Amp
+		b.inv2 = 1 / (2 * h.Sigma * h.Sigma)
+		b.cut = 5 * h.Sigma // beyond 5 sigma the blob contributes ~nothing
+		blobs[i] = b
+	}
+	i := 0
+	pt := append([]int64(nil), s.box.Min...)
+	for {
+		rho := 1.0
+		for _, b := range blobs {
+			dx := float64(pt[0]) - b.pos[0]
+			dy := float64(pt[1]) - b.pos[1]
+			dz := float64(pt[2]) - b.pos[2]
+			if dx > b.cut || dx < -b.cut || dy > b.cut || dy < -b.cut || dz > b.cut || dz < -b.cut {
+				continue
+			}
+			r2 := dx*dx + dy*dy + dz*dz
+			rho += b.amp * math.Exp(-r2*b.inv2)
+		}
+		field[i] = float32(rho)
+		i++
+		k := 2
+		for k >= 0 {
+			pt[k]++
+			if pt[k] <= s.box.Max[k] {
+				break
+			}
+			pt[k] = s.box.Min[k]
+			k--
+		}
+		if k < 0 {
+			break
+		}
+	}
+	s.field = field
+}
+
+// DatasetPath is where the snapshot writer puts the density field,
+// mirroring Nyx's HDF5 layout.
+const DatasetPath = "native_fields/baryon_density"
+
+// Extra dataset paths written by every snapshot. Nyx writes a dozen
+// variables; the halo finder consumes only the density — and with lazy
+// (zero-copy-style) serving, the unread variables are never serialized or
+// sent, the property the paper's introduction motivates AMR workflows with.
+const (
+	VxPath         = "native_fields/velocity_x"
+	DarkMatterPath = "native_fields/dark_matter_density"
+	Level1Path     = "refined/level1_density"
+)
+
+// velocityX derives a second field from the halo motion (cheap but
+// deterministic: the x-velocity of the nearest halo, 0 in the background).
+func (s *Sim) velocityX() []float32 {
+	if s.box.IsEmpty() {
+		return nil
+	}
+	field := make([]float32, s.box.NumPoints())
+	t := float64(s.step)
+	i := 0
+	pt := append([]int64(nil), s.box.Min...)
+	for {
+		var best float64
+		bestD := math.MaxFloat64
+		for _, h := range s.halos {
+			dx := float64(pt[0]) - (h.Pos[0] + t*h.Vel[0])
+			dy := float64(pt[1]) - (h.Pos[1] + t*h.Vel[1])
+			dz := float64(pt[2]) - (h.Pos[2] + t*h.Vel[2])
+			d := dx*dx + dy*dy + dz*dz
+			if d < bestD {
+				bestD = d
+				best = h.Vel[0]
+			}
+		}
+		field[i] = float32(best)
+		i++
+		k := 2
+		for k >= 0 {
+			pt[k]++
+			if pt[k] <= s.box.Max[k] {
+				break
+			}
+			pt[k] = s.box.Min[k]
+			k--
+		}
+		if k < 0 {
+			return field
+		}
+	}
+}
+
+// WriteSnapshot writes the current simulation state to the named file
+// through the h5 API — through whatever VOL the fapl carries, which is
+// precisely the zero-code-change property the use case demonstrates. Like
+// Nyx, it writes several variables (density, velocity, dark matter, a
+// refined level); the analysis typically consumes only one. With Repack
+// set, each field is first copied to a staging buffer, as the AMReX writer
+// does.
+func (s *Sim) WriteSnapshot(name string, fapl *h5.FileAccessProps) error {
+	f, err := h5.CreateFile(name, fapl)
+	if err != nil {
+		return err
+	}
+	g, err := f.CreateGroup("native_fields")
+	if err != nil {
+		return err
+	}
+	writeField := func(parent *h5.Object, dsName string, data []float32, dims []int64, box grid.Box) error {
+		ds, err := parent.CreateDataset(dsName, h5.F32, h5.NewSimple(dims...))
+		if err != nil {
+			return err
+		}
+		if err := ds.WriteAttribute("step", h5.I64, h5.Bytes([]int64{int64(s.step)})); err != nil {
+			return err
+		}
+		if s.Repack && len(data) > 0 {
+			repacked := make([]float32, len(data))
+			copy(repacked, data)
+			data = repacked
+		}
+		if !box.IsEmpty() {
+			sel := h5.NewSimple(dims...)
+			if err := sel.SelectBox(h5.SelectSet, box); err != nil {
+				return err
+			}
+			if err := ds.Write(nil, sel, h5.Bytes(data)); err != nil {
+				return err
+			}
+		}
+		return ds.Close()
+	}
+	if err := writeField(&g.Object, "baryon_density", s.field, s.dims, s.box); err != nil {
+		return err
+	}
+	if s.FullOutput {
+		if err := writeField(&g.Object, "velocity_x", s.velocityX(), s.dims, s.box); err != nil {
+			return err
+		}
+		// Dark matter tracks baryons in this proxy (scaled).
+		dm := make([]float32, len(s.field))
+		for i, v := range s.field {
+			dm[i] = v * 5.4 // cosmic baryon-to-dark-matter ratio
+		}
+		if err := writeField(&g.Object, "dark_matter_density", dm, s.dims, s.box); err != nil {
+			return err
+		}
+	}
+	if err := g.Close(); err != nil {
+		return err
+	}
+	if s.FullOutput {
+		// A refinement level at 2x resolution over this rank's block — the
+		// AMR hierarchy the introduction's motivating example reads one
+		// level of.
+		rg, err := f.CreateGroup("refined")
+		if err != nil {
+			return err
+		}
+		l1dims, l1box, l1 := s.RefinedLevel()
+		if err := writeField(&rg.Object, "level1_density", l1, l1dims, l1box); err != nil {
+			return err
+		}
+		if err := rg.Close(); err != nil {
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// RefinedLevel returns a 2x-resolution version of this rank's block
+// (piecewise-constant prolongation of the coarse field), the AMR level-1
+// data of the snapshot.
+func (s *Sim) RefinedLevel() (dims []int64, box grid.Box, data []float32) {
+	dims = []int64{2 * s.dims[0], 2 * s.dims[1], 2 * s.dims[2]}
+	if s.box.IsEmpty() {
+		return dims, grid.Box{Min: []int64{0, 0, 0}, Max: []int64{-1, -1, -1}}, nil
+	}
+	box = grid.Box{
+		Min: []int64{2 * s.box.Min[0], 2 * s.box.Min[1], 2 * s.box.Min[2]},
+		Max: []int64{2*s.box.Max[0] + 1, 2*s.box.Max[1] + 1, 2*s.box.Max[2] + 1},
+	}
+	c := s.box.Count()
+	data = make([]float32, box.NumPoints())
+	fx, fy, fz := 2*c[0], 2*c[1], 2*c[2]
+	for x := int64(0); x < fx; x++ {
+		for y := int64(0); y < fy; y++ {
+			for z := int64(0); z < fz; z++ {
+				coarse := ((x/2)*c[1]+(y/2))*c[2] + z/2
+				data[(x*fy+y)*fz+z] = s.field[coarse]
+			}
+		}
+	}
+	return dims, box, data
+}
+
+// splitmix is a tiny deterministic PRNG (SplitMix64), good enough for
+// reproducible halo placement without pulling in math/rand state.
+type splitmix uint64
+
+func (s *splitmix) next() float64 {
+	*s += 0x9E3779B97F4A7C15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}

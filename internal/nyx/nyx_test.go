@@ -1,0 +1,350 @@
+package nyx
+
+import (
+	"testing"
+
+	"lowfive/h5"
+	"lowfive/internal/core"
+	"lowfive/internal/grid"
+	"lowfive/mpi"
+)
+
+func TestHalosDeterministicAndSeparated(t *testing.T) {
+	p := DefaultParams(64)
+	a := p.Halos()
+	b := p.Halos()
+	if len(a) != p.NumHalos {
+		t.Fatalf("halos=%d want %d", len(a), p.NumHalos)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("halo population must be deterministic")
+		}
+	}
+	// Pairwise separation of at least 4 sigma so components never merge.
+	for i := range a {
+		for j := i + 1; j < len(a); j++ {
+			d2 := 0.0
+			for k := 0; k < 3; k++ {
+				dx := a[i].Pos[k] - a[j].Pos[k]
+				d2 += dx * dx
+			}
+			minSep := 4 * (a[i].Sigma + a[j].Sigma)
+			if d2 < minSep*minSep {
+				t.Errorf("halos %d and %d too close: d2=%.1f", i, j, d2)
+			}
+		}
+	}
+	// Different seeds give different populations.
+	p2 := p
+	p2.Seed = 7
+	c := p2.Halos()
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestSimFieldsPartitionAndPeak(t *testing.T) {
+	p := DefaultParams(32)
+	err := mpi.Run(4, func(c *mpi.Comm) {
+		s, err := New(p, c)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		field := s.Field()
+		if int64(len(field)) != s.Box().NumPoints() {
+			t.Errorf("field len %d box %d", len(field), s.Box().NumPoints())
+		}
+		// Background is 1.0; some cells must be well above it overall.
+		maxLocal := float32(0)
+		for _, v := range field {
+			if v < 1.0 {
+				t.Errorf("density %v below background", v)
+				break
+			}
+			if v > maxLocal {
+				maxLocal = v
+			}
+		}
+		b := c.Allreduce(mpi.EncodeFloat64(float64(maxLocal)), mpi.MaxFloat64)
+		if mpi.DecodeFloat64(b) < 20 {
+			t.Errorf("global max density %v too low — halos missing", mpi.DecodeFloat64(b))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepChangesField(t *testing.T) {
+	p := DefaultParams(24)
+	err := mpi.Run(1, func(c *mpi.Comm) {
+		s, _ := New(p, c)
+		before := append([]float32(nil), s.Field()...)
+		s.Step()
+		if s.StepIndex() != 1 {
+			t.Errorf("step=%d", s.StepIndex())
+		}
+		changed := false
+		for i, v := range s.Field() {
+			if v != before[i] {
+				changed = true
+				break
+			}
+		}
+		if !changed {
+			t.Error("halo drift should change the field")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteSnapshotThroughMetadataVOL(t *testing.T) {
+	p := DefaultParams(16)
+	err := mpi.Run(2, func(c *mpi.Comm) {
+		s, _ := New(p, c)
+		vol := core.NewMetadataVOL(nil)
+		fapl := h5.NewFileAccessProps(vol)
+		if err := s.WriteSnapshot("snap.h5", fapl); err != nil {
+			t.Error(err)
+			return
+		}
+		// The local tree must contain the dataset with the right extent.
+		f, err := h5.OpenFile("snap.h5", fapl)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ds, err := f.OpenDataset(DatasetPath)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		dims := ds.Dataspace().Dims()
+		if dims[0] != 16 || dims[1] != 16 || dims[2] != 16 {
+			t.Errorf("dims %v", dims)
+		}
+		dt, data, err := ds.ReadAttribute("step")
+		if err != nil || !dt.Equal(h5.I64) || h5.View[int64](data)[0] != 0 {
+			t.Errorf("step attribute: %v %v %v", dt, data, err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepackKeepsValues(t *testing.T) {
+	p := DefaultParams(16)
+	p.Repack = true
+	err := mpi.Run(1, func(c *mpi.Comm) {
+		s, _ := New(p, c)
+		vol := core.NewMetadataVOL(nil)
+		fapl := h5.NewFileAccessProps(vol)
+		if err := s.WriteSnapshot("r.h5", fapl); err != nil {
+			t.Error(err)
+			return
+		}
+		f, _ := h5.OpenFile("r.h5", fapl)
+		ds, _ := f.OpenDataset(DatasetPath)
+		out := make([]float32, 16*16*16)
+		if err := ds.Read(nil, nil, h5.Bytes(out)); err != nil {
+			t.Error(err)
+			return
+		}
+		for i, v := range s.Field() {
+			if out[i] != v {
+				t.Errorf("cell %d: %v != %v", i, out[i], v)
+				break
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	err := mpi.Run(1, func(c *mpi.Comm) {
+		if _, err := New(Params{GridSide: 2}, c); err == nil {
+			t.Error("tiny grid should fail")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotWritesAllVariables(t *testing.T) {
+	p := DefaultParams(16)
+	p.FullOutput = true
+	err := mpi.Run(2, func(c *mpi.Comm) {
+		vol := core.NewMetadataVOL(nil)
+		fapl := h5.NewFileAccessProps(vol)
+		if err := (func() error {
+			s, err := New(p, c)
+			if err != nil {
+				return err
+			}
+			return s.WriteSnapshot("multi.h5", fapl)
+		})(); err != nil {
+			t.Error(err)
+			return
+		}
+		f, _ := h5.OpenFile("multi.h5", fapl)
+		for _, path := range []string{DatasetPath, VxPath, DarkMatterPath, Level1Path} {
+			ds, err := f.OpenDataset(path)
+			if err != nil {
+				t.Errorf("%s: %v", path, err)
+				continue
+			}
+			if !ds.Datatype().Equal(h5.F32) {
+				t.Errorf("%s: type %v", path, ds.Datatype())
+			}
+		}
+		// The refined level is 2x resolution.
+		l1, _ := f.OpenDataset(Level1Path)
+		dims := l1.Dataspace().Dims()
+		if dims[0] != 32 {
+			t.Errorf("level1 dims %v", dims)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefinedLevelProlongation(t *testing.T) {
+	p := DefaultParams(16)
+	err := mpi.Run(1, func(c *mpi.Comm) {
+		s, _ := New(p, c)
+		dims, box, data := s.RefinedLevel()
+		if dims[0] != 32 || box.NumPoints() != 8*int64(len(s.Field())) {
+			t.Fatalf("dims=%v box=%v", dims, box)
+		}
+		// Each fine cell equals its coarse parent.
+		coarse := s.Field()
+		if data[0] != coarse[0] || data[1] != coarse[0] {
+			t.Errorf("prolongation broken: %v vs %v", data[:2], coarse[0])
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffuseDecompositionIndependent(t *testing.T) {
+	// Two diffusion steps on 1, 4 and 6 ranks must give identical global
+	// fields — the halo exchange is doing its job.
+	p := DefaultParams(16)
+	gather := func(nRanks int) []float32 {
+		global := make([]float32, 16*16*16)
+		err := mpi.Run(nRanks, func(c *mpi.Comm) {
+			s, err := New(p, c)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 2; i++ {
+				if err := s.Diffuse(0.1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			// Assemble on rank 0 via gather of (box, data).
+			enc := h5.Bytes(s.Field())
+			parts := c.Gather(0, enc)
+			if c.Rank() == 0 {
+				dc := gridDecomp(s.Dims(), c.Size())
+				for r, part := range parts {
+					i := 0
+					vals := h5.View[float32](part)
+					dc[r].Runs(s.Dims(), func(off, n int64) {
+						for k := int64(0); k < n; k++ {
+							global[off+k] = vals[i]
+							i++
+						}
+					})
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return global
+	}
+	ref := gather(1)
+	for _, n := range []int{4, 6} {
+		got := gather(n)
+		for i := range ref {
+			if diff := got[i] - ref[i]; diff > 1e-4 || diff < -1e-4 {
+				t.Fatalf("n=%d: cell %d differs: %v vs %v", n, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestDiffuseConservesMassApproximately(t *testing.T) {
+	p := DefaultParams(16)
+	err := mpi.Run(2, func(c *mpi.Comm) {
+		s, _ := New(p, c)
+		sumBefore := 0.0
+		for _, v := range s.Field() {
+			sumBefore += float64(v)
+		}
+		tot := mpi.DecodeFloat64(c.Allreduce(mpi.EncodeFloat64(sumBefore), mpi.SumFloat64))
+		if err := s.Diffuse(0.15); err != nil {
+			t.Error(err)
+			return
+		}
+		sumAfter := 0.0
+		for _, v := range s.Field() {
+			sumAfter += float64(v)
+		}
+		tot2 := mpi.DecodeFloat64(c.Allreduce(mpi.EncodeFloat64(sumAfter), mpi.SumFloat64))
+		// Clamped boundaries leak a little mass; it must stay small.
+		if rel := (tot - tot2) / tot; rel > 0.05 || rel < -0.05 {
+			t.Errorf("mass changed by %.2f%%", rel*100)
+		}
+		// And the peak must have decayed.
+		maxB, maxA := float32(0), float32(0)
+		for _, v := range s.Field() {
+			if v > maxA {
+				maxA = v
+			}
+		}
+		s2, _ := New(p, c)
+		for _, v := range s2.Field() {
+			if v > maxB {
+				maxB = v
+			}
+		}
+		gB := mpi.DecodeFloat64(c.Allreduce(mpi.EncodeFloat64(float64(maxB)), mpi.MaxFloat64))
+		gA := mpi.DecodeFloat64(c.Allreduce(mpi.EncodeFloat64(float64(maxA)), mpi.MaxFloat64))
+		if gA >= gB {
+			t.Errorf("diffusion should lower the peak: %v -> %v", gB, gA)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// gridDecomp mirrors the simulation's internal decomposition for tests.
+func gridDecomp(dims []int64, n int) []grid.Box {
+	dc := grid.CommonDecomposition(dims, n)
+	out := make([]grid.Box, n)
+	for i := range out {
+		out[i] = dc.Block(i)
+	}
+	return out
+}

@@ -1,0 +1,260 @@
+package pfs
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := NewZeroCost()
+	f, err := fs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("hello parallel world")
+	if _, err := f.WriteAt(data, 100); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(data))
+	if _, err := f.ReadAt(out, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Errorf("got %q", out)
+	}
+	if sz, _ := f.Size(); sz != 100+int64(len(data)) {
+		t.Errorf("size %d", sz)
+	}
+}
+
+func TestSparseReadsZeroFill(t *testing.T) {
+	fs := NewZeroCost()
+	f, _ := fs.Create("s")
+	f.WriteAt([]byte{1}, 0)
+	out := []byte{9, 9, 9}
+	if _, err := f.ReadAt(out, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, []byte{1, 0, 0}) {
+		t.Errorf("got %v", out)
+	}
+}
+
+func TestSharedHandlesAliasOneFile(t *testing.T) {
+	fs := NewZeroCost()
+	a, _ := fs.Create("f")
+	b, _ := fs.Create("f")
+	a.WriteAt([]byte{42}, 7)
+	out := make([]byte, 1)
+	b.ReadAt(out, 7)
+	if out[0] != 42 {
+		t.Error("handles should share the file")
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	fs := NewZeroCost()
+	if _, err := fs.Open("nope"); err == nil {
+		t.Error("open of missing file should fail")
+	}
+	fs.Create("yes")
+	if _, err := fs.Open("yes"); err != nil {
+		t.Error(err)
+	}
+	fs.Remove("yes")
+	if fs.Exists("yes") {
+		t.Error("removed file should not exist")
+	}
+}
+
+func TestNegativeOffsets(t *testing.T) {
+	fs := NewZeroCost()
+	f, _ := fs.Create("n")
+	if _, err := f.WriteAt([]byte{1}, -1); err == nil {
+		t.Error("negative write offset should fail")
+	}
+	if _, err := f.ReadAt([]byte{1}, -1); err == nil {
+		t.Error("negative read offset should fail")
+	}
+}
+
+func TestStats(t *testing.T) {
+	fs := NewZeroCost()
+	f, _ := fs.Create("s")
+	f.WriteAt(make([]byte, 100), 0)
+	f.ReadAt(make([]byte, 40), 0)
+	w, r := fs.Stats()
+	if w != 100 || r != 40 {
+		t.Errorf("stats w=%d r=%d", w, r)
+	}
+}
+
+func TestConcurrentWritersDisjointRegions(t *testing.T) {
+	fs := NewZeroCost()
+	f, _ := fs.Create("c")
+	var wg sync.WaitGroup
+	const n = 16
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			chunk := bytes.Repeat([]byte{byte(i + 1)}, 1000)
+			f.WriteAt(chunk, int64(i)*1000)
+		}(i)
+	}
+	wg.Wait()
+	out := make([]byte, n*1000)
+	f.ReadAt(out, 0)
+	for i := 0; i < n; i++ {
+		if out[i*1000] != byte(i+1) || out[i*1000+999] != byte(i+1) {
+			t.Errorf("chunk %d corrupted", i)
+		}
+	}
+}
+
+func TestOSTContentionSerializes(t *testing.T) {
+	// One OST with per-request latency: k concurrent writes must take at
+	// least k * latency in total.
+	fs := New(Options{NumOSTs: 1, StripeSize: 1 << 20, OSTLatency: 10 * time.Millisecond})
+	f, _ := fs.Create("x")
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f.WriteAt([]byte{1}, int64(i))
+		}(i)
+	}
+	wg.Wait()
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Errorf("5 serialized requests took only %v", d)
+	}
+}
+
+func TestStripingSpreadsAcrossOSTs(t *testing.T) {
+	// With 4 OSTs, 4 writes to different stripes proceed in parallel:
+	// total ≈ 1 latency, not 4.
+	fs := New(Options{NumOSTs: 4, StripeSize: 1024, OSTLatency: 20 * time.Millisecond})
+	f, _ := fs.Create("x")
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f.WriteAt([]byte{1}, int64(i)*1024)
+		}(i)
+	}
+	wg.Wait()
+	if d := time.Since(start); d > 60*time.Millisecond {
+		t.Errorf("striped writes should parallelize, took %v", d)
+	}
+}
+
+func TestSharedLockSerializesWriters(t *testing.T) {
+	fs := New(Options{NumOSTs: 8, StripeSize: 1024, SharedLockLatency: 10 * time.Millisecond})
+	f, _ := fs.Create("x")
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f.WriteAt([]byte{1}, int64(i)*1024)
+		}(i)
+	}
+	wg.Wait()
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Errorf("shared-file lock should serialize writers, took %v", d)
+	}
+}
+
+func TestWriteReadRunsVectored(t *testing.T) {
+	fs := NewZeroCost()
+	f, _ := fs.Create("v")
+	packed := []byte{1, 2, 3, 4, 5, 6}
+	// Three runs landing at scattered offsets.
+	offs := []int64{0, 100, 10}
+	lens := []int64{2, 3, 1}
+	if err := f.WriteRuns(packed, offs, lens); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 6)
+	if err := f.ReadRuns(dst, offs, lens); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, packed) {
+		t.Errorf("got %v want %v", dst, packed)
+	}
+	// Spot-check placement.
+	one := make([]byte, 1)
+	f.ReadAt(one, 102)
+	if one[0] != 5 {
+		t.Errorf("byte at 102 = %d want 5", one[0])
+	}
+}
+
+func TestWriteRunsValidation(t *testing.T) {
+	fs := NewZeroCost()
+	f, _ := fs.Create("bad")
+	if err := f.WriteRuns([]byte{1}, []int64{0, 1}, []int64{1}); err == nil {
+		t.Error("offs/lens mismatch should fail")
+	}
+	if err := f.WriteRuns([]byte{1}, []int64{-1}, []int64{1}); err == nil {
+		t.Error("negative offset should fail")
+	}
+	if err := f.WriteRuns([]byte{1}, []int64{0}, []int64{5}); err == nil {
+		t.Error("packed too short should fail")
+	}
+	if err := f.ReadRuns([]byte{1}, []int64{0, 1}, []int64{1}); err == nil {
+		t.Error("read offs/lens mismatch should fail")
+	}
+	if err := f.ReadRuns([]byte{1}, []int64{0}, []int64{5}); err == nil {
+		t.Error("dst too short should fail")
+	}
+	if err := f.ReadRuns([]byte{1}, []int64{-2}, []int64{1}); err == nil {
+		t.Error("negative read offset should fail")
+	}
+}
+
+func TestWriteRunsChargesLockPerStripe(t *testing.T) {
+	// A scattered vectored write touching many stripes must pay more lock
+	// time than a contiguous one of the same size.
+	opts := Options{NumOSTs: 4, StripeSize: 1024, SharedLockLatency: 3 * time.Millisecond}
+	fs := New(opts)
+	f, _ := fs.Create("l")
+	packed := make([]byte, 8)
+	scattered := []int64{0, 1024, 2048, 3072, 4096, 5120, 6144, 7168}
+	ones := []int64{1, 1, 1, 1, 1, 1, 1, 1}
+	start := time.Now()
+	if err := f.WriteRuns(packed, scattered, ones); err != nil {
+		t.Fatal(err)
+	}
+	scatteredTime := time.Since(start)
+	start = time.Now()
+	if err := f.WriteRuns(packed, []int64{0}, []int64{8}); err != nil {
+		t.Fatal(err)
+	}
+	contiguousTime := time.Since(start)
+	if scatteredTime < 4*contiguousTime {
+		t.Errorf("scattered %v should cost far more lock time than contiguous %v",
+			scatteredTime, contiguousTime)
+	}
+}
+
+func TestDefaultOptionsSane(t *testing.T) {
+	o := DefaultOptions()
+	if o.NumOSTs <= 0 || o.StripeSize <= 0 || o.OSTBandwidth <= 0 {
+		t.Errorf("defaults %+v", o)
+	}
+	f, err := New(o).Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,172 @@
+// Package plotfile implements an AMReX-plotfile-style snapshot format: the
+// data are split into separate files among groups of simulation processes,
+// each group writing its own file, with a small global header written by
+// rank 0. This is the "Plotfiles" column of Table II — spreading the write
+// over many files avoids the single-shared-file locking that makes N-to-1
+// HDF5 writes collapse, at the price of a format only the producing code
+// understands.
+package plotfile
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"lowfive/h5"
+	"lowfive/internal/grid"
+	"lowfive/internal/native"
+	"lowfive/mpi"
+)
+
+const magic = "LFPF"
+
+// Write stores a block-decomposed field as a plotfile set named base:
+// base.header plus one base.grpK data file per group of groupSize ranks.
+// boxes lists every rank's block (all ranks can compute it from the shared
+// decomposition), so offsets need no communication — as in AMReX, where
+// the grid hierarchy is globally known.
+func Write(be native.Backend, base string, task *mpi.Comm, groupSize int, dims []int64, boxes []grid.Box, data []float32) error {
+	if groupSize < 1 {
+		groupSize = 1
+	}
+	rank := task.Rank()
+	myGroup := rank / groupSize
+	// Byte offset of each rank's record within its group file.
+	offset := int64(16) // per-file preamble: magic + record count
+	for r := myGroup * groupSize; r < rank; r++ {
+		if r < len(boxes) {
+			offset += recordSize(boxes[r])
+		}
+	}
+	name := fmt.Sprintf("%s.grp%d", base, myGroup)
+	st, err := be.Create(name)
+	if err != nil {
+		return fmt.Errorf("plotfile: creating %q: %w", name, err)
+	}
+	defer st.Close()
+	// Group leader writes the per-file preamble.
+	if rank%groupSize == 0 {
+		var pre [16]byte
+		copy(pre[:4], magic)
+		count := groupSize
+		if (myGroup+1)*groupSize > task.Size() {
+			count = task.Size() - myGroup*groupSize
+		}
+		binary.LittleEndian.PutUint64(pre[8:], uint64(count))
+		if _, err := st.WriteAt(pre[:], 0); err != nil {
+			return err
+		}
+	}
+	// Every rank writes its own record: box bounds then raw field bytes.
+	rec := &h5.Encoder{}
+	b := boxes[rank]
+	rec.PutI64(int64(b.Dim()))
+	for d := range b.Min {
+		rec.PutI64(b.Min[d])
+		rec.PutI64(b.Max[d])
+	}
+	rec.Buf = append(rec.Buf, h5.Bytes(data)...)
+	if _, err := st.WriteAt(rec.Buf, offset); err != nil {
+		return err
+	}
+	// Rank 0 writes the global header naming the groups.
+	if rank == 0 {
+		hdr, err := be.Create(base + ".header")
+		if err != nil {
+			return err
+		}
+		defer hdr.Close()
+		e := &h5.Encoder{}
+		e.Buf = append(e.Buf, magic...)
+		e.PutI64(int64(task.Size()))
+		e.PutI64(int64(groupSize))
+		e.PutI64(int64(len(dims)))
+		for _, d := range dims {
+			e.PutI64(d)
+		}
+		if _, err := hdr.WriteAt(e.Buf, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func recordSize(b grid.Box) int64 {
+	return 8 + int64(b.Dim())*16 + b.NumPoints()*4
+}
+
+// Read loads the rank's block back from a plotfile set written with the
+// same task size and group size. The paper notes the real plotfile reader
+// was unoptimized and excludes its time from the comparison; this reader
+// exists for validation.
+func Read(be native.Backend, base string, task *mpi.Comm) (dims []int64, box grid.Box, data []float32, err error) {
+	hdr, err := be.Open(base + ".header")
+	if err != nil {
+		return nil, grid.Box{}, nil, fmt.Errorf("plotfile: opening header: %w", err)
+	}
+	defer hdr.Close()
+	size, err := hdr.Size()
+	if err != nil {
+		return nil, grid.Box{}, nil, err
+	}
+	buf := make([]byte, size)
+	if _, err := hdr.ReadAt(buf, 0); err != nil {
+		return nil, grid.Box{}, nil, err
+	}
+	if string(buf[:4]) != magic {
+		return nil, grid.Box{}, nil, fmt.Errorf("plotfile: bad header magic %q", buf[:4])
+	}
+	d := &h5.Decoder{Buf: buf[4:]}
+	nRanks := int(d.I64())
+	groupSize := int(d.I64())
+	nd := d.I64()
+	if d.Err != nil || nd <= 0 || nd > 16 {
+		return nil, grid.Box{}, nil, fmt.Errorf("plotfile: corrupt header: %v", d.Err)
+	}
+	dims = make([]int64, nd)
+	for i := range dims {
+		dims[i] = d.I64()
+	}
+	if task.Size() != nRanks {
+		return nil, grid.Box{}, nil, fmt.Errorf("plotfile: written by %d ranks, read by %d", nRanks, task.Size())
+	}
+	rank := task.Rank()
+	myGroup := rank / groupSize
+	name := fmt.Sprintf("%s.grp%d", base, myGroup)
+	st, err := be.Open(name)
+	if err != nil {
+		return nil, grid.Box{}, nil, err
+	}
+	defer st.Close()
+	// Walk the records to this rank's slot.
+	pos := int64(16)
+	for r := myGroup * groupSize; r <= rank; r++ {
+		var lenBuf [8]byte
+		if _, err := st.ReadAt(lenBuf[:], pos); err != nil {
+			return nil, grid.Box{}, nil, err
+		}
+		bd := int64(binary.LittleEndian.Uint64(lenBuf[:]))
+		if bd <= 0 || bd > 16 {
+			return nil, grid.Box{}, nil, fmt.Errorf("plotfile: corrupt record at %d", pos)
+		}
+		bbuf := make([]byte, bd*16)
+		if _, err := st.ReadAt(bbuf, pos+8); err != nil {
+			return nil, grid.Box{}, nil, err
+		}
+		b := grid.Box{Min: make([]int64, bd), Max: make([]int64, bd)}
+		for k := int64(0); k < bd; k++ {
+			b.Min[k] = int64(binary.LittleEndian.Uint64(bbuf[k*16:]))
+			b.Max[k] = int64(binary.LittleEndian.Uint64(bbuf[k*16+8:]))
+		}
+		if r == rank {
+			data = make([]float32, b.NumPoints())
+			if b.NumPoints() > 0 {
+				if _, err := st.ReadAt(h5.Bytes(data), pos+8+bd*16); err != nil {
+					return nil, grid.Box{}, nil, err
+				}
+			}
+			return dims, b, data, nil
+		}
+		pos += recordSize(b)
+	}
+	return nil, grid.Box{}, nil, fmt.Errorf("plotfile: rank %d record not found", rank)
+}

@@ -1,0 +1,176 @@
+package plotfile
+
+import (
+	"fmt"
+	"testing"
+
+	"lowfive/internal/grid"
+	"lowfive/internal/native"
+	"lowfive/internal/pfs"
+	"lowfive/mpi"
+)
+
+func blocksOf(dims []int64, n int) []grid.Box {
+	dc := grid.CommonDecomposition(dims, n)
+	out := make([]grid.Box, n)
+	for i := range out {
+		out[i] = dc.Block(i)
+	}
+	return out
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	dims := []int64{8, 8, 8}
+	for _, cfg := range []struct{ ranks, group int }{{1, 1}, {4, 2}, {6, 4}, {8, 8}} {
+		cfg := cfg
+		t.Run(fmt.Sprintf("ranks=%d,group=%d", cfg.ranks, cfg.group), func(t *testing.T) {
+			fs := pfs.NewZeroCost()
+			be := native.PFSBackend(fs)
+			boxes := blocksOf(dims, cfg.ranks)
+			err := mpi.Run(cfg.ranks, func(c *mpi.Comm) {
+				box := boxes[c.Rank()]
+				data := make([]float32, box.NumPoints())
+				for i := range data {
+					data[i] = float32(c.Rank()*1000 + i)
+				}
+				if err := Write(be, "plt0", c, cfg.group, dims, boxes, data); err != nil {
+					t.Error(err)
+					return
+				}
+				c.Barrier()
+				rdims, rbox, rdata, err := Read(be, "plt0", c)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(rdims) != 3 || rdims[0] != 8 {
+					t.Errorf("dims %v", rdims)
+				}
+				if !rbox.Equal(box) {
+					t.Errorf("box %v want %v", rbox, box)
+				}
+				for i := range data {
+					if rdata[i] != data[i] {
+						t.Errorf("cell %d: %v != %v", i, rdata[i], data[i])
+						return
+					}
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestGroupFileCount(t *testing.T) {
+	dims := []int64{4, 4, 4}
+	fs := pfs.NewZeroCost()
+	be := native.PFSBackend(fs)
+	boxes := blocksOf(dims, 6)
+	err := mpi.Run(6, func(c *mpi.Comm) {
+		box := boxes[c.Rank()]
+		data := make([]float32, box.NumPoints())
+		if err := Write(be, "plt1", c, 2, dims, boxes, data); err != nil {
+			t.Error(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 ranks in groups of 2 -> 3 group files plus one header.
+	for _, name := range []string{"plt1.header", "plt1.grp0", "plt1.grp1", "plt1.grp2"} {
+		if !fs.Exists(name) {
+			t.Errorf("missing %s", name)
+		}
+	}
+	if fs.Exists("plt1.grp3") {
+		t.Error("too many group files")
+	}
+}
+
+func TestReadWrongRankCount(t *testing.T) {
+	dims := []int64{4, 4, 4}
+	fs := pfs.NewZeroCost()
+	be := native.PFSBackend(fs)
+	boxes := blocksOf(dims, 2)
+	err := mpi.Run(2, func(c *mpi.Comm) {
+		data := make([]float32, boxes[c.Rank()].NumPoints())
+		Write(be, "plt2", c, 1, dims, boxes, data)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = mpi.Run(3, func(c *mpi.Comm) {
+		if _, _, _, err := Read(be, "plt2", c); err == nil {
+			t.Error("reading with a different rank count should fail")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	fs := pfs.NewZeroCost()
+	be := native.PFSBackend(fs)
+	err := mpi.Run(1, func(c *mpi.Comm) {
+		if _, _, _, err := Read(be, "absent", c); err == nil {
+			t.Error("missing plotfile should fail")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupLargerThanTask(t *testing.T) {
+	dims := []int64{4, 4, 4}
+	fs := pfs.NewZeroCost()
+	be := native.PFSBackend(fs)
+	boxes := blocksOf(dims, 3)
+	err := mpi.Run(3, func(c *mpi.Comm) {
+		data := make([]float32, boxes[c.Rank()].NumPoints())
+		for i := range data {
+			data[i] = float32(c.Rank())
+		}
+		if err := Write(be, "big", c, 99, dims, boxes, data); err != nil {
+			t.Error(err)
+			return
+		}
+		c.Barrier()
+		_, box, rdata, err := Read(be, "big", c)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !box.Equal(boxes[c.Rank()]) || rdata[0] != float32(c.Rank()) {
+			t.Errorf("rank %d round trip failed", c.Rank())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists("big.grp0") || fs.Exists("big.grp1") {
+		t.Error("oversized group should produce exactly one data file")
+	}
+}
+
+func TestZeroGroupSizeDefaultsToOne(t *testing.T) {
+	dims := []int64{4, 4, 4}
+	fs := pfs.NewZeroCost()
+	be := native.PFSBackend(fs)
+	boxes := blocksOf(dims, 2)
+	err := mpi.Run(2, func(c *mpi.Comm) {
+		data := make([]float32, boxes[c.Rank()].NumPoints())
+		if err := Write(be, "one", c, 0, dims, boxes, data); err != nil {
+			t.Error(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists("one.grp0") || !fs.Exists("one.grp1") {
+		t.Error("group size 0 should default to one rank per file")
+	}
+}

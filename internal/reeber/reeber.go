@@ -1,0 +1,262 @@
+// Package reeber is a proxy for the Reeber halo finder used in the paper's
+// science use case: a distributed topological analysis that identifies
+// regions of high density ("halos") in a block-decomposed 3-d field. The
+// real Reeber computes distributed merge trees; this implementation finds
+// the same superlevel-set components at a fixed threshold — a distributed
+// connected-component labeling with union–find locally and a boundary
+// merge across ranks — which is the scientific quantity (halo count and
+// masses) the use case validates.
+package reeber
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lowfive/h5"
+	"lowfive/internal/grid"
+	"lowfive/mpi"
+)
+
+// Result summarizes the halos found at a threshold. All ranks return the
+// identical result.
+type Result struct {
+	// NumHalos is the number of connected superlevel-set components.
+	NumHalos int
+	// TotalMass is the density sum over all halo cells.
+	TotalMass float64
+	// MaxMass is the largest single halo's mass.
+	MaxMass float64
+	// Cells is the number of cells above the threshold.
+	Cells int64
+}
+
+// FindHalos labels the connected components of {density >= threshold} on a
+// block-decomposed field. box is this rank's block (row-major layout of
+// density) within dims; blocks of all ranks must partition the grid.
+func FindHalos(task *mpi.Comm, dims []int64, box grid.Box, density []float32, threshold float64) (Result, error) {
+	if len(dims) != 3 {
+		return Result{}, fmt.Errorf("reeber: only 3-d fields supported, got %d dims", len(dims))
+	}
+	if !box.IsEmpty() && int64(len(density)) != box.NumPoints() {
+		return Result{}, fmt.Errorf("reeber: density has %d cells, box has %d", len(density), box.NumPoints())
+	}
+
+	// --- local union-find over above-threshold cells ---
+	var nx, ny, nz int64
+	if !box.IsEmpty() {
+		c := box.Count()
+		nx, ny, nz = c[0], c[1], c[2]
+	}
+	n := nx * ny * nz
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = -1 // below threshold
+	}
+	var find func(i int32) int32
+	find = func(i int32) int32 {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra < rb {
+				parent[rb] = ra
+			} else {
+				parent[ra] = rb
+			}
+		}
+	}
+	above := func(i int64) bool { return float64(density[i]) >= threshold }
+	idx := func(x, y, z int64) int64 { return (x*ny+y)*nz + z }
+	for x := int64(0); x < nx; x++ {
+		for y := int64(0); y < ny; y++ {
+			for z := int64(0); z < nz; z++ {
+				i := idx(x, y, z)
+				if !above(i) {
+					continue
+				}
+				parent[i] = int32(i)
+				// Union with the already-visited -x, -y, -z neighbors.
+				if x > 0 && above(idx(x-1, y, z)) {
+					union(int32(i), int32(idx(x-1, y, z)))
+				}
+				if y > 0 && above(idx(x, y-1, z)) {
+					union(int32(i), int32(idx(x, y-1, z)))
+				}
+				if z > 0 && above(idx(x, y, z-1)) {
+					union(int32(i), int32(idx(x, y, z-1)))
+				}
+			}
+		}
+	}
+
+	// Local component stats keyed by local root.
+	mass := map[int32]float64{}
+	cells := map[int32]int64{}
+	for i := int64(0); i < n; i++ {
+		if parent[i] < 0 {
+			continue
+		}
+		r := find(int32(i))
+		mass[r] += float64(density[i])
+		cells[r]++
+	}
+
+	// --- global merge: exchange boundary cells ---
+	// A boundary cell is an above-threshold cell on a face of the block.
+	// Global component ids are rank*2^40 + localRoot.
+	rank := int64(task.Rank())
+	gid := func(localRoot int32) int64 { return rank<<40 | int64(localRoot) }
+	enc := &h5.Encoder{}
+	if !box.IsEmpty() {
+		for x := int64(0); x < nx; x++ {
+			for y := int64(0); y < ny; y++ {
+				for z := int64(0); z < nz; z++ {
+					if x != 0 && x != nx-1 && y != 0 && y != ny-1 && z != 0 && z != nz-1 {
+						// Interior z-range can be skipped wholesale.
+						z = nz - 2
+						continue
+					}
+					i := idx(x, y, z)
+					if parent[i] < 0 {
+						continue
+					}
+					gpt := []int64{box.Min[0] + x, box.Min[1] + y, box.Min[2] + z}
+					enc.PutI64(grid.LinearIndex(dims, gpt))
+					enc.PutI64(gid(find(int32(i))))
+				}
+			}
+		}
+	}
+	all := task.Allgather(enc.Buf)
+
+	// Build the global boundary map and union across faces.
+	boundary := map[int64]int64{} // global linear index -> component gid
+	for _, buf := range all {
+		d := &h5.Decoder{Buf: buf}
+		for d.Pos < len(d.Buf) {
+			pt := d.I64()
+			id := d.I64()
+			boundary[pt] = id
+		}
+	}
+	gparent := map[int64]int64{}
+	var gfind func(x int64) int64
+	gfind = func(x int64) int64 {
+		p, ok := gparent[x]
+		if !ok || p == x {
+			gparent[x] = x
+			return x
+		}
+		r := gfind(p)
+		gparent[x] = r
+		return r
+	}
+	gunion := func(a, b int64) {
+		ra, rb := gfind(a), gfind(b)
+		if ra != rb {
+			if ra < rb {
+				gparent[rb] = ra
+			} else {
+				gparent[ra] = rb
+			}
+		}
+	}
+	for pt, id := range boundary {
+		c := grid.Coords(dims, pt)
+		for d := 0; d < 3; d++ {
+			for _, step := range []int64{-1, 1} {
+				c[d] += step
+				if c[d] >= 0 && c[d] < dims[d] {
+					if nid, ok := boundary[grid.LinearIndex(dims, c)]; ok {
+						gunion(id, nid)
+					}
+				}
+				c[d] -= step
+			}
+		}
+	}
+
+	// --- aggregate component stats globally ---
+	stat := &h5.Encoder{}
+	for r, m := range mass {
+		stat.PutI64(gid(r))
+		stat.PutI64(int64(cells[r]))
+		stat.PutI64(int64(floatBits(m)))
+	}
+	allStats := task.Allgather(stat.Buf)
+	gm := map[int64]float64{}
+	gc := map[int64]int64{}
+	for _, buf := range allStats {
+		d := &h5.Decoder{Buf: buf}
+		for d.Pos < len(d.Buf) {
+			id := d.I64()
+			nc := d.I64()
+			m := bitsFloat(uint64(d.I64()))
+			root := gfind(id)
+			gm[root] += m
+			gc[root] += nc
+		}
+	}
+	var res Result
+	var roots []int64
+	for r := range gm {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	for _, r := range roots {
+		res.NumHalos++
+		res.TotalMass += gm[r]
+		res.Cells += gc[r]
+		if gm[r] > res.MaxMass {
+			res.MaxMass = gm[r]
+		}
+	}
+	return res, nil
+}
+
+// ReadDensity reads this rank's block of the density dataset from an open
+// file (through whatever transport the file handle uses). This is the
+// I/O-only step, separated from the analysis so the use case can time
+// transport and computation independently.
+func ReadDensity(task *mpi.Comm, f *h5.File, dsetPath string) (dims []int64, box grid.Box, density []float32, err error) {
+	ds, err := f.OpenDataset(dsetPath)
+	if err != nil {
+		return nil, grid.Box{}, nil, err
+	}
+	dims = ds.Dataspace().Dims()
+	dc := grid.CommonDecomposition(dims, task.Size())
+	box = dc.Block(task.Rank())
+	if !box.IsEmpty() {
+		sel := h5.NewSimple(dims...)
+		if err := sel.SelectBox(h5.SelectSet, box); err != nil {
+			return nil, grid.Box{}, nil, err
+		}
+		density = make([]float32, sel.NumSelected())
+		if err := ds.Read(nil, sel, h5.Bytes(density)); err != nil {
+			return nil, grid.Box{}, nil, err
+		}
+	}
+	if err := ds.Close(); err != nil {
+		return nil, grid.Box{}, nil, err
+	}
+	return dims, box, density, nil
+}
+
+// ReadAndFind combines ReadDensity and FindHalos.
+func ReadAndFind(task *mpi.Comm, f *h5.File, dsetPath string, threshold float64) (Result, error) {
+	dims, box, density, err := ReadDensity(task, f, dsetPath)
+	if err != nil {
+		return Result{}, err
+	}
+	return FindHalos(task, dims, box, density, threshold)
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }

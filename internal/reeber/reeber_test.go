@@ -1,0 +1,197 @@
+package reeber
+
+import (
+	"testing"
+
+	"lowfive/internal/grid"
+	"lowfive/internal/nyx"
+	"lowfive/mpi"
+)
+
+// fieldWithBlobs builds a dims grid with value 10 inside given boxes and 0
+// elsewhere, returning the portion for box (row-major).
+func fieldWithBlobs(dims []int64, box grid.Box, blobs []grid.Box) []float32 {
+	f := make([]float32, box.NumPoints())
+	i := 0
+	pt := append([]int64(nil), box.Min...)
+	for {
+		for _, b := range blobs {
+			if b.Contains(pt) {
+				f[i] = 10
+				break
+			}
+		}
+		i++
+		k := 2
+		for k >= 0 {
+			pt[k]++
+			if pt[k] <= box.Max[k] {
+				break
+			}
+			pt[k] = box.Min[k]
+			k--
+		}
+		if k < 0 {
+			return f
+		}
+	}
+}
+
+func TestFindHalosSingleRank(t *testing.T) {
+	dims := []int64{12, 12, 12}
+	blobs := []grid.Box{
+		grid.NewBox([]int64{1, 1, 1}, []int64{2, 2, 2}),
+		grid.NewBox([]int64{8, 8, 8}, []int64{3, 1, 1}),
+	}
+	err := mpi.Run(1, func(c *mpi.Comm) {
+		box := grid.WholeExtent(dims)
+		density := fieldWithBlobs(dims, box, blobs)
+		res, err := FindHalos(c, dims, box, density, 5)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if res.NumHalos != 2 {
+			t.Errorf("halos=%d want 2", res.NumHalos)
+		}
+		if res.Cells != 8+3 {
+			t.Errorf("cells=%d want 11", res.Cells)
+		}
+		if res.TotalMass != 110 {
+			t.Errorf("mass=%v want 110", res.TotalMass)
+		}
+		if res.MaxMass != 80 {
+			t.Errorf("max mass=%v want 80", res.MaxMass)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindHalosComponentSpansRanks(t *testing.T) {
+	// One blob crossing the block boundary must count as ONE halo.
+	dims := []int64{8, 8, 8}
+	blob := grid.NewBox([]int64{2, 3, 3}, []int64{4, 2, 2}) // spans x=2..5
+	for _, nRanks := range []int{2, 4, 8} {
+		err := mpi.Run(nRanks, func(c *mpi.Comm) {
+			dc := grid.CommonDecomposition(dims, c.Size())
+			box := dc.Block(c.Rank())
+			density := fieldWithBlobs(dims, box, []grid.Box{blob})
+			res, err := FindHalos(c, dims, box, density, 5)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if res.NumHalos != 1 {
+				t.Errorf("nRanks=%d rank=%d: halos=%d want 1", nRanks, c.Rank(), res.NumHalos)
+			}
+			if res.Cells != blob.NumPoints() {
+				t.Errorf("cells=%d want %d", res.Cells, blob.NumPoints())
+			}
+			if res.TotalMass != float64(blob.NumPoints())*10 {
+				t.Errorf("mass=%v", res.TotalMass)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFindHalosAllRanksAgree(t *testing.T) {
+	dims := []int64{10, 10, 10}
+	blobs := []grid.Box{
+		grid.NewBox([]int64{0, 0, 0}, []int64{2, 2, 2}),
+		grid.NewBox([]int64{4, 4, 4}, []int64{3, 3, 3}),
+		grid.NewBox([]int64{8, 0, 8}, []int64{2, 2, 2}),
+	}
+	err := mpi.Run(5, func(c *mpi.Comm) {
+		dc := grid.CommonDecomposition(dims, c.Size())
+		box := dc.Block(c.Rank())
+		density := fieldWithBlobs(dims, box, blobs)
+		res, err := FindHalos(c, dims, box, density, 5)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if res.NumHalos != 3 {
+			t.Errorf("rank %d: halos=%d want 3", c.Rank(), res.NumHalos)
+		}
+		// Cross-rank determinism: compare the full result via allgather.
+		enc := mpi.EncodeFloat64(res.TotalMass)
+		for i, b := range c.Allgather(enc) {
+			if mpi.DecodeFloat64(b) != res.TotalMass {
+				t.Errorf("rank %d and %d disagree on mass", c.Rank(), i)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindHalosEmptyField(t *testing.T) {
+	dims := []int64{6, 6, 6}
+	err := mpi.Run(2, func(c *mpi.Comm) {
+		dc := grid.CommonDecomposition(dims, c.Size())
+		box := dc.Block(c.Rank())
+		density := make([]float32, box.NumPoints()) // all zero
+		res, err := FindHalos(c, dims, box, density, 5)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if res.NumHalos != 0 || res.Cells != 0 {
+			t.Errorf("res=%+v", res)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindHalosNonThreeD(t *testing.T) {
+	err := mpi.Run(1, func(c *mpi.Comm) {
+		if _, err := FindHalos(c, []int64{4, 4}, grid.WholeExtent([]int64{4, 4}), make([]float32, 16), 1); err == nil {
+			t.Error("2-d field should be rejected")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindHalosOnNyxField(t *testing.T) {
+	// The number of components found on the Nyx proxy field must equal the
+	// number of seeded halos, at every decomposition.
+	p := nyx.DefaultParams(24)
+	var want int
+	for i, nRanks := range []int{1, 3, 8} {
+		err := mpi.Run(nRanks, func(c *mpi.Comm) {
+			s, err := nyx.New(p, c)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			res, err := FindHalos(c, s.Dims(), s.Box(), s.Field(), 10)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if c.Rank() == 0 {
+				if res.NumHalos != p.NumHalos {
+					t.Errorf("nRanks=%d: halos=%d want %d", nRanks, res.NumHalos, p.NumHalos)
+				}
+				if i == 0 {
+					want = res.NumHalos
+				} else if res.NumHalos != want {
+					t.Errorf("decomposition changed the halo count: %d vs %d", res.NumHalos, want)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Package rpc provides the minimal remote-procedure-call abstraction over
+// MPI intercommunicators that the paper's index, serve and query functions
+// are written in (§III-B): a client sends a tagged request to a rank of the
+// remote group and blocks for the reply; a server receives requests from any
+// remote rank, dispatches them to a handler, and sends the reply back.
+package rpc
+
+import "lowfive/mpi"
+
+const (
+	tagRequest  = 71
+	tagResponse = 72
+)
+
+// Client issues blocking calls to ranks of the remote group.
+type Client struct {
+	IC *mpi.Intercomm
+}
+
+// Call sends req to remote rank dest and blocks for its response.
+func (c *Client) Call(dest int, req []byte) []byte {
+	c.IC.Send(dest, tagRequest, req)
+	resp, _ := c.IC.Recv(dest, tagResponse)
+	return resp
+}
+
+// Notify sends req to remote rank dest without expecting a response.
+func (c *Client) Notify(dest int, req []byte) {
+	c.IC.Send(dest, tagRequest, req)
+}
+
+// CallAll pipelines the same request to several remote ranks: all sends are
+// posted before any response is awaited (the nonblocking-send pattern of
+// the paper's query step), and the responses are returned in dests order.
+func (c *Client) CallAll(dests []int, req []byte) [][]byte {
+	for _, d := range dests {
+		c.IC.Send(d, tagRequest, req)
+	}
+	out := make([][]byte, len(dests))
+	for i, d := range dests {
+		out[i], _ = c.IC.Recv(d, tagResponse)
+	}
+	return out
+}
+
+// Handler processes one request from remote rank src. Returning a nil
+// response with respond=false means the request was a one-way notification.
+type Handler func(src int, req []byte) (resp []byte, respond bool)
+
+// Server answers requests arriving on an intercommunicator.
+type Server struct {
+	IC      *mpi.Intercomm
+	Handler Handler
+}
+
+// ServeOne blocks for a single request, dispatches it, and replies if the
+// handler produced a response. It returns the source rank.
+func (s *Server) ServeOne() int {
+	req, st := s.IC.Recv(mpi.AnySource, tagRequest)
+	resp, respond := s.Handler(st.Source, req)
+	if respond {
+		s.IC.Send(st.Source, tagResponse, resp)
+	}
+	return st.Source
+}
+
+// Recv blocks for one raw request, for servers that need to defer or
+// re-queue requests instead of answering immediately.
+func (s *Server) Recv() (src int, req []byte) {
+	r, st := s.IC.Recv(mpi.AnySource, tagRequest)
+	return st.Source, r
+}
+
+// Respond sends a response for a request previously obtained via Recv.
+func (s *Server) Respond(src int, resp []byte) {
+	s.IC.Send(src, tagResponse, resp)
+}
+
+// Pending reports whether a request is waiting (for multiplexing several
+// servers on one thread).
+func (s *Server) Pending() bool {
+	_, ok := s.IC.Iprobe(mpi.AnySource, tagRequest)
+	return ok
+}

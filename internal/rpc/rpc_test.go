@@ -1,0 +1,136 @@
+package rpc
+
+import (
+	"testing"
+
+	"lowfive/mpi"
+)
+
+func TestCallRoundTrip(t *testing.T) {
+	err := mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "client", Procs: 2, Main: func(p *mpi.Proc) {
+			c := &Client{IC: p.Intercomm("server")}
+			resp := c.Call(0, []byte("ping"))
+			if string(resp) != "pong:ping" {
+				t.Errorf("got %q", resp)
+			}
+		}},
+		{Name: "server", Procs: 1, Main: func(p *mpi.Proc) {
+			s := &Server{IC: p.Intercomm("client"), Handler: func(src int, req []byte) ([]byte, bool) {
+				return append([]byte("pong:"), req...), true
+			}}
+			s.ServeOne()
+			s.ServeOne()
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNotifyIsOneWay(t *testing.T) {
+	err := mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "client", Procs: 1, Main: func(p *mpi.Proc) {
+			c := &Client{IC: p.Intercomm("server")}
+			c.Notify(0, []byte("done"))
+			// A call after the notify still works (ordering preserved).
+			if resp := c.Call(0, []byte("x")); string(resp) != "ack" {
+				t.Errorf("got %q", resp)
+			}
+		}},
+		{Name: "server", Procs: 1, Main: func(p *mpi.Proc) {
+			notifies := 0
+			s := &Server{IC: p.Intercomm("client"), Handler: func(src int, req []byte) ([]byte, bool) {
+				if string(req) == "done" {
+					notifies++
+					return nil, false
+				}
+				return []byte("ack"), true
+			}}
+			s.ServeOne()
+			s.ServeOne()
+			if notifies != 1 {
+				t.Errorf("notifies=%d", notifies)
+			}
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCallAllPipelines(t *testing.T) {
+	err := mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "client", Procs: 1, Main: func(p *mpi.Proc) {
+			c := &Client{IC: p.Intercomm("server")}
+			resps := c.CallAll([]int{2, 0, 1}, []byte("q"))
+			// Responses come back in dests order, each identifying its server.
+			want := []byte{2, 0, 1}
+			for i, r := range resps {
+				if len(r) != 1 || r[0] != want[i] {
+					t.Errorf("resp %d = %v want %d", i, r, want[i])
+				}
+			}
+		}},
+		{Name: "server", Procs: 3, Main: func(p *mpi.Proc) {
+			s := &Server{IC: p.Intercomm("client"), Handler: func(src int, req []byte) ([]byte, bool) {
+				return []byte{byte(p.Task.Rank())}, true
+			}}
+			s.ServeOne()
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvRespondDeferred(t *testing.T) {
+	// A server can hold a request and answer it later (the parking pattern
+	// the distributed VOL uses across serve sessions).
+	err := mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "client", Procs: 2, Main: func(p *mpi.Proc) {
+			c := &Client{IC: p.Intercomm("server")}
+			resp := c.Call(0, []byte{byte(p.Task.Rank())})
+			if resp[0] != byte(p.Task.Rank()) {
+				t.Errorf("rank %d got %v", p.Task.Rank(), resp)
+			}
+		}},
+		{Name: "server", Procs: 1, Main: func(p *mpi.Proc) {
+			s := &Server{IC: p.Intercomm("client")}
+			src1, req1 := s.Recv()
+			src2, req2 := s.Recv()
+			// Respond in reverse arrival order.
+			s.Respond(src2, req2)
+			s.Respond(src1, req1)
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPending(t *testing.T) {
+	err := mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "client", Procs: 1, Main: func(p *mpi.Proc) {
+			c := &Client{IC: p.Intercomm("server")}
+			ic := p.Intercomm("server")
+			c.Notify(0, []byte("go"))
+			// Wait for the server's signal that it observed Pending.
+			ic.Recv(0, 99)
+		}},
+		{Name: "server", Procs: 1, Main: func(p *mpi.Proc) {
+			ic := p.Intercomm("client")
+			s := &Server{IC: ic, Handler: func(int, []byte) ([]byte, bool) { return nil, false }}
+			for !s.Pending() {
+			}
+			s.ServeOne()
+			if s.Pending() {
+				t.Error("queue should be drained")
+			}
+			ic.Send(0, 99, nil)
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

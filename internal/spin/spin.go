@@ -1,0 +1,29 @@
+// Package spin provides a sub-millisecond delay primitive for the cost
+// models. time.Sleep on many Linux kernels has ~1ms timer slack, which
+// would make a microsecond-scale latency model off by three orders of
+// magnitude; short delays therefore busy-wait on the monotonic clock,
+// yielding to the scheduler so other goroutine ranks keep progressing.
+package spin
+
+import (
+	"runtime"
+	"time"
+)
+
+// sleepThreshold is the duration above which time.Sleep is accurate enough.
+const sleepThreshold = 2 * time.Millisecond
+
+// Wait delays the calling goroutine for approximately d.
+func Wait(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if d >= sleepThreshold {
+		time.Sleep(d)
+		return
+	}
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,36 @@
+package spin
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWaitShortIsAccurate(t *testing.T) {
+	for _, d := range []time.Duration{10 * time.Microsecond, 100 * time.Microsecond, 500 * time.Microsecond} {
+		start := time.Now()
+		for i := 0; i < 20; i++ {
+			Wait(d)
+		}
+		avg := time.Since(start) / 20
+		if avg < d || avg > 10*d+200*time.Microsecond {
+			t.Errorf("Wait(%v) averaged %v", d, avg)
+		}
+	}
+}
+
+func TestWaitZeroAndNegative(t *testing.T) {
+	start := time.Now()
+	Wait(0)
+	Wait(-time.Second)
+	if time.Since(start) > 10*time.Millisecond {
+		t.Error("zero/negative waits should return immediately")
+	}
+}
+
+func TestWaitLongUsesSleep(t *testing.T) {
+	start := time.Now()
+	Wait(5 * time.Millisecond)
+	if d := time.Since(start); d < 5*time.Millisecond {
+		t.Errorf("waited only %v", d)
+	}
+}

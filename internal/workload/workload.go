@@ -1,0 +1,295 @@
+// Package workload generates and validates the synthetic benchmark data of
+// the paper's §IV-B: a regular 3-d grid of 64-bit unsigned integer scalars
+// and a list of particles, each a 3-d vector of 32-bit floats, with one
+// block of each per producer process. "The values of the grid points and
+// particles encode their global position ... so that the consumer can
+// validate that data have been correctly redistributed."
+package workload
+
+import (
+	"fmt"
+
+	"lowfive/h5"
+	"lowfive/internal/grid"
+)
+
+// Spec sizes one synthetic run (one producer task + one consumer task).
+type Spec struct {
+	// Producers and Consumers are the task sizes (the paper allocates 3/4
+	// and 1/4 of the total processes).
+	Producers, Consumers int
+	// GridPointsPerProducer is 10^6 in the paper (8 B elements).
+	GridPointsPerProducer int64
+	// ParticlesPerProducer is 10^6 in the paper (12 B elements).
+	ParticlesPerProducer int64
+}
+
+// PaperSpec returns the paper's sizing for a total process count: 3/4
+// producers, 1/4 consumers, 10^6 grid points and particles per producer.
+func PaperSpec(totalProcs int) Spec {
+	return Spec{
+		Producers:             totalProcs * 3 / 4,
+		Consumers:             totalProcs - totalProcs*3/4,
+		GridPointsPerProducer: 1e6,
+		ParticlesPerProducer:  1e6,
+	}
+}
+
+// Scaled returns the spec with per-producer sizes divided by factor,
+// for laptop-scale reproduction runs.
+func (s Spec) Scaled(factor int64) Spec {
+	out := s
+	out.GridPointsPerProducer = max64(1, s.GridPointsPerProducer/factor)
+	out.ParticlesPerProducer = max64(1, s.ParticlesPerProducer/factor)
+	return out
+}
+
+// GridDims returns the global 3-d grid extent: the producer count factored
+// into three near-equal block counts, times a per-producer block side.
+func (s Spec) GridDims() []int64 {
+	side := cubeRoot(s.GridPointsPerProducer)
+	f := grid.FactorBalanced(s.Producers, 3)
+	return []int64{f[0] * side, f[1] * side, f[2] * side}
+}
+
+// TotalGridPoints is the number of points of the global grid.
+func (s Spec) TotalGridPoints() int64 {
+	d := s.GridDims()
+	return d[0] * d[1] * d[2]
+}
+
+// TotalParticles is the global particle count.
+func (s Spec) TotalParticles() int64 { return s.ParticlesPerProducer * int64(s.Producers) }
+
+// TotalBytes is the total exchanged payload (8 B per grid point, 12 B per
+// particle, as in Table I).
+func (s Spec) TotalBytes() int64 { return s.TotalGridPoints()*8 + s.TotalParticles()*12 }
+
+// GridDecomposition is the producer-side decomposition of the grid.
+func (s Spec) GridDecomposition() grid.Decomposition {
+	return grid.CommonDecomposition(s.GridDims(), s.Producers)
+}
+
+// ConsumerGridDecomposition is the consumer-side decomposition (different
+// block grid because the consumer task has a different size).
+func (s Spec) ConsumerGridDecomposition() grid.Decomposition {
+	return grid.CommonDecomposition(s.GridDims(), s.Consumers)
+}
+
+// ProducerGridBox is the block of producer rank r.
+func (s Spec) ProducerGridBox(r int) grid.Box { return s.GridDecomposition().Block(r) }
+
+// ConsumerGridBox is the block consumer rank r reads.
+func (s Spec) ConsumerGridBox(r int) grid.Box { return s.ConsumerGridDecomposition().Block(r) }
+
+// ParticleRange returns the half-open global particle row range
+// [lo, hi) owned by rank r of a task with n ranks.
+func ParticleRange(total int64, n, r int) (lo, hi int64) {
+	return int64(r) * total / int64(n), int64(r+1) * total / int64(n)
+}
+
+// GridValues fills a row-major buffer over box with each point's global
+// linear index in dims.
+func GridValues(dims []int64, box grid.Box) []uint64 {
+	vals := make([]uint64, box.NumPoints())
+	i := 0
+	// Within a contiguous run, global linear indices are consecutive, so
+	// fill run by run. (Runs iterates the box in row-major order, which is
+	// exactly the buffer's layout.)
+	box.Runs(dims, func(off, n int64) {
+		for k := int64(0); k < n; k++ {
+			vals[i] = uint64(off + k)
+			i++
+		}
+	})
+	return vals
+}
+
+// ValidateGrid checks a row-major buffer over box against GridValues.
+func ValidateGrid(dims []int64, box grid.Box, vals []uint64) error {
+	if int64(len(vals)) != box.NumPoints() {
+		return fmt.Errorf("workload: grid buffer has %d values, box has %d points", len(vals), box.NumPoints())
+	}
+	i := 0
+	var bad error
+	box.Runs(dims, func(off, n int64) {
+		if bad != nil {
+			i += int(n)
+			return
+		}
+		for k := int64(0); k < n; k++ {
+			if want := uint64(off + k); vals[i] != want {
+				bad = fmt.Errorf("workload: grid value at global index %d is %d, want %d", off+k, vals[i], want)
+				return
+			}
+			i++
+		}
+	})
+	return bad
+}
+
+// ParticleValues fills particles [lo, hi): particle i has coordinates
+// (3i, 3i+1, 3i+2) encoding its global position in the list.
+func ParticleValues(lo, hi int64) []float32 {
+	vals := make([]float32, (hi-lo)*3)
+	for i := range vals {
+		vals[i] = float32(lo*3 + int64(i))
+	}
+	return vals
+}
+
+// ValidateParticles checks a particle buffer starting at global row lo.
+func ValidateParticles(lo int64, vals []float32) error {
+	if len(vals)%3 != 0 {
+		return fmt.Errorf("workload: particle buffer length %d not a multiple of 3", len(vals))
+	}
+	for i := range vals {
+		if want := float32(lo*3 + int64(i)); vals[i] != want {
+			return fmt.Errorf("workload: particle component %d is %v, want %v", i, vals[i], want)
+		}
+	}
+	return nil
+}
+
+// WriteSynthetic creates the paper's two datasets (/group1/grid uint64,
+// /group2/particles float32 [N,3]) in an open file and writes producer rank
+// r's blocks. The caller provides pre-generated buffers so that generation
+// stays outside timed sections; pass the results of GenerateProducer.
+func WriteSynthetic(f *h5.File, s Spec, r int, gridVals []uint64, partVals []float32) error {
+	dims := s.GridDims()
+	g1, err := f.CreateGroup("group1")
+	if err != nil {
+		return err
+	}
+	gds, err := g1.CreateDataset("grid", h5.U64, h5.NewSimple(dims...))
+	if err != nil {
+		return err
+	}
+	box := s.ProducerGridBox(r)
+	if !box.IsEmpty() {
+		sel := h5.NewSimple(dims...)
+		if err := sel.SelectBox(h5.SelectSet, box); err != nil {
+			return err
+		}
+		if err := gds.Write(nil, sel, h5.Bytes(gridVals)); err != nil {
+			return err
+		}
+	}
+	if err := gds.Close(); err != nil {
+		return err
+	}
+	g2, err := f.CreateGroup("group2")
+	if err != nil {
+		return err
+	}
+	pds, err := g2.CreateDataset("particles", h5.F32, h5.NewSimple(s.TotalParticles(), 3))
+	if err != nil {
+		return err
+	}
+	lo, hi := ParticleRange(s.TotalParticles(), s.Producers, r)
+	if hi > lo {
+		sel := h5.NewSimple(s.TotalParticles(), 3)
+		if err := sel.SelectHyperslab(h5.SelectSet, []int64{lo, 0}, []int64{hi - lo, 3}); err != nil {
+			return err
+		}
+		if err := pds.Write(nil, sel, h5.Bytes(partVals)); err != nil {
+			return err
+		}
+	}
+	return pds.Close()
+}
+
+// GenerateProducer builds producer rank r's buffers.
+func GenerateProducer(s Spec, r int) (gridVals []uint64, partVals []float32) {
+	gridVals = GridValues(s.GridDims(), s.ProducerGridBox(r))
+	lo, hi := ParticleRange(s.TotalParticles(), s.Producers, r)
+	partVals = ParticleValues(lo, hi)
+	return
+}
+
+// ReadConsumer opens both datasets from an open file and reads consumer
+// rank r's blocks (no validation — transport timing should not include it).
+func ReadConsumer(f *h5.File, s Spec, r int) (gridBuf []uint64, partBuf []float32, err error) {
+	dims := s.GridDims()
+	gds, err := f.OpenDataset("group1/grid")
+	if err != nil {
+		return nil, nil, err
+	}
+	box := s.ConsumerGridBox(r)
+	if !box.IsEmpty() {
+		sel := h5.NewSimple(dims...)
+		if err := sel.SelectBox(h5.SelectSet, box); err != nil {
+			return nil, nil, err
+		}
+		gridBuf = make([]uint64, sel.NumSelected())
+		if err := gds.Read(nil, sel, h5.Bytes(gridBuf)); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := gds.Close(); err != nil {
+		return nil, nil, err
+	}
+	pds, err := f.OpenDataset("group2/particles")
+	if err != nil {
+		return nil, nil, err
+	}
+	lo, hi := ParticleRange(s.TotalParticles(), s.Consumers, r)
+	if hi > lo {
+		sel := h5.NewSimple(s.TotalParticles(), 3)
+		if err := sel.SelectHyperslab(h5.SelectSet, []int64{lo, 0}, []int64{hi - lo, 3}); err != nil {
+			return nil, nil, err
+		}
+		partBuf = make([]float32, sel.NumSelected())
+		if err := pds.Read(nil, sel, h5.Bytes(partBuf)); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := pds.Close(); err != nil {
+		return nil, nil, err
+	}
+	return gridBuf, partBuf, nil
+}
+
+// ValidateConsumer checks buffers returned by ReadConsumer.
+func ValidateConsumer(s Spec, r int, gridBuf []uint64, partBuf []float32) error {
+	box := s.ConsumerGridBox(r)
+	if !box.IsEmpty() {
+		if err := ValidateGrid(s.GridDims(), box, gridBuf); err != nil {
+			return err
+		}
+	}
+	lo, hi := ParticleRange(s.TotalParticles(), s.Consumers, r)
+	if hi > lo {
+		if int64(len(partBuf)) != (hi-lo)*3 {
+			return fmt.Errorf("workload: particle buffer has %d values, want %d", len(partBuf), (hi-lo)*3)
+		}
+		if err := ValidateParticles(lo, partBuf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadAndValidate combines ReadConsumer and ValidateConsumer.
+func ReadAndValidate(f *h5.File, s Spec, r int) error {
+	gridBuf, partBuf, err := ReadConsumer(f, s, r)
+	if err != nil {
+		return err
+	}
+	return ValidateConsumer(s, r, gridBuf, partBuf)
+}
+
+func cubeRoot(n int64) int64 {
+	s := int64(1)
+	for (s+1)*(s+1)*(s+1) <= n {
+		s++
+	}
+	return s
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

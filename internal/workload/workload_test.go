@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"testing"
+
+	"lowfive/h5"
+	"lowfive/internal/core"
+	"lowfive/internal/grid"
+)
+
+func TestPaperSpecSplit(t *testing.T) {
+	s := PaperSpec(16)
+	if s.Producers != 12 || s.Consumers != 4 {
+		t.Errorf("split %d/%d", s.Producers, s.Consumers)
+	}
+	if s.GridPointsPerProducer != 1e6 || s.ParticlesPerProducer != 1e6 {
+		t.Errorf("per-proc sizes %d/%d", s.GridPointsPerProducer, s.ParticlesPerProducer)
+	}
+}
+
+func TestTableISizes(t *testing.T) {
+	// Reproduce Table I's total data sizes: at 16384 procs the paper lists
+	// 1.2e10 grid points, 1.2e10 particles, 223.51 GiB.
+	s := PaperSpec(16384)
+	if s.Producers != 12288 {
+		t.Fatalf("producers %d", s.Producers)
+	}
+	if got := s.TotalGridPoints(); got != 12288*1000*1000 {
+		// The cube-root sizing gives exactly 10^6 per producer only when
+		// 10^6 is a perfect cube (100^3): check it is.
+		t.Errorf("grid points %d", got)
+	}
+	gib := float64(s.TotalBytes()) / (1 << 30)
+	if gib < 220 || gib > 230 {
+		t.Errorf("total size %.2f GiB, paper says 223.51", gib)
+	}
+	// And the 4-process row: 0.06 GiB.
+	small := PaperSpec(4)
+	gib = float64(small.TotalBytes()) / (1 << 30)
+	if gib < 0.05 || gib > 0.07 {
+		t.Errorf("4-proc size %.3f GiB, paper says 0.06", gib)
+	}
+}
+
+func TestGridDimsPartition(t *testing.T) {
+	s := Spec{Producers: 6, Consumers: 2, GridPointsPerProducer: 1000, ParticlesPerProducer: 10}
+	dims := s.GridDims()
+	total := dims[0] * dims[1] * dims[2]
+	if total != 6*1000 {
+		t.Errorf("dims %v = %d points, want 6000", dims, total)
+	}
+	// Producer blocks partition the grid.
+	covered := int64(0)
+	for r := 0; r < s.Producers; r++ {
+		covered += s.ProducerGridBox(r).NumPoints()
+	}
+	if covered != total {
+		t.Errorf("producer blocks cover %d of %d", covered, total)
+	}
+	covered = 0
+	for r := 0; r < s.Consumers; r++ {
+		covered += s.ConsumerGridBox(r).NumPoints()
+	}
+	if covered != total {
+		t.Errorf("consumer blocks cover %d of %d", covered, total)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s := PaperSpec(4).Scaled(100)
+	if s.GridPointsPerProducer != 1e4 || s.ParticlesPerProducer != 1e4 {
+		t.Errorf("scaled sizes %d/%d", s.GridPointsPerProducer, s.ParticlesPerProducer)
+	}
+	if PaperSpec(4).Scaled(1<<40).GridPointsPerProducer < 1 {
+		t.Error("scaling must not reach zero")
+	}
+}
+
+func TestGridValuesValidate(t *testing.T) {
+	dims := []int64{4, 5, 6}
+	box := grid.NewBox([]int64{1, 2, 3}, []int64{2, 2, 2})
+	vals := GridValues(dims, box)
+	if err := ValidateGrid(dims, box, vals); err != nil {
+		t.Fatal(err)
+	}
+	vals[3]++
+	if err := ValidateGrid(dims, box, vals); err == nil {
+		t.Error("corrupted value should fail validation")
+	}
+	if err := ValidateGrid(dims, box, vals[:2]); err == nil {
+		t.Error("wrong length should fail validation")
+	}
+}
+
+func TestParticleValuesValidate(t *testing.T) {
+	vals := ParticleValues(10, 20)
+	if len(vals) != 30 {
+		t.Fatalf("len=%d", len(vals))
+	}
+	if err := ValidateParticles(10, vals); err != nil {
+		t.Fatal(err)
+	}
+	vals[7] = -1
+	if err := ValidateParticles(10, vals); err == nil {
+		t.Error("corrupted particle should fail")
+	}
+}
+
+func TestParticleRangePartition(t *testing.T) {
+	total := int64(17)
+	covered := int64(0)
+	prev := int64(0)
+	for r := 0; r < 5; r++ {
+		lo, hi := ParticleRange(total, 5, r)
+		if lo != prev {
+			t.Errorf("rank %d: lo=%d want %d", r, lo, prev)
+		}
+		covered += hi - lo
+		prev = hi
+	}
+	if covered != total || prev != total {
+		t.Errorf("covered %d, end %d", covered, prev)
+	}
+}
+
+func TestWriteReadLocalRoundTrip(t *testing.T) {
+	// The full write/read path through the in-memory metadata VOL with a
+	// single "rank" acting as both producer and consumer.
+	s := Spec{Producers: 1, Consumers: 1, GridPointsPerProducer: 27, ParticlesPerProducer: 10}
+	vol := core.NewMetadataVOL(nil)
+	fapl := h5.NewFileAccessProps(vol)
+	f, err := h5.CreateFile("w.h5", fapl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, p := GenerateProducer(s, 0)
+	if err := WriteSynthetic(f, s, 0, g, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := h5.OpenFile("w.h5", fapl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadAndValidate(f2, s, 0); err != nil {
+		t.Fatal(err)
+	}
+}

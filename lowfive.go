@@ -1,0 +1,122 @@
+// Package lowfive is a Go implementation of LowFive, the in situ data
+// transport layer for high-performance workflows described in Peterka et
+// al., "LowFive: In Situ Data Transport for High-Performance Workflows"
+// (IPDPS 2023).
+//
+// LowFive is a VOL (Virtual Object Layer) plugin under the HDF5-like data
+// model of package lowfive/h5: applications keep writing and reading
+// "files" of groups, datasets and attributes, and the plugin decides —
+// per file-name pattern — whether the data goes to a container file on a
+// (simulated) parallel file system, stays in an in-memory metadata
+// hierarchy, is served in situ over MPI to the processes of another task,
+// or any combination.
+//
+// The three VOL classes of the paper map to:
+//
+//   - Base VOL:        NewBaseVOL (native container-file I/O)
+//   - Metadata VOL:    NewMetadataVOL (in-memory hierarchy + passthru)
+//   - Dist. metadata:  NewDistMetadataVOL (index–serve–query over MPI)
+//
+// A minimal producer/consumer workflow:
+//
+//	mpi.RunWorkflow([]mpi.TaskSpec{
+//	    {Name: "producer", Procs: 3, Main: func(p *mpi.Proc) {
+//	        vol := lowfive.NewDistMetadataVOL(p.Task, nil)
+//	        vol.SetIntercomm("*.h5", p.Intercomm("consumer"))
+//	        fapl := h5.NewFileAccessProps(vol)
+//	        f, _ := h5.CreateFile("step1.h5", fapl)
+//	        // ... create groups/datasets, write local selections ...
+//	        f.Close() // publishes the data and serves the consumer
+//	    }},
+//	    {Name: "consumer", Procs: 2, Main: func(p *mpi.Proc) {
+//	        vol := lowfive.NewDistMetadataVOL(p.Task, nil)
+//	        vol.SetIntercomm("*.h5", p.Intercomm("producer"))
+//	        fapl := h5.NewFileAccessProps(vol)
+//	        f, _ := h5.OpenFile("step1.h5", fapl)
+//	        // ... open datasets, read any selections: data is
+//	        //     redistributed from 3 producers to 2 consumers ...
+//	        f.Close() // signals done
+//	    }},
+//	})
+package lowfive
+
+import (
+	"lowfive/h5"
+	"lowfive/internal/core"
+	"lowfive/internal/native"
+	"lowfive/internal/pfs"
+	"lowfive/mpi"
+)
+
+// MetadataVOL is the in-memory metadata hierarchy VOL (paper §III-A-b).
+type MetadataVOL = core.MetadataVOL
+
+// DistMetadataVOL is the distributed metadata VOL (paper §III-A-c).
+type DistMetadataVOL = core.DistMetadataVOL
+
+// ServeStats counts a producer rank's serve-side activity (requests
+// answered, bytes served) for communication profiling.
+type ServeStats = core.ServeStats
+
+// ServeHandle tracks an asynchronous serve session started with
+// DistMetadataVOL.ServeAsync (set ServeOnClose to false first); Wait blocks
+// until every consumer rank has signaled done.
+type ServeHandle = core.ServeHandle
+
+// Ownership selects deep copies or shallow (zero-copy) references for
+// dataset writes recorded in the metadata hierarchy.
+type Ownership = core.Ownership
+
+// Ownership modes.
+const (
+	OwnDeep    = core.OwnDeep
+	OwnShallow = core.OwnShallow
+)
+
+// Role restricts a data-intercommunicator registration to producing or
+// consuming (for pipeline tasks that do both with one file pattern).
+type Role = core.Role
+
+// Intercommunicator roles.
+const (
+	RoleBoth    = core.RoleBoth
+	RoleProduce = core.RoleProduce
+	RoleConsume = core.RoleConsume
+)
+
+// FS is a simulated striped parallel file system shared by the ranks of a
+// workflow (the stand-in for Lustre).
+type FS = pfs.FS
+
+// FSOptions configure the simulated parallel file system.
+type FSOptions = pfs.Options
+
+// NewFS creates a simulated parallel file system.
+func NewFS(opts FSOptions) *FS { return pfs.New(opts) }
+
+// NewZeroCostFS creates a simulated file system without timing costs.
+func NewZeroCostFS() *FS { return pfs.NewZeroCost() }
+
+// DefaultFSOptions resembles a mid-size Lustre scratch allocation, scaled
+// for laptop-speed runs.
+func DefaultFSOptions() FSOptions { return pfs.DefaultOptions() }
+
+// NewBaseVOL returns the Base VOL: native container-file I/O on a simulated
+// parallel file system (the "pure HDF5" path of the paper's experiments).
+func NewBaseVOL(fs *FS) h5.Connector { return native.New(native.PFSBackend(fs)) }
+
+// NewOSBaseVOL returns a Base VOL storing container files as real files in
+// a local directory (no simulated striping costs).
+func NewOSBaseVOL(dir string) h5.Connector { return native.New(native.OSBackend(dir)) }
+
+// NewMetadataVOL builds the metadata VOL over an optional base connector.
+// With base nil, all files matching the (default "*") memory patterns live
+// purely in memory.
+func NewMetadataVOL(base h5.Connector) *MetadataVOL { return core.NewMetadataVOL(base) }
+
+// NewDistMetadataVOL builds the distributed metadata VOL for one rank of a
+// task. local is the task's communicator; base (optional) handles files
+// that pass through to storage.
+func NewDistMetadataVOL(local *mpi.Comm, base h5.Connector) *DistMetadataVOL {
+	return core.NewDistMetadataVOL(local, base)
+}

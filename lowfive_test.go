@@ -1,0 +1,239 @@
+package lowfive_test
+
+import (
+	"fmt"
+	"testing"
+
+	"lowfive"
+	"lowfive/h5"
+	"lowfive/mpi"
+)
+
+// TestPublicFacadeMemoryWorkflow exercises the library exactly as the
+// README shows it: only public packages, a producer/consumer pair, in situ.
+func TestPublicFacadeMemoryWorkflow(t *testing.T) {
+	const rows, cols = 8, 6
+	err := mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "producer", Procs: 2, Main: func(p *mpi.Proc) {
+			vol := lowfive.NewDistMetadataVOL(p.Task, nil)
+			vol.SetIntercomm("*.h5", p.Intercomm("consumer"))
+			fapl := h5.NewFileAccessProps(vol)
+			f, err := h5.CreateFile("pub.h5", fapl)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ds, err := f.CreateDataset("grid", h5.U64, h5.NewSimple(rows, cols))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			n, r := int64(p.Task.Size()), int64(p.Task.Rank())
+			r0, r1 := r*rows/n, (r+1)*rows/n
+			sel := h5.NewSimple(rows, cols)
+			sel.SelectHyperslab(h5.SelectSet, []int64{r0, 0}, []int64{r1 - r0, cols})
+			vals := make([]uint64, (r1-r0)*cols)
+			for i := range vals {
+				vals[i] = uint64(r0*cols + int64(i))
+			}
+			if err := ds.Write(nil, sel, h5.Bytes(vals)); err != nil {
+				t.Error(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Error(err)
+			}
+		}},
+		{Name: "consumer", Procs: 3, Main: func(p *mpi.Proc) {
+			vol := lowfive.NewDistMetadataVOL(p.Task, nil)
+			vol.SetIntercomm("*.h5", p.Intercomm("producer"))
+			fapl := h5.NewFileAccessProps(vol)
+			f, err := h5.OpenFile("pub.h5", fapl)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ds, err := f.OpenDataset("grid")
+			if err != nil {
+				t.Error(err)
+				f.Close()
+				return
+			}
+			m, r := int64(p.Task.Size()), int64(p.Task.Rank())
+			c0, c1 := r*cols/m, (r+1)*cols/m
+			if c1 > c0 {
+				sel := h5.NewSimple(rows, cols)
+				sel.SelectHyperslab(h5.SelectSet, []int64{0, c0}, []int64{rows, c1 - c0})
+				vals := make([]uint64, sel.NumSelected())
+				if err := ds.Read(nil, sel, h5.Bytes(vals)); err != nil {
+					t.Error(err)
+				}
+				for i, v := range vals {
+					row := int64(i) / (c1 - c0)
+					col := c0 + int64(i)%(c1-c0)
+					if v != uint64(row*cols+col) {
+						t.Errorf("(%d,%d)=%d", row, col, v)
+						break
+					}
+				}
+			}
+			if err := f.Close(); err != nil {
+				t.Error(err)
+			}
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPublicFacadeFileMode writes through the metadata VOL with passthru to
+// the simulated parallel file system and reads back via the base VOL.
+func TestPublicFacadeFileMode(t *testing.T) {
+	fs := lowfive.NewZeroCostFS()
+	err := mpi.Run(2, func(c *mpi.Comm) {
+		vol := lowfive.NewMetadataVOL(lowfive.NewBaseVOL(fs))
+		vol.SetPassthru("*", true)
+		fapl := h5.NewFileAccessProps(vol)
+		f, err := h5.CreateFile("ckpt.h5", fapl)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ds, err := f.CreateDataset("x", h5.F64, h5.NewSimple(4))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		sel := h5.NewSimple(4)
+		sel.SelectHyperslab(h5.SelectSet, []int64{int64(c.Rank()) * 2}, []int64{2})
+		vals := []float64{float64(c.Rank()*2) + 0.5, float64(c.Rank()*2) + 1.5}
+		if err := ds.Write(nil, sel, h5.Bytes(vals)); err != nil {
+			t.Error(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Error(err)
+		}
+		c.Barrier()
+		// Read the whole dataset straight from "disk".
+		bf, err := h5.OpenFile("ckpt.h5", h5.NewFileAccessProps(lowfive.NewBaseVOL(fs)))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		bds, err := bf.OpenDataset("x")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		out := make([]float64, 4)
+		if err := bds.Read(nil, nil, h5.Bytes(out)); err != nil {
+			t.Error(err)
+		}
+		for i, v := range out {
+			if v != float64(i)+0.5 {
+				t.Errorf("out[%d]=%v", i, v)
+			}
+		}
+		if err := bf.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOwnershipConstants confirms the re-exported ownership values match.
+func TestOwnershipConstants(t *testing.T) {
+	if lowfive.OwnDeep == lowfive.OwnShallow {
+		t.Fatal("ownership constants must differ")
+	}
+	var o lowfive.Ownership = lowfive.OwnDeep
+	_ = o
+}
+
+// TestFacadeConstructors sanity-checks every public constructor.
+func TestFacadeConstructors(t *testing.T) {
+	fs := lowfive.NewFS(lowfive.DefaultFSOptions())
+	if fs == nil {
+		t.Fatal("NewFS returned nil")
+	}
+	if lowfive.NewBaseVOL(fs).ConnectorName() == "" {
+		t.Error("base VOL must have a name")
+	}
+	if lowfive.NewOSBaseVOL(t.TempDir()).ConnectorName() == "" {
+		t.Error("OS base VOL must have a name")
+	}
+	if lowfive.NewMetadataVOL(nil).ConnectorName() == "" {
+		t.Error("metadata VOL must have a name")
+	}
+	err := mpi.Run(1, func(c *mpi.Comm) {
+		v := lowfive.NewDistMetadataVOL(c, nil)
+		if v.ConnectorName() == "" {
+			t.Error("dist VOL must have a name")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultiStepPipelinedWorkflow runs several timesteps through one
+// long-lived VOL per task, the pattern a real coupled code uses.
+func TestMultiStepPipelinedWorkflow(t *testing.T) {
+	const steps = 3
+	err := mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "sim", Procs: 3, Main: func(p *mpi.Proc) {
+			vol := lowfive.NewDistMetadataVOL(p.Task, nil)
+			vol.SetIntercomm("*", p.Intercomm("ana"))
+			fapl := h5.NewFileAccessProps(vol)
+			for s := 0; s < steps; s++ {
+				name := fmt.Sprintf("t%d.h5", s)
+				f, err := h5.CreateFile(name, fapl)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				ds, _ := f.CreateDataset("v", h5.I64, h5.NewSimple(9))
+				r := int64(p.Task.Rank())
+				sel := h5.NewSimple(9)
+				sel.SelectHyperslab(h5.SelectSet, []int64{r * 3}, []int64{3})
+				vals := []int64{r*3 + int64(s)*100, r*3 + 1 + int64(s)*100, r*3 + 2 + int64(s)*100}
+				ds.Write(nil, sel, h5.Bytes(vals))
+				if err := f.Close(); err != nil {
+					t.Error(err)
+				}
+				vol.RemoveFile(name)
+			}
+		}},
+		{Name: "ana", Procs: 2, Main: func(p *mpi.Proc) {
+			vol := lowfive.NewDistMetadataVOL(p.Task, nil)
+			vol.SetIntercomm("*", p.Intercomm("sim"))
+			fapl := h5.NewFileAccessProps(vol)
+			for s := 0; s < steps; s++ {
+				f, err := h5.OpenFile(fmt.Sprintf("t%d.h5", s), fapl)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				ds, _ := f.OpenDataset("v")
+				out := make([]int64, 9)
+				if err := ds.Read(nil, nil, h5.Bytes(out)); err != nil {
+					t.Error(err)
+				}
+				for i, v := range out {
+					if v != int64(i)+int64(s)*100 {
+						t.Errorf("step %d: out[%d]=%d", s, i, v)
+						break
+					}
+				}
+				if err := f.Close(); err != nil {
+					t.Error(err)
+				}
+			}
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

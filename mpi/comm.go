@@ -1,0 +1,186 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+const worldCommID uint64 = 1
+
+// Comm is an intracommunicator: an ordered group of ranks that can exchange
+// point-to-point messages and run collectives. Like an MPI handle, a Comm
+// value is local to one rank; every rank of the group holds its own handle.
+type Comm struct {
+	world *World
+	id    uint64
+	ranks []int // world ranks of the members, shared (read-only) by all handles
+	rank  int   // this handle's rank within the group
+
+	collSeq uint64 // per-handle collective sequence; identical across ranks by the usual MPI ordering requirement
+}
+
+// Rank returns the calling rank within this communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in this communicator.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// World returns the underlying world.
+func (c *Comm) World() *World { return c.world }
+
+// WorldRank returns the world rank of a communicator-local rank.
+func (c *Comm) WorldRank(rank int) int { return c.ranks[rank] }
+
+func (c *Comm) checkRank(rank int) {
+	if rank < 0 || rank >= len(c.ranks) {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", rank, len(c.ranks)))
+	}
+}
+
+// Send delivers data to dest with the given tag. It is buffered and does not
+// wait for a matching receive. Ownership of data passes to the runtime: the
+// caller must not modify the slice after sending.
+func (c *Comm) Send(dest, tag int, data []byte) {
+	c.checkRank(dest)
+	c.world.deliver(c.ranks[dest], &message{commID: c.id, src: c.rank, tag: tag, data: data})
+}
+
+// Request represents an in-flight nonblocking operation.
+type Request struct{ done chan struct{} }
+
+// Wait blocks until the operation completes.
+func (r *Request) Wait() { <-r.done }
+
+// WaitAll waits for every request in the slice.
+func WaitAll(reqs []*Request) {
+	for _, r := range reqs {
+		r.Wait()
+	}
+}
+
+// Isend starts a nonblocking send and returns a request. The payload must
+// not be modified until the request completes.
+func (c *Comm) Isend(dest, tag int, data []byte) *Request {
+	c.checkRank(dest)
+	req := &Request{done: make(chan struct{})}
+	if c.world.cost == nil {
+		// Without a cost model the send is immediate; avoid a goroutine.
+		c.Send(dest, tag, data)
+		close(req.done)
+		return req
+	}
+	go func() {
+		defer close(req.done)
+		c.Send(dest, tag, data)
+	}()
+	return req
+}
+
+// Recv blocks until a message matching (src, tag) arrives and returns its
+// payload. src may be AnySource and tag may be AnyTag.
+func (c *Comm) Recv(src, tag int) ([]byte, Status) {
+	if src != AnySource {
+		c.checkRank(src)
+	}
+	m := c.world.boxes[c.ranks[c.rank]].take(c.world, c.id, src, tag, true)
+	return m.data, Status{Source: m.src, Tag: m.tag, Bytes: len(m.data)}
+}
+
+// Probe blocks until a message matching (src, tag) is available, without
+// receiving it.
+func (c *Comm) Probe(src, tag int) Status {
+	if src != AnySource {
+		c.checkRank(src)
+	}
+	m := c.world.boxes[c.ranks[c.rank]].take(c.world, c.id, src, tag, false)
+	return Status{Source: m.src, Tag: m.tag, Bytes: len(m.data)}
+}
+
+// Iprobe reports whether a message matching (src, tag) is available.
+func (c *Comm) Iprobe(src, tag int) (Status, bool) {
+	if src != AnySource {
+		c.checkRank(src)
+	}
+	m := c.world.boxes[c.ranks[c.rank]].tryTake(c.world, c.id, src, tag, false)
+	if m == nil {
+		return Status{}, false
+	}
+	return Status{Source: m.src, Tag: m.tag, Bytes: len(m.data)}, true
+}
+
+// deriveID computes a child communicator id that every member arrives at
+// independently but identically: a hash of the parent id, the parent's
+// collective sequence number, and a discriminator (e.g. split color).
+func deriveID(parent uint64, seq uint64, kind string, discriminator int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], parent)
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], seq)
+	h.Write(buf[:])
+	h.Write([]byte(kind))
+	binary.LittleEndian.PutUint64(buf[:], uint64(int64(discriminator)))
+	h.Write(buf[:])
+	id := h.Sum64()
+	if id <= worldCommID {
+		id = worldCommID + 1
+	}
+	return id
+}
+
+// Dup returns a communicator with the same group but a distinct message
+// context, so traffic on the duplicate never matches traffic on the parent.
+func (c *Comm) Dup() *Comm {
+	c.collSeq++
+	seq := c.collSeq
+	// Dup is collective; synchronize like a barrier so no rank races ahead
+	// and sends on the duplicate before everyone has derived it.
+	c.barrier(seq)
+	return &Comm{world: c.world, id: deriveID(c.id, seq, "dup", 0), ranks: c.ranks, rank: c.rank}
+}
+
+// Split partitions the communicator by color. Ranks passing the same color
+// end up in the same new communicator, ordered by key and then by parent
+// rank. A negative color returns nil (MPI_UNDEFINED).
+func (c *Comm) Split(color, key int) *Comm {
+	c.collSeq++
+	seq := c.collSeq
+	// Exchange (color, key) among all ranks.
+	mine := make([]byte, 16)
+	binary.LittleEndian.PutUint64(mine[0:], uint64(int64(color)))
+	binary.LittleEndian.PutUint64(mine[8:], uint64(int64(key)))
+	all := c.allgatherInternal(seq, mine)
+	type member struct{ color, key, rank int }
+	var members []member
+	for r, b := range all {
+		col := int(int64(binary.LittleEndian.Uint64(b[0:])))
+		k := int(int64(binary.LittleEndian.Uint64(b[8:])))
+		members = append(members, member{col, k, r})
+	}
+	if color < 0 {
+		return nil
+	}
+	var group []member
+	for _, m := range members {
+		if m.color == color {
+			group = append(group, m)
+		}
+	}
+	sort.Slice(group, func(i, j int) bool {
+		if group[i].key != group[j].key {
+			return group[i].key < group[j].key
+		}
+		return group[i].rank < group[j].rank
+	})
+	ranks := make([]int, len(group))
+	myRank := -1
+	for i, m := range group {
+		ranks[i] = c.ranks[m.rank]
+		if m.rank == c.rank {
+			myRank = i
+		}
+	}
+	return &Comm{world: c.world, id: deriveID(c.id, seq, "split", color), ranks: ranks, rank: myRank}
+}

@@ -1,0 +1,414 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSendRecvPair(t *testing.T) {
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []byte("hello"))
+		} else {
+			data, st := c.Recv(0, 7)
+			if string(data) != "hello" {
+				t.Errorf("got %q", data)
+			}
+			if st.Source != 0 || st.Tag != 7 || st.Bytes != 5 {
+				t.Errorf("bad status %+v", st)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvWildcards(t *testing.T) {
+	err := Run(4, func(c *Comm) {
+		if c.Rank() == 0 {
+			seen := map[int]bool{}
+			for i := 0; i < 3; i++ {
+				data, st := c.Recv(AnySource, AnyTag)
+				if string(data) != fmt.Sprintf("from %d", st.Source) {
+					t.Errorf("mismatched payload %q from %d", data, st.Source)
+				}
+				if st.Tag != 100+st.Source {
+					t.Errorf("tag %d from %d", st.Tag, st.Source)
+				}
+				seen[st.Source] = true
+			}
+			if len(seen) != 3 {
+				t.Errorf("expected 3 distinct sources, got %v", seen)
+			}
+		} else {
+			c.Send(0, 100+c.Rank(), []byte(fmt.Sprintf("from %d", c.Rank())))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageOrderPreserved(t *testing.T) {
+	const n = 100
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				c.Send(1, 3, []byte{byte(i)})
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				data, _ := c.Recv(0, 3)
+				if data[0] != byte(i) {
+					t.Fatalf("out of order: got %d want %d", data[0], i)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagSelectivity(t *testing.T) {
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []byte("one"))
+			c.Send(1, 2, []byte("two"))
+		} else {
+			// Receive tag 2 first even though tag 1 arrived first.
+			data, _ := c.Recv(0, 2)
+			if string(data) != "two" {
+				t.Errorf("tag 2: got %q", data)
+			}
+			data, _ = c.Recv(0, 1)
+			if string(data) != "one" {
+				t.Errorf("tag 1: got %q", data)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeAndIprobe(t *testing.T) {
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 9, []byte("abc"))
+		} else {
+			st := c.Probe(AnySource, AnyTag)
+			if st.Source != 0 || st.Tag != 9 || st.Bytes != 3 {
+				t.Errorf("probe status %+v", st)
+			}
+			if _, ok := c.Iprobe(0, 9); !ok {
+				t.Error("iprobe should see the message")
+			}
+			if _, ok := c.Iprobe(0, 10); ok {
+				t.Error("iprobe tag 10 should see nothing")
+			}
+			data, _ := c.Recv(0, 9)
+			if string(data) != "abc" {
+				t.Errorf("got %q", data)
+			}
+			if _, ok := c.Iprobe(0, 9); ok {
+				t.Error("message should be consumed")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsendWait(t *testing.T) {
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			var reqs []*Request
+			for i := 0; i < 10; i++ {
+				reqs = append(reqs, c.Isend(1, i, []byte{byte(i)}))
+			}
+			WaitAll(reqs)
+		} else {
+			for i := 0; i < 10; i++ {
+				data, _ := c.Recv(0, i)
+				if data[0] != byte(i) {
+					t.Errorf("tag %d: got %d", i, data[0])
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfSend(t *testing.T) {
+	err := Run(1, func(c *Comm) {
+		c.Send(0, 5, []byte("self"))
+		data, _ := c.Recv(0, 5)
+		if string(data) != "self" {
+			t.Errorf("got %q", data)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicAbortsWorld(t *testing.T) {
+	err := Run(3, func(c *Comm) {
+		if c.Rank() == 0 {
+			panic("boom")
+		}
+		// Other ranks block forever; the abort must wake them.
+		c.Recv(0, 1)
+	})
+	if err == nil {
+		t.Fatal("expected an error from the panicking rank")
+	}
+}
+
+func TestWatchdogDetectsDeadlock(t *testing.T) {
+	err := Run(2, func(c *Comm) {
+		c.Recv((c.Rank()+1)%2, 1) // both ranks wait, nobody sends
+	}, WithWatchdog(100*time.Millisecond))
+	if err == nil {
+		t.Fatal("expected deadlock error")
+	}
+}
+
+func TestCostModelDelaysDelivery(t *testing.T) {
+	start := time.Now()
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < 5; i++ {
+				c.Send(1, 0, make([]byte, 1000))
+			}
+		} else {
+			for i := 0; i < 5; i++ {
+				c.Recv(0, 0)
+			}
+		}
+	}, WithCostModel(5*time.Millisecond, 1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Errorf("cost model not applied: whole run took %v", d)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	err := Run(6, func(c *Comm) {
+		color := c.Rank() % 2
+		sub := c.Split(color, -c.Rank()) // reverse order via key
+		if sub.Size() != 3 {
+			t.Errorf("split size %d", sub.Size())
+		}
+		// Keys are negated ranks, so the highest parent rank gets sub rank 0.
+		wantRank := map[int]int{0: 2, 2: 1, 4: 0, 1: 2, 3: 1, 5: 0}[c.Rank()]
+		if sub.Rank() != wantRank {
+			t.Errorf("world rank %d: split rank %d want %d", c.Rank(), sub.Rank(), wantRank)
+		}
+		// Messages on sub do not leak between colors: everyone sends to sub
+		// rank 0 on its own color.
+		if sub.Rank() != 0 {
+			c.Barrier() // line up with color peers... (no-op correctness aid)
+			sub.Send(0, 1, []byte{byte(color)})
+		} else {
+			c.Barrier()
+			for i := 0; i < 2; i++ {
+				data, _ := sub.Recv(AnySource, 1)
+				if int(data[0]) != color {
+					t.Errorf("color %d received message for color %d", color, data[0])
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitUndefined(t *testing.T) {
+	err := Run(4, func(c *Comm) {
+		color := -1
+		if c.Rank() < 2 {
+			color = 0
+		}
+		sub := c.Split(color, 0)
+		if c.Rank() < 2 {
+			if sub == nil || sub.Size() != 2 {
+				t.Errorf("rank %d should be in a comm of 2", c.Rank())
+			}
+		} else if sub != nil {
+			t.Errorf("rank %d should get nil comm", c.Rank())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDupIsolatesTraffic(t *testing.T) {
+	err := Run(2, func(c *Comm) {
+		d := c.Dup()
+		if c.Rank() == 0 {
+			c.Send(1, 1, []byte("parent"))
+			d.Send(1, 1, []byte("dup"))
+		} else {
+			// Receive from dup first; must not match the parent's message.
+			data, _ := d.Recv(0, 1)
+			if string(data) != "dup" {
+				t.Errorf("dup got %q", data)
+			}
+			data, _ = c.Recv(0, 1)
+			if string(data) != "parent" {
+				t.Errorf("parent got %q", data)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorldRankMapping(t *testing.T) {
+	err := Run(4, func(c *Comm) {
+		sub := c.Split(c.Rank()/2, 0)
+		want := (c.Rank()/2)*2 + sub.Rank()
+		if got := sub.WorldRank(sub.Rank()); got != want {
+			t.Errorf("WorldRank=%d want %d", got, want)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesHandoffNoCopy(t *testing.T) {
+	// The runtime does not copy payloads; the same backing array arrives.
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			buf := []byte{1, 2, 3}
+			c.Send(1, 0, buf)
+		} else {
+			data, _ := c.Recv(0, 0)
+			if !bytes.Equal(data, []byte{1, 2, 3}) {
+				t.Errorf("got %v", data)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsendOverlapsWithCostModel(t *testing.T) {
+	// With a cost model, k pipelined Isends should take much less wall time
+	// than k sequential Sends (each costing alpha).
+	const k = 8
+	alpha := 20 * time.Millisecond
+	var pipelined time.Duration
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			start := time.Now()
+			var reqs []*Request
+			for i := 0; i < k; i++ {
+				reqs = append(reqs, c.Isend(1, i, []byte{1}))
+			}
+			WaitAll(reqs)
+			pipelined = time.Since(start)
+		} else {
+			for i := 0; i < k; i++ {
+				c.Recv(0, i)
+			}
+		}
+	}, WithCostModel(alpha, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipelined > time.Duration(k)*alpha*3/4 {
+		t.Errorf("pipelined Isends took %v; sequential would be %v", pipelined, time.Duration(k)*alpha)
+	}
+}
+
+func TestCostModelBandwidthTerm(t *testing.T) {
+	// 1 MB at 10 MB/s should cost ~100ms.
+	start := time.Now()
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 0, make([]byte, 1<<20))
+		} else {
+			c.Recv(0, 0)
+		}
+	}, WithCostModel(0, 10e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 80*time.Millisecond {
+		t.Errorf("bandwidth term not applied: %v", d)
+	}
+}
+
+func TestIntercommProbe(t *testing.T) {
+	err := RunWorkflow([]TaskSpec{
+		{Name: "a", Procs: 1, Main: func(p *Proc) {
+			ic := p.Intercomm("b")
+			ic.Send(0, 5, []byte("xy"))
+		}},
+		{Name: "b", Procs: 1, Main: func(p *Proc) {
+			ic := p.Intercomm("a")
+			st := ic.Probe(AnySource, AnyTag)
+			if st.Source != 0 || st.Tag != 5 || st.Bytes != 2 {
+				t.Errorf("probe %+v", st)
+			}
+			if _, ok := ic.Iprobe(0, 5); !ok {
+				t.Error("iprobe should see it")
+			}
+			ic.Recv(0, 5)
+			if _, ok := ic.Iprobe(0, 5); ok {
+				t.Error("consumed message still visible")
+			}
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankBoundsChecks(t *testing.T) {
+	err := Run(2, func(c *Comm) {
+		if c.Rank() != 0 {
+			return
+		}
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range dest should panic")
+			}
+		}()
+		c.Send(5, 0, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceOpsHelpers(t *testing.T) {
+	if DecodeInt64(MaxInt64(EncodeInt64(3), EncodeInt64(9))) != 9 {
+		t.Error("MaxInt64")
+	}
+	if DecodeInt64(MaxInt64(EncodeInt64(9), EncodeInt64(3))) != 9 {
+		t.Error("MaxInt64 reversed")
+	}
+	if DecodeFloat64(SumFloat64(EncodeFloat64(1.5), EncodeFloat64(2.25))) != 3.75 {
+		t.Error("SumFloat64")
+	}
+	if DecodeFloat64(MaxFloat64(EncodeFloat64(-1), EncodeFloat64(-2))) != -1 {
+		t.Error("MaxFloat64")
+	}
+}

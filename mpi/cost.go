@@ -1,0 +1,27 @@
+package mpi
+
+import (
+	"time"
+
+	"lowfive/internal/spin"
+)
+
+// CostModel charges each message a postal-model injection cost of
+// Alpha + bytes/Beta wall-clock time, recreating the latency/bandwidth
+// regime of an HPC interconnect. The cost is paid by the sending goroutine
+// before the message becomes visible to the receiver, so trees and
+// pipelines exhibit realistic scaling behaviour.
+type CostModel struct {
+	// Alpha is the per-message latency.
+	Alpha time.Duration
+	// Beta is the per-link bandwidth in bytes per second.
+	Beta float64
+}
+
+func (c *CostModel) charge(bytes int) {
+	d := c.Alpha
+	if c.Beta > 0 {
+		d += time.Duration(float64(bytes) / c.Beta * float64(time.Second))
+	}
+	spin.Wait(d)
+}

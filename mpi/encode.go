@@ -1,0 +1,32 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Small fixed-width encoding helpers used by collectives and by the
+// transport layers built on top of this package. All values are
+// little-endian.
+
+// EncodeInt64 encodes v as 8 little-endian bytes.
+func EncodeInt64(v int64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, uint64(v))
+	return b
+}
+
+// DecodeInt64 decodes 8 little-endian bytes.
+func DecodeInt64(b []byte) int64 { return int64(binary.LittleEndian.Uint64(b)) }
+
+// EncodeFloat64 encodes v as 8 little-endian bytes.
+func EncodeFloat64(v float64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, math.Float64bits(v))
+	return b
+}
+
+// DecodeFloat64 decodes 8 little-endian bytes.
+func DecodeFloat64(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}

@@ -1,0 +1,35 @@
+package mpi_test
+
+import (
+	"fmt"
+
+	"lowfive/mpi"
+)
+
+// ExampleRunWorkflow launches two tasks MPMD-style and passes a message
+// across their intercommunicator.
+func ExampleRunWorkflow() {
+	_ = mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "producer", Procs: 1, Main: func(p *mpi.Proc) {
+			p.Intercomm("consumer").Send(0, 0, []byte("hello"))
+		}},
+		{Name: "consumer", Procs: 1, Main: func(p *mpi.Proc) {
+			msg, st := p.Intercomm("producer").Recv(mpi.AnySource, mpi.AnyTag)
+			fmt.Printf("consumer got %q from producer rank %d\n", msg, st.Source)
+		}},
+	})
+	// Output:
+	// consumer got "hello" from producer rank 0
+}
+
+// ExampleComm_Allreduce sums a value across four goroutine ranks.
+func ExampleComm_Allreduce() {
+	_ = mpi.Run(4, func(c *mpi.Comm) {
+		sum := c.Allreduce(mpi.EncodeInt64(int64(c.Rank())), mpi.SumInt64)
+		if c.Rank() == 0 {
+			fmt.Println("sum of ranks:", mpi.DecodeInt64(sum))
+		}
+	})
+	// Output:
+	// sum of ranks: 6
+}

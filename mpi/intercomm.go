@@ -1,0 +1,76 @@
+package mpi
+
+// Intercomm connects two disjoint groups of ranks — in workflow terms, two
+// tasks, e.g. a producer and a consumer. Point-to-point operations address
+// ranks of the *remote* group, exactly like MPI intercommunicators.
+type Intercomm struct {
+	world  *World
+	id     uint64
+	local  []int // world ranks of the local group
+	remote []int // world ranks of the remote group
+	rank   int   // calling rank within the local group
+	sideA  bool  // true on the group that was listed first at creation
+}
+
+// NewIntercomm builds one side's handle of an intercommunicator. localRanks
+// and remoteRanks are world ranks; rank is the caller's index in localRanks.
+// sideA must be true on exactly one of the two groups (both sides must agree,
+// e.g. by ordering the groups deterministically); it disambiguates message
+// direction. The id must be identical on both sides and unique per pair.
+func NewIntercomm(w *World, id uint64, localRanks, remoteRanks []int, rank int, sideA bool) *Intercomm {
+	return &Intercomm{world: w, id: id, local: localRanks, remote: remoteRanks, rank: rank, sideA: sideA}
+}
+
+// LocalRank returns the calling rank within the local group.
+func (ic *Intercomm) LocalRank() int { return ic.rank }
+
+// LocalSize returns the size of the local group.
+func (ic *Intercomm) LocalSize() int { return len(ic.local) }
+
+// RemoteSize returns the size of the remote group.
+func (ic *Intercomm) RemoteSize() int { return len(ic.remote) }
+
+// sendID/recvID split the context by direction so that simultaneous traffic
+// A→B and B→A with equal (src, tag) never cross-matches.
+func (ic *Intercomm) sendID() uint64 {
+	if ic.sideA {
+		return ic.id
+	}
+	return ic.id + 1
+}
+
+func (ic *Intercomm) recvID() uint64 {
+	if ic.sideA {
+		return ic.id + 1
+	}
+	return ic.id
+}
+
+// Send delivers data to rank dest of the remote group.
+func (ic *Intercomm) Send(dest, tag int, data []byte) {
+	ic.world.deliver(ic.remote[dest], &message{commID: ic.sendID(), src: ic.rank, tag: tag, data: data})
+}
+
+// Recv blocks until a message from remote rank src (or AnySource) with the
+// given tag (or AnyTag) arrives.
+func (ic *Intercomm) Recv(src, tag int) ([]byte, Status) {
+	m := ic.world.boxes[ic.local[ic.rank]].take(ic.world, ic.recvID(), src, tag, true)
+	return m.data, Status{Source: m.src, Tag: m.tag, Bytes: len(m.data)}
+}
+
+// Probe blocks until a matching message from the remote group is available,
+// without receiving it.
+func (ic *Intercomm) Probe(src, tag int) Status {
+	m := ic.world.boxes[ic.local[ic.rank]].take(ic.world, ic.recvID(), src, tag, false)
+	return Status{Source: m.src, Tag: m.tag, Bytes: len(m.data)}
+}
+
+// Iprobe reports whether a matching message from the remote group is
+// available.
+func (ic *Intercomm) Iprobe(src, tag int) (Status, bool) {
+	m := ic.world.boxes[ic.local[ic.rank]].tryTake(ic.world, ic.recvID(), src, tag, false)
+	if m == nil {
+		return Status{}, false
+	}
+	return Status{Source: m.src, Tag: m.tag, Bytes: len(m.data)}, true
+}

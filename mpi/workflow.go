@@ -1,0 +1,127 @@
+package mpi
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// TaskSpec describes one task (one parallel "executable") of an MPMD
+// workflow launch: a name, a number of processes, and the per-process
+// entry point.
+type TaskSpec struct {
+	Name  string
+	Procs int
+	Main  func(p *Proc)
+}
+
+// Proc is the per-process view handed to a task's Main: the world
+// communicator, the task's own communicator, and intercommunicators to
+// every other task in the launch.
+type Proc struct {
+	// World spans all processes of all tasks.
+	World *Comm
+	// Task spans the processes of this task only.
+	Task *Comm
+	// TaskName is the name from the TaskSpec.
+	TaskName string
+	// TaskIndex is the position of this task in the launch.
+	TaskIndex int
+
+	inter map[string]*Intercomm
+}
+
+// Intercomm returns the intercommunicator connecting this task to the named
+// other task. It panics if no such task exists in the launch.
+func (p *Proc) Intercomm(other string) *Intercomm {
+	ic, ok := p.inter[other]
+	if !ok {
+		panic(fmt.Sprintf("mpi: no task %q in this workflow launch", other))
+	}
+	return ic
+}
+
+// TaskNames lists the other tasks this process holds intercommunicators to.
+func (p *Proc) TaskNames() []string {
+	names := make([]string, 0, len(p.inter))
+	for n := range p.inter {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func intercommID(a, b string) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	h := fnv.New64a()
+	h.Write([]byte("intercomm:"))
+	h.Write([]byte(a))
+	h.Write([]byte{0})
+	h.Write([]byte(b))
+	id := h.Sum64()
+	// Reserve two consecutive ids per pair (direction split) clear of the
+	// world id.
+	if id <= worldCommID+1 {
+		id += 2
+	}
+	return id &^ 1
+}
+
+// RunWorkflow launches all tasks inside one world, with contiguous world
+// rank ranges per task in spec order, and waits for completion. Task names
+// must be unique. This mirrors an mpiexec MPMD launch of coupled
+// executables, which is how the paper runs producer and consumer tasks.
+func RunWorkflow(specs []TaskSpec, opts ...Option) error {
+	total := 0
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if s.Procs <= 0 {
+			return fmt.Errorf("mpi: task %q has non-positive proc count %d", s.Name, s.Procs)
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("mpi: duplicate task name %q", s.Name)
+		}
+		seen[s.Name] = true
+		total += s.Procs
+	}
+	if total == 0 {
+		return fmt.Errorf("mpi: empty workflow")
+	}
+	w := NewWorld(total, opts...)
+
+	// Precompute task world-rank ranges.
+	ranges := make([][]int, len(specs))
+	start := 0
+	for i, s := range specs {
+		r := make([]int, s.Procs)
+		for j := range r {
+			r[j] = start + j
+		}
+		ranges[i] = r
+		start += s.Procs
+	}
+
+	return w.Run(func(world *Comm) {
+		wr := world.Rank()
+		// Which task does this world rank belong to?
+		ti := 0
+		for wr >= ranges[ti][0]+len(ranges[ti]) {
+			ti++
+		}
+		spec := specs[ti]
+		taskRank := wr - ranges[ti][0]
+		task := &Comm{world: w, id: deriveID(worldCommID, 0, "task", ti), ranks: ranges[ti], rank: taskRank}
+		inter := make(map[string]*Intercomm, len(specs)-1)
+		for oi, os := range specs {
+			if oi == ti {
+				continue
+			}
+			id := intercommID(spec.Name, os.Name)
+			sideA := spec.Name < os.Name
+			inter[os.Name] = NewIntercomm(w, id, ranges[ti], ranges[oi], taskRank, sideA)
+		}
+		spec.Main(&Proc{World: world, Task: task, TaskName: spec.Name, TaskIndex: ti, inter: inter})
+	})
+}

@@ -1,0 +1,158 @@
+package mpi
+
+import (
+	"testing"
+)
+
+func TestRunWorkflowBasics(t *testing.T) {
+	err := RunWorkflow([]TaskSpec{
+		{Name: "producer", Procs: 3, Main: func(p *Proc) {
+			if p.World.Size() != 5 {
+				t.Errorf("world size %d", p.World.Size())
+			}
+			if p.Task.Size() != 3 {
+				t.Errorf("producer task size %d", p.Task.Size())
+			}
+			if p.TaskName != "producer" || p.TaskIndex != 0 {
+				t.Errorf("bad identity %q %d", p.TaskName, p.TaskIndex)
+			}
+			if p.World.Rank() != p.Task.Rank() {
+				t.Errorf("producer world rank %d != task rank %d", p.World.Rank(), p.Task.Rank())
+			}
+		}},
+		{Name: "consumer", Procs: 2, Main: func(p *Proc) {
+			if p.Task.Size() != 2 {
+				t.Errorf("consumer task size %d", p.Task.Size())
+			}
+			if p.World.Rank() != p.Task.Rank()+3 {
+				t.Errorf("consumer world rank %d task rank %d", p.World.Rank(), p.Task.Rank())
+			}
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkflowIntercomm(t *testing.T) {
+	err := RunWorkflow([]TaskSpec{
+		{Name: "prod", Procs: 3, Main: func(p *Proc) {
+			ic := p.Intercomm("cons")
+			if ic.RemoteSize() != 2 || ic.LocalSize() != 3 {
+				t.Errorf("sizes local=%d remote=%d", ic.LocalSize(), ic.RemoteSize())
+			}
+			// Each producer sends to consumer rank (mine % 2).
+			ic.Send(ic.LocalRank()%2, 5, []byte{byte(ic.LocalRank())})
+			// And receives an ack addressed back to it.
+			data, st := ic.Recv(AnySource, 6)
+			if data[0] != byte(ic.LocalRank()) {
+				t.Errorf("producer %d got ack %d from %d", ic.LocalRank(), data[0], st.Source)
+			}
+		}},
+		{Name: "cons", Procs: 2, Main: func(p *Proc) {
+			ic := p.Intercomm("prod")
+			// Consumer rank 0 hears from producers 0 and 2; rank 1 from producer 1.
+			n := 2 - ic.LocalRank()
+			for i := 0; i < n; i++ {
+				data, st := ic.Recv(AnySource, 5)
+				if int(data[0]) != st.Source {
+					t.Errorf("payload %d != source %d", data[0], st.Source)
+				}
+				ic.Send(st.Source, 6, data)
+			}
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntercommBidirectionalNoCrossMatch(t *testing.T) {
+	// Rank 0 on both sides sends with the same tag simultaneously; each side
+	// must receive the other's message, not its own.
+	err := RunWorkflow([]TaskSpec{
+		{Name: "a", Procs: 1, Main: func(p *Proc) {
+			ic := p.Intercomm("b")
+			ic.Send(0, 1, []byte("from-a"))
+			data, _ := ic.Recv(0, 1)
+			if string(data) != "from-b" {
+				t.Errorf("a got %q", data)
+			}
+		}},
+		{Name: "b", Procs: 1, Main: func(p *Proc) {
+			ic := p.Intercomm("a")
+			ic.Send(0, 1, []byte("from-b"))
+			data, _ := ic.Recv(0, 1)
+			if string(data) != "from-a" {
+				t.Errorf("b got %q", data)
+			}
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreeTaskFanInFanOut(t *testing.T) {
+	// Two producers fan in to one consumer; the consumer fans results back out.
+	err := RunWorkflow([]TaskSpec{
+		{Name: "p1", Procs: 2, Main: func(p *Proc) {
+			ic := p.Intercomm("sink")
+			ic.Send(0, 1, []byte{1})
+			if _, ok := p.inter["p2"]; !ok {
+				t.Error("p1 should also have an intercomm to p2")
+			}
+		}},
+		{Name: "p2", Procs: 2, Main: func(p *Proc) {
+			p.Intercomm("sink").Send(0, 1, []byte{2})
+		}},
+		{Name: "sink", Procs: 1, Main: func(p *Proc) {
+			sum := 0
+			for i := 0; i < 2; i++ {
+				d, _ := p.Intercomm("p1").Recv(AnySource, 1)
+				sum += int(d[0])
+			}
+			for i := 0; i < 2; i++ {
+				d, _ := p.Intercomm("p2").Recv(AnySource, 1)
+				sum += int(d[0])
+			}
+			if sum != 6 {
+				t.Errorf("sum=%d", sum)
+			}
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkflowValidation(t *testing.T) {
+	if err := RunWorkflow(nil); err == nil {
+		t.Error("empty workflow should fail")
+	}
+	if err := RunWorkflow([]TaskSpec{{Name: "x", Procs: 0, Main: func(*Proc) {}}}); err == nil {
+		t.Error("zero procs should fail")
+	}
+	if err := RunWorkflow([]TaskSpec{
+		{Name: "x", Procs: 1, Main: func(*Proc) {}},
+		{Name: "x", Procs: 1, Main: func(*Proc) {}},
+	}); err == nil {
+		t.Error("duplicate names should fail")
+	}
+}
+
+func TestProcTaskNames(t *testing.T) {
+	err := RunWorkflow([]TaskSpec{
+		{Name: "b", Procs: 1, Main: func(p *Proc) {
+			names := p.TaskNames()
+			if len(names) != 2 || names[0] != "a" || names[1] != "c" {
+				t.Errorf("names=%v", names)
+			}
+		}},
+		{Name: "a", Procs: 1, Main: func(*Proc) {}},
+		{Name: "c", Procs: 1, Main: func(*Proc) {}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

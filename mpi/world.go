@@ -1,0 +1,286 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// World is a set of ranks (goroutines) that can exchange messages. It plays
+// the role of MPI_COMM_WORLD's underlying machine: it owns the mailboxes,
+// the cost model, and abort/deadlock handling.
+type World struct {
+	size  int
+	boxes []*mailbox
+	cost  *CostModel
+
+	aborted  atomic.Bool
+	abortErr atomic.Pointer[abortError]
+
+	// progress counters for the deadlock watchdog
+	delivered atomic.Uint64
+	blocked   atomic.Int64
+
+	watchdog time.Duration
+}
+
+type abortError struct{ err error }
+
+// AbortedError is returned by Run when a rank panics or the world is
+// aborted; the remaining ranks are woken with this error.
+type AbortedError struct{ Err error }
+
+func (e *AbortedError) Error() string { return fmt.Sprintf("mpi: world aborted: %v", e.Err) }
+func (e *AbortedError) Unwrap() error { return e.Err }
+
+// DeadlockError is reported by the watchdog when every rank has been blocked
+// in a receive with no message delivered for the watchdog interval.
+type DeadlockError struct{ Blocked int }
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("mpi: deadlock detected: all %d ranks blocked in Recv/Probe", e.Blocked)
+}
+
+// Option configures a World.
+type Option func(*World)
+
+// WithCostModel attaches a network cost model: each message charges its
+// sender alpha + bytes/beta of wall-clock time before delivery.
+func WithCostModel(alpha time.Duration, betaBytesPerSec float64) Option {
+	return func(w *World) {
+		w.cost = &CostModel{Alpha: alpha, Beta: betaBytesPerSec}
+	}
+}
+
+// WithWatchdog sets how long the deadlock watchdog waits with zero progress
+// and all ranks blocked before aborting the world. Zero disables it.
+func WithWatchdog(d time.Duration) Option {
+	return func(w *World) { w.watchdog = d }
+}
+
+// NewWorld creates a world with the given number of ranks.
+func NewWorld(size int, opts ...Option) *World {
+	if size <= 0 {
+		panic("mpi: world size must be positive")
+	}
+	w := &World{size: size, watchdog: 30 * time.Second}
+	for _, o := range opts {
+		o(w)
+	}
+	w.boxes = make([]*mailbox, size)
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	return w
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
+// Abort wakes every blocked rank with an error. It is called automatically
+// when a rank panics so the remaining ranks do not deadlock.
+func (w *World) Abort(err error) {
+	w.abortErr.CompareAndSwap(nil, &abortError{err})
+	w.aborted.Store(true)
+	for _, b := range w.boxes {
+		b.wakeAll()
+	}
+}
+
+func (w *World) abortReason() error {
+	if p := w.abortErr.Load(); p != nil {
+		return p.err
+	}
+	return fmt.Errorf("unknown reason")
+}
+
+// Run starts size goroutines, each executing main with that rank's
+// world communicator, and waits for all of them. If any rank panics, the
+// world is aborted and the first panic is returned as an error.
+func (w *World) Run(main func(c *Comm)) error {
+	comms := w.commWorld()
+	var wg sync.WaitGroup
+	errCh := make(chan error, w.size)
+	stopWatch := make(chan struct{})
+	if w.watchdog > 0 {
+		go w.watch(stopWatch)
+	}
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(c *Comm) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					err, ok := rec.(error)
+					if !ok {
+						err = fmt.Errorf("rank %d panicked: %v", c.Rank(), rec)
+					}
+					if _, isAbort := err.(*AbortedError); !isAbort {
+						w.Abort(fmt.Errorf("rank %d: %v", c.Rank(), rec))
+						errCh <- err
+					}
+				}
+			}()
+			main(c)
+		}(comms[r])
+	}
+	wg.Wait()
+	close(stopWatch)
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+	if w.aborted.Load() {
+		return &AbortedError{Err: w.abortReason()}
+	}
+	return nil
+}
+
+// Run is shorthand for NewWorld(size, opts...).Run(main).
+func Run(size int, main func(c *Comm), opts ...Option) error {
+	return NewWorld(size, opts...).Run(main)
+}
+
+// commWorld builds the per-rank world communicator handles.
+func (w *World) commWorld() []*Comm {
+	ranks := make([]int, w.size)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	comms := make([]*Comm, w.size)
+	for r := 0; r < w.size; r++ {
+		comms[r] = &Comm{world: w, id: worldCommID, ranks: ranks, rank: r}
+	}
+	return comms
+}
+
+func (w *World) watch(stop <-chan struct{}) {
+	tick := time.NewTicker(w.watchdog)
+	defer tick.Stop()
+	var lastDelivered uint64
+	stuckSince := time.Now()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			d := w.delivered.Load()
+			if d != lastDelivered || w.blocked.Load() < int64(w.size) {
+				lastDelivered = d
+				stuckSince = time.Now()
+				continue
+			}
+			if time.Since(stuckSince) >= w.watchdog {
+				w.Abort(&DeadlockError{Blocked: int(w.blocked.Load())})
+				return
+			}
+		}
+	}
+}
+
+// message is a single in-flight message.
+type message struct {
+	commID uint64
+	src    int // sender rank, local to the communicator/group
+	tag    int
+	data   []byte
+}
+
+// mailbox holds undelivered messages for one world rank.
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	msgs []*message
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *mailbox) wakeAll() {
+	b.mu.Lock()
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+func (b *mailbox) put(m *message) {
+	b.mu.Lock()
+	b.msgs = append(b.msgs, m)
+	// Broadcast, not Signal: a rank may have several goroutines (e.g. serve
+	// loops for different intercommunicators) blocked on this mailbox with
+	// different match criteria, and Signal could wake one that does not
+	// match this message, losing the wakeup for the one that does.
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+func matches(m *message, commID uint64, src, tag int) bool {
+	if m.commID != commID {
+		return false
+	}
+	if src != AnySource && m.src != src {
+		return false
+	}
+	if tag != AnyTag && m.tag != tag {
+		return false
+	}
+	return true
+}
+
+// take removes and returns the first message matching (commID, src, tag),
+// blocking until one arrives. remove=false peeks without removing (Probe).
+func (b *mailbox) take(w *World, commID uint64, src, tag int, remove bool) *message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if w.aborted.Load() {
+			panic(&AbortedError{Err: w.abortReason()})
+		}
+		for i, m := range b.msgs {
+			if matches(m, commID, src, tag) {
+				if remove {
+					b.msgs = append(b.msgs[:i], b.msgs[i+1:]...)
+				}
+				return m
+			}
+		}
+		w.blocked.Add(1)
+		b.cond.Wait()
+		w.blocked.Add(-1)
+	}
+}
+
+// tryTake is the nonblocking variant (Iprobe).
+func (b *mailbox) tryTake(w *World, commID uint64, src, tag int, remove bool) *message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if w.aborted.Load() {
+		panic(&AbortedError{Err: w.abortReason()})
+	}
+	for i, m := range b.msgs {
+		if matches(m, commID, src, tag) {
+			if remove {
+				b.msgs = append(b.msgs[:i], b.msgs[i+1:]...)
+			}
+			return m
+		}
+	}
+	return nil
+}
+
+// deliver charges the cost model and enqueues the message at the
+// destination world rank.
+func (w *World) deliver(worldDest int, m *message) {
+	if w.aborted.Load() {
+		panic(&AbortedError{Err: w.abortReason()})
+	}
+	if w.cost != nil {
+		w.cost.charge(len(m.data))
+	}
+	w.boxes[worldDest].put(m)
+	w.delivered.Add(1)
+}

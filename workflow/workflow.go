@@ -1,0 +1,173 @@
+// Package workflow is the higher-level workflow layer the paper's future
+// work announces ("we are also actively building a higher-level workflow
+// system that uses LowFive as its transport layer"): a declarative task
+// graph — tasks with process counts, edges labeled with file patterns —
+// that the runtime launches MPMD-style, wiring a distributed LowFive VOL
+// per rank so that every edge's files flow in situ from producers to
+// consumers. Task code receives a ready-configured VOL and just performs
+// ordinary h5 I/O.
+//
+// Graphs can be built in Go or loaded from JSON:
+//
+//	{
+//	  "tasks": [
+//	    {"name": "sim",  "procs": 4},
+//	    {"name": "ana",  "procs": 2}
+//	  ],
+//	  "edges": [
+//	    {"from": "sim", "to": "ana", "pattern": "step*.h5"}
+//	  ]
+//	}
+package workflow
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"lowfive"
+	"lowfive/h5"
+	"lowfive/mpi"
+)
+
+// Task is one parallel program of the graph. Fn is the per-rank entry
+// point; it gets the process handle, a LowFive VOL already wired to every
+// edge touching this task, and the matching file-access property list.
+type Task struct {
+	Name  string                                                                    `json:"name"`
+	Procs int                                                                       `json:"procs"`
+	Fn    func(p *mpi.Proc, vol *lowfive.DistMetadataVOL, fapl *h5.FileAccessProps) `json:"-"`
+}
+
+// Edge routes files matching Pattern from task From to task To, in situ.
+type Edge struct {
+	From    string `json:"from"`
+	To      string `json:"to"`
+	Pattern string `json:"pattern"`
+}
+
+// Graph is a complete workflow description.
+type Graph struct {
+	Tasks []Task `json:"tasks"`
+	Edges []Edge `json:"edges"`
+}
+
+// ParseJSON loads a graph structure (tasks and edges) from JSON. Entry
+// points cannot travel in JSON; attach them afterwards with Bind.
+func ParseJSON(data []byte) (Graph, error) {
+	var g Graph
+	if err := json.Unmarshal(data, &g); err != nil {
+		return Graph{}, fmt.Errorf("workflow: parsing graph: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return Graph{}, err
+	}
+	return g, nil
+}
+
+// Bind attaches the entry point for the named task.
+func (g *Graph) Bind(name string, fn func(p *mpi.Proc, vol *lowfive.DistMetadataVOL, fapl *h5.FileAccessProps)) error {
+	for i := range g.Tasks {
+		if g.Tasks[i].Name == name {
+			g.Tasks[i].Fn = fn
+			return nil
+		}
+	}
+	return fmt.Errorf("workflow: no task %q in the graph", name)
+}
+
+// Validate checks structural consistency: unique task names, positive
+// process counts, and edges referencing existing, distinct tasks.
+func (g Graph) Validate() error {
+	if len(g.Tasks) == 0 {
+		return fmt.Errorf("workflow: graph has no tasks")
+	}
+	names := map[string]bool{}
+	for _, t := range g.Tasks {
+		if t.Name == "" {
+			return fmt.Errorf("workflow: task with empty name")
+		}
+		if names[t.Name] {
+			return fmt.Errorf("workflow: duplicate task %q", t.Name)
+		}
+		names[t.Name] = true
+		if t.Procs <= 0 {
+			return fmt.Errorf("workflow: task %q has %d procs", t.Name, t.Procs)
+		}
+	}
+	for _, e := range g.Edges {
+		if !names[e.From] {
+			return fmt.Errorf("workflow: edge from unknown task %q", e.From)
+		}
+		if !names[e.To] {
+			return fmt.Errorf("workflow: edge to unknown task %q", e.To)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("workflow: edge %q -> %q connects a task to itself", e.From, e.To)
+		}
+		if e.Pattern == "" {
+			return fmt.Errorf("workflow: edge %q -> %q has an empty file pattern", e.From, e.To)
+		}
+	}
+	return nil
+}
+
+// Producers returns the edges leaving the named task.
+func (g Graph) Producers(name string) []Edge {
+	var out []Edge
+	for _, e := range g.Edges {
+		if e.From == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Consumers returns the edges arriving at the named task.
+func (g Graph) Consumers(name string) []Edge {
+	var out []Edge
+	for _, e := range g.Edges {
+		if e.To == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Run validates the graph, launches every task MPMD-style, and wires a
+// DistMetadataVOL per rank: for every outgoing edge the VOL serves the
+// pattern to the consumer task; for every incoming edge it opens the
+// pattern from the producer task. base (optional) handles files matching
+// no edge, e.g. checkpoints to storage.
+func Run(g Graph, base func() h5.Connector, opts ...mpi.Option) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	for _, t := range g.Tasks {
+		if t.Fn == nil {
+			return fmt.Errorf("workflow: task %q has no entry point (use Bind)", t.Name)
+		}
+	}
+	specs := make([]mpi.TaskSpec, len(g.Tasks))
+	for i, t := range g.Tasks {
+		t := t
+		specs[i] = mpi.TaskSpec{
+			Name:  t.Name,
+			Procs: t.Procs,
+			Main: func(p *mpi.Proc) {
+				var b h5.Connector
+				if base != nil {
+					b = base()
+				}
+				vol := lowfive.NewDistMetadataVOL(p.Task, b)
+				for _, e := range g.Producers(t.Name) {
+					vol.SetIntercommRole(e.Pattern, lowfive.RoleProduce, p.Intercomm(e.To))
+				}
+				for _, e := range g.Consumers(t.Name) {
+					vol.SetIntercommRole(e.Pattern, lowfive.RoleConsume, p.Intercomm(e.From))
+				}
+				t.Fn(p, vol, h5.NewFileAccessProps(vol))
+			},
+		}
+	}
+	return mpi.RunWorkflow(specs, opts...)
+}

@@ -1,0 +1,270 @@
+package workflow
+
+import (
+	"fmt"
+	"testing"
+
+	"lowfive"
+	"lowfive/h5"
+	"lowfive/mpi"
+)
+
+func TestValidate(t *testing.T) {
+	ok := Graph{
+		Tasks: []Task{{Name: "a", Procs: 1}, {Name: "b", Procs: 2}},
+		Edges: []Edge{{From: "a", To: "b", Pattern: "*.h5"}},
+	}
+	if err := ok.Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := []Graph{
+		{},
+		{Tasks: []Task{{Name: "", Procs: 1}}},
+		{Tasks: []Task{{Name: "a", Procs: 1}, {Name: "a", Procs: 1}}},
+		{Tasks: []Task{{Name: "a", Procs: 0}}},
+		{Tasks: []Task{{Name: "a", Procs: 1}}, Edges: []Edge{{From: "x", To: "a", Pattern: "p"}}},
+		{Tasks: []Task{{Name: "a", Procs: 1}}, Edges: []Edge{{From: "a", To: "x", Pattern: "p"}}},
+		{Tasks: []Task{{Name: "a", Procs: 1}, {Name: "b", Procs: 1}}, Edges: []Edge{{From: "a", To: "b", Pattern: ""}}},
+		{Tasks: []Task{{Name: "a", Procs: 1}}, Edges: []Edge{{From: "a", To: "a", Pattern: "p"}}},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("graph %d should be invalid", i)
+		}
+	}
+}
+
+func TestParseJSON(t *testing.T) {
+	g, err := ParseJSON([]byte(`{
+		"tasks": [{"name": "sim", "procs": 3}, {"name": "ana", "procs": 2}],
+		"edges": [{"from": "sim", "to": "ana", "pattern": "step*.h5"}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Tasks) != 2 || g.Tasks[0].Procs != 3 {
+		t.Errorf("graph %+v", g)
+	}
+	if len(g.Producers("sim")) != 1 || len(g.Consumers("ana")) != 1 {
+		t.Error("edge queries wrong")
+	}
+	if _, err := ParseJSON([]byte(`{"tasks": []}`)); err == nil {
+		t.Error("empty graph should fail")
+	}
+	if _, err := ParseJSON([]byte(`not json`)); err == nil {
+		t.Error("bad json should fail")
+	}
+	if err := g.Bind("nope", nil); err == nil {
+		t.Error("binding an unknown task should fail")
+	}
+}
+
+func TestRunRequiresEntryPoints(t *testing.T) {
+	g, _ := ParseJSON([]byte(`{
+		"tasks": [{"name": "sim", "procs": 1}, {"name": "ana", "procs": 1}],
+		"edges": [{"from": "sim", "to": "ana", "pattern": "*"}]
+	}`))
+	if err := Run(g, nil); err == nil {
+		t.Error("running without entry points should fail")
+	}
+}
+
+func TestRunSimpleCoupling(t *testing.T) {
+	g, err := ParseJSON([]byte(`{
+		"tasks": [{"name": "sim", "procs": 3}, {"name": "ana", "procs": 2}],
+		"edges": [{"from": "sim", "to": "ana", "pattern": "step*.h5"}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Bind("sim", func(p *mpi.Proc, vol *lowfive.DistMetadataVOL, fapl *h5.FileAccessProps) {
+		f, err := h5.CreateFile("step0.h5", fapl)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ds, _ := f.CreateDataset("v", h5.I64, h5.NewSimple(6))
+		r := int64(p.Task.Rank())
+		sel := h5.NewSimple(6)
+		sel.SelectHyperslab(h5.SelectSet, []int64{r * 2}, []int64{2})
+		ds.Write(nil, sel, h5.Bytes([]int64{r * 2, r*2 + 1}))
+		if err := f.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+	g.Bind("ana", func(p *mpi.Proc, vol *lowfive.DistMetadataVOL, fapl *h5.FileAccessProps) {
+		f, err := h5.OpenFile("step0.h5", fapl)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ds, _ := f.OpenDataset("v")
+		out := make([]int64, 6)
+		if err := ds.Read(nil, nil, h5.Bytes(out)); err != nil {
+			t.Error(err)
+		}
+		for i, v := range out {
+			if v != int64(i) {
+				t.Errorf("out[%d]=%d", i, v)
+				break
+			}
+		}
+		f.Close()
+	})
+	if err := Run(g, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunThreeStagePipelineSamePattern(t *testing.T) {
+	// A -> B -> C with ONE file pattern: B consumes from A and produces for
+	// C under the same pattern — the case the role-aware routing exists for.
+	g := Graph{
+		Tasks: []Task{{Name: "a", Procs: 2}, {Name: "b", Procs: 3}, {Name: "c", Procs: 1}},
+		Edges: []Edge{
+			{From: "a", To: "b", Pattern: "data-*"},
+			{From: "b", To: "c", Pattern: "data-*"},
+		},
+	}
+	const n = 12
+	g.Bind("a", func(p *mpi.Proc, vol *lowfive.DistMetadataVOL, fapl *h5.FileAccessProps) {
+		f, err := h5.CreateFile("data-a", fapl)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ds, _ := f.CreateDataset("v", h5.I64, h5.NewSimple(n))
+		r := int64(p.Task.Rank())
+		lo, hi := r*n/2, (r+1)*n/2
+		sel := h5.NewSimple(n)
+		sel.SelectHyperslab(h5.SelectSet, []int64{lo}, []int64{hi - lo})
+		vals := make([]int64, hi-lo)
+		for i := range vals {
+			vals[i] = lo + int64(i)
+		}
+		ds.Write(nil, sel, h5.Bytes(vals))
+		if err := f.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+	g.Bind("b", func(p *mpi.Proc, vol *lowfive.DistMetadataVOL, fapl *h5.FileAccessProps) {
+		// Consume from A...
+		in, err := h5.OpenFile("data-a", fapl)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ds, _ := in.OpenDataset("v")
+		r := int64(p.Task.Rank())
+		lo, hi := r*n/3, (r+1)*n/3
+		sel := h5.NewSimple(n)
+		sel.SelectHyperslab(h5.SelectSet, []int64{lo}, []int64{hi - lo})
+		vals := make([]int64, hi-lo)
+		if err := ds.Read(nil, sel, h5.Bytes(vals)); err != nil {
+			t.Error(err)
+		}
+		in.Close()
+		// ... transform, and produce for C under the same pattern.
+		for i := range vals {
+			vals[i] *= 10
+		}
+		out, err := h5.CreateFile("data-b", fapl)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ods, _ := out.CreateDataset("v", h5.I64, h5.NewSimple(n))
+		ods.Write(nil, sel, h5.Bytes(vals))
+		if err := out.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+	g.Bind("c", func(p *mpi.Proc, vol *lowfive.DistMetadataVOL, fapl *h5.FileAccessProps) {
+		f, err := h5.OpenFile("data-b", fapl)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ds, _ := f.OpenDataset("v")
+		out := make([]int64, n)
+		if err := ds.Read(nil, nil, h5.Bytes(out)); err != nil {
+			t.Error(err)
+		}
+		for i, v := range out {
+			if v != int64(i)*10 {
+				t.Errorf("out[%d]=%d", i, v)
+				break
+			}
+		}
+		f.Close()
+	})
+	if err := Run(g, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFanOutGraph(t *testing.T) {
+	g := Graph{
+		Tasks: []Task{{Name: "src", Procs: 2}, {Name: "s1", Procs: 1}, {Name: "s2", Procs: 2}},
+		Edges: []Edge{
+			{From: "src", To: "s1", Pattern: "out"},
+			{From: "src", To: "s2", Pattern: "out"},
+		},
+	}
+	produce := func(p *mpi.Proc, vol *lowfive.DistMetadataVOL, fapl *h5.FileAccessProps) {
+		f, _ := h5.CreateFile("out", fapl)
+		ds, _ := f.CreateDataset("v", h5.U8, h5.NewSimple(4))
+		if p.Task.Rank() == 0 {
+			ds.Write(nil, nil, []byte{1, 2, 3, 4})
+		}
+		if err := f.Close(); err != nil {
+			t.Error(err)
+		}
+	}
+	consume := func(p *mpi.Proc, vol *lowfive.DistMetadataVOL, fapl *h5.FileAccessProps) {
+		f, err := h5.OpenFile("out", fapl)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ds, _ := f.OpenDataset("v")
+		buf := make([]byte, 4)
+		if err := ds.Read(nil, nil, buf); err != nil {
+			t.Error(err)
+		}
+		if buf[3] != 4 {
+			t.Errorf("%s got %v", p.TaskName, buf)
+		}
+		f.Close()
+	}
+	g.Bind("src", produce)
+	g.Bind("s1", consume)
+	g.Bind("s2", consume)
+	if err := Run(g, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithBaseConnector(t *testing.T) {
+	fs := lowfive.NewZeroCostFS()
+	g := Graph{Tasks: []Task{{Name: "solo", Procs: 2}}}
+	g.Bind("solo", func(p *mpi.Proc, vol *lowfive.DistMetadataVOL, fapl *h5.FileAccessProps) {
+		vol.SetPassthru("*", true)
+		f, err := h5.CreateFile(fmt.Sprintf("ck-%d", p.Task.Rank()), fapl)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ds, _ := f.CreateDataset("d", h5.U8, h5.NewSimple(1))
+		ds.Write(nil, nil, []byte{9})
+		if err := f.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := Run(g, func() h5.Connector { return lowfive.NewBaseVOL(fs) }); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists("ck-0") || !fs.Exists("ck-1") {
+		t.Error("checkpoints missing from the base file system")
+	}
+}

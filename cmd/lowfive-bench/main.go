@@ -9,6 +9,8 @@
 //	lowfive-bench -exp fig7            # a single experiment
 //	lowfive-bench -scales 4,16,64,256,1024 -factor 100 -trials 3
 //	lowfive-bench -quick               # tiny smoke-test configuration
+//	lowfive-bench -profile             # one instrumented exchange + summary
+//	lowfive-bench -trace out.json -profile   # also write a Chrome trace
 package main
 
 import (
@@ -20,20 +22,24 @@ import (
 	"time"
 
 	"lowfive/internal/harness"
+	"lowfive/internal/workload"
+	"lowfive/trace"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|fig5|fig6|fig7|fig8|fig9|fig11|overlap|all")
-		scales  = flag.String("scales", "", "comma-separated total process counts (default 4,16,64,256)")
-		factor  = flag.Int64("factor", 0, "divide the paper's per-producer element counts (10^6) by this (default 10)")
-		large   = flag.Int64("large-factor", 0, "scale factor for the Fig. 11 large-data runs (default 1 = the paper-size data)")
-		trials  = flag.Int("trials", 0, "trials averaged per point (default 3, as in the paper)")
-		alpha   = flag.Duration("net-alpha", -1, "interconnect per-message latency (default 2ms, the scaled-Aries regime)")
-		beta    = flag.Float64("net-beta", 0, "interconnect bandwidth, bytes/s (default 50e6, the scaled-Aries regime)")
-		quick   = flag.Bool("quick", false, "tiny configuration for a fast smoke run")
-		format  = flag.String("format", "table", "output format: table|csv")
-		verbose = flag.Bool("v", true, "print per-trial progress")
+		exp      = flag.String("exp", "all", "experiment: table1|fig5|fig6|fig7|fig8|fig9|fig11|overlap|all")
+		scales   = flag.String("scales", "", "comma-separated total process counts (default 4,16,64,256)")
+		factor   = flag.Int64("factor", 0, "divide the paper's per-producer element counts (10^6) by this (default 10)")
+		large    = flag.Int64("large-factor", 0, "scale factor for the Fig. 11 large-data runs (default 1 = the paper-size data)")
+		trials   = flag.Int("trials", 0, "trials averaged per point (default 3, as in the paper)")
+		alpha    = flag.Duration("net-alpha", -1, "interconnect per-message latency (default 2ms, the scaled-Aries regime)")
+		beta     = flag.Float64("net-beta", 0, "interconnect bandwidth, bytes/s (default 50e6, the scaled-Aries regime)")
+		quick    = flag.Bool("quick", false, "tiny configuration for a fast smoke run")
+		format   = flag.String("format", "table", "output format: table|csv")
+		verbose  = flag.Bool("v", true, "print per-trial progress")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON of one profiled exchange to this file (implies -profile)")
+		profile  = flag.Bool("profile", false, "run one instrumented exchange and print its per-task per-phase summary instead of the figure suite")
 	)
 	flag.Parse()
 
@@ -69,6 +75,14 @@ func main() {
 	}
 	cfg.Verbose = *verbose
 	cfg.Log = os.Stderr
+
+	if *profile || *traceOut != "" {
+		if err := runProfile(cfg, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "profile failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	type experiment struct {
 		name string
@@ -119,4 +133,53 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// runProfile runs one fully instrumented exchange at the smallest configured
+// scale, optionally writes the Chrome trace, and prints the per-task
+// per-phase time/bytes summary plus the aggregated serve/query/OST counters.
+func runProfile(cfg harness.Config, traceOut string) error {
+	procs := 4
+	if len(cfg.Scales) > 0 {
+		procs = cfg.Scales[0]
+	}
+	spec := workload.PaperSpec(procs).Scaled(cfg.ScaleFactor)
+	fmt.Fprintf(os.Stderr, "profiling one exchange: %d producers, %d consumers\n",
+		spec.Producers, spec.Consumers)
+
+	tr := trace.New()
+	stats, err := cfg.Profile(tr, spec)
+	if err != nil {
+		return err
+	}
+
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (open with Perfetto or chrome://tracing)\n", traceOut)
+	}
+
+	tr.WriteSummaryTable(os.Stdout)
+
+	fmt.Printf("\nproducer serve totals: %d metadata, %d box queries, %d data queries, %d bytes served, %d done, %d parked\n",
+		stats.Serve.MetadataRequests, stats.Serve.BoxQueries, stats.Serve.DataQueries,
+		stats.Serve.BytesServed, stats.Serve.DoneMessages, stats.Serve.ParkedRequests)
+	fmt.Printf("consumer query totals: %d metadata, %d box queries, %d data queries, %d bytes fetched, %v blocked waiting\n",
+		stats.Query.MetadataFetches, stats.Query.BoxQueries, stats.Query.DataQueries,
+		stats.Query.BytesFetched, stats.Query.WaitTime.Round(time.Microsecond))
+	fmt.Println("pfs per-OST load:")
+	for i, o := range stats.OSTs {
+		fmt.Printf("  OST %2d: %5d requests, %10d bytes, queue wait %8v, busy %8v\n",
+			i, o.Requests, o.Bytes, o.QueueWait.Round(time.Microsecond), o.Busy.Round(time.Microsecond))
+	}
+	return nil
 }

@@ -1,0 +1,223 @@
+package h5
+
+import (
+	"time"
+
+	"lowfive/trace"
+)
+
+// TracingVOL is a passthru VOL connector in the mold of the paper's
+// passthru connector design: it wraps any other connector, forwards every
+// operation unchanged, and records each file/group/dataset/attribute
+// operation as a span on a per-rank trace track — datatype, selection
+// shape and byte counts included for data transfers. Wrap the transport
+// VOL of a rank with NewTracingVOL to see where its I/O time goes:
+//
+//	vol := lowfive.NewDistMetadataVOL(p.Task, base)
+//	fapl := h5.NewFileAccessProps(h5.NewTracingVOL(vol, p.Task.Track()))
+//
+// A nil track makes the wrapper a pure passthru with no recording.
+type TracingVOL struct {
+	base  Connector
+	track *trace.Track
+}
+
+// NewTracingVOL wraps a connector so all its operations are recorded on the
+// given track.
+func NewTracingVOL(base Connector, track *trace.Track) *TracingVOL {
+	return &TracingVOL{base: base, track: track}
+}
+
+// ConnectorName implements Connector.
+func (v *TracingVOL) ConnectorName() string { return "tracing+" + v.base.ConnectorName() }
+
+// span commits one VOL-layer span. All recording funnels through here so
+// the category stays uniform.
+func (v *TracingVOL) span(t0 time.Time, name string, args ...trace.Arg) {
+	v.track.End(t0, "vol", name, args...)
+}
+
+// FileCreate implements Connector.
+func (v *TracingVOL) FileCreate(name string, fapl *FileAccessProps) (FileHandle, error) {
+	t0 := v.track.Begin()
+	fh, err := v.base.FileCreate(name, fapl)
+	v.span(t0, "file.create", trace.Str("file", name))
+	if err != nil {
+		return nil, err
+	}
+	return &tracingObject{vol: v, file: name, base: fh}, nil
+}
+
+// FileOpen implements Connector.
+func (v *TracingVOL) FileOpen(name string, fapl *FileAccessProps) (FileHandle, error) {
+	t0 := v.track.Begin()
+	fh, err := v.base.FileOpen(name, fapl)
+	v.span(t0, "file.open", trace.Str("file", name))
+	if err != nil {
+		return nil, err
+	}
+	return &tracingObject{vol: v, file: name, base: fh, isFile: true}, nil
+}
+
+// tracingObject wraps a file or group handle. The embedded base does the
+// work; the wrapper times it.
+type tracingObject struct {
+	vol    *TracingVOL
+	file   string
+	base   ObjectHandle
+	isFile bool
+}
+
+func (o *tracingObject) wrap(h ObjectHandle) ObjectHandle {
+	return &tracingObject{vol: o.vol, file: o.file, base: h}
+}
+
+func (o *tracingObject) GroupCreate(name string) (ObjectHandle, error) {
+	t0 := o.vol.track.Begin()
+	h, err := o.base.GroupCreate(name)
+	o.vol.span(t0, "group.create", trace.Str("name", name))
+	if err != nil {
+		return nil, err
+	}
+	return o.wrap(h), nil
+}
+
+func (o *tracingObject) GroupOpen(name string) (ObjectHandle, error) {
+	t0 := o.vol.track.Begin()
+	h, err := o.base.GroupOpen(name)
+	o.vol.span(t0, "group.open", trace.Str("name", name))
+	if err != nil {
+		return nil, err
+	}
+	return o.wrap(h), nil
+}
+
+func (o *tracingObject) DatasetCreate(name string, dt *Datatype, space *Dataspace) (DatasetHandle, error) {
+	t0 := o.vol.track.Begin()
+	h, err := o.base.DatasetCreate(name, dt, space)
+	o.vol.span(t0, "dataset.create", trace.Str("name", name), trace.Str("type", dt.String()))
+	if err != nil {
+		return nil, err
+	}
+	return &tracingDataset{vol: o.vol, name: name, base: h}, nil
+}
+
+func (o *tracingObject) DatasetOpen(name string) (DatasetHandle, error) {
+	t0 := o.vol.track.Begin()
+	h, err := o.base.DatasetOpen(name)
+	o.vol.span(t0, "dataset.open", trace.Str("name", name))
+	if err != nil {
+		return nil, err
+	}
+	return &tracingDataset{vol: o.vol, name: name, base: h}, nil
+}
+
+func (o *tracingObject) Children() ([]ObjectInfo, error) { return o.base.Children() }
+
+func (o *tracingObject) Delete(name string) error {
+	t0 := o.vol.track.Begin()
+	err := o.base.Delete(name)
+	o.vol.span(t0, "delete", trace.Str("name", name))
+	return err
+}
+
+func (o *tracingObject) AttributeWrite(name string, dt *Datatype, space *Dataspace, data []byte) error {
+	t0 := o.vol.track.Begin()
+	err := o.base.AttributeWrite(name, dt, space, data)
+	o.vol.span(t0, "attr.write", trace.Str("name", name), trace.I64("bytes", int64(len(data))))
+	return err
+}
+
+func (o *tracingObject) AttributeRead(name string) (*Datatype, *Dataspace, []byte, error) {
+	t0 := o.vol.track.Begin()
+	dt, sp, data, err := o.base.AttributeRead(name)
+	o.vol.span(t0, "attr.read", trace.Str("name", name), trace.I64("bytes", int64(len(data))))
+	return dt, sp, data, err
+}
+
+func (o *tracingObject) AttributeNames() ([]string, error) { return o.base.AttributeNames() }
+
+// Close records file closes (the transport synchronization point — on a
+// producer this span covers index+serve) but passes group closes straight
+// through, which keeps hierarchy-walk noise out of the trace.
+func (o *tracingObject) Close() error {
+	if !o.isFile {
+		return o.base.Close()
+	}
+	t0 := o.vol.track.Begin()
+	err := o.base.Close()
+	o.vol.span(t0, "file.close", trace.Str("file", o.file))
+	return err
+}
+
+// tracingDataset wraps a dataset handle, recording reads and writes with
+// datatype, selection shape and transferred byte counts.
+type tracingDataset struct {
+	vol  *TracingVOL
+	name string
+	base DatasetHandle
+}
+
+func (d *tracingDataset) Datatype() *Datatype   { return d.base.Datatype() }
+func (d *tracingDataset) Dataspace() *Dataspace { return d.base.Dataspace() }
+
+// transferArgs describes one read/write: element type, selection shape and
+// payload bytes. A nil fileSpace means the whole dataset.
+func (d *tracingDataset) transferArgs(fileSpace *Dataspace) []trace.Arg {
+	dt := d.base.Datatype()
+	sel := fileSpace
+	if sel == nil {
+		sel = d.base.Dataspace()
+	}
+	return []trace.Arg{
+		trace.Str("dataset", d.name),
+		trace.Str("type", dt.String()),
+		trace.Str("selection", sel.String()),
+		trace.I64("bytes", sel.NumSelected()*int64(dt.Size)),
+	}
+}
+
+func (d *tracingDataset) Write(memSpace, fileSpace *Dataspace, data []byte) error {
+	if d.vol.track == nil {
+		return d.base.Write(memSpace, fileSpace, data)
+	}
+	t0 := d.vol.track.Begin()
+	err := d.base.Write(memSpace, fileSpace, data)
+	d.vol.span(t0, "dataset.write", d.transferArgs(fileSpace)...)
+	return err
+}
+
+func (d *tracingDataset) Read(memSpace, fileSpace *Dataspace, data []byte) error {
+	if d.vol.track == nil {
+		return d.base.Read(memSpace, fileSpace, data)
+	}
+	t0 := d.vol.track.Begin()
+	err := d.base.Read(memSpace, fileSpace, data)
+	d.vol.span(t0, "dataset.read", d.transferArgs(fileSpace)...)
+	return err
+}
+
+func (d *tracingDataset) SetExtent(dims []int64) error {
+	t0 := d.vol.track.Begin()
+	err := d.base.SetExtent(dims)
+	d.vol.span(t0, "dataset.extend", trace.Str("dataset", d.name))
+	return err
+}
+
+func (d *tracingDataset) AttributeWrite(name string, dt *Datatype, space *Dataspace, data []byte) error {
+	t0 := d.vol.track.Begin()
+	err := d.base.AttributeWrite(name, dt, space, data)
+	d.vol.span(t0, "attr.write", trace.Str("name", name), trace.I64("bytes", int64(len(data))))
+	return err
+}
+
+func (d *tracingDataset) AttributeRead(name string) (*Datatype, *Dataspace, []byte, error) {
+	t0 := d.vol.track.Begin()
+	dt, sp, data, err := d.base.AttributeRead(name)
+	d.vol.span(t0, "attr.read", trace.Str("name", name), trace.I64("bytes", int64(len(data))))
+	return dt, sp, data, err
+}
+
+func (d *tracingDataset) AttributeNames() ([]string, error) { return d.base.AttributeNames() }
+
+func (d *tracingDataset) Close() error { return d.base.Close() }

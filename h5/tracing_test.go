@@ -1,0 +1,117 @@
+package h5_test
+
+import (
+	"bytes"
+	"testing"
+
+	"lowfive/h5"
+	"lowfive/internal/core"
+	"lowfive/trace"
+)
+
+// writeReadThrough exercises a full write-then-read cycle through the given
+// connector and returns the bytes read back.
+func writeReadThrough(t *testing.T, conn h5.Connector) []byte {
+	t.Helper()
+	fapl := h5.NewFileAccessProps(conn)
+	f, err := h5.CreateFile("t.h5", fapl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := f.CreateGroup("sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := h5.NewSimple(4, 4)
+	ds, err := g.CreateDataset("grid", h5.F32, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]float32, 16)
+	for i := range vals {
+		vals[i] = float32(i)
+	}
+	if err := ds.Write(nil, nil, h5.Bytes(vals)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.WriteAttribute("units", h5.U8, []byte("m/s")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err = h5.OpenFile("t.h5", fapl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err = f.OpenDataset("sim/grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16*4)
+	if err := ds.Read(nil, nil, buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, attr, err := ds.ReadAttribute("units"); err != nil || string(attr) != "m/s" {
+		t.Fatalf("attribute read: %q, %v", attr, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// TestTracingVOLPassthru verifies the wrapper is a faithful passthru: the
+// same operations through a traced and an untraced metadata VOL produce
+// identical data, and the traced one records the expected spans.
+func TestTracingVOLPassthru(t *testing.T) {
+	plain := writeReadThrough(t, core.NewMetadataVOL(nil))
+
+	tr := trace.New()
+	k := tr.NewTrack("app", 1, "rank 0", 0)
+	traced := writeReadThrough(t, h5.NewTracingVOL(core.NewMetadataVOL(nil), k))
+
+	if !bytes.Equal(plain, traced) {
+		t.Error("traced connector returned different data than untraced")
+	}
+
+	counts := map[string]int{}
+	var wrote, read int64
+	for _, ev := range k.Events() {
+		if ev.Cat != "vol" {
+			t.Errorf("unexpected category %q", ev.Cat)
+		}
+		counts[ev.Name]++
+		for _, a := range ev.Args {
+			if a.Key == "bytes" && ev.Name == "dataset.write" {
+				wrote += a.Int
+			}
+			if a.Key == "bytes" && ev.Name == "dataset.read" {
+				read += a.Int
+			}
+		}
+	}
+	for name, want := range map[string]int{
+		"file.create": 1, "file.open": 1, "file.close": 1,
+		"group.create": 1, "dataset.create": 1, "dataset.open": 1,
+		"dataset.write": 1, "dataset.read": 1,
+		"attr.write": 1, "attr.read": 1,
+	} {
+		if counts[name] != want {
+			t.Errorf("span %q recorded %d times, want %d (all: %v)", name, counts[name], want, counts)
+		}
+	}
+	if wrote != 64 || read != 64 {
+		t.Errorf("byte accounting: wrote %d read %d, want 64 each", wrote, read)
+	}
+}
+
+// TestTracingVOLNilTrack verifies a nil track degrades to a pure passthru.
+func TestTracingVOLNilTrack(t *testing.T) {
+	plain := writeReadThrough(t, core.NewMetadataVOL(nil))
+	silent := writeReadThrough(t, h5.NewTracingVOL(core.NewMetadataVOL(nil), nil))
+	if !bytes.Equal(plain, silent) {
+		t.Error("nil-track wrapper changed behavior")
+	}
+}

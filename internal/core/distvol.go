@@ -3,11 +3,13 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"lowfive/h5"
 	"lowfive/internal/grid"
 	"lowfive/internal/rpc"
 	"lowfive/mpi"
+	"lowfive/trace"
 )
 
 // DistMetadataVOL is the top VOL class (§III-A-c): it extends the metadata
@@ -53,6 +55,11 @@ type DistMetadataVOL struct {
 	servers map[*mpi.Intercomm]*icServer
 
 	stats ServeStats
+
+	// qmu guards qstats: the consumer side of a rank is single-threaded,
+	// but stats may be read while an async serve session is still running.
+	qmu    sync.Mutex
+	qstats QueryStats
 }
 
 // ServeStats counts this rank's producer-side serve activity — the
@@ -71,6 +78,25 @@ type ServeStats struct {
 	DoneMessages int64
 	// ParkedRequests counts requests deferred to a later serve session.
 	ParkedRequests int64
+}
+
+// QueryStats counts this rank's consumer-side query activity (Alg. 3) —
+// the mirror of ServeStats that makes both ends of an exchange measurable.
+type QueryStats struct {
+	// MetadataFetches is the number of remote file opens (metadata
+	// requests issued to a producer rank).
+	MetadataFetches int64
+	// BoxQueries is the number of redirect queries issued to the owners of
+	// intersecting common-decomposition blocks (Alg. 3 step 1).
+	BoxQueries int64
+	// DataQueries is the number of data requests issued to producers that
+	// hold intersecting boxes (Alg. 3 step 2).
+	DataQueries int64
+	// BytesFetched is the total payload bytes of data responses received.
+	BytesFetched int64
+	// WaitTime is the cumulative wall time this rank spent blocked waiting
+	// for producers to answer (serve-wait time).
+	WaitTime time.Duration
 }
 
 type parkedReq struct {
@@ -117,6 +143,16 @@ func NewDistMetadataVOL(local *mpi.Comm, base h5.Connector) *DistMetadataVOL {
 
 // ConnectorName implements h5.Connector.
 func (v *DistMetadataVOL) ConnectorName() string { return "lowfive-dist-metadata" }
+
+// track returns this rank's recording track (nil when the world has no
+// tracer), so index/serve/query phases appear on the same per-rank timeline
+// as the mpi operations they are built from.
+func (v *DistMetadataVOL) track() *trace.Track {
+	if v.local == nil {
+		return nil
+	}
+	return v.local.Track()
+}
 
 // SetIntercomm routes files matching the glob pattern over the given
 // intercommunicators in both roles: files this task creates are served to
@@ -281,6 +317,10 @@ func (v *DistMetadataVOL) ServeAsync(name string) (*ServeHandle, error) {
 // box of each written data space to the ranks owning intersecting blocks of
 // the common decomposition; owners record (box, source).
 func (v *DistMetadataVOL) buildIndex(fn *FileNode) error {
+	if tr := v.track(); tr != nil {
+		t0 := tr.Begin()
+		defer func() { tr.End(t0, "core", "index", trace.Str("file", fn.FileName)) }()
+	}
 	n := v.local.Size()
 	out := make([]*h5.Encoder, n)
 	for i := range out {
@@ -374,6 +414,10 @@ func (v *DistMetadataVOL) icServerFor(ic *mpi.Intercomm) *icServer {
 // ahead to a future timestep) are parked and replayed when they become
 // answerable.
 func (v *DistMetadataVOL) serveIntercomm(name string, ic *mpi.Intercomm) {
+	if tr := v.track(); tr != nil {
+		t0 := tr.Begin()
+		defer func() { tr.End(t0, "core", "serve", trace.Str("file", name)) }()
+	}
 	s := v.icServerFor(ic)
 
 	// Register the session, consuming any dones that arrived early.
@@ -463,6 +507,16 @@ func (v *DistMetadataVOL) handleRequest(req []byte) (resp []byte, isDone bool, f
 	d := &h5.Decoder{Buf: req}
 	op := d.U8()
 	file = d.String()
+	if tr := v.track(); tr != nil {
+		t0 := time.Now()
+		defer func() {
+			if park {
+				return // parked requests are replayed (and then recorded) later
+			}
+			tr.Span("core", "serve."+opName(op), t0, time.Now(),
+				trace.Str("file", file), trace.I64("bytes", int64(len(resp))))
+		}()
+	}
 	switch op {
 	case opMetadata:
 		fn, ok := v.File(file)
@@ -510,11 +564,34 @@ func (v *DistMetadataVOL) handleRequest(req []byte) (resp []byte, isDone bool, f
 	}
 }
 
+// opName names a protocol op for trace spans.
+func opName(op uint8) string {
+	switch op {
+	case opMetadata:
+		return "metadata"
+	case opBoxes:
+		return "boxes"
+	case opData:
+		return "data"
+	case opDone:
+		return "done"
+	default:
+		return "unknown"
+	}
+}
+
 // Stats returns a snapshot of this rank's producer-side serve counters.
 func (v *DistMetadataVOL) Stats() ServeStats {
 	v.serveMu.Lock()
 	defer v.serveMu.Unlock()
 	return v.stats
+}
+
+// QueryStats returns a snapshot of this rank's consumer-side query counters.
+func (v *DistMetadataVOL) QueryStats() QueryStats {
+	v.qmu.Lock()
+	defer v.qmu.Unlock()
+	return v.qstats
 }
 
 // --- consumer side ---
@@ -531,7 +608,18 @@ type distFile struct {
 func (v *DistMetadataVOL) openRemote(name string, ic *mpi.Intercomm) (h5.FileHandle, error) {
 	client := &rpc.Client{IC: ic}
 	partner := ic.LocalRank() % ic.RemoteSize()
+	tr := v.track()
+	t0 := time.Now()
 	resp := client.Call(partner, encodeMetadataReq(name))
+	wait := time.Since(t0)
+	if tr != nil {
+		tr.Span("core", "query.metadata", t0, time.Now(),
+			trace.Str("file", name), trace.I64("bytes", int64(len(resp))))
+	}
+	v.qmu.Lock()
+	v.qstats.MetadataFetches++
+	v.qstats.WaitTime += wait
+	v.qmu.Unlock()
 	root, err := decodeMetadataResp(resp)
 	if err != nil {
 		return nil, fmt.Errorf("lowfive: opening %q remotely: %w", name, err)
@@ -653,7 +741,18 @@ func (d *distDataset) Read(memSpace, fileSpace *h5.Dataspace, data []byte) error
 	if fileSpace == nil {
 		fileSpace = d.node.Space.Clone().SelectAll()
 	}
-	pieces, err := QueryPieces(d.file.client, d.file.ic, d.file.name, d.node, fileSpace)
+	v := d.file.vol
+	var t0 time.Time
+	tr := v.track()
+	if tr != nil {
+		t0 = time.Now()
+	}
+	pieces, err := v.queryPieces(d.file.client, d.file.ic, d.file.name, d.node, fileSpace)
+	if tr != nil {
+		tr.Span("core", "query", t0, time.Now(),
+			trace.Str("dataset", d.node.Path()),
+			trace.I64("bytes", fileSpace.NumSelected()*int64(es)))
+	}
 	if err != nil {
 		return err
 	}
@@ -668,6 +767,13 @@ func (d *distDataset) Read(memSpace, fileSpace *h5.Dataspace, data []byte) error
 
 // QueryPieces runs the two steps of Algorithm 3 and returns the raw pieces.
 func QueryPieces(client *rpc.Client, ic *mpi.Intercomm, file string, node *Node, fileSpace *h5.Dataspace) ([]Piece, error) {
+	var v *DistMetadataVOL // no stats accounting for the bare function
+	return v.queryPieces(client, ic, file, node, fileSpace)
+}
+
+// queryPieces is QueryPieces plus consumer-side stats accounting; the
+// receiver may be nil.
+func (v *DistMetadataVOL) queryPieces(client *rpc.Client, ic *mpi.Intercomm, file string, node *Node, fileSpace *h5.Dataspace) ([]Piece, error) {
 	n := ic.RemoteSize()
 	dc := grid.CommonDecomposition(node.Space.Dims(), n)
 	bb := fileSpace.Bounds()
@@ -678,9 +784,11 @@ func QueryPieces(client *rpc.Client, ic *mpi.Intercomm, file string, node *Node,
 	// Step 1: redirects from the owners of intersecting blocks. Requests to
 	// all owners are pipelined (posted as nonblocking sends) before any
 	// response is awaited.
+	owners := dc.Intersecting(bb)
 	withData := map[int]bool{}
 	var order []int
-	for i, resp := range client.CallAll(dc.Intersecting(bb), encodeBoxesReq(file, path, bb)) {
+	t0 := time.Now()
+	for i, resp := range client.CallAll(owners, encodeBoxesReq(file, path, bb)) {
 		ranks, err := decodeBoxesResp(resp)
 		if err != nil {
 			return nil, fmt.Errorf("lowfive: redirect query %d: %w", i, err)
@@ -692,15 +800,27 @@ func QueryPieces(client *rpc.Client, ic *mpi.Intercomm, file string, node *Node,
 			}
 		}
 	}
+	boxWait := time.Since(t0)
 	// Step 2: request the data from each producer that has some, again
 	// pipelined.
 	var pieces []Piece
+	var dataBytes int64
+	t1 := time.Now()
 	for i, resp := range client.CallAll(order, encodeDataReq(file, path, fileSpace)) {
 		ps, err := decodeDataResp(resp)
 		if err != nil {
 			return nil, fmt.Errorf("lowfive: data query to producer %d: %w", order[i], err)
 		}
+		dataBytes += int64(len(resp))
 		pieces = append(pieces, ps...)
+	}
+	if v != nil {
+		v.qmu.Lock()
+		v.qstats.BoxQueries += int64(len(owners))
+		v.qstats.DataQueries += int64(len(order))
+		v.qstats.BytesFetched += dataBytes
+		v.qstats.WaitTime += boxWait + time.Since(t1)
+		v.qmu.Unlock()
 	}
 	return pieces, nil
 }

@@ -1,0 +1,76 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"lowfive/h5"
+	"lowfive/internal/core"
+	"lowfive/mpi"
+)
+
+// TestServeAndQueryStatsMirror runs one redistribution and checks the
+// producers' serve-side counters agree with the consumers' query-side
+// counters: every request issued was answered, every byte fetched was
+// served.
+func TestServeAndQueryStatsMirror(t *testing.T) {
+	dims := []int64{6, 8}
+	var mu sync.Mutex
+	var serve core.ServeStats
+	var query core.QueryStats
+	err := mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "producer", Procs: 3, Main: func(p *mpi.Proc) {
+			vol := core.NewDistMetadataVOL(p.Task, nil)
+			vol.SetIntercomm("*", p.Intercomm("consumer"))
+			produceGrid(t, p, h5.NewFileAccessProps(vol), "stats.h5", dims)
+			s := vol.Stats()
+			mu.Lock()
+			serve.MetadataRequests += s.MetadataRequests
+			serve.BoxQueries += s.BoxQueries
+			serve.DataQueries += s.DataQueries
+			serve.BytesServed += s.BytesServed
+			serve.DoneMessages += s.DoneMessages
+			mu.Unlock()
+		}},
+		{Name: "consumer", Procs: 2, Main: func(p *mpi.Proc) {
+			vol := core.NewDistMetadataVOL(p.Task, nil)
+			vol.SetIntercomm("*", p.Intercomm("producer"))
+			consumeGridColumns(t, p, h5.NewFileAccessProps(vol), "stats.h5", dims)
+			q := vol.QueryStats()
+			mu.Lock()
+			query.MetadataFetches += q.MetadataFetches
+			query.BoxQueries += q.BoxQueries
+			query.DataQueries += q.DataQueries
+			query.BytesFetched += q.BytesFetched
+			query.WaitTime += q.WaitTime
+			mu.Unlock()
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if query.MetadataFetches == 0 || query.BoxQueries == 0 || query.DataQueries == 0 {
+		t.Errorf("consumer query stats empty: %+v", query)
+	}
+	if query.BytesFetched == 0 {
+		t.Error("no bytes fetched")
+	}
+	if query.WaitTime <= 0 {
+		t.Errorf("WaitTime=%v, want > 0", query.WaitTime)
+	}
+	if serve.MetadataRequests != query.MetadataFetches {
+		t.Errorf("metadata: served %d fetched %d", serve.MetadataRequests, query.MetadataFetches)
+	}
+	if serve.BoxQueries != query.BoxQueries {
+		t.Errorf("box queries: served %d issued %d", serve.BoxQueries, query.BoxQueries)
+	}
+	if serve.DataQueries != query.DataQueries {
+		t.Errorf("data queries: served %d issued %d", serve.DataQueries, query.DataQueries)
+	}
+	if serve.BytesServed != query.BytesFetched {
+		t.Errorf("bytes: served %d fetched %d", serve.BytesServed, query.BytesFetched)
+	}
+	if serve.DoneMessages != 6 {
+		t.Errorf("DoneMessages=%d, want 6 (each of 2 consumers notifies all 3 producers)", serve.DoneMessages)
+	}
+}

@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"lowfive/internal/workload"
+	"lowfive/trace"
+)
+
+// TestProfileRecordsAllLayers runs one profiled exchange and checks that
+// spans from every instrumented layer — mpi, vol, core and pfs — land in
+// the trace, and that the aggregated counters are populated.
+func TestProfileRecordsAllLayers(t *testing.T) {
+	cfg := QuickConfig()
+	spec := workload.PaperSpec(4).Scaled(cfg.ScaleFactor)
+	tr := trace.New()
+	stats, err := cfg.Profile(tr, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cats := map[string]int{}
+	procs := map[string]bool{}
+	for _, k := range tr.Tracks() {
+		procs[k.Process()] = true
+		for _, ev := range k.Events() {
+			cats[ev.Cat]++
+		}
+	}
+	for _, cat := range []string{"mpi", "vol", "core", "pfs"} {
+		if cats[cat] == 0 {
+			t.Errorf("no %q spans recorded (got %v)", cat, cats)
+		}
+	}
+	for _, p := range []string{"producer", "consumer", "pfs"} {
+		if !procs[p] {
+			t.Errorf("no track for process %q (got %v)", p, procs)
+		}
+	}
+
+	if stats.Serve.BytesServed == 0 || stats.Query.BytesFetched == 0 {
+		t.Errorf("serve/query counters empty: %+v / %+v", stats.Serve, stats.Query)
+	}
+	if stats.Serve.BytesServed != stats.Query.BytesFetched {
+		t.Errorf("served %d != fetched %d", stats.Serve.BytesServed, stats.Query.BytesFetched)
+	}
+	var ostReqs int64
+	for _, o := range stats.OSTs {
+		ostReqs += o.Requests
+	}
+	if ostReqs == 0 {
+		t.Error("no OST requests recorded despite passthru writes")
+	}
+
+	// The exports must work on a real trace: valid Chrome JSON and a
+	// summary mentioning each task.
+	var js bytes.Buffer
+	if err := tr.WriteChrome(&js); err != nil {
+		t.Fatal(err)
+	}
+	var sum bytes.Buffer
+	tr.WriteSummaryTable(&sum)
+	for _, want := range []string{"producer", "consumer", "pfs"} {
+		if !bytes.Contains(sum.Bytes(), []byte(want)) {
+			t.Errorf("summary missing %q:\n%s", want, sum.String())
+		}
+	}
+}

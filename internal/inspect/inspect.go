@@ -19,10 +19,22 @@ type Options struct {
 	Stats bool
 }
 
-// Dump writes the hierarchy of an open file.
+// Dump writes the hierarchy of an open file, ending with a byte-total line
+// for the whole container.
 func Dump(w io.Writer, f *h5.File, opts Options) error {
 	fmt.Fprintf(w, "file %s\n", f.Name())
-	return dumpObject(w, &f.Object, 1, opts)
+	var tot totals
+	if err := dumpObject(w, &f.Object, 1, opts, &tot); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "total: %d datasets, %d bytes\n", tot.datasets, tot.bytes)
+	return nil
+}
+
+// totals accumulates dataset counts and data bytes over the whole hierarchy.
+type totals struct {
+	datasets int
+	bytes    int64
 }
 
 func indent(n int) string { return strings.Repeat("  ", n) }
@@ -38,7 +50,7 @@ func dumpAttrs(w io.Writer, names []string, read func(string) (*h5.Datatype, []b
 	return nil
 }
 
-func dumpObject(w io.Writer, obj *h5.Object, depth int, opts Options) error {
+func dumpObject(w io.Writer, obj *h5.Object, depth int, opts Options, tot *totals) error {
 	names, err := obj.AttributeNames()
 	if err != nil {
 		return err
@@ -58,7 +70,7 @@ func dumpObject(w io.Writer, obj *h5.Object, depth int, opts Options) error {
 			if err != nil {
 				return err
 			}
-			if err := dumpObject(w, &g.Object, depth+1, opts); err != nil {
+			if err := dumpObject(w, &g.Object, depth+1, opts, tot); err != nil {
 				return err
 			}
 		case h5.KindDataset:
@@ -66,7 +78,10 @@ func dumpObject(w io.Writer, obj *h5.Object, depth int, opts Options) error {
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(w, "%sdataset %s: %s %v\n", indent(depth), k.Name, ds.Datatype(), ds.Dataspace().Dims())
+			bytes := ds.Dataspace().NumPoints() * int64(ds.Datatype().Size)
+			tot.datasets++
+			tot.bytes += bytes
+			fmt.Fprintf(w, "%sdataset %s: %s %v (%d bytes)\n", indent(depth), k.Name, ds.Datatype(), ds.Dataspace().Dims(), bytes)
 			anames, err := ds.AttributeNames()
 			if err != nil {
 				return err

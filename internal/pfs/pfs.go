@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"lowfive/internal/spin"
+	"lowfive/trace"
 )
 
 // Options configure the simulated file system. Zero values disable the
@@ -67,6 +68,50 @@ type FS struct {
 
 type ost struct {
 	mu sync.Mutex
+
+	// Cumulative accounting, guarded by mu (updated while the request
+	// holds the OST anyway, so this costs nothing extra).
+	requests  int64
+	bytes     int64
+	queueWait time.Duration
+	busy      time.Duration
+
+	track *trace.Track
+}
+
+// OSTStat is the cumulative load of one object storage target.
+type OSTStat struct {
+	// Requests is the number of striped requests served.
+	Requests int64
+	// Bytes is the total bytes transferred through this OST.
+	Bytes int64
+	// QueueWait is the total time requests spent waiting for the OST while
+	// it served others — the striping-contention signal.
+	QueueWait time.Duration
+	// Busy is the total simulated service time (latency + transfer).
+	Busy time.Duration
+}
+
+// OSTStats returns a snapshot of per-OST load, indexed by OST.
+func (fs *FS) OSTStats() []OSTStat {
+	out := make([]OSTStat, len(fs.osts))
+	for i, t := range fs.osts {
+		t.mu.Lock()
+		out[i] = OSTStat{Requests: t.requests, Bytes: t.bytes, QueueWait: t.queueWait, Busy: t.busy}
+		t.mu.Unlock()
+	}
+	return out
+}
+
+// SetTracer gives every OST its own recording track (process "pfs", one
+// thread per OST), so striping contention shows up on the timeline next to
+// the ranks that caused it. Call before issuing I/O.
+func (fs *FS) SetTracer(tr *trace.Tracer) {
+	for i, t := range fs.osts {
+		t.mu.Lock()
+		t.track = tr.NewTrack("pfs", 1000, fmt.Sprintf("OST %d", i), i)
+		t.mu.Unlock()
+	}
 }
 
 type fileData struct {
@@ -156,17 +201,38 @@ func (fs *FS) Open(name string) (*File, error) {
 // Requests at one OST serialize; different OSTs proceed in parallel.
 func (f *File) chargeOSTs(ostBytes map[int]int64) {
 	o := &f.fs.opts
-	if o.OSTLatency == 0 && o.OSTBandwidth == 0 {
-		return
-	}
+	costed := o.OSTLatency != 0 || o.OSTBandwidth != 0
 	for osti, n := range ostBytes {
 		t := f.fs.osts[osti]
-		t.mu.Lock()
-		d := o.OSTLatency
-		if o.OSTBandwidth > 0 {
-			d += time.Duration(float64(n) / o.OSTBandwidth * float64(time.Second))
+		// Clocks are read only when there is a cost to measure or a track to
+		// feed; a zero-cost untraced FS pays just the counter updates.
+		var queued time.Time
+		timed := costed || t.track != nil
+		if timed {
+			queued = time.Now()
 		}
-		spin.Wait(d)
+		t.mu.Lock()
+		var wait time.Duration
+		if timed {
+			wait = time.Since(queued)
+		}
+		var d time.Duration
+		if costed {
+			d = o.OSTLatency
+			if o.OSTBandwidth > 0 {
+				d += time.Duration(float64(n) / o.OSTBandwidth * float64(time.Second))
+			}
+			spin.Wait(d)
+		}
+		t.requests++
+		t.bytes += n
+		t.queueWait += wait
+		t.busy += d
+		if t.track != nil {
+			t.track.Span("pfs", "request", queued, time.Now(),
+				trace.I64("bytes", n),
+				trace.I64("queue_us", int64(wait/time.Microsecond)))
+		}
 		t.mu.Unlock()
 	}
 }

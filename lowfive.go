@@ -46,6 +46,7 @@ import (
 	"lowfive/internal/native"
 	"lowfive/internal/pfs"
 	"lowfive/mpi"
+	"lowfive/trace"
 )
 
 // MetadataVOL is the in-memory metadata hierarchy VOL (paper §III-A-b).
@@ -57,6 +58,10 @@ type DistMetadataVOL = core.DistMetadataVOL
 // ServeStats counts a producer rank's serve-side activity (requests
 // answered, bytes served) for communication profiling.
 type ServeStats = core.ServeStats
+
+// QueryStats counts a consumer rank's query-side activity (requests issued,
+// bytes fetched, time blocked waiting) — the mirror of ServeStats.
+type QueryStats = core.QueryStats
 
 // ServeHandle tracks an asynchronous serve session started with
 // DistMetadataVOL.ServeAsync (set ServeOnClose to false first); Wait blocks
@@ -83,6 +88,29 @@ const (
 	RoleProduce = core.RoleProduce
 	RoleConsume = core.RoleConsume
 )
+
+// Tracer records spans, counters and instants from every instrumented
+// layer (mpi, vol, core, pfs) into per-rank tracks; export with WriteChrome
+// (Perfetto-loadable) or WriteSummaryTable (per-task per-phase breakdown).
+// Attach one to a workflow with mpi.WithTracer.
+type Tracer = trace.Tracer
+
+// Track is one rank's (or OST's) append-only event buffer. A nil Track is
+// a valid no-op recorder, so tracing costs nothing when disabled.
+type Track = trace.Track
+
+// NewTracer creates an empty tracer whose time origin is now.
+func NewTracer() *Tracer { return trace.New() }
+
+// NewTracingVOL wraps any connector so every VOL operation (dataset reads
+// and writes, attribute I/O, file and group lifecycle) is recorded on the
+// given track with datatypes, selections and byte counts.
+func NewTracingVOL(base h5.Connector, track *Track) *h5.TracingVOL {
+	return h5.NewTracingVOL(base, track)
+}
+
+// OSTStat is the cumulative load of one simulated object storage target.
+type OSTStat = pfs.OSTStat
 
 // FS is a simulated striped parallel file system shared by the ranks of a
 // workflow (the stand-in for Lustre).

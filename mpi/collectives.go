@@ -3,7 +3,28 @@ package mpi
 import (
 	"encoding/binary"
 	"errors"
+	"time"
+
+	"lowfive/trace"
 )
+
+// beginColl/endColl bracket a collective with a span on the calling rank's
+// track. With tracing disabled both are no-ops (tr is nil and the clock is
+// never read). The point-to-point sends and receives a collective is built
+// from record their own nested spans.
+func (c *Comm) beginColl() (tr *trace.Track, t0 time.Time) {
+	tr = c.Track()
+	if tr != nil {
+		t0 = time.Now()
+	}
+	return
+}
+
+func endColl(tr *trace.Track, t0 time.Time, name string, bytes int64) {
+	if tr != nil {
+		tr.Span("mpi", name, t0, time.Now(), trace.I64("bytes", bytes))
+	}
+}
 
 var errTruncated = errors.New("truncated block stream")
 
@@ -28,6 +49,8 @@ func intTag(seq uint64, op, round int) int {
 
 // Barrier blocks until every rank of the communicator has entered it.
 func (c *Comm) Barrier() {
+	tr, t0 := c.beginColl()
+	defer func() { endColl(tr, t0, "barrier", 0) }()
 	c.collSeq++
 	c.barrier(c.collSeq)
 }
@@ -47,6 +70,8 @@ func (c *Comm) barrier(seq uint64) {
 // Bcast broadcasts data from root to all ranks along a binomial tree and
 // returns each rank's copy (the root returns its argument unchanged).
 func (c *Comm) Bcast(root int, data []byte) []byte {
+	tr, t0 := c.beginColl()
+	defer func() { endColl(tr, t0, "bcast", int64(len(data))) }()
 	c.checkRank(root)
 	c.collSeq++
 	seq := c.collSeq
@@ -80,6 +105,8 @@ func (c *Comm) Bcast(root int, data []byte) []byte {
 // entry per rank, in rank order; elsewhere it is nil. Payloads may have
 // different lengths (gatherv semantics come for free with byte slices).
 func (c *Comm) Gather(root int, data []byte) [][]byte {
+	tr, t0 := c.beginColl()
+	defer func() { endColl(tr, t0, "gather", int64(len(data))) }()
 	c.checkRank(root)
 	c.collSeq++
 	return c.gatherInternal(c.collSeq, root, data)
@@ -101,6 +128,8 @@ func (c *Comm) gatherInternal(seq uint64, root int, data []byte) [][]byte {
 
 // Allgather collects every rank's payload on every rank, in rank order.
 func (c *Comm) Allgather(data []byte) [][]byte {
+	tr, t0 := c.beginColl()
+	defer func() { endColl(tr, t0, "allgather", int64(len(data))) }()
 	c.collSeq++
 	return c.allgatherInternal(c.collSeq, data)
 }
@@ -134,6 +163,8 @@ type ReduceOp func(a, b []byte) []byte
 // The op must be associative and is applied as op(lowerRankValue, higherRankValue).
 // Non-root ranks return nil.
 func (c *Comm) Reduce(root int, data []byte, op ReduceOp) []byte {
+	tr, t0 := c.beginColl()
+	defer func() { endColl(tr, t0, "reduce", int64(len(data))) }()
 	c.checkRank(root)
 	c.collSeq++
 	seq := c.collSeq
@@ -191,6 +222,8 @@ func (c *Comm) Allreduce(data []byte, op ReduceOp) []byte {
 // point-to-point sends, which keeps latency-bound all-to-alls (like
 // LowFive's index exchange) logarithmic in the task size.
 func (c *Comm) Alltoall(data [][]byte) [][]byte {
+	tr, t0 := c.beginColl()
+	defer func() { endColl(tr, t0, "alltoall", alltoallBytes(data)) }()
 	n := c.Size()
 	if len(data) != n {
 		panic("mpi: Alltoall payload count must equal communicator size")
@@ -272,6 +305,8 @@ func unpackBlocks(blocks [][]byte, bit int, buf []byte) error {
 // Scan computes an inclusive prefix combination: rank r returns
 // op(data_0, ..., data_r). Linear chain implementation.
 func (c *Comm) Scan(data []byte, op ReduceOp) []byte {
+	tr, t0 := c.beginColl()
+	defer func() { endColl(tr, t0, "scan", int64(len(data))) }()
 	c.collSeq++
 	seq := c.collSeq
 	acc := data
@@ -298,6 +333,8 @@ func (c *Comm) Sendrecv(dest, sendTag int, sendData []byte, src, recvTag int) ([
 // piece (scatterv semantics: pieces may differ in length). On non-root
 // ranks data is ignored.
 func (c *Comm) Scatter(root int, data [][]byte) []byte {
+	tr, t0 := c.beginColl()
+	defer func() { endColl(tr, t0, "scatter", alltoallBytes(data)) }()
 	c.checkRank(root)
 	c.collSeq++
 	seq := c.collSeq
@@ -319,6 +356,8 @@ func (c *Comm) Scatter(root int, data [][]byte) []byte {
 // ExclusiveScan computes an exclusive prefix combination: rank 0 returns
 // nil; rank r > 0 returns op(data_0, ..., data_{r-1}).
 func (c *Comm) ExclusiveScan(data []byte, op ReduceOp) []byte {
+	tr, t0 := c.beginColl()
+	defer func() { endColl(tr, t0, "exscan", int64(len(data))) }()
 	c.collSeq++
 	seq := c.collSeq
 	var prefix []byte
@@ -333,4 +372,13 @@ func (c *Comm) ExclusiveScan(data []byte, op ReduceOp) []byte {
 		c.Send(c.rank+1, intTag(seq, opScan, 1), next)
 	}
 	return prefix
+}
+
+// alltoallBytes totals the payload bytes of a per-rank payload list.
+func alltoallBytes(data [][]byte) int64 {
+	var n int64
+	for _, d := range data {
+		n += int64(len(d))
+	}
+	return n
 }

@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"time"
+
+	"lowfive/trace"
 )
 
 const worldCommID uint64 = 1
@@ -39,12 +42,36 @@ func (c *Comm) checkRank(rank int) {
 	}
 }
 
+// Track returns the calling rank's recording track, or nil when the world
+// has no tracer attached. Layers built on top of mpi (the VOL stack) pull
+// their per-rank track from here, so one WithTracer option instruments the
+// whole workflow.
+func (c *Comm) Track() *trace.Track {
+	if c.world.tracer == nil {
+		return nil
+	}
+	return c.world.tracks[c.ranks[c.rank]]
+}
+
 // Send delivers data to dest with the given tag. It is buffered and does not
 // wait for a matching receive. Ownership of data passes to the runtime: the
 // caller must not modify the slice after sending.
+//
+// With a tracer attached, the span covers the cost-model charge time the
+// sender pays before the message becomes visible.
 func (c *Comm) Send(dest, tag int, data []byte) {
 	c.checkRank(dest)
+	tr := c.Track()
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	c.world.deliver(c.ranks[dest], &message{commID: c.id, src: c.rank, tag: tag, data: data})
+	if tr != nil {
+		tr.Span("mpi", "send", t0, time.Now(),
+			trace.I64("dst", int64(dest)), trace.I64("tag", int64(tag)),
+			trace.I64("bytes", int64(len(data))))
+	}
 }
 
 // Request represents an in-flight nonblocking operation.
@@ -80,11 +107,24 @@ func (c *Comm) Isend(dest, tag int, data []byte) *Request {
 
 // Recv blocks until a message matching (src, tag) arrives and returns its
 // payload. src may be AnySource and tag may be AnyTag.
+//
+// With a tracer attached, the span covers the time blocked waiting for the
+// matching message.
 func (c *Comm) Recv(src, tag int) ([]byte, Status) {
 	if src != AnySource {
 		c.checkRank(src)
 	}
+	tr := c.Track()
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	m := c.world.boxes[c.ranks[c.rank]].take(c.world, c.id, src, tag, true)
+	if tr != nil {
+		tr.Span("mpi", "recv", t0, time.Now(),
+			trace.I64("src", int64(m.src)), trace.I64("tag", int64(m.tag)),
+			trace.I64("bytes", int64(len(m.data))))
+	}
 	return m.data, Status{Source: m.src, Tag: m.tag, Bytes: len(m.data)}
 }
 

@@ -1,5 +1,11 @@
 package mpi
 
+import (
+	"time"
+
+	"lowfive/trace"
+)
+
 // Intercomm connects two disjoint groups of ranks — in workflow terms, two
 // tasks, e.g. a producer and a consumer. Point-to-point operations address
 // ranks of the *remote* group, exactly like MPI intercommunicators.
@@ -46,15 +52,46 @@ func (ic *Intercomm) recvID() uint64 {
 	return ic.id
 }
 
-// Send delivers data to rank dest of the remote group.
+// Track returns the calling rank's recording track, or nil when the world
+// has no tracer attached.
+func (ic *Intercomm) Track() *trace.Track {
+	if ic.world.tracer == nil {
+		return nil
+	}
+	return ic.world.tracks[ic.local[ic.rank]]
+}
+
+// Send delivers data to rank dest of the remote group. With a tracer
+// attached, the span covers the cost-model charge time.
 func (ic *Intercomm) Send(dest, tag int, data []byte) {
+	tr := ic.Track()
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	ic.world.deliver(ic.remote[dest], &message{commID: ic.sendID(), src: ic.rank, tag: tag, data: data})
+	if tr != nil {
+		tr.Span("mpi", "ic.send", t0, time.Now(),
+			trace.I64("dst", int64(dest)), trace.I64("tag", int64(tag)),
+			trace.I64("bytes", int64(len(data))))
+	}
 }
 
 // Recv blocks until a message from remote rank src (or AnySource) with the
-// given tag (or AnyTag) arrives.
+// given tag (or AnyTag) arrives. With a tracer attached, the span covers
+// the time blocked waiting.
 func (ic *Intercomm) Recv(src, tag int) ([]byte, Status) {
+	tr := ic.Track()
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	m := ic.world.boxes[ic.local[ic.rank]].take(ic.world, ic.recvID(), src, tag, true)
+	if tr != nil {
+		tr.Span("mpi", "ic.recv", t0, time.Now(),
+			trace.I64("src", int64(m.src)), trace.I64("tag", int64(m.tag)),
+			trace.I64("bytes", int64(len(m.data))))
+	}
 	return m.data, Status{Source: m.src, Tag: m.tag, Bytes: len(m.data)}
 }
 

@@ -1,0 +1,122 @@
+package mpi
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"lowfive/trace"
+)
+
+// TestDeadlockErrorReportsProgress checks the watchdog's error carries a
+// per-rank progress snapshot: who is blocked, on what, and for how long.
+func TestDeadlockErrorReportsProgress(t *testing.T) {
+	err := Run(3, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []byte("x")) // rank 1 makes progress first...
+		}
+		if c.Rank() == 1 {
+			c.Recv(0, 7)
+		}
+		c.Recv(AnySource, 99) // ...then everyone blocks forever
+	}, WithWatchdog(100*time.Millisecond))
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("expected DeadlockError, got %v", err)
+	}
+	if dl.Blocked != 3 || len(dl.Ranks) != 3 {
+		t.Fatalf("Blocked=%d len(Ranks)=%d, want 3 and 3", dl.Blocked, len(dl.Ranks))
+	}
+	for _, p := range dl.Ranks {
+		if !p.Blocked {
+			t.Errorf("rank %d not marked blocked: %+v", p.Rank, p)
+		}
+		if p.BlockedFor <= 0 {
+			t.Errorf("rank %d BlockedFor=%v, want > 0", p.Rank, p.BlockedFor)
+		}
+		if p.WaitTag != 99 {
+			t.Errorf("rank %d waiting on tag %d, want 99", p.Rank, p.WaitTag)
+		}
+	}
+	if dl.Ranks[1].Received != 1 {
+		t.Errorf("rank 1 Received=%d, want 1", dl.Ranks[1].Received)
+	}
+	// The rendered message should carry the per-rank detail.
+	msg := err.Error()
+	for _, want := range []string{"deadlock detected", "rank 0", "tag=99"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error message missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+// TestTracerRecordsPointToPointAndCollectives runs a tiny world with a
+// tracer attached and checks sends, receives and a collective all land on
+// the right ranks' tracks with byte counts.
+func TestTracerRecordsPointToPointAndCollectives(t *testing.T) {
+	tr := trace.New()
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 3, make([]byte, 512))
+		} else {
+			c.Recv(0, 3)
+		}
+		c.Barrier()
+	}, WithTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracks := tr.Tracks()
+	if len(tracks) != 2 {
+		t.Fatalf("got %d tracks, want 2", len(tracks))
+	}
+	// Collectives are built from point-to-point messages, which record
+	// their own spans too — so assert presence, not exact counts.
+	perRank := make([]map[string]int, 2)
+	saw512 := false
+	for i, k := range tracks {
+		perRank[i] = map[string]int{}
+		for _, ev := range k.Events() {
+			if ev.Cat != "mpi" {
+				t.Errorf("unexpected category %q", ev.Cat)
+			}
+			perRank[i][ev.Name]++
+			if ev.Name == "send" && i == 0 {
+				for _, a := range ev.Args {
+					if a.Key == "bytes" && a.Int == 512 {
+						saw512 = true
+					}
+				}
+			}
+		}
+	}
+	if perRank[0]["send"] == 0 || perRank[1]["recv"] == 0 {
+		t.Errorf("point-to-point spans missing: %v", perRank)
+	}
+	if perRank[0]["barrier"] != 1 || perRank[1]["barrier"] != 1 {
+		t.Errorf("barrier spans missing: %v", perRank)
+	}
+	if !saw512 {
+		t.Errorf("no send span with 512 bytes on rank 0: %v", perRank)
+	}
+}
+
+// TestTracerOffCostsNothing just exercises the nil-tracer path: with no
+// tracer attached every Track() accessor must return nil and traffic must
+// still flow.
+func TestTracerOffCostsNothing(t *testing.T) {
+	err := Run(2, func(c *Comm) {
+		if c.Track() != nil {
+			t.Error("Track() non-nil without a tracer")
+		}
+		if c.Rank() == 0 {
+			c.Send(1, 0, []byte("hi"))
+		} else {
+			c.Recv(0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

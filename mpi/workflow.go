@@ -103,6 +103,16 @@ func RunWorkflow(specs []TaskSpec, opts ...Option) error {
 		start += s.Procs
 	}
 
+	// With a tracer attached, label each rank's track with its task: tasks
+	// become Chrome-trace "processes" and task-local ranks their "threads".
+	if tr := w.Tracer(); tr != nil {
+		for ti, s := range specs {
+			for j, wr := range ranges[ti] {
+				w.SetTrack(wr, tr.NewTrack(s.Name, ti+1, fmt.Sprintf("rank %d", j), wr))
+			}
+		}
+	}
+
 	return w.Run(func(world *Comm) {
 		wr := world.Rank()
 		// Which task does this world rank belong to?

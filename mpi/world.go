@@ -2,9 +2,12 @@ package mpi
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"lowfive/trace"
 )
 
 // World is a set of ranks (goroutines) that can exchange messages. It plays
@@ -23,6 +26,12 @@ type World struct {
 	blocked   atomic.Int64
 
 	watchdog time.Duration
+
+	// tracer, when set, records every message-passing operation onto
+	// per-world-rank tracks (one append-only buffer per rank, so recording
+	// never contends across ranks). Nil tracks make recording a no-op.
+	tracer *trace.Tracer
+	tracks []*trace.Track
 }
 
 type abortError struct{ err error }
@@ -34,12 +43,65 @@ type AbortedError struct{ Err error }
 func (e *AbortedError) Error() string { return fmt.Sprintf("mpi: world aborted: %v", e.Err) }
 func (e *AbortedError) Unwrap() error { return e.Err }
 
+// RankProgress is one rank's progress snapshot, included in DeadlockError
+// so watchdog reports say what each rank was doing instead of just "all N
+// ranks blocked".
+type RankProgress struct {
+	// Rank is the world rank.
+	Rank int
+	// Blocked reports whether the rank is currently inside a blocking
+	// Recv/Probe.
+	Blocked bool
+	// BlockedFor is how long the current blocking receive has waited.
+	BlockedFor time.Duration
+	// WaitSrc and WaitTag are the match criteria of the blocking receive
+	// (AnySource/AnyTag for wildcards); meaningless unless Blocked.
+	WaitSrc, WaitTag int
+	// Received counts messages this rank has successfully matched so far.
+	Received uint64
+	// BlockedTotal is the cumulative time this rank has spent blocked in
+	// receives — the per-rank blocked-in-recv counter.
+	BlockedTotal time.Duration
+}
+
+// String renders one progress line.
+func (p RankProgress) String() string {
+	if !p.Blocked {
+		return fmt.Sprintf("rank %d: running (%d msgs received, blocked %s total)",
+			p.Rank, p.Received, p.BlockedTotal.Round(time.Millisecond))
+	}
+	src := "any"
+	if p.WaitSrc != AnySource {
+		src = fmt.Sprintf("%d", p.WaitSrc)
+	}
+	tag := "any"
+	if p.WaitTag != AnyTag {
+		tag = fmt.Sprintf("%d", p.WaitTag)
+	}
+	return fmt.Sprintf("rank %d: blocked %s in Recv(src=%s, tag=%s) (%d msgs received)",
+		p.Rank, p.BlockedFor.Round(time.Millisecond), src, tag, p.Received)
+}
+
 // DeadlockError is reported by the watchdog when every rank has been blocked
-// in a receive with no message delivered for the watchdog interval.
-type DeadlockError struct{ Blocked int }
+// in a receive with no message delivered for the watchdog interval. Ranks
+// holds each rank's progress snapshot at detection time.
+type DeadlockError struct {
+	Blocked int
+	Ranks   []RankProgress
+}
 
 func (e *DeadlockError) Error() string {
-	return fmt.Sprintf("mpi: deadlock detected: all %d ranks blocked in Recv/Probe", e.Blocked)
+	var b strings.Builder
+	fmt.Fprintf(&b, "mpi: deadlock detected: all %d ranks blocked in Recv/Probe", e.Blocked)
+	const maxLines = 8
+	for i, p := range e.Ranks {
+		if i == maxLines {
+			fmt.Fprintf(&b, "\n  ... and %d more ranks", len(e.Ranks)-maxLines)
+			break
+		}
+		fmt.Fprintf(&b, "\n  %s", p.String())
+	}
+	return b.String()
 }
 
 // Option configures a World.
@@ -59,6 +121,14 @@ func WithWatchdog(d time.Duration) Option {
 	return func(w *World) { w.watchdog = d }
 }
 
+// WithTracer attaches an event recorder: every Send/Recv/collective is
+// recorded as a span (with src/dst/tag/bytes arguments) on the calling
+// rank's track. RunWorkflow names the tracks after the workflow's tasks;
+// a bare World labels them "world"/"rank N".
+func WithTracer(t *trace.Tracer) Option {
+	return func(w *World) { w.tracer = t }
+}
+
 // NewWorld creates a world with the given number of ranks.
 func NewWorld(size int, opts ...Option) *World {
 	if size <= 0 {
@@ -72,11 +142,34 @@ func NewWorld(size int, opts ...Option) *World {
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
 	}
+	if w.tracer != nil {
+		w.tracks = make([]*trace.Track, size)
+	}
 	return w
 }
 
 // Size returns the number of ranks in the world.
 func (w *World) Size() int { return w.size }
+
+// Tracer returns the attached tracer, or nil when tracing is disabled.
+func (w *World) Tracer() *trace.Tracer { return w.tracer }
+
+// SetTrack overrides the recording track of a world rank; RunWorkflow uses
+// this to label tracks with task names ("processes") and task-local ranks
+// ("threads"). It must be called before Run starts.
+func (w *World) SetTrack(worldRank int, k *trace.Track) {
+	if w.tracks != nil {
+		w.tracks[worldRank] = k
+	}
+}
+
+// track returns the recording track of a world rank (nil when disabled).
+func (w *World) track(worldRank int) *trace.Track {
+	if w.tracks == nil {
+		return nil
+	}
+	return w.tracks[worldRank]
+}
 
 // Abort wakes every blocked rank with an error. It is called automatically
 // when a rank panics so the remaining ranks do not deadlock.
@@ -99,6 +192,13 @@ func (w *World) abortReason() error {
 // world communicator, and waits for all of them. If any rank panics, the
 // world is aborted and the first panic is returned as an error.
 func (w *World) Run(main func(c *Comm)) error {
+	if w.tracks != nil {
+		for r := range w.tracks {
+			if w.tracks[r] == nil {
+				w.tracks[r] = w.tracer.NewTrack("world", 0, fmt.Sprintf("rank %d", r), r)
+			}
+		}
+	}
 	comms := w.commWorld()
 	var wg sync.WaitGroup
 	errCh := make(chan error, w.size)
@@ -173,7 +273,10 @@ func (w *World) watch(stop <-chan struct{}) {
 				continue
 			}
 			if time.Since(stuckSince) >= w.watchdog {
-				w.Abort(&DeadlockError{Blocked: int(w.blocked.Load())})
+				w.Abort(&DeadlockError{
+					Blocked: int(w.blocked.Load()),
+					Ranks:   w.rankProgress(),
+				})
 				return
 			}
 		}
@@ -188,11 +291,52 @@ type message struct {
 	data   []byte
 }
 
-// mailbox holds undelivered messages for one world rank.
+// mailbox holds undelivered messages for one world rank, plus the rank's
+// receive-progress bookkeeping for the deadlock watchdog (all guarded by
+// mu, which the blocking receive path already holds).
 type mailbox struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	msgs []*message
+
+	waiting          bool
+	waitSince        time.Time
+	waitSrc, waitTag int
+	received         uint64
+	blockedTotal     time.Duration
+}
+
+// progress snapshots the receive-progress bookkeeping.
+func (b *mailbox) progress(rank int) RankProgress {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p := RankProgress{
+		Rank:         rank,
+		Blocked:      b.waiting,
+		WaitSrc:      b.waitSrc,
+		WaitTag:      b.waitTag,
+		Received:     b.received,
+		BlockedTotal: b.blockedTotal,
+	}
+	if b.waiting {
+		p.BlockedFor = time.Since(b.waitSince)
+	}
+	return p
+}
+
+// rankProgress snapshots every rank's receive progress (for DeadlockError).
+func (w *World) rankProgress() []RankProgress {
+	out := make([]RankProgress, w.size)
+	for r, b := range w.boxes {
+		out[r] = b.progress(r)
+	}
+	return out
+}
+
+// RankProgress returns one rank's current receive-progress snapshot; tools
+// can poll it while a workflow runs.
+func (w *World) RankProgress(worldRank int) RankProgress {
+	return w.boxes[worldRank].progress(worldRank)
 }
 
 func newMailbox() *mailbox {
@@ -245,12 +389,22 @@ func (b *mailbox) take(w *World, commID uint64, src, tag int, remove bool) *mess
 				if remove {
 					b.msgs = append(b.msgs[:i], b.msgs[i+1:]...)
 				}
+				b.received++
 				return m
 			}
 		}
+		if !b.waiting {
+			b.waiting = true
+			b.waitSince = time.Now()
+		}
+		b.waitSrc, b.waitTag = src, tag
 		w.blocked.Add(1)
 		b.cond.Wait()
 		w.blocked.Add(-1)
+		if b.waiting {
+			b.waiting = false
+			b.blockedTotal += time.Since(b.waitSince)
+		}
 	}
 }
 

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Chrome trace_event export. The produced JSON loads in Perfetto
+// (ui.perfetto.dev) and chrome://tracing: each task is a process, each rank
+// a thread, spans are "X" complete events with microsecond timestamps.
+
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func argsMap(args []Arg) map[string]any {
+	if len(args) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(args))
+	for _, a := range args {
+		if a.IsStr {
+			m[a.Key] = a.Str
+		} else {
+			m[a.Key] = a.Int
+		}
+	}
+	return m
+}
+
+// WriteChrome writes the whole recording as Chrome trace_event JSON. It is
+// safe to call while tracks are still recording (each track is snapshotted
+// under its lock), but a stable file is only guaranteed once the workflow
+// has completed.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	tracks := t.Tracks()
+	// Stable output: order tracks by (pid, tid).
+	sort.SliceStable(tracks, func(i, j int) bool {
+		if tracks[i].pid != tracks[j].pid {
+			return tracks[i].pid < tracks[j].pid
+		}
+		return tracks[i].tid < tracks[j].tid
+	})
+	var out chromeTrace
+	out.DisplayTimeUnit = "ms"
+	seenProc := map[int]bool{}
+	for _, k := range tracks {
+		if !seenProc[k.pid] {
+			seenProc[k.pid] = true
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "process_name", Phase: "M", PID: k.pid, TID: 0,
+				Args: map[string]any{"name": k.process},
+			})
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: k.pid, TID: k.tid,
+			Args: map[string]any{"name": k.thread},
+		})
+		for _, ev := range k.Events() {
+			ce := chromeEvent{
+				Name:  ev.Name,
+				Cat:   ev.Cat,
+				Phase: string(ev.Kind),
+				TS:    float64(ev.Start.Nanoseconds()) / 1e3,
+				PID:   k.pid,
+				TID:   k.tid,
+				Args:  argsMap(ev.Args),
+			}
+			switch ev.Kind {
+			case KindSpan:
+				dur := float64(ev.Dur.Nanoseconds()) / 1e3
+				ce.Dur = &dur
+			case KindInstant:
+				ce.Scope = "t" // thread-scoped instant
+			case KindCounter:
+				ce.Args = map[string]any{ev.Name: ev.Value}
+			}
+			out.TraceEvents = append(out.TraceEvents, ce)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&out)
+}

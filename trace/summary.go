@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// SummaryRow aggregates all spans of one (task, phase) pair across the
+// task's ranks: how often the phase ran, how much wall time its spans cover
+// (summed over ranks, like the paper's per-phase stacked bars), and how many
+// payload bytes its events carried (the sum of their "bytes" arguments).
+type SummaryRow struct {
+	Process string // task name
+	Phase   string // "cat/name" of the spans aggregated into this row
+	Count   int64
+	Total   time.Duration
+	Bytes   int64
+}
+
+// Summary aggregates the recording into per-task per-phase rows, sorted by
+// task and then by descending total time — the shape of the paper's
+// Table II time/volume breakdown.
+func (t *Tracer) Summary() []SummaryRow {
+	type key struct{ proc, phase string }
+	acc := map[key]*SummaryRow{}
+	for _, k := range t.Tracks() {
+		for _, ev := range k.Events() {
+			if ev.Kind != KindSpan {
+				continue
+			}
+			ky := key{k.process, ev.Cat + "/" + ev.Name}
+			row, ok := acc[ky]
+			if !ok {
+				row = &SummaryRow{Process: ky.proc, Phase: ky.phase}
+				acc[ky] = row
+			}
+			row.Count++
+			row.Total += ev.Dur
+			for _, a := range ev.Args {
+				if a.Key == "bytes" && !a.IsStr {
+					row.Bytes += a.Int
+				}
+			}
+		}
+	}
+	rows := make([]SummaryRow, 0, len(acc))
+	for _, r := range acc {
+		rows = append(rows, *r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Process != rows[j].Process {
+			return rows[i].Process < rows[j].Process
+		}
+		if rows[i].Total != rows[j].Total {
+			return rows[i].Total > rows[j].Total
+		}
+		return rows[i].Phase < rows[j].Phase
+	})
+	return rows
+}
+
+// formatBytes renders a byte count with a binary-prefix unit.
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// WriteSummary renders the rows as an aligned text table.
+func WriteSummary(w io.Writer, rows []SummaryRow) {
+	fmt.Fprintf(w, "%-12s %-24s %10s %14s %14s\n", "task", "phase", "count", "time", "bytes")
+	prev := ""
+	for _, r := range rows {
+		name := r.Process
+		if name == prev {
+			name = ""
+		} else {
+			prev = name
+		}
+		fmt.Fprintf(w, "%-12s %-24s %10d %14s %14s\n",
+			name, r.Phase, r.Count,
+			r.Total.Round(time.Microsecond).String(), formatBytes(r.Bytes))
+	}
+}
+
+// WriteSummaryTable is shorthand for WriteSummary(w, t.Summary()).
+func (t *Tracer) WriteSummaryTable(w io.Writer) {
+	WriteSummary(w, t.Summary())
+}

@@ -1,0 +1,208 @@
+// Package trace is the workflow-wide observability layer: a low-overhead
+// per-rank event recorder with export to Chrome trace_event JSON (loadable
+// in Perfetto or chrome://tracing) and an aggregated per-task per-phase
+// summary table reproducing the paper's time/volume breakdowns (§IV,
+// Table II).
+//
+// The model mirrors the workflow structure: a Tracer owns the run; each
+// rank (goroutine) of each task records into its own Track, so recording
+// never contends across ranks. In the Chrome export, tasks appear as
+// processes and ranks as threads. A nil *Track (or nil *Tracer) is a valid
+// no-op recorder, so instrumented code costs almost nothing when tracing is
+// disabled — call sites guard argument construction behind a nil check.
+//
+// Spans are recorded at their end: the caller captures a start time with
+// Track.Begin (zero cost on a nil track) and commits the event with
+// Track.End, so an abandoned span never leaves a half-open event.
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Tracer owns one run's recording: the time origin and the set of tracks.
+type Tracer struct {
+	start time.Time
+
+	mu     sync.Mutex
+	tracks []*Track
+}
+
+// New creates a tracer whose time origin is now.
+func New() *Tracer {
+	return &Tracer{start: time.Now()}
+}
+
+// NewTrack registers a recording track. process/pid identify the task
+// ("process" in Chrome terms) and thread/tid the rank within it. Safe for
+// concurrent use.
+func (t *Tracer) NewTrack(process string, pid int, thread string, tid int) *Track {
+	k := &Track{tracer: t, process: process, pid: pid, thread: thread, tid: tid}
+	t.mu.Lock()
+	t.tracks = append(t.tracks, k)
+	t.mu.Unlock()
+	return k
+}
+
+// Tracks returns a snapshot of the registered tracks.
+func (t *Tracer) Tracks() []*Track {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Track(nil), t.tracks...)
+}
+
+// Start returns the tracer's time origin.
+func (t *Tracer) Start() time.Time { return t.start }
+
+// Arg is one key/value annotation on an event. Values are either strings
+// or int64s — the two shapes the exporters know how to render.
+type Arg struct {
+	Key   string
+	Str   string
+	Int   int64
+	IsStr bool
+}
+
+// I64 builds an integer argument.
+func I64(key string, v int64) Arg { return Arg{Key: key, Int: v} }
+
+// Str builds a string argument.
+func Str(key, v string) Arg { return Arg{Key: key, Str: v, IsStr: true} }
+
+// Event kinds, matching the Chrome trace_event phases they export as.
+const (
+	KindSpan    byte = 'X' // complete span: Start + Dur
+	KindInstant byte = 'i' // point event
+	KindCounter byte = 'C' // sampled counter value
+)
+
+// Event is one recorded item. Times are offsets from the tracer origin.
+type Event struct {
+	Cat   string
+	Name  string
+	Start time.Duration
+	Dur   time.Duration
+	Kind  byte
+	Value int64 // counter value for KindCounter
+	Args  []Arg
+}
+
+// Track is one rank's append-only event buffer. All methods are safe on a
+// nil receiver (no-ops), and a track's internal lock is only ever contended
+// by helper goroutines of the same rank (e.g. an async serve loop) — never
+// across ranks, which each own a separate track.
+type Track struct {
+	tracer  *Tracer
+	process string
+	thread  string
+	pid     int
+	tid     int
+
+	mu     sync.Mutex
+	events []Event
+}
+
+// Process returns the task ("process") name the track belongs to.
+func (k *Track) Process() string {
+	if k == nil {
+		return ""
+	}
+	return k.process
+}
+
+// Thread returns the rank ("thread") name of the track.
+func (k *Track) Thread() string {
+	if k == nil {
+		return ""
+	}
+	return k.thread
+}
+
+// Begin captures a span start. On a nil track it returns the zero Time
+// without reading the clock.
+func (k *Track) Begin() time.Time {
+	if k == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// End records a span that began at start (from Begin) under the given
+// category and name. No-op on a nil track. Callers that build args should
+// guard the call behind a nil check to avoid constructing them needlessly.
+func (k *Track) End(start time.Time, cat, name string, args ...Arg) {
+	if k == nil {
+		return
+	}
+	now := time.Now()
+	k.append(Event{
+		Cat:   cat,
+		Name:  name,
+		Start: start.Sub(k.tracer.start),
+		Dur:   now.Sub(start),
+		Kind:  KindSpan,
+		Args:  args,
+	})
+}
+
+// Span records a complete span with explicit endpoints, for callers that
+// measured the interval themselves.
+func (k *Track) Span(cat, name string, start, end time.Time, args ...Arg) {
+	if k == nil {
+		return
+	}
+	k.append(Event{
+		Cat:   cat,
+		Name:  name,
+		Start: start.Sub(k.tracer.start),
+		Dur:   end.Sub(start),
+		Kind:  KindSpan,
+		Args:  args,
+	})
+}
+
+// Instant records a point event.
+func (k *Track) Instant(cat, name string, args ...Arg) {
+	if k == nil {
+		return
+	}
+	k.append(Event{
+		Cat:   cat,
+		Name:  name,
+		Start: time.Since(k.tracer.start),
+		Kind:  KindInstant,
+		Args:  args,
+	})
+}
+
+// Counter records a sampled counter value (rendered as a counter chart in
+// Perfetto).
+func (k *Track) Counter(cat, name string, value int64) {
+	if k == nil {
+		return
+	}
+	k.append(Event{
+		Cat:   cat,
+		Name:  name,
+		Start: time.Since(k.tracer.start),
+		Kind:  KindCounter,
+		Value: value,
+	})
+}
+
+func (k *Track) append(ev Event) {
+	k.mu.Lock()
+	k.events = append(k.events, ev)
+	k.mu.Unlock()
+}
+
+// Events returns a snapshot of the recorded events.
+func (k *Track) Events() []Event {
+	if k == nil {
+		return nil
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return append([]Event(nil), k.events...)
+}

@@ -1,0 +1,199 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTrackIsNoOp(t *testing.T) {
+	var k *Track
+	// Every method must be callable on a nil track without panicking, and
+	// Begin must not read the clock.
+	if t0 := k.Begin(); !t0.IsZero() {
+		t.Errorf("nil Begin returned non-zero time %v", t0)
+	}
+	k.End(time.Now(), "cat", "name", I64("bytes", 1))
+	k.Span("cat", "name", time.Now(), time.Now())
+	k.Instant("cat", "name")
+	k.Counter("cat", "name", 7)
+	if evs := k.Events(); evs != nil {
+		t.Errorf("nil Events returned %v", evs)
+	}
+	if k.Process() != "" || k.Thread() != "" {
+		t.Error("nil track has non-empty labels")
+	}
+}
+
+func TestSpanRecording(t *testing.T) {
+	tr := New()
+	k := tr.NewTrack("producer", 1, "rank 0", 0)
+	t0 := k.Begin()
+	time.Sleep(time.Millisecond)
+	k.End(t0, "mpi", "send", I64("bytes", 128), Str("why", "test"))
+	k.Counter("mpi", "inflight", 3)
+	k.Instant("mpi", "wake")
+
+	evs := k.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	sp := evs[0]
+	if sp.Kind != KindSpan || sp.Cat != "mpi" || sp.Name != "send" {
+		t.Errorf("span event mismatch: %+v", sp)
+	}
+	if sp.Dur <= 0 {
+		t.Errorf("span duration %v not positive", sp.Dur)
+	}
+	if len(sp.Args) != 2 || sp.Args[0].Int != 128 || sp.Args[1].Str != "test" {
+		t.Errorf("span args mismatch: %+v", sp.Args)
+	}
+	if evs[1].Kind != KindCounter || evs[1].Value != 3 {
+		t.Errorf("counter event mismatch: %+v", evs[1])
+	}
+	if evs[2].Kind != KindInstant {
+		t.Errorf("instant event mismatch: %+v", evs[2])
+	}
+}
+
+func TestChromeJSONWellFormed(t *testing.T) {
+	tr := New()
+	for pid := 1; pid <= 2; pid++ {
+		for tid := 0; tid < 2; tid++ {
+			k := tr.NewTrack(fmt.Sprintf("task%d", pid), pid, fmt.Sprintf("rank %d", tid), tid)
+			t0 := k.Begin()
+			k.End(t0, "mpi", "send", I64("bytes", 64))
+			k.Counter("mpi", "queued", int64(tid))
+			k.Instant("core", "mark")
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	var meta, spans, counters, instants int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+			if e.Name != "process_name" && e.Name != "thread_name" {
+				t.Errorf("unexpected metadata event %q", e.Name)
+			}
+		case "X":
+			spans++
+			if e.Dur < 0 || e.Ts < 0 {
+				t.Errorf("span with negative ts/dur: %+v", e)
+			}
+			if e.Args["bytes"] != float64(64) {
+				t.Errorf("span args lost: %+v", e.Args)
+			}
+		case "C":
+			counters++
+			if _, ok := e.Args["queued"]; !ok {
+				t.Errorf("counter args lost: %+v", e.Args)
+			}
+		case "i":
+			instants++
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	// 2 process_name + 4 thread_name metadata records, then 4 of each kind.
+	if meta != 6 || spans != 4 || counters != 4 || instants != 4 {
+		t.Errorf("event counts meta=%d spans=%d counters=%d instants=%d", meta, spans, counters, instants)
+	}
+}
+
+func TestSummaryAggregates(t *testing.T) {
+	tr := New()
+	base := time.Now()
+	for tid := 0; tid < 3; tid++ {
+		k := tr.NewTrack("producer", 1, fmt.Sprintf("rank %d", tid), tid)
+		k.Span("mpi", "send", base, base.Add(10*time.Millisecond), I64("bytes", 100))
+		k.Span("core", "index", base, base.Add(5*time.Millisecond))
+	}
+	c := tr.NewTrack("consumer", 2, "rank 0", 10)
+	c.Span("mpi", "recv", base, base.Add(20*time.Millisecond), I64("bytes", 300))
+
+	rows := tr.Summary()
+	byKey := map[string]SummaryRow{}
+	for _, r := range rows {
+		byKey[r.Process+"|"+r.Phase] = r
+	}
+	send := byKey["producer|mpi/send"]
+	if send.Count != 3 || send.Total != 30*time.Millisecond || send.Bytes != 300 {
+		t.Errorf("producer mpi/send row wrong: %+v", send)
+	}
+	idx := byKey["producer|core/index"]
+	if idx.Count != 3 || idx.Total != 15*time.Millisecond || idx.Bytes != 0 {
+		t.Errorf("producer core/index row wrong: %+v", idx)
+	}
+	recv := byKey["consumer|mpi/recv"]
+	if recv.Count != 1 || recv.Bytes != 300 {
+		t.Errorf("consumer mpi/recv row wrong: %+v", recv)
+	}
+
+	var buf bytes.Buffer
+	WriteSummary(&buf, rows)
+	out := buf.String()
+	for _, want := range []string{"producer", "consumer", "mpi/send", "core/index"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	// One track per "rank", hammered concurrently — including helper
+	// goroutines sharing a rank's track, as async serve loops do. Run under
+	// -race this verifies the locking discipline.
+	tr := New()
+	const ranks, perRank, events = 8, 2, 200
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		k := tr.NewTrack("world", 0, fmt.Sprintf("rank %d", r), r)
+		for g := 0; g < perRank; g++ {
+			wg.Add(1)
+			go func(k *Track) {
+				defer wg.Done()
+				for i := 0; i < events; i++ {
+					t0 := k.Begin()
+					k.End(t0, "mpi", "op", I64("bytes", int64(i)))
+				}
+			}(k)
+		}
+	}
+	wg.Wait()
+	total := 0
+	for _, k := range tr.Tracks() {
+		total += len(k.Events())
+	}
+	if total != ranks*perRank*events {
+		t.Errorf("recorded %d events, want %d", total, ranks*perRank*events)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

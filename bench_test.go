@@ -268,7 +268,9 @@ func BenchmarkAblationAlltoall(b *testing.B) {
 					for j := range data {
 						data[j] = payload
 					}
-					c.Alltoall(data)
+					if _, err := c.Alltoall(data); err != nil {
+						b.Error(err)
+					}
 				})
 				if err != nil {
 					b.Fatal(err)

@@ -11,6 +11,7 @@
 //	lowfive-bench -quick               # tiny smoke-test configuration
 //	lowfive-bench -profile             # one instrumented exchange + summary
 //	lowfive-bench -trace out.json -profile   # also write a Chrome trace
+//	lowfive-bench -faults              # fault-injection sweep (chaos testing)
 package main
 
 import (
@@ -40,6 +41,8 @@ func main() {
 		verbose  = flag.Bool("v", true, "print per-trial progress")
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON of one profiled exchange to this file (implies -profile)")
 		profile  = flag.Bool("profile", false, "run one instrumented exchange and print its per-task per-phase summary instead of the figure suite")
+		faults   = flag.Bool("faults", false, "run the fault-injection sweep: exchanges under seeded chaos plans, checked bit-for-bit against a fault-free baseline")
+		seed     = flag.Int64("fault-seed", 1, "seed for the fault-injection plans")
 	)
 	flag.Parse()
 
@@ -79,6 +82,14 @@ func main() {
 	if *profile || *traceOut != "" {
 		if err := runProfile(cfg, *traceOut); err != nil {
 			fmt.Fprintf(os.Stderr, "profile failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *faults {
+		if err := runFaults(cfg, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "fault sweep failed: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -133,6 +144,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// runFaults runs the producer–consumer exchange under each default chaos
+// plan at the smallest configured scale and prints the sweep table. A
+// non-identical or failed case makes the run exit nonzero.
+func runFaults(cfg harness.Config, seed int64) error {
+	procs := 4
+	if len(cfg.Scales) > 0 {
+		procs = cfg.Scales[0]
+	}
+	spec := workload.PaperSpec(procs).Scaled(cfg.ScaleFactor)
+	fmt.Fprintf(os.Stderr, "fault sweep: %d producers, %d consumers, seed %d\n",
+		spec.Producers, spec.Consumers, seed)
+	results, err := cfg.FaultSweep(spec, harness.DefaultFaultCases(seed))
+	if err != nil {
+		return err
+	}
+	harness.PrintFaultTable(os.Stdout, results)
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("case %s: %w", r.Name, r.Err)
+		}
+		if !r.Identical {
+			return fmt.Errorf("case %s: consumer data differs from the fault-free baseline", r.Name)
+		}
+	}
+	fmt.Println("all fault cases delivered bit-identical consumer data")
+	return nil
 }
 
 // runProfile runs one fully instrumented exchange at the smallest configured

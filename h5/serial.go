@@ -121,15 +121,29 @@ func EncodeDatatype(e *Encoder, t *Datatype) {
 	}
 }
 
+// remaining returns the undecoded byte count, the bound for any claimed
+// element count: a corrupt count larger than the bytes that could encode it
+// must be rejected before allocating, not after.
+func (d *Decoder) remaining() int64 {
+	if d.Err != nil || d.Pos > len(d.Buf) {
+		return 0
+	}
+	return int64(len(d.Buf) - d.Pos)
+}
+
 // DecodeDatatype reads a datatype encoding.
 func DecodeDatatype(d *Decoder) *Datatype {
 	t := &Datatype{Class: Class(d.U8()), Size: int(d.I64()), Signed: d.U8() == 1}
 	nf := d.I64()
-	if d.Err != nil || nf < 0 || nf > 1<<20 {
-		d.fail("datatype fields")
+	// Every field costs at least 8 bytes (its name length prefix), so a
+	// count beyond remaining/8 cannot be honest.
+	if d.Err != nil || nf < 0 || nf > d.remaining()/8 {
+		if nf != 0 {
+			d.fail("datatype fields")
+		}
 		return t
 	}
-	for i := int64(0); i < nf; i++ {
+	for i := int64(0); i < nf && d.Err == nil; i++ {
 		f := Field{Name: d.String(), Offset: int(d.I64())}
 		f.Type = DecodeDatatype(d)
 		t.Fields = append(t.Fields, f)
@@ -197,11 +211,15 @@ func DecodeDataspace(d *Decoder) *Dataspace {
 	}
 	s.kind = selKind(d.U8())
 	nb := d.I64()
-	if d.Err != nil || nb < 0 {
-		d.fail("dataspace boxes")
+	// Each box encodes 16*nd bytes; a larger count than the buffer can hold
+	// is corruption, rejected before any allocation.
+	if d.Err != nil || nb < 0 || nb > d.remaining()/(16*nd) {
+		if nb != 0 {
+			d.fail("dataspace boxes")
+		}
 		return s
 	}
-	for i := int64(0); i < nb; i++ {
+	for i := int64(0); i < nb && d.Err == nil; i++ {
 		b := grid.Box{Min: make([]int64, nd), Max: make([]int64, nd)}
 		for k := int64(0); k < nd; k++ {
 			b.Min[k] = d.I64()
@@ -210,11 +228,13 @@ func DecodeDataspace(d *Decoder) *Dataspace {
 		s.boxes = append(s.boxes, b)
 	}
 	np := d.I64()
-	if d.Err != nil || np < 0 {
-		d.fail("dataspace points")
+	if d.Err != nil || np < 0 || np > d.remaining()/(8*nd) {
+		if np != 0 {
+			d.fail("dataspace points")
+		}
 		return s
 	}
-	for i := int64(0); i < np; i++ {
+	for i := int64(0); i < np && d.Err == nil; i++ {
 		p := make([]int64, nd)
 		for k := range p {
 			p[k] = d.I64()

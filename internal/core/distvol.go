@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -38,6 +39,22 @@ type DistMetadataVOL struct {
 	// overlapping production with serving.
 	ServeOnClose bool
 
+	// CallTimeout bounds each consumer-side RPC attempt. Zero (the default)
+	// keeps the original fail-stop behavior: calls block until answered or
+	// the peer crashes. Setting it enables retries on lost or corrupted
+	// messages and the failover/fallback paths below.
+	CallTimeout time.Duration
+	// CallRetries is the number of resends after a timed-out attempt.
+	CallRetries int
+	// CallBackoff is the wait before the first retry, doubling per retry.
+	CallBackoff time.Duration
+
+	// ReplicationFactor stores each distributed-index entry on this many
+	// consecutive ranks of the producer task ((owner+k) mod size), so a
+	// consumer can re-route a redirect query around a failed owner. 0 or 1
+	// means no replication. Producer and consumer must agree on the value.
+	ReplicationFactor int
+
 	// serveMu serializes request handling when several intercommunicators
 	// are served concurrently (fan-out).
 	serveMu sync.Mutex
@@ -53,6 +70,12 @@ type DistMetadataVOL struct {
 	// servers holds the per-intercommunicator receive loops that multiplex
 	// (possibly overlapping) serve sessions.
 	servers map[*mpi.Intercomm]*icServer
+
+	// clients holds one RPC client per intercommunicator, shared across
+	// file opens: the server deduplicates requests by (source rank,
+	// sequence number), so all calls a rank makes over one intercomm must
+	// draw from a single monotonic sequence.
+	clients map[*mpi.Intercomm]*rpc.Client
 
 	stats ServeStats
 
@@ -97,10 +120,17 @@ type QueryStats struct {
 	// WaitTime is the cumulative wall time this rank spent blocked waiting
 	// for producers to answer (serve-wait time).
 	WaitTime time.Duration
+	// Failovers counts queries re-routed to a replica owner or an alternate
+	// producer rank after the primary failed.
+	Failovers int64
+	// FileFallbacks counts reads and opens that degraded to the parallel
+	// file system after the in-memory transport failed.
+	FileFallbacks int64
 }
 
 type parkedReq struct {
 	src int
+	seq uint64
 	req []byte
 }
 
@@ -256,14 +286,20 @@ func (v *DistMetadataVOL) Serve(name string) error {
 	// Serve all intercomms concurrently (fan-out); request handling is
 	// serialized by serveMu, preserving single-threaded rank semantics.
 	var wg sync.WaitGroup
-	for _, ic := range ics {
+	errs := make([]error, len(ics))
+	for i, ic := range ics {
 		wg.Add(1)
-		go func(ic *mpi.Intercomm) {
+		go func(i int, ic *mpi.Intercomm) {
 			defer wg.Done()
-			v.serveIntercomm(name, ic)
-		}(ic)
+			errs[i] = v.serveIntercomm(name, ic)
+		}(i, ic)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -300,15 +336,23 @@ func (v *DistMetadataVOL) ServeAsync(name string) (*ServeHandle, error) {
 	h := &ServeHandle{done: make(chan error, 1)}
 	go func() {
 		var wg sync.WaitGroup
-		for _, ic := range ics {
+		errs := make([]error, len(ics))
+		for i, ic := range ics {
 			wg.Add(1)
-			go func(ic *mpi.Intercomm) {
+			go func(i int, ic *mpi.Intercomm) {
 				defer wg.Done()
-				v.serveIntercomm(name, ic)
-			}(ic)
+				errs[i] = v.serveIntercomm(name, ic)
+			}(i, ic)
 		}
 		wg.Wait()
-		h.done <- nil
+		var first error
+		for _, err := range errs {
+			if err != nil {
+				first = err
+				break
+			}
+		}
+		h.done <- first
 	}()
 	return h, nil
 }
@@ -322,6 +366,13 @@ func (v *DistMetadataVOL) buildIndex(fn *FileNode) error {
 		defer func() { tr.End(t0, "core", "index", trace.Str("file", fn.FileName)) }()
 	}
 	n := v.local.Size()
+	repl := v.ReplicationFactor
+	if repl < 1 {
+		repl = 1
+	}
+	if repl > n {
+		repl = n
+	}
 	out := make([]*h5.Encoder, n)
 	for i := range out {
 		out[i] = &h5.Encoder{}
@@ -333,9 +384,14 @@ func (v *DistMetadataVOL) buildIndex(fn *FileNode) error {
 			path := node.Path()
 			for _, bb := range node.WrittenBoxes() {
 				for _, blk := range dc.Intersecting(bb) {
-					e := out[blk]
-					e.PutString(path)
-					encodeBox(e, bb)
+					// With replication, each entry also goes to the next
+					// repl-1 ranks, the failover targets consumers try
+					// when the block's primary owner is unreachable.
+					for k := 0; k < repl; k++ {
+						e := out[(blk+k)%n]
+						e.PutString(path)
+						encodeBox(e, bb)
+					}
 				}
 			}
 		}
@@ -350,7 +406,10 @@ func (v *DistMetadataVOL) buildIndex(fn *FileNode) error {
 	}
 	// The index exchange is the collective synchronization the paper
 	// blames for part of LowFive's overhead vs DataSpaces (§IV-B-d).
-	in := v.local.Alltoall(msgs)
+	in, err := v.local.Alltoall(msgs)
+	if err != nil {
+		return err
+	}
 	idx := map[string][]indexEntry{}
 	for src, buf := range in {
 		d := &h5.Decoder{Buf: buf}
@@ -413,7 +472,7 @@ func (v *DistMetadataVOL) icServerFor(ic *mpi.Intercomm) *icServer {
 // Requests referencing files this rank does not have yet (a consumer racing
 // ahead to a future timestep) are parked and replayed when they become
 // answerable.
-func (v *DistMetadataVOL) serveIntercomm(name string, ic *mpi.Intercomm) {
+func (v *DistMetadataVOL) serveIntercomm(name string, ic *mpi.Intercomm) error {
 	if tr := v.track(); tr != nil {
 		t0 := tr.Begin()
 		defer func() { tr.End(t0, "core", "serve", trace.Str("file", name)) }()
@@ -428,7 +487,7 @@ func (v *DistMetadataVOL) serveIntercomm(name string, ic *mpi.Intercomm) {
 	if sess.got >= sess.want {
 		close(sess.finished)
 		s.mu.Unlock()
-		return
+		return nil
 	}
 	s.sessions[name] = sess
 	startLoop := !s.running
@@ -440,20 +499,49 @@ func (v *DistMetadataVOL) serveIntercomm(name string, ic *mpi.Intercomm) {
 	if startLoop {
 		go v.serveLoop(s)
 	}
-	<-sess.finished
+	// The serve loop runs on a helper goroutine; an injected crash of this
+	// rank fires there, so also watch the world's failure signal — otherwise
+	// the crashed rank's main goroutine would wait here forever.
+	w := v.local.World()
+	self := v.local.WorldRank(v.local.Rank())
+	select {
+	case <-sess.finished:
+	case <-w.FailedChan(self):
+		return &mpi.RankFailedError{Rank: self}
+	}
+	if w.RankFailed(self) {
+		return &mpi.RankFailedError{Rank: self}
+	}
+	return nil
 }
 
 // serveLoop is the single receiver for an intercommunicator. It replays
 // parked requests, then receives until every registered session has
-// finished, exiting so a blocked receive never outlives the rank.
+// finished, exiting so a blocked receive never outlives the rank. A crash
+// of this rank (or a world abort) unwinds here: the loop releases every
+// waiting session instead of killing the process with an unhandled panic.
 func (v *DistMetadataVOL) serveLoop(s *icServer) {
+	defer func() {
+		if r := recover(); r != nil {
+			if !mpi.IsHaltPanic(r) {
+				panic(r)
+			}
+			s.mu.Lock()
+			for name, sess := range s.sessions {
+				delete(s.sessions, name)
+				close(sess.finished)
+			}
+			s.running = false
+			s.mu.Unlock()
+		}
+	}()
 	// Replay requests parked by earlier loops.
 	v.serveMu.Lock()
 	replay := v.parked[s.ic]
 	v.parked[s.ic] = nil
 	v.serveMu.Unlock()
 	for _, pr := range replay {
-		v.processRequest(s, pr.src, pr.req)
+		v.processRequest(s, pr.src, pr.seq, pr.req)
 	}
 	for {
 		s.mu.Lock()
@@ -464,22 +552,26 @@ func (v *DistMetadataVOL) serveLoop(s *icServer) {
 			return
 		}
 		s.mu.Unlock()
-		src, req := s.srv.Recv()
-		v.processRequest(s, src, req)
+		src, seq, req := s.srv.Recv()
+		v.processRequest(s, src, seq, req)
 	}
 }
 
-func (v *DistMetadataVOL) processRequest(s *icServer, src int, req []byte) {
+func (v *DistMetadataVOL) processRequest(s *icServer, src int, seq uint64, req []byte) {
 	v.serveMu.Lock()
 	resp, isDone, file, park := v.handleRequest(req)
 	if park {
-		v.parked[s.ic] = append(v.parked[s.ic], parkedReq{src: src, req: req})
+		v.parked[s.ic] = append(v.parked[s.ic], parkedReq{src: src, seq: seq, req: req})
 		v.stats.ParkedRequests++
 		v.serveMu.Unlock()
 		return
 	}
 	v.serveMu.Unlock()
 	if isDone {
+		// Acknowledge before the session bookkeeping: a fault-tolerant
+		// consumer blocks on this ack, and the server's dedup cache makes a
+		// retried done count once.
+		s.srv.Respond(src, seq, []byte{1})
 		s.mu.Lock()
 		if sess, ok := s.sessions[file]; ok {
 			sess.got++
@@ -496,7 +588,7 @@ func (v *DistMetadataVOL) processRequest(s *icServer, src int, req []byte) {
 		return
 	}
 	if resp != nil {
-		s.srv.Respond(src, resp)
+		s.srv.Respond(src, seq, resp)
 	}
 }
 
@@ -605,33 +697,113 @@ type distFile struct {
 	root   *Node
 }
 
-func (v *DistMetadataVOL) openRemote(name string, ic *mpi.Intercomm) (h5.FileHandle, error) {
-	client := &rpc.Client{IC: ic}
-	partner := ic.LocalRank() % ic.RemoteSize()
-	tr := v.track()
-	t0 := time.Now()
-	resp := client.Call(partner, encodeMetadataReq(name))
-	wait := time.Since(t0)
-	if tr != nil {
-		tr.Span("core", "query.metadata", t0, time.Now(),
-			trace.Str("file", name), trace.I64("bytes", int64(len(resp))))
-	}
+// clientFor returns this rank's RPC client for an intercommunicator,
+// creating it on first use with the VOL's fault-tolerance settings (all
+// zero by default: fail-stop semantics). Set CallTimeout/CallRetries/
+// CallBackoff before the first remote open.
+func (v *DistMetadataVOL) clientFor(ic *mpi.Intercomm) *rpc.Client {
 	v.qmu.Lock()
-	v.qstats.MetadataFetches++
-	v.qstats.WaitTime += wait
-	v.qmu.Unlock()
-	root, err := decodeMetadataResp(resp)
-	if err != nil {
-		return nil, fmt.Errorf("lowfive: opening %q remotely: %w", name, err)
+	defer v.qmu.Unlock()
+	if v.clients == nil {
+		v.clients = map[*mpi.Intercomm]*rpc.Client{}
+	}
+	c, ok := v.clients[ic]
+	if !ok {
+		c = &rpc.Client{IC: ic, Timeout: v.CallTimeout, Retries: v.CallRetries, Backoff: v.CallBackoff}
+		v.clients[ic] = c
+	}
+	return c
+}
+
+func (v *DistMetadataVOL) openRemote(name string, ic *mpi.Intercomm) (h5.FileHandle, error) {
+	client := v.clientFor(ic)
+	n := ic.RemoteSize()
+	partner := ic.LocalRank() % n
+	tr := v.track()
+	var root *Node
+	var lastErr error
+	// Any producer rank can answer a metadata request (the hierarchy is
+	// replicated task-wide), so fail over through all of them before giving
+	// up on the in-memory transport.
+	for k := 0; k < n; k++ {
+		p := (partner + k) % n
+		t0 := time.Now()
+		resp, err := client.Call(p, encodeMetadataReq(name))
+		wait := time.Since(t0)
+		if tr != nil {
+			tr.Span("core", "query.metadata", t0, time.Now(),
+				trace.Str("file", name), trace.I64("bytes", int64(len(resp))))
+		}
+		v.qmu.Lock()
+		v.qstats.MetadataFetches++
+		v.qstats.WaitTime += wait
+		if k > 0 {
+			v.qstats.Failovers++
+		}
+		v.qmu.Unlock()
+		if err != nil {
+			lastErr = err
+			if tr != nil {
+				tr.Instant("core", "query.failover",
+					trace.Str("file", name), trace.I64("rank", int64(p)))
+			}
+			continue
+		}
+		root, err = decodeMetadataResp(resp)
+		if err != nil {
+			return nil, fmt.Errorf("lowfive: opening %q remotely: %w", name, err)
+		}
+		break
+	}
+	if root == nil {
+		// Every producer rank is unreachable: degrade to the paper's file
+		// transport if the file also went to storage.
+		if fh, ferr := v.fileFallbackOpen(name); ferr == nil {
+			return fh, nil
+		}
+		return nil, fmt.Errorf("lowfive: opening %q remotely: %w", name, lastErr)
 	}
 	f := &distFile{vol: v, name: name, ic: ic, client: client, root: root}
 	return f, nil
 }
 
-// Close sends done to every producer rank, releasing its serve loop.
+// fileFallbackOpen opens the named file through the base connector (full
+// file mode) when the in-memory transport is unreachable.
+func (v *DistMetadataVOL) fileFallbackOpen(name string) (h5.FileHandle, error) {
+	if v.base == nil {
+		return nil, fmt.Errorf("lowfive: no base connector for file fallback of %q", name)
+	}
+	bh, err := v.base.FileOpen(name, nil)
+	if err != nil {
+		return nil, err
+	}
+	v.qmu.Lock()
+	v.qstats.FileFallbacks++
+	v.qmu.Unlock()
+	if tr := v.track(); tr != nil {
+		tr.Instant("core", "query.file-fallback", trace.Str("file", name))
+	}
+	return &metaFile{vol: v.MetadataVOL, name: name, base: bh}, nil
+}
+
+// Close sends done to every producer rank, releasing its serve loop. With
+// fault tolerance on, each done is acknowledged (and retried if lost) —
+// a lost done would strand the producer's serve session; crashed producers
+// are skipped, their sessions having already unwound.
 func (f *distFile) Close() error {
+	v := f.vol
 	for p := 0; p < f.ic.RemoteSize(); p++ {
-		f.client.Notify(p, encodeDone(f.name))
+		if v != nil && v.CallTimeout > 0 {
+			if _, err := f.client.Call(p, encodeDone(f.name)); err != nil {
+				var rf *mpi.RankFailedError
+				if errors.As(err, &rf) {
+					continue
+				}
+				return fmt.Errorf("lowfive: closing %q: %w", f.name, err)
+			}
+		} else {
+			f.client.Notify(p, encodeDone(f.name))
+		}
 	}
 	return nil
 }
@@ -754,7 +926,21 @@ func (d *distDataset) Read(memSpace, fileSpace *h5.Dataspace, data []byte) error
 			trace.I64("bytes", fileSpace.NumSelected()*int64(es)))
 	}
 	if err != nil {
-		return err
+		// The in-memory transport failed (a producer crashed, or retries
+		// ran dry). The data a crashed rank held exists nowhere else in
+		// memory — but if the producer also wrote the file to storage, the
+		// paper's file transport doubles as the recovery path.
+		fp, ferr := v.fallbackPieces(d.file.name, d.node.Path(), fileSpace, es)
+		if ferr != nil {
+			return fmt.Errorf("lowfive: reading %q: %w (file fallback: %v)", d.node.Path(), err, ferr)
+		}
+		v.qmu.Lock()
+		v.qstats.FileFallbacks++
+		v.qmu.Unlock()
+		if tr != nil {
+			tr.Instant("core", "query.file-fallback", trace.Str("dataset", d.node.Path()))
+		}
+		pieces = fp
 	}
 	if memSpace == nil {
 		AssemblePiecesInto(data[:fileSpace.NumSelected()*int64(es)], fileSpace, pieces, es)
@@ -781,14 +967,42 @@ func (v *DistMetadataVOL) queryPieces(client *rpc.Client, ic *mpi.Intercomm, fil
 		return nil, nil
 	}
 	path := node.Path()
+	repl := 1
+	if v != nil && v.ReplicationFactor > repl {
+		repl = v.ReplicationFactor
+	}
+	if repl > n {
+		repl = n
+	}
 	// Step 1: redirects from the owners of intersecting blocks. Requests to
 	// all owners are pipelined (posted as nonblocking sends) before any
-	// response is awaited.
+	// response is awaited. An owner that fails is retried on its replicas
+	// ((owner+k) mod n holds the same index entries when ReplicationFactor
+	// is set on both sides).
 	owners := dc.Intersecting(bb)
 	withData := map[int]bool{}
 	var order []int
 	t0 := time.Now()
-	for i, resp := range client.CallAll(owners, encodeBoxesReq(file, path, bb)) {
+	boxReq := encodeBoxesReq(file, path, bb)
+	resps, err := client.CallAll(owners, boxReq)
+	if err != nil {
+		if repl <= 1 {
+			return nil, err
+		}
+		if resps == nil {
+			resps = make([][]byte, len(owners))
+		}
+		for i := range owners {
+			if resps[i] != nil {
+				continue
+			}
+			resps[i], err = v.callReplicas(client, owners[i], repl, n, boxReq)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i, resp := range resps {
 		ranks, err := decodeBoxesResp(resp)
 		if err != nil {
 			return nil, fmt.Errorf("lowfive: redirect query %d: %w", i, err)
@@ -802,11 +1016,17 @@ func (v *DistMetadataVOL) queryPieces(client *rpc.Client, ic *mpi.Intercomm, fil
 	}
 	boxWait := time.Since(t0)
 	// Step 2: request the data from each producer that has some, again
-	// pipelined.
+	// pipelined. Data is held only by the rank that wrote it — no replica
+	// can answer for a crashed writer, so a failure here propagates and the
+	// caller degrades to the file transport.
 	var pieces []Piece
 	var dataBytes int64
 	t1 := time.Now()
-	for i, resp := range client.CallAll(order, encodeDataReq(file, path, fileSpace)) {
+	dataResps, err := client.CallAll(order, encodeDataReq(file, path, fileSpace))
+	if err != nil {
+		return nil, err
+	}
+	for i, resp := range dataResps {
 		ps, err := decodeDataResp(resp)
 		if err != nil {
 			return nil, fmt.Errorf("lowfive: data query to producer %d: %w", order[i], err)
@@ -823,6 +1043,31 @@ func (v *DistMetadataVOL) queryPieces(client *rpc.Client, ic *mpi.Intercomm, fil
 		v.qmu.Unlock()
 	}
 	return pieces, nil
+}
+
+// callReplicas retries a failed query on the replica owners of a block:
+// (owner+k) mod n for k < repl, which hold the same index entries when the
+// producer built the index with the matching ReplicationFactor.
+func (v *DistMetadataVOL) callReplicas(client *rpc.Client, owner, repl, n int, req []byte) ([]byte, error) {
+	var lastErr error
+	for k := 0; k < repl; k++ {
+		dest := (owner + k) % n
+		resp, err := client.Call(dest, req)
+		if err == nil {
+			if k > 0 && v != nil {
+				v.qmu.Lock()
+				v.qstats.Failovers++
+				v.qmu.Unlock()
+				if tr := v.track(); tr != nil {
+					tr.Instant("core", "query.failover",
+						trace.I64("owner", int64(owner)), trace.I64("replica", int64(dest)))
+				}
+			}
+			return resp, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
 }
 
 func (d *distDataset) SetExtent([]int64) error {

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"lowfive/h5"
+)
+
+// File-transport fallback: when the in-memory index–serve–query path fails
+// (a crashed producer rank, retries run dry), a consumer can still read the
+// dataset from the parallel file system, provided the producer also wrote
+// the file through to storage (passthru). This is the paper's dual-transport
+// design degrading gracefully — the file path doubles as the recovery path.
+
+// objectContainer is the slice of the file/group handle API the fallback
+// needs to navigate to a dataset.
+type objectContainer interface {
+	GroupOpen(name string) (h5.ObjectHandle, error)
+	DatasetOpen(name string) (h5.DatasetHandle, error)
+}
+
+// fallbackPieces reads the selected region of a dataset from the base
+// connector's copy of the file, returning it as pieces in the same shape the
+// in-memory query path produces (one piece per selection box), so assembly
+// is identical on both paths.
+func (v *DistMetadataVOL) fallbackPieces(file, dsetPath string, fileSpace *h5.Dataspace, elemSize int) ([]Piece, error) {
+	if v == nil || v.base == nil {
+		return nil, fmt.Errorf("lowfive: no base connector for file fallback")
+	}
+	fh, err := v.base.FileOpen(file, nil)
+	if err != nil {
+		return nil, fmt.Errorf("lowfive: file fallback open %q: %w", file, err)
+	}
+	defer fh.Close()
+
+	segs := splitSegs(dsetPath)
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("lowfive: file fallback: empty dataset path")
+	}
+	var cur objectContainer = fh
+	var groups []h5.ObjectHandle
+	defer func() {
+		for _, g := range groups {
+			g.Close()
+		}
+	}()
+	for _, seg := range segs[:len(segs)-1] {
+		g, err := cur.GroupOpen(seg)
+		if err != nil {
+			return nil, fmt.Errorf("lowfive: file fallback: %w", err)
+		}
+		groups = append(groups, g)
+		cur = g
+	}
+	dh, err := cur.DatasetOpen(segs[len(segs)-1])
+	if err != nil {
+		return nil, fmt.Errorf("lowfive: file fallback: %w", err)
+	}
+	defer dh.Close()
+
+	var pieces []Piece
+	for _, rb := range fileSpace.SelectionBoxes() {
+		sel := fileSpace.Clone()
+		if err := sel.SelectBox(h5.SelectSet, rb); err != nil {
+			return nil, fmt.Errorf("lowfive: file fallback: %w", err)
+		}
+		buf := make([]byte, rb.NumPoints()*int64(elemSize))
+		if err := dh.Read(nil, sel, buf); err != nil {
+			return nil, fmt.Errorf("lowfive: file fallback read %q: %w", dsetPath, err)
+		}
+		pieces = append(pieces, Piece{Box: rb, Data: buf})
+	}
+	return pieces, nil
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"lowfive/h5"
+	"lowfive/internal/grid"
+)
+
+// Fuzz targets for the wire-protocol decoders. Every decoder must return an
+// error (or an empty value) on corrupt input — never panic, hang, or allocate
+// proportionally to a claimed count the buffer cannot back.
+
+// seedMutations derives truncated and bit-flipped variants of a valid
+// encoding so the fuzzer starts near the interesting boundaries.
+func seedMutations(f *testing.F, valid []byte) {
+	f.Add(valid)
+	for _, cut := range []int{0, 1, len(valid) / 2, len(valid) - 1} {
+		if cut >= 0 && cut < len(valid) {
+			f.Add(valid[:cut])
+		}
+	}
+	for _, pos := range []int{0, 7, len(valid) / 3, len(valid) - 1} {
+		if pos >= 0 && pos < len(valid) {
+			mut := append([]byte(nil), valid...)
+			mut[pos] ^= 0xff
+			f.Add(mut)
+		}
+	}
+}
+
+func validBoxBytes() []byte {
+	e := &h5.Encoder{}
+	encodeBox(e, grid.Box{Min: []int64{0, -3}, Max: []int64{15, 9}})
+	return e.Buf
+}
+
+func FuzzDecodeBox(f *testing.F) {
+	seedMutations(f, validBoxBytes())
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		d := &h5.Decoder{Buf: buf}
+		b := decodeBox(d)
+		if d.Err == nil && len(b.Min) != len(b.Max) {
+			t.Errorf("accepted box with mismatched ranks: %v", b)
+		}
+	})
+}
+
+func FuzzDecodeTree(f *testing.F) {
+	root := NewGroupNode("/")
+	g := NewGroupNode("state")
+	ds := NewDatasetNode("grid", h5.F64, h5.NewSimple(4, 4))
+	ds.SetAttribute(&Attribute{
+		Name:  "units",
+		Type:  h5.I64,
+		Space: h5.Scalar(),
+		Data:  []byte{1, 0, 0, 0, 0, 0, 0, 0},
+	})
+	_ = g.AddChild(ds)
+	_ = root.AddChild(g)
+	e := &h5.Encoder{}
+	EncodeTree(e, root, nil)
+	seedMutations(f, e.Buf)
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		d := &h5.Decoder{Buf: buf}
+		n, err := DecodeTree(d, nil)
+		if err == nil && n == nil {
+			t.Error("nil tree without error")
+		}
+	})
+}
+
+func FuzzDecodeBoxesResp(f *testing.F) {
+	seedMutations(f, encodeBoxesResp([]int{0, 2, 5}))
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		ranks, err := decodeBoxesResp(buf)
+		if err == nil && int64(len(ranks)) > int64(len(buf))/8 {
+			t.Errorf("accepted %d ranks from %d bytes", len(ranks), len(buf))
+		}
+	})
+}
+
+func FuzzDecodeDataResp(f *testing.F) {
+	e := &h5.Encoder{}
+	e.PutI64(1)
+	encodeBox(e, grid.Box{Min: []int64{0}, Max: []int64{3}})
+	e.PutBytes([]byte{1, 2, 3, 4})
+	seedMutations(f, e.Buf)
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		decodeDataResp(buf)
+	})
+}
+
+func FuzzDecodeDataspace(f *testing.F) {
+	sp, err := h5.NewSimpleMax([]int64{8, 8}, []int64{16, 16})
+	if err != nil {
+		f.Fatal(err)
+	}
+	sp.SelectBox(h5.SelectSet, grid.Box{Min: []int64{0, 0}, Max: []int64{3, 3}})
+	seedMutations(f, h5.MarshalDataspace(sp))
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		h5.UnmarshalDataspace(buf)
+	})
+}
+
+func FuzzDecodeDatatype(f *testing.F) {
+	compound, err := h5.NewCompound(16,
+		h5.Field{Name: "x", Offset: 0, Type: h5.F64},
+		h5.Field{Name: "id", Offset: 8, Type: h5.I64},
+	)
+	if err != nil {
+		f.Fatal(err)
+	}
+	seedMutations(f, h5.MarshalDatatype(compound))
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		h5.UnmarshalDatatype(buf)
+	})
+}
+
+func FuzzHandleRequest(f *testing.F) {
+	// Valid requests for each opcode, plus mutations: the server-side
+	// dispatcher must never panic on what a faulty peer delivers.
+	seedMutations(f, encodeMetadataReq("outfile.h5"))
+	seedMutations(f, encodeBoxesReq("outfile.h5", "/state/grid", grid.Box{Min: []int64{0, 0}, Max: []int64{7, 7}}))
+	sel := h5.NewSimple(8, 8)
+	sel.SelectBox(h5.SelectSet, grid.Box{Min: []int64{0, 0}, Max: []int64{3, 3}})
+	seedMutations(f, encodeDataReq("outfile.h5", "/state/grid", sel))
+	seedMutations(f, encodeDone("outfile.h5"))
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		vol := NewDistMetadataVOL(nil, nil)
+		vol.HandleRequestBytes(buf)
+	})
+}

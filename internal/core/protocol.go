@@ -29,6 +29,9 @@ func encodeBox(e *h5.Encoder, b grid.Box) {
 func decodeBox(d *h5.Decoder) grid.Box {
 	nd := d.I64()
 	if d.Err != nil || nd < 0 || nd > 64 {
+		if d.Err == nil {
+			d.Err = fmt.Errorf("lowfive: corrupt box rank %d", nd)
+		}
 		return grid.Box{}
 	}
 	b := grid.Box{Min: make([]int64, nd), Max: make([]int64, nd)}
@@ -90,7 +93,8 @@ func encodeBoxesResp(ranks []int) []byte {
 func decodeBoxesResp(buf []byte) ([]int, error) {
 	d := &h5.Decoder{Buf: buf}
 	n := d.I64()
-	if d.Err != nil || n < 0 || n > 1<<24 {
+	// Each rank entry is 8 bytes; a count the buffer cannot hold is corrupt.
+	if d.Err != nil || n < 0 || n > int64(len(buf)-d.Pos)/8 {
 		return nil, fmt.Errorf("lowfive: corrupt box-query response")
 	}
 	out := make([]int, n)
@@ -114,7 +118,8 @@ func encodeDataReq(file, dset string, sel *h5.Dataspace) []byte {
 func decodeDataResp(buf []byte) ([]Piece, error) {
 	d := &h5.Decoder{Buf: buf}
 	n := d.I64()
-	if d.Err != nil || n < 0 || n > 1<<24 {
+	// Each piece costs at least 16 bytes (box rank + data length prefix).
+	if d.Err != nil || n < 0 || n > int64(len(buf)-d.Pos)/16 {
 		return nil, fmt.Errorf("lowfive: corrupt data response")
 	}
 	out := make([]Piece, 0, n)

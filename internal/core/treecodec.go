@@ -43,8 +43,19 @@ func EncodeTree(e *h5.Encoder, n *Node, extra *NodeExtra) {
 	}
 }
 
+// maxTreeDepth bounds DecodeTree recursion so a corrupt encoding claiming
+// absurd nesting cannot exhaust the stack.
+const maxTreeDepth = 1024
+
 // DecodeTree reads a hierarchy encoded by EncodeTree.
 func DecodeTree(d *h5.Decoder, extra *NodeExtra) (*Node, error) {
+	return decodeTreeDepth(d, extra, 0)
+}
+
+func decodeTreeDepth(d *h5.Decoder, extra *NodeExtra, depth int) (*Node, error) {
+	if depth > maxTreeDepth {
+		return nil, fmt.Errorf("lowfive: corrupt tree encoding (nesting deeper than %d)", maxTreeDepth)
+	}
 	name := d.String()
 	kind := h5.ObjectKind(d.U8())
 	var n *Node
@@ -56,7 +67,8 @@ func DecodeTree(d *h5.Decoder, extra *NodeExtra) (*Node, error) {
 		n = NewGroupNode(name)
 	}
 	na := d.I64()
-	if d.Err != nil || na < 0 || na > 1<<24 {
+	// Each attribute costs at least 8 bytes (its name length prefix).
+	if d.Err != nil || na < 0 || na > int64(len(d.Buf)-d.Pos)/8 {
 		return nil, fmt.Errorf("lowfive: corrupt tree encoding (attribute count %d): %v", na, d.Err)
 	}
 	for i := int64(0); i < na; i++ {
@@ -73,11 +85,12 @@ func DecodeTree(d *h5.Decoder, extra *NodeExtra) (*Node, error) {
 		extra.Decode(d, n)
 	}
 	nc := d.I64()
-	if d.Err != nil || nc < 0 || nc > 1<<24 {
+	// Each child costs at least 8 bytes (its name length prefix).
+	if d.Err != nil || nc < 0 || nc > int64(len(d.Buf)-d.Pos)/8 {
 		return nil, fmt.Errorf("lowfive: corrupt tree encoding (child count %d): %v", nc, d.Err)
 	}
 	for i := int64(0); i < nc; i++ {
-		c, err := DecodeTree(d, extra)
+		c, err := decodeTreeDepth(d, extra, depth+1)
 		if err != nil {
 			return nil, err
 		}

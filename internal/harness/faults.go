@@ -1,0 +1,255 @@
+package harness
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"lowfive/h5"
+	"lowfive/internal/core"
+	"lowfive/internal/native"
+	"lowfive/internal/pfs"
+	"lowfive/internal/rpc"
+	"lowfive/internal/workload"
+	"lowfive/mpi"
+)
+
+// Fault trials run the standard producer–consumer exchange under seeded
+// chaos plans and assert the consumers still end up with bit-identical data.
+// The transport is the full fault-tolerant stack: RPC timeouts and retries
+// absorb lost, duplicated and corrupted messages; index replication re-routes
+// redirect queries around a crashed producer rank; and because the producers
+// also write the file through to the simulated parallel file system
+// (passthru), a crashed rank's data is recovered over the paper's file
+// transport.
+
+// FaultCase is one chaos plan of a sweep.
+type FaultCase struct {
+	// Name labels the case in reports.
+	Name string
+	// Plan is the seeded fault plan injected into the world.
+	Plan mpi.FaultPlan
+	// Degraded marks cases whose plan kills a rank: the trial then expects
+	// the failover/fallback counters to be nonzero.
+	Degraded bool
+}
+
+// FaultTrialResult is the outcome of one fault case.
+type FaultTrialResult struct {
+	// Name is the case label.
+	Name string
+	// Seconds is the exchange section wall time under injection.
+	Seconds float64
+	// Identical reports whether every consumer's data matched the
+	// fault-free baseline bit for bit.
+	Identical bool
+	// Query is the summed consumer-side query counters; Failovers and
+	// FileFallbacks show which recovery paths ran.
+	Query core.QueryStats
+	// Err is the first error any rank raised (expected rank-failure errors
+	// from the injected crash itself are filtered out).
+	Err error
+}
+
+// faultTolerance are the consumer-side RPC knobs used for every fault trial.
+// The per-attempt timeout must comfortably exceed a cost-modeled response
+// plus any injected delay; the retry budget must exceed every Count-bounded
+// lossy rule in DefaultFaultCases.
+const (
+	faultCallTimeout = 400 * time.Millisecond
+	faultCallRetries = 6
+	faultCallBackoff = 2 * time.Millisecond
+	faultReplication = 2
+	faultWatchdog    = 30 * time.Second
+)
+
+// faultExchange runs one producer–consumer exchange with the given plan
+// (nil for the fault-free baseline) and returns the exchange seconds, each
+// consumer rank's received bytes (grid then particles), and the summed
+// consumer query stats.
+func (c Config) faultExchange(spec workload.Spec, plan *mpi.FaultPlan) (float64, [][]byte, core.QueryStats, error) {
+	fs := pfs.New(c.FS)
+	rec := &Recorder{}
+	var errs errCollector
+	data := make([][]byte, spec.Consumers)
+	var qmu sync.Mutex
+	var qstats core.QueryStats
+	addStats := func(qs core.QueryStats) {
+		qmu.Lock()
+		qstats.MetadataFetches += qs.MetadataFetches
+		qstats.BoxQueries += qs.BoxQueries
+		qstats.DataQueries += qs.DataQueries
+		qstats.BytesFetched += qs.BytesFetched
+		qstats.WaitTime += qs.WaitTime
+		qstats.Failovers += qs.Failovers
+		qstats.FileFallbacks += qs.FileFallbacks
+		qmu.Unlock()
+	}
+	opts := append(c.mpiOpts(), mpi.WithWatchdog(faultWatchdog))
+	if plan != nil {
+		opts = append(opts, mpi.WithFaultPlan(*plan))
+	}
+	err := mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "producer", Procs: spec.Producers, Main: func(p *mpi.Proc) {
+			gridVals, partVals := workload.GenerateProducer(spec, p.Task.Rank())
+			vol := core.NewDistMetadataVOL(p.Task, native.New(native.PFSBackend(fs)))
+			vol.SetIntercomm("*", p.Intercomm("consumer"))
+			// Passthru writes the file to the PFS as well: the recovery
+			// target for data that dies with a crashed rank.
+			vol.SetPassthru("*", true)
+			vol.ReplicationFactor = faultReplication
+			fapl := h5.NewFileAccessProps(vol)
+			p.World.Barrier()
+			rec.Start()
+			f, err := h5.CreateFile("faults.h5", fapl)
+			if err != nil {
+				errs.add(err)
+				return
+			}
+			errs.add(workload.WriteSynthetic(f, spec, p.Task.Rank(), gridVals, partVals))
+			if err := f.Close(); err != nil { // index + serve
+				var rf *mpi.RankFailedError
+				if errors.As(err, &rf) && rf.Rank == p.World.Rank() {
+					return // this rank was crashed by the plan; expected
+				}
+				errs.add(err)
+				return
+			}
+			p.World.Barrier()
+			rec.Stop()
+		}},
+		{Name: "consumer", Procs: spec.Consumers, Main: func(p *mpi.Proc) {
+			r := p.Task.Rank()
+			vol := core.NewDistMetadataVOL(p.Task, native.New(native.PFSBackend(fs)))
+			vol.SetIntercomm("*", p.Intercomm("producer"))
+			vol.CallTimeout = faultCallTimeout
+			vol.CallRetries = faultCallRetries
+			vol.CallBackoff = faultCallBackoff
+			vol.ReplicationFactor = faultReplication
+			fapl := h5.NewFileAccessProps(vol)
+			p.World.Barrier()
+			rec.Start()
+			f, err := h5.OpenFile("faults.h5", fapl)
+			if err != nil {
+				errs.add(err)
+				return
+			}
+			gridBuf, partBuf, err := workload.ReadConsumer(f, spec, r)
+			errs.add(err)
+			errs.add(f.Close())
+			if err == nil {
+				buf := make([]byte, 0, len(gridBuf)*8+len(partBuf)*4)
+				buf = append(buf, h5.Bytes(gridBuf)...)
+				buf = append(buf, h5.Bytes(partBuf)...)
+				data[r] = buf
+				errs.add(workload.ValidateConsumer(spec, r, gridBuf, partBuf))
+			}
+			addStats(vol.QueryStats())
+			p.World.Barrier()
+			rec.Stop()
+		}},
+	}, opts...)
+	if err == nil {
+		err = errs.first()
+	}
+	return rec.Seconds(), data, qstats, err
+}
+
+// DefaultFaultCases is the standard sweep: each lossy rule is Count-bounded
+// below the consumers' retry budget, so every plan is deterministically
+// survivable; the crash case removes one producer rank mid-serve, forcing
+// replica failover for redirect queries and the file transport for the dead
+// rank's data.
+func DefaultFaultCases(seed int64) []FaultCase {
+	return []FaultCase{
+		{Name: "drop-requests", Plan: mpi.FaultPlan{Seed: seed, Rules: []mpi.FaultRule{
+			{Action: mpi.FaultDrop, Rank: mpi.AnyRank, Tag: rpc.TagRequest, Count: 4},
+		}}},
+		{Name: "drop-responses", Plan: mpi.FaultPlan{Seed: seed, Rules: []mpi.FaultRule{
+			{Action: mpi.FaultDrop, Rank: mpi.AnyRank, Tag: rpc.TagResponse, Count: 3},
+		}}},
+		{Name: "duplicate-requests", Plan: mpi.FaultPlan{Seed: seed, Rules: []mpi.FaultRule{
+			{Action: mpi.FaultDuplicate, Rank: mpi.AnyRank, Tag: rpc.TagRequest, Count: 4},
+		}}},
+		{Name: "corrupt-responses", Plan: mpi.FaultPlan{Seed: seed, Rules: []mpi.FaultRule{
+			{Action: mpi.FaultCorrupt, Rank: mpi.AnyRank, Tag: rpc.TagResponse, Count: 3},
+		}}},
+		{Name: "delay-responses", Plan: mpi.FaultPlan{Seed: seed, Rules: []mpi.FaultRule{
+			{Action: mpi.FaultDelay, Rank: mpi.AnyRank, Tag: rpc.TagResponse, Count: 6,
+				Delay: 20 * time.Millisecond},
+		}}},
+		{Name: "lossy-mix", Plan: mpi.FaultPlan{Seed: seed, Rules: []mpi.FaultRule{
+			{Action: mpi.FaultDrop, Rank: mpi.AnyRank, Tag: rpc.TagRequest, Count: 2},
+			{Action: mpi.FaultDuplicate, Rank: mpi.AnyRank, Tag: rpc.TagRequest, Count: 2},
+			{Action: mpi.FaultCorrupt, Rank: mpi.AnyRank, Tag: rpc.TagResponse, Count: 2},
+		}}},
+		{Name: "crash-producer-0", Degraded: true, Plan: mpi.FaultPlan{Seed: seed, Rules: []mpi.FaultRule{
+			// World rank 0 is producer task rank 0 (tasks are laid out in
+			// spec order). It dies at its third response send — after serving
+			// something, so the consumers are already talking to it.
+			{Action: mpi.FaultCrash, Rank: 0, Tag: rpc.TagResponse, After: 2},
+		}}},
+		{Name: "crash-under-loss", Degraded: true, Plan: mpi.FaultPlan{Seed: seed, Rules: []mpi.FaultRule{
+			{Action: mpi.FaultCrash, Rank: 0, Tag: rpc.TagResponse, After: 2},
+			{Action: mpi.FaultDrop, Rank: mpi.AnyRank, Tag: rpc.TagRequest, Count: 2},
+			{Action: mpi.FaultDuplicate, Rank: mpi.AnyRank, Tag: rpc.TagResponse, Count: 2},
+		}}},
+	}
+}
+
+// FaultSweep runs the fault-free baseline and then every case, comparing
+// each case's consumer data bit for bit against the baseline.
+func (c Config) FaultSweep(spec workload.Spec, cases []FaultCase) ([]FaultTrialResult, error) {
+	_, baseline, _, err := c.faultExchange(spec, nil)
+	if err != nil {
+		return nil, fmt.Errorf("harness: fault-free baseline failed: %w", err)
+	}
+	for r, b := range baseline {
+		if len(b) == 0 {
+			return nil, fmt.Errorf("harness: baseline consumer %d received no data", r)
+		}
+	}
+	out := make([]FaultTrialResult, 0, len(cases))
+	for _, fc := range cases {
+		secs, data, qs, err := c.faultExchange(spec, &fc.Plan)
+		res := FaultTrialResult{Name: fc.Name, Seconds: secs, Query: qs, Err: err}
+		if err == nil {
+			res.Identical = equalRankData(baseline, data)
+		}
+		c.logf("fault case %-20s identical=%v failovers=%d fallbacks=%d err=%v\n",
+			fc.Name, res.Identical, qs.Failovers, qs.FileFallbacks, err)
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// equalRankData compares per-rank byte blobs.
+func equalRankData(a, b [][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// PrintFaultTable renders a sweep as an aligned text table.
+func PrintFaultTable(w io.Writer, results []FaultTrialResult) {
+	fmt.Fprintf(w, "Fault injection sweep: consumer data vs fault-free baseline\n")
+	fmt.Fprintf(w, "%-20s %10s %10s %10s %10s  %s\n",
+		"case", "seconds", "identical", "failovers", "fallbacks", "error")
+	for _, r := range results {
+		errStr := ""
+		if r.Err != nil {
+			errStr = r.Err.Error()
+		}
+		fmt.Fprintf(w, "%-20s %9.4fs %10v %10d %10d  %s\n",
+			r.Name, r.Seconds, r.Identical, r.Query.Failovers, r.Query.FileFallbacks, errStr)
+	}
+}

@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"testing"
+
+	"lowfive/internal/workload"
+)
+
+func faultSpec(t *testing.T) workload.Spec {
+	t.Helper()
+	spec, err := QuickConfig().specFor(4, QuickConfig().ScaleFactor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestFaultTrialSweepBitIdentical(t *testing.T) {
+	// The acceptance sweep: drops, duplication, corruption, delay, a mixed
+	// lossy plan, and a producer-rank crash — every case must deliver the
+	// consumers bit-identical data via retries, replica failover and the
+	// file-transport fallback.
+	c := QuickConfig()
+	spec := faultSpec(t)
+	results, err := c.FaultSweep(spec, DefaultFaultCases(20240817))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("sweep produced no results")
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("case %s: %v", r.Name, r.Err)
+			continue
+		}
+		if !r.Identical {
+			t.Errorf("case %s: consumer data differs from the fault-free baseline", r.Name)
+		}
+	}
+}
+
+func TestFaultTrialCrashUsesRecoveryPaths(t *testing.T) {
+	// A producer crash mid-serve must actually exercise the degraded paths:
+	// either queries failed over to another rank, or reads fell back to the
+	// file on the PFS (usually both).
+	c := QuickConfig()
+	spec := faultSpec(t)
+	var crash []FaultCase
+	for _, fc := range DefaultFaultCases(99) {
+		if fc.Degraded {
+			crash = append(crash, fc)
+		}
+	}
+	if len(crash) == 0 {
+		t.Fatal("no degraded cases in the default sweep")
+	}
+	results, err := c.FaultSweep(spec, crash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("case %s: %v", r.Name, r.Err)
+			continue
+		}
+		if !r.Identical {
+			t.Errorf("case %s: data not bit-identical after crash recovery", r.Name)
+		}
+		if r.Query.Failovers == 0 && r.Query.FileFallbacks == 0 {
+			t.Errorf("case %s: no failovers or file fallbacks recorded — the crash did not bite", r.Name)
+		}
+	}
+}
+
+func TestFaultTrialBaselineCleanCountersZero(t *testing.T) {
+	// Without a plan the exchange must not touch any recovery path.
+	c := QuickConfig()
+	spec := faultSpec(t)
+	_, data, qs, err := c.faultExchange(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, b := range data {
+		if len(b) == 0 {
+			t.Errorf("consumer %d received no data", r)
+		}
+	}
+	if qs.Failovers != 0 || qs.FileFallbacks != 0 {
+		t.Errorf("fault-free run recorded failovers=%d fallbacks=%d", qs.Failovers, qs.FileFallbacks)
+	}
+}

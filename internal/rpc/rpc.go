@@ -3,77 +3,322 @@
 // are written in (§III-B): a client sends a tagged request to a rank of the
 // remote group and blocks for the reply; a server receives requests from any
 // remote rank, dispatches them to a handler, and sends the reply back.
+//
+// Requests and responses travel in a small envelope — a per-client sequence
+// number plus a CRC of the body — that makes the exchange safe under an
+// unreliable transport: a duplicated request is answered once (the server
+// replays the cached response instead of re-dispatching), a corrupted
+// payload is discarded as if lost, and a retried call reuses its sequence
+// number so the server recognizes it. With a Timeout configured, Call
+// bounds each attempt and retries with exponential backoff; a crashed peer
+// surfaces as a typed error instead of a hang.
 package rpc
 
-import "lowfive/mpi"
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"time"
 
-const (
-	tagRequest  = 71
-	tagResponse = 72
+	"lowfive/internal/spin"
+	"lowfive/mpi"
 )
 
-// Client issues blocking calls to ranks of the remote group.
+// TagRequest and TagResponse are the message tags RPC traffic travels on,
+// exported so fault plans (mpi.FaultRule.Tag) can target request or response
+// messages specifically.
+const (
+	TagRequest  = 71
+	TagResponse = 72
+
+	tagRequest  = TagRequest
+	tagResponse = TagResponse
+
+	headerLen = 12 // seq (8) + crc32 (4)
+
+	// dedupWindow bounds the server's per-source response cache: entries
+	// more than this many sequence numbers behind the newest are pruned.
+	// Duplicates are reorderings of recent traffic, never arbitrarily old.
+	dedupWindow = 256
+
+	// pollInterval paces the timeout-mode receive poll.
+	pollInterval = 200 * time.Microsecond
+)
+
+// seal wraps a body in the wire envelope: sequence number and body CRC.
+func seal(seq uint64, body []byte) []byte {
+	buf := make([]byte, headerLen+len(body))
+	binary.LittleEndian.PutUint64(buf[0:], seq)
+	binary.LittleEndian.PutUint32(buf[8:], crc32.ChecksumIEEE(body))
+	copy(buf[headerLen:], body)
+	return buf
+}
+
+// unseal unwraps an envelope, verifying the CRC. ok=false means the message
+// is truncated or corrupt and must be treated as lost.
+func unseal(msg []byte) (seq uint64, body []byte, ok bool) {
+	if len(msg) < headerLen {
+		return 0, nil, false
+	}
+	seq = binary.LittleEndian.Uint64(msg[0:])
+	body = msg[headerLen:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(msg[8:]) {
+		return 0, nil, false
+	}
+	return seq, body, true
+}
+
+// TimeoutError reports that a call's attempts all expired without a reply.
+type TimeoutError struct {
+	// Dest is the remote rank that did not answer.
+	Dest int
+	// Timeout is the per-attempt deadline that expired.
+	Timeout time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("rpc: call to rank %d timed out after %v", e.Dest, e.Timeout)
+}
+
+// CallError wraps a failure of one call with the rank it addressed, so
+// callers fanning out to many ranks know which peer to fail over from.
+type CallError struct {
+	// Dest is the remote rank the failed call addressed.
+	Dest int
+	// Err is the underlying failure (a *TimeoutError or *mpi.RankFailedError).
+	Err error
+}
+
+func (e *CallError) Error() string {
+	return fmt.Sprintf("rpc: call to rank %d failed: %v", e.Dest, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *CallError) Unwrap() error { return e.Err }
+
+// Client issues blocking calls to ranks of the remote group. The zero value
+// (plus IC) behaves like the original fail-stop client: calls block forever
+// and a crashed peer is the only possible error. Setting Timeout turns on
+// bounded attempts with retries.
 type Client struct {
 	IC *mpi.Intercomm
+
+	// Timeout bounds each call attempt; zero or negative blocks forever.
+	Timeout time.Duration
+	// Retries is how many times a timed-out attempt is resent.
+	Retries int
+	// Backoff is the wait after the first timed-out attempt; it doubles per
+	// retry. Zero means retry immediately.
+	Backoff time.Duration
+
+	mu  sync.Mutex
+	seq uint64
 }
 
-// Call sends req to remote rank dest and blocks for its response.
-func (c *Client) Call(dest int, req []byte) []byte {
-	c.IC.Send(dest, tagRequest, req)
-	resp, _ := c.IC.Recv(dest, tagResponse)
-	return resp
+func (c *Client) nextSeq() uint64 {
+	c.mu.Lock()
+	c.seq++
+	s := c.seq
+	c.mu.Unlock()
+	return s
 }
 
-// Notify sends req to remote rank dest without expecting a response.
-func (c *Client) Notify(dest int, req []byte) {
-	c.IC.Send(dest, tagRequest, req)
+// Call sends req to remote rank dest and blocks for its response. A crashed
+// peer returns a *CallError wrapping mpi.RankFailedError; with a Timeout
+// configured, lost or corrupted messages return a *CallError wrapping
+// TimeoutError once the retry budget is spent.
+func (c *Client) Call(dest int, req []byte) ([]byte, error) {
+	seq := c.nextSeq()
+	c.IC.Send(dest, tagRequest, seal(seq, req))
+	return c.await(dest, seq, req)
 }
 
 // CallAll pipelines the same request to several remote ranks: all sends are
 // posted before any response is awaited (the nonblocking-send pattern of
 // the paper's query step), and the responses are returned in dests order.
-func (c *Client) CallAll(dests []int, req []byte) [][]byte {
-	for _, d := range dests {
-		c.IC.Send(d, tagRequest, req)
+// The first failed call aborts with its *CallError (identifying the rank,
+// for failover); responses already received stay in their slots, the failed
+// and later slots are nil.
+func (c *Client) CallAll(dests []int, req []byte) ([][]byte, error) {
+	seqs := make([]uint64, len(dests))
+	for i, d := range dests {
+		seqs[i] = c.nextSeq()
+		c.IC.Send(d, tagRequest, seal(seqs[i], req))
 	}
 	out := make([][]byte, len(dests))
 	for i, d := range dests {
-		out[i], _ = c.IC.Recv(d, tagResponse)
+		resp, err := c.await(d, seqs[i], req)
+		if err != nil {
+			return out, err
+		}
+		out[i] = resp
 	}
-	return out
+	return out, nil
+}
+
+// Notify sends req to remote rank dest without expecting a response. It is
+// fire-and-forget: with no reply there is nothing to time out on, so callers
+// that must know the notification arrived should use Call against a server
+// that acknowledges.
+func (c *Client) Notify(dest int, req []byte) {
+	c.IC.Send(dest, tagRequest, seal(c.nextSeq(), req))
+}
+
+// await blocks for the response carrying seq from dest, resending the
+// request on timeout (same sequence number — the server deduplicates).
+// Responses with other sequence numbers are stale replies to abandoned
+// attempts and are discarded.
+func (c *Client) await(dest int, seq uint64, req []byte) (resp []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if rf, ok := r.(*mpi.RankFailedError); ok {
+				resp, err = nil, &CallError{Dest: dest, Err: rf}
+				return
+			}
+			panic(r)
+		}
+	}()
+	if c.Timeout <= 0 {
+		// Fail-stop mode: block until the response (or a peer crash) arrives.
+		for {
+			msg, _ := c.IC.Recv(dest, tagResponse)
+			rseq, body, ok := unseal(msg)
+			if ok && rseq == seq {
+				return body, nil
+			}
+		}
+	}
+	backoff := c.Backoff
+	for attempt := 0; ; attempt++ {
+		deadline := time.Now().Add(c.Timeout)
+		for time.Now().Before(deadline) {
+			msg, _, got := c.IC.TryRecv(dest, tagResponse)
+			if !got {
+				spin.Wait(pollInterval)
+				continue
+			}
+			rseq, body, ok := unseal(msg)
+			if ok && rseq == seq {
+				return body, nil
+			}
+		}
+		if attempt >= c.Retries {
+			return nil, &CallError{Dest: dest, Err: &TimeoutError{Dest: dest, Timeout: c.Timeout}}
+		}
+		if backoff > 0 {
+			spin.Wait(backoff)
+			backoff *= 2
+		}
+		c.IC.Send(dest, tagRequest, seal(seq, req))
+	}
 }
 
 // Handler processes one request from remote rank src. Returning a nil
 // response with respond=false means the request was a one-way notification.
 type Handler func(src int, req []byte) (resp []byte, respond bool)
 
-// Server answers requests arriving on an intercommunicator.
+// reqState tracks one (src, seq) request through the server: seen but not
+// yet answered (in flight or parked), or answered with a cached response.
+type reqState struct {
+	answered bool
+	resp     []byte
+}
+
+// Server answers requests arriving on an intercommunicator. It deduplicates
+// by (source, sequence): a duplicate of an already-answered request gets the
+// cached response resent, and a duplicate of one still in flight (parked,
+// or a one-way notification) is swallowed, so client retries are idempotent.
 type Server struct {
 	IC      *mpi.Intercomm
 	Handler Handler
+
+	mu     sync.Mutex
+	seen   map[int]map[uint64]*reqState
+	newest map[int]uint64
 }
 
 // ServeOne blocks for a single request, dispatches it, and replies if the
 // handler produced a response. It returns the source rank.
 func (s *Server) ServeOne() int {
-	req, st := s.IC.Recv(mpi.AnySource, tagRequest)
-	resp, respond := s.Handler(st.Source, req)
+	src, seq, req := s.Recv()
+	resp, respond := s.Handler(src, req)
 	if respond {
-		s.IC.Send(st.Source, tagResponse, resp)
+		s.Respond(src, seq, resp)
 	}
-	return st.Source
+	return src
 }
 
-// Recv blocks for one raw request, for servers that need to defer or
-// re-queue requests instead of answering immediately.
-func (s *Server) Recv() (src int, req []byte) {
-	r, st := s.IC.Recv(mpi.AnySource, tagRequest)
-	return st.Source, r
+// Recv blocks for one fresh request, for servers that need to defer or
+// re-queue requests instead of answering immediately. Corrupt envelopes are
+// dropped (the client's retry recovers them); duplicates never reach the
+// caller.
+func (s *Server) Recv() (src int, seq uint64, req []byte) {
+	for {
+		msg, st := s.IC.Recv(mpi.AnySource, tagRequest)
+		rseq, body, ok := unseal(msg)
+		if !ok {
+			continue // corrupt on the wire; treated as lost
+		}
+		if cached, dup := s.register(st.Source, rseq); dup {
+			if cached != nil {
+				// Already answered: replay the response for the retry.
+				s.IC.Send(st.Source, tagResponse, seal(rseq, cached.resp))
+			}
+			continue
+		}
+		return st.Source, rseq, body
+	}
 }
 
-// Respond sends a response for a request previously obtained via Recv.
-func (s *Server) Respond(src int, resp []byte) {
-	s.IC.Send(src, tagResponse, resp)
+// Respond sends a response for a request previously obtained via Recv and
+// caches it so duplicates of the request replay it.
+func (s *Server) Respond(src int, seq uint64, resp []byte) {
+	s.mu.Lock()
+	if m := s.seen[src]; m != nil {
+		if st, ok := m[seq]; ok {
+			st.answered = true
+			st.resp = resp
+		}
+	}
+	s.mu.Unlock()
+	s.IC.Send(src, tagResponse, seal(seq, resp))
+}
+
+// register records a (src, seq) sighting. It returns dup=true when the
+// request was seen before; cached is non-nil when it was already answered.
+func (s *Server) register(src int, seq uint64) (cached *reqState, dup bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seen == nil {
+		s.seen = map[int]map[uint64]*reqState{}
+		s.newest = map[int]uint64{}
+	}
+	m := s.seen[src]
+	if m == nil {
+		m = map[uint64]*reqState{}
+		s.seen[src] = m
+	}
+	if st, ok := m[seq]; ok {
+		if st.answered {
+			return st, true
+		}
+		return nil, true
+	}
+	m[seq] = &reqState{}
+	if seq > s.newest[src] {
+		s.newest[src] = seq
+		// Prune states that have fallen out of the duplicate window so the
+		// cache stays bounded over long many-timestep runs.
+		if seq > dedupWindow {
+			for old := range m {
+				if old < seq-dedupWindow {
+					delete(m, old)
+				}
+			}
+		}
+	}
+	return nil, false
 }
 
 // Pending reports whether a request is waiting (for multiplexing several

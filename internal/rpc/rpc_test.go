@@ -10,7 +10,10 @@ func TestCallRoundTrip(t *testing.T) {
 	err := mpi.RunWorkflow([]mpi.TaskSpec{
 		{Name: "client", Procs: 2, Main: func(p *mpi.Proc) {
 			c := &Client{IC: p.Intercomm("server")}
-			resp := c.Call(0, []byte("ping"))
+			resp, err := c.Call(0, []byte("ping"))
+			if err != nil {
+				t.Errorf("call: %v", err)
+			}
 			if string(resp) != "pong:ping" {
 				t.Errorf("got %q", resp)
 			}
@@ -34,7 +37,11 @@ func TestNotifyIsOneWay(t *testing.T) {
 			c := &Client{IC: p.Intercomm("server")}
 			c.Notify(0, []byte("done"))
 			// A call after the notify still works (ordering preserved).
-			if resp := c.Call(0, []byte("x")); string(resp) != "ack" {
+			resp, err := c.Call(0, []byte("x"))
+			if err != nil {
+				t.Errorf("call: %v", err)
+			}
+			if string(resp) != "ack" {
 				t.Errorf("got %q", resp)
 			}
 		}},
@@ -63,7 +70,10 @@ func TestCallAllPipelines(t *testing.T) {
 	err := mpi.RunWorkflow([]mpi.TaskSpec{
 		{Name: "client", Procs: 1, Main: func(p *mpi.Proc) {
 			c := &Client{IC: p.Intercomm("server")}
-			resps := c.CallAll([]int{2, 0, 1}, []byte("q"))
+			resps, err := c.CallAll([]int{2, 0, 1}, []byte("q"))
+			if err != nil {
+				t.Errorf("callall: %v", err)
+			}
 			// Responses come back in dests order, each identifying its server.
 			want := []byte{2, 0, 1}
 			for i, r := range resps {
@@ -90,18 +100,21 @@ func TestRecvRespondDeferred(t *testing.T) {
 	err := mpi.RunWorkflow([]mpi.TaskSpec{
 		{Name: "client", Procs: 2, Main: func(p *mpi.Proc) {
 			c := &Client{IC: p.Intercomm("server")}
-			resp := c.Call(0, []byte{byte(p.Task.Rank())})
+			resp, err := c.Call(0, []byte{byte(p.Task.Rank())})
+			if err != nil {
+				t.Errorf("call: %v", err)
+			}
 			if resp[0] != byte(p.Task.Rank()) {
 				t.Errorf("rank %d got %v", p.Task.Rank(), resp)
 			}
 		}},
 		{Name: "server", Procs: 1, Main: func(p *mpi.Proc) {
 			s := &Server{IC: p.Intercomm("client")}
-			src1, req1 := s.Recv()
-			src2, req2 := s.Recv()
+			src1, seq1, req1 := s.Recv()
+			src2, seq2, req2 := s.Recv()
 			// Respond in reverse arrival order.
-			s.Respond(src2, req2)
-			s.Respond(src1, req1)
+			s.Respond(src2, seq2, req2)
+			s.Respond(src1, seq1, req1)
 		}},
 	})
 	if err != nil {

@@ -148,3 +148,35 @@ func NewMetadataVOL(base h5.Connector) *MetadataVOL { return core.NewMetadataVOL
 func NewDistMetadataVOL(local *mpi.Comm, base h5.Connector) *DistMetadataVOL {
 	return core.NewDistMetadataVOL(local, base)
 }
+
+// --- fault injection and fault tolerance ---
+
+// FaultPlan is a seeded, deterministic set of fault-injection rules attached
+// to a workflow with mpi.WithFaultPlan: messages on matching user tags are
+// delayed, dropped, duplicated or corrupted, and a rule can crash a rank
+// outright. Use it to exercise the fault-tolerant transport (RPC retries,
+// index replication, file fallback) under test.
+type FaultPlan = mpi.FaultPlan
+
+// FaultRule arms one fault of a FaultPlan.
+type FaultRule = mpi.FaultRule
+
+// FaultAction is the kind of perturbation a FaultRule injects.
+type FaultAction = mpi.FaultAction
+
+// Fault actions.
+const (
+	FaultDelay     = mpi.FaultDelay
+	FaultDrop      = mpi.FaultDrop
+	FaultDuplicate = mpi.FaultDuplicate
+	FaultCorrupt   = mpi.FaultCorrupt
+	FaultCrash     = mpi.FaultCrash
+)
+
+// AnyRank matches every world rank in a FaultRule.
+const AnyRank = mpi.AnyRank
+
+// RankFailedError is the typed failure a rank blocked on a crashed peer
+// receives. The RPC layer converts it into an error value; raw mpi users
+// recover it from the blocking call.
+type RankFailedError = mpi.RankFailedError

@@ -3,6 +3,7 @@ package mpi
 import (
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"time"
 
 	"lowfive/trace"
@@ -56,15 +57,34 @@ func (c *Comm) Barrier() {
 }
 
 // barrier implements a dissemination barrier: log2(n) rounds of
-// point-to-point notifications.
+// point-to-point notifications. A crashed peer is skipped — the surviving
+// ranks still synchronize among themselves instead of hanging on a
+// notification that will never come.
 func (c *Comm) barrier(seq uint64) {
 	n := c.Size()
 	for k, round := 1, 0; k < n; k, round = k<<1, round+1 {
 		dest := (c.rank + k) % n
 		src := (c.rank - k%n + n) % n
 		c.Send(dest, intTag(seq, opBarrier, round), nil)
-		c.Recv(src, intTag(seq, opBarrier, round))
+		c.recvOrFailed(src, intTag(seq, opBarrier, round))
 	}
+}
+
+// recvOrFailed receives like Recv but reports ok=false when the peer has
+// crashed, instead of propagating the RankFailedError panic. Collectives
+// that only synchronize use it to degrade gracefully.
+func (c *Comm) recvOrFailed(src, tag int) (data []byte, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, failed := r.(*RankFailedError); failed {
+				data, ok = nil, false
+				return
+			}
+			panic(r)
+		}
+	}()
+	data, _ = c.Recv(src, tag)
+	return data, true
 }
 
 // Bcast broadcasts data from root to all ranks along a binomial tree and
@@ -220,8 +240,10 @@ func (c *Comm) Allreduce(data []byte, op ReduceOp) []byte {
 // each rank, in rank order. len(data) must equal Size(). It uses the Bruck
 // algorithm: ceil(log2 n) rounds of combined messages instead of n-1
 // point-to-point sends, which keeps latency-bound all-to-alls (like
-// LowFive's index exchange) logarithmic in the task size.
-func (c *Comm) Alltoall(data [][]byte) [][]byte {
+// LowFive's index exchange) logarithmic in the task size. A payload that
+// fails to unpack (corrupt wire bytes) is returned as an error rather than
+// taking down the whole world.
+func (c *Comm) Alltoall(data [][]byte) ([][]byte, error) {
 	tr, t0 := c.beginColl()
 	defer func() { endColl(tr, t0, "alltoall", alltoallBytes(data)) }()
 	n := c.Size()
@@ -232,7 +254,7 @@ func (c *Comm) Alltoall(data [][]byte) [][]byte {
 	seq := c.collSeq
 	r := c.rank
 	if n == 1 {
-		return [][]byte{data[0]}
+		return [][]byte{data[0]}, nil
 	}
 	// Phase 1: local rotation — temp[i] starts as the block destined to
 	// rank (r+i) mod n.
@@ -248,7 +270,7 @@ func (c *Comm) Alltoall(data [][]byte) [][]byte {
 		c.Send(dest, intTag(seq, opAlltoall, round), buf)
 		in, _ := c.Recv(src, intTag(seq, opAlltoall, round))
 		if err := unpackBlocks(temp, pof2, in); err != nil {
-			panic("mpi: corrupt Alltoall message: " + err.Error())
+			return nil, fmt.Errorf("mpi: corrupt Alltoall message from rank %d: %w", src, err)
 		}
 	}
 	// Phase 3: inverse rotation.
@@ -256,7 +278,7 @@ func (c *Comm) Alltoall(data [][]byte) [][]byte {
 	for i := 0; i < n; i++ {
 		out[(r-i+n)%n] = temp[i]
 	}
-	return out
+	return out, nil
 }
 
 // packBlocks concatenates (length-prefixed) the blocks whose index has the

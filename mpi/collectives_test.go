@@ -167,7 +167,11 @@ func TestAlltoall(t *testing.T) {
 				for dest := range data {
 					data[dest] = []byte{byte(c.Rank()), byte(dest)}
 				}
-				out := c.Alltoall(data)
+				out, aerr := c.Alltoall(data)
+				if aerr != nil {
+					t.Errorf("rank %d: %v", c.Rank(), aerr)
+					return
+				}
 				for src, b := range out {
 					if b[0] != byte(src) || b[1] != byte(c.Rank()) {
 						t.Errorf("from %d: got %v", src, b)

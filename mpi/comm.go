@@ -66,7 +66,21 @@ func (c *Comm) Send(dest, tag int, data []byte) {
 	if tr != nil {
 		t0 = time.Now()
 	}
-	c.world.deliver(c.ranks[dest], &message{commID: c.id, src: c.rank, tag: tag, data: data})
+	w := c.world
+	deliver, dup := true, false
+	if w.fault != nil {
+		self := c.ranks[c.rank]
+		if w.failed[self].Load() {
+			panic(rankCrashPanic{rank: self})
+		}
+		data, deliver, dup = w.injectSend(self, tag, data, tr)
+	}
+	if deliver {
+		w.deliver(c.ranks[dest], &message{commID: c.id, src: c.rank, tag: tag, data: data})
+		if dup {
+			w.deliver(c.ranks[dest], &message{commID: c.id, src: c.rank, tag: tag, data: data})
+		}
+	}
 	if tr != nil {
 		tr.Span("mpi", "send", t0, time.Now(),
 			trace.I64("dst", int64(dest)), trace.I64("tag", int64(tag)),
@@ -100,6 +114,15 @@ func (c *Comm) Isend(dest, tag int, data []byte) *Request {
 	}
 	go func() {
 		defer close(req.done)
+		// The helper goroutine acts on behalf of the sending rank; if an
+		// injected crash or a world abort fires inside Send, swallow it
+		// here — the rank's own goroutine observes the failure on its next
+		// operation instead of the process dying on an unhandled panic.
+		defer func() {
+			if r := recover(); r != nil && !IsHaltPanic(r) {
+				panic(r)
+			}
+		}()
 		c.Send(dest, tag, data)
 	}()
 	return req
@@ -119,7 +142,11 @@ func (c *Comm) Recv(src, tag int) ([]byte, Status) {
 	if tr != nil {
 		t0 = time.Now()
 	}
-	m := c.world.boxes[c.ranks[c.rank]].take(c.world, c.id, src, tag, true)
+	self := c.ranks[c.rank]
+	if c.world.fault != nil {
+		c.world.injectRecv(self, tag, tr)
+	}
+	m := c.world.boxes[self].take(c.world, self, c.id, src, tag, c.worldSrc(src), true)
 	if tr != nil {
 		tr.Span("mpi", "recv", t0, time.Now(),
 			trace.I64("src", int64(m.src)), trace.I64("tag", int64(m.tag)),
@@ -134,7 +161,7 @@ func (c *Comm) Probe(src, tag int) Status {
 	if src != AnySource {
 		c.checkRank(src)
 	}
-	m := c.world.boxes[c.ranks[c.rank]].take(c.world, c.id, src, tag, false)
+	m := c.world.boxes[c.ranks[c.rank]].take(c.world, c.ranks[c.rank], c.id, src, tag, c.worldSrc(src), false)
 	return Status{Source: m.src, Tag: m.tag, Bytes: len(m.data)}
 }
 
@@ -143,11 +170,20 @@ func (c *Comm) Iprobe(src, tag int) (Status, bool) {
 	if src != AnySource {
 		c.checkRank(src)
 	}
-	m := c.world.boxes[c.ranks[c.rank]].tryTake(c.world, c.id, src, tag, false)
+	m := c.world.boxes[c.ranks[c.rank]].tryTake(c.world, c.ranks[c.rank], c.id, src, tag, c.worldSrc(src), false)
 	if m == nil {
 		return Status{}, false
 	}
 	return Status{Source: m.src, Tag: m.tag, Bytes: len(m.data)}, true
+}
+
+// worldSrc maps a communicator-local source rank to its world rank, or -1
+// for AnySource (no single peer to watch for failure).
+func (c *Comm) worldSrc(src int) int {
+	if src == AnySource {
+		return -1
+	}
+	return c.ranks[src]
 }
 
 // deriveID computes a child communicator id that every member arrives at

@@ -1,0 +1,309 @@
+package mpi
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"lowfive/internal/spin"
+	"lowfive/trace"
+)
+
+// Fault injection ("chaos") layer. A FaultPlan attached to a World with
+// WithFaultPlan perturbs tagged user messages — delaying, dropping,
+// duplicating or corrupting them — and can crash a rank outright at its
+// Nth matching send or receive. Injection is seeded and deterministic per
+// rank: the same plan over the same message sequence makes the same
+// decisions, so a failing chaos run can be replayed.
+//
+// Only user traffic (non-negative tags) is ever perturbed. Internal
+// collective messages use reserved negative tags and are exempt, because
+// the collectives have no retry protocol — chaos there would turn every
+// run into a deadlock instead of exercising the recovery paths layered
+// above point-to-point messaging (RPC retries, replica re-routing, file
+// fallback).
+
+// FaultAction is the kind of perturbation a FaultRule injects.
+type FaultAction uint8
+
+const (
+	// FaultDelay stalls the sender for Rule.Delay before delivery.
+	FaultDelay FaultAction = iota
+	// FaultDrop discards the message; the receiver never sees it.
+	FaultDrop
+	// FaultDuplicate delivers the message twice.
+	FaultDuplicate
+	// FaultCorrupt flips bytes in a copy of the payload before delivery
+	// (the original buffer is never modified — it may be shared zero-copy).
+	FaultCorrupt
+	// FaultCrash kills the rank at the matching operation: the rank is
+	// marked failed, peers blocked on it get a RankFailedError, and the
+	// rank's goroutine terminates.
+	FaultCrash
+)
+
+// String names the action (for trace instants and error messages).
+func (a FaultAction) String() string {
+	switch a {
+	case FaultDelay:
+		return "delay"
+	case FaultDrop:
+		return "drop"
+	case FaultDuplicate:
+		return "duplicate"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultCrash:
+		return "crash"
+	default:
+		return fmt.Sprintf("action(%d)", uint8(a))
+	}
+}
+
+// AnyRank matches every world rank in a FaultRule.
+const AnyRank = -1
+
+// FaultRule arms one fault. A rule matches an operation when the acting
+// rank, the message tag and the operation kind all match; the rule then
+// counts matching operations, lets After of them pass untouched, and fires
+// on subsequent ones (each with probability Prob, at most Count times).
+type FaultRule struct {
+	// Action is the perturbation to inject.
+	Action FaultAction
+	// Rank is the world rank whose operations the rule applies to
+	// (AnyRank for all). For message faults this is the sender.
+	Rank int
+	// Tag matches the message tag: a specific user tag, or AnyTag for
+	// every user tag. Internal (negative) tags never match.
+	Tag int
+	// OnRecv makes the rule count and fire on receive operations instead
+	// of sends. Only meaningful for FaultCrash (message perturbations are
+	// injected sender-side).
+	OnRecv bool
+	// After is the number of matching operations that pass untouched
+	// before the rule arms ("crash at the Nth send" = After: N-1).
+	After int
+	// Count caps how many times the rule fires; 0 means unlimited.
+	// Bounding Count makes a lossy plan deterministically survivable:
+	// a retry budget larger than Count cannot be exhausted.
+	Count int
+	// Prob is the probability an armed rule fires on a matching
+	// operation; outside (0,1) the rule always fires.
+	Prob float64
+	// Delay is the injected latency for FaultDelay.
+	Delay time.Duration
+}
+
+// FaultPlan is a seeded set of fault rules for one run.
+type FaultPlan struct {
+	// Seed derives the per-rank random streams for probabilistic rules.
+	Seed int64
+	// Rules are evaluated in order; the first rule that fires on an
+	// operation decides its fate.
+	Rules []FaultRule
+}
+
+// WithFaultPlan attaches a fault-injection plan to the world.
+func WithFaultPlan(plan FaultPlan) Option {
+	return func(w *World) { w.faultPlan = &plan }
+}
+
+// RankFailedError is the typed failure delivered to a rank blocked on (or
+// probing for) a message from a crashed peer, instead of letting the whole
+// world sit in a deadlock until the watchdog fires. It propagates by panic
+// through the blocking operation, exactly like AbortedError; fault-tolerant
+// layers (the RPC client) recover it and surface it as an error value.
+type RankFailedError struct {
+	// Rank is the world rank that failed.
+	Rank int
+}
+
+func (e *RankFailedError) Error() string {
+	return fmt.Sprintf("mpi: rank %d failed", e.Rank)
+}
+
+// rankCrashPanic terminates the goroutine of a rank that an injected
+// FaultCrash killed. World.Run recognizes it and does not abort the world.
+type rankCrashPanic struct{ rank int }
+
+// IsHaltPanic reports whether a recovered panic value is one of the
+// shutdown panics a helper goroutine performing MPI operations on behalf
+// of a rank (a serve loop, an Isend) should swallow: an injected rank
+// crash, a failed peer, or a world abort. Application code does not
+// normally need this; layers that spawn such helpers do.
+func IsHaltPanic(r any) bool {
+	switch r.(type) {
+	case rankCrashPanic, *RankFailedError, *AbortedError:
+		return true
+	}
+	return false
+}
+
+// faultState is the runtime of an attached plan: per-rank op counters and
+// random streams, per-rule firing counts. One mutex guards it all — chaos
+// runs are about semantics, not peak message rate.
+type faultState struct {
+	plan FaultPlan
+
+	mu      sync.Mutex
+	rngs    []*rand.Rand // per world rank
+	matched [][]uint64   // [rule][rank]: matching ops seen
+	fired   []int        // [rule]: total firings
+}
+
+func newFaultState(plan FaultPlan, size int) *faultState {
+	fs := &faultState{
+		plan:    plan,
+		rngs:    make([]*rand.Rand, size),
+		matched: make([][]uint64, len(plan.Rules)),
+		fired:   make([]int, len(plan.Rules)),
+	}
+	for r := range fs.rngs {
+		mix := int64(uint64(0x9e3779b97f4a7c15) * uint64(r+1))
+		fs.rngs[r] = rand.New(rand.NewSource(plan.Seed ^ mix))
+	}
+	for i := range fs.matched {
+		fs.matched[i] = make([]uint64, size)
+	}
+	return fs
+}
+
+// decide evaluates the plan for one operation and returns the rule that
+// fires, if any.
+func (fs *faultState) decide(rank, tag int, recv bool) (FaultRule, bool) {
+	if tag < 0 {
+		return FaultRule{}, false // internal collective traffic is exempt
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for i, rule := range fs.plan.Rules {
+		if rule.OnRecv != recv {
+			continue
+		}
+		if rule.Rank != AnyRank && rule.Rank != rank {
+			continue
+		}
+		if rule.Tag != AnyTag && rule.Tag != tag {
+			continue
+		}
+		fs.matched[i][rank]++
+		if fs.matched[i][rank] <= uint64(rule.After) {
+			continue
+		}
+		if rule.Count > 0 && fs.fired[i] >= rule.Count {
+			continue
+		}
+		if rule.Prob > 0 && rule.Prob < 1 && fs.rngs[rank].Float64() >= rule.Prob {
+			continue
+		}
+		fs.fired[i]++
+		return rule, true
+	}
+	return FaultRule{}, false
+}
+
+// corrupt returns a copy of data with up to four bytes flipped at seeded
+// positions. A zero-length payload is returned unchanged (nothing to flip).
+func (fs *faultState) corrupt(rank int, data []byte) []byte {
+	if len(data) == 0 {
+		return data
+	}
+	out := append([]byte(nil), data...)
+	fs.mu.Lock()
+	rng := fs.rngs[rank]
+	n := 1 + rng.Intn(4)
+	for i := 0; i < n; i++ {
+		out[rng.Intn(len(out))] ^= 0xff
+	}
+	fs.mu.Unlock()
+	return out
+}
+
+// injectSend runs the plan against an outgoing message on the sender's
+// world rank. It returns the payload to deliver (possibly a corrupted
+// copy), whether to deliver at all, and whether to deliver twice. A firing
+// crash rule does not return: the rank dies by panic.
+func (w *World) injectSend(worldSrc, tag int, data []byte, tr *trace.Track) (payload []byte, deliver, dup bool) {
+	rule, fire := w.fault.decide(worldSrc, tag, false)
+	if !fire {
+		return data, true, false
+	}
+	if tr != nil {
+		tr.Instant("fault", "fault."+rule.Action.String(),
+			trace.I64("tag", int64(tag)), trace.I64("bytes", int64(len(data))))
+	}
+	switch rule.Action {
+	case FaultDelay:
+		spin.Wait(rule.Delay)
+		return data, true, false
+	case FaultDrop:
+		return nil, false, false
+	case FaultDuplicate:
+		return data, true, true
+	case FaultCorrupt:
+		return w.fault.corrupt(worldSrc, data), true, false
+	case FaultCrash:
+		w.crash(worldSrc)
+	}
+	return data, true, false
+}
+
+// injectRecv runs the plan against a receive operation (crash rules only —
+// message perturbations are sender-side).
+func (w *World) injectRecv(worldRank, tag int, tr *trace.Track) {
+	rule, fire := w.fault.decide(worldRank, tag, true)
+	if !fire {
+		return
+	}
+	if tr != nil {
+		tr.Instant("fault", "fault."+rule.Action.String(), trace.I64("tag", int64(tag)))
+	}
+	if rule.Action == FaultCrash {
+		w.crash(worldRank)
+	}
+}
+
+// crash marks the rank failed, wakes every blocked receiver so peers
+// waiting on it observe the failure, and kills the calling goroutine.
+func (w *World) crash(worldRank int) {
+	w.markFailed(worldRank)
+	panic(rankCrashPanic{rank: worldRank})
+}
+
+// markFailed records a rank failure and wakes all mailboxes so blocked
+// operations re-check their peer.
+func (w *World) markFailed(worldRank int) {
+	if w.failed[worldRank].Swap(true) {
+		return
+	}
+	w.crashed.Add(1)
+	close(w.failedCh[worldRank])
+	for _, b := range w.boxes {
+		b.wakeAll()
+	}
+}
+
+// RankFailed reports whether a world rank has been crashed by fault
+// injection.
+func (w *World) RankFailed(worldRank int) bool {
+	return w.failed[worldRank].Load()
+}
+
+// FailedRanks lists the world ranks that have crashed, in rank order.
+func (w *World) FailedRanks() []int {
+	var out []int
+	for r := range w.failed {
+		if w.failed[r].Load() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FailedChan returns a channel closed when the given world rank fails;
+// layers parking a rank's main goroutine on an in-process condition (e.g.
+// a serve session) select on it so an injected crash releases them.
+func (w *World) FailedChan(worldRank int) <-chan struct{} {
+	return w.failedCh[worldRank]
+}

@@ -1,0 +1,261 @@
+package mpi
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFaultDecideDeterministic(t *testing.T) {
+	plan := FaultPlan{Seed: 42, Rules: []FaultRule{
+		{Action: FaultDrop, Rank: AnyRank, Tag: AnyTag, Prob: 0.5},
+	}}
+	record := func() []bool {
+		fs := newFaultState(plan, 4)
+		var out []bool
+		for op := 0; op < 200; op++ {
+			_, fired := fs.decide(op%4, op%7, false)
+			out = append(out, fired)
+		}
+		return out
+	}
+	a, b := record(), record()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs between identical replays", i)
+		}
+	}
+	if fired := 0; true {
+		for _, f := range a {
+			if f {
+				fired++
+			}
+		}
+		if fired == 0 || fired == len(a) {
+			t.Errorf("Prob=0.5 rule fired %d/%d times", fired, len(a))
+		}
+	}
+}
+
+func TestFaultRuleGating(t *testing.T) {
+	fs := newFaultState(FaultPlan{Rules: []FaultRule{
+		{Action: FaultDrop, Rank: 1, Tag: 9, After: 2, Count: 3},
+	}}, 2)
+	// Wrong rank, wrong tag, recv-side, and internal tags never match.
+	for i, args := range []struct {
+		rank, tag int
+		recv      bool
+	}{{0, 9, false}, {1, 8, false}, {1, 9, true}, {1, -5, false}} {
+		if _, fired := fs.decide(args.rank, args.tag, args.recv); fired {
+			t.Errorf("case %d: rule fired on non-matching op", i)
+		}
+	}
+	// Matching ops: 2 pass (After), 3 fire (Count), then the rule is spent.
+	var got []bool
+	for i := 0; i < 8; i++ {
+		_, fired := fs.decide(1, 9, false)
+		got = append(got, fired)
+	}
+	want := []bool{false, false, true, true, true, false, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("op sequence %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFaultDropThenRedelivery(t *testing.T) {
+	// The first tag-5 message is dropped; the receiver sees only the second.
+	plan := FaultPlan{Rules: []FaultRule{{Action: FaultDrop, Rank: 0, Tag: 5, Count: 1}}}
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 5, []byte("lost"))
+			c.Send(1, 5, []byte("kept"))
+		} else {
+			data, _ := c.Recv(0, 5)
+			if string(data) != "kept" {
+				t.Errorf("got %q, want the redelivered payload", data)
+			}
+		}
+	}, WithFaultPlan(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultDuplicateDeliversTwice(t *testing.T) {
+	plan := FaultPlan{Rules: []FaultRule{{Action: FaultDuplicate, Rank: 0, Tag: 3, Count: 1}}}
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 3, []byte("once"))
+		} else {
+			first, _ := c.Recv(0, 3)
+			second, _ := c.Recv(0, 3)
+			if string(first) != "once" || string(second) != "once" {
+				t.Errorf("got %q and %q", first, second)
+			}
+		}
+	}, WithFaultPlan(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultCorruptCopiesPayload(t *testing.T) {
+	plan := FaultPlan{Seed: 7, Rules: []FaultRule{{Action: FaultCorrupt, Rank: 0, Tag: 2, Count: 1}}}
+	original := bytes.Repeat([]byte{0xaa}, 64)
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 2, original)
+		} else {
+			data, _ := c.Recv(0, 2)
+			if bytes.Equal(data, bytes.Repeat([]byte{0xaa}, 64)) {
+				t.Error("payload arrived unflipped")
+			}
+		}
+	}, WithFaultPlan(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sender's buffer must be untouched: corruption copies.
+	if !bytes.Equal(original, bytes.Repeat([]byte{0xaa}, 64)) {
+		t.Error("sender buffer was modified in place")
+	}
+}
+
+func TestFaultDelayStallsSender(t *testing.T) {
+	const d = 30 * time.Millisecond
+	plan := FaultPlan{Rules: []FaultRule{{Action: FaultDelay, Rank: 0, Tag: 1, Count: 1, Delay: d}}}
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			start := time.Now()
+			c.Send(1, 1, []byte("x"))
+			if took := time.Since(start); took < d {
+				t.Errorf("send returned after %v, want >= %v", took, d)
+			}
+		} else {
+			c.Recv(0, 1)
+		}
+	}, WithFaultPlan(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultCrashPropagatesToBlockedPeer(t *testing.T) {
+	// Rank 1 dies at its first tag-7 send; rank 0, blocked receiving from
+	// it, gets a RankFailedError instead of deadlocking. The world itself
+	// completes without error.
+	plan := FaultPlan{Rules: []FaultRule{{Action: FaultCrash, Rank: 1, Tag: 7}}}
+	w := NewWorld(2, WithFaultPlan(plan), WithWatchdog(10*time.Second))
+	err := w.Run(func(c *Comm) {
+		if c.Rank() == 1 {
+			c.Send(0, 7, []byte("never arrives"))
+			t.Error("rank 1 survived its own crash")
+			return
+		}
+		defer func() {
+			rec := recover()
+			rf, ok := rec.(*RankFailedError)
+			if !ok {
+				t.Errorf("recovered %v, want *RankFailedError", rec)
+				return
+			}
+			if rf.Rank != 1 {
+				t.Errorf("failed rank = %d, want 1", rf.Rank)
+			}
+		}()
+		c.Recv(1, 7)
+		t.Error("Recv returned from a crashed peer")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.RankFailed(1) || w.RankFailed(0) {
+		t.Errorf("failed flags: rank0=%v rank1=%v", w.RankFailed(0), w.RankFailed(1))
+	}
+	if got := w.FailedRanks(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("FailedRanks() = %v, want [1]", got)
+	}
+}
+
+func TestFaultCrashReleasesFailedChan(t *testing.T) {
+	plan := FaultPlan{Rules: []FaultRule{{Action: FaultCrash, Rank: 0, Tag: 4, OnRecv: true}}}
+	w := NewWorld(2, WithFaultPlan(plan))
+	err := w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Recv(1, 4) // crashes before blocking
+			t.Error("rank 0 survived its own crash")
+			return
+		}
+		select {
+		case <-w.FailedChan(0):
+		case <-time.After(5 * time.Second):
+			t.Error("FailedChan(0) never closed")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSkipsCrashedRank(t *testing.T) {
+	// After rank 2 crashes, the survivors' barrier must still complete.
+	plan := FaultPlan{Rules: []FaultRule{{Action: FaultCrash, Rank: 2, Tag: 6}}}
+	w := NewWorld(3, WithFaultPlan(plan), WithWatchdog(10*time.Second))
+	err := w.Run(func(c *Comm) {
+		if c.Rank() == 2 {
+			c.Send(0, 6, nil)
+			return
+		}
+		if c.Rank() == 0 {
+			func() {
+				defer func() {
+					if _, ok := recover().(*RankFailedError); !ok {
+						t.Error("rank 0 did not observe the crash")
+					}
+				}()
+				c.Recv(2, 6)
+			}()
+		}
+		c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockErrorNamesBlockedPeer(t *testing.T) {
+	// Both ranks block on receives nobody will satisfy; the watchdog report
+	// must say who each rank was waiting for, and on what tag.
+	err := Run(2, func(c *Comm) {
+		peer := 1 - c.Rank()
+		defer func() { recover() }() // aborted by the watchdog
+		c.Recv(peer, 40+c.Rank())
+	}, WithWatchdog(150*time.Millisecond))
+	if err == nil {
+		t.Fatal("deadlocked world returned nil error")
+	}
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("error %v does not unwrap to *DeadlockError", err)
+	}
+	if dl.Blocked != 2 || len(dl.Ranks) != 2 {
+		t.Fatalf("Blocked=%d Ranks=%d, want 2/2", dl.Blocked, len(dl.Ranks))
+	}
+	for _, p := range dl.Ranks {
+		if !p.Blocked {
+			t.Errorf("rank %d not reported blocked", p.Rank)
+			continue
+		}
+		wantSrc, wantTag := 1-p.Rank, 40+p.Rank
+		if p.WaitSrc != wantSrc || p.WaitTag != wantTag {
+			t.Errorf("rank %d waiting on src=%d tag=%d, want src=%d tag=%d",
+				p.Rank, p.WaitSrc, p.WaitTag, wantSrc, wantTag)
+		}
+		if p.BlockedFor <= 0 {
+			t.Errorf("rank %d BlockedFor = %v", p.Rank, p.BlockedFor)
+		}
+	}
+}

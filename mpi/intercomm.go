@@ -69,7 +69,21 @@ func (ic *Intercomm) Send(dest, tag int, data []byte) {
 	if tr != nil {
 		t0 = time.Now()
 	}
-	ic.world.deliver(ic.remote[dest], &message{commID: ic.sendID(), src: ic.rank, tag: tag, data: data})
+	w := ic.world
+	deliver, dup := true, false
+	if w.fault != nil {
+		self := ic.local[ic.rank]
+		if w.failed[self].Load() {
+			panic(rankCrashPanic{rank: self})
+		}
+		data, deliver, dup = w.injectSend(self, tag, data, tr)
+	}
+	if deliver {
+		w.deliver(ic.remote[dest], &message{commID: ic.sendID(), src: ic.rank, tag: tag, data: data})
+		if dup {
+			w.deliver(ic.remote[dest], &message{commID: ic.sendID(), src: ic.rank, tag: tag, data: data})
+		}
+	}
 	if tr != nil {
 		tr.Span("mpi", "ic.send", t0, time.Now(),
 			trace.I64("dst", int64(dest)), trace.I64("tag", int64(tag)),
@@ -86,7 +100,11 @@ func (ic *Intercomm) Recv(src, tag int) ([]byte, Status) {
 	if tr != nil {
 		t0 = time.Now()
 	}
-	m := ic.world.boxes[ic.local[ic.rank]].take(ic.world, ic.recvID(), src, tag, true)
+	self := ic.local[ic.rank]
+	if ic.world.fault != nil {
+		ic.world.injectRecv(self, tag, tr)
+	}
+	m := ic.world.boxes[self].take(ic.world, self, ic.recvID(), src, tag, ic.worldSrc(src), true)
 	if tr != nil {
 		tr.Span("mpi", "ic.recv", t0, time.Now(),
 			trace.I64("src", int64(m.src)), trace.I64("tag", int64(m.tag)),
@@ -95,19 +113,42 @@ func (ic *Intercomm) Recv(src, tag int) ([]byte, Status) {
 	return m.data, Status{Source: m.src, Tag: m.tag, Bytes: len(m.data)}
 }
 
+// TryRecv receives a matching message from the remote group if one is
+// already queued, without blocking. The RPC client's timeout path polls
+// with it so a lost reply surfaces as a timeout instead of a hang.
+func (ic *Intercomm) TryRecv(src, tag int) ([]byte, Status, bool) {
+	self := ic.local[ic.rank]
+	m := ic.world.boxes[self].tryTake(ic.world, self, ic.recvID(), src, tag, ic.worldSrc(src), true)
+	if m == nil {
+		return nil, Status{}, false
+	}
+	return m.data, Status{Source: m.src, Tag: m.tag, Bytes: len(m.data)}, true
+}
+
 // Probe blocks until a matching message from the remote group is available,
 // without receiving it.
 func (ic *Intercomm) Probe(src, tag int) Status {
-	m := ic.world.boxes[ic.local[ic.rank]].take(ic.world, ic.recvID(), src, tag, false)
+	self := ic.local[ic.rank]
+	m := ic.world.boxes[self].take(ic.world, self, ic.recvID(), src, tag, ic.worldSrc(src), false)
 	return Status{Source: m.src, Tag: m.tag, Bytes: len(m.data)}
 }
 
 // Iprobe reports whether a matching message from the remote group is
 // available.
 func (ic *Intercomm) Iprobe(src, tag int) (Status, bool) {
-	m := ic.world.boxes[ic.local[ic.rank]].tryTake(ic.world, ic.recvID(), src, tag, false)
+	self := ic.local[ic.rank]
+	m := ic.world.boxes[self].tryTake(ic.world, self, ic.recvID(), src, tag, ic.worldSrc(src), false)
 	if m == nil {
 		return Status{}, false
 	}
 	return Status{Source: m.src, Tag: m.tag, Bytes: len(m.data)}, true
+}
+
+// worldSrc maps a remote-group source rank to its world rank, or -1 for
+// AnySource.
+func (ic *Intercomm) worldSrc(src int) int {
+	if src == AnySource {
+		return -1
+	}
+	return ic.remote[src]
 }

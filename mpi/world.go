@@ -27,6 +27,14 @@ type World struct {
 
 	watchdog time.Duration
 
+	// fault injection (nil when no plan is attached); failed/failedCh track
+	// crashed ranks so peers blocked on them fail fast instead of hanging.
+	faultPlan *FaultPlan
+	fault     *faultState
+	failed    []atomic.Bool
+	failedCh  []chan struct{}
+	crashed   atomic.Int64
+
 	// tracer, when set, records every message-passing operation onto
 	// per-world-rank tracks (one append-only buffer per rank, so recording
 	// never contends across ranks). Nil tracks make recording a no-op.
@@ -142,6 +150,14 @@ func NewWorld(size int, opts ...Option) *World {
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
 	}
+	w.failed = make([]atomic.Bool, size)
+	w.failedCh = make([]chan struct{}, size)
+	for i := range w.failedCh {
+		w.failedCh[i] = make(chan struct{})
+	}
+	if w.faultPlan != nil {
+		w.fault = newFaultState(*w.faultPlan, size)
+	}
 	if w.tracer != nil {
 		w.tracks = make([]*trace.Track, size)
 	}
@@ -212,6 +228,12 @@ func (w *World) Run(main func(c *Comm)) error {
 			defer wg.Done()
 			defer func() {
 				if rec := recover(); rec != nil {
+					if _, isCrash := rec.(rankCrashPanic); isCrash {
+						// An injected crash kills this rank only; the rest
+						// of the world keeps running (peers blocked on the
+						// dead rank get a RankFailedError instead).
+						return
+					}
 					err, ok := rec.(error)
 					if !ok {
 						err = fmt.Errorf("rank %d panicked: %v", c.Rank(), rec)
@@ -267,7 +289,9 @@ func (w *World) watch(stop <-chan struct{}) {
 			return
 		case <-tick.C:
 			d := w.delivered.Load()
-			if d != lastDelivered || w.blocked.Load() < int64(w.size) {
+			// Crashed ranks never block again; a world is stuck when every
+			// surviving rank is blocked with no progress.
+			if d != lastDelivered || w.blocked.Load() < int64(w.size)-w.crashed.Load() {
 				lastDelivered = d
 				stuckSince = time.Now()
 				continue
@@ -377,12 +401,20 @@ func matches(m *message, commID uint64, src, tag int) bool {
 
 // take removes and returns the first message matching (commID, src, tag),
 // blocking until one arrives. remove=false peeks without removing (Probe).
-func (b *mailbox) take(w *World, commID uint64, src, tag int, remove bool) *message {
+// self is the receiving world rank; worldSrc is the world rank the local
+// src maps to (or -1 for AnySource) so a receive blocked on a crashed peer
+// fails with RankFailedError instead of hanging.
+func (b *mailbox) take(w *World, self int, commID uint64, src, tag, worldSrc int, remove bool) *message {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for {
 		if w.aborted.Load() {
 			panic(&AbortedError{Err: w.abortReason()})
+		}
+		if w.failed[self].Load() {
+			// This rank was crashed by fault injection (in a helper
+			// goroutine); any further operation on it dies too.
+			panic(rankCrashPanic{rank: self})
 		}
 		for i, m := range b.msgs {
 			if matches(m, commID, src, tag) {
@@ -392,6 +424,9 @@ func (b *mailbox) take(w *World, commID uint64, src, tag int, remove bool) *mess
 				b.received++
 				return m
 			}
+		}
+		if worldSrc >= 0 && w.failed[worldSrc].Load() {
+			panic(&RankFailedError{Rank: worldSrc})
 		}
 		if !b.waiting {
 			b.waiting = true
@@ -408,12 +443,17 @@ func (b *mailbox) take(w *World, commID uint64, src, tag int, remove bool) *mess
 	}
 }
 
-// tryTake is the nonblocking variant (Iprobe).
-func (b *mailbox) tryTake(w *World, commID uint64, src, tag int, remove bool) *message {
+// tryTake is the nonblocking variant (Iprobe). Like take, it raises
+// RankFailedError when the probed peer has crashed and nothing from it is
+// queued, so polling loops learn of the failure instead of spinning.
+func (b *mailbox) tryTake(w *World, self int, commID uint64, src, tag, worldSrc int, remove bool) *message {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if w.aborted.Load() {
 		panic(&AbortedError{Err: w.abortReason()})
+	}
+	if w.failed[self].Load() {
+		panic(rankCrashPanic{rank: self})
 	}
 	for i, m := range b.msgs {
 		if matches(m, commID, src, tag) {
@@ -423,14 +463,21 @@ func (b *mailbox) tryTake(w *World, commID uint64, src, tag int, remove bool) *m
 			return m
 		}
 	}
+	if worldSrc >= 0 && w.failed[worldSrc].Load() {
+		panic(&RankFailedError{Rank: worldSrc})
+	}
 	return nil
 }
 
 // deliver charges the cost model and enqueues the message at the
-// destination world rank.
+// destination world rank. Messages to a crashed rank are dropped — the
+// dead rank will never receive them, and queuing would leak.
 func (w *World) deliver(worldDest int, m *message) {
 	if w.aborted.Load() {
 		panic(&AbortedError{Err: w.abortReason()})
+	}
+	if w.failed[worldDest].Load() {
+		return
 	}
 	if w.cost != nil {
 		w.cost.charge(len(m.data))

@@ -30,6 +30,10 @@ func benchConfig() harness.Config {
 	c.FS.OSTLatency = 0
 	c.FS.OSTBandwidth = 0
 	c.FS.SharedLockLatency = 0
+	// The benchmark workloads are the paper's scaled down 100x, so scale
+	// the stream frame size to match; the full-size default (1 MiB) would
+	// dwarf the per-producer responses here.
+	c.ChunkBytes = 64 << 10
 	return c
 }
 

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"lowfive/internal/harness"
+	"lowfive/internal/workload"
+)
+
+// The -json mode re-runs the allocation-sensitive figure benchmarks
+// (Fig. 5, 7, 11 and the redistribution shapes) through testing.Benchmark
+// and writes BENCH_<date>.json, so CI and developers can diff ns/op, B/op
+// and allocs/op against the committed baseline without the go test
+// machinery. The cost models are zeroed: the numbers measure the real
+// protocol and copy work, exactly like the bench_test.go benchmarks these
+// mirror.
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	ExchangeSec float64 `json:"exchange_s"`
+	Iterations  int     `json:"iterations"`
+}
+
+type benchReport struct {
+	Date       string        `json:"date"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	Note       string        `json:"note,omitempty"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// runBenchJSON measures the benchmark set and writes BENCH_<date>.json to
+// the current directory.
+func runBenchJSON(cfg harness.Config) error {
+	// Zero the modeled delays (the benchmark regime of bench_test.go).
+	cfg.Trials = 1
+	cfg.NetAlpha = 0
+	cfg.NetBeta = 0
+	cfg.FS.OSTLatency = 0
+	cfg.FS.OSTBandwidth = 0
+	cfg.FS.SharedLockLatency = 0
+	if cfg.ChunkBytes == 0 {
+		// Match bench_test.go: frames scaled to the 100x-scaled-down data.
+		cfg.ChunkBytes = 64 << 10
+	}
+
+	spec := workload.PaperSpec(16).Scaled(100)
+	large := workload.PaperSpec(16).Scaled(10)
+	cases := []struct {
+		name string
+		spec workload.Spec
+		fn   func(workload.Spec) (float64, error)
+	}{
+		{"Fig5FileVsMemory/FileMode", spec, cfg.TrialLowFiveFile},
+		{"Fig5FileVsMemory/MemoryMode", spec, cfg.TrialLowFiveMemory},
+		{"Fig7MemoryVsPureMPI/LowFiveMemoryMode", spec, cfg.TrialLowFiveMemory},
+		{"Fig7MemoryVsPureMPI/PureMPI", spec, cfg.TrialPureMPI},
+		{"Fig11LargeData/LowFiveMemoryMode", large, cfg.TrialLowFiveMemory},
+		{"Fig11LargeData/DataSpaces", large, cfg.TrialDataSpaces},
+		{"Fig11LargeData/PureMPI", large, cfg.TrialPureMPI},
+		{"Redistribution/4procs", workload.PaperSpec(4).Scaled(100), cfg.TrialLowFiveMemory},
+		{"Redistribution/16procs", workload.PaperSpec(16).Scaled(100), cfg.TrialLowFiveMemory},
+		{"Redistribution/64procs", workload.PaperSpec(64).Scaled(100), cfg.TrialLowFiveMemory},
+	}
+
+	report := benchReport{
+		Date:   time.Now().Format("2006-01-02"),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+	}
+	for _, c := range cases {
+		c := c
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			total := 0.0
+			for i := 0; i < b.N; i++ {
+				sec, err := c.fn(c.spec)
+				if err != nil {
+					benchErr = err
+					b.Fatal(err)
+				}
+				total += sec
+			}
+			b.ReportMetric(total/float64(b.N), "exchange-s")
+		})
+		if benchErr != nil {
+			return fmt.Errorf("%s: %w", c.name, benchErr)
+		}
+		res := benchResult{
+			Name:        c.name,
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			ExchangeSec: r.Extra["exchange-s"],
+			Iterations:  r.N,
+		}
+		fmt.Fprintf(os.Stderr, "%-40s %12d ns/op %12d B/op %8d allocs/op %10.5f exchange-s\n",
+			res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.ExchangeSec)
+		report.Benchmarks = append(report.Benchmarks, res)
+	}
+
+	out := fmt.Sprintf("BENCH_%s.json", report.Date)
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+	return nil
+}

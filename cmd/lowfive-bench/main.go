@@ -43,6 +43,7 @@ func main() {
 		profile  = flag.Bool("profile", false, "run one instrumented exchange and print its per-task per-phase summary instead of the figure suite")
 		faults   = flag.Bool("faults", false, "run the fault-injection sweep: exchanges under seeded chaos plans, checked bit-for-bit against a fault-free baseline")
 		seed     = flag.Int64("fault-seed", 1, "seed for the fault-injection plans")
+		jsonOut  = flag.Bool("json", false, "measure the allocation-sensitive benchmarks (Fig 5/7/11, redistribution) and write BENCH_<date>.json")
 	)
 	flag.Parse()
 
@@ -82,6 +83,14 @@ func main() {
 	if *profile || *traceOut != "" {
 		if err := runProfile(cfg, *traceOut); err != nil {
 			fmt.Fprintf(os.Stderr, "profile failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *jsonOut {
+		if err := runBenchJSON(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "bench json failed: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -209,12 +218,12 @@ func runProfile(cfg harness.Config, traceOut string) error {
 
 	tr.WriteSummaryTable(os.Stdout)
 
-	fmt.Printf("\nproducer serve totals: %d metadata, %d box queries, %d data queries, %d bytes served, %d done, %d parked\n",
+	fmt.Printf("\nproducer serve totals: %d metadata, %d box queries, %d data queries, %d bytes served in %d chunks, %d done, %d parked\n",
 		stats.Serve.MetadataRequests, stats.Serve.BoxQueries, stats.Serve.DataQueries,
-		stats.Serve.BytesServed, stats.Serve.DoneMessages, stats.Serve.ParkedRequests)
-	fmt.Printf("consumer query totals: %d metadata, %d box queries, %d data queries, %d bytes fetched, %v blocked waiting\n",
+		stats.Serve.BytesServed, stats.Serve.ChunksServed, stats.Serve.DoneMessages, stats.Serve.ParkedRequests)
+	fmt.Printf("consumer query totals: %d metadata, %d box queries, %d data queries, %d bytes fetched in %d chunks, %v blocked waiting\n",
 		stats.Query.MetadataFetches, stats.Query.BoxQueries, stats.Query.DataQueries,
-		stats.Query.BytesFetched, stats.Query.WaitTime.Round(time.Microsecond))
+		stats.Query.BytesFetched, stats.Query.ChunksFetched, stats.Query.WaitTime.Round(time.Microsecond))
 	fmt.Println("pfs per-OST load:")
 	for i, o := range stats.OSTs {
 		fmt.Printf("  OST %2d: %5d requests, %10d bytes, queue wait %8v, busy %8v\n",

@@ -195,7 +195,9 @@ func (o *Object) WriteAttribute(name string, dt *Datatype, data []byte) error {
 	if n == 0 {
 		return fmt.Errorf("h5: attribute %q has no data", name)
 	}
-	return o.h.AttributeWrite(name, dt, NewSimple(n), append([]byte(nil), data...))
+	// Caller keeps ownership of data (see Connector); a connector that
+	// retains the bytes copies them, so no defensive copy is needed here.
+	return o.h.AttributeWrite(name, dt, NewSimple(n), data)
 }
 
 // ReadAttribute returns an attribute's type and raw data.
@@ -283,7 +285,9 @@ func (d *Dataset) WriteAttribute(name string, dt *Datatype, data []byte) error {
 			name, len(data), dt.Size)
 	}
 	n := int64(len(data)) / int64(dt.Size)
-	return d.h.AttributeWrite(name, dt, NewSimple(n), append([]byte(nil), data...))
+	// Caller keeps ownership of data (see Connector); retaining connectors
+	// copy, so no defensive copy here.
+	return d.h.AttributeWrite(name, dt, NewSimple(n), data)
 }
 
 // ReadAttribute returns an attribute's type and raw data.

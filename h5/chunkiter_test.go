@@ -1,0 +1,122 @@
+package h5
+
+import (
+	"testing"
+
+	"lowfive/internal/grid"
+)
+
+// collect drains the iterator, asserting each emitted box respects the
+// budget (except unsplittable single elements) and stays inside sel's
+// selection; it returns the boxes.
+func collect(t *testing.T, space *Dataspace, elemSize int64, maxBytes int) []grid.Box {
+	t.Helper()
+	it := NewChunkIter(space, elemSize, maxBytes)
+	var out []grid.Box
+	maxPoints := int64(maxBytes) / elemSize
+	if maxPoints < 1 {
+		maxPoints = 1
+	}
+	for {
+		b, ok := it.Next()
+		if !ok {
+			break
+		}
+		if b.IsEmpty() {
+			t.Fatalf("iterator emitted empty box %v", b)
+		}
+		if n := b.NumPoints(); n > maxPoints && n > 1 {
+			t.Fatalf("box %v has %d points, budget %d", b, n, maxPoints)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// coverage checks the emitted boxes tile the selection exactly: disjoint,
+// and their point count sums to NumSelected.
+func coverage(t *testing.T, space *Dataspace, boxes []grid.Box) {
+	t.Helper()
+	var total int64
+	for i, b := range boxes {
+		total += b.NumPoints()
+		for j := i + 1; j < len(boxes); j++ {
+			if b.Intersects(boxes[j]) {
+				t.Fatalf("boxes %v and %v overlap", b, boxes[j])
+			}
+		}
+	}
+	if total != space.NumSelected() {
+		t.Fatalf("boxes cover %d points, selection has %d", total, space.NumSelected())
+	}
+}
+
+func TestChunkIterEmptySelection(t *testing.T) {
+	s := NewSimple(10, 10)
+	s.SelectNone()
+	if _, ok := NewChunkIter(s, 8, 1024).Next(); ok {
+		t.Fatalf("empty selection emitted a box")
+	}
+}
+
+func TestChunkIterSelectionSmallerThanChunk(t *testing.T) {
+	s := NewSimple(100)
+	if err := s.SelectBox(SelectSet, grid.NewBox([]int64{10}, []int64{5})); err != nil {
+		t.Fatal(err)
+	}
+	boxes := collect(t, s, 8, 1<<20)
+	if len(boxes) != 1 {
+		t.Fatalf("small selection split into %d boxes, want 1", len(boxes))
+	}
+	coverage(t, s, boxes)
+}
+
+func TestChunkIterSplitsLargeBox(t *testing.T) {
+	s := NewSimple(64, 64)
+	// Whole extent, 4096 elements of 8 bytes = 32 KiB, budget 4 KiB.
+	boxes := collect(t, s, 8, 4096)
+	if len(boxes) < 8 {
+		t.Fatalf("expected >= 8 chunks, got %d", len(boxes))
+	}
+	coverage(t, s, boxes)
+}
+
+func TestChunkIterStridedCrossingChunkBoundaries(t *testing.T) {
+	s := NewSimple(32, 32)
+	// Non-contiguous stride-3 hyperslab: 2x2 blocks every 3 elements.
+	if err := s.SelectHyperslabStride(SelectSet,
+		[]int64{1, 1}, []int64{3, 3}, []int64{8, 8}, []int64{2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Budget of 3 points forces splits inside the 4-point blocks, so chunk
+	// boundaries land mid-block and between non-contiguous blocks.
+	boxes := collect(t, s, 1, 3)
+	if len(boxes) <= 64 {
+		t.Fatalf("expected splits beyond the 64 blocks, got %d boxes", len(boxes))
+	}
+	coverage(t, s, boxes)
+}
+
+func TestChunkIterDegenerateOneByteBudget(t *testing.T) {
+	s := NewSimple(4, 4)
+	// elemSize 8 > budget 1: every box is an unsplittable single element.
+	boxes := collect(t, s, 8, 1)
+	if len(boxes) != 16 {
+		t.Fatalf("one-byte budget emitted %d boxes, want 16 single elements", len(boxes))
+	}
+	for _, b := range boxes {
+		if b.NumPoints() != 1 {
+			t.Fatalf("degenerate budget emitted multi-point box %v", b)
+		}
+	}
+	coverage(t, s, boxes)
+}
+
+func TestChunkIterPointSelection(t *testing.T) {
+	s := NewSimple(10, 10)
+	if err := s.SelectPoints(SelectSet, [][]int64{{0, 0}, {3, 7}, {9, 9}}); err != nil {
+		t.Fatal(err)
+	}
+	boxes := collect(t, s, 4, 1024)
+	coverage(t, s, boxes)
+}

@@ -5,6 +5,17 @@ package h5
 // FileAccessProps, mirroring HDF5 1.12's VOL plugin architecture that
 // LowFive is built on. Connectors receive single-segment names; path
 // splitting on '/' happens in the API layer.
+//
+// Buffer ownership at the VOL boundary: the CALLER keeps ownership of every
+// []byte it passes down (Write, AttributeWrite). The API layer never makes
+// defensive copies; a connector that retains the bytes beyond the call —
+// storing an attribute in a tree, keeping a deep-copy triple — must copy at
+// its own retention point, and a connector that merely forwards or consumes
+// them (passthrough, serialization) must not. The one deliberate exception
+// is zero-copy dataset writes (MetadataVOL.SetZeroCopy), where the caller
+// explicitly extends its buffer's lifetime until the file's close serves
+// consumers. This is what lets the streaming data plane move dataset bytes
+// end to end with a single gather per hop instead of one copy per layer.
 
 // ObjectKind distinguishes the node types of the hierarchy.
 type ObjectKind uint8

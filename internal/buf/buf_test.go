@@ -1,0 +1,165 @@
+package buf
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGetReleaseRoundTrip(t *testing.T) {
+	p := NewPool(64, 4)
+	c := p.Get()
+	if len(c.Bytes()) != 64 {
+		t.Fatalf("chunk size = %d, want 64", len(c.Bytes()))
+	}
+	if p.Outstanding() != 1 {
+		t.Fatalf("outstanding = %d, want 1", p.Outstanding())
+	}
+	c.Release()
+	if p.Outstanding() != 0 {
+		t.Fatalf("outstanding after release = %d, want 0", p.Outstanding())
+	}
+	// The slab must be reusable: get again and check the pool didn't grow.
+	c2 := p.Get()
+	defer c2.Release()
+	if p.HighWater() != 1 {
+		t.Fatalf("high water = %d, want 1", p.HighWater())
+	}
+}
+
+func TestRetainDelaysRecycle(t *testing.T) {
+	p := NewPool(32, 2)
+	c := p.Get()
+	c.Retain()
+	c.Release()
+	if p.Outstanding() != 1 {
+		t.Fatalf("chunk recycled while a retain was held")
+	}
+	c.Release()
+	if p.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after final release", p.Outstanding())
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	p := NewPool(8, 1)
+	c := p.Get()
+	c.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("double release did not panic")
+		}
+	}()
+	c.Release()
+}
+
+func TestSliceReleaseByBasePointer(t *testing.T) {
+	p := NewPool(128, 4)
+	c := p.Get()
+	msg := c.Bytes()[:17] // what a receiver sees: slab prefix
+	Release(msg)
+	if p.Outstanding() != 0 {
+		t.Fatalf("Release(msg) did not resolve the chunk")
+	}
+	// Non-chunk slices are a no-op.
+	Release(make([]byte, 9))
+	Release(nil)
+}
+
+func TestSliceRetain(t *testing.T) {
+	p := NewPool(128, 4)
+	c := p.Get()
+	msg := c.Bytes()[:5]
+	if !Retain(msg) {
+		t.Fatalf("Retain(msg) did not find the chunk")
+	}
+	Release(msg)
+	if p.Outstanding() != 1 {
+		t.Fatalf("retained chunk was recycled")
+	}
+	c.Release()
+	if Retain(make([]byte, 3)) {
+		t.Fatalf("Retain claimed an unregistered slice")
+	}
+}
+
+func TestLimitBlocksThenOverflows(t *testing.T) {
+	p := NewPool(16, 1)
+	p.grace = 10 * time.Millisecond
+	c1 := p.Get()
+	start := time.Now()
+	c2 := p.Get() // at the limit: waits out grace, then falls back
+	if time.Since(start) < p.grace {
+		t.Fatalf("Get at the limit returned before the grace period")
+	}
+	if p.Overflow() != 1 {
+		t.Fatalf("overflow = %d, want 1", p.Overflow())
+	}
+	c2.Release()
+	c1.Release()
+	// After releases the pooled path works again without overflow.
+	c3 := p.Get()
+	c3.Release()
+	if p.Overflow() != 1 {
+		t.Fatalf("overflow grew on the healthy path")
+	}
+}
+
+func TestLimitUnblocksOnRelease(t *testing.T) {
+	p := NewPool(16, 1)
+	p.grace = 5 * time.Second // long enough that only a release can unblock
+	c1 := p.Get()
+	done := make(chan *Chunk)
+	go func() { done <- p.Get() }()
+	time.Sleep(5 * time.Millisecond)
+	c1.Release()
+	select {
+	case c2 := <-done:
+		c2.Release()
+	case <-time.After(2 * time.Second):
+		t.Fatalf("Get did not unblock on release")
+	}
+	if p.Overflow() != 0 {
+		t.Fatalf("overflow = %d on a release-unblocked get", p.Overflow())
+	}
+}
+
+func TestHighWaterTracksPeak(t *testing.T) {
+	p := NewPool(8, 8)
+	var cs []*Chunk
+	for i := 0; i < 5; i++ {
+		cs = append(cs, p.Get())
+	}
+	for _, c := range cs {
+		c.Release()
+	}
+	c := p.Get()
+	c.Release()
+	if p.HighWater() != 5 {
+		t.Fatalf("high water = %d, want 5", p.HighWater())
+	}
+}
+
+func TestConcurrentChurn(t *testing.T) {
+	p := NewPool(256, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c := p.Get()
+				msg := c.Bytes()[:1]
+				msg[0] = byte(i)
+				Release(msg)
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after churn", p.Outstanding())
+	}
+	if hw := p.HighWater(); hw > 8 {
+		t.Fatalf("high water = %d with limit 4 (grace overflow bound exceeded)", hw)
+	}
+}

@@ -1,0 +1,138 @@
+package buf
+
+import "encoding/binary"
+
+// Writer is a chunked scatter-gather sink: callers Grab contiguous byte
+// regions and fill them in place; whenever the current chunk cannot hold the
+// next region the filled frame is handed to the flush callback and a fresh
+// chunk is started. The first headroom bytes of every frame are reserved for
+// the transport's header, so framing never copies the payload.
+//
+// Ownership: each flushed frame is chunk-backed (or a plain one-off
+// allocation for regions larger than a chunk) and is handed off exactly once
+// — the receiver releases it via Release. The Writer never touches a frame
+// after flushing it.
+type Writer struct {
+	pool     *Pool
+	headroom int
+	onFlush  func(frame []byte)
+	cur      []byte // current frame backing: chunk slab or oversize plain alloc
+	used     int    // payload bytes written after the headroom
+}
+
+// NewWriter returns a Writer drawing chunks from pool (nil means Default),
+// reserving headroom bytes per frame, and emitting filled frames to onFlush.
+func NewWriter(pool *Pool, headroom int, onFlush func(frame []byte)) *Writer {
+	if pool == nil {
+		pool = Default
+	}
+	return &Writer{pool: pool, headroom: headroom, onFlush: onFlush}
+}
+
+// MaxGrab returns the largest region that fits a single pooled frame.
+// Larger grabs still work via a one-off plain allocation.
+func (w *Writer) MaxGrab() int { return w.pool.ChunkBytes() - w.headroom }
+
+// Grab returns an n-byte region of the current frame for the caller to fill
+// in place, flushing the previous frame first if n does not fit.
+func (w *Writer) Grab(n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	if w.cur != nil && w.headroom+w.used+n > len(w.cur) {
+		w.Flush()
+	}
+	if w.cur == nil {
+		if w.headroom+n > w.pool.ChunkBytes() {
+			// Oversize region (e.g. one element wider than the chunk knob):
+			// a plain single-region frame keeps the stream moving.
+			w.cur = make([]byte, w.headroom+n)
+		} else {
+			w.cur = w.pool.Get().Bytes()
+		}
+	}
+	r := w.cur[w.headroom+w.used : w.headroom+w.used+n]
+	w.used += n
+	return r
+}
+
+// Take detaches the pending frame (headroom plus filled payload) without
+// flushing it, or returns nil if nothing is pending.
+func (w *Writer) Take() []byte {
+	if w.cur == nil {
+		return nil
+	}
+	f := w.cur[:w.headroom+w.used]
+	w.cur, w.used = nil, 0
+	return f
+}
+
+// Flush emits the pending frame, if any, to the flush callback.
+func (w *Writer) Flush() {
+	if f := w.Take(); f != nil {
+		w.onFlush(f)
+	}
+}
+
+// Reader is a zero-copy cursor over a received frame payload. Span returns
+// sub-slices aliasing the frame, so everything read must be consumed (or
+// copied out) before the frame is Released.
+type Reader struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+// NewReader returns a cursor over b.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Len returns the number of unread bytes.
+func (r *Reader) Len() int { return len(r.b) - r.off }
+
+// OK reports whether every read so far was in bounds.
+func (r *Reader) OK() bool { return !r.bad }
+
+// U8 reads one byte.
+func (r *Reader) U8() byte {
+	if r.off+1 > len(r.b) {
+		r.bad = true
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	if r.off+4 > len(r.b) {
+		r.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+// I64 reads a little-endian int64.
+func (r *Reader) I64() int64 {
+	if r.off+8 > len(r.b) {
+		r.bad = true
+		return 0
+	}
+	v := int64(binary.LittleEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	return v
+}
+
+// Span returns the next n bytes without copying. The slice aliases the
+// frame and dies with it.
+func (r *Reader) Span(n int) []byte {
+	if n < 0 || r.off+n > len(r.b) {
+		r.bad = true
+		return nil
+	}
+	v := r.b[r.off : r.off+n : r.off+n]
+	r.off += n
+	return v
+}

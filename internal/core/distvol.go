@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"lowfive/h5"
+	"lowfive/internal/buf"
 	"lowfive/internal/grid"
 	"lowfive/internal/rpc"
 	"lowfive/mpi"
@@ -55,6 +56,17 @@ type DistMetadataVOL struct {
 	// means no replication. Producer and consumer must agree on the value.
 	ReplicationFactor int
 
+	// ChunkBytes is the frame size of streamed data responses. Zero uses
+	// the default (buf.DefaultChunkBytes, 1 MiB); other sizes draw from a
+	// process-wide pool shared by every vol configured with that size.
+	// Smaller chunks bound peak transport memory tighter at the cost of
+	// more per-frame overhead.
+	ChunkBytes int
+	// ChunkPool overrides the pool streamed frames are drawn from (mainly
+	// for tests asserting the pool's high-water mark). Takes precedence
+	// over ChunkBytes.
+	ChunkPool *buf.Pool
+
 	// serveMu serializes request handling when several intercommunicators
 	// are served concurrently (fan-out).
 	serveMu sync.Mutex
@@ -101,6 +113,8 @@ type ServeStats struct {
 	DoneMessages int64
 	// ParkedRequests counts requests deferred to a later serve session.
 	ParkedRequests int64
+	// ChunksServed is the number of stream frames sent for data queries.
+	ChunksServed int64
 }
 
 // QueryStats counts this rank's consumer-side query activity (Alg. 3) —
@@ -126,6 +140,9 @@ type QueryStats struct {
 	// FileFallbacks counts reads and opens that degraded to the parallel
 	// file system after the in-memory transport failed.
 	FileFallbacks int64
+	// ChunksFetched is the number of stream frames received for data
+	// queries.
+	ChunksFetched int64
 }
 
 type parkedReq struct {
@@ -558,6 +575,12 @@ func (v *DistMetadataVOL) serveLoop(s *icServer) {
 }
 
 func (v *DistMetadataVOL) processRequest(s *icServer, src int, seq uint64, req []byte) {
+	if len(req) > 0 && req[0] == opDataStream {
+		// Streamed responses write frames directly; they never park (a
+		// missing file streams empty, like the scalar zero-piece response).
+		v.serveDataStream(s, src, seq, req)
+		return
+	}
 	v.serveMu.Lock()
 	resp, isDone, file, park := v.handleRequest(req)
 	if park {
@@ -667,6 +690,8 @@ func opName(op uint8) string {
 		return "data"
 	case opDone:
 		return "done"
+	case opDataStream:
+		return "datastream"
 	default:
 		return "unknown"
 	}
@@ -905,9 +930,11 @@ func (d *distDataset) Write(_, _ *h5.Dataspace, _ []byte) error {
 	return fmt.Errorf("lowfive: remote dataset %q is read-only", d.node.Path())
 }
 
-// Read implements Algorithm 3: query the common-decomposition block owners
-// intersecting the selection's bounding box for redirects, then request the
-// data from each producer that has some, and assemble.
+// Read implements Algorithm 3 over the streaming data plane: query the
+// common-decomposition block owners intersecting the selection's bounding
+// box for redirects, then drain one bounded-chunk stream per producer that
+// has data, scattering each frame directly into the destination buffer —
+// no whole-selection attachment is ever materialized on either side.
 func (d *distDataset) Read(memSpace, fileSpace *h5.Dataspace, data []byte) error {
 	es := d.node.Type.Size
 	if fileSpace == nil {
@@ -919,7 +946,17 @@ func (d *distDataset) Read(memSpace, fileSpace *h5.Dataspace, data []byte) error
 	if tr != nil {
 		t0 = time.Now()
 	}
-	pieces, err := v.queryPieces(d.file.client, d.file.ic, d.file.name, d.node, fileSpace)
+	// With no memory-space mapping, frames scatter straight into the
+	// caller's buffer; otherwise they stage into one packed buffer that is
+	// scattered once at the end.
+	var dst []byte
+	staged := memSpace != nil
+	if staged {
+		dst = make([]byte, fileSpace.NumSelected()*int64(es))
+	} else {
+		dst = data[:fileSpace.NumSelected()*int64(es)]
+	}
+	err := v.queryStream(d.file.client, d.file.ic, d.file.name, d.node, fileSpace, dst)
 	if tr != nil {
 		tr.Span("core", "query", t0, time.Now(),
 			trace.Str("dataset", d.node.Path()),
@@ -929,7 +966,8 @@ func (d *distDataset) Read(memSpace, fileSpace *h5.Dataspace, data []byte) error
 		// The in-memory transport failed (a producer crashed, or retries
 		// ran dry). The data a crashed rank held exists nowhere else in
 		// memory — but if the producer also wrote the file to storage, the
-		// paper's file transport doubles as the recovery path.
+		// paper's file transport doubles as the recovery path. The fallback
+		// pieces cover the whole selection, overwriting any partial stream.
 		fp, ferr := v.fallbackPieces(d.file.name, d.node.Path(), fileSpace, es)
 		if ferr != nil {
 			return fmt.Errorf("lowfive: reading %q: %w (file fallback: %v)", d.node.Path(), err, ferr)
@@ -940,14 +978,11 @@ func (d *distDataset) Read(memSpace, fileSpace *h5.Dataspace, data []byte) error
 		if tr != nil {
 			tr.Instant("core", "query.file-fallback", trace.Str("dataset", d.node.Path()))
 		}
-		pieces = fp
+		AssemblePiecesInto(dst, fileSpace, fp, es)
 	}
-	if memSpace == nil {
-		AssemblePiecesInto(data[:fileSpace.NumSelected()*int64(es)], fileSpace, pieces, es)
-		return nil
+	if staged {
+		h5.ScatterSelected(data, memSpace, dst, es)
 	}
-	packed := AssemblePieces(fileSpace, pieces, es)
-	h5.ScatterSelected(data, memSpace, packed, es)
 	return nil
 }
 
@@ -960,61 +995,19 @@ func QueryPieces(client *rpc.Client, ic *mpi.Intercomm, file string, node *Node,
 // queryPieces is QueryPieces plus consumer-side stats accounting; the
 // receiver may be nil.
 func (v *DistMetadataVOL) queryPieces(client *rpc.Client, ic *mpi.Intercomm, file string, node *Node, fileSpace *h5.Dataspace) ([]Piece, error) {
-	n := ic.RemoteSize()
-	dc := grid.CommonDecomposition(node.Space.Dims(), n)
 	bb := fileSpace.Bounds()
 	if bb.IsEmpty() {
 		return nil, nil
-	}
-	path := node.Path()
-	repl := 1
-	if v != nil && v.ReplicationFactor > repl {
-		repl = v.ReplicationFactor
-	}
-	if repl > n {
-		repl = n
 	}
 	// Step 1: redirects from the owners of intersecting blocks. Requests to
 	// all owners are pipelined (posted as nonblocking sends) before any
 	// response is awaited. An owner that fails is retried on its replicas
 	// ((owner+k) mod n holds the same index entries when ReplicationFactor
 	// is set on both sides).
-	owners := dc.Intersecting(bb)
-	withData := map[int]bool{}
-	var order []int
-	t0 := time.Now()
-	boxReq := encodeBoxesReq(file, path, bb)
-	resps, err := client.CallAll(owners, boxReq)
+	order, boxWait, nOwners, err := v.queryOwners(client, ic, file, node, bb)
 	if err != nil {
-		if repl <= 1 {
-			return nil, err
-		}
-		if resps == nil {
-			resps = make([][]byte, len(owners))
-		}
-		for i := range owners {
-			if resps[i] != nil {
-				continue
-			}
-			resps[i], err = v.callReplicas(client, owners[i], repl, n, boxReq)
-			if err != nil {
-				return nil, err
-			}
-		}
+		return nil, err
 	}
-	for i, resp := range resps {
-		ranks, err := decodeBoxesResp(resp)
-		if err != nil {
-			return nil, fmt.Errorf("lowfive: redirect query %d: %w", i, err)
-		}
-		for _, r := range ranks {
-			if !withData[r] {
-				withData[r] = true
-				order = append(order, r)
-			}
-		}
-	}
-	boxWait := time.Since(t0)
 	// Step 2: request the data from each producer that has some, again
 	// pipelined. Data is held only by the rank that wrote it — no replica
 	// can answer for a crashed writer, so a failure here propagates and the
@@ -1022,7 +1015,7 @@ func (v *DistMetadataVOL) queryPieces(client *rpc.Client, ic *mpi.Intercomm, fil
 	var pieces []Piece
 	var dataBytes int64
 	t1 := time.Now()
-	dataResps, err := client.CallAll(order, encodeDataReq(file, path, fileSpace))
+	dataResps, err := client.CallAll(order, encodeDataReq(file, node.Path(), fileSpace))
 	if err != nil {
 		return nil, err
 	}
@@ -1036,7 +1029,7 @@ func (v *DistMetadataVOL) queryPieces(client *rpc.Client, ic *mpi.Intercomm, fil
 	}
 	if v != nil {
 		v.qmu.Lock()
-		v.qstats.BoxQueries += int64(len(owners))
+		v.qstats.BoxQueries += int64(nOwners)
 		v.qstats.DataQueries += int64(len(order))
 		v.qstats.BytesFetched += dataBytes
 		v.qstats.WaitTime += boxWait + time.Since(t1)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"path"
+	"strings"
 	"sync"
 
 	"lowfive/h5"
@@ -91,9 +92,21 @@ func (v *MetadataVOL) memoryOn(name string) bool { return lastMatch(v.memory, na
 // passthruOn reports whether the file is written through to the base.
 func (v *MetadataVOL) passthruOn(name string) bool { return lastMatch(v.passthru, name, false) }
 
+// matchDataset matches a pattern against a dataset path like
+// "/group1/grid". path.Match's `*` never crosses a separator, so a pattern
+// without one ("*", "grid*") is matched against the path's base name —
+// making SetZeroCopy("*", "*") cover datasets inside groups, as intended —
+// while a pattern containing a separator matches the full path.
+func matchDataset(pat, dsetPath string) bool {
+	if !strings.Contains(pat, "/") {
+		return matchPattern(pat, path.Base(dsetPath))
+	}
+	return matchPattern(pat, dsetPath)
+}
+
 func (v *MetadataVOL) zeroCopyOn(fileName, dsetPath string) bool {
 	for _, zp := range v.zeroCopy {
-		if matchPattern(zp.filePat, fileName) && matchPattern(zp.dsetPat, dsetPath) {
+		if matchPattern(zp.filePat, fileName) && matchDataset(zp.dsetPat, dsetPath) {
 			return true
 		}
 	}
@@ -329,7 +342,9 @@ func (o *metaObject) Delete(name string) error {
 
 func (o *metaObject) AttributeWrite(name string, dt *h5.Datatype, space *h5.Dataspace, data []byte) error {
 	if o.node != nil {
-		o.node.SetAttribute(&Attribute{Name: name, Type: dt, Space: space, Data: data})
+		// The VOL boundary contract says the caller keeps ownership of data;
+		// this connector retains attributes in the tree, so it copies here.
+		o.node.SetAttribute(&Attribute{Name: name, Type: dt, Space: space, Data: append([]byte(nil), data...)})
 	}
 	if o.base != nil {
 		return o.base.AttributeWrite(name, dt, space, data)
@@ -463,7 +478,9 @@ func (d *metaDataset) SetExtent(dims []int64) error {
 
 func (d *metaDataset) AttributeWrite(name string, dt *h5.Datatype, space *h5.Dataspace, data []byte) error {
 	if d.node != nil {
-		d.node.SetAttribute(&Attribute{Name: name, Type: dt, Space: space, Data: data})
+		// Caller keeps ownership of data (VOL boundary contract); the tree
+		// retains the attribute, so copy at the retention point.
+		d.node.SetAttribute(&Attribute{Name: name, Type: dt, Space: space, Data: append([]byte(nil), data...)})
 	}
 	if d.base != nil {
 		return d.base.AttributeWrite(name, dt, space, data)

@@ -12,10 +12,11 @@ import (
 // binary encoder.
 
 const (
-	opMetadata uint8 = iota + 1 // file metadata at open
-	opBoxes                     // Alg. 2 lines 4–8: which producers intersect a bbox
-	opData                      // Alg. 2 lines 9–14: serialize intersecting data
-	opDone                      // consumer finished with a file (no response)
+	opMetadata   uint8 = iota + 1 // file metadata at open
+	opBoxes                       // Alg. 2 lines 4–8: which producers intersect a bbox
+	opData                        // Alg. 2 lines 9–14: serialize intersecting data
+	opDone                        // consumer finished with a file (no response)
+	opDataStream                  // opData answered as a chunked frame stream
 )
 
 func encodeBox(e *h5.Encoder, b grid.Box) {
@@ -109,6 +110,17 @@ func decodeBoxesResp(buf []byte) ([]int, error) {
 func encodeDataReq(file, dset string, sel *h5.Dataspace) []byte {
 	e := &h5.Encoder{}
 	e.PutU8(opData)
+	e.PutString(file)
+	e.PutString(dset)
+	h5.EncodeDataspace(e, sel)
+	return e.Buf
+}
+
+// encodeDataStreamReq is encodeDataReq with the streaming opcode: the same
+// query, answered as a sequence of bounded frames instead of one body.
+func encodeDataStreamReq(file, dset string, sel *h5.Dataspace) []byte {
+	e := &h5.Encoder{}
+	e.PutU8(opDataStream)
 	e.PutString(file)
 	e.PutString(dset)
 	h5.EncodeDataspace(e, sel)

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"lowfive/h5"
+	"lowfive/internal/buf"
+	"lowfive/internal/grid"
+	"lowfive/internal/rpc"
+	"lowfive/mpi"
+	"lowfive/trace"
+)
+
+// Streamed data queries: the producer answers opDataStream by gathering the
+// query intersection of a dataset's triples directly into pooled frames (one
+// copy: triple storage → frame), and the consumer scatters each frame
+// straight into the read destination (one copy: frame → caller's buffer).
+// Peak transport memory is bounded by the producer's chunk pool, not by the
+// selection size, and the consumer starts placing chunk k while chunk k+1 is
+// still in flight.
+//
+// Frame payloads hold whole segments, each one rectangular fragment:
+//
+//	[dim i64][min,max i64 per dim][byteLen i64][bytes]
+//
+// Segment order preserves triple order, so overlapping writes keep their
+// overwrite semantics at the consumer exactly as in the scalar opData path.
+
+// StreamRegions sends the query intersection of a dataset's triples over a
+// response stream, splitting each intersection region into sub-boxes that
+// fit one frame. It is EncodeRegions without the flat buffer: bytes move
+// once, from the stored triples into pooled frames.
+func (n *Node) StreamRegions(st *rpc.Stream, query *h5.Dataspace) error {
+	if n.Kind != h5.KindDataset {
+		return fmt.Errorf("lowfive: extract from non-dataset %q", n.Name)
+	}
+	es := int64(n.Type.Size)
+	qBoxes := query.SelectionBoxes()
+	for _, tr := range n.Triples {
+		var packed []byte // fetched lazily: only if some region intersects
+		triBase := int64(0)
+		for _, tb := range tr.FileSpace.SelectionBoxes() {
+			for _, qb := range qBoxes {
+				region := tb.Intersect(qb)
+				if region.IsEmpty() {
+					continue
+				}
+				if packed == nil {
+					packed = tr.PackedData(int(es))
+				}
+				hdr := 8 + 16*region.Dim() + 8
+				it := h5.NewChunkIterBoxes([]grid.Box{region}, es, st.MaxSegment()-hdr)
+				for {
+					sub, ok := it.Next()
+					if !ok {
+						break
+					}
+					segBytes := sub.NumPoints() * es
+					dst := st.Grab(hdr + int(segBytes))
+					// Encode the segment in place: the appends land inside
+					// the grabbed region (capacity capped to its length).
+					e := &h5.Encoder{Buf: dst[:0:len(dst)]}
+					encodeBox(e, sub)
+					e.PutI64(segBytes)
+					e.Buf = grid.GatherRegion(e.Buf, packed[triBase*es:], tb, sub, int(es))
+				}
+			}
+			triBase += tb.NumPoints()
+		}
+	}
+	return nil
+}
+
+// serveDataStream answers one opDataStream request. A file or dataset this
+// rank does not have yields an empty stream (mirroring the scalar path's
+// zero-piece response); the consumer's other producers hold the data.
+func (v *DistMetadataVOL) serveDataStream(s *icServer, src int, seq uint64, req []byte) {
+	v.serveMu.Lock()
+	defer v.serveMu.Unlock()
+	d := &h5.Decoder{Buf: req}
+	_ = d.U8()
+	file := d.String()
+	dset := d.String()
+	sel := h5.DecodeDataspace(d)
+	var t0 time.Time
+	tr := v.track()
+	if tr != nil {
+		t0 = time.Now()
+	}
+	st := s.srv.NewStream(src, seq, v.chunkPool())
+	if d.Err == nil && sel != nil {
+		if fn, ok := v.File(file); ok {
+			if node, err := fn.Resolve(dset); err == nil {
+				// An error mid-stream leaves a short stream; the consumer's
+				// decoder rejects a truncated segment and falls back.
+				_ = node.StreamRegions(st, sel)
+			}
+		}
+	}
+	st.Close()
+	v.stats.DataQueries++
+	v.stats.BytesServed += st.Bytes()
+	v.stats.ChunksServed += int64(st.Frames())
+	if tr != nil {
+		tr.Span("core", "serve.datastream", t0, time.Now(),
+			trace.Str("file", file), trace.I64("bytes", st.Bytes()),
+			trace.I64("chunks", int64(st.Frames())))
+	}
+}
+
+// chunkPool returns the pool streamed responses draw frames from: the
+// explicit override, or the process-wide shared pool for the configured
+// chunk size — shared so many producer vols keep one global bound on
+// in-flight frames instead of one bound each.
+func (v *DistMetadataVOL) chunkPool() *buf.Pool {
+	if v.ChunkPool != nil {
+		return v.ChunkPool
+	}
+	return buf.SharedPool(v.ChunkBytes)
+}
+
+// streamTarget scatters stream segments directly into a packed destination
+// covering fileSel — the consumer half of the single-copy path.
+type streamTarget struct {
+	dst   []byte
+	boxes []grid.Box // fileSel's selection boxes
+	bases []int64    // running element offset of each box in dst
+	es    int
+}
+
+func newStreamTarget(dst []byte, fileSel *h5.Dataspace, es int) *streamTarget {
+	t := &streamTarget{dst: dst, boxes: fileSel.SelectionBoxes(), es: es}
+	t.bases = make([]int64, len(t.boxes))
+	base := int64(0)
+	for i, b := range t.boxes {
+		t.bases[i] = base
+		base += b.NumPoints()
+	}
+	return t
+}
+
+// consume scatters every segment of one frame payload into the destination.
+// The payload is released by the caller right after consume returns, so all
+// bytes are copied out here.
+func (t *streamTarget) consume(payload []byte) error {
+	r := buf.NewReader(payload)
+	for r.Len() > 0 {
+		nd := r.I64()
+		if !r.OK() || nd < 0 || nd > 64 {
+			return fmt.Errorf("lowfive: corrupt stream segment rank %d", nd)
+		}
+		box := grid.Box{Min: make([]int64, nd), Max: make([]int64, nd)}
+		for k := int64(0); k < nd; k++ {
+			box.Min[k] = r.I64()
+			box.Max[k] = r.I64()
+		}
+		n := r.I64()
+		if !r.OK() || n != box.NumPoints()*int64(t.es) {
+			return fmt.Errorf("lowfive: stream segment length %d does not match its box", n)
+		}
+		data := r.Span(int(n))
+		if !r.OK() {
+			return fmt.Errorf("lowfive: truncated stream segment")
+		}
+		for i, rb := range t.boxes {
+			region := box.Intersect(rb)
+			if region.IsEmpty() {
+				continue
+			}
+			grid.CopyRegion(t.dst[t.bases[i]*int64(t.es):], rb, data, box, region, t.es)
+		}
+	}
+	return nil
+}
+
+// streamWindow is how many streams a consumer requests ahead of the one it
+// is draining. Enough look-ahead that producer k+1 fills frames while
+// frames from producer k are being placed; small enough that frames parked
+// in mailboxes for not-yet-drained streams cannot hoard the chunk pool and
+// starve the stream at the drain cursor.
+const streamWindow = 2
+
+// queryStream runs Algorithm 3 with a streamed data step: redirect queries
+// as before, then one stream per producer holding data, drained in producer
+// order with each frame scattered straight into dst (packed over fileSpace).
+// Streams are requested a sliding window ahead of the drain cursor.
+func (v *DistMetadataVOL) queryStream(client *rpc.Client, ic *mpi.Intercomm, file string, node *Node, fileSpace *h5.Dataspace, dst []byte) error {
+	es := node.Type.Size
+	bb := fileSpace.Bounds()
+	if bb.IsEmpty() {
+		return nil
+	}
+	order, boxWait, nOwners, err := v.queryOwners(client, ic, file, node, bb)
+	if err != nil {
+		return err
+	}
+	target := newStreamTarget(dst, fileSpace, es)
+	req := encodeDataStreamReq(file, node.Path(), fileSpace)
+	t1 := time.Now()
+	calls := make([]*rpc.StreamCall, len(order))
+	started := 0
+	startThrough := func(n int) {
+		for ; started < n && started < len(order); started++ {
+			calls[started] = client.StartStream(order[started], req)
+		}
+	}
+	startThrough(streamWindow)
+	var chunks, dataBytes int64
+	for i, sc := range calls {
+		err := sc.Drain(func(payload []byte) error {
+			chunks++
+			dataBytes += int64(len(payload))
+			return target.consume(payload)
+		})
+		if err != nil {
+			return fmt.Errorf("lowfive: data stream from producer %d: %w", order[i], err)
+		}
+		startThrough(i + 1 + streamWindow)
+	}
+	v.qmu.Lock()
+	v.qstats.BoxQueries += int64(nOwners)
+	v.qstats.DataQueries += int64(len(order))
+	v.qstats.BytesFetched += dataBytes
+	v.qstats.ChunksFetched += chunks
+	v.qstats.WaitTime += boxWait + time.Since(t1)
+	v.qmu.Unlock()
+	return nil
+}
+
+// queryOwners is step 1 of Algorithm 3: ask the owners of the intersecting
+// common-decomposition blocks which producer ranks hold data, with replica
+// failover. Shared by the scalar and streamed data paths; v may be nil (no
+// stats, no replication).
+func (v *DistMetadataVOL) queryOwners(client *rpc.Client, ic *mpi.Intercomm, file string, node *Node, bb grid.Box) (order []int, boxWait time.Duration, nOwners int, err error) {
+	n := ic.RemoteSize()
+	dc := grid.CommonDecomposition(node.Space.Dims(), n)
+	path := node.Path()
+	repl := 1
+	if v != nil && v.ReplicationFactor > repl {
+		repl = v.ReplicationFactor
+	}
+	if repl > n {
+		repl = n
+	}
+	owners := dc.Intersecting(bb)
+	withData := map[int]bool{}
+	t0 := time.Now()
+	boxReq := encodeBoxesReq(file, path, bb)
+	resps, err := client.CallAll(owners, boxReq)
+	if err != nil {
+		if repl <= 1 {
+			return nil, 0, len(owners), err
+		}
+		if resps == nil {
+			resps = make([][]byte, len(owners))
+		}
+		for i := range owners {
+			if resps[i] != nil {
+				continue
+			}
+			resps[i], err = v.callReplicas(client, owners[i], repl, n, boxReq)
+			if err != nil {
+				return nil, 0, len(owners), err
+			}
+		}
+	}
+	for i, resp := range resps {
+		ranks, derr := decodeBoxesResp(resp)
+		if derr != nil {
+			return nil, 0, len(owners), fmt.Errorf("lowfive: redirect query %d: %w", i, derr)
+		}
+		for _, r := range ranks {
+			if !withData[r] {
+				withData[r] = true
+				order = append(order, r)
+			}
+		}
+	}
+	return order, time.Since(t0), len(owners), nil
+}

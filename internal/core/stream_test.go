@@ -1,0 +1,120 @@
+package core_test
+
+import (
+	"testing"
+
+	"lowfive/h5"
+	"lowfive/internal/buf"
+	"lowfive/internal/core"
+	"lowfive/mpi"
+)
+
+// TestStreamBoundedBuffering is the data-plane acceptance test: a dataset
+// far larger than the configured chunk size streams end to end while the
+// producer's transport buffering stays bounded by the pool limit, measured
+// by the pool's high-water mark.
+func TestStreamBoundedBuffering(t *testing.T) {
+	const (
+		chunkBytes = 4 << 10
+		poolLimit  = 4
+	)
+	dims := []int64{128, 64} // 64 KiB of u64 >> one 4 KiB chunk
+	pool := buf.NewPool(chunkBytes, poolLimit)
+	err := mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "prod", Procs: 1, Main: func(p *mpi.Proc) {
+			vol := core.NewDistMetadataVOL(p.Task, nil)
+			vol.SetIntercomm("*", p.Intercomm("cons"))
+			vol.ChunkPool = pool
+			produceGrid(t, p, h5.NewFileAccessProps(vol), "big.h5", dims)
+			if st := vol.Stats(); st.ChunksServed < 8 {
+				t.Errorf("chunks served %d, want a multi-frame stream", st.ChunksServed)
+			}
+			if hw := pool.HighWater(); hw > poolLimit {
+				t.Errorf("pool high water %d exceeds limit %d", hw, poolLimit)
+			}
+			if of := pool.Overflow(); of != 0 {
+				t.Errorf("pool overflowed %d times; buffering was not bounded", of)
+			}
+			if out := pool.Outstanding(); out != 0 {
+				t.Errorf("%d chunks leaked", out)
+			}
+		}},
+		{Name: "cons", Procs: 1, Main: func(p *mpi.Proc) {
+			vol := core.NewDistMetadataVOL(p.Task, nil)
+			vol.SetIntercomm("*", p.Intercomm("prod"))
+			fapl := h5.NewFileAccessProps(vol)
+			consumeGridColumns(t, p, fapl, "big.h5", dims)
+			qs := vol.QueryStats()
+			if qs.ChunksFetched < 8 {
+				t.Errorf("chunks fetched %d, want a multi-frame stream", qs.ChunksFetched)
+			}
+			if qs.BytesFetched < int64(dims[0]*dims[1]*8) {
+				t.Errorf("bytes fetched %d, want at least %d", qs.BytesFetched, dims[0]*dims[1]*8)
+			}
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamSmallChunksManyRanks exercises the streamed path with frames
+// crossing triple and box boundaries: several producers, several consumers,
+// chunks so small every region splits into many segments.
+func TestStreamSmallChunksManyRanks(t *testing.T) {
+	dims := []int64{12, 10}
+	err := mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "prod", Procs: 3, Main: func(p *mpi.Proc) {
+			vol := core.NewDistMetadataVOL(p.Task, nil)
+			vol.SetIntercomm("*", p.Intercomm("cons"))
+			vol.ChunkBytes = 256 // a few elements per frame
+			produceGrid(t, p, h5.NewFileAccessProps(vol), "tiny.h5", dims)
+		}},
+		{Name: "cons", Procs: 2, Main: func(p *mpi.Proc) {
+			consumeGridColumns(t, p, distFapl(p, "prod"), "tiny.h5", dims)
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZeroCopyGroupedDataset pins the dataset-pattern fix: SetZeroCopy("*",
+// "*") must cover datasets inside groups (paths like /group1/grid), so a
+// zero-copy write is shallow — mutating the caller's buffer afterwards is
+// visible on read-back.
+func TestZeroCopyGroupedDataset(t *testing.T) {
+	vol := core.NewMetadataVOL(nil)
+	vol.SetZeroCopy("*", "*")
+	f, err := h5.CreateFile("zcg.h5", h5.NewFileAccessProps(vol))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := f.CreateGroup("group1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := g.CreateDataset("grid", h5.U64, h5.NewSimple(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]uint64, 8)
+	if err := ds.Write(nil, nil, h5.Bytes(vals)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		vals[i] = uint64(100 + i) // mutate after the write
+	}
+	out := make([]uint64, 8)
+	if err := ds.Read(nil, nil, h5.Bytes(out)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if out[i] != uint64(100+i) {
+			t.Fatalf("out[%d]=%d: zero-copy write was deep-copied for a grouped dataset", i, out[i])
+		}
+	}
+	ds.Close()
+	g.Close()
+	f.Close()
+}

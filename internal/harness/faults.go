@@ -86,6 +86,7 @@ func (c Config) faultExchange(spec workload.Spec, plan *mpi.FaultPlan) (float64,
 		qstats.WaitTime += qs.WaitTime
 		qstats.Failovers += qs.Failovers
 		qstats.FileFallbacks += qs.FileFallbacks
+		qstats.ChunksFetched += qs.ChunksFetched
 		qmu.Unlock()
 	}
 	opts := append(c.mpiOpts(), mpi.WithWatchdog(faultWatchdog))
@@ -101,6 +102,7 @@ func (c Config) faultExchange(spec workload.Spec, plan *mpi.FaultPlan) (float64,
 			// target for data that dies with a crashed rank.
 			vol.SetPassthru("*", true)
 			vol.ReplicationFactor = faultReplication
+			vol.ChunkBytes = c.ChunkBytes
 			fapl := h5.NewFileAccessProps(vol)
 			p.World.Barrier()
 			rec.Start()
@@ -185,6 +187,18 @@ func DefaultFaultCases(seed int64) []FaultCase {
 			{Action: mpi.FaultDrop, Rank: mpi.AnyRank, Tag: rpc.TagRequest, Count: 2},
 			{Action: mpi.FaultDuplicate, Rank: mpi.AnyRank, Tag: rpc.TagRequest, Count: 2},
 			{Action: mpi.FaultCorrupt, Rank: mpi.AnyRank, Tag: rpc.TagResponse, Count: 2},
+		}}},
+		// The stream-chunk cases arm after several responses have passed,
+		// so with a multi-frame stream (small Config.ChunkBytes) they hit a
+		// data frame in the middle of a stream rather than the scalar
+		// metadata/box responses that precede it. Recovery is the stream
+		// retry contract: the consumer's per-frame timeout resends the
+		// request and the producer re-streams from frame 0.
+		{Name: "drop-stream-chunk", Plan: mpi.FaultPlan{Seed: seed, Rules: []mpi.FaultRule{
+			{Action: mpi.FaultDrop, Rank: mpi.AnyRank, Tag: rpc.TagResponse, After: 4, Count: 2},
+		}}},
+		{Name: "corrupt-stream-chunk", Plan: mpi.FaultPlan{Seed: seed, Rules: []mpi.FaultRule{
+			{Action: mpi.FaultCorrupt, Rank: mpi.AnyRank, Tag: rpc.TagResponse, After: 5, Count: 2},
 		}}},
 		{Name: "crash-producer-0", Degraded: true, Plan: mpi.FaultPlan{Seed: seed, Rules: []mpi.FaultRule{
 			// World rank 0 is producer task rank 0 (tasks are laid out in

@@ -17,25 +17,35 @@ func faultSpec(t *testing.T) workload.Spec {
 
 func TestFaultTrialSweepBitIdentical(t *testing.T) {
 	// The acceptance sweep: drops, duplication, corruption, delay, a mixed
-	// lossy plan, and a producer-rank crash — every case must deliver the
-	// consumers bit-identical data via retries, replica failover and the
-	// file-transport fallback.
+	// lossy plan, mid-stream chunk loss/corruption, and a producer-rank
+	// crash — every case must deliver the consumers bit-identical data via
+	// retries, replica failover and the file-transport fallback. Small
+	// chunks make every data response a multi-frame stream, so the
+	// *-stream-chunk cases really perturb a frame in the middle of one.
 	c := QuickConfig()
+	c.ChunkBytes = 2 << 10
 	spec := faultSpec(t)
-	results, err := c.FaultSweep(spec, DefaultFaultCases(20240817))
+	cases := DefaultFaultCases(20240817)
+	results, err := c.FaultSweep(spec, cases)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) == 0 {
-		t.Fatal("sweep produced no results")
+	if len(results) != len(cases) {
+		t.Fatalf("sweep produced %d results for %d cases", len(results), len(cases))
 	}
-	for _, r := range results {
+	for i, r := range results {
 		if r.Err != nil {
 			t.Errorf("case %s: %v", r.Name, r.Err)
 			continue
 		}
 		if !r.Identical {
 			t.Errorf("case %s: consumer data differs from the fault-free baseline", r.Name)
+		}
+		// Degraded (crash) cases may recover everything over the file
+		// transport and issue no in-situ data queries at all.
+		if !cases[i].Degraded && r.Query.ChunksFetched <= r.Query.DataQueries {
+			t.Errorf("case %s: %d chunks over %d data queries — streams were not multi-frame",
+				r.Name, r.Query.ChunksFetched, r.Query.DataQueries)
 		}
 	}
 }

@@ -40,6 +40,11 @@ type Config struct {
 	NetBeta  float64
 	// FS configures the simulated parallel file system for file-mode runs.
 	FS pfs.Options
+	// ChunkBytes is the frame size of the streamed data plane in every
+	// trial's producer VOLs; zero keeps the transport default (1 MiB).
+	// Small values force multi-frame streams, which the fault sweep uses
+	// to hit mid-stream chunks.
+	ChunkBytes int
 	// Verbose prints each trial as it completes.
 	Verbose bool
 	// Log receives progress output when Verbose is set.

@@ -47,6 +47,7 @@ func (c Config) Profile(tr *trace.Tracer, spec workload.Spec) (ProfileStats, err
 			vol := core.NewDistMetadataVOL(p.Task, native.New(native.PFSBackend(fs)))
 			vol.SetIntercomm("*", p.Intercomm("consumer"))
 			vol.SetPassthru("*", true)
+			vol.ChunkBytes = c.ChunkBytes
 			fapl := h5.NewFileAccessProps(h5.NewTracingVOL(vol, p.Task.Track()))
 			p.World.Barrier()
 			f, err := h5.CreateFile("synthetic.h5", fapl)
@@ -65,6 +66,7 @@ func (c Config) Profile(tr *trace.Tracer, spec workload.Spec) (ProfileStats, err
 			stats.Serve.BytesServed += s.BytesServed
 			stats.Serve.DoneMessages += s.DoneMessages
 			stats.Serve.ParkedRequests += s.ParkedRequests
+			stats.Serve.ChunksServed += s.ChunksServed
 			mu.Unlock()
 		}},
 		{Name: "consumer", Procs: spec.Consumers, Main: func(p *mpi.Proc) {
@@ -91,6 +93,7 @@ func (c Config) Profile(tr *trace.Tracer, spec workload.Spec) (ProfileStats, err
 			stats.Query.DataQueries += q.DataQueries
 			stats.Query.BytesFetched += q.BytesFetched
 			stats.Query.WaitTime += q.WaitTime
+			stats.Query.ChunksFetched += q.ChunksFetched
 			mu.Unlock()
 		}},
 	}, opts...)

@@ -58,6 +58,7 @@ func (c Config) trialLowFiveMemory(spec workload.Spec) (float64, error) {
 			// ("LowFive ... does not allocate additional memory for indexing
 			// and serving data"), i.e. shallow copies.
 			vol.SetZeroCopy("*", "*")
+			vol.ChunkBytes = c.ChunkBytes
 			fapl := h5.NewFileAccessProps(vol)
 			p.World.Barrier()
 			rec.Start()

@@ -251,7 +251,9 @@ func (o *object) Delete(name string) error {
 }
 
 func (o *object) AttributeWrite(name string, dt *h5.Datatype, space *h5.Dataspace, data []byte) error {
-	o.node.SetAttribute(&core.Attribute{Name: name, Type: dt, Space: space, Data: data})
+	// The tree retains the attribute until the metadata flush; the caller
+	// keeps ownership of data (VOL contract), so copy here.
+	o.node.SetAttribute(&core.Attribute{Name: name, Type: dt, Space: space, Data: append([]byte(nil), data...)})
 	o.f.dirty = true
 	return nil
 }
@@ -385,7 +387,8 @@ func (d *dataset) SetExtent(dims []int64) error {
 }
 
 func (d *dataset) AttributeWrite(name string, dt *h5.Datatype, space *h5.Dataspace, data []byte) error {
-	d.node.SetAttribute(&core.Attribute{Name: name, Type: dt, Space: space, Data: data})
+	// Copy at the retention point: the caller keeps ownership of data.
+	d.node.SetAttribute(&core.Attribute{Name: name, Type: dt, Space: space, Data: append([]byte(nil), data...)})
 	d.f.dirty = true
 	return nil
 }

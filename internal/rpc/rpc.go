@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"lowfive/internal/buf"
 	"lowfive/internal/spin"
 	"lowfive/mpi"
 )
@@ -187,6 +188,9 @@ func (c *Client) await(dest int, seq uint64, req []byte) (resp []byte, err error
 			if ok && rseq == seq {
 				return body, nil
 			}
+			// Stale or corrupt — possibly a pooled frame from an abandoned
+			// stream; recycle it.
+			buf.Release(msg)
 		}
 	}
 	backoff := c.Backoff
@@ -202,6 +206,7 @@ func (c *Client) await(dest int, seq uint64, req []byte) (resp []byte, err error
 			if ok && rseq == seq {
 				return body, nil
 			}
+			buf.Release(msg)
 		}
 		if attempt >= c.Retries {
 			return nil, &CallError{Dest: dest, Err: &TimeoutError{Dest: dest, Timeout: c.Timeout}}

@@ -1,0 +1,225 @@
+// Streaming call mode: a response too large (or too useful to pipeline) to
+// travel as one sealed body is framed as a sequence of bounded chunks under
+// the same seq+CRC envelope the scalar calls use. The server writes frame
+// headers into pooled buffers in place (no re-buffering of the body), the
+// client consumes frames in order and releases each one back to its pool,
+// so peak transport memory is O(frames in flight) instead of O(response).
+//
+// A frame is a sealed envelope whose body begins with a frame index and a
+// flags byte:
+//
+//	[seq 8][crc32 4][idx 4][flags 1][payload]
+//
+// The CRC covers idx+flags+payload, so the existing corrupt-discard logic
+// applies unchanged. Recovery reuses the scalar retry contract: if a frame
+// is lost or corrupted the client times out and resends the request (same
+// seq); the server forgets a stream's seq as soon as its last frame is sent,
+// so the retry re-dispatches the handler, which re-streams from frame 0 and
+// the client discards every index it has already consumed.
+package rpc
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"time"
+
+	"lowfive/internal/buf"
+	"lowfive/internal/spin"
+	"lowfive/mpi"
+)
+
+const (
+	// FrameOverhead is the per-frame header: the seal envelope (seq+CRC)
+	// plus the frame index and flags.
+	FrameOverhead = headerLen + 5
+
+	flagLast = 1 << 0
+)
+
+// Stream is the server-side sender of one streamed response. Handlers Grab
+// contiguous regions, fill them in place, and Close; framing and flushing
+// are automatic. Close sends the final frame (flagged last, possibly empty)
+// and forgets the request's dedup entry so a client retry re-dispatches.
+type Stream struct {
+	srv    *Server
+	src    int
+	seq    uint64
+	idx    uint32
+	w      *buf.Writer
+	frames int
+	bytes  int64
+}
+
+// NewStream starts a streamed response to the (src, seq) request previously
+// obtained from Recv. pool nil uses buf.Default.
+func (s *Server) NewStream(src int, seq uint64, pool *buf.Pool) *Stream {
+	st := &Stream{srv: s, src: src, seq: seq}
+	st.w = buf.NewWriter(pool, FrameOverhead, func(frame []byte) { st.send(frame, false) })
+	return st
+}
+
+// MaxSegment returns the largest Grab that still fits a pooled frame.
+func (st *Stream) MaxSegment() int { return st.w.MaxGrab() }
+
+// Grab returns an n-byte region of the current frame for the handler to
+// fill in place; a full frame is sent before a fresh one is started.
+func (st *Stream) Grab(n int) []byte { return st.w.Grab(n) }
+
+// Close sends the pending data as the stream's last frame (an empty last
+// frame if nothing is pending) and releases the request's dedup entry.
+func (st *Stream) Close() {
+	frame := st.w.Take()
+	if frame == nil {
+		frame = make([]byte, FrameOverhead)
+	}
+	st.send(frame, true)
+	st.srv.Forget(st.src, st.seq)
+}
+
+// Frames returns how many frames were sent, Bytes the payload bytes.
+func (st *Stream) Frames() int { return st.frames }
+
+// Bytes returns the total payload bytes sent.
+func (st *Stream) Bytes() int64 { return st.bytes }
+
+// send seals one frame in place and hands it to the transport. Ownership of
+// the frame transfers with the send: the receiver releases it.
+func (st *Stream) send(frame []byte, last bool) {
+	binary.LittleEndian.PutUint64(frame[0:], st.seq)
+	binary.LittleEndian.PutUint32(frame[headerLen:], st.idx)
+	var flags byte
+	if last {
+		flags |= flagLast
+	}
+	frame[headerLen+4] = flags
+	binary.LittleEndian.PutUint32(frame[8:], crc32.ChecksumIEEE(frame[headerLen:]))
+	st.srv.IC.Send(st.src, tagResponse, frame)
+	st.idx++
+	st.frames++
+	st.bytes += int64(len(frame) - FrameOverhead)
+}
+
+// Forget drops the dedup entry for (src, seq) so a duplicate or retried
+// request re-dispatches the handler instead of being swallowed. Streamed
+// responses cannot be replayed from cache, so re-dispatch is their replay.
+func (s *Server) Forget(src int, seq uint64) {
+	s.mu.Lock()
+	if m := s.seen[src]; m != nil {
+		delete(m, seq)
+	}
+	s.mu.Unlock()
+}
+
+// StreamCall is the client side of one streamed response.
+type StreamCall struct {
+	c    *Client
+	dest int
+	seq  uint64
+	req  []byte
+	next uint32
+}
+
+// StartStream sends req to dest and returns the handle to drain the framed
+// response. The request body must stay valid until Drain returns (it is
+// resent on retry).
+func (c *Client) StartStream(dest int, req []byte) *StreamCall {
+	seq := c.nextSeq()
+	c.IC.Send(dest, tagRequest, seal(seq, req))
+	return &StreamCall{c: c, dest: dest, seq: seq, req: req}
+}
+
+// Drain receives the stream's frames in order, invoking onFrame with each
+// payload. The payload aliases a pooled buffer that is released when
+// onFrame returns, so onFrame must consume (scatter/copy) it before
+// returning. An onFrame error aborts the drain and is returned.
+//
+// Loss recovery mirrors Call: with a Timeout configured, a silent gap
+// resends the request (same seq) and the server re-streams from frame 0;
+// already-consumed indices are discarded. A crashed peer returns a
+// *CallError wrapping mpi.RankFailedError.
+func (sc *StreamCall) Drain(onFrame func(payload []byte) error) (err error) {
+	c := sc.c
+	defer func() {
+		if r := recover(); r != nil {
+			if rf, ok := r.(*mpi.RankFailedError); ok {
+				err = &CallError{Dest: sc.dest, Err: rf}
+				return
+			}
+			panic(r)
+		}
+	}()
+	if c.Timeout <= 0 {
+		// Fail-stop mode: the transport delivers in order and never drops,
+		// so block per frame until the last flag.
+		for {
+			msg, _ := c.IC.Recv(sc.dest, tagResponse)
+			payload, last, ok := sc.accept(msg)
+			if !ok {
+				continue
+			}
+			ferr := onFrame(payload)
+			buf.Release(msg)
+			if ferr != nil {
+				return ferr
+			}
+			if last {
+				return nil
+			}
+		}
+	}
+	backoff := c.Backoff
+	for attempt := 0; ; attempt++ {
+		deadline := time.Now().Add(c.Timeout)
+		for time.Now().Before(deadline) {
+			msg, _, got := c.IC.TryRecv(sc.dest, tagResponse)
+			if !got {
+				spin.Wait(pollInterval)
+				continue
+			}
+			payload, last, ok := sc.accept(msg)
+			if !ok {
+				continue
+			}
+			ferr := onFrame(payload)
+			buf.Release(msg)
+			if ferr != nil {
+				return ferr
+			}
+			if last {
+				return nil
+			}
+			// Progress: each accepted frame refreshes the deadline and the
+			// retry budget.
+			deadline = time.Now().Add(c.Timeout)
+			attempt = 0
+			backoff = c.Backoff
+		}
+		if attempt >= c.Retries {
+			return &CallError{Dest: sc.dest, Err: &TimeoutError{Dest: sc.dest, Timeout: c.Timeout}}
+		}
+		if backoff > 0 {
+			spin.Wait(backoff)
+			backoff *= 2
+		}
+		c.IC.Send(sc.dest, tagRequest, seal(sc.seq, sc.req))
+	}
+}
+
+// accept validates one received message against the stream: envelope CRC,
+// sequence number, and the exact next frame index. Anything else — corrupt,
+// stale seq, an already-consumed index from a re-stream, or a gapped index
+// after a loss — is discarded and released; retry recovers the gap.
+func (sc *StreamCall) accept(msg []byte) (payload []byte, last bool, ok bool) {
+	rseq, body, ok := unseal(msg)
+	if !ok || rseq != sc.seq || len(body) < 5 {
+		buf.Release(msg)
+		return nil, false, false
+	}
+	idx := binary.LittleEndian.Uint32(body[0:4])
+	if idx != sc.next {
+		buf.Release(msg)
+		return nil, false, false
+	}
+	sc.next++
+	return body[5:], body[4]&flagLast != 0, true
+}

@@ -1,0 +1,208 @@
+package rpc
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"lowfive/internal/buf"
+	"lowfive/mpi"
+)
+
+// streamServer answers n requests, streaming back `reps` repetitions of a
+// deterministic payload pattern in grabs of grabSize bytes.
+func streamServer(p *mpi.Proc, pool *buf.Pool, n, reps, grabSize int) {
+	s := &Server{IC: p.Intercomm("client")}
+	for i := 0; i < n; i++ {
+		src, seq, _ := s.Recv()
+		st := s.NewStream(src, seq, pool)
+		for r := 0; r < reps; r++ {
+			region := st.Grab(grabSize)
+			for j := range region {
+				region[j] = byte(r + j)
+			}
+		}
+		st.Close()
+	}
+}
+
+func wantStream(reps, grabSize int) []byte {
+	var w bytes.Buffer
+	for r := 0; r < reps; r++ {
+		for j := 0; j < grabSize; j++ {
+			w.WriteByte(byte(r + j))
+		}
+	}
+	return w.Bytes()
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	// 64 KiB of payload through 4 KiB chunks: many frames, no rebuffering.
+	pool := buf.NewPool(4096, 8)
+	const reps, grab = 64, 1024
+	err := mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "client", Procs: 1, Main: func(p *mpi.Proc) {
+			c := &Client{IC: p.Intercomm("server")}
+			var got bytes.Buffer
+			sc := c.StartStream(0, []byte("data"))
+			if err := sc.Drain(func(payload []byte) error {
+				got.Write(payload) // must copy out before release
+				return nil
+			}); err != nil {
+				t.Errorf("drain: %v", err)
+			}
+			if !bytes.Equal(got.Bytes(), wantStream(reps, grab)) {
+				t.Errorf("stream payload mismatch: got %d bytes", got.Len())
+			}
+		}},
+		{Name: "server", Procs: 1, Main: func(p *mpi.Proc) {
+			streamServer(p, pool, 1, reps, grab)
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Outstanding() != 0 {
+		t.Fatalf("pool leaked %d chunks", pool.Outstanding())
+	}
+	if pool.HighWater() > 8 {
+		t.Fatalf("high water %d exceeded limit", pool.HighWater())
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	err := mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "client", Procs: 1, Main: func(p *mpi.Proc) {
+			c := &Client{IC: p.Intercomm("server")}
+			sc := c.StartStream(0, []byte("nothing"))
+			frames := 0
+			if err := sc.Drain(func(payload []byte) error {
+				if len(payload) != 0 {
+					t.Errorf("empty stream carried %d bytes", len(payload))
+				}
+				frames++
+				return nil
+			}); err != nil {
+				t.Errorf("drain: %v", err)
+			}
+			if frames != 1 {
+				t.Errorf("empty stream sent %d frames, want the bare last frame", frames)
+			}
+		}},
+		{Name: "server", Procs: 1, Main: func(p *mpi.Proc) {
+			s := &Server{IC: p.Intercomm("client")}
+			src, seq, _ := s.Recv()
+			s.NewStream(src, seq, nil).Close()
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamOversizeGrab(t *testing.T) {
+	// A grab larger than the chunk must still travel (as a plain frame).
+	pool := buf.NewPool(512, 4)
+	err := mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "client", Procs: 1, Main: func(p *mpi.Proc) {
+			c := &Client{IC: p.Intercomm("server")}
+			var got bytes.Buffer
+			sc := c.StartStream(0, []byte("big"))
+			if err := sc.Drain(func(payload []byte) error {
+				got.Write(payload)
+				return nil
+			}); err != nil {
+				t.Errorf("drain: %v", err)
+			}
+			if got.Len() != 2048 {
+				t.Errorf("got %d bytes, want 2048", got.Len())
+			}
+		}},
+		{Name: "server", Procs: 1, Main: func(p *mpi.Proc) {
+			s := &Server{IC: p.Intercomm("client")}
+			src, seq, _ := s.Recv()
+			st := s.NewStream(src, seq, pool)
+			region := st.Grab(2048)
+			for j := range region {
+				region[j] = byte(j)
+			}
+			st.Close()
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Outstanding() != 0 {
+		t.Fatalf("pool leaked %d chunks", pool.Outstanding())
+	}
+}
+
+// streamFaultTrial runs one streamed exchange under a fault plan with a
+// timeout-mode client and returns the drained bytes.
+func streamFaultTrial(t *testing.T, plan mpi.FaultPlan, serveReqs int) []byte {
+	t.Helper()
+	// Limit 32 > the frames of one full re-stream, so frames queued to a
+	// client that already finished never stall the server at the pool bound.
+	pool := buf.NewPool(1024, 32)
+	const reps, grab = 16, 512
+	var got bytes.Buffer
+	err := mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "client", Procs: 1, Main: func(p *mpi.Proc) {
+			c := &Client{
+				IC:      p.Intercomm("server"),
+				Timeout: 50 * time.Millisecond,
+				Retries: 8,
+				Backoff: time.Millisecond,
+			}
+			sc := c.StartStream(0, []byte("data"))
+			if err := sc.Drain(func(payload []byte) error {
+				got.Write(payload)
+				return nil
+			}); err != nil {
+				t.Errorf("drain under faults: %v", err)
+			}
+		}},
+		{Name: "server", Procs: 1, Main: func(p *mpi.Proc) {
+			streamServer(p, pool, serveReqs, reps, grab)
+		}},
+	}, mpi.WithFaultPlan(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got.Bytes()
+}
+
+func TestStreamRecoversDroppedFrame(t *testing.T) {
+	// Drop two mid-stream response frames; the retry re-streams and the
+	// client still assembles bit-identical data. The server must be ready to
+	// serve the re-dispatched request (2 requests max).
+	plan := mpi.FaultPlan{Seed: 3, Rules: []mpi.FaultRule{
+		{Action: mpi.FaultDrop, Rank: mpi.AnyRank, Tag: TagResponse, After: 3, Count: 2},
+	}}
+	got := streamFaultTrial(t, plan, 2)
+	if !bytes.Equal(got, wantStream(16, 512)) {
+		t.Fatalf("dropped-frame recovery produced %d bytes, want bit-identical stream", len(got))
+	}
+}
+
+func TestStreamRecoversCorruptFrame(t *testing.T) {
+	plan := mpi.FaultPlan{Seed: 5, Rules: []mpi.FaultRule{
+		{Action: mpi.FaultCorrupt, Rank: mpi.AnyRank, Tag: TagResponse, After: 4, Count: 2},
+	}}
+	got := streamFaultTrial(t, plan, 2)
+	if !bytes.Equal(got, wantStream(16, 512)) {
+		t.Fatalf("corrupt-frame recovery produced %d bytes, want bit-identical stream", len(got))
+	}
+}
+
+func TestStreamRecoversDuplicatedRequest(t *testing.T) {
+	// A duplicated request re-dispatches after the stream's Forget; the
+	// client consumes the first stream and discards the spurious re-stream.
+	plan := mpi.FaultPlan{Seed: 9, Rules: []mpi.FaultRule{
+		{Action: mpi.FaultDuplicate, Rank: mpi.AnyRank, Tag: TagRequest, Count: 1},
+	}}
+	got := streamFaultTrial(t, plan, 2)
+	if !bytes.Equal(got, wantStream(16, 512)) {
+		t.Fatalf("duplicate-request case produced %d bytes", len(got))
+	}
+}

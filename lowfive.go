@@ -42,6 +42,7 @@ package lowfive
 
 import (
 	"lowfive/h5"
+	"lowfive/internal/buf"
 	"lowfive/internal/core"
 	"lowfive/internal/native"
 	"lowfive/internal/pfs"
@@ -148,6 +149,23 @@ func NewMetadataVOL(base h5.Connector) *MetadataVOL { return core.NewMetadataVOL
 func NewDistMetadataVOL(local *mpi.Comm, base h5.Connector) *DistMetadataVOL {
 	return core.NewDistMetadataVOL(local, base)
 }
+
+// --- streaming data plane ---
+
+// ChunkPool is a bounded pool of fixed-size reference-counted chunks — the
+// buffer plane of the streaming data path. Assign one to a
+// DistMetadataVOL's ChunkPool field to give its streamed responses a
+// private bound, and read its HighWater/Outstanding/Overflow counters to
+// observe peak transport buffering.
+type ChunkPool = buf.Pool
+
+// NewChunkPool builds a pool of size-byte chunks with at most limit
+// outstanding (limit <= 0 means unbounded).
+func NewChunkPool(size, limit int) *ChunkPool { return buf.NewPool(size, limit) }
+
+// DefaultChunkBytes is the default frame size of streamed data responses;
+// override per VOL with DistMetadataVOL.ChunkBytes.
+const DefaultChunkBytes = buf.DefaultChunkBytes
 
 // --- fault injection and fault tolerance ---
 

@@ -67,18 +67,19 @@ func (c *Comm) Send(dest, tag int, data []byte) {
 		t0 = time.Now()
 	}
 	w := c.world
-	deliver, dup := true, false
+	deliver := true
+	var dupData []byte
 	if w.fault != nil {
 		self := c.ranks[c.rank]
 		if w.failed[self].Load() {
 			panic(rankCrashPanic{rank: self})
 		}
-		data, deliver, dup = w.injectSend(self, tag, data, tr)
+		data, dupData, deliver = w.injectSend(self, tag, data, tr)
 	}
 	if deliver {
 		w.deliver(c.ranks[dest], &message{commID: c.id, src: c.rank, tag: tag, data: data})
-		if dup {
-			w.deliver(c.ranks[dest], &message{commID: c.id, src: c.rank, tag: tag, data: data})
+		if dupData != nil {
+			w.deliver(c.ranks[dest], &message{commID: c.id, src: c.rank, tag: tag, data: dupData})
 		}
 	}
 	if tr != nil {

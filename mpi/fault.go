@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"lowfive/internal/buf"
 	"lowfive/internal/spin"
 	"lowfive/trace"
 )
@@ -221,13 +222,17 @@ func (fs *faultState) corrupt(rank int, data []byte) []byte {
 }
 
 // injectSend runs the plan against an outgoing message on the sender's
-// world rank. It returns the payload to deliver (possibly a corrupted
-// copy), whether to deliver at all, and whether to deliver twice. A firing
-// crash rule does not return: the rank dies by panic.
-func (w *World) injectSend(worldSrc, tag int, data []byte, tr *trace.Track) (payload []byte, deliver, dup bool) {
+// world rank. It returns the payload to deliver and, for a duplicate rule,
+// an independent second payload; deliver=false drops the message. The
+// clean path (no rule fires — the overwhelmingly common case) passes data
+// through by reference with no copy; a copy is made only when a rule
+// actually mutates (corrupt) or re-delivers (duplicate) the message, and a
+// payload the plan swallows or replaces is released back to its buffer
+// pool. A firing crash rule does not return: the rank dies by panic.
+func (w *World) injectSend(worldSrc, tag int, data []byte, tr *trace.Track) (payload, dupPayload []byte, deliver bool) {
 	rule, fire := w.fault.decide(worldSrc, tag, false)
 	if !fire {
-		return data, true, false
+		return data, nil, true
 	}
 	if tr != nil {
 		tr.Instant("fault", "fault."+rule.Action.String(),
@@ -236,17 +241,22 @@ func (w *World) injectSend(worldSrc, tag int, data []byte, tr *trace.Track) (pay
 	switch rule.Action {
 	case FaultDelay:
 		spin.Wait(rule.Delay)
-		return data, true, false
+		return data, nil, true
 	case FaultDrop:
-		return nil, false, false
+		buf.Release(data)
+		return nil, nil, false
 	case FaultDuplicate:
-		return data, true, true
+		// The second delivery gets its own copy: the two receives are
+		// released independently, so they must not share a pooled chunk.
+		return data, append([]byte(nil), data...), true
 	case FaultCorrupt:
-		return w.fault.corrupt(worldSrc, data), true, false
+		out := w.fault.corrupt(worldSrc, data)
+		buf.Release(data)
+		return out, nil, true
 	case FaultCrash:
 		w.crash(worldSrc)
 	}
-	return data, true, false
+	return data, nil, true
 }
 
 // injectRecv runs the plan against a receive operation (crash rules only —

@@ -259,3 +259,52 @@ func TestDeadlockErrorNamesBlockedPeer(t *testing.T) {
 		}
 	}
 }
+
+func TestCleanPathDeliversByReference(t *testing.T) {
+	// With a fault plan attached but no matching rule, the receiver must see
+	// the sender's backing array — the clean path makes zero copies.
+	plan := FaultPlan{Rules: []FaultRule{{Action: FaultDrop, Rank: 0, Tag: 99, Count: 1}}}
+	sent := []byte("shared-backing")
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 5, sent)
+		} else {
+			data, _ := c.Recv(0, 5)
+			if &data[0] != &sent[0] {
+				t.Errorf("clean path copied the payload")
+			}
+		}
+	}, WithFaultPlan(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCleanPathNoCopy(t *testing.T) {
+	// Direct check on injectSend: a plan whose rules never match must pass
+	// the payload through with the same backing array and no duplicate.
+	plan := FaultPlan{Rules: []FaultRule{{Action: FaultCorrupt, Rank: 1, Tag: 42, Count: 1}}}
+	w := NewWorld(2, WithFaultPlan(plan))
+	sent := []byte("zero-copy")
+	payload, dupPayload, deliver := w.injectSend(0, 7, sent, nil)
+	if !deliver || dupPayload != nil {
+		t.Fatalf("clean path: deliver=%v dup=%v", deliver, dupPayload)
+	}
+	if &payload[0] != &sent[0] {
+		t.Fatalf("clean path copied the payload")
+	}
+	// A firing duplicate rule must alias the first delivery and copy only
+	// the second.
+	plan = FaultPlan{Rules: []FaultRule{{Action: FaultDuplicate, Rank: 0, Tag: 7, Count: 1}}}
+	w2 := NewWorld(2, WithFaultPlan(plan))
+	payload, dupPayload, deliver = w2.injectSend(0, 7, sent, nil)
+	if !deliver || dupPayload == nil {
+		t.Fatalf("duplicate rule: deliver=%v dup=%v", deliver, dupPayload)
+	}
+	if &payload[0] != &sent[0] {
+		t.Fatalf("duplicate rule copied the first delivery")
+	}
+	if &dupPayload[0] == &sent[0] {
+		t.Fatalf("duplicate rule aliased the second delivery")
+	}
+}

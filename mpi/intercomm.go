@@ -70,18 +70,19 @@ func (ic *Intercomm) Send(dest, tag int, data []byte) {
 		t0 = time.Now()
 	}
 	w := ic.world
-	deliver, dup := true, false
+	deliver := true
+	var dupData []byte
 	if w.fault != nil {
 		self := ic.local[ic.rank]
 		if w.failed[self].Load() {
 			panic(rankCrashPanic{rank: self})
 		}
-		data, deliver, dup = w.injectSend(self, tag, data, tr)
+		data, dupData, deliver = w.injectSend(self, tag, data, tr)
 	}
 	if deliver {
 		w.deliver(ic.remote[dest], &message{commID: ic.sendID(), src: ic.rank, tag: tag, data: data})
-		if dup {
-			w.deliver(ic.remote[dest], &message{commID: ic.sendID(), src: ic.rank, tag: tag, data: data})
+		if dupData != nil {
+			w.deliver(ic.remote[dest], &message{commID: ic.sendID(), src: ic.rank, tag: tag, data: dupData})
 		}
 	}
 	if tr != nil {

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lowfive/internal/buf"
 	"lowfive/trace"
 )
 
@@ -477,6 +478,9 @@ func (w *World) deliver(worldDest int, m *message) {
 		panic(&AbortedError{Err: w.abortReason()})
 	}
 	if w.failed[worldDest].Load() {
+		// The dead rank will never release a pooled payload; do it here so
+		// its chunk returns to the pool instead of leaking.
+		buf.Release(m.data)
 		return
 	}
 	if w.cost != nil {

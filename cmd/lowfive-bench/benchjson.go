@@ -37,9 +37,34 @@ type benchReport struct {
 	Benchmarks []benchResult `json:"benchmarks"`
 }
 
-// runBenchJSON measures the benchmark set and writes BENCH_<date>.json to
-// the current directory.
-func runBenchJSON(cfg harness.Config) error {
+type benchCase struct {
+	name string
+	spec workload.Spec
+	fn   func(workload.Spec) (float64, error)
+}
+
+func benchCases(cfg harness.Config) []benchCase {
+	spec := workload.PaperSpec(16).Scaled(100)
+	large := workload.PaperSpec(16).Scaled(10)
+	return []benchCase{
+		{"Fig5FileVsMemory/FileMode", spec, cfg.TrialLowFiveFile},
+		{"Fig5FileVsMemory/MemoryMode", spec, cfg.TrialLowFiveMemory},
+		{"Fig7MemoryVsPureMPI/LowFiveMemoryMode", spec, cfg.TrialLowFiveMemory},
+		{"Fig7MemoryVsPureMPI/PureMPI", spec, cfg.TrialPureMPI},
+		{"Fig11LargeData/LowFiveMemoryMode", large, cfg.TrialLowFiveMemory},
+		{"Fig11LargeData/DataSpaces", large, cfg.TrialDataSpaces},
+		{"Fig11LargeData/PureMPI", large, cfg.TrialPureMPI},
+		{"Redistribution/4procs", workload.PaperSpec(4).Scaled(100), cfg.TrialLowFiveMemory},
+		{"Redistribution/16procs", workload.PaperSpec(16).Scaled(100), cfg.TrialLowFiveMemory},
+		{"Redistribution/64procs", workload.PaperSpec(64).Scaled(100), cfg.TrialLowFiveMemory},
+	}
+}
+
+// measureBenchmarks runs the benchmark set and returns the report. iters > 0
+// runs each case a fixed number of times with ReadMemStats accounting (the
+// cheap smoke regime); iters == 0 lets testing.Benchmark auto-scale until
+// the numbers are stable.
+func measureBenchmarks(cfg harness.Config, iters int) (benchReport, error) {
 	// Zero the modeled delays (the benchmark regime of bench_test.go).
 	cfg.Trials = 1
 	cfg.NetAlpha = 0
@@ -52,60 +77,89 @@ func runBenchJSON(cfg harness.Config) error {
 		cfg.ChunkBytes = 64 << 10
 	}
 
-	spec := workload.PaperSpec(16).Scaled(100)
-	large := workload.PaperSpec(16).Scaled(10)
-	cases := []struct {
-		name string
-		spec workload.Spec
-		fn   func(workload.Spec) (float64, error)
-	}{
-		{"Fig5FileVsMemory/FileMode", spec, cfg.TrialLowFiveFile},
-		{"Fig5FileVsMemory/MemoryMode", spec, cfg.TrialLowFiveMemory},
-		{"Fig7MemoryVsPureMPI/LowFiveMemoryMode", spec, cfg.TrialLowFiveMemory},
-		{"Fig7MemoryVsPureMPI/PureMPI", spec, cfg.TrialPureMPI},
-		{"Fig11LargeData/LowFiveMemoryMode", large, cfg.TrialLowFiveMemory},
-		{"Fig11LargeData/DataSpaces", large, cfg.TrialDataSpaces},
-		{"Fig11LargeData/PureMPI", large, cfg.TrialPureMPI},
-		{"Redistribution/4procs", workload.PaperSpec(4).Scaled(100), cfg.TrialLowFiveMemory},
-		{"Redistribution/16procs", workload.PaperSpec(16).Scaled(100), cfg.TrialLowFiveMemory},
-		{"Redistribution/64procs", workload.PaperSpec(64).Scaled(100), cfg.TrialLowFiveMemory},
-	}
-
 	report := benchReport{
 		Date:   time.Now().Format("2006-01-02"),
 		GOOS:   runtime.GOOS,
 		GOARCH: runtime.GOARCH,
 	}
-	for _, c := range cases {
+	for _, c := range benchCases(cfg) {
 		c := c
-		var benchErr error
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			total := 0.0
-			for i := 0; i < b.N; i++ {
-				sec, err := c.fn(c.spec)
-				if err != nil {
-					benchErr = err
-					b.Fatal(err)
-				}
-				total += sec
+		var res benchResult
+		if iters > 0 {
+			var err error
+			res, err = measureFixed(c, iters)
+			if err != nil {
+				return report, fmt.Errorf("%s: %w", c.name, err)
 			}
-			b.ReportMetric(total/float64(b.N), "exchange-s")
-		})
-		if benchErr != nil {
-			return fmt.Errorf("%s: %w", c.name, benchErr)
-		}
-		res := benchResult{
-			Name:        c.name,
-			NsPerOp:     r.NsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
-			ExchangeSec: r.Extra["exchange-s"],
-			Iterations:  r.N,
+		} else {
+			var benchErr error
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				total := 0.0
+				for i := 0; i < b.N; i++ {
+					sec, err := c.fn(c.spec)
+					if err != nil {
+						benchErr = err
+						b.Fatal(err)
+					}
+					total += sec
+				}
+				b.ReportMetric(total/float64(b.N), "exchange-s")
+			})
+			if benchErr != nil {
+				return report, fmt.Errorf("%s: %w", c.name, benchErr)
+			}
+			res = benchResult{
+				Name:        c.name,
+				NsPerOp:     r.NsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+				ExchangeSec: r.Extra["exchange-s"],
+				Iterations:  r.N,
+			}
 		}
 		fmt.Fprintf(os.Stderr, "%-40s %12d ns/op %12d B/op %8d allocs/op %10.5f exchange-s\n",
 			res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.ExchangeSec)
 		report.Benchmarks = append(report.Benchmarks, res)
+	}
+	return report, nil
+}
+
+// measureFixed runs one case a fixed number of iterations, deriving the
+// allocation numbers from runtime.MemStats deltas. Cruder than
+// testing.Benchmark (concurrent GC noise is not filtered), which is fine
+// for the warn-only smoke comparison it exists for.
+func measureFixed(c benchCase, iters int) (benchResult, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	total := 0.0
+	for i := 0; i < iters; i++ {
+		sec, err := c.fn(c.spec)
+		if err != nil {
+			return benchResult{}, err
+		}
+		total += sec
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return benchResult{
+		Name:        c.name,
+		NsPerOp:     elapsed.Nanoseconds() / int64(iters),
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(iters),
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(iters),
+		ExchangeSec: total / float64(iters),
+		Iterations:  iters,
+	}, nil
+}
+
+// runBenchJSON measures the benchmark set and writes BENCH_<date>.json to
+// the current directory.
+func runBenchJSON(cfg harness.Config, iters int) error {
+	report, err := measureBenchmarks(cfg, iters)
+	if err != nil {
+		return err
 	}
 
 	out := fmt.Sprintf("BENCH_%s.json", report.Date)
@@ -123,5 +177,81 @@ func runBenchJSON(cfg harness.Config) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+	return nil
+}
+
+// Regression thresholds of the warn-only comparison: smoke runs are noisy
+// (single iteration, shared CI machines), so only large movements are worth
+// flagging. Allocation counts are the steadiest of the three metrics.
+const (
+	warnNsRatio     = 1.5
+	warnBytesRatio  = 1.3
+	warnAllocsRatio = 1.2
+)
+
+// runBenchCompare measures a fresh run and diffs it against a committed
+// BENCH_*.json baseline. It is warn-only: regressions are printed, nothing
+// is written, and the exit status stays zero unless the measurement itself
+// (or reading the baseline) fails.
+func runBenchCompare(cfg harness.Config, baselineFile string, iters int) error {
+	raw, err := os.ReadFile(baselineFile)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var baseline benchReport
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselineFile, err)
+	}
+	base := map[string]benchResult{}
+	for _, b := range baseline.Benchmarks {
+		base[b.Name] = b
+	}
+
+	fresh, err := measureBenchmarks(cfg, iters)
+	if err != nil {
+		return err
+	}
+
+	ratio := func(now, then int64) float64 {
+		if then <= 0 {
+			return 1
+		}
+		return float64(now) / float64(then)
+	}
+	fmt.Printf("Benchmark comparison vs %s (%s, warn-only)\n", baselineFile, baseline.Date)
+	fmt.Printf("%-40s %10s %10s %10s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+	warned := 0
+	for _, f := range fresh.Benchmarks {
+		b, ok := base[f.Name]
+		if !ok {
+			fmt.Printf("%-40s %33s\n", f.Name, "(not in baseline)")
+			continue
+		}
+		rn, rb, ra := ratio(f.NsPerOp, b.NsPerOp), ratio(f.BytesPerOp, b.BytesPerOp), ratio(f.AllocsPerOp, b.AllocsPerOp)
+		mark := ""
+		if rn > warnNsRatio || rb > warnBytesRatio || ra > warnAllocsRatio {
+			mark = "  <-- WARN: regression vs baseline"
+			warned++
+		}
+		fmt.Printf("%-40s %9.2fx %9.2fx %9.2fx%s\n", f.Name, rn, rb, ra, mark)
+	}
+	for _, b := range baseline.Benchmarks {
+		found := false
+		for _, f := range fresh.Benchmarks {
+			if f.Name == b.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Printf("%-40s %33s\n", b.Name, "(baseline case no longer measured)")
+		}
+	}
+	if warned > 0 {
+		fmt.Printf("%d benchmark(s) regressed past the warn thresholds (ns>%.1fx, B>%.1fx, allocs>%.1fx)\n",
+			warned, warnNsRatio, warnBytesRatio, warnAllocsRatio)
+	} else {
+		fmt.Println("all benchmarks within the warn thresholds of the baseline")
+	}
 	return nil
 }

@@ -11,7 +11,9 @@
 //	lowfive-bench -quick               # tiny smoke-test configuration
 //	lowfive-bench -profile             # one instrumented exchange + summary
 //	lowfive-bench -trace out.json -profile   # also write a Chrome trace
-//	lowfive-bench -faults              # fault-injection sweep (chaos testing)
+//	lowfive-bench -faults              # fault + supervised-recovery sweeps (chaos testing)
+//	lowfive-bench -json                # write BENCH_<date>.json benchmark baseline
+//	lowfive-bench -compare BENCH_2026-08-06.json -bench-iters 1   # warn-only diff vs baseline
 package main
 
 import (
@@ -44,6 +46,8 @@ func main() {
 		faults   = flag.Bool("faults", false, "run the fault-injection sweep: exchanges under seeded chaos plans, checked bit-for-bit against a fault-free baseline")
 		seed     = flag.Int64("fault-seed", 1, "seed for the fault-injection plans")
 		jsonOut  = flag.Bool("json", false, "measure the allocation-sensitive benchmarks (Fig 5/7/11, redistribution) and write BENCH_<date>.json")
+		compare  = flag.String("compare", "", "measure a fresh benchmark run and diff it against this committed BENCH_*.json baseline (warn-only; writes nothing)")
+		iters    = flag.Int("bench-iters", 0, "fixed iteration count for -json/-compare measurements (0 = auto-scale until stable)")
 	)
 	flag.Parse()
 
@@ -88,8 +92,16 @@ func main() {
 		return
 	}
 
+	if *compare != "" {
+		if err := runBenchCompare(cfg, *compare, *iters); err != nil {
+			fmt.Fprintf(os.Stderr, "bench compare failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *jsonOut {
-		if err := runBenchJSON(cfg); err != nil {
+		if err := runBenchJSON(cfg, *iters); err != nil {
 			fmt.Fprintf(os.Stderr, "bench json failed: %v\n", err)
 			os.Exit(1)
 		}
@@ -156,7 +168,8 @@ func main() {
 }
 
 // runFaults runs the producer–consumer exchange under each default chaos
-// plan at the smallest configured scale and prints the sweep table. A
+// plan at the smallest configured scale, then the supervised-recovery sweep
+// (crash-then-restart, hang-then-timeout), and prints both tables. A
 // non-identical or failed case makes the run exit nonzero.
 func runFaults(cfg harness.Config, seed int64) error {
 	procs := 4
@@ -179,7 +192,23 @@ func runFaults(cfg harness.Config, seed int64) error {
 			return fmt.Errorf("case %s: consumer data differs from the fault-free baseline", r.Name)
 		}
 	}
-	fmt.Println("all fault cases delivered bit-identical consumer data")
+
+	fmt.Fprintf(os.Stderr, "recovery sweep: supervised restart and hang detection, seed %d\n", seed)
+	rres, err := cfg.RecoverySweep(harness.DefaultRecoveryCases(seed))
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	harness.PrintRecoveryTable(os.Stdout, rres)
+	for _, r := range rres {
+		if r.Err != nil {
+			return fmt.Errorf("recovery case %s: %w", r.Name, r.Err)
+		}
+		if !r.Identical {
+			return fmt.Errorf("recovery case %s: consumer data differs from the fault-free baseline", r.Name)
+		}
+	}
+	fmt.Println("all fault and recovery cases delivered bit-identical consumer data")
 	return nil
 }
 

@@ -164,6 +164,43 @@ func (p *Pool) put(c *Chunk) {
 	}
 }
 
+// PoolStats is a consistent snapshot of a pool's counters.
+type PoolStats struct {
+	// Gets is the total number of chunks handed out.
+	Gets int64
+	// Outstanding is the number of live (unreleased) chunks right now; a
+	// quiesced transport must be back at zero, including after a crashed
+	// rank's queued frames were purged by teardown.
+	Outstanding int
+	// HighWater is the peak Outstanding since creation or the last
+	// ResetHighWater — the measured bound on transport buffering.
+	HighWater int
+	// Overflow counts Gets that fell back to an unpooled allocation after
+	// waiting out the grace period at the limit.
+	Overflow int64
+}
+
+// Stats returns a consistent snapshot of all counters (the individual
+// accessors read each counter under a separate lock acquisition).
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{
+		Gets:        p.gets,
+		Outstanding: p.outstanding,
+		HighWater:   p.highWater,
+		Overflow:    p.overflow,
+	}
+}
+
+// ResetHighWater rebases the high-water mark to the current outstanding
+// count, so a phase can be measured in isolation from earlier peaks.
+func (p *Pool) ResetHighWater() {
+	p.mu.Lock()
+	p.highWater = p.outstanding
+	p.mu.Unlock()
+}
+
 // Outstanding returns the number of live (unreleased) chunks.
 func (p *Pool) Outstanding() int {
 	p.mu.Lock()

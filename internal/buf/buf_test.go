@@ -163,3 +163,31 @@ func TestConcurrentChurn(t *testing.T) {
 		t.Fatalf("high water = %d with limit 4 (grace overflow bound exceeded)", hw)
 	}
 }
+
+func TestStatsSnapshotAndResetHighWater(t *testing.T) {
+	p := NewPool(8, 8)
+	var cs []*Chunk
+	for i := 0; i < 3; i++ {
+		cs = append(cs, p.Get())
+	}
+	s := p.Stats()
+	if s.Gets != 3 || s.Outstanding != 3 || s.HighWater != 3 || s.Overflow != 0 {
+		t.Fatalf("stats = %+v, want 3 gets / 3 outstanding / 3 high water", s)
+	}
+	cs[0].Release()
+	cs[1].Release()
+	p.ResetHighWater() // rebase to the one chunk still live
+	if hw := p.HighWater(); hw != 1 {
+		t.Fatalf("high water after reset = %d, want 1", hw)
+	}
+	c := p.Get()
+	c.Release()
+	cs[2].Release()
+	s = p.Stats()
+	if s.Outstanding != 0 {
+		t.Fatalf("outstanding = %d after all releases", s.Outstanding)
+	}
+	if s.HighWater != 2 {
+		t.Fatalf("high water = %d after reset + one more get, want 2", s.HighWater)
+	}
+}

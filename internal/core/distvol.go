@@ -67,6 +67,32 @@ type DistMetadataVOL struct {
 	// over ChunkBytes.
 	ChunkPool *buf.Pool
 
+	// WaitForRestart makes consumer-side RPC clients keep polling when a
+	// producer rank has crashed, instead of failing over immediately: under
+	// a supervised workflow the producer may be relaunched, and retried
+	// requests reach the fresh incarnation. The retry budget
+	// (CallTimeout × CallRetries with backoff) bounds how long a restart
+	// may take before the replica/file fallbacks kick in anyway.
+	WaitForRestart bool
+
+	// PersistOwnership records each producer rank's written regions into
+	// the container file (as __lf_own_<rank> root attributes) when a served
+	// file also passes through to storage. A restarted producer rank uses
+	// them to Rejoin with its exact pre-crash ownership layout.
+	PersistOwnership bool
+
+	// OnServe, when set, is called with the file name every time this rank
+	// starts serving a file (Serve or ServeAsync) — the supervised workflow
+	// runner records served files so a restarted task knows what to
+	// re-publish.
+	OnServe func(name string)
+
+	// OnDoneAcked, when set, is called on the consumer side each time a
+	// done notification for a file has been acknowledged by one producer
+	// rank. A supervised runner records these so a restarted producer can
+	// credit dones that will never be resent (see CreditDone).
+	OnDoneAcked func(ic *mpi.Intercomm, name string, producerRank int)
+
 	// serveMu serializes request handling when several intercommunicators
 	// are served concurrently (fan-out).
 	serveMu sync.Mutex
@@ -300,6 +326,12 @@ func (v *DistMetadataVOL) Serve(name string) error {
 	if err := v.buildIndex(fn); err != nil {
 		return err
 	}
+	if err := v.persistOwnership(fn); err != nil {
+		return err
+	}
+	if v.OnServe != nil {
+		v.OnServe(name)
+	}
 	// Serve all intercomms concurrently (fan-out); request handling is
 	// serialized by serveMu, preserving single-threaded rank semantics.
 	var wg sync.WaitGroup
@@ -349,6 +381,12 @@ func (v *DistMetadataVOL) ServeAsync(name string) (*ServeHandle, error) {
 	// producer ranks, and overlapping two collectives would reorder them.
 	if err := v.buildIndex(fn); err != nil {
 		return nil, err
+	}
+	if err := v.persistOwnership(fn); err != nil {
+		return nil, err
+	}
+	if v.OnServe != nil {
+		v.OnServe(name)
 	}
 	h := &ServeHandle{done: make(chan error, 1)}
 	go func() {
@@ -734,10 +772,79 @@ func (v *DistMetadataVOL) clientFor(ic *mpi.Intercomm) *rpc.Client {
 	}
 	c, ok := v.clients[ic]
 	if !ok {
-		c = &rpc.Client{IC: ic, Timeout: v.CallTimeout, Retries: v.CallRetries, Backoff: v.CallBackoff}
+		c = &rpc.Client{
+			IC: ic, Timeout: v.CallTimeout, Retries: v.CallRetries,
+			Backoff: v.CallBackoff, RetryFailed: v.WaitForRestart,
+		}
 		v.clients[ic] = c
 	}
 	return c
+}
+
+// CreditDone pre-credits n consumer done notifications for a file's next
+// serve session on this intercommunicator. A restarted producer rank calls
+// it before re-serving: consumers that already had their done acknowledged
+// by the previous incarnation will never resend it, so the fresh session
+// must not wait for them.
+func (v *DistMetadataVOL) CreditDone(ic *mpi.Intercomm, name string, n int) {
+	if n <= 0 {
+		return
+	}
+	s := v.icServerFor(ic)
+	s.mu.Lock()
+	s.pendingDone[name] += n
+	s.mu.Unlock()
+}
+
+// persistOwnership records every rank's written regions into the container
+// file as root attributes (__lf_own_<rank>: encoded dataset path + region
+// boxes). The lists are allgathered over the producer task so EVERY rank
+// writes the complete, identical attribute set — the native connector
+// persists whichever rank's metadata block lands last at close, and that is
+// only safe when the blocks agree (the base VOL's idempotent-close
+// contract). No-op unless PersistOwnership is set and the file passes
+// through to storage.
+func (v *DistMetadataVOL) persistOwnership(fn *FileNode) error {
+	if !v.PersistOwnership || v.base == nil || !v.passthruOn(fn.FileName) {
+		return nil
+	}
+	e := &h5.Encoder{}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.Kind == h5.KindDataset && len(n.Triples) > 0 {
+			var boxes []grid.Box
+			for _, tr := range n.Triples {
+				boxes = append(boxes, tr.FileSpace.SelectionBoxes()...)
+			}
+			if len(boxes) > 0 {
+				e.PutString(n.Path())
+				e.PutI64(int64(len(boxes)))
+				for _, b := range boxes {
+					encodeBox(e, b)
+				}
+			}
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(fn.Node)
+	all := v.local.Allgather(e.Buf)
+	bh, err := v.base.FileOpen(fn.FileName, nil)
+	if err != nil {
+		return fmt.Errorf("lowfive: persisting ownership of %q: %w", fn.FileName, err)
+	}
+	for k, blob := range all {
+		if len(blob) == 0 {
+			continue
+		}
+		sp := h5.NewSimple(int64(len(blob)))
+		if err := bh.AttributeWrite(fmt.Sprintf("%s%d", ownPrefix, k), h5.U8, sp, blob); err != nil {
+			bh.Close()
+			return err
+		}
+	}
+	return bh.Close()
 }
 
 func (v *DistMetadataVOL) openRemote(name string, ic *mpi.Intercomm) (h5.FileHandle, error) {
@@ -813,24 +920,42 @@ func (v *DistMetadataVOL) fileFallbackOpen(name string) (h5.FileHandle, error) {
 
 // Close sends done to every producer rank, releasing its serve loop. With
 // fault tolerance on, each done is acknowledged (and retried if lost) —
-// a lost done would strand the producer's serve session; crashed producers
-// are skipped, their sessions having already unwound.
+// a lost done would strand the producer's serve session. Two per-rank
+// failures are tolerated, and neither stops the remaining ranks from being
+// notified: a crashed producer (its sessions already unwound), and an
+// exhausted retry budget on the acknowledgment. The latter is the last-ack
+// race: a producer counts its final done and exits the serve loop, so a
+// corrupted or lost ack can never be replayed from the dedup cache. While
+// the serve loop is alive, any one of the retries would have been answered
+// (fresh or replayed); a terminal timeout therefore means the done was
+// counted and only its ack died, not that the done was lost.
 func (f *distFile) Close() error {
 	v := f.vol
+	var first error
 	for p := 0; p < f.ic.RemoteSize(); p++ {
 		if v != nil && v.CallTimeout > 0 {
 			if _, err := f.client.Call(p, encodeDone(f.name)); err != nil {
 				var rf *mpi.RankFailedError
-				if errors.As(err, &rf) {
+				var tmo *rpc.TimeoutError
+				if errors.As(err, &rf) || errors.As(err, &tmo) {
 					continue
 				}
-				return fmt.Errorf("lowfive: closing %q: %w", f.name, err)
+				if first == nil {
+					first = fmt.Errorf("lowfive: closing %q: %w", f.name, err)
+				}
+				continue
 			}
 		} else {
 			f.client.Notify(p, encodeDone(f.name))
 		}
+		if v != nil && v.OnDoneAcked != nil {
+			// Per-producer-rank granularity: a partially-acknowledged close
+			// (some producer ranks answered, then the task crashed) must
+			// credit exactly the acknowledged ranks on restart.
+			v.OnDoneAcked(f.ic, f.name, p)
+		}
 	}
-	return nil
+	return first
 }
 
 func (f *distFile) object(n *Node) *distObject { return &distObject{file: f, node: n} }

@@ -1,0 +1,198 @@
+package core_test
+
+import (
+	"testing"
+
+	"lowfive/h5"
+	"lowfive/internal/core"
+	"lowfive/internal/grid"
+	"lowfive/internal/native"
+	"lowfive/internal/pfs"
+	"lowfive/mpi"
+)
+
+// TestPersistOwnershipAndRejoin round-trips a served passthru file through a
+// simulated restart: a fresh VOL instance rebuilds the metadata tree from
+// the container on storage using the persisted __lf_own_<rank> attributes
+// and ends up with the exact regions and bytes the first incarnation wrote.
+func TestPersistOwnershipAndRejoin(t *testing.T) {
+	fs := pfs.NewZeroCost()
+	dims := []int64{8, 6}
+	stats := make([]core.RejoinStats, 2)
+	err := mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "producer", Procs: 2, Main: func(p *mpi.Proc) {
+			vol := core.NewDistMetadataVOL(p.Task, native.New(native.PFSBackend(fs)))
+			vol.SetIntercomm("*", p.Intercomm("consumer"))
+			vol.SetPassthru("*", true)
+			vol.PersistOwnership = true
+			fapl := h5.NewFileAccessProps(vol)
+
+			f, err := h5.CreateFile("rejoin.h5", fapl)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := f.WriteAttribute("note", h5.U8, []byte("kept")); err != nil {
+				t.Error(err)
+			}
+			g, _ := f.CreateGroup("group1")
+			ds, err := g.CreateDataset("grid", h5.U64, h5.NewSimple(dims...))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// Row halves: rank 0 rows 0–3, rank 1 rows 4–7; value = global index.
+			r := int64(p.Task.Rank())
+			sel := h5.NewSimple(dims...)
+			sel.SelectHyperslab(h5.SelectSet, []int64{r * 4, 0}, []int64{4, dims[1]})
+			vals := make([]uint64, 4*dims[1])
+			for i := range vals {
+				vals[i] = uint64(r*4*dims[1] + int64(i))
+			}
+			if err := ds.Write(nil, sel, h5.Bytes(vals)); err != nil {
+				t.Error(err)
+			}
+			ds.Close()
+			g.Close()
+			if err := f.Close(); err != nil { // indexes, persists ownership, serves
+				t.Error(err)
+				return
+			}
+
+			// Fresh incarnation: a new VOL with nothing in memory rebuilds
+			// from the container file.
+			vol2 := core.NewDistMetadataVOL(p.Task, native.New(native.PFSBackend(fs)))
+			vol2.SetPassthru("*", true)
+			rs, err := vol2.Rejoin("rejoin.h5")
+			if err != nil {
+				t.Errorf("rank %d: Rejoin: %v", r, err)
+				return
+			}
+			stats[r] = rs
+
+			fn, ok := vol2.File("rejoin.h5")
+			if !ok {
+				t.Error("rejoined file not in memory")
+				return
+			}
+			if a, ok := fn.Attribute("note"); !ok || string(a.Data) != "kept" {
+				t.Errorf("rank %d: attribute not restored: %v", r, a)
+			}
+			for _, an := range fn.AttributeNames() {
+				if len(an) >= 9 && an[:9] == "__lf_own_" {
+					t.Errorf("ownership attribute %q leaked into rejoined tree", an)
+				}
+			}
+			node, err := fn.Resolve("group1/grid")
+			if err != nil {
+				t.Errorf("rank %d: %v", r, err)
+				return
+			}
+			boxes := node.WrittenBoxes()
+			want := grid.Box{Min: []int64{r * 4, 0}, Max: []int64{r*4 + 3, dims[1] - 1}}
+			if len(boxes) != 1 || !boxes[0].Equal(want) {
+				t.Errorf("rank %d: rejoined boxes %v, want [%v]", r, boxes, want)
+			}
+			if len(node.Triples) == 1 {
+				data := node.Triples[0].PackedData(8)
+				got := h5.View[uint64](data)
+				for i, v := range got {
+					if v != uint64(r*4*dims[1]+int64(i)) {
+						t.Errorf("rank %d: rejoined element %d = %d", r, i, v)
+						break
+					}
+				}
+			}
+		}},
+		{Name: "consumer", Procs: 2, Main: func(p *mpi.Proc) {
+			vol := core.NewDistMetadataVOL(p.Task, native.New(native.PFSBackend(fs)))
+			vol.SetIntercomm("*", p.Intercomm("producer"))
+			fapl := h5.NewFileAccessProps(vol)
+			consumeGridColumns(t, p, fapl, "rejoin.h5", dims)
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, rs := range stats {
+		if !rs.Persisted {
+			t.Errorf("rank %d: expected persisted ownership, got fallback", r)
+		}
+		if rs.Datasets != 1 || rs.Entries != 1 {
+			t.Errorf("rank %d: stats %+v, want 1 dataset / 1 entry", r, rs)
+		}
+		if rs.Bytes != 4*6*8 {
+			t.Errorf("rank %d: re-read %d bytes, want %d", r, rs.Bytes, 4*6*8)
+		}
+	}
+}
+
+// TestRejoinFallbackDecomposition rejoins a passthru file that was never
+// served with ownership persistence: ranks reclaim the canonical block
+// decomposition instead, which still covers the full extent.
+func TestRejoinFallbackDecomposition(t *testing.T) {
+	fs := pfs.NewZeroCost()
+	dims := []int64{4, 4}
+	stats := make([]core.RejoinStats, 2)
+	covered := make([][]grid.Box, 2)
+	err := mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "solo", Procs: 2, Main: func(p *mpi.Proc) {
+			vol := core.NewDistMetadataVOL(p.Task, native.New(native.PFSBackend(fs)))
+			vol.SetPassthru("*", true)
+			vol.ServeOnClose = false // no intercomm: storage only
+			fapl := h5.NewFileAccessProps(vol)
+			f, err := h5.CreateFile("fb.h5", fapl)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ds, _ := f.CreateDataset("d", h5.U64, h5.NewSimple(dims...))
+			r := int64(p.Task.Rank())
+			sel := h5.NewSimple(dims...)
+			sel.SelectHyperslab(h5.SelectSet, []int64{r * 2, 0}, []int64{2, dims[1]})
+			vals := make([]uint64, 2*dims[1])
+			for i := range vals {
+				vals[i] = uint64(r*2*dims[1] + int64(i))
+			}
+			ds.Write(nil, sel, h5.Bytes(vals))
+			ds.Close()
+			if err := f.Close(); err != nil {
+				t.Error(err)
+				return
+			}
+			p.Task.Barrier() // both ranks' data on storage before either rejoins
+
+			vol2 := core.NewDistMetadataVOL(p.Task, native.New(native.PFSBackend(fs)))
+			vol2.SetPassthru("*", true)
+			rs, err := vol2.Rejoin("fb.h5")
+			if err != nil {
+				t.Errorf("rank %d: Rejoin: %v", r, err)
+				return
+			}
+			stats[r] = rs
+			if fn, ok := vol2.File("fb.h5"); ok {
+				if node, err := fn.Resolve("d"); err == nil {
+					covered[r] = node.WrittenBoxes()
+				}
+			}
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for r, rs := range stats {
+		if rs.Persisted {
+			t.Errorf("rank %d: expected fallback ownership", r)
+		}
+		if rs.Entries == 0 || rs.Bytes == 0 {
+			t.Errorf("rank %d: nothing reclaimed: %+v", r, rs)
+		}
+		for _, b := range covered[r] {
+			total += b.NumPoints()
+		}
+	}
+	if total != dims[0]*dims[1] {
+		t.Errorf("fallback blocks cover %d points, want %d", total, dims[0]*dims[1])
+	}
+}

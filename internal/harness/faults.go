@@ -206,6 +206,15 @@ func DefaultFaultCases(seed int64) []FaultCase {
 			// something, so the consumers are already talking to it.
 			{Action: mpi.FaultCrash, Rank: 0, Tag: rpc.TagResponse, After: 2},
 		}}},
+		{Name: "crash-mid-stream", Degraded: true, Plan: mpi.FaultPlan{Seed: seed, Rules: []mpi.FaultRule{
+			// Like the stream-chunk cases, arming after several responses
+			// puts the crash inside a multi-frame data stream (run the sweep
+			// with small Config.ChunkBytes): the consumer is left holding a
+			// partial stream whose remaining frames will never arrive, and
+			// must abandon the cursor, fail over to a replica or fall back to
+			// the file on the PFS, and still end up bit-identical.
+			{Action: mpi.FaultCrash, Rank: 0, Tag: rpc.TagResponse, After: 4},
+		}}},
 		{Name: "crash-under-loss", Degraded: true, Plan: mpi.FaultPlan{Seed: seed, Rules: []mpi.FaultRule{
 			{Action: mpi.FaultCrash, Rank: 0, Tag: rpc.TagResponse, After: 2},
 			{Action: mpi.FaultDrop, Rank: mpi.AnyRank, Tag: rpc.TagRequest, Count: 2},

@@ -3,7 +3,9 @@ package harness
 import (
 	"testing"
 
+	"lowfive/internal/rpc"
 	"lowfive/internal/workload"
+	"lowfive/mpi"
 )
 
 func faultSpec(t *testing.T) workload.Spec {
@@ -53,8 +55,11 @@ func TestFaultTrialSweepBitIdentical(t *testing.T) {
 func TestFaultTrialCrashUsesRecoveryPaths(t *testing.T) {
 	// A producer crash mid-serve must actually exercise the degraded paths:
 	// either queries failed over to another rank, or reads fell back to the
-	// file on the PFS (usually both).
+	// file on the PFS (usually both). Small chunks make every data response
+	// a multi-frame stream, so the crash-mid-stream case really kills the
+	// producer in the middle of one.
 	c := QuickConfig()
+	c.ChunkBytes = 2 << 10
 	spec := faultSpec(t)
 	var crash []FaultCase
 	for _, fc := range DefaultFaultCases(99) {
@@ -99,4 +104,32 @@ func TestFaultTrialBaselineCleanCountersZero(t *testing.T) {
 	if qs.Failovers != 0 || qs.FileFallbacks != 0 {
 		t.Errorf("fault-free run recorded failovers=%d fallbacks=%d", qs.Failovers, qs.FileFallbacks)
 	}
+}
+
+func TestFaultTrialDoneAckLastAckRace(t *testing.T) {
+	// Regression: with seed 1 this exact plan corrupts the acknowledgment of
+	// the consumer's done to producer rank 0 — after the producer has counted
+	// the done and exited its serve loop, so no retry can ever be answered.
+	// Close used to give up on the first failed done call, stranding the
+	// remaining producers' serve sessions in a whole-world deadlock. It must
+	// instead treat the terminal ack timeout as a counted done and still
+	// notify every other producer rank.
+	c := QuickConfig()
+	spec, err := c.specFor(4, c.ScaleFactor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := mpi.FaultPlan{Seed: 1, Rules: []mpi.FaultRule{
+		{Action: mpi.FaultCorrupt, Rank: mpi.AnyRank, Tag: rpc.TagResponse, After: 5, Count: 2},
+	}}
+	secs, data, _, err := c.faultExchange(spec, &plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, d := range data {
+		if len(d) == 0 {
+			t.Errorf("consumer %d received no data", r)
+		}
+	}
+	t.Logf("exchange under done-ack corruption completed in %.3fs", secs)
 }

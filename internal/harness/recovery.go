@@ -1,0 +1,302 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"lowfive"
+	"lowfive/h5"
+	"lowfive/internal/buf"
+	"lowfive/internal/native"
+	"lowfive/internal/pfs"
+	"lowfive/internal/rpc"
+	"lowfive/mpi"
+	"lowfive/workflow"
+)
+
+// Recovery trials run an epoch-structured producer–consumer coupling under
+// supervised failure policies (workflow.RunSupervised) and seeded chaos
+// plans: a producer rank is crashed or hung mid-run, the supervisor detects
+// it (crash event or heartbeat expiry), tears the task down, relaunches it
+// with fresh communicators, and the restarted incarnation resumes from its
+// last completed epoch — rejoining already-published files from the
+// checkpoint containers on the simulated PFS. Every case must end with the
+// consumers holding data bit-identical to a fault-free run.
+
+// RecoveryCase is one supervised-recovery scenario of a sweep.
+type RecoveryCase struct {
+	// Name labels the case in reports.
+	Name string
+	// Plan is the seeded fault plan injected into the world.
+	Plan mpi.FaultPlan
+	// Policy is the supervision policy the run executes under.
+	Policy workflow.Policy
+	// WantRestarts is the number of task restarts the plan must force; the
+	// sweep reports an error when the observed count differs (a rule that
+	// never fired proves nothing).
+	WantRestarts int
+	// WantHung marks cases whose fault is a hang — detectable only by the
+	// heartbeat deadline, never as a crash event.
+	WantHung bool
+}
+
+// RecoveryResult is the outcome of one recovery case.
+type RecoveryResult struct {
+	// Name is the case label.
+	Name string
+	// Seconds is the exchange wall time including detection, backoff,
+	// restart and rejoin.
+	Seconds float64
+	// Identical reports whether every consumer's per-epoch data matched the
+	// fault-free baseline bit for bit.
+	Identical bool
+	// Stats is the supervised run's restart/recovery accounting.
+	Stats workflow.RunStats
+	// Pool is the trial's chunk-pool snapshot after the run; Outstanding
+	// must be back to zero — a torn-down incarnation's in-flight frames are
+	// released by the teardown, not leaked.
+	Pool buf.PoolStats
+	// Err is the first error any rank raised, or a sweep-level assertion
+	// failure (expected restarts did not happen).
+	Err error
+}
+
+// The fixed coupling shape of every recovery trial: two producer ranks
+// publish one row-decomposed uint64 grid per epoch, two consumer ranks read
+// column slabs of it. Element values encode (epoch, global index), so the
+// bit-compare against the baseline is also a value check.
+const (
+	recoveryProducers = 2
+	recoveryConsumers = 2
+	recoveryEpochs    = 3
+	// recoveryHeartbeat is the hang-detection deadline of the hang case:
+	// generous against cost-modeled PFS and network delays (a few ms per
+	// op), tiny against the watchdog.
+	recoveryHeartbeat = 300 * time.Millisecond
+	// recoveryPoolLimit bounds the trial's private chunk pool; small enough
+	// that leaked frames from a torn-down incarnation would show up as
+	// overflow on the restarted one.
+	recoveryPoolLimit = 16
+)
+
+var recoveryDims = []int64{24, 16}
+
+// recoveryExchange runs one supervised epoch exchange with the given plan
+// (nil for the fault-free baseline) and returns the wall seconds, each
+// consumer rank's received bytes (epochs concatenated in order), the run
+// stats, and the chunk-pool snapshot.
+func (c Config) recoveryExchange(plan *mpi.FaultPlan, pol workflow.Policy) (float64, [][]byte, *workflow.RunStats, buf.PoolStats, error) {
+	fs := pfs.New(c.FS)
+	rec := &Recorder{}
+	var errs errCollector
+	data := make([][]byte, recoveryConsumers)
+	var mu sync.Mutex
+	chunk := c.ChunkBytes
+	if chunk == 0 {
+		chunk = buf.DefaultChunkBytes
+	}
+	pool := buf.NewPool(chunk, recoveryPoolLimit)
+
+	// A failed producer rank surfaces as a RankFailedError somewhere in a
+	// peer's error chain while the task is torn down; under supervision that
+	// is the expected shape of the fault, not a trial error.
+	tolerable := func(err error) bool {
+		var rf *mpi.RankFailedError
+		return errors.As(err, &rf)
+	}
+
+	g := workflow.Graph{
+		Tasks: []workflow.Task{
+			{Name: "producer", Procs: recoveryProducers},
+			{Name: "consumer", Procs: recoveryConsumers},
+		},
+		Edges: []workflow.Edge{{From: "producer", To: "consumer", Pattern: "epoch*.h5"}},
+	}
+	rows := recoveryDims[0] / recoveryProducers
+	cols := recoveryDims[1] / recoveryConsumers
+	g.BindEpoch("producer", func(p *mpi.Proc, vol *lowfive.DistMetadataVOL, fapl *h5.FileAccessProps, ctx *workflow.TaskCtx) {
+		vol.ChunkPool = pool
+		r := int64(p.Task.Rank())
+		rec.Start()
+		defer rec.Stop()
+		for e := ctx.Epoch; e < recoveryEpochs; e++ {
+			f, err := h5.CreateFile(fmt.Sprintf("epoch%d.h5", e), fapl)
+			if err != nil {
+				errs.add(err)
+				return
+			}
+			ds, err := f.CreateDataset("grid", h5.U64, h5.NewSimple(recoveryDims...))
+			if err != nil {
+				errs.add(err)
+				return
+			}
+			sel := h5.NewSimple(recoveryDims...)
+			sel.SelectHyperslab(h5.SelectSet, []int64{r * rows, 0}, []int64{rows, recoveryDims[1]})
+			vals := make([]uint64, rows*recoveryDims[1])
+			for i := range vals {
+				vals[i] = uint64(e)*1_000_000 + uint64(r*rows*recoveryDims[1]) + uint64(i)
+			}
+			if err := ds.Write(nil, sel, h5.Bytes(vals)); err != nil {
+				errs.add(err)
+				return
+			}
+			ds.Close()
+			if err := f.Close(); err != nil { // checkpoint + index + serve
+				if !tolerable(err) {
+					errs.add(err)
+				}
+				return
+			}
+			ctx.EpochDone(e)
+		}
+	})
+	g.BindEpoch("consumer", func(p *mpi.Proc, vol *lowfive.DistMetadataVOL, fapl *h5.FileAccessProps, ctx *workflow.TaskCtx) {
+		r := p.Task.Rank()
+		mu.Lock()
+		data[r] = nil // a restarted consumer attempt must not double-append
+		mu.Unlock()
+		rec.Start()
+		defer rec.Stop()
+		for e := ctx.Epoch; e < recoveryEpochs; e++ {
+			f, err := h5.OpenFile(fmt.Sprintf("epoch%d.h5", e), fapl)
+			if err != nil {
+				if !tolerable(err) {
+					errs.add(err)
+				}
+				return
+			}
+			ds, err := f.OpenDataset("grid")
+			if err != nil {
+				errs.add(err)
+				return
+			}
+			sel := h5.NewSimple(recoveryDims...)
+			sel.SelectHyperslab(h5.SelectSet, []int64{0, int64(r) * cols}, []int64{recoveryDims[0], cols})
+			out := make([]uint64, recoveryDims[0]*cols)
+			if err := ds.Read(nil, sel, h5.Bytes(out)); err != nil {
+				if !tolerable(err) {
+					errs.add(err)
+				}
+				return
+			}
+			ds.Close()
+			if err := f.Close(); err != nil {
+				if !tolerable(err) {
+					errs.add(err)
+				}
+				return
+			}
+			mu.Lock()
+			data[r] = append(data[r], h5.Bytes(out)...)
+			mu.Unlock()
+			ctx.EpochDone(e)
+		}
+	})
+
+	opts := append(c.mpiOpts(), mpi.WithWatchdog(faultWatchdog))
+	if plan != nil {
+		opts = append(opts, mpi.WithFaultPlan(*plan))
+	}
+	stats, err := workflow.RunSupervised(g,
+		func() h5.Connector { return native.New(native.PFSBackend(fs)) }, pol, opts...)
+	if err == nil {
+		err = errs.first()
+	}
+	// Receivers release pooled frames as they drain; give stragglers a
+	// moment before snapshotting so Outstanding reflects the settled state.
+	for i := 0; i < 200 && pool.Outstanding() > 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	return rec.Seconds(), data, stats, pool.Stats(), err
+}
+
+// DefaultRecoveryCases is the standard supervised-recovery sweep. Every
+// fault rule is Count-bounded: fired counts persist across restarts, so an
+// unbounded crash or hang rule would take down every relaunched incarnation
+// until the restart budget ran out.
+func DefaultRecoveryCases(seed int64) []RecoveryCase {
+	restart := workflow.Policy{Mode: workflow.Restart, Backoff: time.Millisecond}
+	hang := restart
+	hang.Heartbeat = recoveryHeartbeat
+	return []RecoveryCase{
+		// World rank 0 is producer task rank 0 (tasks are laid out in spec
+		// order). After 10 responses it is past the first epoch's serve
+		// traffic, so the restart exercises rejoin of completed epochs, not
+		// just a from-scratch rerun.
+		{Name: "crash-then-restart", WantRestarts: 1, Policy: restart,
+			Plan: mpi.FaultPlan{Seed: seed, Rules: []mpi.FaultRule{
+				{Action: mpi.FaultCrash, Rank: 0, Tag: rpc.TagResponse, After: 10, Count: 1},
+			}}},
+		// The hang parks the rank without marking it blocked: no crash event
+		// is ever raised, and only the heartbeat deadline can notice the
+		// missing progress.
+		{Name: "hang-then-timeout", WantRestarts: 1, WantHung: true, Policy: hang,
+			Plan: mpi.FaultPlan{Seed: seed, Rules: []mpi.FaultRule{
+				{Action: mpi.FaultHang, Rank: 0, Tag: rpc.TagResponse, After: 10, Count: 1},
+			}}},
+		// Crash recovery under ambient message loss: the consumers' retry
+		// budget absorbs the drops while they wait out the restart.
+		{Name: "crash-under-loss", WantRestarts: 1, Policy: restart,
+			Plan: mpi.FaultPlan{Seed: seed, Rules: []mpi.FaultRule{
+				{Action: mpi.FaultCrash, Rank: 0, Tag: rpc.TagResponse, After: 10, Count: 1},
+				{Action: mpi.FaultDrop, Rank: mpi.AnyRank, Tag: rpc.TagRequest, Count: 2},
+			}}},
+	}
+}
+
+// RecoverySweep runs the fault-free baseline and then every case, comparing
+// each case's consumer data bit for bit against the baseline and checking
+// that the plan's faults actually forced the expected restarts.
+func (c Config) RecoverySweep(cases []RecoveryCase) ([]RecoveryResult, error) {
+	basePol := workflow.Policy{Mode: workflow.Restart, Backoff: time.Millisecond}
+	_, baseline, _, _, err := c.recoveryExchange(nil, basePol)
+	if err != nil {
+		return nil, fmt.Errorf("harness: recovery baseline failed: %w", err)
+	}
+	for r, b := range baseline {
+		if len(b) == 0 {
+			return nil, fmt.Errorf("harness: recovery baseline consumer %d received no data", r)
+		}
+	}
+	out := make([]RecoveryResult, 0, len(cases))
+	for _, rc := range cases {
+		secs, data, stats, ps, err := c.recoveryExchange(&rc.Plan, rc.Policy)
+		res := RecoveryResult{Name: rc.Name, Seconds: secs, Pool: ps, Err: err}
+		if stats != nil {
+			res.Stats = *stats
+		}
+		if res.Err == nil {
+			res.Identical = equalRankData(baseline, data)
+			if rc.WantRestarts > 0 && res.Stats.RestartCount != rc.WantRestarts {
+				res.Err = fmt.Errorf("harness: %d restarts, want %d (the fault did not bite)",
+					res.Stats.RestartCount, rc.WantRestarts)
+			} else if rc.WantHung && res.Stats.HungDetected == 0 {
+				res.Err = fmt.Errorf("harness: hang was not detected by the heartbeat")
+			}
+		}
+		c.logf("recovery case %-20s identical=%v restarts=%d hung=%d recovered-epochs=%d rejoined=%d err=%v\n",
+			rc.Name, res.Identical, res.Stats.RestartCount, res.Stats.HungDetected,
+			res.Stats.RecoveredEpochs, res.Stats.Reindexed, res.Err)
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// PrintRecoveryTable renders a recovery sweep as an aligned text table.
+func PrintRecoveryTable(w io.Writer, results []RecoveryResult) {
+	fmt.Fprintf(w, "Supervised recovery sweep: restart + rejoin vs fault-free baseline\n")
+	fmt.Fprintf(w, "%-20s %10s %10s %9s %5s %7s %10s  %s\n",
+		"case", "seconds", "identical", "restarts", "hung", "epochs", "reindexed", "error")
+	for _, r := range results {
+		errStr := ""
+		if r.Err != nil {
+			errStr = r.Err.Error()
+		}
+		fmt.Fprintf(w, "%-20s %9.4fs %10v %9d %5d %7d %10d  %s\n",
+			r.Name, r.Seconds, r.Identical, r.Stats.RestartCount, r.Stats.HungDetected,
+			r.Stats.RecoveredEpochs, r.Stats.Reindexed, errStr)
+	}
+}

@@ -112,6 +112,15 @@ type Client struct {
 	// Backoff is the wait after the first timed-out attempt; it doubles per
 	// retry. Zero means retry immediately.
 	Backoff time.Duration
+	// RetryFailed keeps polling when the addressed peer has crashed instead
+	// of failing the call immediately: under a supervised workflow the peer
+	// may be torn down and relaunched, and a retried request (sends to a
+	// dead rank are silently dropped) reaches the fresh incarnation. The
+	// call still fails once the retry budget is spent with the peer down,
+	// with a *CallError wrapping mpi.RankFailedError — so the budget bounds
+	// how long a restart may take. Requires a Timeout; the fail-stop path
+	// ignores it.
+	RetryFailed bool
 
 	mu  sync.Mutex
 	seq uint64
@@ -194,10 +203,16 @@ func (c *Client) await(dest int, seq uint64, req []byte) (resp []byte, err error
 		}
 	}
 	backoff := c.Backoff
+	var down *mpi.RankFailedError
 	for attempt := 0; ; attempt++ {
 		deadline := time.Now().Add(c.Timeout)
 		for time.Now().Before(deadline) {
-			msg, _, got := c.IC.TryRecv(dest, tagResponse)
+			msg, got, pd := c.tryRecv(dest)
+			if pd != nil {
+				down = pd
+				spin.Wait(pollInterval)
+				continue
+			}
 			if !got {
 				spin.Wait(pollInterval)
 				continue
@@ -209,14 +224,39 @@ func (c *Client) await(dest int, seq uint64, req []byte) (resp []byte, err error
 			buf.Release(msg)
 		}
 		if attempt >= c.Retries {
+			if down != nil {
+				return nil, &CallError{Dest: dest, Err: down}
+			}
 			return nil, &CallError{Dest: dest, Err: &TimeoutError{Dest: dest, Timeout: c.Timeout}}
 		}
 		if backoff > 0 {
 			spin.Wait(backoff)
 			backoff *= 2
 		}
+		down = nil
 		c.IC.Send(dest, tagRequest, seal(seq, req))
 	}
+}
+
+// tryRecv polls for one response message from dest. With RetryFailed set, a
+// crashed peer surfaces as a non-nil down error instead of a panic, so the
+// polling loops can wait out a supervised restart window; without it the
+// mpi.RankFailedError panic propagates (fail-stop behavior, recovered by the
+// callers' deferred handlers).
+func (c *Client) tryRecv(dest int) (msg []byte, got bool, down *mpi.RankFailedError) {
+	if c.RetryFailed {
+		defer func() {
+			if r := recover(); r != nil {
+				if rf, ok := r.(*mpi.RankFailedError); ok {
+					msg, got, down = nil, false, rf
+					return
+				}
+				panic(r)
+			}
+		}()
+	}
+	msg, _, got = c.IC.TryRecv(dest, tagResponse)
+	return msg, got, nil
 }
 
 // Handler processes one request from remote rank src. Returning a nil

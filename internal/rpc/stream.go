@@ -168,10 +168,16 @@ func (sc *StreamCall) Drain(onFrame func(payload []byte) error) (err error) {
 		}
 	}
 	backoff := c.Backoff
+	var down *mpi.RankFailedError
 	for attempt := 0; ; attempt++ {
 		deadline := time.Now().Add(c.Timeout)
 		for time.Now().Before(deadline) {
-			msg, _, got := c.IC.TryRecv(sc.dest, tagResponse)
+			msg, got, pd := c.tryRecv(sc.dest)
+			if pd != nil {
+				down = pd
+				spin.Wait(pollInterval)
+				continue
+			}
 			if !got {
 				spin.Wait(pollInterval)
 				continue
@@ -195,11 +201,28 @@ func (sc *StreamCall) Drain(onFrame func(payload []byte) error) (err error) {
 			backoff = c.Backoff
 		}
 		if attempt >= c.Retries {
+			if down != nil {
+				return &CallError{Dest: sc.dest, Err: down}
+			}
 			return &CallError{Dest: sc.dest, Err: &TimeoutError{Dest: sc.dest, Timeout: c.Timeout}}
 		}
 		if backoff > 0 {
 			spin.Wait(backoff)
 			backoff *= 2
+		}
+		if down != nil {
+			// The peer crashed mid-stream (and may be relaunched by a
+			// supervisor). Restart the accept cursor along with the
+			// re-dispatch: a restarted producer may segment the re-streamed
+			// response differently (its rejoined triples need not match the
+			// originals), so discarding "already consumed" indices could
+			// skip regions the new segmentation packs there. Re-consuming
+			// is safe on this path — streamed frames are self-describing
+			// box-addressed scatters, applied in stream order. Plain loss
+			// recovery (no crash) keeps the cursor: the re-stream is
+			// identical and consumed indices are skipped as before.
+			sc.next = 0
+			down = nil
 		}
 		c.IC.Send(sc.dest, tagRequest, seal(sc.seq, sc.req))
 	}

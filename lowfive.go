@@ -189,6 +189,7 @@ const (
 	FaultDuplicate = mpi.FaultDuplicate
 	FaultCorrupt   = mpi.FaultCorrupt
 	FaultCrash     = mpi.FaultCrash
+	FaultHang      = mpi.FaultHang
 )
 
 // AnyRank matches every world rank in a FaultRule.
@@ -198,3 +199,33 @@ const AnyRank = mpi.AnyRank
 // receives. The RPC layer converts it into an error value; raw mpi users
 // recover it from the blocking call.
 type RankFailedError = mpi.RankFailedError
+
+// --- supervised workflows ---
+
+// TaskFailure is the typed event a supervised run emits when a task rank
+// crashes or its heartbeat expires; FailFast policies return it as the
+// run's error.
+type TaskFailure = mpi.TaskFailure
+
+// Decision is a supervisor policy's answer to a TaskFailure.
+type Decision = mpi.Decision
+
+// Supervisor decisions.
+const (
+	FailWorkflow = mpi.FailWorkflow
+	DegradeTask  = mpi.DegradeTask
+	RestartTask  = mpi.RestartTask
+)
+
+// Supervisor configures the failure monitor of mpi.RunWorkflowSupervised
+// (heartbeat deadline, failure policy, restart backoff). The workflow
+// package's RunSupervised builds one from a declarative Policy.
+type Supervisor = mpi.Supervisor
+
+// WorkflowStats is what a supervised run observed (restarts per task,
+// failure events, hang detections).
+type WorkflowStats = mpi.WorkflowStats
+
+// RejoinStats reports what a restarted producer rank rebuilt from its
+// checkpoint container via DistMetadataVOL.Rejoin.
+type RejoinStats = core.RejoinStats

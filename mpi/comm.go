@@ -22,6 +22,7 @@ type Comm struct {
 	rank  int   // this handle's rank within the group
 
 	collSeq uint64 // per-handle collective sequence; identical across ranks by the usual MPI ordering requirement
+	inc     uint32 // incarnation of the owning rank this handle belongs to (supervised worlds)
 }
 
 // Rank returns the calling rank within this communicator.
@@ -67,6 +68,7 @@ func (c *Comm) Send(dest, tag int, data []byte) {
 		t0 = time.Now()
 	}
 	w := c.world
+	w.opGate(c.ranks[c.rank], c.inc)
 	deliver := true
 	var dupData []byte
 	if w.fault != nil {
@@ -144,10 +146,11 @@ func (c *Comm) Recv(src, tag int) ([]byte, Status) {
 		t0 = time.Now()
 	}
 	self := c.ranks[c.rank]
+	c.world.opGate(self, c.inc)
 	if c.world.fault != nil {
 		c.world.injectRecv(self, tag, tr)
 	}
-	m := c.world.boxes[self].take(c.world, self, c.id, src, tag, c.worldSrc(src), true)
+	m := c.world.boxes[self].take(c.world, self, c.id, src, tag, c.worldSrc(src), c.inc, true)
 	if tr != nil {
 		tr.Span("mpi", "recv", t0, time.Now(),
 			trace.I64("src", int64(m.src)), trace.I64("tag", int64(m.tag)),
@@ -162,7 +165,9 @@ func (c *Comm) Probe(src, tag int) Status {
 	if src != AnySource {
 		c.checkRank(src)
 	}
-	m := c.world.boxes[c.ranks[c.rank]].take(c.world, c.ranks[c.rank], c.id, src, tag, c.worldSrc(src), false)
+	self := c.ranks[c.rank]
+	c.world.opGate(self, c.inc)
+	m := c.world.boxes[self].take(c.world, self, c.id, src, tag, c.worldSrc(src), c.inc, false)
 	return Status{Source: m.src, Tag: m.tag, Bytes: len(m.data)}
 }
 
@@ -171,7 +176,9 @@ func (c *Comm) Iprobe(src, tag int) (Status, bool) {
 	if src != AnySource {
 		c.checkRank(src)
 	}
-	m := c.world.boxes[c.ranks[c.rank]].tryTake(c.world, c.ranks[c.rank], c.id, src, tag, c.worldSrc(src), false)
+	self := c.ranks[c.rank]
+	c.world.opGate(self, c.inc)
+	m := c.world.boxes[self].tryTake(c.world, self, c.id, src, tag, c.worldSrc(src), c.inc, false)
 	if m == nil {
 		return Status{}, false
 	}
@@ -215,7 +222,7 @@ func (c *Comm) Dup() *Comm {
 	// Dup is collective; synchronize like a barrier so no rank races ahead
 	// and sends on the duplicate before everyone has derived it.
 	c.barrier(seq)
-	return &Comm{world: c.world, id: deriveID(c.id, seq, "dup", 0), ranks: c.ranks, rank: c.rank}
+	return &Comm{world: c.world, id: deriveID(c.id, seq, "dup", 0), ranks: c.ranks, rank: c.rank, inc: c.inc}
 }
 
 // Split partitions the communicator by color. Ranks passing the same color
@@ -259,5 +266,5 @@ func (c *Comm) Split(color, key int) *Comm {
 			myRank = i
 		}
 	}
-	return &Comm{world: c.world, id: deriveID(c.id, seq, "split", color), ranks: ranks, rank: myRank}
+	return &Comm{world: c.world, id: deriveID(c.id, seq, "split", color), ranks: ranks, rank: myRank, inc: c.inc}
 }

@@ -42,6 +42,11 @@ const (
 	// marked failed, peers blocked on it get a RankFailedError, and the
 	// rank's goroutine terminates.
 	FaultCrash
+	// FaultHang parks the rank at the matching operation without marking it
+	// failed: peers see a live-but-silent rank, the scenario heartbeat
+	// detection exists for. The rank wakes (and dies) only when the
+	// supervisor declares it failed or the world aborts.
+	FaultHang
 )
 
 // String names the action (for trace instants and error messages).
@@ -57,6 +62,8 @@ func (a FaultAction) String() string {
 		return "corrupt"
 	case FaultCrash:
 		return "crash"
+	case FaultHang:
+		return "hang"
 	default:
 		return fmt.Sprintf("action(%d)", uint8(a))
 	}
@@ -254,7 +261,16 @@ func (w *World) injectSend(worldSrc, tag int, data []byte, tr *trace.Track) (pay
 		buf.Release(data)
 		return out, nil, true
 	case FaultCrash:
+		// The rank dies mid-send and never delivers: the payload's pooled
+		// chunk must return to its pool, exactly as deliver() releases a
+		// message addressed to a dead rank.
+		buf.Release(data)
 		w.crash(worldSrc)
+	case FaultHang:
+		// A hung rank never resumes the send either (it leaves only by
+		// dying), so its undelivered payload is released the same way.
+		buf.Release(data)
+		w.hang(worldSrc)
 	}
 	return data, nil, true
 }
@@ -269,8 +285,31 @@ func (w *World) injectRecv(worldRank, tag int, tr *trace.Track) {
 	if tr != nil {
 		tr.Instant("fault", "fault."+rule.Action.String(), trace.I64("tag", int64(tag)))
 	}
-	if rule.Action == FaultCrash {
+	switch rule.Action {
+	case FaultCrash:
 		w.crash(worldRank)
+	case FaultHang:
+		w.hang(worldRank)
+	}
+}
+
+// hang parks the calling rank's goroutine until something declares it dead:
+// the supervisor's heartbeat marking the rank failed, or a world abort. The
+// mailbox's waiting flag stays false, so the rank looks live-but-silent —
+// deadlock detection cannot see it, only the heartbeat deadline can. The
+// blocked counter is still incremented so the unsupervised watchdog covers
+// a hang in worlds without a supervisor.
+func (w *World) hang(worldRank int) {
+	w.blocked.Add(1)
+	defer w.blocked.Add(-1)
+	w.failMu.Lock()
+	ch := w.failedCh[worldRank]
+	w.failMu.Unlock()
+	select {
+	case <-ch:
+		panic(rankCrashPanic{rank: worldRank})
+	case <-w.abortCh:
+		panic(&AbortedError{Err: w.abortReason()})
 	}
 }
 
@@ -282,13 +321,30 @@ func (w *World) crash(worldRank int) {
 }
 
 // markFailed records a rank failure and wakes all mailboxes so blocked
-// operations re-check their peer.
+// operations re-check their peer. Under supervision it also pushes the rank
+// onto the failure event stream the supervisor consumes; failMu serializes
+// it against reviveRank so a failure and a revival cannot interleave on the
+// same failedCh slot.
 func (w *World) markFailed(worldRank int) {
+	w.failMu.Lock()
 	if w.failed[worldRank].Swap(true) {
+		w.failMu.Unlock()
 		return
 	}
 	w.crashed.Add(1)
-	close(w.failedCh[worldRank])
+	ch := w.failedCh[worldRank]
+	events := w.failEvents
+	w.failMu.Unlock()
+	close(ch)
+	if events != nil {
+		select {
+		case events <- worldRank:
+		default:
+			// The supervisor's buffer is full (it is draining); never block
+			// a crashing rank's goroutine on event delivery.
+			go func() { events <- worldRank }()
+		}
+	}
 	for _, b := range w.boxes {
 		b.wakeAll()
 	}
@@ -313,7 +369,10 @@ func (w *World) FailedRanks() []int {
 
 // FailedChan returns a channel closed when the given world rank fails;
 // layers parking a rank's main goroutine on an in-process condition (e.g.
-// a serve session) select on it so an injected crash releases them.
+// a serve session) select on it so an injected crash releases them. Read
+// under failMu because reviveRank replaces the channel on restart.
 func (w *World) FailedChan(worldRank int) <-chan struct{} {
+	w.failMu.Lock()
+	defer w.failMu.Unlock()
 	return w.failedCh[worldRank]
 }

@@ -16,6 +16,7 @@ type Intercomm struct {
 	remote []int // world ranks of the remote group
 	rank   int   // calling rank within the local group
 	sideA  bool  // true on the group that was listed first at creation
+	inc    uint32
 }
 
 // NewIntercomm builds one side's handle of an intercommunicator. localRanks
@@ -70,6 +71,7 @@ func (ic *Intercomm) Send(dest, tag int, data []byte) {
 		t0 = time.Now()
 	}
 	w := ic.world
+	w.opGate(ic.local[ic.rank], ic.inc)
 	deliver := true
 	var dupData []byte
 	if w.fault != nil {
@@ -102,10 +104,11 @@ func (ic *Intercomm) Recv(src, tag int) ([]byte, Status) {
 		t0 = time.Now()
 	}
 	self := ic.local[ic.rank]
+	ic.world.opGate(self, ic.inc)
 	if ic.world.fault != nil {
 		ic.world.injectRecv(self, tag, tr)
 	}
-	m := ic.world.boxes[self].take(ic.world, self, ic.recvID(), src, tag, ic.worldSrc(src), true)
+	m := ic.world.boxes[self].take(ic.world, self, ic.recvID(), src, tag, ic.worldSrc(src), ic.inc, true)
 	if tr != nil {
 		tr.Span("mpi", "ic.recv", t0, time.Now(),
 			trace.I64("src", int64(m.src)), trace.I64("tag", int64(m.tag)),
@@ -119,7 +122,8 @@ func (ic *Intercomm) Recv(src, tag int) ([]byte, Status) {
 // with it so a lost reply surfaces as a timeout instead of a hang.
 func (ic *Intercomm) TryRecv(src, tag int) ([]byte, Status, bool) {
 	self := ic.local[ic.rank]
-	m := ic.world.boxes[self].tryTake(ic.world, self, ic.recvID(), src, tag, ic.worldSrc(src), true)
+	ic.world.opGate(self, ic.inc)
+	m := ic.world.boxes[self].tryTake(ic.world, self, ic.recvID(), src, tag, ic.worldSrc(src), ic.inc, true)
 	if m == nil {
 		return nil, Status{}, false
 	}
@@ -130,7 +134,8 @@ func (ic *Intercomm) TryRecv(src, tag int) ([]byte, Status, bool) {
 // without receiving it.
 func (ic *Intercomm) Probe(src, tag int) Status {
 	self := ic.local[ic.rank]
-	m := ic.world.boxes[self].take(ic.world, self, ic.recvID(), src, tag, ic.worldSrc(src), false)
+	ic.world.opGate(self, ic.inc)
+	m := ic.world.boxes[self].take(ic.world, self, ic.recvID(), src, tag, ic.worldSrc(src), ic.inc, false)
 	return Status{Source: m.src, Tag: m.tag, Bytes: len(m.data)}
 }
 
@@ -138,7 +143,8 @@ func (ic *Intercomm) Probe(src, tag int) Status {
 // available.
 func (ic *Intercomm) Iprobe(src, tag int) (Status, bool) {
 	self := ic.local[ic.rank]
-	m := ic.world.boxes[self].tryTake(ic.world, self, ic.recvID(), src, tag, ic.worldSrc(src), false)
+	ic.world.opGate(self, ic.inc)
+	m := ic.world.boxes[self].tryTake(ic.world, self, ic.recvID(), src, tag, ic.worldSrc(src), ic.inc, false)
 	if m == nil {
 		return Status{}, false
 	}

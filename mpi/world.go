@@ -21,6 +21,7 @@ type World struct {
 
 	aborted  atomic.Bool
 	abortErr atomic.Pointer[abortError]
+	abortCh  chan struct{}
 
 	// progress counters for the deadlock watchdog
 	delivered atomic.Uint64
@@ -36,11 +37,26 @@ type World struct {
 	failedCh  []chan struct{}
 	crashed   atomic.Int64
 
+	// supervision state (active only under RunWorkflowSupervised): per-rank
+	// heartbeats, incarnation counters for restart, application epoch
+	// markers, and the failure event stream the supervisor consumes. failMu
+	// serializes crash/revive transitions so a rank is never observed
+	// half-revived.
+	supervised bool
+	beats      []atomic.Int64  // UnixNano of each rank's last operation
+	incs       []atomic.Uint32 // incarnation per rank; bumped by reviveRank
+	epochs     []atomic.Int64  // application epoch marker per rank
+	failMu     sync.Mutex
+	failEvents chan int
+
 	// tracer, when set, records every message-passing operation onto
 	// per-world-rank tracks (one append-only buffer per rank, so recording
 	// never contends across ranks). Nil tracks make recording a no-op.
 	tracer *trace.Tracer
 	tracks []*trace.Track
+
+	ranksOnce sync.Once
+	allRanks  []int
 }
 
 type abortError struct{ err error }
@@ -71,10 +87,23 @@ type RankProgress struct {
 	// BlockedTotal is the cumulative time this rank has spent blocked in
 	// receives — the per-rank blocked-in-recv counter.
 	BlockedTotal time.Duration
+	// Failed reports whether the rank itself has crashed (fault injection
+	// or a supervisor teardown).
+	Failed bool
+	// WaitWorldSrc is the world rank of the peer the blocking receive waits
+	// on, or -1 for AnySource; meaningless unless Blocked.
+	WaitWorldSrc int
+	// WaitSrcFailed reports whether that peer has crashed — the receive can
+	// only ever end in RankFailedError, which distinguishes a failure in
+	// flight from a genuine deadlock among live ranks.
+	WaitSrcFailed bool
 }
 
 // String renders one progress line.
 func (p RankProgress) String() string {
+	if p.Failed {
+		return fmt.Sprintf("rank %d: crashed (%d msgs received)", p.Rank, p.Received)
+	}
 	if !p.Blocked {
 		return fmt.Sprintf("rank %d: running (%d msgs received, blocked %s total)",
 			p.Rank, p.Received, p.BlockedTotal.Round(time.Millisecond))
@@ -87,8 +116,16 @@ func (p RankProgress) String() string {
 	if p.WaitTag != AnyTag {
 		tag = fmt.Sprintf("%d", p.WaitTag)
 	}
-	return fmt.Sprintf("rank %d: blocked %s in Recv(src=%s, tag=%s) (%d msgs received)",
-		p.Rank, p.BlockedFor.Round(time.Millisecond), src, tag, p.Received)
+	peer := ""
+	if p.WaitWorldSrc >= 0 {
+		if p.WaitSrcFailed {
+			peer = " [peer crashed]"
+		} else {
+			peer = " [peer live]"
+		}
+	}
+	return fmt.Sprintf("rank %d: blocked %s in Recv(src=%s, tag=%s)%s (%d msgs received)",
+		p.Rank, p.BlockedFor.Round(time.Millisecond), src, tag, peer, p.Received)
 }
 
 // DeadlockError is reported by the watchdog when every rank has been blocked
@@ -101,7 +138,19 @@ type DeadlockError struct {
 
 func (e *DeadlockError) Error() string {
 	var b strings.Builder
+	crashed, waitingOnDead := 0, 0
+	for _, p := range e.Ranks {
+		if p.Failed {
+			crashed++
+		} else if p.Blocked && p.WaitSrcFailed {
+			waitingOnDead++
+		}
+	}
 	fmt.Fprintf(&b, "mpi: deadlock detected: all %d ranks blocked in Recv/Probe", e.Blocked)
+	if crashed > 0 || waitingOnDead > 0 {
+		fmt.Fprintf(&b, " (%d ranks crashed, %d live ranks waiting on a crashed peer)",
+			crashed, waitingOnDead)
+	}
 	const maxLines = 8
 	for i, p := range e.Ranks {
 		if i == maxLines {
@@ -143,7 +192,7 @@ func NewWorld(size int, opts ...Option) *World {
 	if size <= 0 {
 		panic("mpi: world size must be positive")
 	}
-	w := &World{size: size, watchdog: 30 * time.Second}
+	w := &World{size: size, watchdog: 30 * time.Second, abortCh: make(chan struct{})}
 	for _, o := range opts {
 		o(w)
 	}
@@ -156,6 +205,9 @@ func NewWorld(size int, opts ...Option) *World {
 	for i := range w.failedCh {
 		w.failedCh[i] = make(chan struct{})
 	}
+	w.beats = make([]atomic.Int64, size)
+	w.incs = make([]atomic.Uint32, size)
+	w.epochs = make([]atomic.Int64, size)
 	if w.faultPlan != nil {
 		w.fault = newFaultState(*w.faultPlan, size)
 	}
@@ -192,11 +244,77 @@ func (w *World) track(worldRank int) *trace.Track {
 // when a rank panics so the remaining ranks do not deadlock.
 func (w *World) Abort(err error) {
 	w.abortErr.CompareAndSwap(nil, &abortError{err})
-	w.aborted.Store(true)
+	if !w.aborted.Swap(true) {
+		close(w.abortCh)
+	}
 	for _, b := range w.boxes {
 		b.wakeAll()
 	}
 }
+
+// enableSupervision turns on per-rank heartbeats, incarnation checking and
+// the failure event stream. It must be called before Run.
+func (w *World) enableSupervision() {
+	w.supervised = true
+	w.failEvents = make(chan int, 4*w.size)
+	now := time.Now().UnixNano()
+	for i := range w.beats {
+		w.beats[i].Store(now)
+	}
+}
+
+// opGate guards every communicator operation under supervision: an
+// operation through a handle of a previous incarnation (a stale helper
+// goroutine that outlived a restart) dies like the crashed rank it belonged
+// to, and a live operation refreshes the rank's heartbeat.
+func (w *World) opGate(self int, inc uint32) {
+	if !w.supervised {
+		return
+	}
+	if w.incs[self].Load() != inc {
+		panic(rankCrashPanic{rank: self})
+	}
+	w.beats[self].Store(time.Now().UnixNano())
+}
+
+// lastBeat returns the UnixNano timestamp of the rank's last operation.
+func (w *World) lastBeat(worldRank int) int64 { return w.beats[worldRank].Load() }
+
+// reviveRank clears a crashed rank's failure state so a supervisor can
+// relaunch it. The incarnation counter is bumped before the failed flag is
+// cleared, so a stale goroutine of the previous incarnation that wakes
+// after the revive still dies (at its next opGate or mailbox check) instead
+// of impersonating the new incarnation. Every message queued at the dead
+// rank is discarded — cross-incarnation traffic must never alias — and
+// pooled payloads return to their pool. Returns the new incarnation.
+func (w *World) reviveRank(worldRank int) uint32 {
+	w.failMu.Lock()
+	defer w.failMu.Unlock()
+	if !w.failed[worldRank].Load() {
+		return w.incs[worldRank].Load()
+	}
+	inc := w.incs[worldRank].Add(1)
+	b := w.boxes[worldRank]
+	b.mu.Lock()
+	for _, m := range b.msgs {
+		buf.Release(m.data)
+	}
+	b.msgs = nil
+	b.cond.Broadcast()
+	b.mu.Unlock()
+	w.failedCh[worldRank] = make(chan struct{})
+	w.failed[worldRank].Store(false)
+	w.crashed.Add(-1)
+	w.beats[worldRank].Store(time.Now().UnixNano())
+	return inc
+}
+
+// SetEpoch publishes a rank's application epoch marker; TaskFailure events
+// report it so a supervisor knows where a failed task was up to.
+func (w *World) SetEpoch(worldRank int, epoch int64) { w.epochs[worldRank].Store(epoch) }
+
+// Epoch returns a rank's last published application epoch marker.
+func (w *World) Epoch(worldRank int) int64 { return w.epochs[worldRank].Load() }
 
 func (w *World) abortReason() error {
 	if p := w.abortErr.Load(); p != nil {
@@ -268,15 +386,24 @@ func Run(size int, main func(c *Comm), opts ...Option) error {
 
 // commWorld builds the per-rank world communicator handles.
 func (w *World) commWorld() []*Comm {
-	ranks := make([]int, w.size)
-	for i := range ranks {
-		ranks[i] = i
-	}
+	ranks := w.worldRanks()
 	comms := make([]*Comm, w.size)
 	for r := 0; r < w.size; r++ {
 		comms[r] = &Comm{world: w, id: worldCommID, ranks: ranks, rank: r}
 	}
 	return comms
+}
+
+// worldRanks returns the identity rank list [0..size). Cached so every
+// world-communicator handle shares one slice.
+func (w *World) worldRanks() []int {
+	w.ranksOnce.Do(func() {
+		w.allRanks = make([]int, w.size)
+		for i := range w.allRanks {
+			w.allRanks[i] = i
+		}
+	})
+	return w.allRanks
 }
 
 func (w *World) watch(stop <-chan struct{}) {
@@ -327,6 +454,7 @@ type mailbox struct {
 	waiting          bool
 	waitSince        time.Time
 	waitSrc, waitTag int
+	waitWorldSrc     int
 	received         uint64
 	blockedTotal     time.Duration
 }
@@ -340,6 +468,7 @@ func (b *mailbox) progress(rank int) RankProgress {
 		Blocked:      b.waiting,
 		WaitSrc:      b.waitSrc,
 		WaitTag:      b.waitTag,
+		WaitWorldSrc: b.waitWorldSrc,
 		Received:     b.received,
 		BlockedTotal: b.blockedTotal,
 	}
@@ -349,11 +478,20 @@ func (b *mailbox) progress(rank int) RankProgress {
 	return p
 }
 
+// annotate fills a progress snapshot's failure fields from world state.
+func (w *World) annotate(p *RankProgress) {
+	p.Failed = w.failed[p.Rank].Load()
+	if p.Blocked && p.WaitWorldSrc >= 0 {
+		p.WaitSrcFailed = w.failed[p.WaitWorldSrc].Load()
+	}
+}
+
 // rankProgress snapshots every rank's receive progress (for DeadlockError).
 func (w *World) rankProgress() []RankProgress {
 	out := make([]RankProgress, w.size)
 	for r, b := range w.boxes {
 		out[r] = b.progress(r)
+		w.annotate(&out[r])
 	}
 	return out
 }
@@ -361,7 +499,9 @@ func (w *World) rankProgress() []RankProgress {
 // RankProgress returns one rank's current receive-progress snapshot; tools
 // can poll it while a workflow runs.
 func (w *World) RankProgress(worldRank int) RankProgress {
-	return w.boxes[worldRank].progress(worldRank)
+	p := w.boxes[worldRank].progress(worldRank)
+	w.annotate(&p)
+	return p
 }
 
 func newMailbox() *mailbox {
@@ -404,8 +544,11 @@ func matches(m *message, commID uint64, src, tag int) bool {
 // blocking until one arrives. remove=false peeks without removing (Probe).
 // self is the receiving world rank; worldSrc is the world rank the local
 // src maps to (or -1 for AnySource) so a receive blocked on a crashed peer
-// fails with RankFailedError instead of hanging.
-func (b *mailbox) take(w *World, self int, commID uint64, src, tag, worldSrc int, remove bool) *message {
+// fails with RankFailedError instead of hanging. inc is the incarnation of
+// the communicator handle performing the receive: after a supervisor
+// restart, a stale waiter from the previous incarnation re-checks it on
+// every wakeup and dies instead of stealing the new incarnation's messages.
+func (b *mailbox) take(w *World, self int, commID uint64, src, tag, worldSrc int, inc uint32, remove bool) *message {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for {
@@ -415,6 +558,9 @@ func (b *mailbox) take(w *World, self int, commID uint64, src, tag, worldSrc int
 		if w.failed[self].Load() {
 			// This rank was crashed by fault injection (in a helper
 			// goroutine); any further operation on it dies too.
+			panic(rankCrashPanic{rank: self})
+		}
+		if w.supervised && w.incs[self].Load() != inc {
 			panic(rankCrashPanic{rank: self})
 		}
 		for i, m := range b.msgs {
@@ -434,6 +580,7 @@ func (b *mailbox) take(w *World, self int, commID uint64, src, tag, worldSrc int
 			b.waitSince = time.Now()
 		}
 		b.waitSrc, b.waitTag = src, tag
+		b.waitWorldSrc = worldSrc
 		w.blocked.Add(1)
 		b.cond.Wait()
 		w.blocked.Add(-1)
@@ -447,13 +594,16 @@ func (b *mailbox) take(w *World, self int, commID uint64, src, tag, worldSrc int
 // tryTake is the nonblocking variant (Iprobe). Like take, it raises
 // RankFailedError when the probed peer has crashed and nothing from it is
 // queued, so polling loops learn of the failure instead of spinning.
-func (b *mailbox) tryTake(w *World, self int, commID uint64, src, tag, worldSrc int, remove bool) *message {
+func (b *mailbox) tryTake(w *World, self int, commID uint64, src, tag, worldSrc int, inc uint32, remove bool) *message {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if w.aborted.Load() {
 		panic(&AbortedError{Err: w.abortReason()})
 	}
 	if w.failed[self].Load() {
+		panic(rankCrashPanic{rank: self})
+	}
+	if w.supervised && w.incs[self].Load() != inc {
 		panic(rankCrashPanic{rank: self})
 	}
 	for i, m := range b.msgs {

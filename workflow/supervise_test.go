@@ -1,0 +1,241 @@
+package workflow
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"lowfive"
+	"lowfive/h5"
+	"lowfive/internal/rpc"
+	"lowfive/mpi"
+)
+
+func TestValidateDuplicateEdge(t *testing.T) {
+	g := Graph{
+		Tasks: []Task{{Name: "a", Procs: 1}, {Name: "b", Procs: 1}},
+		Edges: []Edge{
+			{From: "a", To: "b", Pattern: "*.h5"},
+			{From: "a", To: "b", Pattern: "*.h5"},
+		},
+	}
+	if err := g.Validate(); err == nil {
+		t.Error("duplicate edge should be rejected")
+	}
+	// Same tasks with a different pattern is a distinct route, not a dup.
+	g.Edges[1].Pattern = "ck-*"
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseJSONPolicy(t *testing.T) {
+	g, err := ParseJSON([]byte(`{
+	  "tasks": [{"name": "sim", "procs": 2}, {"name": "ana", "procs": 1}],
+	  "edges": [{"from": "sim", "to": "ana", "pattern": "step*.h5"}],
+	  "policy": {"mode": "restart", "max_restarts": 2, "backoff": "50ms",
+	             "heartbeat": "2s", "epoch_deadline": "10s"}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Policy{Mode: Restart, MaxRestarts: 2, Backoff: 50 * time.Millisecond,
+		Heartbeat: 2 * time.Second, EpochDeadline: 10 * time.Second}
+	if g.Policy == nil || *g.Policy != want {
+		t.Fatalf("parsed policy %+v, want %+v", g.Policy, want)
+	}
+	// Round trip: the wire form re-parses to the same policy.
+	b, err := json.Marshal(g.Policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Policy
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("re-parsing %s: %v", b, err)
+	}
+	if back != want {
+		t.Fatalf("round trip %+v, want %+v", back, want)
+	}
+	var p Policy
+	if err := json.Unmarshal([]byte(`{"mode": "retry-forever"}`), &p); err == nil {
+		t.Error("unknown mode should be rejected")
+	}
+	if err := json.Unmarshal([]byte(`{"mode": "restart", "backoff": "soon"}`), &p); err == nil {
+		t.Error("malformed duration should be rejected")
+	}
+}
+
+// epochGraph is a 2-producer 2-consumer coupling exchanging one 6x4 uint64
+// dataset per epoch; element values encode (epoch, global index) so any
+// reader can verify bit-exactness.
+func epochGraph(t *testing.T, epochs int, got map[string][]uint64, mu *sync.Mutex) Graph {
+	t.Helper()
+	dims := []int64{6, 4}
+	g := Graph{
+		Tasks: []Task{{Name: "sim", Procs: 2}, {Name: "ana", Procs: 2}},
+		Edges: []Edge{{From: "sim", To: "ana", Pattern: "step*.h5"}},
+	}
+	g.BindEpoch("sim", func(p *mpi.Proc, vol *lowfive.DistMetadataVOL, fapl *h5.FileAccessProps, ctx *TaskCtx) {
+		r := int64(p.Task.Rank())
+		for e := ctx.Epoch; e < int64(epochs); e++ {
+			f, err := h5.CreateFile(fmt.Sprintf("step%d.h5", e), fapl)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ds, _ := f.CreateDataset("v", h5.U64, h5.NewSimple(dims...))
+			sel := h5.NewSimple(dims...)
+			sel.SelectHyperslab(h5.SelectSet, []int64{r * 3, 0}, []int64{3, dims[1]})
+			vals := make([]uint64, 3*dims[1])
+			for i := range vals {
+				vals[i] = uint64(e)*1000 + uint64(r*3*dims[1]) + uint64(i)
+			}
+			ds.Write(nil, sel, h5.Bytes(vals))
+			ds.Close()
+			if err := f.Close(); err != nil { // serves the consumers
+				var rf *mpi.RankFailedError
+				if errors.As(err, &rf) {
+					return // task torn down around a crashed peer
+				}
+				t.Error(err)
+				return
+			}
+			ctx.EpochDone(e)
+		}
+	})
+	// A failed producer rank surfaces as a RankFailedError somewhere in the
+	// consumer's error chain; under FailFast that is the expected way the
+	// run dies, so it is not a test failure.
+	tolerable := func(err error) bool {
+		var rf *mpi.RankFailedError
+		return errors.As(err, &rf)
+	}
+	g.BindEpoch("ana", func(p *mpi.Proc, vol *lowfive.DistMetadataVOL, fapl *h5.FileAccessProps, ctx *TaskCtx) {
+		r := int64(p.Task.Rank())
+		for e := ctx.Epoch; e < int64(epochs); e++ {
+			f, err := h5.OpenFile(fmt.Sprintf("step%d.h5", e), fapl)
+			if err != nil {
+				if !tolerable(err) {
+					t.Error(err)
+				}
+				return
+			}
+			ds, err := f.OpenDataset("v")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sel := h5.NewSimple(dims...)
+			sel.SelectHyperslab(h5.SelectSet, []int64{0, r * 2}, []int64{dims[0], 2})
+			out := make([]uint64, dims[0]*2)
+			if err := ds.Read(nil, sel, h5.Bytes(out)); err != nil {
+				if !tolerable(err) {
+					t.Error(err)
+				}
+				return
+			}
+			ds.Close()
+			if err := f.Close(); err != nil {
+				if !tolerable(err) {
+					t.Error(err)
+				}
+				return
+			}
+			mu.Lock()
+			got[fmt.Sprintf("e%d-r%d", e, r)] = out
+			mu.Unlock()
+			ctx.EpochDone(e)
+		}
+	})
+	return g
+}
+
+// checkEpochData verifies every epoch's column read against the encoded
+// (epoch, index) values — the bit-identical acceptance check.
+func checkEpochData(t *testing.T, epochs int, got map[string][]uint64) {
+	t.Helper()
+	for e := 0; e < epochs; e++ {
+		for r := int64(0); r < 2; r++ {
+			out := got[fmt.Sprintf("e%d-r%d", e, r)]
+			if len(out) != 12 {
+				t.Errorf("epoch %d rank %d: got %d values, want 12", e, r, len(out))
+				continue
+			}
+			k := 0
+			for i := int64(0); i < 6; i++ {
+				for j := int64(0); j < 2; j++ {
+					want := uint64(e)*1000 + uint64(i*4+r*2+j)
+					if out[k] != want {
+						t.Errorf("epoch %d rank %d: element %d = %d, want %d", e, r, k, out[k], want)
+						i = 6
+						break
+					}
+					k++
+				}
+			}
+		}
+	}
+}
+
+func TestRunSupervisedRestartProducer(t *testing.T) {
+	const epochs = 3
+	fs := lowfive.NewZeroCostFS()
+	got := map[string][]uint64{}
+	var mu sync.Mutex
+	g := epochGraph(t, epochs, got, &mu)
+	// Crash producer world rank 0 at its 11th RPC response send — past the
+	// first epoch's serve traffic, so completed epochs recover via Rejoin.
+	// Count must bound the rule: fired counts persist across restarts, and
+	// an unbounded rule would crash every incarnation.
+	plan := mpi.FaultPlan{Seed: 1, Rules: []mpi.FaultRule{
+		{Action: mpi.FaultCrash, Rank: 0, Tag: rpc.TagResponse, After: 10, Count: 1},
+	}}
+	stats, err := RunSupervised(g,
+		func() h5.Connector { return lowfive.NewBaseVOL(fs) },
+		Policy{Mode: Restart, Backoff: time.Millisecond},
+		mpi.WithFaultPlan(plan), mpi.WithWatchdog(30*time.Second))
+	if err != nil {
+		t.Fatalf("supervised run: %v", err)
+	}
+	if stats.RestartCount != 1 || stats.Restarts["sim"] != 1 {
+		t.Fatalf("RestartCount=%d Restarts=%v, want one sim restart", stats.RestartCount, stats.Restarts)
+	}
+	if len(stats.Failures) == 0 || stats.Failures[0].Task != "sim" {
+		t.Fatalf("failure events %+v, want sim first", stats.Failures)
+	}
+	checkEpochData(t, epochs, got)
+	t.Logf("recovered epochs=%d reindexed=%d rejoined bytes=%d",
+		stats.RecoveredEpochs, stats.Reindexed, stats.RejoinedBytes)
+}
+
+func TestRunSupervisedFailFastTypedFailure(t *testing.T) {
+	fs := lowfive.NewZeroCostFS()
+	got := map[string][]uint64{}
+	var mu sync.Mutex
+	g := epochGraph(t, 2, got, &mu)
+	plan := mpi.FaultPlan{Seed: 1, Rules: []mpi.FaultRule{
+		{Action: mpi.FaultCrash, Rank: 0, Tag: rpc.TagResponse, After: 2},
+	}}
+	_, err := RunSupervised(g,
+		func() h5.Connector { return lowfive.NewBaseVOL(fs) },
+		Policy{Mode: FailFast},
+		mpi.WithFaultPlan(plan), mpi.WithWatchdog(30*time.Second))
+	var f *mpi.TaskFailure
+	if !errors.As(err, &f) {
+		t.Fatalf("err = %v, want *mpi.TaskFailure", err)
+	}
+	if f.Task != "sim" || f.Rank != 0 {
+		t.Fatalf("TaskFailure %+v, want task sim rank 0", f)
+	}
+}
+
+func TestRunSupervisedRequiresBaseForRestart(t *testing.T) {
+	g := Graph{Tasks: []Task{{Name: "a", Procs: 1}}}
+	g.Bind("a", func(p *mpi.Proc, vol *lowfive.DistMetadataVOL, fapl *h5.FileAccessProps) {})
+	if _, err := RunSupervised(g, nil, Policy{Mode: Restart}); err == nil {
+		t.Error("Restart mode without a base connector should fail")
+	}
+}

@@ -36,6 +36,10 @@ type Task struct {
 	Name  string                                                                    `json:"name"`
 	Procs int                                                                       `json:"procs"`
 	Fn    func(p *mpi.Proc, vol *lowfive.DistMetadataVOL, fapl *h5.FileAccessProps) `json:"-"`
+	// EpochFn is the epoch-aware entry point used by RunSupervised; bind it
+	// with BindEpoch. A task may have either Fn or EpochFn (EpochFn wins
+	// under RunSupervised; Run ignores it).
+	EpochFn EpochFn `json:"-"`
 }
 
 // Edge routes files matching Pattern from task From to task To, in situ.
@@ -45,10 +49,13 @@ type Edge struct {
 	Pattern string `json:"pattern"`
 }
 
-// Graph is a complete workflow description.
+// Graph is a complete workflow description. Policy (optional, JSON-loadable)
+// is the supervision policy a caller passes to RunSupervised; plain Run
+// ignores it.
 type Graph struct {
-	Tasks []Task `json:"tasks"`
-	Edges []Edge `json:"edges"`
+	Tasks  []Task  `json:"tasks"`
+	Edges  []Edge  `json:"edges"`
+	Policy *Policy `json:"policy,omitempty"`
 }
 
 // ParseJSON loads a graph structure (tasks and edges) from JSON. Entry
@@ -75,8 +82,21 @@ func (g *Graph) Bind(name string, fn func(p *mpi.Proc, vol *lowfive.DistMetadata
 	return fmt.Errorf("workflow: no task %q in the graph", name)
 }
 
+// BindEpoch attaches the epoch-aware entry point for the named task (used
+// by RunSupervised; see EpochFn for the restart contract).
+func (g *Graph) BindEpoch(name string, fn EpochFn) error {
+	for i := range g.Tasks {
+		if g.Tasks[i].Name == name {
+			g.Tasks[i].EpochFn = fn
+			return nil
+		}
+	}
+	return fmt.Errorf("workflow: no task %q in the graph", name)
+}
+
 // Validate checks structural consistency: unique task names, positive
-// process counts, and edges referencing existing, distinct tasks.
+// process counts, and edges referencing existing, distinct tasks with no
+// duplicate (from, to, pattern) routes.
 func (g Graph) Validate() error {
 	if len(g.Tasks) == 0 {
 		return fmt.Errorf("workflow: graph has no tasks")
@@ -94,6 +114,7 @@ func (g Graph) Validate() error {
 			return fmt.Errorf("workflow: task %q has %d procs", t.Name, t.Procs)
 		}
 	}
+	seen := map[Edge]bool{}
 	for _, e := range g.Edges {
 		if !names[e.From] {
 			return fmt.Errorf("workflow: edge from unknown task %q", e.From)
@@ -107,6 +128,10 @@ func (g Graph) Validate() error {
 		if e.Pattern == "" {
 			return fmt.Errorf("workflow: edge %q -> %q has an empty file pattern", e.From, e.To)
 		}
+		if seen[e] {
+			return fmt.Errorf("workflow: duplicate edge %q -> %q with pattern %q", e.From, e.To, e.Pattern)
+		}
+		seen[e] = true
 	}
 	return nil
 }

@@ -44,7 +44,8 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON of one profiled exchange to this file (implies -profile)")
 		profile  = flag.Bool("profile", false, "run one instrumented exchange and print its per-task per-phase summary instead of the figure suite")
 		faults   = flag.Bool("faults", false, "run the fault-injection sweep: exchanges under seeded chaos plans, checked bit-for-bit against a fault-free baseline")
-		seed     = flag.Int64("fault-seed", 1, "seed for the fault-injection plans")
+		seed     = flag.Int64("seed", 0, "seed for the fault-injection plans (0 defers to -fault-seed)")
+		oldSeed  = flag.Int64("fault-seed", 1, "deprecated alias for -seed")
 		jsonOut  = flag.Bool("json", false, "measure the allocation-sensitive benchmarks (Fig 5/7/11, redistribution) and write BENCH_<date>.json")
 		compare  = flag.String("compare", "", "measure a fresh benchmark run and diff it against this committed BENCH_*.json baseline (warn-only; writes nothing)")
 		iters    = flag.Int("bench-iters", 0, "fixed iteration count for -json/-compare measurements (0 = auto-scale until stable)")
@@ -109,6 +110,9 @@ func main() {
 	}
 
 	if *faults {
+		if *seed == 0 {
+			*seed = *oldSeed
+		}
 		if err := runFaults(cfg, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "fault sweep failed: %v\n", err)
 			os.Exit(1)
@@ -168,9 +172,11 @@ func main() {
 }
 
 // runFaults runs the producer–consumer exchange under each default chaos
-// plan at the smallest configured scale, then the supervised-recovery sweep
-// (crash-then-restart, hang-then-timeout), and prints both tables. A
-// non-identical or failed case makes the run exit nonzero.
+// plan at the smallest configured scale, then the partition-and-straggler
+// sweep (hedged queries vs link faults), then the supervised-recovery sweep
+// (crash-then-restart, hang-then-timeout), and prints all three tables. A
+// non-identical or failed case makes the run exit nonzero, naming the seed
+// so the exact plan can be replayed with -seed.
 func runFaults(cfg harness.Config, seed int64) error {
 	procs := 4
 	if len(cfg.Scales) > 0 {
@@ -181,34 +187,47 @@ func runFaults(cfg harness.Config, seed int64) error {
 		spec.Producers, spec.Consumers, seed)
 	results, err := cfg.FaultSweep(spec, harness.DefaultFaultCases(seed))
 	if err != nil {
-		return err
+		return fmt.Errorf("seed %d: %w", seed, err)
 	}
 	harness.PrintFaultTable(os.Stdout, results)
 	for _, r := range results {
 		if r.Err != nil {
-			return fmt.Errorf("case %s: %w", r.Name, r.Err)
+			return fmt.Errorf("case %s (seed %d): %w", r.Name, seed, r.Err)
 		}
 		if !r.Identical {
-			return fmt.Errorf("case %s: consumer data differs from the fault-free baseline", r.Name)
+			return fmt.Errorf("case %s (seed %d): consumer data differs from the fault-free baseline", r.Name, seed)
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "partition sweep: link faults vs hedged queries, seed %d\n", seed)
+	pres, err := cfg.PartitionSweep(spec, harness.DefaultPartitionCases(seed))
+	if err != nil {
+		return fmt.Errorf("seed %d: %w", seed, err)
+	}
+	fmt.Println()
+	harness.PrintPartitionTable(os.Stdout, pres)
+	for _, r := range pres {
+		if r.Err != nil {
+			return fmt.Errorf("partition case %s (seed %d): %w", r.Name, seed, r.Err)
 		}
 	}
 
 	fmt.Fprintf(os.Stderr, "recovery sweep: supervised restart and hang detection, seed %d\n", seed)
 	rres, err := cfg.RecoverySweep(harness.DefaultRecoveryCases(seed))
 	if err != nil {
-		return err
+		return fmt.Errorf("seed %d: %w", seed, err)
 	}
 	fmt.Println()
 	harness.PrintRecoveryTable(os.Stdout, rres)
 	for _, r := range rres {
 		if r.Err != nil {
-			return fmt.Errorf("recovery case %s: %w", r.Name, r.Err)
+			return fmt.Errorf("recovery case %s (seed %d): %w", r.Name, seed, r.Err)
 		}
 		if !r.Identical {
-			return fmt.Errorf("recovery case %s: consumer data differs from the fault-free baseline", r.Name)
+			return fmt.Errorf("recovery case %s (seed %d): consumer data differs from the fault-free baseline", r.Name, seed)
 		}
 	}
-	fmt.Println("all fault and recovery cases delivered bit-identical consumer data")
+	fmt.Println("all fault, partition and recovery cases delivered bit-identical consumer data")
 	return nil
 }
 

@@ -49,6 +49,19 @@ type DistMetadataVOL struct {
 	CallRetries int
 	// CallBackoff is the wait before the first retry, doubling per retry.
 	CallBackoff time.Duration
+	// CallBudget bounds each consumer-side call end to end, however many
+	// attempts the retry schedule would still allow; the deadline travels in
+	// the request envelope so producers reject work nobody awaits. Zero
+	// means per-attempt timeouts only.
+	CallBudget time.Duration
+	// HedgeDelay enables tail-latency hedging of queries that any of
+	// several producer ranks can answer (metadata opens task-wide, box
+	// queries across index replicas when ReplicationFactor > 1): if the
+	// primary has not answered within this delay, the same request races a
+	// replica and the first response wins. Per-rank response EWMAs pick the
+	// hedge target and proactively demote a straggling shard to hedge
+	// before its timeout. Zero disables hedging. Requires CallTimeout.
+	HedgeDelay time.Duration
 
 	// ReplicationFactor stores each distributed-index entry on this many
 	// consecutive ranks of the producer task ((owner+k) mod size), so a
@@ -115,6 +128,11 @@ type DistMetadataVOL struct {
 	// draw from a single monotonic sequence.
 	clients map[*mpi.Intercomm]*rpc.Client
 
+	// health tracks per-producer-rank response-time EWMAs for each
+	// intercommunicator this rank queries over, feeding hedge-target choice
+	// and straggler demotion.
+	health map[*mpi.Intercomm]*rankHealth
+
 	stats ServeStats
 
 	// qmu guards qstats: the consumer side of a rank is single-threaded,
@@ -169,6 +187,16 @@ type QueryStats struct {
 	// ChunksFetched is the number of stream frames received for data
 	// queries.
 	ChunksFetched int64
+	// Retries counts RPC attempts resent beyond each call's first send.
+	Retries int64
+	// HedgedCalls counts queries whose hedge request was actually sent
+	// (the primary missed the hedge delay).
+	HedgedCalls int64
+	// HedgeWins counts hedged queries the hedge rank answered first.
+	HedgeWins int64
+	// StragglersDemoted counts queries routed away from their preferred
+	// rank because its response EWMA marked it a straggler.
+	StragglersDemoted int64
 }
 
 type parkedReq struct {
@@ -743,10 +771,19 @@ func (v *DistMetadataVOL) Stats() ServeStats {
 }
 
 // QueryStats returns a snapshot of this rank's consumer-side query counters.
+// The RPC clients' retry and hedging counters are folded in at snapshot
+// time, so the caller sees one coherent view of the rank's query effort.
 func (v *DistMetadataVOL) QueryStats() QueryStats {
 	v.qmu.Lock()
 	defer v.qmu.Unlock()
-	return v.qstats
+	qs := v.qstats
+	for _, c := range v.clients {
+		cs := c.Stats()
+		qs.Retries += cs.Retries
+		qs.HedgedCalls += cs.HedgedCalls
+		qs.HedgeWins += cs.HedgeWins
+	}
+	return qs
 }
 
 // --- consumer side ---
@@ -775,6 +812,7 @@ func (v *DistMetadataVOL) clientFor(ic *mpi.Intercomm) *rpc.Client {
 		c = &rpc.Client{
 			IC: ic, Timeout: v.CallTimeout, Retries: v.CallRetries,
 			Backoff: v.CallBackoff, RetryFailed: v.WaitForRestart,
+			Budget: v.CallBudget, HedgeDelay: v.HedgeDelay, Track: v.track(),
 		}
 		v.clients[ic] = c
 	}
@@ -856,11 +894,20 @@ func (v *DistMetadataVOL) openRemote(name string, ic *mpi.Intercomm) (h5.FileHan
 	var lastErr error
 	// Any producer rank can answer a metadata request (the hierarchy is
 	// replicated task-wide), so fail over through all of them before giving
-	// up on the in-memory transport.
+	// up on the in-memory transport. With hedging on, the first attempt
+	// races the partner against the healthiest of the other ranks (every
+	// rank is a metadata replica), so a straggling partner costs a hedge
+	// delay instead of a timeout ladder.
 	for k := 0; k < n; k++ {
 		p := (partner + k) % n
 		t0 := time.Now()
-		resp, err := client.Call(p, encodeMetadataReq(name))
+		var resp []byte
+		var err error
+		if k == 0 && v.hedging() {
+			resp, err = v.hedgedCall(client, ic, p, n, n, encodeMetadataReq(name))
+		} else {
+			resp, err = client.Call(p, encodeMetadataReq(name))
+		}
 		wait := time.Since(t0)
 		if tr != nil {
 			tr.Span("core", "query.metadata", t0, time.Now(),

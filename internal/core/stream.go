@@ -247,8 +247,20 @@ func (v *DistMetadataVOL) queryOwners(client *rpc.Client, ic *mpi.Intercomm, fil
 	withData := map[int]bool{}
 	t0 := time.Now()
 	boxReq := encodeBoxesReq(file, path, bb)
-	resps, err := client.CallAll(owners, boxReq)
-	if err != nil {
+	var resps [][]byte
+	if v.hedging() {
+		// Each owner's query races it against its healthiest replica (all
+		// replicas hold the same index entries), with EWMA-driven demotion
+		// of a straggling owner — so one slow or partitioned rank costs a
+		// hedge delay, not a full timeout ladder.
+		resps = make([][]byte, len(owners))
+		for i, o := range owners {
+			resps[i], err = v.hedgedCall(client, ic, o, repl, n, boxReq)
+			if err != nil {
+				return nil, 0, len(owners), err
+			}
+		}
+	} else if resps, err = client.CallAll(owners, boxReq); err != nil {
 		if repl <= 1 {
 			return nil, 0, len(owners), err
 		}

@@ -66,11 +66,29 @@ const (
 	faultWatchdog    = 30 * time.Second
 )
 
+// faultTuning carries the optional tail-latency knobs a sweep threads into
+// the consumer VOLs. The zero value leaves both defenses off, which is what
+// the message-loss sweep (FaultSweep) wants: its cases are about the retry
+// ladder, not about racing replicas.
+type faultTuning struct {
+	// HedgeDelay enables hedged queries (with EWMA straggler demotion) on
+	// the consumers when nonzero.
+	HedgeDelay time.Duration
+	// CallBudget is the end-to-end deadline for each consumer call chain.
+	CallBudget time.Duration
+}
+
 // faultExchange runs one producer–consumer exchange with the given plan
 // (nil for the fault-free baseline) and returns the exchange seconds, each
 // consumer rank's received bytes (grid then particles), and the summed
 // consumer query stats.
 func (c Config) faultExchange(spec workload.Spec, plan *mpi.FaultPlan) (float64, [][]byte, core.QueryStats, error) {
+	return c.faultExchangeTuned(spec, plan, faultTuning{})
+}
+
+// faultExchangeTuned is faultExchange with explicit consumer-side tail
+// tuning; the partition sweep uses it to turn on hedging and deadlines.
+func (c Config) faultExchangeTuned(spec workload.Spec, plan *mpi.FaultPlan, tune faultTuning) (float64, [][]byte, core.QueryStats, error) {
 	fs := pfs.New(c.FS)
 	rec := &Recorder{}
 	var errs errCollector
@@ -87,6 +105,10 @@ func (c Config) faultExchange(spec workload.Spec, plan *mpi.FaultPlan) (float64,
 		qstats.Failovers += qs.Failovers
 		qstats.FileFallbacks += qs.FileFallbacks
 		qstats.ChunksFetched += qs.ChunksFetched
+		qstats.Retries += qs.Retries
+		qstats.HedgedCalls += qs.HedgedCalls
+		qstats.HedgeWins += qs.HedgeWins
+		qstats.StragglersDemoted += qs.StragglersDemoted
 		qmu.Unlock()
 	}
 	opts := append(c.mpiOpts(), mpi.WithWatchdog(faultWatchdog))
@@ -131,6 +153,8 @@ func (c Config) faultExchange(spec workload.Spec, plan *mpi.FaultPlan) (float64,
 			vol.CallRetries = faultCallRetries
 			vol.CallBackoff = faultCallBackoff
 			vol.ReplicationFactor = faultReplication
+			vol.HedgeDelay = tune.HedgeDelay
+			vol.CallBudget = tune.CallBudget
 			fapl := h5.NewFileAccessProps(vol)
 			p.World.Barrier()
 			rec.Start()

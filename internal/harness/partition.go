@@ -1,0 +1,195 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"lowfive/internal/core"
+	"lowfive/internal/rpc"
+	"lowfive/internal/workload"
+	"lowfive/mpi"
+)
+
+// Partition trials exercise the tail-latency defenses: link-level faults
+// (a straggling rank, an asymmetric network partition, a healed partition,
+// a throttled link) against consumers running with hedged queries, EWMA
+// straggler demotion and end-to-end call budgets. Every case must still
+// deliver bit-identical data, and each asserts the defense that should have
+// carried it — hedge wins, demotions, or a clean no-fallback run — so a
+// silently disabled defense fails the sweep instead of hiding behind the
+// retry ladder.
+
+// PartitionCase is one link-fault plan of a partition sweep, together with
+// the defenses it is expected to exercise.
+type PartitionCase struct {
+	// Name labels the case in reports.
+	Name string
+	// Plan is the seeded link-fault plan injected into the world.
+	Plan mpi.FaultPlan
+	// WantHedgeWins asserts at least one hedged query was answered by the
+	// replica rather than the primary.
+	WantHedgeWins bool
+	// WantDemotions asserts the EWMA tracker proactively demoted at least
+	// one straggling rank from its primary slot.
+	WantDemotions bool
+	// WantNoFallbacks asserts the case was absorbed entirely in-memory:
+	// no read degraded to the file transport.
+	WantNoFallbacks bool
+	// MaxSeconds, when positive, bounds the exchange wall time — the proof
+	// that hedging beat the flat timeout-ladder path, which would run far
+	// longer under the same plan.
+	MaxSeconds float64
+}
+
+// PartitionTrialResult is the outcome of one partition case.
+type PartitionTrialResult struct {
+	// Name is the case label.
+	Name string
+	// Seconds is the exchange section wall time under injection.
+	Seconds float64
+	// Identical reports whether every consumer's data matched the
+	// fault-free baseline bit for bit.
+	Identical bool
+	// Query is the summed consumer-side query counters; HedgeWins,
+	// StragglersDemoted and FileFallbacks show which defense carried the
+	// case.
+	Query core.QueryStats
+	// Err is the first error any rank raised, or a sweep-level assertion
+	// failure (wrong data, a defense that should have fired but did not,
+	// or a blown time bound).
+	Err error
+}
+
+// Partition-sweep consumer tuning, layered on the faultTolerance knobs: the
+// hedge delay must comfortably exceed a cost-modeled healthy response
+// (NetAlpha is 2ms in the quick configs) while staying far below the
+// per-attempt timeout; the end-to-end budget caps every call chain —
+// including streams to a partitioned rank — well below the flat
+// timeout×(retries+1) ladder, so a dead link costs one budget, not seven
+// timeouts.
+const (
+	partitionHedgeDelay = 25 * time.Millisecond
+	partitionCallBudget = 700 * time.Millisecond
+)
+
+// DefaultPartitionCases is the standard link-fault sweep. Every rule is
+// scoped to producer world rank 0 — the single consumer's metadata partner
+// (LocalRank mod producers), so the very first query of the exchange meets
+// the fault — and to the RPC response tag, so producer-side collectives
+// (barriers, the index alltoall) are untouched: these are link faults on
+// the serve path, not rank crashes.
+func DefaultPartitionCases(seed int64) []PartitionCase {
+	return []PartitionCase{
+		// One straggling response: the metadata answer is delayed far past
+		// the hedge delay, so the consumer's hedge to a replica must win
+		// while the straggler's answer is still in flight. Nothing is lost,
+		// so no read may touch the file transport.
+		{Name: "slow-producer", WantHedgeWins: true, WantNoFallbacks: true, MaxSeconds: 10,
+			Plan: mpi.FaultPlan{Seed: seed, Rules: []mpi.FaultRule{
+				{Action: mpi.FaultDelay, Rank: 0, Tag: rpc.TagResponse, Count: 1,
+					Delay: 150 * time.Millisecond},
+			}}},
+		// An asymmetric partition that never heals within the run: rank 0
+		// hears every request but all of its responses are silently dropped.
+		// The metadata hedge wins, the EWMA demotes rank 0 before its box
+		// queries are even tried, and the call budget caps the dead data
+		// streams, so the whole exchange finishes well under the flat
+		// timeout-ladder path (~timeout×(retries+1) per dead call chain).
+		// Rank 0's own data is unreachable in memory and is recovered over
+		// the passthru file — the paper's file transport as recovery path.
+		{Name: "asymmetric-partition", WantHedgeWins: true, WantDemotions: true, MaxSeconds: 9,
+			Plan: mpi.FaultPlan{Seed: seed, Rules: []mpi.FaultRule{
+				{Action: mpi.FaultPartition, Rank: 0, Tag: rpc.TagResponse,
+					Duration: 30 * time.Second},
+			}}},
+		// A partition that heals mid-exchange: shorter than one per-attempt
+		// timeout, so the first retry of a stream caught inside the window
+		// lands after the heal and completes in-memory — hedges cover the
+		// scalar queries, the retry covers the stream, and no read ever
+		// falls back to the file.
+		{Name: "healed-partition", WantHedgeWins: true, WantNoFallbacks: true, MaxSeconds: 10,
+			Plan: mpi.FaultPlan{Seed: seed, Rules: []mpi.FaultRule{
+				{Action: mpi.FaultPartition, Rank: 0, Tag: rpc.TagResponse,
+					Duration: 250 * time.Millisecond},
+			}}},
+		// A throttled link: rank 0's responses are serialized through a
+		// 200 KB/s choke point, big frames proportionally slower, FIFO
+		// order preserved. Everything arrives — late but intact and in
+		// order — so the exchange completes entirely in-memory with no
+		// retries forced by reordering.
+		{Name: "throttled-link", WantNoFallbacks: true, MaxSeconds: 10,
+			Plan: mpi.FaultPlan{Seed: seed, Rules: []mpi.FaultRule{
+				{Action: mpi.FaultThrottle, Rank: 0, Tag: rpc.TagResponse,
+					Bandwidth: 200e3},
+			}}},
+	}
+}
+
+// PartitionSweep runs the fault-free baseline and then every case under the
+// partition tuning (hedged queries, straggler demotion, call budgets),
+// comparing each case's consumer data bit for bit against the baseline and
+// folding the case's defense assertions into its result.
+func (c Config) PartitionSweep(spec workload.Spec, cases []PartitionCase) ([]PartitionTrialResult, error) {
+	tune := faultTuning{HedgeDelay: partitionHedgeDelay, CallBudget: partitionCallBudget}
+	_, baseline, bqs, err := c.faultExchangeTuned(spec, nil, tune)
+	if err != nil {
+		return nil, fmt.Errorf("harness: partition baseline failed: %w", err)
+	}
+	for r, b := range baseline {
+		if len(b) == 0 {
+			return nil, fmt.Errorf("harness: partition baseline consumer %d received no data", r)
+		}
+	}
+	// Demotions are deliberately not checked here: on a loaded host the
+	// exchange's cold start can make a rank genuinely slow for its first
+	// couple of queries, and demoting it is the EWMA doing its job (it
+	// earns the slot back through hedge probes). A fallback, though, means
+	// the in-memory transport failed outright — never acceptable fault-free.
+	if bqs.FileFallbacks != 0 {
+		return nil, fmt.Errorf("harness: fault-free baseline degraded: %d file fallbacks", bqs.FileFallbacks)
+	}
+	out := make([]PartitionTrialResult, 0, len(cases))
+	for _, pc := range cases {
+		secs, data, qs, err := c.faultExchangeTuned(spec, &pc.Plan, tune)
+		res := PartitionTrialResult{Name: pc.Name, Seconds: secs, Query: qs, Err: err}
+		if res.Err == nil {
+			res.Identical = equalRankData(baseline, data)
+			switch {
+			case !res.Identical:
+				res.Err = fmt.Errorf("harness: consumer data differs from the fault-free baseline (seed %d)", pc.Plan.Seed)
+			case pc.WantHedgeWins && qs.HedgeWins == 0:
+				res.Err = fmt.Errorf("harness: no hedge wins — the replica race never fired (seed %d)", pc.Plan.Seed)
+			case pc.WantDemotions && qs.StragglersDemoted == 0:
+				res.Err = fmt.Errorf("harness: no straggler demotions — queries kept waiting on the partitioned rank (seed %d)", pc.Plan.Seed)
+			case pc.WantNoFallbacks && qs.FileFallbacks != 0:
+				res.Err = fmt.Errorf("harness: %d file fallbacks — the case should have been absorbed in-memory (seed %d)",
+					qs.FileFallbacks, pc.Plan.Seed)
+			case pc.MaxSeconds > 0 && secs > pc.MaxSeconds:
+				res.Err = fmt.Errorf("harness: exchange ran %.2fs, bound %.2fs — hedging did not beat the timeout ladder (seed %d)",
+					secs, pc.MaxSeconds, pc.Plan.Seed)
+			}
+		}
+		c.logf("partition case %-22s identical=%v hedged=%d wins=%d demoted=%d fallbacks=%d %.2fs err=%v\n",
+			pc.Name, res.Identical, qs.HedgedCalls, qs.HedgeWins, qs.StragglersDemoted,
+			qs.FileFallbacks, secs, res.Err)
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// PrintPartitionTable renders a partition sweep as an aligned text table.
+func PrintPartitionTable(w io.Writer, results []PartitionTrialResult) {
+	fmt.Fprintf(w, "Partition & straggler sweep: hedged queries vs link faults\n")
+	fmt.Fprintf(w, "%-22s %9s %9s %7s %6s %8s %9s  %s\n",
+		"case", "seconds", "identical", "hedged", "wins", "demoted", "fallbacks", "error")
+	for _, r := range results {
+		errStr := ""
+		if r.Err != nil {
+			errStr = r.Err.Error()
+		}
+		fmt.Fprintf(w, "%-22s %8.4fs %9v %7d %6d %8d %9d  %s\n",
+			r.Name, r.Seconds, r.Identical, r.Query.HedgedCalls, r.Query.HedgeWins,
+			r.Query.StragglersDemoted, r.Query.FileFallbacks, errStr)
+	}
+}

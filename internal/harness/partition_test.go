@@ -1,0 +1,165 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"lowfive/internal/rpc"
+	"lowfive/mpi"
+)
+
+// partitionConfig is the sweep configuration shared by the partition
+// trials: small chunks so every data response is a multi-frame stream (a
+// partition window can then really cut a stream in half), quick scale.
+func partitionConfig() Config {
+	c := QuickConfig()
+	c.ChunkBytes = 2 << 10
+	return c
+}
+
+func TestPartitionTrialSweep(t *testing.T) {
+	// The acceptance sweep: a straggling producer, an unhealed asymmetric
+	// partition, a partition that heals mid-exchange, and a throttled link.
+	// Every case must end bit-identical to the fault-free baseline, and
+	// each case's defense assertions (hedge wins, straggler demotions, no
+	// file fallbacks, wall-time bound) are folded into its Err.
+	c := partitionConfig()
+	spec := faultSpec(t)
+	cases := DefaultPartitionCases(20250806)
+	results, err := c.PartitionSweep(spec, cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(cases) {
+		t.Fatalf("sweep produced %d results for %d cases", len(results), len(cases))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("case %s: %v", r.Name, r.Err)
+			continue
+		}
+		if !r.Identical {
+			t.Errorf("case %s: consumer data differs from the fault-free baseline", r.Name)
+		}
+	}
+}
+
+func TestPartitionTrialSlowProducerHedgeWins(t *testing.T) {
+	// A single delayed response from the consumer's metadata partner must be
+	// beaten by the hedge: the replica answers while the straggler's
+	// response is still in flight, nothing falls back to the file, and the
+	// exchange finishes in a small fraction of the timeout path.
+	c := partitionConfig()
+	spec := faultSpec(t)
+	var slow []PartitionCase
+	for _, pc := range DefaultPartitionCases(7) {
+		if pc.Name == "slow-producer" {
+			slow = append(slow, pc)
+		}
+	}
+	if len(slow) != 1 {
+		t.Fatal("slow-producer case missing from the default sweep")
+	}
+	results, err := c.PartitionSweep(spec, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.Query.HedgeWins == 0 || r.Query.HedgedCalls == 0 {
+		t.Errorf("hedged=%d wins=%d, want the hedge to fire and win", r.Query.HedgedCalls, r.Query.HedgeWins)
+	}
+	if r.Query.FileFallbacks != 0 {
+		t.Errorf("%d file fallbacks for a pure delay fault", r.Query.FileFallbacks)
+	}
+}
+
+func TestPartitionTrialAsymmetricDemotesStraggler(t *testing.T) {
+	// An unhealed asymmetric partition: rank 0 hears requests but its
+	// responses vanish. The EWMA must demote it (queries re-route before
+	// paying its timeout), hedges must win, and the budgeted calls must keep
+	// the exchange well under the flat timeout ladder — the sweep's
+	// MaxSeconds assertion is a hard bound far below timeout×(retries+1)
+	// per dead call chain.
+	c := partitionConfig()
+	spec := faultSpec(t)
+	var part []PartitionCase
+	for _, pc := range DefaultPartitionCases(11) {
+		if pc.Name == "asymmetric-partition" {
+			part = append(part, pc)
+		}
+	}
+	if len(part) != 1 {
+		t.Fatal("asymmetric-partition case missing from the default sweep")
+	}
+	results, err := c.PartitionSweep(spec, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.Query.StragglersDemoted == 0 {
+		t.Error("no straggler demotions under a sustained partition")
+	}
+	if r.Query.HedgeWins == 0 {
+		t.Error("no hedge wins under a sustained partition")
+	}
+	flat := (faultCallTimeout * time.Duration(faultCallRetries+1)).Seconds()
+	if r.Seconds >= flat {
+		t.Errorf("exchange ran %.2fs — no faster than one flat retry ladder (%.2fs)", r.Seconds, flat)
+	}
+}
+
+func TestPartitionTrialHealedPartitionStaysInMemory(t *testing.T) {
+	// A partition shorter than one per-attempt timeout: a stream caught in
+	// the window recovers through its own retry after the heal, so no read
+	// may degrade to the file transport.
+	c := partitionConfig()
+	spec := faultSpec(t)
+	var heal []PartitionCase
+	for _, pc := range DefaultPartitionCases(13) {
+		if pc.Name == "healed-partition" {
+			heal = append(heal, pc)
+		}
+	}
+	if len(heal) != 1 {
+		t.Fatal("healed-partition case missing from the default sweep")
+	}
+	results, err := c.PartitionSweep(spec, heal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.Query.FileFallbacks != 0 {
+		t.Errorf("%d file fallbacks — the healed partition should recover in-memory", r.Query.FileFallbacks)
+	}
+}
+
+func TestPartitionTrialBudgetZeroKeepsLegacyPath(t *testing.T) {
+	// Regression: the untuned exchange (no hedge delay, no budget) must
+	// still run the legacy CallAll path and record no hedge traffic, so the
+	// message-loss sweep's semantics are unchanged by the tuning refactor.
+	c := partitionConfig()
+	spec := faultSpec(t)
+	_, data, qs, err := c.faultExchangeTuned(spec, &mpi.FaultPlan{Seed: 3, Rules: []mpi.FaultRule{
+		{Action: mpi.FaultDrop, Rank: mpi.AnyRank, Tag: rpc.TagRequest, Count: 2},
+	}}, faultTuning{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, b := range data {
+		if len(b) == 0 {
+			t.Errorf("consumer %d received no data", r)
+		}
+	}
+	if qs.HedgedCalls != 0 || qs.HedgeWins != 0 || qs.StragglersDemoted != 0 {
+		t.Errorf("untuned exchange recorded hedge traffic: %+v", qs)
+	}
+}

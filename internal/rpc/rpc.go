@@ -5,13 +5,18 @@
 // remote rank, dispatches them to a handler, and sends the reply back.
 //
 // Requests and responses travel in a small envelope — a per-client sequence
-// number plus a CRC of the body — that makes the exchange safe under an
-// unreliable transport: a duplicated request is answered once (the server
-// replays the cached response instead of re-dispatching), a corrupted
-// payload is discarded as if lost, and a retried call reuses its sequence
-// number so the server recognizes it. With a Timeout configured, Call
-// bounds each attempt and retries with exponential backoff; a crashed peer
-// surfaces as a typed error instead of a hang.
+// number, a CRC, and the call's end-to-end deadline — that makes the
+// exchange safe under an unreliable transport: a duplicated request is
+// answered once (the server replays the cached response instead of
+// re-dispatching), a corrupted payload is discarded as if lost, and a
+// retried call reuses its sequence number so the server recognizes it. With
+// a Timeout configured, Call bounds each attempt and retries with
+// exponential backoff; a Budget bounds the whole call end to end, and the
+// deadline travels in the envelope so a server receiving a request whose
+// budget is already spent rejects it without dispatching work no one
+// awaits. CallHedged races the primary against a replica after a hedge
+// delay, the tail-latency defense of Dean & Barroso's "The Tail at Scale".
+// A crashed peer surfaces as a typed error instead of a hang.
 package rpc
 
 import (
@@ -19,11 +24,13 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lowfive/internal/buf"
 	"lowfive/internal/spin"
 	"lowfive/mpi"
+	"lowfive/trace"
 )
 
 // TagRequest and TagResponse are the message tags RPC traffic travels on,
@@ -36,7 +43,7 @@ const (
 	tagRequest  = TagRequest
 	tagResponse = TagResponse
 
-	headerLen = 12 // seq (8) + crc32 (4)
+	headerLen = 20 // seq (8) + crc32 (4) + deadline (8)
 
 	// dedupWindow bounds the server's per-source response cache: entries
 	// more than this many sequence numbers behind the newest are pruned.
@@ -47,39 +54,53 @@ const (
 	pollInterval = 200 * time.Microsecond
 )
 
-// seal wraps a body in the wire envelope: sequence number and body CRC.
-func seal(seq uint64, body []byte) []byte {
+// seal wraps a body in the wire envelope: sequence number, CRC, and the
+// call's absolute end-to-end deadline (UnixNano; 0 means unbounded). The
+// CRC covers the deadline too, so a corrupted deadline is discarded as
+// lost rather than silently extending or expiring a request. Deadlines are
+// absolute because all ranks share one process clock; a multi-node port
+// would carry the remaining budget instead.
+func seal(seq uint64, deadline int64, body []byte) []byte {
 	buf := make([]byte, headerLen+len(body))
 	binary.LittleEndian.PutUint64(buf[0:], seq)
-	binary.LittleEndian.PutUint32(buf[8:], crc32.ChecksumIEEE(body))
+	binary.LittleEndian.PutUint64(buf[12:], uint64(deadline))
 	copy(buf[headerLen:], body)
+	binary.LittleEndian.PutUint32(buf[8:], crc32.ChecksumIEEE(buf[12:]))
 	return buf
 }
 
 // unseal unwraps an envelope, verifying the CRC. ok=false means the message
 // is truncated or corrupt and must be treated as lost.
-func unseal(msg []byte) (seq uint64, body []byte, ok bool) {
+func unseal(msg []byte) (seq uint64, deadline int64, body []byte, ok bool) {
 	if len(msg) < headerLen {
-		return 0, nil, false
+		return 0, 0, nil, false
 	}
 	seq = binary.LittleEndian.Uint64(msg[0:])
-	body = msg[headerLen:]
-	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(msg[8:]) {
-		return 0, nil, false
+	if crc32.ChecksumIEEE(msg[12:]) != binary.LittleEndian.Uint32(msg[8:]) {
+		return 0, 0, nil, false
 	}
-	return seq, body, true
+	deadline = int64(binary.LittleEndian.Uint64(msg[12:]))
+	return seq, deadline, msg[headerLen:], true
 }
 
 // TimeoutError reports that a call's attempts all expired without a reply.
+// Attempts and Elapsed make a chaos-run timeout diagnosable without
+// replaying it: they say whether the budget died retrying a silent peer or
+// never got a second attempt.
 type TimeoutError struct {
 	// Dest is the remote rank that did not answer.
 	Dest int
 	// Timeout is the per-attempt deadline that expired.
 	Timeout time.Duration
+	// Attempts is how many attempts (including the first send) were made.
+	Attempts int
+	// Elapsed is the total wall time from the first send to giving up.
+	Elapsed time.Duration
 }
 
 func (e *TimeoutError) Error() string {
-	return fmt.Sprintf("rpc: call to rank %d timed out after %v", e.Dest, e.Timeout)
+	return fmt.Sprintf("rpc: call to rank %d timed out after %d attempts over %v (per-attempt timeout %v)",
+		e.Dest, e.Attempts, e.Elapsed.Round(time.Microsecond), e.Timeout)
 }
 
 // CallError wraps a failure of one call with the rank it addressed, so
@@ -87,12 +108,17 @@ func (e *TimeoutError) Error() string {
 type CallError struct {
 	// Dest is the remote rank the failed call addressed.
 	Dest int
+	// Attempts is how many attempts were made before the call failed.
+	Attempts int
+	// Elapsed is the total wall time the call spent before failing.
+	Elapsed time.Duration
 	// Err is the underlying failure (a *TimeoutError or *mpi.RankFailedError).
 	Err error
 }
 
 func (e *CallError) Error() string {
-	return fmt.Sprintf("rpc: call to rank %d failed: %v", e.Dest, e.Err)
+	return fmt.Sprintf("rpc: call to rank %d failed after %d attempts over %v: %v",
+		e.Dest, e.Attempts, e.Elapsed.Round(time.Microsecond), e.Err)
 }
 
 // Unwrap exposes the underlying failure to errors.Is/As.
@@ -121,9 +147,67 @@ type Client struct {
 	// how long a restart may take. Requires a Timeout; the fail-stop path
 	// ignores it.
 	RetryFailed bool
+	// Budget bounds each call end to end: however many attempts the retry
+	// schedule would still allow, the call fails once the budget is spent.
+	// The deadline travels in the request envelope so the server can reject
+	// a request whose caller has already given up. Zero means unbounded
+	// (per-attempt timeouts only). Requires a Timeout.
+	Budget time.Duration
+	// HedgeDelay is how long CallHedged waits for the primary before also
+	// sending the request to the hedge rank. Zero defaults to a quarter of
+	// Timeout.
+	HedgeDelay time.Duration
+	// Track, when set, records rpc.retry and rpc.hedge trace instants so a
+	// chaos run shows where a client burned its budget.
+	Track *trace.Track
 
 	mu  sync.Mutex
 	seq uint64
+
+	retries   atomic.Int64
+	timeouts  atomic.Int64
+	hedged    atomic.Int64
+	hedgeWins atomic.Int64
+}
+
+// ClientStats is a snapshot of a client's retry and hedging counters.
+type ClientStats struct {
+	// Retries counts resent attempts (beyond each call's first send).
+	Retries int64
+	// Timeouts counts calls that failed with their budget spent.
+	Timeouts int64
+	// HedgedCalls counts hedged calls whose hedge was actually sent.
+	HedgedCalls int64
+	// HedgeWins counts hedged calls the hedge rank answered first.
+	HedgeWins int64
+}
+
+// Stats snapshots the client's counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Retries:     c.retries.Load(),
+		Timeouts:    c.timeouts.Load(),
+		HedgedCalls: c.hedged.Load(),
+		HedgeWins:   c.hedgeWins.Load(),
+	}
+}
+
+// deadline computes the absolute end-to-end deadline for a call starting
+// now, or 0 when the client has no Budget.
+func (c *Client) deadline() int64 {
+	if c.Budget <= 0 {
+		return 0
+	}
+	return time.Now().Add(c.Budget).UnixNano()
+}
+
+// noteRetry counts one resend, for the stats and the trace.
+func (c *Client) noteRetry(dest, attempt int) {
+	c.retries.Add(1)
+	if c.Track != nil {
+		c.Track.Instant("rpc", "rpc.retry",
+			trace.I64("dst", int64(dest)), trace.I64("attempt", int64(attempt)))
+	}
 }
 
 func (c *Client) nextSeq() uint64 {
@@ -140,8 +224,9 @@ func (c *Client) nextSeq() uint64 {
 // TimeoutError once the retry budget is spent.
 func (c *Client) Call(dest int, req []byte) ([]byte, error) {
 	seq := c.nextSeq()
-	c.IC.Send(dest, tagRequest, seal(seq, req))
-	return c.await(dest, seq, req)
+	dl := c.deadline()
+	c.IC.Send(dest, tagRequest, seal(seq, dl, req))
+	return c.await(dest, seq, dl, req)
 }
 
 // CallAll pipelines the same request to several remote ranks: all sends are
@@ -152,13 +237,14 @@ func (c *Client) Call(dest int, req []byte) ([]byte, error) {
 // and later slots are nil.
 func (c *Client) CallAll(dests []int, req []byte) ([][]byte, error) {
 	seqs := make([]uint64, len(dests))
+	dl := c.deadline() // posted together, so the calls share one deadline
 	for i, d := range dests {
 		seqs[i] = c.nextSeq()
-		c.IC.Send(d, tagRequest, seal(seqs[i], req))
+		c.IC.Send(d, tagRequest, seal(seqs[i], dl, req))
 	}
 	out := make([][]byte, len(dests))
 	for i, d := range dests {
-		resp, err := c.await(d, seqs[i], req)
+		resp, err := c.await(d, seqs[i], dl, req)
 		if err != nil {
 			return out, err
 		}
@@ -172,18 +258,24 @@ func (c *Client) CallAll(dests []int, req []byte) ([][]byte, error) {
 // that must know the notification arrived should use Call against a server
 // that acknowledges.
 func (c *Client) Notify(dest int, req []byte) {
-	c.IC.Send(dest, tagRequest, seal(c.nextSeq(), req))
+	// No deadline: a notification with no reply has no caller to give up,
+	// so the server must never reject it as expired.
+	c.IC.Send(dest, tagRequest, seal(c.nextSeq(), 0, req))
 }
 
 // await blocks for the response carrying seq from dest, resending the
 // request on timeout (same sequence number — the server deduplicates).
 // Responses with other sequence numbers are stale replies to abandoned
-// attempts and are discarded.
-func (c *Client) await(dest int, seq uint64, req []byte) (resp []byte, err error) {
+// attempts and are discarded. overall (the envelope deadline, 0 for none)
+// caps the whole call: no attempt outlives it, and once it passes the call
+// fails even with retries left.
+func (c *Client) await(dest int, seq uint64, overall int64, req []byte) (resp []byte, err error) {
+	start := time.Now()
+	attempts := 1
 	defer func() {
 		if r := recover(); r != nil {
 			if rf, ok := r.(*mpi.RankFailedError); ok {
-				resp, err = nil, &CallError{Dest: dest, Err: rf}
+				resp, err = nil, &CallError{Dest: dest, Attempts: attempts, Elapsed: time.Since(start), Err: rf}
 				return
 			}
 			panic(r)
@@ -193,7 +285,7 @@ func (c *Client) await(dest int, seq uint64, req []byte) (resp []byte, err error
 		// Fail-stop mode: block until the response (or a peer crash) arrives.
 		for {
 			msg, _ := c.IC.Recv(dest, tagResponse)
-			rseq, body, ok := unseal(msg)
+			rseq, _, body, ok := unseal(msg)
 			if ok && rseq == seq {
 				return body, nil
 			}
@@ -205,7 +297,13 @@ func (c *Client) await(dest int, seq uint64, req []byte) (resp []byte, err error
 	backoff := c.Backoff
 	var down *mpi.RankFailedError
 	for attempt := 0; ; attempt++ {
+		attempts = attempt + 1
 		deadline := time.Now().Add(c.Timeout)
+		if overall != 0 {
+			if od := time.Unix(0, overall); od.Before(deadline) {
+				deadline = od
+			}
+		}
 		for time.Now().Before(deadline) {
 			msg, got, pd := c.tryRecv(dest)
 			if pd != nil {
@@ -217,25 +315,144 @@ func (c *Client) await(dest int, seq uint64, req []byte) (resp []byte, err error
 				spin.Wait(pollInterval)
 				continue
 			}
-			rseq, body, ok := unseal(msg)
+			rseq, _, body, ok := unseal(msg)
 			if ok && rseq == seq {
 				return body, nil
 			}
 			buf.Release(msg)
 		}
-		if attempt >= c.Retries {
+		spent := overall != 0 && time.Now().UnixNano() >= overall
+		if attempt >= c.Retries || spent {
+			c.timeouts.Add(1)
 			if down != nil {
-				return nil, &CallError{Dest: dest, Err: down}
+				return nil, &CallError{Dest: dest, Attempts: attempts, Elapsed: time.Since(start), Err: down}
 			}
-			return nil, &CallError{Dest: dest, Err: &TimeoutError{Dest: dest, Timeout: c.Timeout}}
+			to := &TimeoutError{Dest: dest, Timeout: c.Timeout, Attempts: attempts, Elapsed: time.Since(start)}
+			return nil, &CallError{Dest: dest, Attempts: attempts, Elapsed: time.Since(start), Err: to}
 		}
 		if backoff > 0 {
 			spin.Wait(backoff)
 			backoff *= 2
 		}
 		down = nil
-		c.IC.Send(dest, tagRequest, seal(seq, req))
+		c.noteRetry(dest, attempt+1)
+		c.IC.Send(dest, tagRequest, seal(seq, overall, req))
 	}
+}
+
+// CallHedged sends req to dest and, if no response arrives within
+// HedgeDelay (or dest is observed down), also to hedge — racing the
+// primary against a replica so one straggling or partitioned rank cannot
+// hold the call to its full timeout. The first valid response wins and is
+// returned with the rank that produced it; the loser's late response is
+// discarded by sequence matching on a later call. Requires a Timeout and a
+// distinct hedge rank, otherwise it degrades to a plain Call.
+func (c *Client) CallHedged(dest, hedge int, req []byte) (resp []byte, winner int, err error) {
+	if c.Timeout <= 0 || hedge == dest {
+		resp, err = c.Call(dest, req)
+		return resp, dest, err
+	}
+	start := time.Now()
+	seq := c.nextSeq()
+	overall := c.deadline()
+	c.IC.Send(dest, tagRequest, seal(seq, overall, req))
+	hd := c.HedgeDelay
+	if hd <= 0 {
+		hd = c.Timeout / 4
+	}
+	targets := []int{dest}
+	downs := make(map[int]*mpi.RankFailedError)
+	hedgedSent := false
+	sendHedge := func() {
+		hedgedSent = true
+		c.hedged.Add(1)
+		if c.Track != nil {
+			c.Track.Instant("rpc", "rpc.hedge",
+				trace.I64("primary", int64(dest)), trace.I64("hedge", int64(hedge)))
+		}
+		c.IC.Send(hedge, tagRequest, seal(seq, overall, req))
+		targets = append(targets, hedge)
+	}
+	attempts := 1
+	backoff := c.Backoff
+	for attempt := 0; ; attempt++ {
+		attempts = attempt + 1
+		deadline := time.Now().Add(c.Timeout)
+		if overall != 0 {
+			if od := time.Unix(0, overall); od.Before(deadline) {
+				deadline = od
+			}
+		}
+		for time.Now().Before(deadline) {
+			if !hedgedSent && (time.Since(start) >= hd || downs[dest] != nil) {
+				sendHedge()
+			}
+			progress := false
+			for _, d := range targets {
+				msg, got, pd := c.tryRecvSafe(d)
+				if pd != nil {
+					downs[d] = pd
+					continue
+				}
+				if !got {
+					continue
+				}
+				progress = true
+				rseq, _, body, ok := unseal(msg)
+				if ok && rseq == seq {
+					if d == hedge {
+						c.hedgeWins.Add(1)
+					}
+					return body, d, nil
+				}
+				buf.Release(msg)
+			}
+			if !progress {
+				if !c.RetryFailed && hedgedSent && downs[dest] != nil && downs[hedge] != nil {
+					// Both targets are down and no restart is coming.
+					c.timeouts.Add(1)
+					return nil, dest, &CallError{Dest: dest, Attempts: attempts, Elapsed: time.Since(start), Err: downs[dest]}
+				}
+				spin.Wait(pollInterval)
+			}
+		}
+		spent := overall != 0 && time.Now().UnixNano() >= overall
+		if attempt >= c.Retries || spent {
+			c.timeouts.Add(1)
+			if pd := downs[dest]; pd != nil {
+				return nil, dest, &CallError{Dest: dest, Attempts: attempts, Elapsed: time.Since(start), Err: pd}
+			}
+			to := &TimeoutError{Dest: dest, Timeout: c.Timeout, Attempts: attempts, Elapsed: time.Since(start)}
+			return nil, dest, &CallError{Dest: dest, Attempts: attempts, Elapsed: time.Since(start), Err: to}
+		}
+		if backoff > 0 {
+			spin.Wait(backoff)
+			backoff *= 2
+		}
+		for d := range downs {
+			delete(downs, d)
+		}
+		for _, d := range targets {
+			c.noteRetry(d, attempt+1)
+			c.IC.Send(d, tagRequest, seal(seq, overall, req))
+		}
+	}
+}
+
+// tryRecvSafe is tryRecv with a crashed peer always surfaced as a value
+// instead of a panic, regardless of RetryFailed: a hedged call outlives the
+// death of one of its targets as long as the other can still answer.
+func (c *Client) tryRecvSafe(dest int) (msg []byte, got bool, down *mpi.RankFailedError) {
+	defer func() {
+		if r := recover(); r != nil {
+			if rf, ok := r.(*mpi.RankFailedError); ok {
+				msg, got, down = nil, false, rf
+				return
+			}
+			panic(r)
+		}
+	}()
+	return c.tryRecv(dest)
 }
 
 // tryRecv polls for one response message from dest. With RetryFailed set, a
@@ -281,7 +498,14 @@ type Server struct {
 	mu     sync.Mutex
 	seen   map[int]map[uint64]*reqState
 	newest map[int]uint64
+
+	expired atomic.Int64
 }
+
+// Expired counts requests rejected because their end-to-end deadline had
+// already passed on arrival — work the server refused to dispatch because
+// no caller was still awaiting the answer.
+func (s *Server) Expired() int64 { return s.expired.Load() }
 
 // ServeOne blocks for a single request, dispatches it, and replies if the
 // handler produced a response. It returns the source rank.
@@ -301,14 +525,21 @@ func (s *Server) ServeOne() int {
 func (s *Server) Recv() (src int, seq uint64, req []byte) {
 	for {
 		msg, st := s.IC.Recv(mpi.AnySource, tagRequest)
-		rseq, body, ok := unseal(msg)
+		rseq, deadline, body, ok := unseal(msg)
 		if !ok {
 			continue // corrupt on the wire; treated as lost
+		}
+		if deadline != 0 && time.Now().UnixNano() > deadline {
+			// The caller's end-to-end budget is spent: nobody awaits this
+			// answer, so reject without dispatching the handler.
+			s.expired.Add(1)
+			buf.Release(msg)
+			continue
 		}
 		if cached, dup := s.register(st.Source, rseq); dup {
 			if cached != nil {
 				// Already answered: replay the response for the retry.
-				s.IC.Send(st.Source, tagResponse, seal(rseq, cached.resp))
+				s.IC.Send(st.Source, tagResponse, seal(rseq, 0, cached.resp))
 			}
 			continue
 		}
@@ -327,7 +558,7 @@ func (s *Server) Respond(src int, seq uint64, resp []byte) {
 		}
 	}
 	s.mu.Unlock()
-	s.IC.Send(src, tagResponse, seal(seq, resp))
+	s.IC.Send(src, tagResponse, seal(seq, 0, resp))
 }
 
 // register records a (src, seq) sighting. It returns dup=true when the
@@ -348,6 +579,13 @@ func (s *Server) register(src int, seq uint64) (cached *reqState, dup bool) {
 		if st.answered {
 			return st, true
 		}
+		return nil, true
+	}
+	if newest := s.newest[src]; newest > dedupWindow && seq < newest-dedupWindow {
+		// An ancient duplicate whose state was already pruned: it can only
+		// be a replay of a request answered long ago (the client moved on
+		// hundreds of sequence numbers), so swallow it rather than treat it
+		// as fresh and re-dispatch the handler.
 		return nil, true
 	}
 	m[seq] = &reqState{}

@@ -8,10 +8,11 @@
 // A frame is a sealed envelope whose body begins with a frame index and a
 // flags byte:
 //
-//	[seq 8][crc32 4][idx 4][flags 1][payload]
+//	[seq 8][crc32 4][deadline 8][idx 4][flags 1][payload]
 //
-// The CRC covers idx+flags+payload, so the existing corrupt-discard logic
-// applies unchanged. Recovery reuses the scalar retry contract: if a frame
+// The CRC covers deadline+idx+flags+payload, so the existing
+// corrupt-discard logic applies unchanged (response frames carry a zero
+// deadline — only requests are budget-checked). Recovery reuses the scalar retry contract: if a frame
 // is lost or corrupted the client times out and resends the request (same
 // seq); the server forgets a stream's seq as soon as its last frame is sent,
 // so the retry re-dispatches the handler, which re-streams from frame 0 and
@@ -29,8 +30,8 @@ import (
 )
 
 const (
-	// FrameOverhead is the per-frame header: the seal envelope (seq+CRC)
-	// plus the frame index and flags.
+	// FrameOverhead is the per-frame header: the seal envelope
+	// (seq+CRC+deadline) plus the frame index and flags.
 	FrameOverhead = headerLen + 5
 
 	flagLast = 1 << 0
@@ -86,13 +87,14 @@ func (st *Stream) Bytes() int64 { return st.bytes }
 // the frame transfers with the send: the receiver releases it.
 func (st *Stream) send(frame []byte, last bool) {
 	binary.LittleEndian.PutUint64(frame[0:], st.seq)
+	binary.LittleEndian.PutUint64(frame[12:], 0) // pooled frame: clear the deadline field
 	binary.LittleEndian.PutUint32(frame[headerLen:], st.idx)
 	var flags byte
 	if last {
 		flags |= flagLast
 	}
 	frame[headerLen+4] = flags
-	binary.LittleEndian.PutUint32(frame[8:], crc32.ChecksumIEEE(frame[headerLen:]))
+	binary.LittleEndian.PutUint32(frame[8:], crc32.ChecksumIEEE(frame[12:]))
 	st.srv.IC.Send(st.src, tagResponse, frame)
 	st.idx++
 	st.frames++
@@ -112,11 +114,12 @@ func (s *Server) Forget(src int, seq uint64) {
 
 // StreamCall is the client side of one streamed response.
 type StreamCall struct {
-	c    *Client
-	dest int
-	seq  uint64
-	req  []byte
-	next uint32
+	c       *Client
+	dest    int
+	seq     uint64
+	overall int64 // absolute end-to-end deadline from the client's Budget
+	req     []byte
+	next    uint32
 }
 
 // StartStream sends req to dest and returns the handle to drain the framed
@@ -124,8 +127,9 @@ type StreamCall struct {
 // resent on retry).
 func (c *Client) StartStream(dest int, req []byte) *StreamCall {
 	seq := c.nextSeq()
-	c.IC.Send(dest, tagRequest, seal(seq, req))
-	return &StreamCall{c: c, dest: dest, seq: seq, req: req}
+	dl := c.deadline()
+	c.IC.Send(dest, tagRequest, seal(seq, dl, req))
+	return &StreamCall{c: c, dest: dest, seq: seq, overall: dl, req: req}
 }
 
 // Drain receives the stream's frames in order, invoking onFrame with each
@@ -139,10 +143,12 @@ func (c *Client) StartStream(dest int, req []byte) *StreamCall {
 // *CallError wrapping mpi.RankFailedError.
 func (sc *StreamCall) Drain(onFrame func(payload []byte) error) (err error) {
 	c := sc.c
+	start := time.Now()
+	attempts := 1
 	defer func() {
 		if r := recover(); r != nil {
 			if rf, ok := r.(*mpi.RankFailedError); ok {
-				err = &CallError{Dest: sc.dest, Err: rf}
+				err = &CallError{Dest: sc.dest, Attempts: attempts, Elapsed: time.Since(start), Err: rf}
 				return
 			}
 			panic(r)
@@ -170,7 +176,13 @@ func (sc *StreamCall) Drain(onFrame func(payload []byte) error) (err error) {
 	backoff := c.Backoff
 	var down *mpi.RankFailedError
 	for attempt := 0; ; attempt++ {
+		attempts = attempt + 1
 		deadline := time.Now().Add(c.Timeout)
+		if sc.overall != 0 {
+			if od := time.Unix(0, sc.overall); od.Before(deadline) {
+				deadline = od
+			}
+		}
 		for time.Now().Before(deadline) {
 			msg, got, pd := c.tryRecv(sc.dest)
 			if pd != nil {
@@ -200,11 +212,14 @@ func (sc *StreamCall) Drain(onFrame func(payload []byte) error) (err error) {
 			attempt = 0
 			backoff = c.Backoff
 		}
-		if attempt >= c.Retries {
+		spent := sc.overall != 0 && time.Now().UnixNano() >= sc.overall
+		if attempt >= c.Retries || spent {
+			c.timeouts.Add(1)
 			if down != nil {
-				return &CallError{Dest: sc.dest, Err: down}
+				return &CallError{Dest: sc.dest, Attempts: attempts, Elapsed: time.Since(start), Err: down}
 			}
-			return &CallError{Dest: sc.dest, Err: &TimeoutError{Dest: sc.dest, Timeout: c.Timeout}}
+			to := &TimeoutError{Dest: sc.dest, Timeout: c.Timeout, Attempts: attempts, Elapsed: time.Since(start)}
+			return &CallError{Dest: sc.dest, Attempts: attempts, Elapsed: time.Since(start), Err: to}
 		}
 		if backoff > 0 {
 			spin.Wait(backoff)
@@ -224,7 +239,8 @@ func (sc *StreamCall) Drain(onFrame func(payload []byte) error) (err error) {
 			sc.next = 0
 			down = nil
 		}
-		c.IC.Send(sc.dest, tagRequest, seal(sc.seq, sc.req))
+		c.noteRetry(sc.dest, attempt+1)
+		c.IC.Send(sc.dest, tagRequest, seal(sc.seq, sc.overall, sc.req))
 	}
 }
 
@@ -233,7 +249,7 @@ func (sc *StreamCall) Drain(onFrame func(payload []byte) error) (err error) {
 // stale seq, an already-consumed index from a re-stream, or a gapped index
 // after a loss — is discarded and released; retry recovers the gap.
 func (sc *StreamCall) accept(msg []byte) (payload []byte, last bool, ok bool) {
-	rseq, body, ok := unseal(msg)
+	rseq, _, body, ok := unseal(msg)
 	if !ok || rseq != sc.seq || len(body) < 5 {
 		buf.Release(msg)
 		return nil, false, false

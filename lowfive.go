@@ -190,10 +190,16 @@ const (
 	FaultCorrupt   = mpi.FaultCorrupt
 	FaultCrash     = mpi.FaultCrash
 	FaultHang      = mpi.FaultHang
+	FaultPartition = mpi.FaultPartition
+	FaultThrottle  = mpi.FaultThrottle
 )
 
 // AnyRank matches every world rank in a FaultRule.
 const AnyRank = mpi.AnyRank
+
+// DstRank encodes world rank r as a FaultRule.Dst value, scoping the rule
+// to one link direction (the zero Dst matches traffic to every rank).
+func DstRank(r int) int { return mpi.DstRank(r) }
 
 // RankFailedError is the typed failure a rank blocked on a crashed peer
 // receives. The RPC layer converts it into an error value; raw mpi users

@@ -69,20 +69,15 @@ func (c *Comm) Send(dest, tag int, data []byte) {
 	}
 	w := c.world
 	w.opGate(c.ranks[c.rank], c.inc)
-	deliver := true
-	var dupData []byte
+	m := &message{commID: c.id, src: c.rank, tag: tag, data: data}
 	if w.fault != nil {
 		self := c.ranks[c.rank]
 		if w.failed[self].Load() {
 			panic(rankCrashPanic{rank: self})
 		}
-		data, dupData, deliver = w.injectSend(self, tag, data, tr)
-	}
-	if deliver {
-		w.deliver(c.ranks[dest], &message{commID: c.id, src: c.rank, tag: tag, data: data})
-		if dupData != nil {
-			w.deliver(c.ranks[dest], &message{commID: c.id, src: c.rank, tag: tag, data: dupData})
-		}
+		w.faultSend(self, c.ranks[dest], m, tr)
+	} else {
+		w.deliver(c.ranks[dest], m)
 	}
 	if tr != nil {
 		tr.Span("mpi", "send", t0, time.Now(),

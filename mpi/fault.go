@@ -14,9 +14,14 @@ import (
 // Fault injection ("chaos") layer. A FaultPlan attached to a World with
 // WithFaultPlan perturbs tagged user messages — delaying, dropping,
 // duplicating or corrupting them — and can crash a rank outright at its
-// Nth matching send or receive. Injection is seeded and deterministic per
-// rank: the same plan over the same message sequence makes the same
-// decisions, so a failing chaos run can be replayed.
+// Nth matching send or receive. Rules may also be scoped to a single
+// src→dst link (FaultRule.Dst) and model degraded links rather than lost
+// messages: FaultPartition severs a link for a duration and then heals it,
+// FaultThrottle caps its bandwidth. Injection is seeded and deterministic
+// per rank: the same plan over the same message sequence makes the same
+// decisions, so a failing chaos run can be replayed. (Link actions deliver
+// asynchronously, so their arrival interleaving is scheduler-dependent;
+// the layers above tolerate reordering.)
 //
 // Only user traffic (non-negative tags) is ever perturbed. Internal
 // collective messages use reserved negative tags and are exempt, because
@@ -29,7 +34,10 @@ import (
 type FaultAction uint8
 
 const (
-	// FaultDelay stalls the sender for Rule.Delay before delivery.
+	// FaultDelay delivers the message Rule.Delay late. The sender is not
+	// stalled — delay models link latency, not head-of-line blocking — so a
+	// delayed message to one peer never holds up traffic to another, and
+	// two messages given the same delay may arrive reordered.
 	FaultDelay FaultAction = iota
 	// FaultDrop discards the message; the receiver never sees it.
 	FaultDrop
@@ -47,6 +55,19 @@ const (
 	// detection exists for. The rank wakes (and dies) only when the
 	// supervisor declares it failed or the world aborts.
 	FaultHang
+	// FaultPartition silently drops all matching traffic for Rule.Duration,
+	// measured from the rule's first armed match, then heals: later matches
+	// pass untouched. Scoped with Dst it severs one src→dst link; an
+	// asymmetric partition is one direction only (the reverse link needs its
+	// own rule). Count and Prob are ignored — a partition is a condition of
+	// the link, not a per-message coin flip.
+	FaultPartition
+	// FaultThrottle caps a link at Rule.Bandwidth bytes per second: each
+	// matching message is delivered when the link has transmitted it, so big
+	// frames on a slow link take proportionally long. Deliveries on one
+	// throttled link are serialized FIFO (no overtaking); the sender is
+	// never stalled.
+	FaultThrottle
 )
 
 // String names the action (for trace instants and error messages).
@@ -64,6 +85,10 @@ func (a FaultAction) String() string {
 		return "crash"
 	case FaultHang:
 		return "hang"
+	case FaultPartition:
+		return "partition"
+	case FaultThrottle:
+		return "throttle"
 	default:
 		return fmt.Sprintf("action(%d)", uint8(a))
 	}
@@ -71,6 +96,11 @@ func (a FaultAction) String() string {
 
 // AnyRank matches every world rank in a FaultRule.
 const AnyRank = -1
+
+// DstRank encodes a world rank for FaultRule.Dst, which keeps its zero
+// value meaning "any destination" (so pre-link plans are unchanged) while
+// still letting a rule scope to destination rank 0.
+func DstRank(r int) int { return r + 1 }
 
 // FaultRule arms one fault. A rule matches an operation when the acting
 // rank, the message tag and the operation kind all match; the rule then
@@ -82,6 +112,11 @@ type FaultRule struct {
 	// Rank is the world rank whose operations the rule applies to
 	// (AnyRank for all). For message faults this is the sender.
 	Rank int
+	// Dst scopes a message fault to one destination world rank, making the
+	// rule a link fault (Rank→Dst). Zero matches every destination; use
+	// DstRank to name a specific one. Receive-side rules (OnRecv) have no
+	// destination and never match a Dst-scoped rule.
+	Dst int
 	// Tag matches the message tag: a specific user tag, or AnyTag for
 	// every user tag. Internal (negative) tags never match.
 	Tag int
@@ -101,6 +136,12 @@ type FaultRule struct {
 	Prob float64
 	// Delay is the injected latency for FaultDelay.
 	Delay time.Duration
+	// Duration is how long a FaultPartition stays severed, measured from
+	// the rule's first armed match; afterwards the link heals. Zero never
+	// heals.
+	Duration time.Duration
+	// Bandwidth is the FaultThrottle link capacity in bytes per second.
+	Bandwidth float64
 }
 
 // FaultPlan is a seeded set of fault rules for one run.
@@ -154,18 +195,33 @@ func IsHaltPanic(r any) bool {
 type faultState struct {
 	plan FaultPlan
 
-	mu      sync.Mutex
-	rngs    []*rand.Rand // per world rank
-	matched [][]uint64   // [rule][rank]: matching ops seen
-	fired   []int        // [rule]: total firings
+	mu        sync.Mutex
+	rngs      []*rand.Rand // per world rank
+	matched   [][]uint64   // [rule][rank]: matching ops seen
+	fired     []int        // [rule]: total firings
+	partStart []time.Time  // [rule]: when a FaultPartition began (zero: not yet)
+	links     map[linkKey]*linkState
+}
+
+// linkKey identifies one throttled src→dst link under one rule.
+type linkKey struct{ rule, src, dst int }
+
+// linkState serializes the asynchronous deliveries of one throttled link:
+// freeAt is when the link finishes transmitting everything queued so far,
+// and last is closed when the most recently queued message has been
+// delivered, so the next delivery can preserve FIFO order.
+type linkState struct {
+	freeAt time.Time
+	last   chan struct{}
 }
 
 func newFaultState(plan FaultPlan, size int) *faultState {
 	fs := &faultState{
-		plan:    plan,
-		rngs:    make([]*rand.Rand, size),
-		matched: make([][]uint64, len(plan.Rules)),
-		fired:   make([]int, len(plan.Rules)),
+		plan:      plan,
+		rngs:      make([]*rand.Rand, size),
+		matched:   make([][]uint64, len(plan.Rules)),
+		fired:     make([]int, len(plan.Rules)),
+		partStart: make([]time.Time, len(plan.Rules)),
 	}
 	for r := range fs.rngs {
 		mix := int64(uint64(0x9e3779b97f4a7c15) * uint64(r+1))
@@ -178,10 +234,12 @@ func newFaultState(plan FaultPlan, size int) *faultState {
 }
 
 // decide evaluates the plan for one operation and returns the rule that
-// fires, if any.
-func (fs *faultState) decide(rank, tag int, recv bool) (FaultRule, bool) {
+// fires (and its index, for per-rule link state), if any. dst is the
+// destination world rank for send operations and -1 for receives, where
+// Dst-scoped rules never match.
+func (fs *faultState) decide(rank, dst, tag int, recv bool) (FaultRule, int, bool) {
 	if tag < 0 {
-		return FaultRule{}, false // internal collective traffic is exempt
+		return FaultRule{}, -1, false // internal collective traffic is exempt
 	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -192,12 +250,28 @@ func (fs *faultState) decide(rank, tag int, recv bool) (FaultRule, bool) {
 		if rule.Rank != AnyRank && rule.Rank != rank {
 			continue
 		}
+		if rule.Dst != 0 && rule.Dst != DstRank(dst) {
+			continue
+		}
 		if rule.Tag != AnyTag && rule.Tag != tag {
 			continue
 		}
 		fs.matched[i][rank]++
 		if fs.matched[i][rank] <= uint64(rule.After) {
 			continue
+		}
+		if rule.Action == FaultPartition {
+			// A partition is a time window on the link, not a counted
+			// per-message fault: it opens at the first armed match and
+			// closes (heals) Duration later. Count and Prob do not apply.
+			if fs.partStart[i].IsZero() {
+				fs.partStart[i] = time.Now()
+			}
+			if rule.Duration > 0 && time.Since(fs.partStart[i]) >= rule.Duration {
+				continue // healed
+			}
+			fs.fired[i]++
+			return rule, i, true
 		}
 		if rule.Count > 0 && fs.fired[i] >= rule.Count {
 			continue
@@ -206,9 +280,40 @@ func (fs *faultState) decide(rank, tag int, recv bool) (FaultRule, bool) {
 			continue
 		}
 		fs.fired[i]++
-		return rule, true
+		return rule, i, true
 	}
-	return FaultRule{}, false
+	return FaultRule{}, -1, false
+}
+
+// throttleSlot books one message onto a throttled link and returns its
+// delivery schedule: at is when the link finishes transmitting it, after is
+// the previous delivery's completion (nil for the first message, closed
+// channels preserve FIFO), and done must be closed once this delivery lands.
+func (fs *faultState) throttleSlot(rule, src, dst, bytes int, bw float64) (at time.Time, after <-chan struct{}, done chan struct{}) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.links == nil {
+		fs.links = map[linkKey]*linkState{}
+	}
+	k := linkKey{rule: rule, src: src, dst: dst}
+	ls := fs.links[k]
+	if ls == nil {
+		ls = &linkState{}
+		fs.links[k] = ls
+	}
+	start := time.Now()
+	if ls.freeAt.After(start) {
+		start = ls.freeAt
+	}
+	if bw <= 0 {
+		bw = 1
+	}
+	at = start.Add(time.Duration(float64(bytes) / bw * float64(time.Second)))
+	ls.freeAt = at
+	after = ls.last
+	done = make(chan struct{})
+	ls.last = done
+	return at, after, done
 }
 
 // corrupt returns a copy of data with up to four bytes flipped at seeded
@@ -228,57 +333,92 @@ func (fs *faultState) corrupt(rank int, data []byte) []byte {
 	return out
 }
 
-// injectSend runs the plan against an outgoing message on the sender's
-// world rank. It returns the payload to deliver and, for a duplicate rule,
-// an independent second payload; deliver=false drops the message. The
-// clean path (no rule fires — the overwhelmingly common case) passes data
-// through by reference with no copy; a copy is made only when a rule
-// actually mutates (corrupt) or re-delivers (duplicate) the message, and a
-// payload the plan swallows or replaces is released back to its buffer
-// pool. A firing crash rule does not return: the rank dies by panic.
-func (w *World) injectSend(worldSrc, tag int, data []byte, tr *trace.Track) (payload, dupPayload []byte, deliver bool) {
-	rule, fire := w.fault.decide(worldSrc, tag, false)
+// faultSend runs the plan against an outgoing message on the sender's
+// world rank and disposes of it: delivered now (possibly corrupted or
+// twice), delivered later on another goroutine (delay, throttle), or never
+// (drop, partition — the payload is released back to its pool). The clean
+// path (no rule fires — the overwhelmingly common case) delivers data by
+// reference with no copy. A firing crash rule does not return: the rank
+// dies by panic.
+func (w *World) faultSend(worldSrc, worldDst int, m *message, tr *trace.Track) {
+	rule, idx, fire := w.fault.decide(worldSrc, worldDst, m.tag, false)
 	if !fire {
-		return data, nil, true
+		w.deliver(worldDst, m)
+		return
 	}
 	if tr != nil {
 		tr.Instant("fault", "fault."+rule.Action.String(),
-			trace.I64("tag", int64(tag)), trace.I64("bytes", int64(len(data))))
+			trace.I64("tag", int64(m.tag)), trace.I64("dst", int64(worldDst)),
+			trace.I64("bytes", int64(len(m.data))))
 	}
 	switch rule.Action {
 	case FaultDelay:
-		spin.Wait(rule.Delay)
-		return data, nil, true
-	case FaultDrop:
-		buf.Release(data)
-		return nil, nil, false
+		w.deliverAsync(worldDst, m, time.Now().Add(rule.Delay), nil, nil)
+	case FaultThrottle:
+		at, after, done := w.fault.throttleSlot(idx, worldSrc, worldDst, len(m.data), rule.Bandwidth)
+		w.deliverAsync(worldDst, m, at, after, done)
+	case FaultDrop, FaultPartition:
+		buf.Release(m.data)
 	case FaultDuplicate:
 		// The second delivery gets its own copy: the two receives are
 		// released independently, so they must not share a pooled chunk.
-		return data, append([]byte(nil), data...), true
+		dup := append([]byte(nil), m.data...)
+		w.deliver(worldDst, m)
+		w.deliver(worldDst, &message{commID: m.commID, src: m.src, tag: m.tag, data: dup})
 	case FaultCorrupt:
-		out := w.fault.corrupt(worldSrc, data)
-		buf.Release(data)
-		return out, nil, true
+		out := w.fault.corrupt(worldSrc, m.data)
+		buf.Release(m.data)
+		m.data = out
+		w.deliver(worldDst, m)
 	case FaultCrash:
 		// The rank dies mid-send and never delivers: the payload's pooled
 		// chunk must return to its pool, exactly as deliver() releases a
 		// message addressed to a dead rank.
-		buf.Release(data)
+		buf.Release(m.data)
 		w.crash(worldSrc)
 	case FaultHang:
 		// A hung rank never resumes the send either (it leaves only by
 		// dying), so its undelivered payload is released the same way.
-		buf.Release(data)
+		buf.Release(m.data)
 		w.hang(worldSrc)
+	default:
+		w.deliver(worldDst, m)
 	}
-	return data, nil, true
+}
+
+// deliverAsync delivers m to worldDst at the given time on its own
+// goroutine, modeling in-flight bytes on a slow link: the sender has
+// already returned. after (if non-nil) is awaited first so a throttled
+// link's deliveries cannot overtake each other; done (if non-nil) is closed
+// once this delivery lands, even if the world aborted meanwhile (in which
+// case the payload returns to its pool).
+func (w *World) deliverAsync(worldDst int, m *message, at time.Time, after <-chan struct{}, done chan struct{}) {
+	go func() {
+		if done != nil {
+			defer close(done)
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				if !IsHaltPanic(r) {
+					panic(r)
+				}
+				buf.Release(m.data) // aborted world: nobody will receive it
+			}
+		}()
+		if after != nil {
+			<-after
+		}
+		if d := time.Until(at); d > 0 {
+			spin.Wait(d)
+		}
+		w.deliver(worldDst, m)
+	}()
 }
 
 // injectRecv runs the plan against a receive operation (crash rules only —
 // message perturbations are sender-side).
 func (w *World) injectRecv(worldRank, tag int, tr *trace.Track) {
-	rule, fire := w.fault.decide(worldRank, tag, true)
+	rule, _, fire := w.fault.decide(worldRank, -1, tag, true)
 	if !fire {
 		return
 	}

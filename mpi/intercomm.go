@@ -72,20 +72,15 @@ func (ic *Intercomm) Send(dest, tag int, data []byte) {
 	}
 	w := ic.world
 	w.opGate(ic.local[ic.rank], ic.inc)
-	deliver := true
-	var dupData []byte
+	m := &message{commID: ic.sendID(), src: ic.rank, tag: tag, data: data}
 	if w.fault != nil {
 		self := ic.local[ic.rank]
 		if w.failed[self].Load() {
 			panic(rankCrashPanic{rank: self})
 		}
-		data, dupData, deliver = w.injectSend(self, tag, data, tr)
-	}
-	if deliver {
-		w.deliver(ic.remote[dest], &message{commID: ic.sendID(), src: ic.rank, tag: tag, data: data})
-		if dupData != nil {
-			w.deliver(ic.remote[dest], &message{commID: ic.sendID(), src: ic.rank, tag: tag, data: dupData})
-		}
+		w.faultSend(self, ic.remote[dest], m, tr)
+	} else {
+		w.deliver(ic.remote[dest], m)
 	}
 	if tr != nil {
 		tr.Span("mpi", "ic.send", t0, time.Now(),

@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
 	"lowfive/internal/harness"
 	"lowfive/internal/workload"
+	"lowfive/metrics"
 )
 
 // The -json mode re-runs the allocation-sensitive figure benchmarks
@@ -27,6 +29,15 @@ type benchResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	ExchangeSec float64 `json:"exchange_s"`
 	Iterations  int     `json:"iterations"`
+	// QPS and the query latency quantiles come from the metrics plane: each
+	// case runs against a fresh registry, and the consumer-side
+	// core.query.latency_us histogram yields queries/second over the case's
+	// accumulated wall time plus its p50/p99 in microseconds. Zero for
+	// transports with no distributed-VOL query path (file mode, pure MPI,
+	// DataSpaces).
+	QPS        float64 `json:"qps"`
+	QueryP50Us int64   `json:"query_p50_us"`
+	QueryP99Us int64   `json:"query_p99_us"`
 }
 
 type benchReport struct {
@@ -40,23 +51,25 @@ type benchReport struct {
 type benchCase struct {
 	name string
 	spec workload.Spec
-	fn   func(workload.Spec) (float64, error)
+	// fn is a Config method expression, so each case can run against its own
+	// config copy (carrying a fresh metrics registry).
+	fn func(harness.Config, workload.Spec) (float64, error)
 }
 
-func benchCases(cfg harness.Config) []benchCase {
+func benchCases() []benchCase {
 	spec := workload.PaperSpec(16).Scaled(100)
 	large := workload.PaperSpec(16).Scaled(10)
 	return []benchCase{
-		{"Fig5FileVsMemory/FileMode", spec, cfg.TrialLowFiveFile},
-		{"Fig5FileVsMemory/MemoryMode", spec, cfg.TrialLowFiveMemory},
-		{"Fig7MemoryVsPureMPI/LowFiveMemoryMode", spec, cfg.TrialLowFiveMemory},
-		{"Fig7MemoryVsPureMPI/PureMPI", spec, cfg.TrialPureMPI},
-		{"Fig11LargeData/LowFiveMemoryMode", large, cfg.TrialLowFiveMemory},
-		{"Fig11LargeData/DataSpaces", large, cfg.TrialDataSpaces},
-		{"Fig11LargeData/PureMPI", large, cfg.TrialPureMPI},
-		{"Redistribution/4procs", workload.PaperSpec(4).Scaled(100), cfg.TrialLowFiveMemory},
-		{"Redistribution/16procs", workload.PaperSpec(16).Scaled(100), cfg.TrialLowFiveMemory},
-		{"Redistribution/64procs", workload.PaperSpec(64).Scaled(100), cfg.TrialLowFiveMemory},
+		{"Fig5FileVsMemory/FileMode", spec, harness.Config.TrialLowFiveFile},
+		{"Fig5FileVsMemory/MemoryMode", spec, harness.Config.TrialLowFiveMemory},
+		{"Fig7MemoryVsPureMPI/LowFiveMemoryMode", spec, harness.Config.TrialLowFiveMemory},
+		{"Fig7MemoryVsPureMPI/PureMPI", spec, harness.Config.TrialPureMPI},
+		{"Fig11LargeData/LowFiveMemoryMode", large, harness.Config.TrialLowFiveMemory},
+		{"Fig11LargeData/DataSpaces", large, harness.Config.TrialDataSpaces},
+		{"Fig11LargeData/PureMPI", large, harness.Config.TrialPureMPI},
+		{"Redistribution/4procs", workload.PaperSpec(4).Scaled(100), harness.Config.TrialLowFiveMemory},
+		{"Redistribution/16procs", workload.PaperSpec(16).Scaled(100), harness.Config.TrialLowFiveMemory},
+		{"Redistribution/64procs", workload.PaperSpec(64).Scaled(100), harness.Config.TrialLowFiveMemory},
 	}
 }
 
@@ -82,12 +95,24 @@ func measureBenchmarks(cfg harness.Config, iters int) (benchReport, error) {
 		GOOS:   runtime.GOOS,
 		GOARCH: runtime.GOARCH,
 	}
-	for _, c := range benchCases(cfg) {
+	for _, c := range benchCases() {
 		c := c
+		// Each case measures against its own registry, so the query latency
+		// histogram covers exactly this case's invocations (across every
+		// round testing.Benchmark runs).
+		caseCfg := cfg
+		caseCfg.Metrics = metrics.NewRegistry()
+		var wall time.Duration
+		run := func(spec workload.Spec) (float64, error) {
+			t0 := time.Now()
+			sec, err := c.fn(caseCfg, spec)
+			wall += time.Since(t0)
+			return sec, err
+		}
 		var res benchResult
 		if iters > 0 {
 			var err error
-			res, err = measureFixed(c, iters)
+			res, err = measureFixed(c, run, iters)
 			if err != nil {
 				return report, fmt.Errorf("%s: %w", c.name, err)
 			}
@@ -97,7 +122,7 @@ func measureBenchmarks(cfg harness.Config, iters int) (benchReport, error) {
 				b.ReportAllocs()
 				total := 0.0
 				for i := 0; i < b.N; i++ {
-					sec, err := c.fn(c.spec)
+					sec, err := run(c.spec)
 					if err != nil {
 						benchErr = err
 						b.Fatal(err)
@@ -118,25 +143,42 @@ func measureBenchmarks(cfg harness.Config, iters int) (benchReport, error) {
 				Iterations:  r.N,
 			}
 		}
-		fmt.Fprintf(os.Stderr, "%-40s %12d ns/op %12d B/op %8d allocs/op %10.5f exchange-s\n",
-			res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.ExchangeSec)
+		res.QPS, res.QueryP50Us, res.QueryP99Us = queryLatency(caseCfg.Metrics, wall)
+		fmt.Fprintf(os.Stderr, "%-40s %12d ns/op %12d B/op %8d allocs/op %10.5f exchange-s %8.1f qps %7dus p50 %7dus p99\n",
+			res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.ExchangeSec,
+			res.QPS, res.QueryP50Us, res.QueryP99Us)
 		report.Benchmarks = append(report.Benchmarks, res)
 	}
 	return report, nil
+}
+
+// queryLatency distills a case's registry into the report's latency fields:
+// queries/second over the case's total wall time, and the p50/p99 of the
+// consumer-side query latency histogram. All zero for cases whose transport
+// never touched the distributed VOL.
+func queryLatency(reg *metrics.Registry, wall time.Duration) (qps float64, p50, p99 int64) {
+	s := reg.Histogram("core.query.latency_us").Snapshot()
+	if s.Count == 0 {
+		return 0, 0, 0
+	}
+	if wall > 0 {
+		qps = float64(s.Count) / wall.Seconds()
+	}
+	return qps, int64(s.Quantile(0.50)), int64(s.Quantile(0.99))
 }
 
 // measureFixed runs one case a fixed number of iterations, deriving the
 // allocation numbers from runtime.MemStats deltas. Cruder than
 // testing.Benchmark (concurrent GC noise is not filtered), which is fine
 // for the warn-only smoke comparison it exists for.
-func measureFixed(c benchCase, iters int) (benchResult, error) {
+func measureFixed(c benchCase, run func(workload.Spec) (float64, error), iters int) (benchResult, error) {
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 	start := time.Now()
 	total := 0.0
 	for i := 0; i < iters; i++ {
-		sec, err := c.fn(c.spec)
+		sec, err := run(c.spec)
 		if err != nil {
 			return benchResult{}, err
 		}
@@ -155,14 +197,16 @@ func measureFixed(c benchCase, iters int) (benchResult, error) {
 }
 
 // runBenchJSON measures the benchmark set and writes BENCH_<date>.json to
-// the current directory.
-func runBenchJSON(cfg harness.Config, iters int) error {
+// the current directory (or to out when non-empty).
+func runBenchJSON(cfg harness.Config, iters int, out string) error {
 	report, err := measureBenchmarks(cfg, iters)
 	if err != nil {
 		return err
 	}
 
-	out := fmt.Sprintf("BENCH_%s.json", report.Date)
+	if out == "" {
+		out = fmt.Sprintf("BENCH_%s.json", report.Date)
+	}
 	f, err := os.Create(out)
 	if err != nil {
 		return err
@@ -177,6 +221,45 @@ func runBenchJSON(cfg harness.Config, iters int) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+	return nil
+}
+
+// validateBenchJSON checks a BENCH_*.json file carries the metrics-plane
+// latency fields: every case whose transport runs distributed-VOL queries
+// (memory mode and the redistribution shapes) must report nonzero qps and
+// query p50/p99. CI runs this against a fresh smoke measurement so a wiring
+// regression (a histogram silently not recording) fails the build instead
+// of shipping an all-zero baseline.
+func validateBenchJSON(file string) error {
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	var report benchReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		return fmt.Errorf("parsing %s: %w", file, err)
+	}
+	if len(report.Benchmarks) == 0 {
+		return fmt.Errorf("%s: no benchmarks", file)
+	}
+	checked := 0
+	for _, b := range report.Benchmarks {
+		if !strings.Contains(b.Name, "MemoryMode") && !strings.Contains(b.Name, "Redistribution") {
+			continue
+		}
+		checked++
+		if b.QPS <= 0 || b.QueryP50Us <= 0 || b.QueryP99Us <= 0 {
+			return fmt.Errorf("%s: %s: query latency fields missing or zero (qps=%g p50=%dus p99=%dus)",
+				file, b.Name, b.QPS, b.QueryP50Us, b.QueryP99Us)
+		}
+		if b.QueryP99Us < b.QueryP50Us {
+			return fmt.Errorf("%s: %s: p99 (%dus) below p50 (%dus)", file, b.Name, b.QueryP99Us, b.QueryP50Us)
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("%s: no distributed-VOL cases to validate", file)
+	}
+	fmt.Printf("%s: %d distributed-VOL cases carry nonzero query latency fields\n", file, checked)
 	return nil
 }
 

@@ -26,6 +26,7 @@ import (
 
 	"lowfive/internal/harness"
 	"lowfive/internal/workload"
+	"lowfive/metrics"
 	"lowfive/trace"
 )
 
@@ -49,6 +50,10 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "measure the allocation-sensitive benchmarks (Fig 5/7/11, redistribution) and write BENCH_<date>.json")
 		compare  = flag.String("compare", "", "measure a fresh benchmark run and diff it against this committed BENCH_*.json baseline (warn-only; writes nothing)")
 		iters    = flag.Int("bench-iters", 0, "fixed iteration count for -json/-compare measurements (0 = auto-scale until stable)")
+		outFile  = flag.String("out", "", "output path for -json (default BENCH_<date>.json in the current directory)")
+		validate = flag.String("validate", "", "validate a BENCH_*.json file's metrics-plane latency fields and exit")
+		httpAddr = flag.String("http", "", "serve live metrics (/metrics, /metrics.json, /stats, /slow) on this address while the run executes (e.g. :8080 or 127.0.0.1:0)")
+		statsOut = flag.String("stats-out", "", "with -profile, also write the run artifact (stats + metrics snapshot + slow queries) as JSON to this file")
 	)
 	flag.Parse()
 
@@ -85,8 +90,27 @@ func main() {
 	cfg.Verbose = *verbose
 	cfg.Log = os.Stderr
 
+	if *validate != "" {
+		if err := validateBenchJSON(*validate); err != nil {
+			fmt.Fprintf(os.Stderr, "bench validate failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *httpAddr != "" {
+		cfg.DebugAddr = *httpAddr
+		addr, srv, err := cfg.EnableDebug()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "debug server failed: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "live metrics: http://%s/ (/metrics, /metrics.json, /stats, /slow)\n", addr)
+	}
+
 	if *profile || *traceOut != "" {
-		if err := runProfile(cfg, *traceOut); err != nil {
+		if err := runProfile(cfg, *traceOut, *statsOut); err != nil {
 			fmt.Fprintf(os.Stderr, "profile failed: %v\n", err)
 			os.Exit(1)
 		}
@@ -102,7 +126,7 @@ func main() {
 	}
 
 	if *jsonOut {
-		if err := runBenchJSON(cfg, *iters); err != nil {
+		if err := runBenchJSON(cfg, *iters, *outFile); err != nil {
 			fmt.Fprintf(os.Stderr, "bench json failed: %v\n", err)
 			os.Exit(1)
 		}
@@ -178,6 +202,26 @@ func main() {
 // non-identical or failed case makes the run exit nonzero, naming the seed
 // so the exact plan can be replayed with -seed.
 func runFaults(cfg harness.Config, seed int64) error {
+	// The chaos sweeps are where queries actually go slow, so make sure the
+	// observability plane is live: a registry for the per-layer instruments
+	// and a flight recorder retaining the slowest queries. On a failed sweep
+	// the recorder's contents are dumped so the tail that broke the run is
+	// visible without a re-run.
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	if cfg.Flight == nil {
+		cfg.Flight = metrics.NewFlightRecorder(256, harness.DefaultSlowQuery)
+	}
+	err := runFaultSweeps(cfg, seed)
+	if err != nil && cfg.Flight.Total() > 0 {
+		fmt.Fprintln(os.Stderr, "\nslow-query flight recorder at failure:")
+		cfg.Flight.WriteText(os.Stderr)
+	}
+	return err
+}
+
+func runFaultSweeps(cfg harness.Config, seed int64) error {
 	procs := 4
 	if len(cfg.Scales) > 0 {
 		procs = cfg.Scales[0]
@@ -234,7 +278,9 @@ func runFaults(cfg harness.Config, seed int64) error {
 // runProfile runs one fully instrumented exchange at the smallest configured
 // scale, optionally writes the Chrome trace, and prints the per-task
 // per-phase time/bytes summary plus the aggregated serve/query/OST counters.
-func runProfile(cfg harness.Config, traceOut string) error {
+// With statsOut it also writes the machine-readable run artifact (stats,
+// metrics snapshot, slow queries) for lowfive-inspect -run.
+func runProfile(cfg harness.Config, traceOut, statsOut string) error {
 	procs := 4
 	if len(cfg.Scales) > 0 {
 		procs = cfg.Scales[0]
@@ -243,10 +289,33 @@ func runProfile(cfg harness.Config, traceOut string) error {
 	fmt.Fprintf(os.Stderr, "profiling one exchange: %d producers, %d consumers\n",
 		spec.Producers, spec.Consumers)
 
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	if cfg.Flight == nil {
+		cfg.Flight = metrics.NewFlightRecorder(256, harness.DefaultSlowQuery)
+	}
+
 	tr := trace.New()
 	stats, err := cfg.Profile(tr, spec)
 	if err != nil {
 		return err
+	}
+
+	if statsOut != "" {
+		f, err := os.Create(statsOut)
+		if err != nil {
+			return err
+		}
+		art := cfg.NewRunArtifact(stats)
+		if err := art.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (inspect with lowfive-inspect -run %s)\n", statsOut, statsOut)
 	}
 
 	if traceOut != "" {

@@ -1,10 +1,15 @@
 // Command lowfive-inspect dumps the metadata hierarchy of a native
 // container file (the Base VOL's on-disk format): groups, datasets with
 // their types and extents, attributes, and (with -stats) value summaries.
+// With -run it instead pretty-prints a run artifact written by
+// lowfive-bench -profile -stats-out: the aggregated serve/query counters,
+// the per-OST load, the metrics snapshot table, and any retained slow
+// queries.
 //
 // Usage:
 //
 //	lowfive-inspect [-stats] file.h5
+//	lowfive-inspect -run run.json
 package main
 
 import (
@@ -14,18 +19,29 @@ import (
 	"path/filepath"
 
 	"lowfive/h5"
+	"lowfive/internal/harness"
 	"lowfive/internal/inspect"
 	"lowfive/internal/native"
 )
 
 func main() {
 	stats := flag.Bool("stats", false, "compute min/max/mean for numeric datasets")
+	run := flag.Bool("run", false, "treat the argument as a run artifact JSON (from lowfive-bench -profile -stats-out) and print its stats and metrics")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: lowfive-inspect [-stats] <container-file>")
+		fmt.Fprintln(os.Stderr, "usage: lowfive-inspect [-stats] <container-file>\n       lowfive-inspect -run <run-artifact.json>")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
+
+	if *run {
+		if err := dumpRun(path); err != nil {
+			fmt.Fprintf(os.Stderr, "lowfive-inspect: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	conn := native.New(native.OSBackend(filepath.Dir(path)))
 	f, err := h5.OpenFile(filepath.Base(path), h5.NewFileAccessProps(conn))
 	if err != nil {
@@ -36,4 +52,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lowfive-inspect: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// dumpRun reads a RunArtifact JSON and pretty-prints it.
+func dumpRun(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	a, err := harness.ReadRunArtifact(f)
+	if err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	a.WriteText(os.Stdout)
+	return nil
 }

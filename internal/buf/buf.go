@@ -25,6 +25,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"lowfive/metrics"
 )
 
 // DefaultChunkBytes is the default chunk (frame) size of the streaming
@@ -229,6 +231,18 @@ func (p *Pool) Gets() int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.gets
+}
+
+// RegisterMetrics publishes the pool's counters as sampled gauges under
+// prefix (e.g. "buf.pool" → "buf.pool.outstanding"). The gauges read the
+// pool's existing counters at snapshot time, so registration adds nothing
+// to the Get/Release hot path; re-registering the same prefix is
+// idempotent.
+func (p *Pool) RegisterMetrics(r *metrics.Registry, prefix string) {
+	r.GaugeFunc(prefix+".outstanding", func() int64 { return int64(p.Outstanding()) })
+	r.GaugeFunc(prefix+".highwater", func() int64 { return int64(p.HighWater()) })
+	r.GaugeFunc(prefix+".overflow", p.Overflow)
+	r.GaugeFunc(prefix+".gets", p.Gets)
 }
 
 // Chunk is one pooled buffer with explicit reference-counted ownership.

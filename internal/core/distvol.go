@@ -10,6 +10,7 @@ import (
 	"lowfive/internal/buf"
 	"lowfive/internal/grid"
 	"lowfive/internal/rpc"
+	"lowfive/metrics"
 	"lowfive/mpi"
 	"lowfive/trace"
 )
@@ -94,6 +95,19 @@ type DistMetadataVOL struct {
 	// them to Rejoin with its exact pre-crash ownership layout.
 	PersistOwnership bool
 
+	// Metrics, when set, records this rank's layer instruments: consumer
+	// query latency ("core.query.latency_us") and producer serve latency
+	// ("core.serve.latency_us") histograms, per-epoch served bytes/chunks
+	// histograms, straggler demotions, and the rpc.client.*/rpc.server.*
+	// instruments of every client and server this VOL creates.
+	Metrics *metrics.Registry
+
+	// Flight, when set, records every consumer data query slower than the
+	// recorder's threshold as a structured SlowQuery — box, producer ranks,
+	// attempts, hedging, bytes, and the per-phase breakdown (owner lookup
+	// versus stream drain) — into a bounded ring for post-hoc dumps.
+	Flight *metrics.FlightRecorder
+
 	// OnServe, when set, is called with the file name every time this rank
 	// starts serving a file (Serve or ServeAsync) — the supervised workflow
 	// runner records served files so a restarted task knows what to
@@ -139,6 +153,32 @@ type DistMetadataVOL struct {
 	// but stats may be read while an async serve session is still running.
 	qmu    sync.Mutex
 	qstats QueryStats
+
+	// Instrument handles resolved once from Metrics, so the serve and query
+	// paths never touch the registry lock. All nil (recording no-ops)
+	// when Metrics is unset.
+	instOnce    sync.Once
+	mQueryLat   *metrics.Histogram
+	mServeLat   *metrics.Histogram
+	mEpochBytes *metrics.Histogram
+	mEpochChunk *metrics.Histogram
+	mDemotions  *metrics.Counter
+}
+
+// instruments lazily resolves the VOL's instrument handles. Metrics is
+// assigned after construction, so resolution happens on first use instead
+// of in NewDistMetadataVOL.
+func (v *DistMetadataVOL) instruments() {
+	v.instOnce.Do(func() {
+		if v.Metrics == nil {
+			return
+		}
+		v.mQueryLat = v.Metrics.Histogram("core.query.latency_us")
+		v.mServeLat = v.Metrics.Histogram("core.serve.latency_us")
+		v.mEpochBytes = v.Metrics.Histogram("core.serve.epoch_bytes")
+		v.mEpochChunk = v.Metrics.Histogram("core.serve.epoch_chunks")
+		v.mDemotions = v.Metrics.Counter("core.query.demotions")
+	})
 }
 
 // ServeStats counts this rank's producer-side serve activity — the
@@ -362,6 +402,7 @@ func (v *DistMetadataVOL) Serve(name string) error {
 	}
 	// Serve all intercomms concurrently (fan-out); request handling is
 	// serialized by serveMu, preserving single-threaded rank semantics.
+	before := v.Stats()
 	var wg sync.WaitGroup
 	errs := make([]error, len(ics))
 	for i, ic := range ics {
@@ -377,7 +418,21 @@ func (v *DistMetadataVOL) Serve(name string) error {
 			return err
 		}
 	}
+	v.recordEpoch(before)
 	return nil
+}
+
+// recordEpoch folds one completed serve session into the per-epoch
+// histograms: the deltas of the serve counters across the session are what
+// this epoch actually moved.
+func (v *DistMetadataVOL) recordEpoch(before ServeStats) {
+	if v.Metrics == nil {
+		return
+	}
+	v.instruments()
+	after := v.Stats()
+	v.mEpochBytes.Record(after.BytesServed - before.BytesServed)
+	v.mEpochChunk.Record(after.ChunksServed - before.ChunksServed)
 }
 
 // ServeHandle tracks an asynchronous serve session started by ServeAsync.
@@ -417,6 +472,7 @@ func (v *DistMetadataVOL) ServeAsync(name string) (*ServeHandle, error) {
 		v.OnServe(name)
 	}
 	h := &ServeHandle{done: make(chan error, 1)}
+	before := v.Stats()
 	go func() {
 		var wg sync.WaitGroup
 		errs := make([]error, len(ics))
@@ -434,6 +490,9 @@ func (v *DistMetadataVOL) ServeAsync(name string) (*ServeHandle, error) {
 				first = err
 				break
 			}
+		}
+		if first == nil {
+			v.recordEpoch(before)
 		}
 		h.done <- first
 	}()
@@ -541,7 +600,7 @@ func (v *DistMetadataVOL) icServerFor(ic *mpi.Intercomm) *icServer {
 	if !ok {
 		s = &icServer{
 			ic:          ic,
-			srv:         &rpc.Server{IC: ic},
+			srv:         &rpc.Server{IC: ic, Metrics: v.Metrics},
 			sessions:    map[string]*serveSession{},
 			pendingDone: map[string]int{},
 		}
@@ -688,6 +747,16 @@ func (v *DistMetadataVOL) handleRequest(req []byte) (resp []byte, isDone bool, f
 	d := &h5.Decoder{Buf: req}
 	op := d.U8()
 	file = d.String()
+	v.instruments()
+	if v.mServeLat != nil {
+		start := time.Now()
+		defer func() {
+			if park {
+				return // parked requests are replayed (and then recorded) later
+			}
+			v.mServeLat.Observe(time.Since(start))
+		}()
+	}
 	if tr := v.track(); tr != nil {
 		t0 := time.Now()
 		defer func() {
@@ -813,10 +882,21 @@ func (v *DistMetadataVOL) clientFor(ic *mpi.Intercomm) *rpc.Client {
 			IC: ic, Timeout: v.CallTimeout, Retries: v.CallRetries,
 			Backoff: v.CallBackoff, RetryFailed: v.WaitForRestart,
 			Budget: v.CallBudget, HedgeDelay: v.HedgeDelay, Track: v.track(),
+			Metrics: v.Metrics, Method: rpcMethod,
 		}
 		v.clients[ic] = c
 	}
 	return c
+}
+
+// rpcMethod classifies a request body by its protocol op so the RPC client
+// can label its per-method latency histograms ("rpc.client.call_us.boxes",
+// ".data", ".datastream", ...).
+func rpcMethod(req []byte) string {
+	if len(req) == 0 {
+		return "unknown"
+	}
+	return opName(req[0])
 }
 
 // CreditDone pre-credits n consumer done notifications for a file's next
@@ -1171,6 +1251,7 @@ func (v *DistMetadataVOL) queryPieces(client *rpc.Client, ic *mpi.Intercomm, fil
 	if bb.IsEmpty() {
 		return nil, nil
 	}
+	start := time.Now()
 	// Step 1: redirects from the owners of intersecting blocks. Requests to
 	// all owners are pipelined (posted as nonblocking sends) before any
 	// response is awaited. An owner that fails is retried on its replicas
@@ -1206,6 +1287,8 @@ func (v *DistMetadataVOL) queryPieces(client *rpc.Client, ic *mpi.Intercomm, fil
 		v.qstats.BytesFetched += dataBytes
 		v.qstats.WaitTime += boxWait + time.Since(t1)
 		v.qmu.Unlock()
+		v.instruments()
+		v.mQueryLat.Observe(time.Since(start))
 	}
 	return pieces, nil
 }

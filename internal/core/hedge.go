@@ -134,6 +134,8 @@ func (v *DistMetadataVOL) hedgedCall(client *rpc.Client, ic *mpi.Intercomm, owne
 		v.qmu.Lock()
 		v.qstats.StragglersDemoted++
 		v.qmu.Unlock()
+		v.instruments()
+		v.mDemotions.Inc()
 		if tr := v.track(); tr != nil {
 			tr.Instant("core", "query.demote",
 				trace.I64("owner", int64(owner)), trace.I64("primary", int64(primary)))

@@ -8,6 +8,7 @@ import (
 	"lowfive/internal/buf"
 	"lowfive/internal/grid"
 	"lowfive/internal/rpc"
+	"lowfive/metrics"
 	"lowfive/mpi"
 	"lowfive/trace"
 )
@@ -83,9 +84,10 @@ func (v *DistMetadataVOL) serveDataStream(s *icServer, src int, seq uint64, req 
 	file := d.String()
 	dset := d.String()
 	sel := h5.DecodeDataspace(d)
+	v.instruments()
 	var t0 time.Time
 	tr := v.track()
-	if tr != nil {
+	if tr != nil || v.mServeLat != nil {
 		t0 = time.Now()
 	}
 	st := s.srv.NewStream(src, seq, v.chunkPool())
@@ -102,6 +104,9 @@ func (v *DistMetadataVOL) serveDataStream(s *icServer, src int, seq uint64, req 
 	v.stats.DataQueries++
 	v.stats.BytesServed += st.Bytes()
 	v.stats.ChunksServed += int64(st.Frames())
+	if v.mServeLat != nil {
+		v.mServeLat.Observe(time.Since(t0))
+	}
 	if tr != nil {
 		tr.Span("core", "serve.datastream", t0, time.Now(),
 			trace.Str("file", file), trace.I64("bytes", st.Bytes()),
@@ -191,6 +196,12 @@ func (v *DistMetadataVOL) queryStream(client *rpc.Client, ic *mpi.Intercomm, fil
 	if bb.IsEmpty() {
 		return nil
 	}
+	v.instruments()
+	var csBefore rpc.ClientStats
+	if v.Flight != nil {
+		csBefore = client.Stats()
+	}
+	start := time.Now()
 	order, boxWait, nOwners, err := v.queryOwners(client, ic, file, node, bb)
 	if err != nil {
 		return err
@@ -225,6 +236,33 @@ func (v *DistMetadataVOL) queryStream(client *rpc.Client, ic *mpi.Intercomm, fil
 	v.qstats.ChunksFetched += chunks
 	v.qstats.WaitTime += boxWait + time.Since(t1)
 	v.qmu.Unlock()
+	total := time.Since(start)
+	v.mQueryLat.Observe(total)
+	if v.Flight.Slow(total) {
+		// Attempts/hedging come from the client counter deltas across this
+		// query; concurrent queries on the same client can inflate them, but
+		// a slow query during a fault sweep is exactly when that attribution
+		// is still the right lead.
+		cs := client.Stats()
+		self := v.local.WorldRank(v.local.Rank())
+		v.Flight.Record(metrics.SlowQuery{
+			Time:      time.Now(),
+			Epoch:     v.local.World().Epoch(self),
+			File:      file,
+			Dataset:   node.Path(),
+			Box:       fmt.Sprintf("%v-%v", bb.Min, bb.Max),
+			Producers: order,
+			Attempts:  1 + cs.Retries - csBefore.Retries,
+			Hedged:    cs.HedgedCalls > csBefore.HedgedCalls,
+			Bytes:     dataBytes,
+			Chunks:    chunks,
+			Duration:  total,
+			Phases: []metrics.Phase{
+				{Name: "boxes", Duration: boxWait},
+				{Name: "stream", Duration: time.Since(t1)},
+			},
+		})
+	}
 	return nil
 }
 

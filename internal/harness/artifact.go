@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"lowfive/internal/core"
+	"lowfive/internal/pfs"
+	"lowfive/metrics"
+)
+
+// RunArtifact is the machine-readable record of one completed run: the
+// aggregated serve/query counters, the per-OST file-system load, the full
+// metrics snapshot, and any slow queries the flight recorder retained.
+// lowfive-bench -profile -stats-out writes one; lowfive-inspect -run
+// pretty-prints it, so a run can be interrogated after the process is gone.
+type RunArtifact struct {
+	Date    string              `json:"date"`
+	Serve   core.ServeStats     `json:"serve"`
+	Query   core.QueryStats     `json:"query"`
+	OSTs    []pfs.OSTStat       `json:"osts,omitempty"`
+	Metrics []metrics.Snapshot  `json:"metrics,omitempty"`
+	Slow    []metrics.SlowQuery `json:"slow_queries,omitempty"`
+}
+
+// NewRunArtifact assembles the artifact for one profiled run from the
+// harness's observability plane (registry and flight recorder, when set).
+func (c Config) NewRunArtifact(stats ProfileStats) RunArtifact {
+	a := RunArtifact{
+		Date:  time.Now().Format(time.RFC3339),
+		Serve: stats.Serve,
+		Query: stats.Query,
+		OSTs:  stats.OSTs,
+	}
+	if c.Metrics != nil {
+		a.Metrics = c.Metrics.Snapshot()
+	}
+	if c.Flight != nil {
+		a.Slow = c.Flight.Snapshot()
+	}
+	return a
+}
+
+// WriteJSON writes the artifact as indented JSON.
+func (a RunArtifact) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}
+
+// ReadRunArtifact parses an artifact written by WriteJSON.
+func ReadRunArtifact(r io.Reader) (RunArtifact, error) {
+	var a RunArtifact
+	err := json.NewDecoder(r).Decode(&a)
+	return a, err
+}
+
+// WriteText pretty-prints the artifact: the serve/query counter summary,
+// the per-OST load, the metrics snapshot table, and the retained slow
+// queries.
+func (a RunArtifact) WriteText(w io.Writer) {
+	if a.Date != "" {
+		fmt.Fprintf(w, "run artifact from %s\n\n", a.Date)
+	}
+	fmt.Fprintf(w, "producer serve totals: %d metadata, %d box queries, %d data queries, %d bytes served in %d chunks, %d done, %d parked\n",
+		a.Serve.MetadataRequests, a.Serve.BoxQueries, a.Serve.DataQueries,
+		a.Serve.BytesServed, a.Serve.ChunksServed, a.Serve.DoneMessages, a.Serve.ParkedRequests)
+	fmt.Fprintf(w, "consumer query totals: %d metadata, %d box queries, %d data queries, %d bytes fetched in %d chunks, %v blocked waiting\n",
+		a.Query.MetadataFetches, a.Query.BoxQueries, a.Query.DataQueries,
+		a.Query.BytesFetched, a.Query.ChunksFetched, a.Query.WaitTime.Round(time.Microsecond))
+	if a.Query.Retries+a.Query.HedgedCalls+a.Query.Failovers+a.Query.FileFallbacks > 0 {
+		fmt.Fprintf(w, "recovery activity: %d retries, %d hedged (%d wins), %d demotions, %d failovers, %d file fallbacks\n",
+			a.Query.Retries, a.Query.HedgedCalls, a.Query.HedgeWins,
+			a.Query.StragglersDemoted, a.Query.Failovers, a.Query.FileFallbacks)
+	}
+	if len(a.OSTs) > 0 {
+		fmt.Fprintln(w, "\npfs per-OST load:")
+		for i, o := range a.OSTs {
+			fmt.Fprintf(w, "  OST %2d: %5d requests, %10d bytes, queue wait %8v, busy %8v\n",
+				i, o.Requests, o.Bytes, o.QueueWait.Round(time.Microsecond), o.Busy.Round(time.Microsecond))
+		}
+	}
+	if len(a.Metrics) > 0 {
+		fmt.Fprintln(w, "\nmetrics snapshot:")
+		metrics.WriteTable(w, a.Metrics)
+	}
+	if len(a.Slow) > 0 {
+		fmt.Fprintf(w, "\nslow queries retained: %d\n", len(a.Slow))
+		for _, q := range a.Slow {
+			fmt.Fprintf(w, "  %s %s/%s dur=%s bytes=%d producers=%v\n",
+				q.Time.Format("15:04:05.000"), q.File, q.Dataset,
+				q.Duration.Round(time.Microsecond), q.Bytes, q.Producers)
+		}
+	}
+}

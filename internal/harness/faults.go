@@ -90,6 +90,9 @@ func (c Config) faultExchange(spec workload.Spec, plan *mpi.FaultPlan) (float64,
 // tuning; the partition sweep uses it to turn on hedging and deadlines.
 func (c Config) faultExchangeTuned(spec workload.Spec, plan *mpi.FaultPlan, tune faultTuning) (float64, [][]byte, core.QueryStats, error) {
 	fs := pfs.New(c.FS)
+	if c.Metrics != nil {
+		fs.SetMetrics(c.Metrics)
+	}
 	rec := &Recorder{}
 	var errs errCollector
 	data := make([][]byte, spec.Consumers)
@@ -125,6 +128,7 @@ func (c Config) faultExchangeTuned(spec workload.Spec, plan *mpi.FaultPlan, tune
 			vol.SetPassthru("*", true)
 			vol.ReplicationFactor = faultReplication
 			vol.ChunkBytes = c.ChunkBytes
+			c.instrument(vol, false)
 			fapl := h5.NewFileAccessProps(vol)
 			p.World.Barrier()
 			rec.Start()
@@ -155,6 +159,7 @@ func (c Config) faultExchangeTuned(spec workload.Spec, plan *mpi.FaultPlan, tune
 			vol.ReplicationFactor = faultReplication
 			vol.HedgeDelay = tune.HedgeDelay
 			vol.CallBudget = tune.CallBudget
+			c.instrument(vol, true)
 			fapl := h5.NewFileAccessProps(vol)
 			p.World.Barrier()
 			rec.Start()
@@ -261,6 +266,7 @@ func (c Config) FaultSweep(spec workload.Spec, cases []FaultCase) ([]FaultTrialR
 	}
 	out := make([]FaultTrialResult, 0, len(cases))
 	for _, fc := range cases {
+		c.setStatus("sweep", "faults: "+fc.Name)
 		secs, data, qs, err := c.faultExchange(spec, &fc.Plan)
 		res := FaultTrialResult{Name: fc.Name, Seconds: secs, Query: qs, Err: err}
 		if err == nil {

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"lowfive/internal/pfs"
+	"lowfive/metrics"
 )
 
 // Config scales the experiments. The paper runs 4–16384 MPI processes with
@@ -45,10 +46,60 @@ type Config struct {
 	// Small values force multi-frame streams, which the fault sweep uses
 	// to hit mid-stream chunks.
 	ChunkBytes int
+	// Metrics, when set, threads one shared registry through every trial:
+	// the simulated MPI worlds record per-link traffic, the distributed
+	// VOLs record query/serve latency and the rpc.* instruments, the chunk
+	// pool publishes its gauges and the simulated PFS its per-OST latency.
+	Metrics *metrics.Registry
+	// Flight, when set, is handed to every consumer VOL: data queries over
+	// the recorder's threshold land in its ring with a per-phase breakdown.
+	Flight *metrics.FlightRecorder
+	// DebugAddr is the listen address EnableDebug serves live metrics on
+	// (e.g. ":8080" or "127.0.0.1:0").
+	DebugAddr string
 	// Verbose prints each trial as it completes.
 	Verbose bool
 	// Log receives progress output when Verbose is set.
 	Log io.Writer
+
+	// debug is the live server started by EnableDebug; sweeps publish their
+	// current case to its /stats endpoint.
+	debug *metrics.DebugServer
+}
+
+// DefaultSlowQuery is the flight-recorder threshold EnableDebug installs
+// when no recorder was configured: an order of magnitude above a healthy
+// cost-modeled query, so only genuinely troubled queries are retained.
+const DefaultSlowQuery = 50 * time.Millisecond
+
+// EnableDebug starts the live introspection server on c.DebugAddr,
+// creating the registry and flight recorder first if the caller did not
+// provide them. It returns the address actually listening (useful with
+// ":0") and the server for Close. Trials started after this call record
+// into the served registry.
+func (c *Config) EnableDebug() (string, *metrics.DebugServer, error) {
+	if c.Metrics == nil {
+		c.Metrics = metrics.NewRegistry()
+	}
+	if c.Flight == nil {
+		c.Flight = metrics.NewFlightRecorder(256, DefaultSlowQuery)
+	}
+	srv := metrics.NewDebugServer(c.Metrics, c.Flight)
+	addr, err := srv.Start(c.DebugAddr)
+	if err != nil {
+		return "", nil, err
+	}
+	c.debug = srv
+	return addr, srv, nil
+}
+
+// setStatus publishes a live status line (current sweep case, trial, scale)
+// to the debug server's /stats endpoint; a no-op when EnableDebug was not
+// called.
+func (c Config) setStatus(key, value string) {
+	if c.debug != nil {
+		c.debug.SetStatus(key, func() any { return value })
+	}
 }
 
 // DefaultConfig returns a configuration that finishes in minutes on a

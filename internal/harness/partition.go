@@ -151,6 +151,7 @@ func (c Config) PartitionSweep(spec workload.Spec, cases []PartitionCase) ([]Par
 	}
 	out := make([]PartitionTrialResult, 0, len(cases))
 	for _, pc := range cases {
+		c.setStatus("sweep", "partition: "+pc.Name)
 		secs, data, qs, err := c.faultExchangeTuned(spec, &pc.Plan, tune)
 		res := PartitionTrialResult{Name: pc.Name, Seconds: secs, Query: qs, Err: err}
 		if res.Err == nil {

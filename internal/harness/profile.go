@@ -34,6 +34,9 @@ type ProfileStats struct {
 func (c Config) Profile(tr *trace.Tracer, spec workload.Spec) (ProfileStats, error) {
 	fs := pfs.New(c.FS)
 	fs.SetTracer(tr)
+	if c.Metrics != nil {
+		fs.SetMetrics(c.Metrics)
+	}
 
 	var (
 		mu    sync.Mutex
@@ -48,6 +51,7 @@ func (c Config) Profile(tr *trace.Tracer, spec workload.Spec) (ProfileStats, err
 			vol.SetIntercomm("*", p.Intercomm("consumer"))
 			vol.SetPassthru("*", true)
 			vol.ChunkBytes = c.ChunkBytes
+			c.instrument(vol, false)
 			fapl := h5.NewFileAccessProps(h5.NewTracingVOL(vol, p.Task.Track()))
 			p.World.Barrier()
 			f, err := h5.CreateFile("synthetic.h5", fapl)
@@ -72,6 +76,7 @@ func (c Config) Profile(tr *trace.Tracer, spec workload.Spec) (ProfileStats, err
 		{Name: "consumer", Procs: spec.Consumers, Main: func(p *mpi.Proc) {
 			vol := core.NewDistMetadataVOL(p.Task, nil)
 			vol.SetIntercomm("*", p.Intercomm("producer"))
+			c.instrument(vol, true)
 			fapl := h5.NewFileAccessProps(h5.NewTracingVOL(vol, p.Task.Track()))
 			p.World.Barrier()
 			f, err := h5.OpenFile("synthetic.h5", fapl)

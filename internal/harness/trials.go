@@ -7,6 +7,7 @@ import (
 
 	"lowfive/h5"
 	"lowfive/internal/baselines/bredala"
+	"lowfive/internal/buf"
 	"lowfive/internal/baselines/dataspaces"
 	"lowfive/internal/baselines/puremp"
 	"lowfive/internal/core"
@@ -41,7 +42,25 @@ func (e *errCollector) first() error {
 }
 
 func (c Config) mpiOpts() []mpi.Option {
-	return []mpi.Option{mpi.WithCostModel(c.NetAlpha, c.NetBeta)}
+	opts := []mpi.Option{mpi.WithCostModel(c.NetAlpha, c.NetBeta)}
+	if c.Metrics != nil {
+		opts = append(opts, mpi.WithMetrics(c.Metrics))
+	}
+	return opts
+}
+
+// instrument threads the harness observability plane into one trial's VOL:
+// the shared registry, and (on consumers) the slow-query flight recorder.
+// The chunk pool the trial will draw frames from registers its gauges once.
+func (c Config) instrument(vol *core.DistMetadataVOL, consumer bool) {
+	if c.Metrics == nil {
+		return
+	}
+	vol.Metrics = c.Metrics
+	if consumer {
+		vol.Flight = c.Flight
+	}
+	buf.SharedPool(c.ChunkBytes).RegisterMetrics(c.Metrics, "buf.pool")
 }
 
 // trialLowFiveMemory measures one in situ exchange through the distributed
@@ -59,6 +78,7 @@ func (c Config) trialLowFiveMemory(spec workload.Spec) (float64, error) {
 			// and serving data"), i.e. shallow copies.
 			vol.SetZeroCopy("*", "*")
 			vol.ChunkBytes = c.ChunkBytes
+			c.instrument(vol, false)
 			fapl := h5.NewFileAccessProps(vol)
 			p.World.Barrier()
 			rec.Start()
@@ -75,6 +95,7 @@ func (c Config) trialLowFiveMemory(spec workload.Spec) (float64, error) {
 		{Name: "consumer", Procs: spec.Consumers, Main: func(p *mpi.Proc) {
 			vol := core.NewDistMetadataVOL(p.Task, nil)
 			vol.SetIntercomm("*", p.Intercomm("producer"))
+			c.instrument(vol, true)
 			fapl := h5.NewFileAccessProps(vol)
 			p.World.Barrier()
 			rec.Start()

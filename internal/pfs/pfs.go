@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"lowfive/internal/spin"
+	"lowfive/metrics"
 	"lowfive/trace"
 )
 
@@ -77,6 +78,11 @@ type ost struct {
 	busy      time.Duration
 
 	track *trace.Track
+
+	// Per-OST request latency histograms (queue wait + service, in
+	// microseconds), split by direction. Nil without SetMetrics.
+	readLat  *metrics.Histogram
+	writeLat *metrics.Histogram
 }
 
 // OSTStat is the cumulative load of one object storage target.
@@ -110,6 +116,18 @@ func (fs *FS) SetTracer(tr *trace.Tracer) {
 	for i, t := range fs.osts {
 		t.mu.Lock()
 		t.track = tr.NewTrack("pfs", 1000, fmt.Sprintf("OST %d", i), i)
+		t.mu.Unlock()
+	}
+}
+
+// SetMetrics publishes per-OST read/write request-latency histograms
+// ("pfs.ost<i>.read_us" / "pfs.ost<i>.write_us", covering queue wait plus
+// service time) into the registry. Call before issuing I/O.
+func (fs *FS) SetMetrics(r *metrics.Registry) {
+	for i, t := range fs.osts {
+		t.mu.Lock()
+		t.readLat = r.Histogram(fmt.Sprintf("pfs.ost%d.read_us", i))
+		t.writeLat = r.Histogram(fmt.Sprintf("pfs.ost%d.write_us", i))
 		t.mu.Unlock()
 	}
 }
@@ -197,17 +215,23 @@ func (fs *FS) Open(name string) (*File, error) {
 }
 
 // chargeOSTs charges each involved OST its latency plus the transfer time
-// of the bytes striped onto it. ostBytes maps OST index to byte count.
-// Requests at one OST serialize; different OSTs proceed in parallel.
-func (f *File) chargeOSTs(ostBytes map[int]int64) {
+// of the bytes striped onto it. ostBytes maps OST index to byte count;
+// write selects the direction's latency histogram. Requests at one OST
+// serialize; different OSTs proceed in parallel.
+func (f *File) chargeOSTs(ostBytes map[int]int64, write bool) {
 	o := &f.fs.opts
 	costed := o.OSTLatency != 0 || o.OSTBandwidth != 0
 	for osti, n := range ostBytes {
 		t := f.fs.osts[osti]
-		// Clocks are read only when there is a cost to measure or a track to
-		// feed; a zero-cost untraced FS pays just the counter updates.
+		// Clocks are read only when there is a cost to measure or an
+		// observer (track or histogram) to feed; a zero-cost unobserved FS
+		// pays just the counter updates.
 		var queued time.Time
-		timed := costed || t.track != nil
+		hist := t.readLat
+		if write {
+			hist = t.writeLat
+		}
+		timed := costed || t.track != nil || hist != nil
 		if timed {
 			queued = time.Now()
 		}
@@ -234,6 +258,9 @@ func (f *File) chargeOSTs(ostBytes map[int]int64) {
 				trace.I64("queue_us", int64(wait/time.Microsecond)))
 		}
 		t.mu.Unlock()
+		// The request's latency as its issuer saw it: queue wait plus
+		// service. Recorded outside the OST lock — the histogram is atomic.
+		hist.Observe(wait + d)
 	}
 }
 
@@ -283,11 +310,11 @@ func (f *File) chargeSharedLock(stripes map[int64]bool) {
 }
 
 // chargeStripes is the single-range convenience used by WriteAt/ReadAt.
-func (f *File) chargeStripes(off int64, n int) {
+func (f *File) chargeStripes(off int64, n int, write bool) {
 	ostBytes := map[int]int64{}
 	stripes := map[int64]bool{}
 	f.stripeSpread(off, int64(n), ostBytes, stripes)
-	f.chargeOSTs(ostBytes)
+	f.chargeOSTs(ostBytes, write)
 }
 
 // WriteAt writes p at offset off, paying the shared-file lock plus striped
@@ -300,7 +327,7 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	stripes := map[int64]bool{}
 	f.stripeSpread(off, int64(len(p)), ostBytes, stripes)
 	f.chargeSharedLock(stripes)
-	f.chargeOSTs(ostBytes)
+	f.chargeOSTs(ostBytes, true)
 	f.store(p, off)
 	return len(p), nil
 }
@@ -344,7 +371,7 @@ func (f *File) WriteRuns(packed []byte, offs, lens []int64) error {
 		return fmt.Errorf("pfs: WriteRuns needs %d bytes, packed has %d", total, len(packed))
 	}
 	f.chargeSharedLock(stripes)
-	f.chargeOSTs(ostBytes)
+	f.chargeOSTs(ostBytes, true)
 	pos := int64(0)
 	for i := range offs {
 		f.store(packed[pos:pos+lens[i]], offs[i])
@@ -373,7 +400,7 @@ func (f *File) ReadRuns(dst []byte, offs, lens []int64) error {
 	if total > int64(len(dst)) {
 		return fmt.Errorf("pfs: ReadRuns needs %d bytes, dst has %d", total, len(dst))
 	}
-	f.chargeOSTs(ostBytes)
+	f.chargeOSTs(ostBytes, false)
 	pos := int64(0)
 	for i := range offs {
 		f.fetch(dst[pos:pos+lens[i]], offs[i])
@@ -405,7 +432,7 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("pfs: negative offset %d", off)
 	}
-	f.chargeStripes(off, len(p))
+	f.chargeStripes(off, len(p), false)
 	f.fetch(p, off)
 	return len(p), nil
 }

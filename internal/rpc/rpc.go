@@ -29,6 +29,7 @@ import (
 
 	"lowfive/internal/buf"
 	"lowfive/internal/spin"
+	"lowfive/metrics"
 	"lowfive/mpi"
 	"lowfive/trace"
 )
@@ -160,6 +161,14 @@ type Client struct {
 	// Track, when set, records rpc.retry and rpc.hedge trace instants so a
 	// chaos run shows where a client burned its budget.
 	Track *trace.Track
+	// Metrics, when set, records this client's side of the metrics plane:
+	// a per-method call-latency histogram ("rpc.client.call_us.<method>",
+	// microseconds, covering the whole call including retries and hedges),
+	// an attempts histogram, and retry/timeout/hedge counters. Method
+	// classifies a request body to its method name for the latency
+	// histogram; nil labels every call "call".
+	Metrics *metrics.Registry
+	Method  func(req []byte) string
 
 	mu  sync.Mutex
 	seq uint64
@@ -168,6 +177,62 @@ type Client struct {
 	timeouts  atomic.Int64
 	hedged    atomic.Int64
 	hedgeWins atomic.Int64
+
+	// Instrument handles, resolved once so recording never touches the
+	// registry lock; per-method histograms are cached under histMu.
+	instOnce  sync.Once
+	mAttempts *metrics.Histogram
+	mRetries  *metrics.Counter
+	mTimeouts *metrics.Counter
+	mHedged   *metrics.Counter
+	mHedgeWin *metrics.Counter
+	histMu    sync.Mutex
+	mCalls    map[string]*metrics.Histogram
+}
+
+// instruments lazily resolves the client's fixed instrument handles. With
+// no registry attached the handles stay nil, and every record on them is a
+// nil-safe no-op.
+func (c *Client) instruments() {
+	c.instOnce.Do(func() {
+		if c.Metrics == nil {
+			return
+		}
+		c.mAttempts = c.Metrics.Histogram("rpc.client.attempts")
+		c.mRetries = c.Metrics.Counter("rpc.client.retries")
+		c.mTimeouts = c.Metrics.Counter("rpc.client.timeouts")
+		c.mHedged = c.Metrics.Counter("rpc.client.hedged")
+		c.mHedgeWin = c.Metrics.Counter("rpc.client.hedge_wins")
+		c.mCalls = map[string]*metrics.Histogram{}
+	})
+}
+
+// callHist returns the latency histogram for the method of req, caching
+// handles so steady-state calls cost one small map lookup and no
+// allocation.
+func (c *Client) callHist(req []byte) *metrics.Histogram {
+	method := "call"
+	if c.Method != nil {
+		method = c.Method(req)
+	}
+	c.histMu.Lock()
+	h, ok := c.mCalls[method]
+	if !ok {
+		h = c.Metrics.Histogram("rpc.client.call_us." + method)
+		c.mCalls[method] = h
+	}
+	c.histMu.Unlock()
+	return h
+}
+
+// observe records one completed call — success or failure — into the
+// per-method latency histogram and the attempts histogram.
+func (c *Client) observe(req []byte, start time.Time, attempts int) {
+	if c.Metrics == nil {
+		return
+	}
+	c.callHist(req).ObserveSince(start)
+	c.mAttempts.Record(int64(attempts))
 }
 
 // ClientStats is a snapshot of a client's retry and hedging counters.
@@ -201,9 +266,10 @@ func (c *Client) deadline() int64 {
 	return time.Now().Add(c.Budget).UnixNano()
 }
 
-// noteRetry counts one resend, for the stats and the trace.
+// noteRetry counts one resend, for the stats, the metrics and the trace.
 func (c *Client) noteRetry(dest, attempt int) {
 	c.retries.Add(1)
+	c.mRetries.Inc()
 	if c.Track != nil {
 		c.Track.Instant("rpc", "rpc.retry",
 			trace.I64("dst", int64(dest)), trace.I64("attempt", int64(attempt)))
@@ -272,6 +338,8 @@ func (c *Client) Notify(dest int, req []byte) {
 func (c *Client) await(dest int, seq uint64, overall int64, req []byte) (resp []byte, err error) {
 	start := time.Now()
 	attempts := 1
+	c.instruments()
+	defer func() { c.observe(req, start, attempts) }()
 	defer func() {
 		if r := recover(); r != nil {
 			if rf, ok := r.(*mpi.RankFailedError); ok {
@@ -324,6 +392,7 @@ func (c *Client) await(dest int, seq uint64, overall int64, req []byte) (resp []
 		spent := overall != 0 && time.Now().UnixNano() >= overall
 		if attempt >= c.Retries || spent {
 			c.timeouts.Add(1)
+			c.mTimeouts.Inc()
 			if down != nil {
 				return nil, &CallError{Dest: dest, Attempts: attempts, Elapsed: time.Since(start), Err: down}
 			}
@@ -353,6 +422,7 @@ func (c *Client) CallHedged(dest, hedge int, req []byte) (resp []byte, winner in
 		return resp, dest, err
 	}
 	start := time.Now()
+	c.instruments()
 	seq := c.nextSeq()
 	overall := c.deadline()
 	c.IC.Send(dest, tagRequest, seal(seq, overall, req))
@@ -366,6 +436,7 @@ func (c *Client) CallHedged(dest, hedge int, req []byte) (resp []byte, winner in
 	sendHedge := func() {
 		hedgedSent = true
 		c.hedged.Add(1)
+		c.mHedged.Inc()
 		if c.Track != nil {
 			c.Track.Instant("rpc", "rpc.hedge",
 				trace.I64("primary", int64(dest)), trace.I64("hedge", int64(hedge)))
@@ -374,6 +445,7 @@ func (c *Client) CallHedged(dest, hedge int, req []byte) (resp []byte, winner in
 		targets = append(targets, hedge)
 	}
 	attempts := 1
+	defer func() { c.observe(req, start, attempts) }()
 	backoff := c.Backoff
 	for attempt := 0; ; attempt++ {
 		attempts = attempt + 1
@@ -402,6 +474,7 @@ func (c *Client) CallHedged(dest, hedge int, req []byte) (resp []byte, winner in
 				if ok && rseq == seq {
 					if d == hedge {
 						c.hedgeWins.Add(1)
+						c.mHedgeWin.Inc()
 					}
 					return body, d, nil
 				}
@@ -411,6 +484,7 @@ func (c *Client) CallHedged(dest, hedge int, req []byte) (resp []byte, winner in
 				if !c.RetryFailed && hedgedSent && downs[dest] != nil && downs[hedge] != nil {
 					// Both targets are down and no restart is coming.
 					c.timeouts.Add(1)
+					c.mTimeouts.Inc()
 					return nil, dest, &CallError{Dest: dest, Attempts: attempts, Elapsed: time.Since(start), Err: downs[dest]}
 				}
 				spin.Wait(pollInterval)
@@ -419,6 +493,7 @@ func (c *Client) CallHedged(dest, hedge int, req []byte) (resp []byte, winner in
 		spent := overall != 0 && time.Now().UnixNano() >= overall
 		if attempt >= c.Retries || spent {
 			c.timeouts.Add(1)
+			c.mTimeouts.Inc()
 			if pd := downs[dest]; pd != nil {
 				return nil, dest, &CallError{Dest: dest, Attempts: attempts, Elapsed: time.Since(start), Err: pd}
 			}
@@ -495,11 +570,17 @@ type Server struct {
 	IC      *mpi.Intercomm
 	Handler Handler
 
+	// Metrics, when set, counts deadline-rejected requests as
+	// "rpc.server.deadline_rejected".
+	Metrics *metrics.Registry
+
 	mu     sync.Mutex
 	seen   map[int]map[uint64]*reqState
 	newest map[int]uint64
 
-	expired atomic.Int64
+	expired  atomic.Int64
+	expOnce  sync.Once
+	mExpired *metrics.Counter
 }
 
 // Expired counts requests rejected because their end-to-end deadline had
@@ -533,6 +614,12 @@ func (s *Server) Recv() (src int, seq uint64, req []byte) {
 			// The caller's end-to-end budget is spent: nobody awaits this
 			// answer, so reject without dispatching the handler.
 			s.expired.Add(1)
+			if s.Metrics != nil {
+				s.expOnce.Do(func() {
+					s.mExpired = s.Metrics.Counter("rpc.server.deadline_rejected")
+				})
+				s.mExpired.Inc()
+			}
 			buf.Release(msg)
 			continue
 		}

@@ -120,6 +120,7 @@ type StreamCall struct {
 	overall int64 // absolute end-to-end deadline from the client's Budget
 	req     []byte
 	next    uint32
+	sent    time.Time // when StartStream posted the request, for the latency histogram
 }
 
 // StartStream sends req to dest and returns the handle to drain the framed
@@ -128,8 +129,9 @@ type StreamCall struct {
 func (c *Client) StartStream(dest int, req []byte) *StreamCall {
 	seq := c.nextSeq()
 	dl := c.deadline()
+	sent := time.Now()
 	c.IC.Send(dest, tagRequest, seal(seq, dl, req))
-	return &StreamCall{c: c, dest: dest, seq: seq, overall: dl, req: req}
+	return &StreamCall{c: c, dest: dest, seq: seq, overall: dl, req: req, sent: sent}
 }
 
 // Drain receives the stream's frames in order, invoking onFrame with each
@@ -145,6 +147,11 @@ func (sc *StreamCall) Drain(onFrame func(payload []byte) error) (err error) {
 	c := sc.c
 	start := time.Now()
 	attempts := 1
+	// The stream's latency covers the whole call — StartStream's request
+	// send to the last frame — labeled by the request's method (the
+	// data-stream op), like any scalar call.
+	c.instruments()
+	defer func() { c.observe(sc.req, sc.sent, attempts) }()
 	defer func() {
 		if r := recover(); r != nil {
 			if rf, ok := r.(*mpi.RankFailedError); ok {
@@ -215,6 +222,7 @@ func (sc *StreamCall) Drain(onFrame func(payload []byte) error) (err error) {
 		spent := sc.overall != 0 && time.Now().UnixNano() >= sc.overall
 		if attempt >= c.Retries || spent {
 			c.timeouts.Add(1)
+			c.mTimeouts.Inc()
 			if down != nil {
 				return &CallError{Dest: sc.dest, Attempts: attempts, Elapsed: time.Since(start), Err: down}
 			}

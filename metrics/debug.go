@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+)
+
+// DebugServer serves live introspection over HTTP while a workflow runs:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/metrics.json  the same snapshot as JSON
+//	/stats         registered status callbacks (e.g. the harness's live
+//	               ServeStats/QueryStats) plus flight-recorder totals
+//	/slow          the flight recorder's retained slow queries as JSON
+//
+// Start accepts ":0" and returns the bound address, so tests and benches
+// can run without a fixed port.
+type DebugServer struct {
+	reg    *Registry
+	flight *FlightRecorder
+
+	mu       sync.Mutex
+	statuses map[string]func() any
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// NewDebugServer wraps a registry and an optional flight recorder.
+func NewDebugServer(reg *Registry, flight *FlightRecorder) *DebugServer {
+	return &DebugServer{reg: reg, flight: flight, statuses: map[string]func() any{}}
+}
+
+// SetStatus registers a named callback whose result is embedded in /stats
+// responses. Re-registering a name replaces the callback.
+func (s *DebugServer) SetStatus(name string, fn func() any) {
+	s.mu.Lock()
+	s.statuses[name] = fn
+	s.mu.Unlock()
+}
+
+// Handler returns the debug mux, for embedding in an existing server.
+func (s *DebugServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "lowfive metrics debug server")
+		fmt.Fprintln(w, "  /metrics       Prometheus text format")
+		fmt.Fprintln(w, "  /metrics.json  snapshot as JSON")
+		fmt.Fprintln(w, "  /stats         live workflow stats")
+		fmt.Fprintln(w, "  /slow          slow-query flight records")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		s.reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		out := make(map[string]any, len(s.statuses)+1)
+		fns := make(map[string]func() any, len(s.statuses))
+		for k, fn := range s.statuses {
+			fns[k] = fn
+		}
+		s.mu.Unlock()
+		for k, fn := range fns {
+			out[k] = fn()
+		}
+		out["slow_queries_total"] = s.flight.Total()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	})
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		recs := s.flight.Snapshot()
+		if recs == nil {
+			recs = []SlowQuery{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(recs)
+	})
+	return mux
+}
+
+// Start listens on addr (":0" for an ephemeral port) and serves in the
+// background. It returns the bound address.
+func (s *DebugServer) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler()}
+	go s.srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops the server started by Start. Safe to call when never started.
+func (s *DebugServer) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Phase is one timed stage of a slow query's per-phase breakdown (e.g. the
+// box-intersection round versus the data stream drain).
+type Phase struct {
+	Name     string        `json:"name"`
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// SlowQuery is one structured flight-recorder entry: everything an
+// operator needs to see why a particular consumer query crossed the
+// threshold, without replaying the run under a tracer.
+type SlowQuery struct {
+	Time      time.Time     `json:"time"`
+	Epoch     int64         `json:"epoch,omitempty"`
+	File      string        `json:"file,omitempty"`
+	Dataset   string        `json:"dataset,omitempty"`
+	Box       string        `json:"box,omitempty"`
+	Producers []int         `json:"producers,omitempty"`
+	Attempts  int64         `json:"attempts,omitempty"`
+	Hedged    bool          `json:"hedged,omitempty"`
+	Bytes     int64         `json:"bytes,omitempty"`
+	Chunks    int64         `json:"chunks,omitempty"`
+	Duration  time.Duration `json:"duration_ns"`
+	Phases    []Phase       `json:"phases,omitempty"`
+}
+
+// FlightRecorder keeps the most recent slow queries in a bounded ring.
+// Recording takes a short mutex — fine for a path that by definition just
+// spent tens of milliseconds elsewhere. All methods are safe on a nil
+// receiver, so instrumented code threads an optional recorder unguarded.
+type FlightRecorder struct {
+	threshold time.Duration
+
+	mu    sync.Mutex
+	ring  []SlowQuery
+	next  int
+	n     int
+	total uint64
+}
+
+// NewFlightRecorder creates a recorder keeping the last capacity records of
+// queries at least threshold slow. capacity <= 0 defaults to 256.
+func NewFlightRecorder(capacity int, threshold time.Duration) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &FlightRecorder{threshold: threshold, ring: make([]SlowQuery, capacity)}
+}
+
+// Threshold returns the slow-query threshold (0 on a nil recorder).
+func (f *FlightRecorder) Threshold() time.Duration {
+	if f == nil {
+		return 0
+	}
+	return f.threshold
+}
+
+// Slow reports whether a duration crosses the threshold. It is the guard
+// call sites use before building a record, and is false on a nil recorder
+// so disabled paths skip the record construction entirely.
+func (f *FlightRecorder) Slow(d time.Duration) bool {
+	return f != nil && d >= f.threshold
+}
+
+// Record stores one entry, evicting the oldest when the ring is full.
+func (f *FlightRecorder) Record(q SlowQuery) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.ring[f.next] = q
+	f.next = (f.next + 1) % len(f.ring)
+	if f.n < len(f.ring) {
+		f.n++
+	}
+	f.total++
+	f.mu.Unlock()
+}
+
+// Total returns how many slow queries were ever recorded, including entries
+// the ring has since evicted.
+func (f *FlightRecorder) Total() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// Snapshot returns the retained records, oldest first.
+func (f *FlightRecorder) Snapshot() []SlowQuery {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]SlowQuery, 0, f.n)
+	start := f.next - f.n
+	if start < 0 {
+		start += len(f.ring)
+	}
+	for i := 0; i < f.n; i++ {
+		out = append(out, f.ring[(start+i)%len(f.ring)])
+	}
+	return out
+}
+
+// WriteText dumps the retained records as a readable table, one line per
+// query with its per-phase breakdown — the on-failure dump format.
+func (f *FlightRecorder) WriteText(w io.Writer) {
+	recs := f.Snapshot()
+	if len(recs) == 0 {
+		fmt.Fprintf(w, "flight recorder: no queries over %s recorded\n", f.Threshold())
+		return
+	}
+	fmt.Fprintf(w, "flight recorder: %d slow queries retained (threshold %s, %d total)\n",
+		len(recs), f.Threshold(), f.Total())
+	for _, q := range recs {
+		fmt.Fprintf(w, "  %s %s/%s box=%s producers=%v dur=%s bytes=%d chunks=%d attempts=%d hedged=%v",
+			q.Time.Format("15:04:05.000"), q.File, q.Dataset, q.Box, q.Producers,
+			q.Duration.Round(time.Microsecond), q.Bytes, q.Chunks, q.Attempts, q.Hedged)
+		if q.Epoch != 0 {
+			fmt.Fprintf(w, " epoch=%d", q.Epoch)
+		}
+		for _, p := range q.Phases {
+			fmt.Fprintf(w, " %s=%s", p.Name, p.Duration.Round(time.Microsecond))
+		}
+		fmt.Fprintln(w)
+	}
+}

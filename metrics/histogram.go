@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// Histogram buckets and striping. Bucket i counts values v with
+// bits.Len64(v) == i, i.e. bucket 0 holds v <= 0 and bucket i (i >= 1)
+// holds the range [2^(i-1), 2^i). 64 buckets cover all of int64, which for
+// microsecond latencies spans sub-microsecond to ~292 millennia — log2
+// resolution (worst-case 2x error) is the standard trade for a fixed-size,
+// lock-free layout (HdrHistogram and Prometheus make the same one).
+const (
+	histBuckets = 64
+	histStripes = 8 // must be a power of two
+)
+
+// histShard is one stripe of a histogram. The trailing pad keeps one
+// shard's hot tail (sum) and the next shard's first buckets off a shared
+// cache line.
+type histShard struct {
+	counts [histBuckets]atomic.Uint64
+	sum    atomic.Int64
+	_      [56]byte
+}
+
+// Histogram is a log2-bucketed distribution with per-goroutine striped
+// recording: Record is two atomic adds on a stripe chosen from the calling
+// goroutine's stack address, so concurrent ranks rarely contend and never
+// allocate. All methods are safe on a nil receiver.
+type Histogram struct {
+	shards [histStripes]histShard
+}
+
+// stripe picks a shard for the calling goroutine. Goroutine stacks are
+// distinct allocations, so the address of a local variable is a free
+// per-goroutine discriminator — no runtime calls, no allocation.
+func stripe() int {
+	var b byte
+	return int(uintptr(unsafe.Pointer(&b))>>10) & (histStripes - 1)
+}
+
+// bucketOf maps a value to its bucket index. Negative values clamp to
+// bucket 0 rather than aliasing the top bucket.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// bucketBounds returns the inclusive value range bucket i covers.
+func bucketBounds(i int) (lo, hi int64) {
+	switch {
+	case i == 0:
+		return 0, 0
+	case i >= histBuckets-1:
+		return 1 << (histBuckets - 2), math.MaxInt64
+	default:
+		return 1 << (i - 1), 1<<i - 1
+	}
+}
+
+// Record adds one observation. It is allocation-free and safe for
+// concurrent use from any number of goroutines.
+func (h *Histogram) Record(v int64) {
+	if h == nil {
+		return
+	}
+	s := &h.shards[stripe()]
+	s.counts[bucketOf(v)].Add(1)
+	if v > 0 {
+		s.sum.Add(v)
+	}
+}
+
+// Observe records an elapsed duration in microseconds — the unit every
+// "_us" latency instrument uses.
+func (h *Histogram) Observe(d time.Duration) { h.Record(d.Microseconds()) }
+
+// ObserveSince records the microseconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start)) }
+
+// HistogramSnapshot is a merged, point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count   uint64
+	Sum     int64
+	Buckets [histBuckets]uint64
+}
+
+// Snapshot merges the stripes into one distribution. Concurrent recordings
+// may land in either the snapshot or the live histogram; each observation
+// is counted exactly once over consecutive snapshots of a quiesced
+// histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.shards {
+		sh := &h.shards[i]
+		for b := range sh.counts {
+			n := sh.counts[b].Load()
+			s.Buckets[b] += n
+			s.Count += n
+		}
+		s.Sum += sh.sum.Load()
+	}
+	return s
+}
+
+// Mean returns the average observation, or 0 for an empty histogram.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by locating the bucket
+// holding the target rank and interpolating linearly inside it. The
+// estimate is exact at bucket boundaries and within a factor of two
+// everywhere else.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count-1) // 0-based fractional rank
+	var cum uint64
+	for b := 0; b < histBuckets; b++ {
+		n := s.Buckets[b]
+		if n == 0 {
+			continue
+		}
+		if rank < float64(cum+n) {
+			lo, hi := bucketBounds(b)
+			if n == 1 || lo == hi {
+				return float64(lo)
+			}
+			frac := (rank - float64(cum)) / float64(n-1)
+			return float64(lo) + frac*float64(hi-lo)
+		}
+		cum += n
+	}
+	lo, _ := bucketBounds(histBuckets - 1)
+	return float64(lo)
+}

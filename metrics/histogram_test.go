@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{1023, 10}, {1024, 11},
+		{math.MaxInt64, 63},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Every bucket's bounds must tile the non-negative int64 range: the
+	// low bound of bucket i+1 follows the high bound of bucket i.
+	for i := 0; i < histBuckets-1; i++ {
+		_, hi := bucketBounds(i)
+		lo, _ := bucketBounds(i + 1)
+		if lo != hi+1 {
+			t.Fatalf("bucket %d..%d bounds do not tile: hi=%d next lo=%d", i, i+1, hi, lo)
+		}
+		if bucketOf(hi) != i || bucketOf(lo) != i+1 {
+			t.Fatalf("bounds of bucket %d disagree with bucketOf", i)
+		}
+	}
+	if _, hi := bucketBounds(histBuckets - 1); hi != math.MaxInt64 {
+		t.Fatalf("top bucket hi = %d, want MaxInt64", hi)
+	}
+}
+
+func TestHistogramCountSum(t *testing.T) {
+	h := &Histogram{}
+	var sum int64
+	for v := int64(1); v <= 1000; v++ {
+		h.Record(v)
+		sum += v
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("Count = %d, want 1000", s.Count)
+	}
+	if s.Sum != sum {
+		t.Fatalf("Sum = %d, want %d", s.Sum, sum)
+	}
+	if got, want := s.Mean(), float64(sum)/1000; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Mean = %g, want %g", got, want)
+	}
+}
+
+func TestQuantileAccuracy(t *testing.T) {
+	h := &Histogram{}
+	for v := int64(1); v <= 1000; v++ {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	// Log buckets guarantee estimates within a factor of two of the true
+	// quantile; interpolation usually does much better. Assert the 2x
+	// envelope plus monotonicity.
+	for _, c := range []struct {
+		q    float64
+		true float64
+	}{{0.50, 500}, {0.95, 950}, {0.99, 990}} {
+		got := s.Quantile(c.q)
+		if got < c.true/2 || got > c.true*2 {
+			t.Errorf("Quantile(%g) = %g, want within 2x of %g", c.q, got, c.true)
+		}
+	}
+	p50, p95, p99 := s.Quantile(0.50), s.Quantile(0.95), s.Quantile(0.99)
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Fatalf("quantiles not monotonic: p50=%g p95=%g p99=%g", p50, p95, p99)
+	}
+	if min, max := s.Quantile(0), s.Quantile(1); min > max {
+		t.Fatalf("Quantile(0)=%g > Quantile(1)=%g", min, max)
+	}
+}
+
+func TestQuantileExactAtSingleValue(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 100; i++ {
+		h.Record(64) // exactly one bucket boundary value
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := s.Quantile(q)
+		lo, hi := bucketBounds(bucketOf(64))
+		if got < float64(lo) || got > float64(hi) {
+			t.Fatalf("Quantile(%g) = %g outside bucket [%d,%d]", q, got, lo, hi)
+		}
+	}
+}
+
+func TestHistogramNilAndEmpty(t *testing.T) {
+	var h *Histogram
+	h.Record(5) // must not panic
+	h.Observe(time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 0 || s.Quantile(0.5) != 0 || s.Mean() != 0 {
+		t.Fatalf("nil histogram snapshot not empty: %+v", s)
+	}
+}
+
+func TestHistogramAllocFree(t *testing.T) {
+	h := &Histogram{}
+	allocs := testing.AllocsPerRun(1000, func() { h.Record(1234) })
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f times per call, want 0", allocs)
+	}
+}

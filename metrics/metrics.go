@@ -1,0 +1,287 @@
+// Package metrics is the always-on telemetry layer: typed Counter, Gauge
+// and Histogram instruments held in a named Registry, recorded with atomic
+// operations (no allocation, no locks on the hot path) so instrumented code
+// can stay enabled during benchmarks and production sweeps.
+//
+// Instruments are named "layer.subsystem.name" (e.g. "rpc.client.call_us.
+// data", "mpi.msg.bytes"); latency instruments record microseconds and
+// carry a "_us" suffix. Every accessor is safe on a nil *Registry and every
+// instrument method is safe on a nil receiver, so call sites thread one
+// optional registry through without guards: when metrics are disabled the
+// whole plane collapses to nil checks.
+//
+// Two consumption paths exist: Registry.Snapshot (JSON-marshalable, also
+// rendered as Prometheus text by WritePrometheus) and the live DebugServer
+// serving /metrics, /metrics.json, /stats and /slow over HTTP while a
+// workflow runs. The FlightRecorder complements the aggregates with a
+// bounded ring of structured records for individual slow queries.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value. All methods are safe on a
+// nil receiver (no-ops), so disabled-metrics call sites need no guards.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down. All methods are safe on a nil
+// receiver.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry is a named set of instruments. Lookups are get-or-create and
+// safe for concurrent use; the registry lock guards only the name tables,
+// never a recording. A nil *Registry is valid: every accessor returns a nil
+// instrument, which records as a no-op.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	funcs    map[string]func() int64
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		funcs:    map[string]func() int64{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// GaugeFunc registers a gauge sampled by calling fn at snapshot time, for
+// values some other subsystem already tracks (pool high-water marks, queue
+// depths). Re-registering a name replaces the previous function, so
+// repeated wiring of the same component is idempotent.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.funcs[name] = fn
+	r.mu.Unlock()
+}
+
+// Snapshot is one instrument's state at snapshot time. Counter and gauge
+// kinds carry Value; histograms carry Count/Sum/Mean and the interpolated
+// quantiles.
+type Snapshot struct {
+	Name  string  `json:"name"`
+	Kind  string  `json:"kind"` // "counter", "gauge" or "histogram"
+	Value int64   `json:"value,omitempty"`
+	Count uint64  `json:"count,omitempty"`
+	Sum   int64   `json:"sum,omitempty"`
+	Mean  float64 `json:"mean,omitempty"`
+	P50   float64 `json:"p50,omitempty"`
+	P95   float64 `json:"p95,omitempty"`
+	P99   float64 `json:"p99,omitempty"`
+}
+
+// Snapshot returns every instrument's state, sorted by name.
+func (r *Registry) Snapshot() []Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	type namedHist struct {
+		name string
+		h    *Histogram
+	}
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make([]namedHist, 0, len(r.hists))
+	for k, v := range r.hists {
+		hists = append(hists, namedHist{k, v})
+	}
+	funcs := make(map[string]func() int64, len(r.funcs))
+	for k, v := range r.funcs {
+		funcs[k] = v
+	}
+	r.mu.Unlock()
+
+	out := make([]Snapshot, 0, len(counters)+len(gauges)+len(hists)+len(funcs))
+	for name, c := range counters {
+		out = append(out, Snapshot{Name: name, Kind: "counter", Value: c.Value()})
+	}
+	for name, g := range gauges {
+		out = append(out, Snapshot{Name: name, Kind: "gauge", Value: g.Value()})
+	}
+	for name, fn := range funcs {
+		out = append(out, Snapshot{Name: name, Kind: "gauge", Value: fn()})
+	}
+	for _, nh := range hists {
+		s := nh.h.Snapshot()
+		out = append(out, Snapshot{
+			Name: nh.name, Kind: "histogram",
+			Count: s.Count, Sum: s.Sum, Mean: s.Mean(),
+			P50: s.Quantile(0.50), P95: s.Quantile(0.95), P99: s.Quantile(0.99),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// promName maps an instrument name to the Prometheus charset: dots and any
+// other non-alphanumeric runes become underscores.
+func promName(name string) string {
+	b := []byte(name)
+	for i, c := range b {
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// WritePrometheus renders every instrument in the Prometheus text
+// exposition format. Histograms are exported as summaries: quantile-labeled
+// samples plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	for _, s := range r.Snapshot() {
+		name := promName(s.Name)
+		switch s.Kind {
+		case "counter":
+			fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Value)
+		case "gauge":
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, s.Value)
+		case "histogram":
+			fmt.Fprintf(w, "# TYPE %s summary\n", name)
+			fmt.Fprintf(w, "%s{quantile=\"0.5\"} %g\n", name, s.P50)
+			fmt.Fprintf(w, "%s{quantile=\"0.95\"} %g\n", name, s.P95)
+			fmt.Fprintf(w, "%s{quantile=\"0.99\"} %g\n", name, s.P99)
+			fmt.Fprintf(w, "%s_sum %d\n", name, s.Sum)
+			fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+		}
+	}
+}
+
+// WriteJSON renders the snapshot as an indented JSON array.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snaps := r.Snapshot()
+	if snaps == nil {
+		snaps = []Snapshot{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snaps)
+}
+
+// WriteTable renders the snapshot as an aligned text table, the shape
+// lowfive-inspect prints for run artifacts.
+func WriteTable(w io.Writer, snaps []Snapshot) {
+	fmt.Fprintf(w, "%-36s %-10s %12s %12s %12s %12s %12s\n",
+		"instrument", "kind", "value/count", "sum", "p50", "p95", "p99")
+	for _, s := range snaps {
+		switch s.Kind {
+		case "histogram":
+			fmt.Fprintf(w, "%-36s %-10s %12d %12d %12.0f %12.0f %12.0f\n",
+				s.Name, s.Kind, s.Count, s.Sum, s.P50, s.P95, s.P99)
+		default:
+			fmt.Fprintf(w, "%-36s %-10s %12d %12s %12s %12s %12s\n",
+				s.Name, s.Kind, s.Value, "-", "-", "-", "-")
+		}
+	}
+}

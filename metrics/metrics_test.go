@@ -1,0 +1,215 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryConcurrent races get-or-create registration against parallel
+// recording on shared instruments; run under -race it proves the registry
+// lock and the atomic instruments compose safely.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	const perG = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Shared names exercise get-or-create races; per-goroutine
+				// names exercise concurrent map growth.
+				r.Counter("shared.counter").Inc()
+				r.Histogram("shared.hist").Record(int64(i + 1))
+				r.Gauge("shared.gauge").Set(int64(i))
+				r.Counter(fmt.Sprintf("own.counter.%d", g)).Inc()
+				if i == 0 {
+					r.GaugeFunc(fmt.Sprintf("own.func.%d", g), func() int64 { return int64(g) })
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("shared.counter").Value(); got != goroutines*perG {
+		t.Fatalf("shared.counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Histogram("shared.hist").Snapshot().Count; got != goroutines*perG {
+		t.Fatalf("shared.hist count = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Counter("own.counter.3").Value(); got != perG {
+		t.Fatalf("own.counter.3 = %d, want %d", got, perG)
+	}
+}
+
+func TestNilRegistryAndInstruments(t *testing.T) {
+	var r *Registry
+	r.Counter("a").Add(1)
+	r.Gauge("b").Set(2)
+	r.Histogram("c").Record(3)
+	r.GaugeFunc("d", func() int64 { return 4 })
+	if snaps := r.Snapshot(); snaps != nil {
+		t.Fatalf("nil registry snapshot = %v, want nil", snaps)
+	}
+}
+
+func TestSnapshotAndPrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rpc.client.hedge_wins").Add(3)
+	r.Gauge("buf.pool.outstanding").Set(7)
+	r.GaugeFunc("buf.pool.highwater", func() int64 { return 11 })
+	h := r.Histogram("core.query.latency_us")
+	for i := int64(1); i <= 100; i++ {
+		h.Record(i * 10)
+	}
+
+	snaps := r.Snapshot()
+	byName := map[string]Snapshot{}
+	for _, s := range snaps {
+		byName[s.Name] = s
+	}
+	if s := byName["rpc.client.hedge_wins"]; s.Kind != "counter" || s.Value != 3 {
+		t.Fatalf("counter snapshot wrong: %+v", s)
+	}
+	if s := byName["buf.pool.highwater"]; s.Kind != "gauge" || s.Value != 11 {
+		t.Fatalf("gauge-func snapshot wrong: %+v", s)
+	}
+	hs := byName["core.query.latency_us"]
+	if hs.Kind != "histogram" || hs.Count != 100 || hs.Sum != 50500 {
+		t.Fatalf("histogram snapshot wrong: %+v", hs)
+	}
+	if !(hs.P50 <= hs.P95 && hs.P95 <= hs.P99) {
+		t.Fatalf("quantiles not monotonic: %+v", hs)
+	}
+	// Sorted by name.
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i-1].Name > snaps[i].Name {
+			t.Fatalf("snapshot not sorted: %q before %q", snaps[i-1].Name, snaps[i].Name)
+		}
+	}
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE rpc_client_hedge_wins counter\nrpc_client_hedge_wins 3\n",
+		"# TYPE buf_pool_outstanding gauge\nbuf_pool_outstanding 7\n",
+		"# TYPE core_query_latency_us summary\n",
+		`core_query_latency_us{quantile="0.5"}`,
+		"core_query_latency_us_sum 50500\n",
+		"core_query_latency_us_count 100\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus text missing %q:\n%s", want, text)
+		}
+	}
+
+	buf.Reset()
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("metrics JSON does not parse: %v", err)
+	}
+	if len(decoded) != len(snaps) {
+		t.Fatalf("JSON has %d instruments, want %d", len(decoded), len(snaps))
+	}
+}
+
+func TestFlightRecorder(t *testing.T) {
+	f := NewFlightRecorder(4, 10*time.Millisecond)
+	if f.Slow(5 * time.Millisecond) {
+		t.Fatal("5ms should not be slow at a 10ms threshold")
+	}
+	if !f.Slow(10 * time.Millisecond) {
+		t.Fatal("10ms should be slow at a 10ms threshold")
+	}
+	for i := 0; i < 6; i++ {
+		f.Record(SlowQuery{
+			Dataset:  fmt.Sprintf("d%d", i),
+			Duration: time.Duration(i+10) * time.Millisecond,
+			Phases:   []Phase{{Name: "boxes", Duration: time.Millisecond}},
+		})
+	}
+	recs := f.Snapshot()
+	if len(recs) != 4 {
+		t.Fatalf("ring kept %d records, want 4", len(recs))
+	}
+	if recs[0].Dataset != "d2" || recs[3].Dataset != "d5" {
+		t.Fatalf("ring order wrong: first=%s last=%s", recs[0].Dataset, recs[3].Dataset)
+	}
+	if f.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", f.Total())
+	}
+	var buf bytes.Buffer
+	f.WriteText(&buf)
+	if !strings.Contains(buf.String(), "boxes=") {
+		t.Fatalf("text dump missing phase breakdown:\n%s", buf.String())
+	}
+
+	var nilF *FlightRecorder
+	nilF.Record(SlowQuery{})
+	if nilF.Slow(time.Hour) || nilF.Snapshot() != nil || nilF.Total() != 0 {
+		t.Fatal("nil flight recorder not inert")
+	}
+}
+
+func TestDebugServer(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mpi.sends").Add(42)
+	r.Histogram("core.query.latency_us").Record(1500)
+	f := NewFlightRecorder(8, time.Millisecond)
+	f.Record(SlowQuery{Dataset: "grid", Duration: 2 * time.Millisecond})
+
+	srv := NewDebugServer(r, f)
+	srv.SetStatus("exchange", func() any { return map[string]int{"queries": 9} })
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+
+	if body := get("/metrics"); !strings.Contains(body, "mpi_sends 42") ||
+		!strings.Contains(body, "core_query_latency_us_count 1") {
+		t.Fatalf("/metrics missing instruments:\n%s", body)
+	}
+	var snaps []Snapshot
+	if err := json.Unmarshal([]byte(get("/metrics.json")), &snaps); err != nil {
+		t.Fatalf("/metrics.json does not parse: %v", err)
+	}
+	var stats map[string]any
+	if err := json.Unmarshal([]byte(get("/stats")), &stats); err != nil {
+		t.Fatalf("/stats does not parse: %v", err)
+	}
+	if _, ok := stats["exchange"]; !ok {
+		t.Fatalf("/stats missing registered status: %v", stats)
+	}
+	var slow []SlowQuery
+	if err := json.Unmarshal([]byte(get("/slow")), &slow); err != nil {
+		t.Fatalf("/slow does not parse: %v", err)
+	}
+	if len(slow) != 1 || slow[0].Dataset != "grid" {
+		t.Fatalf("/slow wrong records: %+v", slow)
+	}
+}

@@ -69,6 +69,7 @@ func (c *Comm) Send(dest, tag int, data []byte) {
 	}
 	w := c.world
 	w.opGate(c.ranks[c.rank], c.inc)
+	w.recordSend(c.ranks[c.rank], c.ranks[dest], len(data))
 	m := &message{commID: c.id, src: c.rank, tag: tag, data: data}
 	if w.fault != nil {
 		self := c.ranks[c.rank]

@@ -346,6 +346,7 @@ func (w *World) faultSend(worldSrc, worldDst int, m *message, tr *trace.Track) {
 		w.deliver(worldDst, m)
 		return
 	}
+	w.noteFault()
 	if tr != nil {
 		tr.Instant("fault", "fault."+rule.Action.String(),
 			trace.I64("tag", int64(m.tag)), trace.I64("dst", int64(worldDst)),
@@ -422,6 +423,7 @@ func (w *World) injectRecv(worldRank, tag int, tr *trace.Track) {
 	if !fire {
 		return
 	}
+	w.noteFault()
 	if tr != nil {
 		tr.Instant("fault", "fault."+rule.Action.String(), trace.I64("tag", int64(tag)))
 	}

@@ -72,6 +72,7 @@ func (ic *Intercomm) Send(dest, tag int, data []byte) {
 	}
 	w := ic.world
 	w.opGate(ic.local[ic.rank], ic.inc)
+	w.recordSend(ic.local[ic.rank], ic.remote[dest], len(data))
 	m := &message{commID: ic.sendID(), src: ic.rank, tag: tag, data: data}
 	if w.fault != nil {
 		self := ic.local[ic.rank]

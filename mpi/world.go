@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"lowfive/internal/buf"
+	"lowfive/metrics"
 	"lowfive/trace"
 )
 
@@ -54,6 +55,18 @@ type World struct {
 	// never contends across ranks). Nil tracks make recording a no-op.
 	tracer *trace.Tracer
 	tracks []*trace.Track
+
+	// metrics, when set (WithMetrics), records transport-level instruments:
+	// send/byte counters, a message-size histogram, fault injections fired,
+	// and a dense per-link byte matrix (indexed src*size+dst — a matrix
+	// rather than size² named instruments, so the hot path stays one atomic
+	// add). Nil instrument handles make recording a no-op.
+	metrics   *metrics.Registry
+	linkBytes []atomic.Int64
+	mSends    *metrics.Counter
+	mBytes    *metrics.Counter
+	mMsgSize  *metrics.Histogram
+	mFaults   *metrics.Counter
 
 	ranksOnce sync.Once
 	allRanks  []int
@@ -187,6 +200,14 @@ func WithTracer(t *trace.Tracer) Option {
 	return func(w *World) { w.tracer = t }
 }
 
+// WithMetrics attaches a metrics registry: every Send records into
+// "mpi.sends", "mpi.send.bytes" and the "mpi.msg.bytes" size histogram,
+// fault injections count into "mpi.faults.injected", and per-link byte
+// totals accumulate for World.LinkBytes.
+func WithMetrics(r *metrics.Registry) Option {
+	return func(w *World) { w.metrics = r }
+}
+
 // NewWorld creates a world with the given number of ranks.
 func NewWorld(size int, opts ...Option) *World {
 	if size <= 0 {
@@ -214,7 +235,48 @@ func NewWorld(size int, opts ...Option) *World {
 	if w.tracer != nil {
 		w.tracks = make([]*trace.Track, size)
 	}
+	if w.metrics != nil {
+		w.linkBytes = make([]atomic.Int64, size*size)
+		w.mSends = w.metrics.Counter("mpi.sends")
+		w.mBytes = w.metrics.Counter("mpi.send.bytes")
+		w.mMsgSize = w.metrics.Histogram("mpi.msg.bytes")
+		w.mFaults = w.metrics.Counter("mpi.faults.injected")
+	}
 	return w
+}
+
+// recordSend accounts one message on the metrics plane: aggregate counters,
+// the size histogram, and the src→dst link-byte cell. No-op without
+// WithMetrics.
+func (w *World) recordSend(worldSrc, worldDst, bytes int) {
+	if w.metrics == nil {
+		return
+	}
+	w.linkBytes[worldSrc*w.size+worldDst].Add(int64(bytes))
+	w.mSends.Inc()
+	w.mBytes.Add(int64(bytes))
+	w.mMsgSize.Record(int64(bytes))
+}
+
+// noteFault counts one fired fault-injection action. No-op without
+// WithMetrics.
+func (w *World) noteFault() { w.mFaults.Inc() }
+
+// LinkBytes returns the per-link byte totals as a [src][dst] matrix, or nil
+// when the world has no metrics attached.
+func (w *World) LinkBytes() [][]int64 {
+	if w.linkBytes == nil {
+		return nil
+	}
+	out := make([][]int64, w.size)
+	for s := 0; s < w.size; s++ {
+		row := make([]int64, w.size)
+		for d := 0; d < w.size; d++ {
+			row[d] = w.linkBytes[s*w.size+d].Load()
+		}
+		out[s] = row
+	}
+	return out
 }
 
 // Size returns the number of ranks in the world.

@@ -9,14 +9,31 @@ import (
 
 // SummaryRow aggregates all spans of one (task, phase) pair across the
 // task's ranks: how often the phase ran, how much wall time its spans cover
-// (summed over ranks, like the paper's per-phase stacked bars), and how many
-// payload bytes its events carried (the sum of their "bytes" arguments).
+// (summed over ranks, like the paper's per-phase stacked bars), how many
+// payload bytes its events carried (the sum of their "bytes" arguments),
+// and the p50/p99 of the individual span durations — the totals say where
+// the time went, the quantiles say whether it went evenly or into a tail.
 type SummaryRow struct {
 	Process string // task name
 	Phase   string // "cat/name" of the spans aggregated into this row
 	Count   int64
 	Total   time.Duration
 	Bytes   int64
+	P50     time.Duration
+	P99     time.Duration
+}
+
+// durQuantile returns the q-quantile (0..1) of sorted span durations by the
+// nearest-rank method.
+func durQuantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted)-1) + 0.5)
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
 }
 
 // Summary aggregates the recording into per-task per-phase rows, sorted by
@@ -25,6 +42,7 @@ type SummaryRow struct {
 func (t *Tracer) Summary() []SummaryRow {
 	type key struct{ proc, phase string }
 	acc := map[key]*SummaryRow{}
+	durs := map[key][]time.Duration{}
 	for _, k := range t.Tracks() {
 		for _, ev := range k.Events() {
 			if ev.Kind != KindSpan {
@@ -38,6 +56,7 @@ func (t *Tracer) Summary() []SummaryRow {
 			}
 			row.Count++
 			row.Total += ev.Dur
+			durs[ky] = append(durs[ky], ev.Dur)
 			for _, a := range ev.Args {
 				if a.Key == "bytes" && !a.IsStr {
 					row.Bytes += a.Int
@@ -46,7 +65,11 @@ func (t *Tracer) Summary() []SummaryRow {
 		}
 	}
 	rows := make([]SummaryRow, 0, len(acc))
-	for _, r := range acc {
+	for ky, r := range acc {
+		ds := durs[ky]
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		r.P50 = durQuantile(ds, 0.50)
+		r.P99 = durQuantile(ds, 0.99)
 		rows = append(rows, *r)
 	}
 	sort.Slice(rows, func(i, j int) bool {
@@ -77,7 +100,8 @@ func formatBytes(n int64) string {
 
 // WriteSummary renders the rows as an aligned text table.
 func WriteSummary(w io.Writer, rows []SummaryRow) {
-	fmt.Fprintf(w, "%-12s %-24s %10s %14s %14s\n", "task", "phase", "count", "time", "bytes")
+	fmt.Fprintf(w, "%-12s %-24s %10s %14s %12s %12s %14s\n",
+		"task", "phase", "count", "time", "p50", "p99", "bytes")
 	prev := ""
 	for _, r := range rows {
 		name := r.Process
@@ -86,9 +110,12 @@ func WriteSummary(w io.Writer, rows []SummaryRow) {
 		} else {
 			prev = name
 		}
-		fmt.Fprintf(w, "%-12s %-24s %10d %14s %14s\n",
+		fmt.Fprintf(w, "%-12s %-24s %10d %14s %12s %12s %14s\n",
 			name, r.Phase, r.Count,
-			r.Total.Round(time.Microsecond).String(), formatBytes(r.Bytes))
+			r.Total.Round(time.Microsecond).String(),
+			r.P50.Round(time.Microsecond).String(),
+			r.P99.Round(time.Microsecond).String(),
+			formatBytes(r.Bytes))
 	}
 }
 

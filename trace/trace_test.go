@@ -197,3 +197,51 @@ func TestConcurrentRecording(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSummaryQuantiles(t *testing.T) {
+	tr := New()
+	base := time.Now()
+	k := tr.NewTrack("producer", 1, "rank 0", 0)
+	// 100 spans of 1..100 ms. Nearest-rank over the sorted durations puts
+	// p50 at index 50 (51 ms) and p99 at index 98 (99 ms), independent of
+	// the recording order — so record them shuffled.
+	order := make([]int, 100)
+	for i := range order {
+		order[i] = (i*37)%100 + 1 // a permutation of 1..100
+	}
+	for _, i := range order {
+		k.Span("core", "serve", base, base.Add(time.Duration(i)*time.Millisecond))
+	}
+	c := tr.NewTrack("consumer", 2, "rank 0", 1)
+	c.Span("core", "query", base, base.Add(7*time.Millisecond))
+
+	rows := tr.Summary()
+	byKey := map[string]SummaryRow{}
+	for _, r := range rows {
+		byKey[r.Process+"|"+r.Phase] = r
+	}
+	serve := byKey["producer|core/serve"]
+	if serve.Count != 100 {
+		t.Fatalf("core/serve count %d, want 100", serve.Count)
+	}
+	if serve.P50 != 51*time.Millisecond {
+		t.Errorf("core/serve p50 = %v, want 51ms", serve.P50)
+	}
+	if serve.P99 != 99*time.Millisecond {
+		t.Errorf("core/serve p99 = %v, want 99ms", serve.P99)
+	}
+	// A single span is its own median and tail.
+	q := byKey["consumer|core/query"]
+	if q.P50 != 7*time.Millisecond || q.P99 != 7*time.Millisecond {
+		t.Errorf("core/query quantiles p50=%v p99=%v, want 7ms each", q.P50, q.P99)
+	}
+
+	var buf bytes.Buffer
+	WriteSummary(&buf, rows)
+	out := buf.String()
+	for _, want := range []string{"p50", "p99", "51ms", "99ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -40,12 +40,24 @@ type benchResult struct {
 	QueryP99Us int64   `json:"query_p99_us"`
 }
 
+// recoveryBench is one staged-log recovery case of the report: the fault
+// scenario, the wall time restarted ranks spent in log replay, and whether
+// the consumers still saw bit-identical data.
+type recoveryBench struct {
+	Name      string  `json:"name"`
+	ReplayMs  float64 `json:"replay_ms"`
+	Restarts  int     `json:"restarts"`
+	Fallbacks int     `json:"fallbacks"`
+	Identical bool    `json:"identical"`
+}
+
 type benchReport struct {
-	Date       string        `json:"date"`
-	GOOS       string        `json:"goos"`
-	GOARCH     string        `json:"goarch"`
-	Note       string        `json:"note,omitempty"`
-	Benchmarks []benchResult `json:"benchmarks"`
+	Date       string          `json:"date"`
+	GOOS       string          `json:"goos"`
+	GOARCH     string          `json:"goarch"`
+	Note       string          `json:"note,omitempty"`
+	Benchmarks []benchResult   `json:"benchmarks"`
+	Recoveries []recoveryBench `json:"recoveries,omitempty"`
 }
 
 type benchCase struct {
@@ -149,7 +161,38 @@ func measureBenchmarks(cfg harness.Config, iters int) (benchReport, error) {
 			res.QPS, res.QueryP50Us, res.QueryP99Us)
 		report.Benchmarks = append(report.Benchmarks, res)
 	}
+	recs, err := measureRecoveries(cfg)
+	if err != nil {
+		return report, err
+	}
+	report.Recoveries = recs
 	return report, nil
+}
+
+// measureRecoveries runs the staged-log fault sweep once and distills each
+// case into the report's recovery entries: replay wall time, restart count,
+// PFS fallbacks, and the bit-identity verdict.
+func measureRecoveries(cfg harness.Config) ([]recoveryBench, error) {
+	results, err := cfg.StagingSweep(harness.DefaultStagingCases())
+	if err != nil {
+		return nil, fmt.Errorf("staging sweep: %w", err)
+	}
+	out := make([]recoveryBench, 0, len(results))
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("staging case %s: %w", r.Name, r.Err)
+		}
+		out = append(out, recoveryBench{
+			Name:      r.Name,
+			ReplayMs:  r.ReplayMs,
+			Restarts:  r.Stats.RestartCount,
+			Fallbacks: r.Stats.StageFallbacks,
+			Identical: r.Identical,
+		})
+		fmt.Fprintf(os.Stderr, "%-40s %12.4f replay_ms %3d restarts %3d fallbacks identical=%v\n",
+			"Recovery/"+r.Name, r.ReplayMs, r.Stats.RestartCount, r.Stats.StageFallbacks, r.Identical)
+	}
+	return out, nil
 }
 
 // queryLatency distills a case's registry into the report's latency fields:
@@ -259,7 +302,30 @@ func validateBenchJSON(file string) error {
 	if checked == 0 {
 		return fmt.Errorf("%s: no distributed-VOL cases to validate", file)
 	}
-	fmt.Printf("%s: %d distributed-VOL cases carry nonzero query latency fields\n", file, checked)
+	if len(report.Recoveries) == 0 {
+		return fmt.Errorf("%s: no recovery cases — the staged-log sweep did not run", file)
+	}
+	restarted := 0
+	for _, r := range report.Recoveries {
+		if !r.Identical {
+			return fmt.Errorf("%s: recovery case %s: consumer data not bit-identical", file, r.Name)
+		}
+		if r.ReplayMs < 0 {
+			return fmt.Errorf("%s: recovery case %s: negative replay_ms %g", file, r.Name, r.ReplayMs)
+		}
+		if r.Restarts > 0 {
+			restarted++
+			if r.ReplayMs <= 0 {
+				return fmt.Errorf("%s: recovery case %s: %d restarts but replay_ms is zero — replay time not measured",
+					file, r.Name, r.Restarts)
+			}
+		}
+	}
+	if restarted == 0 {
+		return fmt.Errorf("%s: no recovery case forced a restart — replay_ms was never exercised", file)
+	}
+	fmt.Printf("%s: %d distributed-VOL cases carry nonzero query latency fields; %d recovery cases carry replay_ms (%d with restarts)\n",
+		file, checked, len(report.Recoveries), restarted)
 	return nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"lowfive/internal/buf"
 	"lowfive/internal/grid"
 	"lowfive/internal/rpc"
+	"lowfive/internal/stage"
 	"lowfive/metrics"
 	"lowfive/mpi"
 	"lowfive/trace"
@@ -107,6 +108,17 @@ type DistMetadataVOL struct {
 	// attempts, hedging, bytes, and the per-phase breakdown (owner lookup
 	// versus stream drain) — into a bounded ring for post-hoc dumps.
 	Flight *metrics.FlightRecorder
+
+	// Stage, when set, switches the VOL into staging mode: producer file
+	// closes publish epochs into the append-only replicated chunk log
+	// instead of serving RPC sessions, consumer opens and reads resolve
+	// epoch → log offsets against the store, and restart recovery is log
+	// replay (StageReplay) instead of Reindex/Rejoin re-serve.
+	Stage *stage.Store
+	// StageSubscriber is this rank's subscriber identity for staging
+	// watermark acks (e.g. "task/rank"). Empty disables ack/GC
+	// participation — reads then never advance the retention watermark.
+	StageSubscriber string
 
 	// OnServe, when set, is called with the file name every time this rank
 	// starts serving a file (Serve or ServeAsync) — the supervised workflow
@@ -356,6 +368,9 @@ func (v *DistMetadataVOL) FileCreate(name string, fapl *h5.FileAccessProps) (h5.
 			if !v.ServeOnClose {
 				return nil
 			}
+			if v.Stage != nil {
+				return v.stagePublish(f.name)
+			}
 			return v.Serve(f.name)
 		}
 	}
@@ -370,6 +385,9 @@ func (v *DistMetadataVOL) FileOpen(name string, fapl *h5.FileAccessProps) (h5.Fi
 		return &metaFile{vol: v.MetadataVOL, name: name, node: fn.Node}, nil
 	}
 	if ics := v.fileIntercomms(name, RoleConsume); len(ics) > 0 {
+		if v.Stage != nil {
+			return v.openStaged(name, ics[0])
+		}
 		return v.openRemote(name, ics[0])
 	}
 	return v.MetadataVOL.FileOpen(name, fapl)
@@ -1208,6 +1226,7 @@ func (d *distDataset) Read(memSpace, fileSpace *h5.Dataspace, data []byte) error
 	} else {
 		dst = data[:fileSpace.NumSelected()*int64(es)]
 	}
+	tq := time.Now()
 	err := v.queryStream(d.file.client, d.file.ic, d.file.name, d.node, fileSpace, dst)
 	if tr != nil {
 		tr.Span("core", "query", t0, time.Now(),
@@ -1215,6 +1234,14 @@ func (d *distDataset) Read(memSpace, fileSpace *h5.Dataspace, data []byte) error
 			trace.I64("bytes", fileSpace.NumSelected()*int64(es)))
 	}
 	if err != nil {
+		// Even a fast failure goes to the flight recorder: a sweep that
+		// fails on this query must be able to show it afterwards.
+		reason := "file-fallback"
+		var tmo *rpc.TimeoutError
+		if errors.As(err, &tmo) {
+			reason = "retries-exhausted"
+		}
+		v.recordQueryFault(d.file.name, d.node.Path(), time.Since(tq), reason)
 		// The in-memory transport failed (a producer crashed, or retries
 		// ran dry). The data a crashed rank held exists nowhere else in
 		// memory — but if the producer also wrote the file to storage, the

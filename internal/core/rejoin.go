@@ -59,6 +59,21 @@ func (v *DistMetadataVOL) Reindex(name string) error {
 // rank of a restarted task must call it for the same file). Returns what
 // was rebuilt.
 func (v *DistMetadataVOL) Rejoin(name string) (RejoinStats, error) {
+	st, err := v.rejoinLocal(name)
+	if err != nil {
+		return st, err
+	}
+	if err := v.Reindex(name); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// rejoinLocal is Rejoin without the collective index exchange: the
+// container-file rebuild alone. Staging-mode recovery uses it as the
+// low-watermark fallback — there is no distributed index to rebuild, so it
+// must not block on a collective other ranks may never enter.
+func (v *DistMetadataVOL) rejoinLocal(name string) (RejoinStats, error) {
 	var st RejoinStats
 	if v.base == nil {
 		return st, fmt.Errorf("lowfive: Rejoin(%q): no base connector", name)
@@ -87,9 +102,6 @@ func (v *DistMetadataVOL) Rejoin(name string) (RejoinStats, error) {
 		return st, err
 	}
 	v.putFile(name, fn)
-	if err := v.Reindex(name); err != nil {
-		return st, err
-	}
 	return st, nil
 }
 

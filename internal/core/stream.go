@@ -257,6 +257,7 @@ func (v *DistMetadataVOL) queryStream(client *rpc.Client, ic *mpi.Intercomm, fil
 			Bytes:     dataBytes,
 			Chunks:    chunks,
 			Duration:  total,
+			Reason:    "slow",
 			Phases: []metrics.Phase{
 				{Name: "boxes", Duration: boxWait},
 				{Name: "stream", Duration: time.Since(t1)},

@@ -1,0 +1,371 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"lowfive"
+	"lowfive/h5"
+	"lowfive/internal/native"
+	"lowfive/internal/pfs"
+	"lowfive/internal/stage"
+	"lowfive/metrics"
+	"lowfive/mpi"
+	"lowfive/workflow"
+)
+
+// Staging trials run the same epoch-structured coupling as the recovery
+// trials, but through the log-structured staging store: producers publish
+// each file close as a committed epoch of a replicated chunk log, consumers
+// read epochs from the log, and a restarted producer recovers by replaying
+// its shard's last committed span instead of Rejoin + Reindex. Faults are
+// injected through the store's OnCommit hook (replica loss, a crash torn
+// across the commit itself, watermark-driven truncation racing a restart),
+// and every case must end with the consumers holding data bit-identical to
+// a fault-free staging run — with the recovery accounting proving the
+// replay path, not the re-serve path, did the work.
+
+// StagingCase is one staged-log fault scenario of a sweep.
+type StagingCase struct {
+	// Name labels the case in reports.
+	Name string
+	// Replicas is the store's replication factor (leader + followers).
+	Replicas int
+	// AutoGC truncates acked epochs eagerly — the truncation case's trigger.
+	AutoGC bool
+	// WantRestarts is the number of task restarts the fault must force
+	// (0 for replica-level faults the supervisor never sees).
+	WantRestarts int
+	// Fault builds the store's OnCommit hook for this case. It receives a
+	// getter for the case's store (the hook must be constructed before the
+	// store exists) and may fail replicas or panic a rank crash.
+	Fault func(st func() *stage.Store) func(file string, rank int, epoch int64)
+	// Check runs case-specific assertions over the result.
+	Check func(r *StagingResult) error
+}
+
+// StagingResult is the outcome of one staging case.
+type StagingResult struct {
+	// Name is the case label.
+	Name string
+	// Seconds is the exchange wall time including any restart and replay.
+	Seconds float64
+	// Identical reports whether every consumer's per-epoch data matched the
+	// fault-free staging baseline bit for bit.
+	Identical bool
+	// Stats is the supervised run's restart/replay accounting.
+	Stats workflow.RunStats
+	// Log is the staging store's own accounting after the run.
+	Log stage.StoreStats
+	// ReplayMs is the total wall time restarted ranks spent in log replay
+	// (including PFS fallbacks), in milliseconds.
+	ReplayMs float64
+	// Err is the first error any rank raised, or a sweep-level assertion
+	// failure.
+	Err error
+}
+
+// stagingExchange runs one supervised epoch exchange through a staging
+// store built from the case parameters (nil case = fault-free baseline) and
+// returns the wall seconds, each consumer rank's received bytes, the run
+// stats, and the store stats.
+func (c Config) stagingExchange(sc *StagingCase) (float64, [][]byte, *workflow.RunStats, stage.StoreStats, error) {
+	fs := pfs.New(c.FS)
+	rec := &Recorder{}
+	var errs errCollector
+	data := make([][]byte, recoveryConsumers)
+	var mu sync.Mutex
+
+	// The store gets its own registry so the replay-latency histogram
+	// covers exactly this run's recoveries.
+	reg := metrics.NewRegistry()
+	opt := stage.Options{Replicas: 1, Metrics: reg}
+	if sc != nil {
+		if sc.Replicas > 0 {
+			opt.Replicas = sc.Replicas
+		}
+		opt.AutoGC = sc.AutoGC
+	}
+	var st *stage.Store
+	if sc != nil && sc.Fault != nil {
+		hook := sc.Fault(func() *stage.Store { return st })
+		opt.OnCommit = func(file string, rank int, epoch int64) { hook(file, rank, epoch) }
+	}
+	st = stage.NewStore(opt)
+
+	g := workflow.Graph{
+		Tasks: []workflow.Task{
+			{Name: "producer", Procs: recoveryProducers},
+			{Name: "consumer", Procs: recoveryConsumers},
+		},
+		Edges: []workflow.Edge{{From: "producer", To: "consumer", Pattern: "epoch*.h5"}},
+		Stage: st,
+	}
+	rows := recoveryDims[0] / recoveryProducers
+	cols := recoveryDims[1] / recoveryConsumers
+	g.BindEpoch("producer", func(p *mpi.Proc, vol *lowfive.DistMetadataVOL, fapl *h5.FileAccessProps, ctx *workflow.TaskCtx) {
+		r := int64(p.Task.Rank())
+		rec.Start()
+		defer rec.Stop()
+		for e := ctx.Epoch; e < recoveryEpochs; e++ {
+			f, err := h5.CreateFile(fmt.Sprintf("epoch%d.h5", e), fapl)
+			if err != nil {
+				errs.add(err)
+				return
+			}
+			ds, err := f.CreateDataset("grid", h5.U64, h5.NewSimple(recoveryDims...))
+			if err != nil {
+				errs.add(err)
+				return
+			}
+			sel := h5.NewSimple(recoveryDims...)
+			sel.SelectHyperslab(h5.SelectSet, []int64{r * rows, 0}, []int64{rows, recoveryDims[1]})
+			vals := make([]uint64, rows*recoveryDims[1])
+			for i := range vals {
+				vals[i] = uint64(e)*1_000_000 + uint64(r*rows*recoveryDims[1]) + uint64(i)
+			}
+			if err := ds.Write(nil, sel, h5.Bytes(vals)); err != nil {
+				errs.add(err)
+				return
+			}
+			ds.Close()
+			if err := f.Close(); err != nil { // checkpoint + publish epoch to the log
+				errs.add(err)
+				return
+			}
+			ctx.EpochDone(e)
+		}
+	})
+	g.BindEpoch("consumer", func(p *mpi.Proc, vol *lowfive.DistMetadataVOL, fapl *h5.FileAccessProps, ctx *workflow.TaskCtx) {
+		r := p.Task.Rank()
+		mu.Lock()
+		data[r] = nil // a restarted consumer attempt must not double-append
+		mu.Unlock()
+		rec.Start()
+		defer rec.Stop()
+		for e := ctx.Epoch; e < recoveryEpochs; e++ {
+			f, err := h5.OpenFile(fmt.Sprintf("epoch%d.h5", e), fapl)
+			if err != nil {
+				errs.add(err)
+				return
+			}
+			ds, err := f.OpenDataset("grid")
+			if err != nil {
+				errs.add(err)
+				return
+			}
+			sel := h5.NewSimple(recoveryDims...)
+			sel.SelectHyperslab(h5.SelectSet, []int64{0, int64(r) * cols}, []int64{recoveryDims[0], cols})
+			out := make([]uint64, recoveryDims[0]*cols)
+			if err := ds.Read(nil, sel, h5.Bytes(out)); err != nil {
+				errs.add(err)
+				return
+			}
+			ds.Close()
+			if err := f.Close(); err != nil { // acks the epoch, advancing the watermark
+				errs.add(err)
+				return
+			}
+			mu.Lock()
+			data[r] = append(data[r], h5.Bytes(out)...)
+			mu.Unlock()
+			ctx.EpochDone(e)
+		}
+	})
+
+	pol := workflow.Policy{Mode: workflow.Restart, Backoff: time.Millisecond}
+	opts := append(c.mpiOpts(), mpi.WithWatchdog(faultWatchdog))
+	stats, err := workflow.RunSupervised(g,
+		func() h5.Connector { return native.New(native.PFSBackend(fs)) }, pol, opts...)
+	if err == nil {
+		err = errs.first()
+	}
+	if err == nil && stats != nil && stats.ReplayedFiles > 0 &&
+		reg.Histogram("stage.replay.latency_us").Snapshot().Count == 0 && stats.StageFallbacks != stats.ReplayedFiles {
+		err = fmt.Errorf("harness: %d replays left no trace in the replay-latency histogram", stats.ReplayedFiles)
+	}
+	return rec.Seconds(), data, stats, st.Stats(), err
+}
+
+// DefaultStagingCases is the standard staged-log fault sweep: leader crash,
+// follower crash, a rank crash torn across its own epoch commit, and GC
+// truncation racing a restarted rank's replay.
+func DefaultStagingCases() []StagingCase {
+	return []StagingCase{
+		// The shard leader dies in the instant between replicating an epoch
+		// commit and making it visible. The surviving follower has every
+		// acked record by the lockstep invariant, failover promotes it, and
+		// consumers read the epoch from the new leader — no task restart, no
+		// supervisor involvement.
+		{Name: "leader-crash", Replicas: 2, WantRestarts: 0,
+			Fault: func(st func() *stage.Store) func(string, int, int64) {
+				var once sync.Once
+				return func(file string, rank int, epoch int64) {
+					if file == "epoch0.h5" {
+						once.Do(func() { st().FailLeader(file, rank) })
+					}
+				}
+			},
+			Check: func(r *StagingResult) error {
+				if r.Log.Failovers < 1 {
+					return fmt.Errorf("leader crash caused no failover")
+				}
+				if r.Log.DeadReplicas < 1 {
+					return fmt.Errorf("leader crash left no dead replica")
+				}
+				return nil
+			}},
+		// A follower dies; the leader keeps serving and later appends simply
+		// stop replicating to the lost copy. Nothing fails over.
+		{Name: "follower-crash", Replicas: 2, WantRestarts: 0,
+			Fault: func(st func() *stage.Store) func(string, int, int64) {
+				var once sync.Once
+				return func(file string, rank int, epoch int64) {
+					if file == "epoch0.h5" {
+						once.Do(func() { st().FailFollower(file, rank) })
+					}
+				}
+			},
+			Check: func(r *StagingResult) error {
+				if r.Log.DeadReplicas < 1 {
+					return fmt.Errorf("follower crash left no dead replica")
+				}
+				if r.Log.Failovers != 0 {
+					return fmt.Errorf("follower crash must not fail over the leader (got %d)", r.Log.Failovers)
+				}
+				return nil
+			}},
+		// Producer rank 0 crashes inside its own commit of the second epoch:
+		// the commit record is in the log but the epoch was never made
+		// visible. The supervisor restarts the task; the restarted rank
+		// replays epoch0.h5's committed span (delta, not history), re-runs
+		// the interrupted epoch, and its re-begin supersedes the torn span.
+		{Name: "crash-during-commit", Replicas: 2, WantRestarts: 1,
+			Fault: func(st func() *stage.Store) func(string, int, int64) {
+				var once sync.Once
+				return func(file string, rank int, epoch int64) {
+					if file == "epoch1.h5" && rank == 0 {
+						once.Do(func() { panic(&mpi.RankFailedError{Rank: rank}) })
+					}
+				}
+			},
+			Check: func(r *StagingResult) error {
+				if r.Stats.ReplayedFiles < 1 {
+					return fmt.Errorf("restart recovered without log replay")
+				}
+				if r.Log.SupersededEpochs < 1 {
+					return fmt.Errorf("torn commit was not superseded by the re-begin")
+				}
+				if r.Stats.StageFallbacks != 0 {
+					return fmt.Errorf("replay fell back to PFS with the log intact (%d fallbacks)", r.Stats.StageFallbacks)
+				}
+				// Replay cost must be the delta since the last commit, not
+				// the whole history: each replayed shard scans one span
+				// (begin + chunks + commit), a small fraction of everything
+				// the run appended.
+				if r.Log.Appends > 0 && int64(r.Stats.ReplayedRecords) >= r.Log.Appends/2 {
+					return fmt.Errorf("replay scanned %d of %d appended records — not proportional to the delta",
+						r.Stats.ReplayedRecords, r.Log.Appends)
+				}
+				return nil
+			}},
+		// GC truncation racing recovery: consumers ack each epoch at close
+		// and AutoGC truncates below the watermark. The fault waits until
+		// the first two files' epochs are truncated, then crashes rank 0 in
+		// its last commit — so the restarted rank's replay finds its spans
+		// gone and must degrade to the PFS container (Rejoin without the
+		// collective reindex), never serving from a truncated log.
+		{Name: "truncated-log", Replicas: 1, AutoGC: true, WantRestarts: 1,
+			Fault: func(st func() *stage.Store) func(string, int, int64) {
+				var once sync.Once
+				return func(file string, rank int, epoch int64) {
+					if file != "epoch2.h5" || rank != 0 {
+						return
+					}
+					once.Do(func() {
+						deadline := time.Now().Add(10 * time.Second)
+						for time.Now().Before(deadline) {
+							if st().Watermark("epoch0.h5") >= 1 && st().Watermark("epoch1.h5") >= 1 {
+								break
+							}
+							time.Sleep(time.Millisecond)
+						}
+						panic(&mpi.RankFailedError{Rank: rank})
+					})
+				}
+			},
+			Check: func(r *StagingResult) error {
+				if r.Log.TruncatedEpochs < 1 {
+					return fmt.Errorf("GC truncated nothing — the case never exercised the fallback")
+				}
+				if r.Stats.StageFallbacks < 1 {
+					return fmt.Errorf("truncated replay did not fall back to the PFS container")
+				}
+				return nil
+			}},
+	}
+}
+
+// StagingSweep runs the fault-free staging baseline and then every case,
+// comparing each case's consumer data bit for bit against the baseline and
+// asserting the shared recovery invariants: expected restarts happened, and
+// recovery went through log replay — the Rejoin + Reindex re-serve path is
+// never taken in staging mode.
+func (c Config) StagingSweep(cases []StagingCase) ([]StagingResult, error) {
+	_, baseline, _, _, err := c.stagingExchange(nil)
+	if err != nil {
+		return nil, fmt.Errorf("harness: staging baseline failed: %w", err)
+	}
+	for r, b := range baseline {
+		if len(b) == 0 {
+			return nil, fmt.Errorf("harness: staging baseline consumer %d received no data", r)
+		}
+	}
+	out := make([]StagingResult, 0, len(cases))
+	for i := range cases {
+		sc := &cases[i]
+		secs, data, stats, ls, err := c.stagingExchange(sc)
+		res := StagingResult{Name: sc.Name, Seconds: secs, Log: ls, Err: err}
+		if stats != nil {
+			res.Stats = *stats
+			res.ReplayMs = float64(stats.ReplayTime.Nanoseconds()) / 1e6
+		}
+		if res.Err == nil {
+			res.Identical = equalRankData(baseline, data)
+			switch {
+			case res.Stats.RestartCount != sc.WantRestarts:
+				res.Err = fmt.Errorf("harness: %d restarts, want %d (the fault did not bite)",
+					res.Stats.RestartCount, sc.WantRestarts)
+			case res.Stats.Reindexed != 0:
+				res.Err = fmt.Errorf("harness: recovery took the Rejoin re-serve path (%d reindexed files) in staging mode",
+					res.Stats.Reindexed)
+			case sc.Check != nil:
+				res.Err = sc.Check(&res)
+			}
+		}
+		c.logf("staging case %-20s identical=%v restarts=%d replayed=%d/%dB fallbacks=%d failovers=%d truncated=%d err=%v\n",
+			sc.Name, res.Identical, res.Stats.RestartCount, res.Stats.ReplayedFiles,
+			res.Stats.ReplayedBytes, res.Stats.StageFallbacks, res.Log.Failovers,
+			res.Log.TruncatedEpochs, res.Err)
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// PrintStagingTable renders a staging sweep as an aligned text table.
+func PrintStagingTable(w io.Writer, results []StagingResult) {
+	fmt.Fprintf(w, "Staged-log fault sweep: replay recovery vs fault-free staging baseline\n")
+	fmt.Fprintf(w, "%-20s %10s %10s %9s %8s %10s %10s %10s  %s\n",
+		"case", "seconds", "identical", "restarts", "replays", "fallbacks", "failovers", "truncated", "error")
+	for _, r := range results {
+		errStr := ""
+		if r.Err != nil {
+			errStr = r.Err.Error()
+		}
+		fmt.Fprintf(w, "%-20s %9.4fs %10v %9d %8d %10d %10d %10d  %s\n",
+			r.Name, r.Seconds, r.Identical, r.Stats.RestartCount, r.Stats.ReplayedFiles,
+			r.Stats.StageFallbacks, r.Log.Failovers, r.Log.TruncatedEpochs, errStr)
+	}
+}

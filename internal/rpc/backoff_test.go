@@ -1,0 +1,99 @@
+package rpc
+
+import (
+	"testing"
+	"time"
+)
+
+// A restart storm: many consumers observe the same producer crash in the
+// same instant and start polling for its restart. With the old fixed
+// interval every poller ticked at identical multiples of pollInterval; the
+// jittered pacer must spread their schedules so the restarted rank is not
+// hit by the whole herd at once.
+func TestPollPacerDesynchronizesStorm(t *testing.T) {
+	const pollers = 32
+	const steps = 6
+	timeout := 250 * time.Millisecond
+	deadline := time.Now().Add(time.Hour) // no clamping in this test
+
+	fire := make([][]time.Duration, pollers)
+	for i := range fire {
+		p := newPollPacer(timeout)
+		var at time.Duration
+		for s := 0; s < steps; s++ {
+			d := p.next(deadline)
+			if d < pollInterval {
+				t.Fatalf("poller %d step %d: wait %v below base interval %v", i, s, d, pollInterval)
+			}
+			if max := timeout / 8; d > max {
+				t.Fatalf("poller %d step %d: wait %v above budget cap %v", i, s, d, max)
+			}
+			at += d
+			fire[i] = append(fire[i], at)
+		}
+	}
+
+	// Quantize each poller's cumulative fire times to pollInterval buckets —
+	// the resolution at which a synchronized herd would collide — and check
+	// the later steps have spread out. Step 0 is allowed to collide (the
+	// first wait is the base interval for everyone); by the final step the
+	// doubling ceilings plus jitter must have produced mostly distinct
+	// schedules.
+	last := map[int64]int{}
+	for i := range fire {
+		last[int64(fire[i][steps-1]/pollInterval)]++
+	}
+	if len(last) < pollers/2 {
+		t.Fatalf("restart storm still synchronized: %d pollers share %d distinct fire buckets", pollers, len(last))
+	}
+	for bucket, n := range last {
+		if n > pollers/4 {
+			t.Fatalf("restart storm still synchronized: %d of %d pollers fire in the same bucket %d", n, pollers, bucket)
+		}
+	}
+}
+
+// The backoff ceiling must ramp up (so a long outage is cheap to wait
+// through) but stay capped by the per-attempt budget, and reset() must
+// drop it back to the base interval.
+func TestPollPacerRampCapAndReset(t *testing.T) {
+	timeout := 800 * time.Millisecond
+	p := newPollPacer(timeout)
+	deadline := time.Now().Add(time.Hour)
+	max := timeout / 8
+	if p.max != max {
+		t.Fatalf("cap = %v, want timeout/8 = %v", p.max, max)
+	}
+	for i := 0; i < 20; i++ {
+		p.next(deadline)
+	}
+	if p.cur != max {
+		t.Fatalf("after 20 steps ceiling = %v, want saturated at %v", p.cur, max)
+	}
+	p.reset()
+	if p.cur != pollInterval {
+		t.Fatalf("after reset ceiling = %v, want %v", p.cur, pollInterval)
+	}
+	// With no timeout (hedged path constructed without one) the ceiling
+	// degrades to a small fixed bound rather than zero or negative.
+	q := newPollPacer(0)
+	if q.max <= 0 {
+		t.Fatalf("zero-timeout pacer got non-positive cap %v", q.max)
+	}
+}
+
+// A wait must never overshoot the attempt deadline: the pacer is pacing a
+// retry loop, not extending it.
+func TestPollPacerClampsToDeadline(t *testing.T) {
+	p := newPollPacer(time.Second)
+	// Saturate the ceiling so the drawn wait would be large.
+	far := time.Now().Add(time.Hour)
+	for i := 0; i < 20; i++ {
+		p.next(far)
+	}
+	remain := 50 * time.Microsecond
+	d := p.next(time.Now().Add(remain))
+	if d > remain {
+		t.Fatalf("wait %v overshoots remaining deadline %v", d, remain)
+	}
+}

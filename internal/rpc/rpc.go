@@ -364,6 +364,7 @@ func (c *Client) await(dest int, seq uint64, overall int64, req []byte) (resp []
 	}
 	backoff := c.Backoff
 	var down *mpi.RankFailedError
+	pacer := newPollPacer(c.Timeout)
 	for attempt := 0; ; attempt++ {
 		attempts = attempt + 1
 		deadline := time.Now().Add(c.Timeout)
@@ -376,10 +377,11 @@ func (c *Client) await(dest int, seq uint64, overall int64, req []byte) (resp []
 			msg, got, pd := c.tryRecv(dest)
 			if pd != nil {
 				down = pd
-				spin.Wait(pollInterval)
+				pacer.wait(deadline)
 				continue
 			}
 			if !got {
+				pacer.reset()
 				spin.Wait(pollInterval)
 				continue
 			}
@@ -447,6 +449,7 @@ func (c *Client) CallHedged(dest, hedge int, req []byte) (resp []byte, winner in
 	attempts := 1
 	defer func() { c.observe(req, start, attempts) }()
 	backoff := c.Backoff
+	pacer := newPollPacer(c.Timeout)
 	for attempt := 0; ; attempt++ {
 		attempts = attempt + 1
 		deadline := time.Now().Add(c.Timeout)
@@ -487,7 +490,12 @@ func (c *Client) CallHedged(dest, hedge int, req []byte) (resp []byte, winner in
 					c.mTimeouts.Inc()
 					return nil, dest, &CallError{Dest: dest, Attempts: attempts, Elapsed: time.Since(start), Err: downs[dest]}
 				}
-				spin.Wait(pollInterval)
+				if len(downs) > 0 {
+					pacer.wait(deadline)
+				} else {
+					pacer.reset()
+					spin.Wait(pollInterval)
+				}
 			}
 		}
 		spent := overall != 0 && time.Now().UnixNano() >= overall

@@ -1,0 +1,261 @@
+package stage
+
+import (
+	"errors"
+	"fmt"
+
+	"lowfive/h5"
+	"lowfive/internal/rpc"
+)
+
+// Wire protocol for remote staging ranks: append, ack, and fetch-range
+// methods carried by the existing RPC envelopes, so staging traffic gets the
+// same deadline, retry, and hedging treatment as the metadata plane. The
+// append payload is a framed record — the same CRC'd encoding the log
+// stores — so corruption is detectable end to end.
+const (
+	opAppend uint8 = 1
+	opAck    uint8 = 2
+	opFetch  uint8 = 3
+)
+
+const (
+	stOK         uint8 = 0
+	stErr        uint8 = 1
+	stTruncated  uint8 = 2
+	stRegression uint8 = 3
+	stNoEpoch    uint8 = 4
+)
+
+// Service serves one Store over an intercommunicator.
+type Service struct {
+	Store  *Store
+	Server *rpc.Server
+}
+
+// NewService wraps a store in an RPC server on ic.
+func NewService(st *Store, server *rpc.Server) *Service {
+	s := &Service{Store: st, Server: server}
+	server.Handler = s.handle
+	return s
+}
+
+// ServeOne blocks for a single request and handles it, returning the
+// source rank.
+func (s *Service) ServeOne() int { return s.Server.ServeOne() }
+
+func (s *Service) handle(src int, req []byte) ([]byte, bool) {
+	d := &h5.Decoder{Buf: req}
+	switch d.U8() {
+	case opAppend:
+		return s.handleAppend(d), true
+	case opAck:
+		return s.handleAck(d), true
+	case opFetch:
+		return s.handleFetch(d), true
+	}
+	return statusResp(stErr, "unknown op"), true
+}
+
+func (s *Service) handleAppend(d *h5.Decoder) []byte {
+	file := d.String()
+	frame := d.Bytes()
+	if d.Err != nil {
+		return statusResp(stErr, d.Err.Error())
+	}
+	rec, n, err := DecodeRecord(frame)
+	if err != nil || n != len(frame) {
+		return statusResp(stErr, fmt.Sprintf("bad append frame: %v", err))
+	}
+	epoch := rec.Epoch
+	switch rec.Type {
+	case RecEpochBegin:
+		epoch, err = s.Store.Begin(file, rec.Rank, rec.Meta)
+	case RecChunk:
+		err = s.Store.Append(file, rec.Rank, rec.Epoch, rec.Dataset, rec.Box, rec.Data)
+	case RecEpochCommit:
+		err = s.Store.Commit(file, rec.Rank, rec.Epoch)
+	default:
+		err = fmt.Errorf("%w: append type %d", ErrBadRecord, rec.Type)
+	}
+	if err != nil {
+		return errResp(err)
+	}
+	acked := s.Store.Acked(file, rec.Rank)
+	var e h5.Encoder
+	e.PutU8(stOK)
+	e.PutI64(epoch)
+	e.PutI64(int64(acked[0]))
+	return e.Buf
+}
+
+func (s *Service) handleAck(d *h5.Decoder) []byte {
+	file, sub, epoch := d.String(), d.String(), d.I64()
+	if d.Err != nil {
+		return statusResp(stErr, d.Err.Error())
+	}
+	if err := s.Store.Ack(file, sub, epoch); err != nil {
+		return errResp(err)
+	}
+	var e h5.Encoder
+	e.PutU8(stOK)
+	e.PutI64(s.Store.Watermark(file))
+	return e.Buf
+}
+
+func (s *Service) handleFetch(d *h5.Decoder) []byte {
+	file, rank := d.String(), int(d.I64())
+	from, to := uint64(d.I64()), uint64(d.I64())
+	if d.Err != nil {
+		return statusResp(stErr, d.Err.Error())
+	}
+	frames, err := s.Store.Frames(file, rank, from, to)
+	if err != nil {
+		return errResp(err)
+	}
+	var e h5.Encoder
+	e.PutU8(stOK)
+	e.PutI64(int64(len(frames)))
+	for _, fr := range frames {
+		e.PutBytes(fr)
+	}
+	return e.Buf
+}
+
+func statusResp(st uint8, msg string) []byte {
+	var e h5.Encoder
+	e.PutU8(st)
+	e.PutString(msg)
+	return e.Buf
+}
+
+func errResp(err error) []byte {
+	switch {
+	case errors.Is(err, ErrEpochTruncated):
+		return statusResp(stTruncated, err.Error())
+	case errors.Is(err, ErrAckRegression):
+		return statusResp(stRegression, err.Error())
+	case errors.Is(err, ErrNoEpoch):
+		return statusResp(stNoEpoch, err.Error())
+	}
+	return statusResp(stErr, err.Error())
+}
+
+// decodeStatus maps a response status back to the typed store errors.
+func decodeStatus(d *h5.Decoder) error {
+	switch st := d.U8(); st {
+	case stOK:
+		return nil
+	case stTruncated:
+		return fmt.Errorf("%w: %s", ErrEpochTruncated, d.String())
+	case stRegression:
+		return fmt.Errorf("%w: %s", ErrAckRegression, d.String())
+	case stNoEpoch:
+		return fmt.Errorf("%w: %s", ErrNoEpoch, d.String())
+	default:
+		return fmt.Errorf("stage: remote error: %s", d.String())
+	}
+}
+
+// Client issues staging RPCs through a configured rpc.Client, inheriting
+// its timeout, retry, budget, and hedging envelopes.
+type Client struct {
+	RPC *rpc.Client
+}
+
+// Append sends one logical record (begin, chunk, or commit) to the staging
+// rank dest, returning the epoch the leader assigned and its durable acked
+// offset — the wire form of acked, monotonically-sequenced appends.
+func (c *Client) Append(dest int, file string, rec *Record) (epoch int64, acked uint64, err error) {
+	var e h5.Encoder
+	e.PutU8(opAppend)
+	e.PutString(file)
+	e.PutBytes(EncodeRecord(rec))
+	resp, err := c.RPC.Call(dest, e.Buf)
+	if err != nil {
+		return 0, 0, err
+	}
+	d := &h5.Decoder{Buf: resp}
+	if err := decodeStatus(d); err != nil {
+		return 0, 0, err
+	}
+	epoch = d.I64()
+	acked = uint64(d.I64())
+	return epoch, acked, d.Err
+}
+
+// AckEpoch acknowledges consumption through epoch for a subscriber,
+// returning the file's new watermark.
+func (c *Client) AckEpoch(dest int, file, sub string, epoch int64) (int64, error) {
+	var e h5.Encoder
+	e.PutU8(opAck)
+	e.PutString(file)
+	e.PutString(sub)
+	e.PutI64(epoch)
+	resp, err := c.RPC.Call(dest, e.Buf)
+	if err != nil {
+		return 0, err
+	}
+	d := &h5.Decoder{Buf: resp}
+	if err := decodeStatus(d); err != nil {
+		return 0, err
+	}
+	return d.I64(), d.Err
+}
+
+// FetchRange retrieves the framed records of one shard with seq in
+// [from, to) — to == 0 meaning the tail — and decodes them, verifying each
+// frame's CRC on the consumer side. This is the catch-up path for a
+// restarted rank resuming from its last acked offset.
+func (c *Client) FetchRange(dest int, file string, rank int, from, to uint64) ([]*Record, error) {
+	resp, err := c.RPC.Call(dest, fetchReq(file, rank, from, to))
+	if err != nil {
+		return nil, err
+	}
+	return decodeFetch(resp)
+}
+
+// FetchRangeHedged is FetchRange with a hedged second request to another
+// replica holder, for tail-tolerant catch-up.
+func (c *Client) FetchRangeHedged(dest, hedge int, file string, rank int, from, to uint64) ([]*Record, int, error) {
+	resp, winner, err := c.RPC.CallHedged(dest, hedge, fetchReq(file, rank, from, to))
+	if err != nil {
+		return nil, winner, err
+	}
+	recs, err := decodeFetch(resp)
+	return recs, winner, err
+}
+
+func fetchReq(file string, rank int, from, to uint64) []byte {
+	var e h5.Encoder
+	e.PutU8(opFetch)
+	e.PutString(file)
+	e.PutI64(int64(rank))
+	e.PutI64(int64(from))
+	e.PutI64(int64(to))
+	return e.Buf
+}
+
+func decodeFetch(resp []byte) ([]*Record, error) {
+	d := &h5.Decoder{Buf: resp}
+	if err := decodeStatus(d); err != nil {
+		return nil, err
+	}
+	n := d.I64()
+	if d.Err != nil || n < 0 || n > remaining(d)/frameHeaderLen {
+		return nil, fmt.Errorf("%w: fetch count %d", ErrBadRecord, n)
+	}
+	recs := make([]*Record, 0, n)
+	for i := int64(0); i < n; i++ {
+		frame := d.Bytes()
+		if d.Err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRecord, d.Err)
+		}
+		rec, used, err := DecodeRecord(frame)
+		if err != nil || used != len(frame) {
+			return nil, fmt.Errorf("stage: fetched frame %d: %w", i, err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}

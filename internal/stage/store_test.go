@@ -1,0 +1,345 @@
+package stage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"lowfive/internal/grid"
+	"lowfive/metrics"
+)
+
+func box(min, max int64) grid.Box {
+	return grid.Box{Min: []int64{min}, Max: []int64{max}}
+}
+
+// publishEpoch runs one full begin/append/commit cycle for a shard, with
+// the chunk payload derived from the epoch so time-travel reads are
+// distinguishable.
+func publishEpoch(t *testing.T, st *Store, file string, rank int) int64 {
+	t.Helper()
+	epoch, err := st.Begin(file, rank, []byte("meta"))
+	if err != nil {
+		t.Fatalf("begin: %v", err)
+	}
+	data := bytes.Repeat([]byte{byte(epoch)}, 16)
+	if err := st.Append(file, rank, epoch, "/grid", box(0, 15), data); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := st.Commit(file, rank, epoch); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	return epoch
+}
+
+func TestStoreCommitVisibility(t *testing.T) {
+	st := NewStore(Options{})
+	if _, n := st.CommittedEpoch("f"); n != 0 {
+		t.Fatal("epoch visible before any publish")
+	}
+	e := publishEpoch(t, st, "f", 0)
+	if e != 1 {
+		t.Fatalf("first epoch %d", e)
+	}
+	got, n := st.CommittedEpoch("f")
+	if got != 1 || n != 1 {
+		t.Fatalf("committed %d over %d shards", got, n)
+	}
+	chunks, err := st.Chunks("f", 1, "/grid", grid.Box{})
+	if err != nil || len(chunks) != 1 {
+		t.Fatalf("chunks: %v (%d)", err, len(chunks))
+	}
+	if chunks[0].Data[0] != 1 {
+		t.Fatal("wrong chunk payload")
+	}
+	if _, err := st.Meta("f", 1); err != nil {
+		t.Fatalf("meta: %v", err)
+	}
+}
+
+func TestStoreWaitCommitted(t *testing.T) {
+	st := NewStore(Options{})
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		publishEpoch(t, st, "f", 0)
+		publishEpoch(t, st, "f", 1)
+	}()
+	e, err := st.WaitCommitted("f", 2, time.Second)
+	if err != nil || e != 1 {
+		t.Fatalf("wait: epoch %d, %v", e, err)
+	}
+	if _, err := st.WaitCommitted("other", 1, 20*time.Millisecond); !errors.Is(err, ErrWaitCommit) {
+		t.Fatalf("want ErrWaitCommit, got %v", err)
+	}
+}
+
+func TestStoreAcksMonotone(t *testing.T) {
+	st := NewStore(Options{Replicas: 2})
+	var prev uint64
+	for e := 0; e < 3; e++ {
+		publishEpoch(t, st, "f", 0)
+		acks := st.Acked("f", 0)
+		if len(acks) != 3 {
+			t.Fatalf("replicas %d", len(acks))
+		}
+		for i, a := range acks {
+			if a != acks[0] {
+				t.Fatalf("replica %d ack %d diverges from leader %d", i, a, acks[0])
+			}
+		}
+		if acks[0] <= prev {
+			t.Fatalf("acks not monotone: %d after %d", acks[0], prev)
+		}
+		prev = acks[0]
+	}
+	// 3 epochs x (begin + chunk + commit).
+	if prev != 9 {
+		t.Fatalf("leader acked %d, want 9", prev)
+	}
+}
+
+func TestStoreLeaderFailover(t *testing.T) {
+	reg := metrics.NewRegistry()
+	st := NewStore(Options{Replicas: 1, Metrics: reg})
+	publishEpoch(t, st, "f", 0)
+	if !st.FailLeader("f", 0) {
+		t.Fatal("fail leader")
+	}
+	// Reads and subsequent appends continue from the promoted follower.
+	chunks, err := st.Chunks("f", 1, "/grid", grid.Box{})
+	if err != nil || len(chunks) != 1 {
+		t.Fatalf("post-failover chunks: %v", err)
+	}
+	publishEpoch(t, st, "f", 0)
+	if got, _ := st.CommittedEpoch("f"); got != 2 {
+		t.Fatalf("epoch after failover %d", got)
+	}
+	s := st.Stats()
+	if s.Failovers != 1 || s.DeadReplicas != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if reg.Counter("stage.failovers").Value() != 1 {
+		t.Fatal("failover counter not bumped")
+	}
+	// Killing the last replica leaves the shard down.
+	if !st.FailLeader("f", 0) {
+		t.Fatal("fail second replica")
+	}
+	if _, err := st.Begin("f", 0, nil); !errors.Is(err, ErrShardDown) {
+		t.Fatalf("want ErrShardDown, got %v", err)
+	}
+}
+
+func TestStoreFollowerCrash(t *testing.T) {
+	st := NewStore(Options{Replicas: 1})
+	publishEpoch(t, st, "f", 0)
+	if !st.FailFollower("f", 0) {
+		t.Fatal("fail follower")
+	}
+	publishEpoch(t, st, "f", 0)
+	if got, _ := st.CommittedEpoch("f"); got != 2 {
+		t.Fatalf("epoch %d", got)
+	}
+	s := st.Stats()
+	if s.DeadReplicas != 1 || s.Failovers != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestStoreCrashDuringCommitSupersedes(t *testing.T) {
+	crash := true
+	st := NewStore(Options{})
+	st.opt.OnCommit = func(file string, rank int, epoch int64) {
+		if crash {
+			crash = false
+			panic("injected crash during commit")
+		}
+	}
+	if _, err := st.Begin("f", 0, []byte("m0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append("f", 0, 1, "/grid", box(0, 3), []byte{1, 1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() { recover() }()
+		st.Commit("f", 0, 1)
+		t.Error("commit did not crash")
+	}()
+	// The torn epoch is invisible.
+	if e, _ := st.CommittedEpoch("f"); e != 0 {
+		t.Fatalf("torn epoch visible: %d", e)
+	}
+	// The restarted producer re-begins the same epoch, superseding the span.
+	e2 := publishEpoch(t, st, "f", 0)
+	if e2 != 1 {
+		t.Fatalf("superseding epoch %d", e2)
+	}
+	chunks, err := st.Chunks("f", 1, "/grid", grid.Box{})
+	if err != nil || len(chunks) != 1 {
+		t.Fatalf("chunks: %v (%d)", err, len(chunks))
+	}
+	if chunks[0].Data[0] != 1 || len(chunks[0].Data) != 16 {
+		t.Fatal("read torn span instead of superseding one")
+	}
+	if st.Stats().SupersededEpochs != 1 {
+		t.Fatalf("superseded %d", st.Stats().SupersededEpochs)
+	}
+}
+
+func TestStoreReplayIsDelta(t *testing.T) {
+	reg := metrics.NewRegistry()
+	st := NewStore(Options{Metrics: reg})
+	for i := 0; i < 5; i++ {
+		publishEpoch(t, st, "f", 0)
+	}
+	rd, err := st.Replay("f", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Epoch != 5 || len(rd.Chunks) != 1 || !bytes.Equal(rd.Meta, []byte("meta")) {
+		t.Fatalf("replay %+v", rd)
+	}
+	// Replay scanned one span (begin + chunk + commit), not the whole log.
+	if rd.Records != 3 {
+		t.Fatalf("replay scanned %d records", rd.Records)
+	}
+	if total := st.Stats().Appends; int64(rd.Records)*3 > total {
+		t.Fatalf("replay %d not a delta of %d", rd.Records, total)
+	}
+	if reg.Histogram("stage.replay.latency_us").Snapshot().Count != 1 {
+		t.Fatal("replay latency not observed")
+	}
+}
+
+// --- GC watermark edges (satellite: ack regression, retention floor,
+// time-travel of the oldest retained epoch) ---
+
+func TestGCAckRegressionRejected(t *testing.T) {
+	st := NewStore(Options{})
+	publishEpoch(t, st, "f", 0)
+	st.Subscribe("f", "c0")
+	if err := st.Ack("f", "c0", 3); err != nil {
+		t.Fatal(err)
+	}
+	err := st.Ack("f", "c0", 2)
+	if !errors.Is(err, ErrAckRegression) {
+		t.Fatalf("want ErrAckRegression, got %v", err)
+	}
+	if st.Watermark("f") != 3 {
+		t.Fatal("regression moved the watermark")
+	}
+}
+
+func TestGCRetainsEpochWhileSubscriberBelow(t *testing.T) {
+	st := NewStore(Options{})
+	for i := 0; i < 3; i++ {
+		publishEpoch(t, st, "f", 0)
+	}
+	st.Subscribe("f", "fast")
+	st.Subscribe("f", "slow")
+	if err := st.Ack("f", "fast", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Ack("f", "slow", 1); err != nil {
+		t.Fatal(err)
+	}
+	if wm := st.Watermark("f"); wm != 1 {
+		t.Fatalf("watermark %d", wm)
+	}
+	if n := st.GC("f"); n == 0 {
+		t.Fatal("GC dropped nothing")
+	}
+	// Epoch 2 is pinned by the slow subscriber even though fast acked it.
+	if _, err := st.Chunks("f", 2, "/grid", grid.Box{}); err != nil {
+		t.Fatalf("epoch 2 not retained: %v", err)
+	}
+	if _, err := st.Chunks("f", 1, "/grid", grid.Box{}); !errors.Is(err, ErrEpochTruncated) {
+		t.Fatalf("epoch 1 not truncated: %v", err)
+	}
+}
+
+func TestGCTimeTravelOldestRetained(t *testing.T) {
+	st := NewStore(Options{AutoGC: true})
+	for i := 0; i < 4; i++ {
+		publishEpoch(t, st, "f", 0)
+	}
+	st.Subscribe("f", "c0")
+	if err := st.Ack("f", "c0", 2); err != nil {
+		t.Fatal(err)
+	}
+	// AutoGC ran inside Ack; epochs 1-2 are gone, 3 is the oldest retained.
+	for e := int64(1); e <= 2; e++ {
+		if _, err := st.Chunks("f", e, "/grid", grid.Box{}); !errors.Is(err, ErrEpochTruncated) {
+			t.Fatalf("epoch %d: %v", e, err)
+		}
+	}
+	for e := int64(3); e <= 4; e++ {
+		chunks, err := st.Chunks("f", e, "/grid", grid.Box{})
+		if err != nil || len(chunks) != 1 {
+			t.Fatalf("time-travel to %d: %v", e, err)
+		}
+		if chunks[0].Data[0] != byte(e) {
+			t.Fatalf("epoch %d returned epoch-%d data", e, chunks[0].Data[0])
+		}
+		if _, err := st.Meta("f", e); err != nil {
+			t.Fatalf("meta at %d: %v", e, err)
+		}
+	}
+	// Replay after total truncation reports ErrEpochTruncated so the
+	// caller falls back to the PFS container.
+	if err := st.Ack("f", "c0", 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Replay("f", 0); !errors.Is(err, ErrEpochTruncated) {
+		t.Fatalf("replay of truncated shard: %v", err)
+	}
+	if st.Stats().TruncatedEpochs != 4 {
+		t.Fatalf("truncated epochs %d", st.Stats().TruncatedEpochs)
+	}
+}
+
+func TestGCKeepsUncommittedTail(t *testing.T) {
+	st := NewStore(Options{})
+	publishEpoch(t, st, "f", 0)
+	// An open epoch's records must survive GC of everything acked.
+	if _, err := st.Begin("f", 0, []byte("m2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append("f", 0, 2, "/grid", box(0, 3), []byte{2, 2, 2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	st.Subscribe("f", "c0")
+	if err := st.Ack("f", "c0", 1); err != nil {
+		t.Fatal(err)
+	}
+	st.GC("f")
+	if err := st.Commit("f", 0, 2); err != nil {
+		t.Fatalf("commit after GC: %v", err)
+	}
+	chunks, err := st.Chunks("f", 2, "/grid", grid.Box{})
+	if err != nil || len(chunks) != 1 || chunks[0].Data[0] != 2 {
+		t.Fatalf("open-epoch tail lost: %v", err)
+	}
+}
+
+func TestWatermarkLagGauge(t *testing.T) {
+	reg := metrics.NewRegistry()
+	st := NewStore(Options{Metrics: reg})
+	publishEpoch(t, st, "f", 0)
+	publishEpoch(t, st, "f", 0)
+	st.Subscribe("f", "c0")
+	if err := st.Ack("f", "c0", 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range reg.Snapshot() {
+		if s.Name == "stage.watermark.lag" {
+			if s.Value != 1 {
+				t.Fatalf("lag %d, want 1", s.Value)
+			}
+			return
+		}
+	}
+	t.Fatal("stage.watermark.lag not registered")
+}

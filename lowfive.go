@@ -46,6 +46,7 @@ import (
 	"lowfive/internal/core"
 	"lowfive/internal/native"
 	"lowfive/internal/pfs"
+	"lowfive/internal/stage"
 	"lowfive/mpi"
 	"lowfive/trace"
 )
@@ -235,3 +236,22 @@ type WorkflowStats = mpi.WorkflowStats
 // RejoinStats reports what a restarted producer rank rebuilt from its
 // checkpoint container via DistMetadataVOL.Rejoin.
 type RejoinStats = core.RejoinStats
+
+// StageStore is the append-only, epoch-versioned replicated chunk log of
+// staging mode: assign one to DistMetadataVOL.Stage (or workflow.Graph.Stage)
+// and producers publish each file close as a committed epoch, consumers read
+// epochs from the log, and restarted ranks recover by log replay instead of
+// Rejoin + Reindex.
+type StageStore = stage.Store
+
+// StageOptions configures a StageStore (replication factor, metrics
+// registry, GC behavior).
+type StageOptions = stage.Options
+
+// NewStageStore creates a staging store.
+func NewStageStore(opts StageOptions) *StageStore { return stage.NewStore(opts) }
+
+// ReplayStats reports what a restarted rank rebuilt by staging-log replay
+// via DistMetadataVOL.StageReplay, including whether it degraded to the
+// PFS container fallback.
+type ReplayStats = core.ReplayStats

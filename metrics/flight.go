@@ -29,7 +29,14 @@ type SlowQuery struct {
 	Bytes     int64         `json:"bytes,omitempty"`
 	Chunks    int64         `json:"chunks,omitempty"`
 	Duration  time.Duration `json:"duration_ns"`
-	Phases    []Phase       `json:"phases,omitempty"`
+	// Reason classifies why the query was recorded: empty or "slow" for a
+	// threshold crossing, "retries-exhausted" when the retry budget ran
+	// dry, "file-fallback"/"stage-truncated"/"stage-wait-exhausted" when
+	// the query degraded to the container file — recorded regardless of
+	// duration, so a sweep failure shows the failing query even when the
+	// failure itself was fast.
+	Reason string  `json:"reason,omitempty"`
+	Phases []Phase `json:"phases,omitempty"`
 }
 
 // FlightRecorder keeps the most recent slow queries in a bounded ring.
@@ -130,6 +137,9 @@ func (f *FlightRecorder) WriteText(w io.Writer) {
 			q.Duration.Round(time.Microsecond), q.Bytes, q.Chunks, q.Attempts, q.Hedged)
 		if q.Epoch != 0 {
 			fmt.Fprintf(w, " epoch=%d", q.Epoch)
+		}
+		if q.Reason != "" {
+			fmt.Fprintf(w, " reason=%s", q.Reason)
 		}
 		for _, p := range q.Phases {
 			fmt.Fprintf(w, " %s=%s", p.Name, p.Duration.Round(time.Microsecond))

@@ -204,6 +204,21 @@ type RunStats struct {
 	Reindexed int
 	// RejoinedBytes is the data volume re-read from checkpoint containers.
 	RejoinedBytes int64
+	// ReplayedFiles counts per-rank file recoveries done by staging-log
+	// replay (staging mode's replacement for Rejoin + re-serve).
+	ReplayedFiles int
+	// ReplayedRecords is the total log records scanned across replays —
+	// proportional to the last committed spans, not to every epoch served.
+	ReplayedRecords int
+	// ReplayedBytes is the framed log volume scanned across replays.
+	ReplayedBytes int64
+	// StageFallbacks counts replays that found their span truncated and
+	// degraded to the PFS container file.
+	StageFallbacks int
+	// ReplayTime is the total wall time restarted ranks spent in replay
+	// (including PFS fallbacks), at full clock resolution — the store's
+	// replay histogram rounds to microseconds, too coarse for tiny spans.
+	ReplayTime time.Duration
 }
 
 // Consumer-side RPC defaults applied in Restart mode (a task's entry point
@@ -236,6 +251,11 @@ type runner struct {
 	recoveredEpochs int
 	reindexed       int
 	rejoinedBytes   int64
+	replayedFiles   int
+	replayedRecords int
+	replayedBytes   int64
+	stageFallbacks  int
+	replayTime      time.Duration
 }
 
 func newRunner(g Graph) *runner {
@@ -344,6 +364,18 @@ func (r *runner) addRecovery(epochs int, rs lowfive.RejoinStats, files int) {
 	r.mu.Unlock()
 }
 
+func (r *runner) addReplay(rs lowfive.ReplayStats, d time.Duration) {
+	r.mu.Lock()
+	r.replayedFiles++
+	r.replayedRecords += rs.Records
+	r.replayedBytes += rs.Bytes
+	if rs.PFSFallback {
+		r.stageFallbacks++
+	}
+	r.replayTime += d
+	r.mu.Unlock()
+}
+
 // RunSupervised validates the graph and runs it like Run, but under pol:
 // failures (crashes, heartbeat-expired hangs, epoch-deadline stalls) are
 // detected and handled per the policy instead of aborting the world. In
@@ -379,6 +411,12 @@ func RunSupervised(g Graph, base func() h5.Connector, pol Policy, opts ...mpi.Op
 					b = base()
 				}
 				vol := lowfive.NewDistMetadataVOL(p.Task, b)
+				if g.Stage != nil {
+					vol.Stage = g.Stage
+					if len(ins) > 0 {
+						vol.StageSubscriber = fmt.Sprintf("%s/%d", t.Name, p.Task.Rank())
+					}
+				}
 				icTo := map[string]*mpi.Intercomm{}
 				for _, e := range outs {
 					ic := p.Intercomm(e.To)
@@ -416,7 +454,30 @@ func RunSupervised(g Graph, base func() h5.Connector, pol Policy, opts ...mpi.Op
 					r:       run, task: t.Name, taskRank: taskRank, world: world, p: p,
 				}
 				var handles []*lowfive.ServeHandle
-				if p.Attempt > 0 && pol.Mode == Restart {
+				if p.Attempt > 0 && pol.Mode == Restart && g.Stage != nil {
+					ctx.Epoch = run.resumeEpoch(t.Name)
+					p.SetEpoch(ctx.Epoch)
+					// Staging mode: recovery is log replay. There are no
+					// serve sessions to credit dones on and nothing to
+					// re-serve — completed epochs live in the log, and the
+					// replay rebuilds this rank's tree from its shard's
+					// last committed span (PFS container only if the span
+					// was GC-truncated). The interrupted epoch itself is
+					// re-produced by the entry point, superseding any torn
+					// commit in the log.
+					for _, fname := range run.servedFiles(t.Name, ctx.Epoch) {
+						t0 := time.Now()
+						rs, err := vol.StageReplay(fname)
+						if err != nil {
+							panic(fmt.Errorf("workflow: task %q attempt %d: replay %q: %w",
+								t.Name, p.Attempt, fname, err))
+						}
+						run.addReplay(rs, time.Since(t0))
+					}
+					if taskRank == 0 {
+						run.addRecovery(int(ctx.Epoch), lowfive.RejoinStats{}, 0)
+					}
+				} else if p.Attempt > 0 && pol.Mode == Restart {
 					ctx.Epoch = run.resumeEpoch(t.Name)
 					p.SetEpoch(ctx.Epoch)
 					// Credit dones the previous incarnation already collected:
@@ -514,6 +575,11 @@ func RunSupervised(g Graph, base func() h5.Connector, pol Policy, opts ...mpi.Op
 	stats.RecoveredEpochs = run.recoveredEpochs
 	stats.Reindexed = run.reindexed
 	stats.RejoinedBytes = run.rejoinedBytes
+	stats.ReplayedFiles = run.replayedFiles
+	stats.ReplayedRecords = run.replayedRecords
+	stats.ReplayedBytes = run.replayedBytes
+	stats.StageFallbacks = run.stageFallbacks
+	stats.ReplayTime = run.replayTime
 	run.mu.Unlock()
 	return stats, err
 }

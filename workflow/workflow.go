@@ -56,6 +56,13 @@ type Graph struct {
 	Tasks  []Task  `json:"tasks"`
 	Edges  []Edge  `json:"edges"`
 	Policy *Policy `json:"policy,omitempty"`
+	// Stage, when set, switches every task's VOL into staging mode: file
+	// closes publish epochs into this shared chunk log, consumer opens and
+	// reads resolve against it, and restarted ranks recover by log replay
+	// instead of Rejoin + Reindex. The store is shared process-wide the way
+	// the supervision ledger is (the analogue of a staging service all
+	// tasks connect to). Cannot travel in JSON.
+	Stage *lowfive.StageStore `json:"-"`
 }
 
 // ParseJSON loads a graph structure (tasks and edges) from JSON. Entry
@@ -184,6 +191,12 @@ func Run(g Graph, base func() h5.Connector, opts ...mpi.Option) error {
 					b = base()
 				}
 				vol := lowfive.NewDistMetadataVOL(p.Task, b)
+				if g.Stage != nil {
+					vol.Stage = g.Stage
+					if len(g.Consumers(t.Name)) > 0 {
+						vol.StageSubscriber = fmt.Sprintf("%s/%d", t.Name, p.Task.Rank())
+					}
+				}
 				for _, e := range g.Producers(t.Name) {
 					vol.SetIntercommRole(e.Pattern, lowfive.RoleProduce, p.Intercomm(e.To))
 				}

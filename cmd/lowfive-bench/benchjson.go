@@ -23,7 +23,11 @@ import (
 // mirror.
 
 type benchResult struct {
-	Name        string  `json:"name"`
+	Name string `json:"name"`
+	// Transport names the message engine the case ran over: "chan" for the
+	// in-proc cost-modeled engine (every figure benchmark), "sock" for the
+	// multi-process socket engine. Enforced non-empty by -validate.
+	Transport   string  `json:"transport"`
 	NsPerOp     int64   `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
@@ -155,6 +159,7 @@ func measureBenchmarks(cfg harness.Config, iters int) (benchReport, error) {
 				Iterations:  r.N,
 			}
 		}
+		res.Transport = harness.TransportChan
 		res.QPS, res.QueryP50Us, res.QueryP99Us = queryLatency(caseCfg.Metrics, wall)
 		fmt.Fprintf(os.Stderr, "%-40s %12d ns/op %12d B/op %8d allocs/op %10.5f exchange-s %8.1f qps %7dus p50 %7dus p99\n",
 			res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.ExchangeSec,
@@ -287,6 +292,9 @@ func validateBenchJSON(file string) error {
 	}
 	checked := 0
 	for _, b := range report.Benchmarks {
+		if b.Transport == "" {
+			return fmt.Errorf("%s: %s: transport field missing — every case must name its engine (chan|sock)", file, b.Name)
+		}
 		if !strings.Contains(b.Name, "MemoryMode") && !strings.Contains(b.Name, "Redistribution") {
 			continue
 		}

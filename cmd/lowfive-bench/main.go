@@ -25,12 +25,17 @@ import (
 	"time"
 
 	"lowfive/internal/harness"
+	"lowfive/internal/rankmain"
 	"lowfive/internal/workload"
 	"lowfive/metrics"
 	"lowfive/trace"
 )
 
 func main() {
+	// The sock-transport smoke spawns one OS process per world rank by
+	// re-executing this binary; intercept those children before flags.
+	rankmain.ChildFromEnv()
+
 	var (
 		exp      = flag.String("exp", "all", "experiment: table1|fig5|fig6|fig7|fig8|fig9|fig11|overlap|all")
 		scales   = flag.String("scales", "", "comma-separated total process counts (default 4,16,64,256)")
@@ -53,7 +58,8 @@ func main() {
 		outFile  = flag.String("out", "", "output path for -json (default BENCH_<date>.json in the current directory)")
 		validate = flag.String("validate", "", "validate a BENCH_*.json file's metrics-plane latency fields and exit")
 		httpAddr = flag.String("http", "", "serve live metrics (/metrics, /metrics.json, /stats, /slow) on this address while the run executes (e.g. :8080 or 127.0.0.1:0)")
-		statsOut = flag.String("stats-out", "", "with -profile, also write the run artifact (stats + metrics snapshot + slow queries) as JSON to this file")
+		statsOut  = flag.String("stats-out", "", "with -profile, also write the run artifact (stats + metrics snapshot + slow queries) as JSON to this file")
+		transport = flag.String("transport", harness.TransportChan, "message engine: chan (in-proc, cost-modeled — runs the figure suite) or sock (real sockets, one process per rank — runs the socket smoke sweep)")
 	)
 	flag.Parse()
 
@@ -89,6 +95,7 @@ func main() {
 	}
 	cfg.Verbose = *verbose
 	cfg.Log = os.Stderr
+	cfg.Transport = *transport
 
 	if *validate != "" {
 		if err := validateBenchJSON(*validate); err != nil {
@@ -96,6 +103,19 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+
+	switch *transport {
+	case harness.TransportChan:
+	case harness.TransportSock:
+		if err := runSockSmoke(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "sock smoke failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -transport %q (want chan or sock)\n", *transport)
+		os.Exit(2)
 	}
 
 	if *httpAddr != "" {
@@ -193,6 +213,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// runSockSmoke runs the real-socket transport sweep: each case spawns one
+// OS process per world rank (re-executing this binary), runs the
+// deterministic producer→consumer workload over TCP or Unix sockets, and
+// checks the consumer data is bit-identical to the in-proc chan run — for
+// the kill case, across a SIGKILLed and respawned rank process.
+func runSockSmoke(cfg harness.Config) error {
+	results, err := cfg.SockSmoke(nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-22s %-6s %6s %9s %10s %9s\n", "case", "net", "procs", "restarts", "identical", "seconds")
+	for _, r := range results {
+		fmt.Printf("%-22s %-6s %6d %9d %10v %9.2f\n",
+			r.Case, r.Network, r.Procs, r.Restarts, r.Identical, r.Seconds)
+	}
+	fmt.Println("all socket cases delivered bit-identical consumer data")
+	return nil
 }
 
 // runFaults runs the producer–consumer exchange under each default chaos

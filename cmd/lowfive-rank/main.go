@@ -1,0 +1,103 @@
+// lowfive-rank is one rank process of a sock-transport world. A launcher
+// (or a shell script) starts a coordinator and then one lowfive-rank per
+// world rank; each process rendezvouses at the coordinator, runs its share
+// of the deterministic producer→consumer workload, and consumer ranks
+// print their data digest so the launcher can compare runs bit-for-bit.
+//
+//	lowfive-rank -coordinate -network unix -size 4        # run a coordinator
+//	lowfive-rank -coord ADDR -rank 0 -size 4 ...          # run a rank
+//
+// A respawned rank is relaunched with -inc bumped; its peers treat it as
+// a restart of the same world rank (mailbox purge, fresh failure state),
+// and the rank re-publishes everything, which consumers deduplicate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"lowfive/internal/rankmain"
+	"lowfive/internal/transport"
+)
+
+func main() {
+	rankmain.ChildFromEnv() // re-exec entry for harness-spawned children
+
+	var (
+		coordinate = flag.Bool("coordinate", false, "run the rendezvous coordinator instead of a rank")
+		network    = flag.String("network", "tcp", "transport network: tcp or unix")
+		coord      = flag.String("coord", "", "coordinator address to rendezvous at (rank mode)")
+		listen     = flag.String("listen", "", "coordinator listen address (coordinator mode; default 127.0.0.1:0 or a temp unix path)")
+		rank       = flag.Int("rank", -1, "this process's world rank")
+		size       = flag.Int("size", 0, "world size (ranks)")
+		inc        = flag.Uint("inc", 0, "incarnation: 0 first launch, bumped per respawn")
+
+		producers  = flag.Int("producers", 0, "producer ranks (default 3/4 of size)")
+		epochs     = flag.Int("epochs", 4, "epochs each producer publishes")
+		sliceBytes = flag.Int("slice-bytes", 4096, "payload bytes per (producer, consumer, epoch) piece")
+		seed       = flag.Int64("seed", 1, "payload seed")
+		paceMs     = flag.Int("pace-ms", 0, "per-epoch producer pause in milliseconds")
+	)
+	flag.Parse()
+
+	if *size <= 0 {
+		fatalf("-size must be positive")
+	}
+	if *coordinate {
+		runCoordinator(*network, *listen, *size)
+		return
+	}
+	if *coord == "" || *rank < 0 {
+		fatalf("rank mode needs -coord and -rank (or -coordinate)")
+	}
+	p := *producers
+	if p <= 0 {
+		p = (*size * 3) / 4
+		if p == 0 {
+			p = 1
+		}
+	}
+	if p >= *size {
+		fatalf("-producers %d leaves no consumers in a world of %d", p, *size)
+	}
+	spec := rankmain.Spec{
+		Producers: p, Consumers: *size - p,
+		Epochs: *epochs, SliceBytes: *sliceBytes, Seed: *seed, PaceMs: *paceMs,
+	}
+	digest, err := rankmain.RunSockRank(spec, *network, *coord, *rank, uint32(*inc))
+	if err != nil {
+		fatalf("rank %d: %v", *rank, err)
+	}
+	if spec.IsConsumer(*rank) {
+		fmt.Println(rankmain.FormatDigest(*rank, digest))
+	}
+}
+
+// runCoordinator serves the rendezvous registry until interrupted,
+// printing the bound address first so launchers can scrape it.
+func runCoordinator(network, listen string, size int) {
+	if listen == "" {
+		if network == "unix" {
+			listen = fmt.Sprintf("%s/lowfive-coord-%d.sock", os.TempDir(), os.Getpid())
+		} else {
+			listen = "127.0.0.1:0"
+		}
+	}
+	c, err := transport.NewCoordinator(network, listen, size)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("LOWFIVE_COORD %s\n", c.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	c.Close()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lowfive-rank: "+format+"\n", args...)
+	os.Exit(1)
+}

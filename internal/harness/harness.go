@@ -57,6 +57,11 @@ type Config struct {
 	// DebugAddr is the listen address EnableDebug serves live metrics on
 	// (e.g. ":8080" or "127.0.0.1:0").
 	DebugAddr string
+	// Transport selects the message engine: TransportChan (in-proc,
+	// cost-modeled — the default, and what every simulation sweep uses) or
+	// TransportSock (real sockets, one OS process per rank — exercised by
+	// SockSmoke). Empty means TransportChan.
+	Transport string
 	// Verbose prints each trial as it completes.
 	Verbose bool
 	// Log receives progress output when Verbose is set.
@@ -116,9 +121,10 @@ func DefaultConfig() Config {
 		// by the host's sleep granularity and concurrent delays overlap;
 		// the file-system model is scaled by the same factor, so all
 		// transport ratios remain meaningful.
-		NetAlpha: 2 * time.Millisecond,
-		NetBeta:  50e6,
-		FS:       pfs.DefaultOptions(),
+		NetAlpha:  2 * time.Millisecond,
+		NetBeta:   50e6,
+		FS:        pfs.DefaultOptions(),
+		Transport: TransportChan,
 	}
 }
 

@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"os"
+	"testing"
+
+	"lowfive/internal/rankmain"
+)
+
+// TestMain intercepts re-execs of this test binary: SockSmoke spawns one
+// child process per world rank, and each child must run its rank instead
+// of the test suite.
+func TestMain(m *testing.M) {
+	rankmain.ChildFromEnv()
+	os.Exit(m.Run())
+}
+
+// TestSockSmokeClean runs the producer→consumer workload as separate OS
+// processes over Unix sockets and checks the consumer data is
+// bit-identical to the in-proc chan-engine run.
+func TestSockSmokeClean(t *testing.T) {
+	c := QuickConfig()
+	c.Transport = TransportSock
+	results, err := c.SockSmoke([]SockCase{
+		{Name: "clean/unix", Network: "unix", KillRank: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || !results[0].Identical {
+		t.Fatalf("clean unix case not identical: %+v", results)
+	}
+}
+
+// TestSockSmokeKillRestart is the end-to-end restart case: a producer
+// rank process is SIGKILLed mid-stream and respawned with a bumped
+// incarnation; the coordinator's death and rejoin broadcasts drive the
+// supervision machinery in every peer, the respawned producer re-sends,
+// and the consumers still converge to the bit-identical digests.
+func TestSockSmokeKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process kill/restart case skipped in -short")
+	}
+	c := QuickConfig()
+	c.Transport = TransportSock
+	results, err := c.SockSmoke([]SockCase{
+		{Name: "kill-producer/unix", Network: "unix", KillRank: 0, KillAfter: defaultSockCaseKillAfter},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.Restarts != 1 {
+		t.Fatalf("expected 1 restart, got %d", r.Restarts)
+	}
+	if !r.Identical {
+		t.Fatalf("post-restart consumer data not identical: %+v", r)
+	}
+}
+
+// TestSockSmokeTCP covers the TCP flavor of the rendezvous and framing.
+func TestSockSmokeTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process tcp case skipped in -short")
+	}
+	c := QuickConfig()
+	c.Transport = TransportSock
+	results, err := c.SockSmoke([]SockCase{
+		{Name: "clean/tcp", Network: "tcp", KillRank: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results[0].Identical {
+		t.Fatalf("tcp case not identical: %+v", results[0])
+	}
+}

@@ -1,0 +1,97 @@
+package rankmain
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// The harness spawns rank processes by re-executing its own binary (the
+// test binary or lowfive-bench) with these environment variables set;
+// ChildFromEnv intercepts the re-exec before any flag parsing or test
+// running happens. cmd/lowfive-rank uses the same entry with flags.
+const (
+	// EnvChild marks a process as a spawned rank ("1").
+	EnvChild = "LOWFIVE_RANK_CHILD"
+	// EnvSpec is the JSON-encoded Spec.
+	EnvSpec = "LOWFIVE_RANK_SPEC"
+	// EnvRank, EnvInc are this process's world rank and incarnation.
+	EnvRank = "LOWFIVE_RANK_RANK"
+	EnvInc  = "LOWFIVE_RANK_INC"
+	// EnvCoord, EnvNet locate the rendezvous coordinator.
+	EnvCoord = "LOWFIVE_RANK_COORD"
+	EnvNet   = "LOWFIVE_RANK_NET"
+)
+
+// digestMarker prefixes the one stdout line a consumer rank prints; the
+// parent greps for it to collect digests.
+const digestMarker = "LOWFIVE_DIGEST"
+
+// FormatDigest renders the digest line a consumer process prints.
+func FormatDigest(rank int, digest uint64) string {
+	return fmt.Sprintf("%s rank=%d digest=%016x", digestMarker, rank, digest)
+}
+
+// ParseDigest extracts (rank, digest) from one line of child output,
+// returning false for non-digest lines.
+func ParseDigest(line string) (rank int, digest uint64, ok bool) {
+	var d string
+	if _, err := fmt.Sscanf(line, digestMarker+" rank=%d digest=%s", &rank, &d); err != nil {
+		return 0, 0, false
+	}
+	v, err := strconv.ParseUint(d, 16, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	return rank, v, true
+}
+
+// ChildEnv builds the environment additions that turn a re-exec of the
+// current binary into the given rank process.
+func ChildEnv(s Spec, network, coord string, rank int, inc uint32) []string {
+	spec, _ := json.Marshal(s)
+	return []string{
+		EnvChild + "=1",
+		EnvSpec + "=" + string(spec),
+		EnvRank + "=" + strconv.Itoa(rank),
+		EnvInc + "=" + strconv.FormatUint(uint64(inc), 10),
+		EnvCoord + "=" + coord,
+		EnvNet + "=" + network,
+	}
+}
+
+// ChildFromEnv checks whether this process was spawned as a rank child
+// and, if so, runs the rank to completion and exits the process (0 on
+// success). Call it first thing in TestMain or main; it returns
+// immediately in the parent.
+func ChildFromEnv() {
+	if os.Getenv(EnvChild) != "1" {
+		return
+	}
+	var s Spec
+	if err := json.Unmarshal([]byte(os.Getenv(EnvSpec)), &s); err != nil {
+		fmt.Fprintf(os.Stderr, "rank child: bad spec: %v\n", err)
+		os.Exit(2)
+	}
+	rank, err := strconv.Atoi(os.Getenv(EnvRank))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rank child: bad rank: %v\n", err)
+		os.Exit(2)
+	}
+	inc64, err := strconv.ParseUint(os.Getenv(EnvInc), 10, 32)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rank child: bad inc: %v\n", err)
+		os.Exit(2)
+	}
+	network, coord := os.Getenv(EnvNet), os.Getenv(EnvCoord)
+	digest, err := RunSockRank(s, network, coord, rank, uint32(inc64))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rank %d: %v\n", rank, err)
+		os.Exit(1)
+	}
+	if s.IsConsumer(rank) {
+		fmt.Println(FormatDigest(rank, digest))
+	}
+	os.Exit(0)
+}

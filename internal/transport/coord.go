@@ -1,0 +1,230 @@
+package transport
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Coordinator is the rendezvous point of a sock-transport world: a tiny
+// registry mapping world rank → listen address. Every rank process dials
+// it, announces (rank, addr, incarnation), and blocks until all Size
+// ranks have joined — the world barrier on join — at which point each
+// receives the full address map and starts talking to its peers directly.
+// The coordinator carries no data-plane traffic.
+//
+// After the world forms the coordinator keeps one connection per rank
+// open and turns membership changes into broadcasts:
+//
+//   - a rank's connection dropping → "death" to every other rank (typed
+//     peer-death detection even for peers with no direct connection yet);
+//   - a rank re-joining with a higher incarnation (a supervisor respawned
+//     its process) → "update" with the new address, so peers redial.
+//
+// The protocol is newline-delimited JSON; the data plane between ranks
+// uses the binary frame format, not this.
+type Coordinator struct {
+	ln   net.Listener
+	size int
+
+	mu      sync.Mutex
+	members []coordMember
+	started bool // world barrier released at least once
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+type coordMember struct {
+	addr   string
+	inc    uint32
+	conn   net.Conn
+	enc    *json.Encoder
+	joined bool
+	dead   bool
+}
+
+// coordMsg is every message of the rendezvous protocol; Op selects which
+// fields are meaningful.
+type coordMsg struct {
+	// Op is "join" (client→coordinator), or "world"/"update"/"death"
+	// (coordinator→client).
+	Op   string `json:"op"`
+	Rank int    `json:"rank,omitempty"`
+	Addr string `json:"addr,omitempty"`
+	Inc  uint32 `json:"inc,omitempty"`
+	// World snapshot (Op == "world").
+	Size  int      `json:"size,omitempty"`
+	Addrs []string `json:"addrs,omitempty"`
+	Incs  []uint32 `json:"incs,omitempty"`
+	Dead  []bool   `json:"dead,omitempty"`
+}
+
+// NewCoordinator starts a coordinator for a world of the given size,
+// listening on network/addr ("tcp"/"127.0.0.1:0" or "unix"/path). Use
+// Addr to learn the bound address.
+func NewCoordinator(network, addr string, size int) (*Coordinator, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("transport: coordinator world size must be positive, got %d", size)
+	}
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: coordinator listen: %w", err)
+	}
+	c := &Coordinator{ln: ln, size: size, members: make([]coordMember, size)}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the address ranks should dial to join.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Close shuts the coordinator down and drops every rank connection.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conns := make([]net.Conn, 0, len(c.members))
+	for i := range c.members {
+		if c.members[i].conn != nil {
+			conns = append(conns, c.members[i].conn)
+		}
+	}
+	c.mu.Unlock()
+	err := c.ln.Close()
+	for _, conn := range conns {
+		conn.Close()
+	}
+	c.wg.Wait()
+	return err
+}
+
+func (c *Coordinator) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c.wg.Add(1)
+		go c.handle(conn)
+	}
+}
+
+// handle serves one rank connection: a join, then silence until EOF.
+func (c *Coordinator) handle(conn net.Conn) {
+	defer c.wg.Done()
+	dec := json.NewDecoder(conn)
+	var join coordMsg
+	if err := dec.Decode(&join); err != nil || join.Op != "join" ||
+		join.Rank < 0 || join.Rank >= c.size {
+		conn.Close()
+		return
+	}
+	if !c.register(join, conn) {
+		conn.Close()
+		return
+	}
+	// Nothing else is expected from the client; block until the
+	// connection drops, which is the death signal.
+	var discard coordMsg
+	for dec.Decode(&discard) == nil {
+	}
+	c.disconnected(join.Rank, conn)
+	conn.Close()
+}
+
+// register admits one (re)join. It releases the world barrier when the
+// last first-generation rank arrives, and answers a rejoin immediately
+// (the world already runs) while broadcasting the new address to peers.
+func (c *Coordinator) register(join coordMsg, conn net.Conn) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return false
+	}
+	m := &c.members[join.Rank]
+	if m.conn != nil {
+		m.conn.Close() // a stale connection of a previous incarnation
+	}
+	*m = coordMember{
+		addr:   join.Addr,
+		inc:    join.Inc,
+		conn:   conn,
+		enc:    json.NewEncoder(conn),
+		joined: true,
+	}
+	if !c.started {
+		joined := 0
+		for i := range c.members {
+			if c.members[i].joined {
+				joined++
+			}
+		}
+		if joined < c.size {
+			return true // keep waiting at the barrier
+		}
+		c.started = true
+		for i := range c.members {
+			c.sendWorldLocked(&c.members[i])
+		}
+		return true
+	}
+	// Rejoin after the world formed: answer now, tell the others.
+	c.sendWorldLocked(m)
+	for i := range c.members {
+		if i == join.Rank || c.members[i].enc == nil {
+			continue
+		}
+		c.members[i].enc.Encode(coordMsg{
+			Op: "update", Rank: join.Rank, Addr: join.Addr, Inc: join.Inc,
+		})
+	}
+	return true
+}
+
+// sendWorldLocked sends the current membership snapshot to one member.
+func (c *Coordinator) sendWorldLocked(m *coordMember) {
+	if m.enc == nil {
+		return
+	}
+	msg := coordMsg{Op: "world", Size: c.size,
+		Addrs: make([]string, c.size), Incs: make([]uint32, c.size), Dead: make([]bool, c.size)}
+	for i := range c.members {
+		msg.Addrs[i] = c.members[i].addr
+		msg.Incs[i] = c.members[i].inc
+		msg.Dead[i] = c.members[i].dead
+	}
+	m.enc.Encode(msg)
+}
+
+// disconnected handles a rank connection dropping. If the rank has not
+// been superseded by a newer incarnation it is declared dead and the
+// death is broadcast.
+func (c *Coordinator) disconnected(rank int, conn net.Conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := &c.members[rank]
+	if m.conn != conn {
+		return // a newer incarnation already took over this slot
+	}
+	m.conn, m.enc = nil, nil
+	m.joined = false
+	if c.closed || !c.started {
+		// Before the world barrier releases, a dropped rank simply
+		// un-joins (its launcher will retry); there is no one to notify.
+		return
+	}
+	m.dead = true
+	for i := range c.members {
+		if i == rank || c.members[i].enc == nil {
+			continue
+		}
+		c.members[i].enc.Encode(coordMsg{Op: "death", Rank: rank})
+	}
+}

@@ -1,0 +1,430 @@
+package transport
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// helloCommID marks the handshake frame a dialer sends first on every
+// data connection: WorldSrc carries the dialer's rank and the payload its
+// incarnation. The mpi layer never uses communicator ID 0, so hello
+// frames cannot be confused with traffic.
+const helloCommID = 0
+
+// coordDialTimeout bounds how long DialSock retries reaching the
+// coordinator before giving up (the coordinator normally exists before
+// any rank process is spawned).
+const coordDialTimeout = 10 * time.Second
+
+// SockConfig configures one rank's endpoint of a sock-transport world.
+type SockConfig struct {
+	// Network is "tcp" (loopback TCP) or "unix" (Unix domain sockets,
+	// listen paths under the temp dir).
+	Network string
+	// Coord is the coordinator address to rendezvous at.
+	Coord string
+	// Rank and Size are this process's world rank and the world size.
+	Rank, Size int
+	// Inc is this rank's incarnation: 0 on first launch, bumped by the
+	// supervisor on each restart so peers can tell a respawn from the
+	// process it replaced.
+	Inc uint32
+	// Deliver hands each inbound frame to the local runtime. Called from
+	// one reader goroutine per peer connection.
+	Deliver DeliverFunc
+	// OnPeerDeath, if set, is called at most once per (peer, incarnation)
+	// when that peer becomes unreachable.
+	OnPeerDeath func(rank int)
+	// OnPeerRejoin, if set, is called when a dead peer rejoins with a new
+	// incarnation and address.
+	OnPeerRejoin func(rank int)
+}
+
+// SockStats is a snapshot of one endpoint's data-plane traffic.
+type SockStats struct {
+	SentFrames, SentBytes int64
+	RecvFrames, RecvBytes int64
+}
+
+// Sock is the real-socket engine: this process is one world rank, peers
+// are other processes found through the Coordinator. Each direction of
+// each pair uses one connection (the sender dials, writes under a per-peer
+// mutex and never reads; the acceptor reads and never writes), which
+// preserves the pairwise FIFO ordering the mailbox matching relies on.
+type Sock struct {
+	cfg   SockConfig
+	ln    net.Listener
+	coord net.Conn
+	addr  string
+
+	peers  []sockPeer
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	sentFrames, sentBytes atomic.Int64
+	recvFrames, recvBytes atomic.Int64
+}
+
+type sockPeer struct {
+	mu   sync.Mutex
+	addr string
+	inc  uint32
+	dead bool
+	conn net.Conn // outgoing connection, dialed lazily, write-only
+}
+
+// DialSock listens for peers, joins the coordinator and blocks until the
+// whole world has joined (the world barrier), then returns a ready
+// endpoint. The returned engine's reader goroutines call cfg.Deliver.
+func DialSock(cfg SockConfig) (*Sock, error) {
+	if cfg.Rank < 0 || cfg.Rank >= cfg.Size {
+		return nil, fmt.Errorf("transport: rank %d out of range for world size %d", cfg.Rank, cfg.Size)
+	}
+	if cfg.Deliver == nil {
+		return nil, fmt.Errorf("transport: SockConfig.Deliver is required")
+	}
+	ln, err := listenSock(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sock{cfg: cfg, ln: ln, peers: make([]sockPeer, cfg.Size)}
+	s.addr = ln.Addr().String()
+
+	coord, err := dialCoord(cfg.Network, cfg.Coord)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	s.coord = coord
+	enc := json.NewEncoder(coord)
+	if err := enc.Encode(coordMsg{Op: "join", Rank: cfg.Rank, Addr: s.addr, Inc: cfg.Inc}); err != nil {
+		s.Close()
+		return nil, fmt.Errorf("transport: coordinator join: %w", err)
+	}
+
+	// World barrier: block until the coordinator has every rank.
+	dec := json.NewDecoder(coord)
+	var world coordMsg
+	for {
+		if err := dec.Decode(&world); err != nil {
+			s.Close()
+			return nil, fmt.Errorf("transport: waiting for world: %w", err)
+		}
+		if world.Op == "world" {
+			break
+		}
+	}
+	if world.Size != cfg.Size || len(world.Addrs) != cfg.Size {
+		s.Close()
+		return nil, fmt.Errorf("transport: coordinator world size %d, want %d", world.Size, cfg.Size)
+	}
+	for i := range s.peers {
+		s.peers[i].addr = world.Addrs[i]
+		s.peers[i].inc = world.Incs[i]
+		if world.Dead != nil {
+			s.peers[i].dead = world.Dead[i]
+		}
+	}
+
+	// A rejoiner's world snapshot may already contain dead peers; report
+	// them so the local runtime starts out with the same failure view the
+	// rest of the world has. Collected before the loops start so nothing
+	// mutates peer state concurrently.
+	var initiallyDead []int
+	for i := range s.peers {
+		if s.peers[i].dead && i != cfg.Rank {
+			initiallyDead = append(initiallyDead, i)
+		}
+	}
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.coordLoop(dec)
+	for _, i := range initiallyDead {
+		s.notifyDeath(i)
+	}
+	return s, nil
+}
+
+// listenSock opens this rank's data-plane listener.
+func listenSock(cfg SockConfig) (net.Listener, error) {
+	switch cfg.Network {
+	case "tcp":
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen: %w", err)
+		}
+		return ln, nil
+	case "unix":
+		// Short path: Unix socket paths cap out around 104 bytes.
+		path := filepath.Join(os.TempDir(),
+			fmt.Sprintf("lf%d-%d.%d.sock", os.Getpid(), cfg.Rank, cfg.Inc))
+		os.Remove(path)
+		ln, err := net.Listen("unix", path)
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen: %w", err)
+		}
+		return ln, nil
+	default:
+		return nil, fmt.Errorf("transport: unknown network %q (want tcp or unix)", cfg.Network)
+	}
+}
+
+// dialCoord dials the coordinator, retrying briefly: a freshly spawned
+// rank process can beat the coordinator's listener by a scheduling hair.
+func dialCoord(network, addr string) (net.Conn, error) {
+	deadline := time.Now().Add(coordDialTimeout)
+	wait := 5 * time.Millisecond
+	for {
+		conn, err := net.Dial(network, addr)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("transport: dial coordinator %s: %w", addr, err)
+		}
+		time.Sleep(wait)
+		if wait < 200*time.Millisecond {
+			wait *= 2
+		}
+	}
+}
+
+// Addr returns the address this rank's listener advertises to peers.
+func (s *Sock) Addr() string { return s.addr }
+
+// Stats snapshots this endpoint's frame/byte counters.
+func (s *Sock) Stats() SockStats {
+	return SockStats{
+		SentFrames: s.sentFrames.Load(), SentBytes: s.sentBytes.Load(),
+		RecvFrames: s.recvFrames.Load(), RecvBytes: s.recvBytes.Load(),
+	}
+}
+
+// Send ships f to world rank dst over the reused outgoing connection,
+// dialing it on first use. A dead or unreachable peer returns a
+// *PeerDeadError; the frame is then not consumed.
+func (s *Sock) Send(dst int, f *Frame) error {
+	if dst < 0 || dst >= len(s.peers) {
+		return &PeerDeadError{Rank: dst, Err: fmt.Errorf("rank out of range")}
+	}
+	if dst == s.cfg.Rank {
+		// Self-send stays in-process; no loopback connection.
+		s.sentFrames.Add(1)
+		s.sentBytes.Add(int64(len(f.Data)))
+		s.recvFrames.Add(1)
+		s.recvBytes.Add(int64(len(f.Data)))
+		s.deliverInbound(f)
+		return nil
+	}
+	p := &s.peers[dst]
+	p.mu.Lock()
+	if p.dead {
+		p.mu.Unlock()
+		return &PeerDeadError{Rank: dst}
+	}
+	if p.conn == nil {
+		conn, err := s.dialPeer(p)
+		if err != nil {
+			p.dead = true
+			p.mu.Unlock()
+			s.notifyDeath(dst)
+			return &PeerDeadError{Rank: dst, Err: err}
+		}
+		p.conn = conn
+	}
+	// Write while holding p.mu: one in-flight frame per connection keeps
+	// frames whole and per-peer ordering FIFO.
+	err := WriteFrame(p.conn, f)
+	if err != nil {
+		p.conn.Close()
+		p.conn = nil
+		p.dead = true
+		p.mu.Unlock()
+		s.notifyDeath(dst)
+		return &PeerDeadError{Rank: dst, Err: err}
+	}
+	p.mu.Unlock()
+	s.sentFrames.Add(1)
+	s.sentBytes.Add(int64(len(f.Data)))
+	return nil
+}
+
+// dialPeer opens the outgoing connection to p and sends the hello frame
+// identifying this rank. Caller holds p.mu.
+func (s *Sock) dialPeer(p *sockPeer) (net.Conn, error) {
+	conn, err := net.Dial(s.cfg.Network, p.addr)
+	if err != nil {
+		return nil, err
+	}
+	hello := Frame{
+		CommID:   helloCommID,
+		WorldSrc: s.cfg.Rank,
+		Src:      s.cfg.Rank,
+		Data:     binary.LittleEndian.AppendUint32(nil, s.cfg.Inc),
+	}
+	if err := WriteFrame(conn, &hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+// Close shuts the endpoint down: listener, coordinator registration and
+// every peer connection. Safe to call more than once.
+func (s *Sock) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	err := s.ln.Close()
+	if s.coord != nil {
+		s.coord.Close()
+	}
+	for i := range s.peers {
+		p := &s.peers[i]
+		p.mu.Lock()
+		if p.conn != nil {
+			p.conn.Close()
+			p.conn = nil
+		}
+		p.mu.Unlock()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// acceptLoop admits inbound peer connections and spawns a reader per
+// connection.
+func (s *Sock) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.readLoop(conn)
+	}
+}
+
+// readLoop drains one inbound connection: a hello identifying the peer,
+// then data frames into Deliver. A read error or EOF means the peer's
+// process is gone — unless the hello's incarnation is stale, in which
+// case a respawn already superseded this connection and its death is
+// old news.
+func (s *Sock) readLoop(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	hello, err := ReadFrame(conn)
+	if err != nil || hello.CommID != helloCommID ||
+		hello.WorldSrc < 0 || hello.WorldSrc >= len(s.peers) || len(hello.Data) != 4 {
+		return
+	}
+	peer := hello.WorldSrc
+	peerInc := binary.LittleEndian.Uint32(hello.Data)
+	for {
+		f, err := ReadFrame(conn)
+		if err != nil {
+			if s.closed.Load() {
+				return
+			}
+			// io.EOF: peer closed (process exit). Anything else — including
+			// a typed decode error from a corrupt stream — also means this
+			// connection is unusable; FIFO framing cannot be resynced.
+			s.peerConnDied(peer, peerInc)
+			return
+		}
+		s.recvFrames.Add(1)
+		s.recvBytes.Add(int64(len(f.Data)))
+		s.deliverInbound(&f)
+	}
+}
+
+func (s *Sock) deliverInbound(f *Frame) {
+	s.cfg.Deliver(s.cfg.Rank, f)
+}
+
+// peerConnDied marks a peer dead after its inbound connection broke,
+// unless the connection belonged to an older incarnation than the one we
+// currently know (the coordinator's update won the race).
+func (s *Sock) peerConnDied(rank int, inc uint32) {
+	p := &s.peers[rank]
+	p.mu.Lock()
+	if inc < p.inc || p.dead {
+		p.mu.Unlock()
+		return
+	}
+	p.dead = true
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn = nil
+	}
+	p.mu.Unlock()
+	s.notifyDeath(rank)
+}
+
+// coordLoop consumes coordinator broadcasts after the world barrier:
+// deaths and rejoins. The coordinator connection dropping (parent
+// shutting down) just ends the loop.
+func (s *Sock) coordLoop(dec *json.Decoder) {
+	defer s.wg.Done()
+	for {
+		var msg coordMsg
+		if err := dec.Decode(&msg); err != nil {
+			return
+		}
+		switch msg.Op {
+		case "death":
+			if msg.Rank >= 0 && msg.Rank < len(s.peers) && msg.Rank != s.cfg.Rank {
+				s.peerConnDied(msg.Rank, s.peerInc(msg.Rank))
+			}
+		case "update":
+			if msg.Rank >= 0 && msg.Rank < len(s.peers) && msg.Rank != s.cfg.Rank {
+				s.peerRejoined(msg.Rank, msg.Addr, msg.Inc)
+			}
+		}
+	}
+}
+
+func (s *Sock) peerInc(rank int) uint32 {
+	p := &s.peers[rank]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.inc
+}
+
+// peerRejoined installs a respawned peer's new address/incarnation and
+// revives it for senders.
+func (s *Sock) peerRejoined(rank int, addr string, inc uint32) {
+	p := &s.peers[rank]
+	p.mu.Lock()
+	if inc < p.inc {
+		p.mu.Unlock()
+		return // stale broadcast
+	}
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn = nil
+	}
+	wasDead := p.dead
+	p.addr, p.inc, p.dead = addr, inc, false
+	p.mu.Unlock()
+	if wasDead && s.cfg.OnPeerRejoin != nil {
+		s.cfg.OnPeerRejoin(rank)
+	}
+}
+
+func (s *Sock) notifyDeath(rank int) {
+	if s.closed.Load() {
+		return
+	}
+	if s.cfg.OnPeerDeath != nil {
+		s.cfg.OnPeerDeath(rank)
+	}
+}

@@ -70,7 +70,7 @@ func (c *Comm) Send(dest, tag int, data []byte) {
 	w := c.world
 	w.opGate(c.ranks[c.rank], c.inc)
 	w.recordSend(c.ranks[c.rank], c.ranks[dest], len(data))
-	m := &message{commID: c.id, src: c.rank, tag: tag, data: data}
+	m := &message{CommID: c.id, Src: c.rank, WorldSrc: c.ranks[c.rank], Tag: tag, Data: data}
 	if w.fault != nil {
 		self := c.ranks[c.rank]
 		if w.failed[self].Load() {
@@ -88,16 +88,32 @@ func (c *Comm) Send(dest, tag int, data []byte) {
 }
 
 // Request represents an in-flight nonblocking operation.
-type Request struct{ done chan struct{} }
+type Request struct {
+	done chan struct{}
+	err  error // written once before done closes
+}
 
-// Wait blocks until the operation completes.
-func (r *Request) Wait() { <-r.done }
+// Wait blocks until the operation completes and returns how it ended: nil
+// for a delivered send, or the typed failure (*RankFailedError for an
+// injected crash of the sending rank, *AbortedError for a world abort)
+// that interrupted it. Callers that do not care may ignore the result —
+// the sending rank's own goroutine still observes its failure at its next
+// operation either way.
+func (r *Request) Wait() error {
+	<-r.done
+	return r.err
+}
 
-// WaitAll waits for every request in the slice.
-func WaitAll(reqs []*Request) {
+// WaitAll waits for every request in the slice and returns the first
+// non-nil completion error, if any.
+func WaitAll(reqs []*Request) error {
+	var first error
 	for _, r := range reqs {
-		r.Wait()
+		if err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
 	}
+	return first
 }
 
 // Isend starts a nonblocking send and returns a request. The payload must
@@ -114,12 +130,24 @@ func (c *Comm) Isend(dest, tag int, data []byte) *Request {
 	go func() {
 		defer close(req.done)
 		// The helper goroutine acts on behalf of the sending rank; if an
-		// injected crash or a world abort fires inside Send, swallow it
-		// here — the rank's own goroutine observes the failure on its next
-		// operation instead of the process dying on an unhandled panic.
+		// injected crash or a world abort fires inside Send, it must not
+		// crash the process — but it must not vanish either. The halt
+		// panic becomes the request's typed completion error, surfaced on
+		// Wait; anything else is a real bug and repanics.
 		defer func() {
-			if r := recover(); r != nil && !IsHaltPanic(r) {
-				panic(r)
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			switch p := rec.(type) {
+			case rankCrashPanic:
+				req.err = &RankFailedError{Rank: p.rank}
+			case *RankFailedError:
+				req.err = p
+			case *AbortedError:
+				req.err = p
+			default:
+				panic(rec)
 			}
 		}()
 		c.Send(dest, tag, data)
@@ -149,10 +177,10 @@ func (c *Comm) Recv(src, tag int) ([]byte, Status) {
 	m := c.world.boxes[self].take(c.world, self, c.id, src, tag, c.worldSrc(src), c.inc, true)
 	if tr != nil {
 		tr.Span("mpi", "recv", t0, time.Now(),
-			trace.I64("src", int64(m.src)), trace.I64("tag", int64(m.tag)),
-			trace.I64("bytes", int64(len(m.data))))
+			trace.I64("src", int64(m.Src)), trace.I64("tag", int64(m.Tag)),
+			trace.I64("bytes", int64(len(m.Data))))
 	}
-	return m.data, Status{Source: m.src, Tag: m.tag, Bytes: len(m.data)}
+	return m.Data, Status{Source: m.Src, Tag: m.Tag, Bytes: len(m.Data)}
 }
 
 // Probe blocks until a message matching (src, tag) is available, without
@@ -164,7 +192,7 @@ func (c *Comm) Probe(src, tag int) Status {
 	self := c.ranks[c.rank]
 	c.world.opGate(self, c.inc)
 	m := c.world.boxes[self].take(c.world, self, c.id, src, tag, c.worldSrc(src), c.inc, false)
-	return Status{Source: m.src, Tag: m.tag, Bytes: len(m.data)}
+	return Status{Source: m.Src, Tag: m.Tag, Bytes: len(m.Data)}
 }
 
 // Iprobe reports whether a message matching (src, tag) is available.
@@ -178,7 +206,7 @@ func (c *Comm) Iprobe(src, tag int) (Status, bool) {
 	if m == nil {
 		return Status{}, false
 	}
-	return Status{Source: m.src, Tag: m.tag, Bytes: len(m.data)}, true
+	return Status{Source: m.Src, Tag: m.Tag, Bytes: len(m.Data)}, true
 }
 
 // worldSrc maps a communicator-local source rank to its world rank, or -1

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"testing"
 	"time"
@@ -410,5 +411,65 @@ func TestReduceOpsHelpers(t *testing.T) {
 	}
 	if DecodeFloat64(MaxFloat64(EncodeFloat64(-1), EncodeFloat64(-2))) != -1 {
 		t.Error("MaxFloat64")
+	}
+}
+
+// TestIsendCrashSurfacesTypedError pins the satellite fix for the old
+// blanket recover in Isend's helper goroutine: an injected crash firing
+// inside an async send must surface on Request.Wait as the typed
+// *RankFailedError, not be silently swallowed.
+func TestIsendCrashSurfacesTypedError(t *testing.T) {
+	plan := FaultPlan{Seed: 1, Rules: []FaultRule{
+		// Rank 0 crashes at its 3rd matching send.
+		{Action: FaultCrash, Rank: 0, Tag: AnyTag, After: 2},
+	}}
+	var waitErr error
+	var okBefore int
+	err := NewWorld(2,
+		WithCostModel(50*time.Microsecond, 1e9),
+		WithFaultPlan(plan),
+		WithWatchdog(5*time.Second),
+	).Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			var reqs []*Request
+			for i := 0; i < 5; i++ {
+				reqs = append(reqs, c.Isend(1, i, []byte{byte(i)}))
+			}
+			for _, r := range reqs {
+				if e := r.Wait(); e != nil {
+					waitErr = e
+				} else {
+					okBefore++
+				}
+			}
+		} else {
+			for i := 0; ; i++ {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							if _, isFailed := r.(*RankFailedError); !isFailed {
+								panic(r)
+							}
+							// Sender crashed; stop receiving.
+							i = 1 << 30
+						}
+					}()
+					c.Recv(0, AnyTag)
+				}()
+				if i >= 1<<30 {
+					return
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("world: %v", err)
+	}
+	var rf *RankFailedError
+	if !errors.As(waitErr, &rf) || rf.Rank != 0 {
+		t.Fatalf("Wait returned %v; want *RankFailedError{Rank:0}", waitErr)
+	}
+	if okBefore == 0 {
+		t.Fatal("no send completed before the injected crash")
 	}
 }

@@ -2,12 +2,54 @@ package mpi
 
 import (
 	"encoding/binary"
+	"io"
 	"math"
+
+	"lowfive/internal/transport"
 )
 
 // Small fixed-width encoding helpers used by collectives and by the
-// transport layers built on top of this package. All values are
-// little-endian.
+// transport layers built on top of this package, plus the message-frame
+// wire codec of the sock transport re-exported at the mpi level. All
+// values are little-endian.
+
+// Frame is one transport-level message — the mailbox record of the chan
+// engine and the wire unit of the sock engine. Aliased from
+// internal/transport so tools above mpi can encode and decode frames
+// without importing an internal package.
+type Frame = transport.Frame
+
+// FrameHeaderLen is the fixed number of bytes before a frame's payload on
+// the wire.
+const FrameHeaderLen = transport.FrameHeaderLen
+
+// MaxFrameBytes caps a single frame's payload on the wire.
+const MaxFrameBytes = transport.MaxFrameBytes
+
+// Typed frame-decode errors: malformed input is reported, never panicked.
+var (
+	// ErrTruncatedFrame marks input shorter than its framing promises.
+	ErrTruncatedFrame = transport.ErrTruncatedFrame
+	// ErrBadCRC marks a frame whose checksum does not match its bytes.
+	ErrBadCRC = transport.ErrBadCRC
+	// ErrFrameTooBig marks a length prefix beyond MaxFrameBytes.
+	ErrFrameTooBig = transport.ErrFrameTooBig
+)
+
+// AppendFrame appends the wire encoding of f to dst and returns the
+// extended slice.
+func AppendFrame(dst []byte, f *Frame) []byte { return transport.AppendFrame(dst, f) }
+
+// DecodeFrame parses one frame from the front of b, returning the frame
+// and the number of bytes consumed. The returned payload aliases b.
+func DecodeFrame(b []byte) (Frame, int, error) { return transport.DecodeFrame(b) }
+
+// WriteFrame writes f's wire encoding to w in a single Write call.
+func WriteFrame(w io.Writer, f *Frame) error { return transport.WriteFrame(w, f) }
+
+// ReadFrame reads one frame from r; io.EOF at a frame boundary is clean,
+// a stream dying mid-frame wraps ErrTruncatedFrame.
+func ReadFrame(r io.Reader) (Frame, error) { return transport.ReadFrame(r) }
 
 // EncodeInt64 encodes v as 8 little-endian bytes.
 func EncodeInt64(v int64) []byte {

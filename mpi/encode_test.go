@@ -1,0 +1,122 @@
+package mpi
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestEncodeHelpers(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 1 << 40, -(1 << 40)} {
+		if got := DecodeInt64(EncodeInt64(v)); got != v {
+			t.Fatalf("int64 %d round-tripped to %d", v, got)
+		}
+	}
+	for _, v := range []float64{0, 1.5, -2.25, 1e300} {
+		if got := DecodeFloat64(EncodeFloat64(v)); got != v {
+			t.Fatalf("float64 %g round-tripped to %g", v, got)
+		}
+	}
+}
+
+// seedWireFrames returns honest wire frames covering the tag and payload
+// shapes the runtime produces: user tags, negative internal collective
+// tags, empty payloads, and a concatenated stream.
+func seedWireFrames() [][]byte {
+	var frames [][]byte
+	var stream []byte
+	for _, fr := range []*Frame{
+		{CommID: 1, Src: 0, WorldSrc: 0, Tag: 0, Data: []byte("payload")},
+		{CommID: 1, Src: 3, WorldSrc: 7, Tag: -2 - 5*1024 - 3*64 - 1, Data: nil},
+		{CommID: 0xfeedface, Src: 15, WorldSrc: 15, Tag: 1 << 30, Data: make([]byte, 300)},
+	} {
+		b := AppendFrame(nil, fr)
+		frames = append(frames, b)
+		stream = append(stream, b...)
+	}
+	return append(frames, stream)
+}
+
+func TestFrameRoundTripMPI(t *testing.T) {
+	want := Frame{CommID: 42, Src: 2, WorldSrc: 9, Tag: -66, Data: []byte("abc")}
+	enc := AppendFrame(nil, &want)
+	got, n, err := DecodeFrame(enc)
+	if err != nil || n != len(enc) {
+		t.Fatalf("decode: n=%d err=%v", n, err)
+	}
+	if got.CommID != want.CommID || got.Src != want.Src || got.WorldSrc != want.WorldSrc ||
+		got.Tag != want.Tag || !bytes.Equal(got.Data, want.Data) {
+		t.Fatalf("got %+v want %+v", got, want)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Tag != want.Tag || !bytes.Equal(got2.Data, want.Data) {
+		t.Fatalf("stream round trip drifted: %+v", got2)
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("want clean EOF at stream end, got %v", err)
+	}
+}
+
+// FuzzDecodeFrame asserts the sock transport's wire decoder is total: any
+// input — torn streams, flipped bits, hostile length prefixes — either
+// decodes to a frame that re-encodes identically or returns one of the
+// typed errors. It must never panic and never allocate proportional to a
+// corrupt length claim.
+func FuzzDecodeFrame(f *testing.F) {
+	for _, frame := range seedWireFrames() {
+		f.Add(frame)
+		for _, cut := range []int{0, 1, FrameHeaderLen - 1, FrameHeaderLen, len(frame) - 1} {
+			if cut >= 0 && cut < len(frame) {
+				f.Add(append([]byte(nil), frame[:cut]...))
+			}
+		}
+		for _, pos := range []int{0, 4, 12, 20, 28, len(frame) - 1} {
+			if pos >= 0 && pos < len(frame) {
+				mut := append([]byte(nil), frame...)
+				mut[pos] ^= 0xff
+				f.Add(mut)
+			}
+		}
+	}
+	f.Fuzz(func(t *testing.T, in []byte) {
+		fr, n, err := DecodeFrame(in)
+		if err != nil {
+			if !errors.Is(err, ErrTruncatedFrame) && !errors.Is(err, ErrBadCRC) && !errors.Is(err, ErrFrameTooBig) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			// The streaming decoder must reject the same input with a typed
+			// error too (or report a clean EOF on empty input).
+			if _, serr := ReadFrame(bytes.NewReader(in)); serr == nil {
+				t.Fatalf("DecodeFrame rejected (%v) but ReadFrame accepted", err)
+			}
+			return
+		}
+		if n < FrameHeaderLen || n > len(in) {
+			t.Fatalf("consumed %d of %d", n, len(in))
+		}
+		if len(fr.Data) != n-FrameHeaderLen {
+			t.Fatalf("payload %d bytes for %d consumed", len(fr.Data), n)
+		}
+		// A decoded frame must re-encode to the exact bytes it came from.
+		if again := AppendFrame(nil, &fr); !bytes.Equal(again, in[:n]) {
+			t.Fatal("re-encode drifted from wire bytes")
+		}
+		// And the streaming decoder must agree with the in-place one.
+		sfr, serr := ReadFrame(bytes.NewReader(in[:n]))
+		if serr != nil {
+			t.Fatalf("ReadFrame rejected what DecodeFrame accepted: %v", serr)
+		}
+		if sfr.CommID != fr.CommID || sfr.Src != fr.Src || sfr.WorldSrc != fr.WorldSrc ||
+			sfr.Tag != fr.Tag || !bytes.Equal(sfr.Data, fr.Data) {
+			t.Fatal("stream and slice decoders disagree")
+		}
+	})
+}

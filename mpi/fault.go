@@ -341,7 +341,7 @@ func (fs *faultState) corrupt(rank int, data []byte) []byte {
 // reference with no copy. A firing crash rule does not return: the rank
 // dies by panic.
 func (w *World) faultSend(worldSrc, worldDst int, m *message, tr *trace.Track) {
-	rule, idx, fire := w.fault.decide(worldSrc, worldDst, m.tag, false)
+	rule, idx, fire := w.fault.decide(worldSrc, worldDst, m.Tag, false)
 	if !fire {
 		w.deliver(worldDst, m)
 		return
@@ -349,38 +349,38 @@ func (w *World) faultSend(worldSrc, worldDst int, m *message, tr *trace.Track) {
 	w.noteFault()
 	if tr != nil {
 		tr.Instant("fault", "fault."+rule.Action.String(),
-			trace.I64("tag", int64(m.tag)), trace.I64("dst", int64(worldDst)),
-			trace.I64("bytes", int64(len(m.data))))
+			trace.I64("tag", int64(m.Tag)), trace.I64("dst", int64(worldDst)),
+			trace.I64("bytes", int64(len(m.Data))))
 	}
 	switch rule.Action {
 	case FaultDelay:
 		w.deliverAsync(worldDst, m, time.Now().Add(rule.Delay), nil, nil)
 	case FaultThrottle:
-		at, after, done := w.fault.throttleSlot(idx, worldSrc, worldDst, len(m.data), rule.Bandwidth)
+		at, after, done := w.fault.throttleSlot(idx, worldSrc, worldDst, len(m.Data), rule.Bandwidth)
 		w.deliverAsync(worldDst, m, at, after, done)
 	case FaultDrop, FaultPartition:
-		buf.Release(m.data)
+		buf.Release(m.Data)
 	case FaultDuplicate:
 		// The second delivery gets its own copy: the two receives are
 		// released independently, so they must not share a pooled chunk.
-		dup := append([]byte(nil), m.data...)
+		dup := append([]byte(nil), m.Data...)
 		w.deliver(worldDst, m)
-		w.deliver(worldDst, &message{commID: m.commID, src: m.src, tag: m.tag, data: dup})
+		w.deliver(worldDst, &message{CommID: m.CommID, Src: m.Src, WorldSrc: m.WorldSrc, Tag: m.Tag, Data: dup})
 	case FaultCorrupt:
-		out := w.fault.corrupt(worldSrc, m.data)
-		buf.Release(m.data)
-		m.data = out
+		out := w.fault.corrupt(worldSrc, m.Data)
+		buf.Release(m.Data)
+		m.Data = out
 		w.deliver(worldDst, m)
 	case FaultCrash:
 		// The rank dies mid-send and never delivers: the payload's pooled
 		// chunk must return to its pool, exactly as deliver() releases a
 		// message addressed to a dead rank.
-		buf.Release(m.data)
+		buf.Release(m.Data)
 		w.crash(worldSrc)
 	case FaultHang:
 		// A hung rank never resumes the send either (it leaves only by
 		// dying), so its undelivered payload is released the same way.
-		buf.Release(m.data)
+		buf.Release(m.Data)
 		w.hang(worldSrc)
 	default:
 		w.deliver(worldDst, m)
@@ -403,7 +403,7 @@ func (w *World) deliverAsync(worldDst int, m *message, at time.Time, after <-cha
 				if !IsHaltPanic(r) {
 					panic(r)
 				}
-				buf.Release(m.data) // aborted world: nobody will receive it
+				buf.Release(m.Data) // aborted world: nobody will receive it
 			}
 		}()
 		if after != nil {

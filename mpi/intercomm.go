@@ -73,7 +73,7 @@ func (ic *Intercomm) Send(dest, tag int, data []byte) {
 	w := ic.world
 	w.opGate(ic.local[ic.rank], ic.inc)
 	w.recordSend(ic.local[ic.rank], ic.remote[dest], len(data))
-	m := &message{commID: ic.sendID(), src: ic.rank, tag: tag, data: data}
+	m := &message{CommID: ic.sendID(), Src: ic.rank, WorldSrc: ic.local[ic.rank], Tag: tag, Data: data}
 	if w.fault != nil {
 		self := ic.local[ic.rank]
 		if w.failed[self].Load() {
@@ -107,10 +107,10 @@ func (ic *Intercomm) Recv(src, tag int) ([]byte, Status) {
 	m := ic.world.boxes[self].take(ic.world, self, ic.recvID(), src, tag, ic.worldSrc(src), ic.inc, true)
 	if tr != nil {
 		tr.Span("mpi", "ic.recv", t0, time.Now(),
-			trace.I64("src", int64(m.src)), trace.I64("tag", int64(m.tag)),
-			trace.I64("bytes", int64(len(m.data))))
+			trace.I64("src", int64(m.Src)), trace.I64("tag", int64(m.Tag)),
+			trace.I64("bytes", int64(len(m.Data))))
 	}
-	return m.data, Status{Source: m.src, Tag: m.tag, Bytes: len(m.data)}
+	return m.Data, Status{Source: m.Src, Tag: m.Tag, Bytes: len(m.Data)}
 }
 
 // TryRecv receives a matching message from the remote group if one is
@@ -123,7 +123,7 @@ func (ic *Intercomm) TryRecv(src, tag int) ([]byte, Status, bool) {
 	if m == nil {
 		return nil, Status{}, false
 	}
-	return m.data, Status{Source: m.src, Tag: m.tag, Bytes: len(m.data)}, true
+	return m.Data, Status{Source: m.Src, Tag: m.Tag, Bytes: len(m.Data)}, true
 }
 
 // Probe blocks until a matching message from the remote group is available,
@@ -132,7 +132,7 @@ func (ic *Intercomm) Probe(src, tag int) Status {
 	self := ic.local[ic.rank]
 	ic.world.opGate(self, ic.inc)
 	m := ic.world.boxes[self].take(ic.world, self, ic.recvID(), src, tag, ic.worldSrc(src), ic.inc, false)
-	return Status{Source: m.src, Tag: m.tag, Bytes: len(m.data)}
+	return Status{Source: m.Src, Tag: m.Tag, Bytes: len(m.Data)}
 }
 
 // Iprobe reports whether a matching message from the remote group is
@@ -144,7 +144,7 @@ func (ic *Intercomm) Iprobe(src, tag int) (Status, bool) {
 	if m == nil {
 		return Status{}, false
 	}
-	return Status{Source: m.src, Tag: m.tag, Bytes: len(m.data)}, true
+	return Status{Source: m.Src, Tag: m.Tag, Bytes: len(m.Data)}, true
 }
 
 // worldSrc maps a remote-group source rank to its world rank, or -1 for

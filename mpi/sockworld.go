@@ -1,0 +1,140 @@
+package mpi
+
+import (
+	"fmt"
+
+	"lowfive/internal/transport"
+)
+
+// SockWorldConfig configures one process's membership in a sock-transport
+// world: every rank is a separate OS process, frames travel CRC-framed
+// over TCP or Unix sockets, and ranks find each other through a
+// rendezvous coordinator (transport.Coordinator).
+type SockWorldConfig struct {
+	// Network is "tcp" or "unix".
+	Network string
+	// Coord is the coordinator address all ranks rendezvous at.
+	Coord string
+	// Rank is this process's world rank; Size is the world size.
+	Rank, Size int
+	// Inc is this rank's incarnation: 0 on first launch, bumped by the
+	// supervisor for each respawn so peers distinguish the restart from
+	// the process it replaced.
+	Inc uint32
+}
+
+// NewSockWorld joins (or forms) a multi-process world. It blocks until
+// all Size rank processes have reached the coordinator, then returns a
+// World on which only cfg.Rank is local — run it with RunLocal, and Close
+// it when done.
+//
+// Differences from an in-proc world, all consequences of process
+// isolation:
+//
+//   - The deadlock watchdog defaults to off: it can only see this
+//     process's rank, and one blocked rank is not a deadlock. WithWatchdog
+//     re-enables it explicitly.
+//   - A peer process dying surfaces exactly like an injected crash:
+//     receivers blocked on it get RankFailedError, and a respawned peer
+//     (higher incarnation) is revived through the same reviveRank path the
+//     in-proc supervisor uses.
+//   - A fault plan only perturbs traffic this rank sends or receives;
+//     rules scoped to other ranks fire in their processes.
+func NewSockWorld(cfg SockWorldConfig, opts ...Option) (*World, error) {
+	if cfg.Rank < 0 || cfg.Rank >= cfg.Size {
+		return nil, fmt.Errorf("mpi: sock rank %d out of range for world size %d", cfg.Rank, cfg.Size)
+	}
+	w := newWorldCore(cfg.Size, 0, opts)
+	w.localRank = cfg.Rank
+	w.incs[cfg.Rank].Store(cfg.Inc)
+	sock, err := transport.DialSock(transport.SockConfig{
+		Network: cfg.Network,
+		Coord:   cfg.Coord,
+		Rank:    cfg.Rank,
+		Size:    cfg.Size,
+		Inc:     cfg.Inc,
+		Deliver: w.enqueueInbound,
+		// A dead peer flows into the same failure machinery an injected
+		// FaultCrash uses: markFailed wakes every blocked receiver, which
+		// then observes RankFailedError.
+		OnPeerDeath: func(rank int) { w.markFailed(rank) },
+		// A respawned peer is revived like a supervised in-proc restart:
+		// incarnation bump, mailbox purge, fresh failure channel.
+		OnPeerRejoin: func(rank int) { w.reviveRank(rank) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	w.xport = sock
+	return w, nil
+}
+
+// LocalRank returns this process's world rank in a sock world, or -1 when
+// every rank is local (in-proc world).
+func (w *World) LocalRank() int { return w.localRank }
+
+// SockStats returns the sock engine's data-plane counters, or false for
+// an in-proc world.
+func (w *World) SockStats() (transport.SockStats, bool) {
+	if s, ok := w.xport.(*transport.Sock); ok {
+		return s.Stats(), true
+	}
+	return transport.SockStats{}, false
+}
+
+// RunLocal executes main as this process's rank of a sock world and
+// returns how it ended: nil on completion, *RankFailedError if the rank
+// died (injected crash or a supervisor teardown), *AbortedError if this
+// process's world aborted, or the panic error if main itself panicked.
+// Unlike Run it does not abort the world on an application panic's
+// behalf-of-other-ranks — there are no other local ranks.
+func (w *World) RunLocal(main func(c *Comm)) (err error) {
+	if w.localRank < 0 {
+		return fmt.Errorf("mpi: RunLocal requires a sock world (use Run)")
+	}
+	if w.tracks != nil && w.tracks[w.localRank] == nil {
+		w.tracks[w.localRank] = w.tracer.NewTrack("world", 0, fmt.Sprintf("rank %d", w.localRank), w.localRank)
+	}
+	c := &Comm{
+		world: w,
+		id:    worldCommID,
+		ranks: w.worldRanks(),
+		rank:  w.localRank,
+		inc:   w.incs[w.localRank].Load(),
+	}
+	stopWatch := make(chan struct{})
+	defer close(stopWatch)
+	if w.watchdog > 0 {
+		go w.watch(stopWatch)
+	}
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		switch p := rec.(type) {
+		case rankCrashPanic:
+			err = &RankFailedError{Rank: p.rank}
+		case *RankFailedError:
+			err = p
+		case *AbortedError:
+			err = p
+		case error:
+			err = p
+		default:
+			err = fmt.Errorf("rank %d panicked: %v", w.localRank, rec)
+		}
+	}()
+	main(c)
+	return nil
+}
+
+// Close shuts down the world's transport engine (sockets, listener,
+// coordinator registration for the sock engine; a no-op for the in-proc
+// engine). Safe to call more than once.
+func (w *World) Close() error {
+	if w.xport == nil {
+		return nil
+	}
+	return w.xport.Close()
+}

@@ -1,0 +1,261 @@
+package mpi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"lowfive/internal/transport"
+)
+
+// The transport-seam suite runs the same rank program against every
+// transport backend through a table of constructors, proving the
+// collectives (and the point-to-point core beneath them) do not care
+// which engine carries their frames. The chan backend is one in-proc
+// world; the sock backend brings up a coordinator plus one sock world
+// per rank over Unix sockets — each world an isolated endpoint exactly
+// as a separate rank process would hold, exercising the full wire path
+// (framing, CRC, connection reuse, coordinator rendezvous).
+
+// transportBackend builds a world of the given size and runs main once
+// per rank, returning the first error.
+type transportBackend struct {
+	name string
+	run  func(t *testing.T, size int, main func(c *Comm)) error
+}
+
+func transportBackends() []transportBackend {
+	return []transportBackend{
+		{name: "chan", run: runChanBackend},
+		{name: "sock", run: runSockBackend},
+	}
+}
+
+func runChanBackend(t *testing.T, size int, main func(c *Comm)) error {
+	t.Helper()
+	return NewWorld(size).Run(main)
+}
+
+// runSockBackend forms a real sock world: one coordinator, size
+// endpoints, every frame over a Unix socket. DialSock blocks on the
+// world barrier, so all endpoints must dial concurrently.
+func runSockBackend(t *testing.T, size int, main func(c *Comm)) error {
+	t.Helper()
+	coordPath := t.TempDir() + "/coord.sock"
+	coord, err := transport.NewCoordinator("unix", coordPath, size)
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			w, err := NewSockWorld(SockWorldConfig{
+				Network: "unix", Coord: coord.Addr(), Rank: r, Size: size,
+			})
+			if err != nil {
+				errs[r] = fmt.Errorf("rank %d: dial: %w", r, err)
+				return
+			}
+			defer w.Close()
+			if err := w.RunLocal(main); err != nil {
+				errs[r] = fmt.Errorf("rank %d: %w", r, err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+func TestSeamCollectives(t *testing.T) {
+	const size = 4
+	for _, be := range transportBackends() {
+		t.Run(be.name, func(t *testing.T) {
+			err := be.run(t, size, func(c *Comm) {
+				// Bcast: root's payload lands everywhere.
+				got := c.Bcast(0, []byte("from-root"))
+				if string(got) != "from-root" {
+					panic(fmt.Sprintf("rank %d: bcast got %q", c.Rank(), got))
+				}
+				c.Barrier()
+				// Allreduce over ranks: sum of 0..size-1.
+				sum := DecodeInt64(c.Allreduce(EncodeInt64(int64(c.Rank())), SumInt64))
+				if sum != size*(size-1)/2 {
+					panic(fmt.Sprintf("rank %d: allreduce sum %d", c.Rank(), sum))
+				}
+				// Gather at the last rank.
+				all := c.Gather(size-1, []byte{byte(c.Rank())})
+				if c.Rank() == size-1 {
+					for r, b := range all {
+						if len(b) != 1 || b[0] != byte(r) {
+							panic(fmt.Sprintf("gather slot %d holds %v", r, b))
+						}
+					}
+				}
+				// Alltoall: rank r sends byte r*16+d to destination d.
+				mine := make([][]byte, size)
+				for d := range mine {
+					mine[d] = []byte{byte(c.Rank()*16 + d)}
+				}
+				recv, err := c.Alltoall(mine)
+				if err != nil {
+					panic(fmt.Sprintf("rank %d: alltoall: %v", c.Rank(), err))
+				}
+				for s, b := range recv {
+					if len(b) != 1 || b[0] != byte(s*16+c.Rank()) {
+						panic(fmt.Sprintf("rank %d: alltoall slot %d holds %v", c.Rank(), s, b))
+					}
+				}
+				// Scatter the reverse of Gather.
+				var parts [][]byte
+				if c.Rank() == 0 {
+					parts = make([][]byte, size)
+					for r := range parts {
+						parts[r] = []byte{byte(100 + r)}
+					}
+				}
+				part := c.Scatter(0, parts)
+				if len(part) != 1 || part[0] != byte(100+c.Rank()) {
+					panic(fmt.Sprintf("rank %d: scatter got %v", c.Rank(), part))
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSeamPointToPoint(t *testing.T) {
+	const size = 3
+	for _, be := range transportBackends() {
+		t.Run(be.name, func(t *testing.T) {
+			err := be.run(t, size, func(c *Comm) {
+				// Ring: send to the right, receive from the left, with a
+				// payload naming the link; then an AnySource sweep at rank 0.
+				right := (c.Rank() + 1) % size
+				left := (c.Rank() + size - 1) % size
+				c.Send(right, 7, []byte(fmt.Sprintf("link %d->%d", c.Rank(), right)))
+				data, st := c.Recv(left, 7)
+				want := fmt.Sprintf("link %d->%d", left, c.Rank())
+				if string(data) != want || st.Source != left {
+					panic(fmt.Sprintf("rank %d: got %q from %d", c.Rank(), data, st.Source))
+				}
+				c.Barrier()
+				if c.Rank() == 0 {
+					seen := map[int]bool{}
+					for i := 1; i < size; i++ {
+						data, st := c.Recv(AnySource, 9)
+						if !bytes.Equal(data, []byte{byte(st.Source)}) {
+							panic(fmt.Sprintf("anysource payload %v from %d", data, st.Source))
+						}
+						seen[st.Source] = true
+					}
+					if len(seen) != size-1 {
+						panic(fmt.Sprintf("anysource saw %v", seen))
+					}
+				} else {
+					c.Send(0, 9, []byte{byte(c.Rank())})
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSeamSplitAndDup(t *testing.T) {
+	const size = 4
+	for _, be := range transportBackends() {
+		t.Run(be.name, func(t *testing.T) {
+			err := be.run(t, size, func(c *Comm) {
+				// Split into even/odd halves; each half runs its own
+				// collective without cross-talk.
+				half := c.Split(c.Rank()%2, c.Rank())
+				sum := DecodeInt64(half.Allreduce(EncodeInt64(int64(c.Rank())), SumInt64))
+				want := int64(0 + 2)
+				if c.Rank()%2 == 1 {
+					want = 1 + 3
+				}
+				if sum != want {
+					panic(fmt.Sprintf("rank %d: split sum %d want %d", c.Rank(), sum, want))
+				}
+				// Dup: traffic on the duplicate never matches the parent.
+				dup := c.Dup()
+				if c.Rank() == 0 {
+					dup.Send(1, 5, []byte("on-dup"))
+					c.Send(1, 5, []byte("on-parent"))
+				}
+				if c.Rank() == 1 {
+					fromParent, _ := c.Recv(0, 5)
+					fromDup, _ := dup.Recv(0, 5)
+					if string(fromParent) != "on-parent" || string(fromDup) != "on-dup" {
+						panic(fmt.Sprintf("context crossover: parent=%q dup=%q", fromParent, fromDup))
+					}
+				}
+				c.Barrier()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSeamSockPeerDeath kills one endpoint of a live sock world and
+// asserts the peer blocked on it gets the typed RankFailedError — the
+// same failure surface an injected in-proc crash produces.
+func TestSeamSockPeerDeath(t *testing.T) {
+	const size = 2
+	coordPath := t.TempDir() + "/coord.sock"
+	coord, err := transport.NewCoordinator("unix", coordPath, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	worlds := make([]*World, size)
+	var wg sync.WaitGroup
+	errs := make([]error, size)
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			worlds[r], errs[r] = NewSockWorld(SockWorldConfig{
+				Network: "unix", Coord: coord.Addr(), Rank: r, Size: size,
+			})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	defer worlds[0].Close()
+
+	// Rank 1 vanishes (process death = endpoint close). Rank 0, blocked in
+	// Recv on it, must fail typed instead of hanging.
+	done := make(chan error, 1)
+	go func() {
+		done <- worlds[0].RunLocal(func(c *Comm) {
+			c.Recv(1, 3)
+		})
+	}()
+	worlds[1].Close()
+	err = <-done
+	var rf *RankFailedError
+	if !errors.As(err, &rf) || rf.Rank != 1 {
+		t.Fatalf("got %v, want *RankFailedError{Rank:1}", err)
+	}
+	if !worlds[0].RankFailed(1) {
+		t.Fatal("world 0 does not record rank 1 as failed")
+	}
+}

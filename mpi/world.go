@@ -8,17 +8,28 @@ import (
 	"time"
 
 	"lowfive/internal/buf"
+	"lowfive/internal/transport"
 	"lowfive/metrics"
 	"lowfive/trace"
 )
 
-// World is a set of ranks (goroutines) that can exchange messages. It plays
-// the role of MPI_COMM_WORLD's underlying machine: it owns the mailboxes,
-// the cost model, and abort/deadlock handling.
+// World is a set of ranks that can exchange messages. It plays the role of
+// MPI_COMM_WORLD's underlying machine: it owns the mailboxes, the cost
+// model, and abort/deadlock handling. Frames move through a pluggable
+// transport engine: the in-proc chan engine (every rank a goroutine of
+// this process — NewWorld) or the sock engine (every rank its own OS
+// process — NewSockWorld).
 type World struct {
 	size  int
 	boxes []*mailbox
 	cost  *CostModel
+
+	// xport ships outgoing frames; inbound frames land in enqueue. With the
+	// chan engine the two are the same synchronous call chain.
+	xport transport.Transport
+	// localRank is this process's world rank under the sock engine, or -1
+	// when every rank is local (chan engine).
+	localRank int
 
 	aborted  atomic.Bool
 	abortErr atomic.Pointer[abortError]
@@ -61,12 +72,14 @@ type World struct {
 	// and a dense per-link byte matrix (indexed src*size+dst — a matrix
 	// rather than size² named instruments, so the hot path stays one atomic
 	// add). Nil instrument handles make recording a no-op.
-	metrics   *metrics.Registry
-	linkBytes []atomic.Int64
-	mSends    *metrics.Counter
-	mBytes    *metrics.Counter
-	mMsgSize  *metrics.Histogram
-	mFaults   *metrics.Counter
+	metrics    *metrics.Registry
+	linkBytes  []atomic.Int64
+	mSends     *metrics.Counter
+	mBytes     *metrics.Counter
+	mMsgSize   *metrics.Histogram
+	mFaults    *metrics.Counter
+	mRecvs     *metrics.Counter
+	mRecvBytes *metrics.Counter
 
 	ranksOnce sync.Once
 	allRanks  []int
@@ -208,12 +221,28 @@ func WithMetrics(r *metrics.Registry) Option {
 	return func(w *World) { w.metrics = r }
 }
 
-// NewWorld creates a world with the given number of ranks.
+// NewWorld creates an in-proc world with the given number of ranks: every
+// rank is a goroutine of this process and frames move over the chan
+// transport engine.
 func NewWorld(size int, opts ...Option) *World {
+	w := newWorldCore(size, 30*time.Second, opts)
+	// The chan engine reproduces the original in-proc delivery exactly:
+	// the α–β cost charge on the sending goroutine, then a synchronous
+	// enqueue at the destination mailbox.
+	var cost func(bytes int)
+	if w.cost != nil {
+		cost = func(bytes int) { w.cost.charge(bytes) }
+	}
+	w.xport = transport.NewChan(w.enqueue, cost)
+	return w
+}
+
+// newWorldCore builds the engine-independent part of a World.
+func newWorldCore(size int, watchdog time.Duration, opts []Option) *World {
 	if size <= 0 {
 		panic("mpi: world size must be positive")
 	}
-	w := &World{size: size, watchdog: 30 * time.Second, abortCh: make(chan struct{})}
+	w := &World{size: size, watchdog: watchdog, localRank: -1, abortCh: make(chan struct{})}
 	for _, o := range opts {
 		o(w)
 	}
@@ -241,6 +270,8 @@ func NewWorld(size int, opts ...Option) *World {
 		w.mBytes = w.metrics.Counter("mpi.send.bytes")
 		w.mMsgSize = w.metrics.Histogram("mpi.msg.bytes")
 		w.mFaults = w.metrics.Counter("mpi.faults.injected")
+		w.mRecvs = w.metrics.Counter("mpi.recvs")
+		w.mRecvBytes = w.metrics.Counter("mpi.recv.bytes")
 	}
 	return w
 }
@@ -359,7 +390,7 @@ func (w *World) reviveRank(worldRank int) uint32 {
 	b := w.boxes[worldRank]
 	b.mu.Lock()
 	for _, m := range b.msgs {
-		buf.Release(m.data)
+		buf.Release(m.Data)
 	}
 	b.msgs = nil
 	b.cond.Broadcast()
@@ -497,13 +528,11 @@ func (w *World) watch(stop <-chan struct{}) {
 	}
 }
 
-// message is a single in-flight message.
-type message struct {
-	commID uint64
-	src    int // sender rank, local to the communicator/group
-	tag    int
-	data   []byte
-}
+// message is a single in-flight message: exactly a transport frame. The
+// alias keeps the chan engine zero-copy and allocation-identical to the
+// pre-seam runtime — the value a sender constructs is the value the
+// receiver's mailbox stores, whichever engine carried it.
+type message = transport.Frame
 
 // mailbox holds undelivered messages for one world rank, plus the rank's
 // receive-progress bookkeeping for the deadlock watchdog (all guarded by
@@ -590,13 +619,13 @@ func (b *mailbox) put(m *message) {
 }
 
 func matches(m *message, commID uint64, src, tag int) bool {
-	if m.commID != commID {
+	if m.CommID != commID {
 		return false
 	}
-	if src != AnySource && m.src != src {
+	if src != AnySource && m.Src != src {
 		return false
 	}
-	if tag != AnyTag && m.tag != tag {
+	if tag != AnyTag && m.Tag != tag {
 		return false
 	}
 	return true
@@ -682,9 +711,12 @@ func (b *mailbox) tryTake(w *World, self int, commID uint64, src, tag, worldSrc 
 	return nil
 }
 
-// deliver charges the cost model and enqueues the message at the
-// destination world rank. Messages to a crashed rank are dropped — the
-// dead rank will never receive them, and queuing would leak.
+// deliver hands the message to the transport engine for the destination
+// world rank. Messages to a crashed rank are dropped — the dead rank will
+// never receive them, and queuing would leak. A send the engine reports
+// as failed (sock engine: connection broke mid-world) marks the peer
+// failed and drops the frame the same way, so transport-level peer death
+// flows into the existing RankFailedError machinery.
 func (w *World) deliver(worldDest int, m *message) {
 	if w.aborted.Load() {
 		panic(&AbortedError{Err: w.abortReason()})
@@ -692,12 +724,35 @@ func (w *World) deliver(worldDest int, m *message) {
 	if w.failed[worldDest].Load() {
 		// The dead rank will never release a pooled payload; do it here so
 		// its chunk returns to the pool instead of leaking.
-		buf.Release(m.data)
+		buf.Release(m.Data)
 		return
 	}
-	if w.cost != nil {
-		w.cost.charge(len(m.data))
+	if err := w.xport.Send(worldDest, m); err != nil {
+		w.markFailed(worldDest)
+		buf.Release(m.Data)
 	}
+}
+
+// enqueue is the inbound half of delivery: the frame lands in the
+// destination rank's mailbox. The chan engine calls it synchronously from
+// the sender's goroutine; the sock engine calls it from the reader
+// goroutine of the connection the frame arrived on.
+func (w *World) enqueue(worldDest int, m *message) {
 	w.boxes[worldDest].put(m)
 	w.delivered.Add(1)
+}
+
+// enqueueInbound is the sock engine's delivery callback: enqueue plus
+// receive-side accounting (the sending process recorded its half of the
+// traffic in its own registry; this is the only place the receiving
+// process sees the frame).
+func (w *World) enqueueInbound(worldDest int, m *message) {
+	if w.metrics != nil {
+		w.mRecvs.Inc()
+		w.mRecvBytes.Add(int64(len(m.Data)))
+		if m.WorldSrc != worldDest {
+			w.linkBytes[m.WorldSrc*w.size+worldDest].Add(int64(len(m.Data)))
+		}
+	}
+	w.enqueue(worldDest, m)
 }

@@ -40,6 +40,11 @@ func main() {
 		sliceBytes = flag.Int("slice-bytes", 4096, "payload bytes per (producer, consumer, epoch) piece")
 		seed       = flag.Int64("seed", 1, "payload seed")
 		paceMs     = flag.Int("pace-ms", 0, "per-epoch producer pause in milliseconds")
+
+		workloadF  = flag.String("workload", "digest", "workload: digest (raw tagged slices) or vol (distributed-VOL exchange)")
+		gridPoints = flag.Int64("grid-points", 1024, "vol workload: grid points per producer")
+		particles  = flag.Int64("particles", 256, "vol workload: particles per producer")
+		fastRecov  = flag.Bool("fast-recovery", false, "tighten sock recovery timings for fault testing")
 	)
 	flag.Parse()
 
@@ -66,11 +71,17 @@ func main() {
 	spec := rankmain.Spec{
 		Producers: p, Consumers: *size - p,
 		Epochs: *epochs, SliceBytes: *sliceBytes, Seed: *seed, PaceMs: *paceMs,
+		Workload: *workloadF, GridPoints: *gridPoints, Particles: *particles,
+		FastRecovery: *fastRecov,
 	}
-	digest, err := rankmain.RunSockRank(spec, *network, *coord, *rank, uint32(*inc))
+	if spec.Workload == "digest" {
+		spec.Workload = ""
+	}
+	digest, st, err := rankmain.RunSockRank(spec, *network, *coord, *rank, uint32(*inc))
 	if err != nil {
 		fatalf("rank %d: %v", *rank, err)
 	}
+	fmt.Println(rankmain.FormatSockStats(*rank, st))
 	if spec.IsConsumer(*rank) {
 		fmt.Println(rankmain.FormatDigest(*rank, digest))
 	}

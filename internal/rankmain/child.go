@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+
+	"lowfive/mpi"
 )
 
 // The harness spawns rank processes by re-executing its own binary (the
@@ -25,8 +27,13 @@ const (
 )
 
 // digestMarker prefixes the one stdout line a consumer rank prints; the
-// parent greps for it to collect digests.
-const digestMarker = "LOWFIVE_DIGEST"
+// parent greps for it to collect digests. sockStatsMarker prefixes the
+// transport-counter line every rank prints, which the fault sweeps use to
+// prove recovery actually happened (reconnects > 0, resends > 0).
+const (
+	digestMarker    = "LOWFIVE_DIGEST"
+	sockStatsMarker = "LOWFIVE_SOCKSTATS"
+)
 
 // FormatDigest renders the digest line a consumer process prints.
 func FormatDigest(rank int, digest uint64) string {
@@ -45,6 +52,24 @@ func ParseDigest(line string) (rank int, digest uint64, ok bool) {
 		return 0, 0, false
 	}
 	return rank, v, true
+}
+
+// FormatSockStats renders the transport-counter line a rank process
+// prints on exit.
+func FormatSockStats(rank int, st mpi.SockStats) string {
+	return fmt.Sprintf("%s rank=%d reconnects=%d redials=%d resent=%d",
+		sockStatsMarker, rank, st.Reconnects, st.Redials, st.ResentFrames)
+}
+
+// ParseSockStats extracts a rank's recovery counters from one line of
+// child output, returning false for other lines.
+func ParseSockStats(line string) (rank int, st mpi.SockStats, ok bool) {
+	_, err := fmt.Sscanf(line, sockStatsMarker+" rank=%d reconnects=%d redials=%d resent=%d",
+		&rank, &st.Reconnects, &st.Redials, &st.ResentFrames)
+	if err != nil {
+		return 0, mpi.SockStats{}, false
+	}
+	return rank, st, true
 }
 
 // ChildEnv builds the environment additions that turn a re-exec of the
@@ -85,11 +110,12 @@ func ChildFromEnv() {
 		os.Exit(2)
 	}
 	network, coord := os.Getenv(EnvNet), os.Getenv(EnvCoord)
-	digest, err := RunSockRank(s, network, coord, rank, uint32(inc64))
+	digest, st, err := RunSockRank(s, network, coord, rank, uint32(inc64))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rank %d: %v\n", rank, err)
 		os.Exit(1)
 	}
+	fmt.Println(FormatSockStats(rank, st))
 	if s.IsConsumer(rank) {
 		fmt.Println(FormatDigest(rank, digest))
 	}

@@ -42,6 +42,32 @@ type Spec struct {
 	// ToleranceMs is how long a consumer waits for a dead producer to be
 	// respawned before giving up (default 20s).
 	ToleranceMs int
+	// Workload selects the traffic: "" or "digest" for raw tagged slices
+	// (restart-protocol testing), "vol" for the full distributed-metadata
+	// VOL exchange per epoch (transport-transparency testing). In vol
+	// mode GridPoints/Particles size the per-producer data and SliceBytes
+	// is unused.
+	Workload              string
+	GridPoints, Particles int64
+	// Wire injects seeded wire-level faults into every rank process's
+	// outgoing connections; it rides the child-process environment as
+	// part of the spec.
+	Wire *mpi.WirePlan `json:"wire,omitempty"`
+	// FastRecovery tightens the sock engine's recovery timings so fault
+	// cases tear/redial/resend in milliseconds.
+	FastRecovery bool
+}
+
+// sockTuning maps FastRecovery onto the transport timing overrides.
+func (s Spec) sockTuning() mpi.SockTuning {
+	if !s.FastRecovery {
+		return mpi.SockTuning{}
+	}
+	return mpi.SockTuning{
+		HandshakeTimeout:  500 * time.Millisecond,
+		RetransmitTimeout: 300 * time.Millisecond,
+		AckInterval:       5 * time.Millisecond,
+	}
 }
 
 // WorldSize is the total rank count of the workload's world.
@@ -221,26 +247,41 @@ func RunChan(s Spec) ([]uint64, error) {
 
 // RunSockRank runs one world rank of the workload in this process as a
 // sock-world member: rendezvous, run, close. For consumers it returns the
-// digest; producers return 0.
-func RunSockRank(s Spec, network, coord string, rank int, inc uint32) (uint64, error) {
+// digest; producers return 0. The returned stats snapshot (taken before
+// the world closes) carries the transport's recovery counters.
+func RunSockRank(s Spec, network, coord string, rank int, inc uint32) (uint64, mpi.SockStats, error) {
 	w, err := mpi.NewSockWorld(mpi.SockWorldConfig{
 		Network: network, Coord: coord, Rank: rank, Size: s.WorldSize(), Inc: inc,
+		Wire: s.Wire, Tuning: s.sockTuning(),
 	})
 	if err != nil {
-		return 0, err
+		return 0, mpi.SockStats{}, err
 	}
 	defer w.Close()
 	var digest uint64
 	var workErr error
-	runErr := w.RunLocal(func(c *mpi.Comm) {
-		if !s.IsConsumer(rank) {
-			s.producerMain(c)
-			return
-		}
-		digest, workErr = s.consumerMain(w, c)
-	})
-	if runErr != nil {
-		return 0, runErr
+	var runErr error
+	if s.Workload == "vol" {
+		runErr = w.RunWorkflowLocal(s.volTaskSpecs(
+			func(err error) {
+				if err != nil && workErr == nil {
+					workErr = err
+				}
+			},
+			func(ci int, d uint64) { digest = d },
+		))
+	} else {
+		runErr = w.RunLocal(func(c *mpi.Comm) {
+			if !s.IsConsumer(rank) {
+				s.producerMain(c)
+				return
+			}
+			digest, workErr = s.consumerMain(w, c)
+		})
 	}
-	return digest, workErr
+	st, _ := w.SockStats()
+	if runErr != nil {
+		return 0, st, runErr
+	}
+	return digest, st, workErr
 }

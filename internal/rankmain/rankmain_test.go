@@ -59,7 +59,7 @@ func TestSockMatchesChan(t *testing.T) {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			digests[r], errs[r] = RunSockRank(s, "unix", coord.Addr(), r, 0)
+			digests[r], _, errs[r] = RunSockRank(s, "unix", coord.Addr(), r, 0)
 		}(r)
 	}
 	wg.Wait()
@@ -73,6 +73,61 @@ func TestSockMatchesChan(t *testing.T) {
 		if got != ref[ci] {
 			t.Fatalf("consumer %d: sock digest %x != chan digest %x", ci, got, ref[ci])
 		}
+	}
+}
+
+// TestSockVOLMatchesChan runs the distributed-VOL workload over a real
+// sock world and asserts consumer digests match the in-proc reference:
+// the full metadata exchange is transport-transparent.
+func TestSockVOLMatchesChan(t *testing.T) {
+	s := Spec{Producers: 2, Consumers: 2, Epochs: 2, Seed: 42,
+		Workload: "vol", GridPoints: 512, Particles: 128}
+	ref, err := RunChanVOL(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := transport.NewCoordinator("unix", t.TempDir()+"/coord.sock", s.WorldSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	digests := make([]uint64, s.WorldSize())
+	errs := make([]error, s.WorldSize())
+	var wg sync.WaitGroup
+	for r := 0; r < s.WorldSize(); r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			digests[r], _, errs[r] = RunSockRank(s, "unix", coord.Addr(), r, 0)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	for ci := 0; ci < s.Consumers; ci++ {
+		got := digests[s.Producers+ci]
+		if got != ref[ci] {
+			t.Fatalf("consumer %d: sock vol digest %x != chan digest %x", ci, got, ref[ci])
+		}
+		if got == 0 {
+			t.Fatalf("consumer %d: zero digest", ci)
+		}
+	}
+}
+
+func TestSockStatsLineRoundTrip(t *testing.T) {
+	st := transport.SockStats{Reconnects: 3, Redials: 7, ResentFrames: 42}
+	line := FormatSockStats(2, st)
+	rank, got, ok := ParseSockStats(line)
+	if !ok || rank != 2 || got.Reconnects != 3 || got.Redials != 7 || got.ResentFrames != 42 {
+		t.Fatalf("parsed (%d, %+v, %v) from %q", rank, got, ok, line)
+	}
+	if _, _, ok := ParseSockStats("LOWFIVE_DIGEST rank=1 digest=0abc"); ok {
+		t.Fatal("parsed stats from a digest line")
 	}
 }
 

@@ -1,0 +1,159 @@
+package rankmain
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+	"time"
+
+	"lowfive/h5"
+	"lowfive/internal/core"
+	"lowfive/internal/workload"
+	"lowfive/mpi"
+)
+
+// The "vol" workload: instead of raw tagged slices, each epoch runs the
+// paper's full distributed-metadata exchange — producers write a synthetic
+// HDF5 file through the VOL and serve it, consumers open it over the
+// intercomm, read their decomposition and validate it. The consumer digest
+// hashes every byte read across all epochs, so a sock run under wire
+// faults must deliver bit-identical science data to prove the transport's
+// recovery is invisible above the codec.
+
+// volSpec maps the rank workload sizes onto the synthetic-workload spec.
+func (s Spec) volSpec() workload.Spec {
+	return workload.Spec{
+		Producers: s.Producers, Consumers: s.Consumers,
+		GridPointsPerProducer: s.GridPoints,
+		ParticlesPerProducer:  s.Particles,
+	}
+}
+
+func volFileName(e int) string { return fmt.Sprintf("synthetic-e%d.h5", e) }
+
+// volProducer writes and serves one synthetic file per epoch. Close blocks
+// until every consumer has finished with the epoch's file, and the world
+// barriers keep epochs from overlapping on the shared intercomm.
+func (s Spec) volProducer(p *mpi.Proc) error {
+	ws := s.volSpec()
+	gridVals, partVals := workload.GenerateProducer(ws, p.Task.Rank())
+	for e := 0; e < s.Epochs; e++ {
+		vol := core.NewDistMetadataVOL(p.Task, nil)
+		vol.SetIntercomm("*", p.Intercomm("consumer"))
+		vol.SetZeroCopy("*", "*")
+		fapl := h5.NewFileAccessProps(vol)
+		p.World.Barrier()
+		f, err := h5.CreateFile(volFileName(e), fapl)
+		if err != nil {
+			return fmt.Errorf("epoch %d: %w", e, err)
+		}
+		if err := workload.WriteSynthetic(f, ws, p.Task.Rank(), gridVals, partVals); err != nil {
+			return fmt.Errorf("epoch %d: %w", e, err)
+		}
+		if err := f.Close(); err != nil { // index + serve until consumers close
+			return fmt.Errorf("epoch %d: %w", e, err)
+		}
+		p.World.Barrier()
+		if s.PaceMs > 0 {
+			time.Sleep(time.Duration(s.PaceMs) * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// volConsumer reads and validates every epoch's file, folding each buffer
+// it read into one chained digest.
+func (s Spec) volConsumer(p *mpi.Proc) (uint64, error) {
+	ws := s.volSpec()
+	h := fnv.New64a()
+	var b8 [8]byte
+	for e := 0; e < s.Epochs; e++ {
+		vol := core.NewDistMetadataVOL(p.Task, nil)
+		vol.SetIntercomm("*", p.Intercomm("producer"))
+		fapl := h5.NewFileAccessProps(vol)
+		p.World.Barrier()
+		f, err := h5.OpenFile(volFileName(e), fapl)
+		if err != nil {
+			return 0, fmt.Errorf("epoch %d: %w", e, err)
+		}
+		gridBuf, partBuf, err := workload.ReadConsumer(f, ws, p.Task.Rank())
+		if err != nil {
+			return 0, fmt.Errorf("epoch %d: %w", e, err)
+		}
+		if err := f.Close(); err != nil {
+			return 0, fmt.Errorf("epoch %d: %w", e, err)
+		}
+		p.World.Barrier()
+		if err := workload.ValidateConsumer(ws, p.Task.Rank(), gridBuf, partBuf); err != nil {
+			return 0, fmt.Errorf("epoch %d: %w", e, err)
+		}
+		binary.LittleEndian.PutUint64(b8[:], uint64(e))
+		h.Write(b8[:])
+		for _, g := range gridBuf {
+			binary.LittleEndian.PutUint64(b8[:], g)
+			h.Write(b8[:])
+		}
+		for _, v := range partBuf {
+			binary.LittleEndian.PutUint32(b8[:4], math.Float32bits(v))
+			h.Write(b8[:4])
+		}
+		if s.PaceMs > 0 {
+			time.Sleep(time.Duration(s.PaceMs) * time.Millisecond)
+		}
+	}
+	return h.Sum64(), nil
+}
+
+// volTaskSpecs lays the vol workload out as the standard two-task
+// workflow: producer ranks first, consumer ranks after, the same world
+// shape the digest workload uses. report sees every rank's error; digest
+// sees each consumer's result.
+func (s Spec) volTaskSpecs(report func(error), digest func(ci int, d uint64)) []mpi.TaskSpec {
+	return []mpi.TaskSpec{
+		{Name: "producer", Procs: s.Producers, Main: func(p *mpi.Proc) {
+			report(s.volProducer(p))
+		}},
+		{Name: "consumer", Procs: s.Consumers, Main: func(p *mpi.Proc) {
+			d, err := s.volConsumer(p)
+			report(err)
+			if err == nil {
+				digest(p.Task.Rank(), d)
+			}
+		}},
+	}
+}
+
+// RunChanVOL runs the vol workload in-proc over the chan engine and
+// returns the per-consumer digests — the bit-identical reference a sock
+// run under wire faults must reproduce.
+func RunChanVOL(s Spec) ([]uint64, error) {
+	digests := make([]uint64, s.Consumers)
+	var mu sync.Mutex
+	var firstErr error
+	err := mpi.RunWorkflow(s.volTaskSpecs(
+		func(err error) {
+			if err == nil {
+				return
+			}
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		},
+		func(ci int, d uint64) {
+			mu.Lock()
+			digests[ci] = d
+			mu.Unlock()
+		},
+	))
+	if err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return digests, nil
+}

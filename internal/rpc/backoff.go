@@ -1,9 +1,9 @@
 package rpc
 
 import (
-	"sync/atomic"
 	"time"
 
+	"lowfive/internal/backoff"
 	"lowfive/internal/spin"
 )
 
@@ -12,21 +12,15 @@ import (
 // restart's worth of time), and a fixed interval is actively harmful —
 // every consumer whose producer died at the same instant polls on the same
 // schedule forever after, and the restarted rank absorbs the whole herd in
-// one burst. The pacer below replaces the fixed interval with full-jitter
-// exponential backoff: each wait is uniform in [pollInterval, cur], with
-// cur doubling up to a ceiling derived from the call's per-attempt budget,
-// and no wait overshoots the attempt deadline.
-
-// pollSeeds hands each pacer a distinct xorshift seed. The golden-ratio
-// increment keeps successive seeds well-separated in state space, so
-// pacers created in the same nanosecond still decorrelate.
-var pollSeeds atomic.Uint64
+// one burst. The pacer below paces that poll with the shared full-jitter
+// exponential backoff of internal/backoff (also the sock transport's
+// reconnect pacing): each wait is uniform in [pollInterval, cur], with cur
+// doubling up to a ceiling derived from the call's per-attempt budget, and
+// no wait overshoots the attempt deadline.
 
 // pollPacer paces the down-peer receive poll for one call.
 type pollPacer struct {
-	rng uint64        // xorshift64 state, private per pacer
-	cur time.Duration // current backoff ceiling, doubles per step
-	max time.Duration // hard ceiling (fraction of the per-attempt budget)
+	b *backoff.Backoff
 }
 
 // newPollPacer builds a pacer whose backoff is capped at an eighth of the
@@ -38,39 +32,17 @@ func newPollPacer(timeout time.Duration) pollPacer {
 	if max < pollInterval {
 		max = 2 * time.Millisecond
 	}
-	seed := pollSeeds.Add(0x9e3779b97f4a7c15) ^ uint64(time.Now().UnixNano())
-	if seed == 0 {
-		seed = 1
-	}
-	return pollPacer{rng: seed, cur: pollInterval, max: max}
+	return pollPacer{b: backoff.New(pollInterval, max, 0)}
 }
 
 // next draws the jittered wait for this step and advances the backoff,
 // clamping to the time remaining before deadline. Exposed separately from
 // wait so tests can examine schedules without sleeping through them.
-func (p *pollPacer) next(deadline time.Time) time.Duration {
-	x := p.rng
-	x ^= x << 13
-	x ^= x >> 7
-	x ^= x << 17
-	p.rng = x
-	span := uint64(p.cur-pollInterval) + 1
-	d := pollInterval + time.Duration(x%span)
-	if p.cur < p.max {
-		p.cur *= 2
-		if p.cur > p.max {
-			p.cur = p.max
-		}
-	}
-	if remain := time.Until(deadline); remain < d {
-		d = remain
-	}
-	return d
-}
+func (p *pollPacer) next(deadline time.Time) time.Duration { return p.b.Next(deadline) }
 
 // wait sleeps one backoff step.
 func (p *pollPacer) wait(deadline time.Time) { spin.Wait(p.next(deadline)) }
 
 // reset drops the ceiling back to the base interval — called whenever the
 // peer is observed alive, so a later crash starts a fresh ramp.
-func (p *pollPacer) reset() { p.cur = pollInterval }
+func (p *pollPacer) reset() { p.b.Reset() }

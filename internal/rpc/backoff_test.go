@@ -61,24 +61,24 @@ func TestPollPacerRampCapAndReset(t *testing.T) {
 	p := newPollPacer(timeout)
 	deadline := time.Now().Add(time.Hour)
 	max := timeout / 8
-	if p.max != max {
-		t.Fatalf("cap = %v, want timeout/8 = %v", p.max, max)
+	if p.b.Max() != max {
+		t.Fatalf("cap = %v, want timeout/8 = %v", p.b.Max(), max)
 	}
 	for i := 0; i < 20; i++ {
 		p.next(deadline)
 	}
-	if p.cur != max {
-		t.Fatalf("after 20 steps ceiling = %v, want saturated at %v", p.cur, max)
+	if p.b.Ceiling() != max {
+		t.Fatalf("after 20 steps ceiling = %v, want saturated at %v", p.b.Ceiling(), max)
 	}
 	p.reset()
-	if p.cur != pollInterval {
-		t.Fatalf("after reset ceiling = %v, want %v", p.cur, pollInterval)
+	if p.b.Ceiling() != pollInterval {
+		t.Fatalf("after reset ceiling = %v, want %v", p.b.Ceiling(), pollInterval)
 	}
 	// With no timeout (hedged path constructed without one) the ceiling
 	// degrades to a small fixed bound rather than zero or negative.
 	q := newPollPacer(0)
-	if q.max <= 0 {
-		t.Fatalf("zero-timeout pacer got non-positive cap %v", q.max)
+	if q.b.Max() <= 0 {
+		t.Fatalf("zero-timeout pacer got non-positive cap %v", q.b.Max())
 	}
 }
 

@@ -5,6 +5,16 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Default coordinator deadlines. The read timeout must comfortably exceed
+// the clients' heartbeat interval (default 2s): a member is evicted only
+// after missing several heartbeats in a row.
+const (
+	defaultCoordReadTimeout  = 10 * time.Second
+	defaultCoordWriteTimeout = 5 * time.Second
 )
 
 // Coordinator is the rendezvous point of a sock-transport world: a tiny
@@ -17,16 +27,27 @@ import (
 // After the world forms the coordinator keeps one connection per rank
 // open and turns membership changes into broadcasts:
 //
-//   - a rank's connection dropping → "death" to every other rank (typed
-//     peer-death detection even for peers with no direct connection yet);
+//   - a rank's connection dropping or going silent past ReadTimeout →
+//     "death" to every other rank (typed peer-death detection even for
+//     peers with no direct connection yet — and eviction of hung
+//     processes, which hold their connection open but stop heartbeating);
 //   - a rank re-joining with a higher incarnation (a supervisor respawned
 //     its process) → "update" with the new address, so peers redial.
 //
-// The protocol is newline-delimited JSON; the data plane between ranks
-// uses the binary frame format, not this.
+// Clients ping periodically ({"op":"ping"}); any decoded message renews a
+// member's read deadline. The protocol is newline-delimited JSON; the
+// data plane between ranks uses the binary frame format, not this.
 type Coordinator struct {
 	ln   net.Listener
 	size int
+
+	// readTO is how long a member connection may stay silent before the
+	// coordinator declares the rank dead — the defense against a hung
+	// (not crashed) rank process wedging the world. writeTO bounds each
+	// broadcast write so one stuck client cannot stall membership updates
+	// to the others. Atomic because SetTimeouts may race the accept loop.
+	readTO  atomic.Int64
+	writeTO atomic.Int64
 
 	mu      sync.Mutex
 	members []coordMember
@@ -48,8 +69,8 @@ type coordMember struct {
 // coordMsg is every message of the rendezvous protocol; Op selects which
 // fields are meaningful.
 type coordMsg struct {
-	// Op is "join" (client→coordinator), or "world"/"update"/"death"
-	// (coordinator→client).
+	// Op is "join"/"ping" (client→coordinator), or "world"/"update"/
+	// "death" (coordinator→client).
 	Op   string `json:"op"`
 	Rank int    `json:"rank,omitempty"`
 	Addr string `json:"addr,omitempty"`
@@ -76,6 +97,28 @@ func NewCoordinator(network, addr string, size int) (*Coordinator, error) {
 	c.wg.Add(1)
 	go c.acceptLoop()
 	return c, nil
+}
+
+// SetTimeouts overrides the member read deadline (hung-rank eviction) and
+// broadcast write deadline; zero keeps the respective default. Call before
+// any rank dials so every connection is served under one policy.
+func (c *Coordinator) SetTimeouts(read, write time.Duration) {
+	c.readTO.Store(int64(read))
+	c.writeTO.Store(int64(write))
+}
+
+func (c *Coordinator) readTimeout() time.Duration {
+	if d := time.Duration(c.readTO.Load()); d > 0 {
+		return d
+	}
+	return defaultCoordReadTimeout
+}
+
+func (c *Coordinator) writeTimeout() time.Duration {
+	if d := time.Duration(c.writeTO.Load()); d > 0 {
+		return d
+	}
+	return defaultCoordWriteTimeout
 }
 
 // Addr returns the address ranks should dial to join.
@@ -116,10 +159,12 @@ func (c *Coordinator) acceptLoop() {
 	}
 }
 
-// handle serves one rank connection: a join, then silence until EOF.
+// handle serves one rank connection: a join, then heartbeats until EOF or
+// silence past the read deadline — either way the rank is gone.
 func (c *Coordinator) handle(conn net.Conn) {
 	defer c.wg.Done()
 	dec := json.NewDecoder(conn)
+	conn.SetReadDeadline(time.Now().Add(c.readTimeout()))
 	var join coordMsg
 	if err := dec.Decode(&join); err != nil || join.Op != "join" ||
 		join.Rank < 0 || join.Rank >= c.size {
@@ -130,10 +175,15 @@ func (c *Coordinator) handle(conn net.Conn) {
 		conn.Close()
 		return
 	}
-	// Nothing else is expected from the client; block until the
-	// connection drops, which is the death signal.
-	var discard coordMsg
-	for dec.Decode(&discard) == nil {
+	// From here the client sends only heartbeats. Every decoded message
+	// renews the deadline; a member silent past it is indistinguishable
+	// from a hung process and is evicted exactly like a dead one.
+	var hb coordMsg
+	for {
+		conn.SetReadDeadline(time.Now().Add(c.readTimeout()))
+		if err := dec.Decode(&hb); err != nil {
+			break
+		}
 	}
 	c.disconnected(join.Rank, conn)
 	conn.Close()
@@ -181,9 +231,11 @@ func (c *Coordinator) register(join coordMsg, conn net.Conn) bool {
 		if i == join.Rank || c.members[i].enc == nil {
 			continue
 		}
+		c.members[i].conn.SetWriteDeadline(time.Now().Add(c.writeTimeout()))
 		c.members[i].enc.Encode(coordMsg{
 			Op: "update", Rank: join.Rank, Addr: join.Addr, Inc: join.Inc,
 		})
+		c.members[i].conn.SetWriteDeadline(time.Time{})
 	}
 	return true
 }
@@ -200,12 +252,14 @@ func (c *Coordinator) sendWorldLocked(m *coordMember) {
 		msg.Incs[i] = c.members[i].inc
 		msg.Dead[i] = c.members[i].dead
 	}
+	m.conn.SetWriteDeadline(time.Now().Add(c.writeTimeout()))
 	m.enc.Encode(msg)
+	m.conn.SetWriteDeadline(time.Time{})
 }
 
-// disconnected handles a rank connection dropping. If the rank has not
-// been superseded by a newer incarnation it is declared dead and the
-// death is broadcast.
+// disconnected handles a rank connection dropping or timing out. If the
+// rank has not been superseded by a newer incarnation it is declared dead
+// and the death is broadcast.
 func (c *Coordinator) disconnected(rank int, conn net.Conn) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -225,6 +279,8 @@ func (c *Coordinator) disconnected(rank int, conn net.Conn) {
 		if i == rank || c.members[i].enc == nil {
 			continue
 		}
+		c.members[i].conn.SetWriteDeadline(time.Now().Add(c.writeTimeout()))
 		c.members[i].enc.Encode(coordMsg{Op: "death", Rank: rank})
+		c.members[i].conn.SetWriteDeadline(time.Time{})
 	}
 }

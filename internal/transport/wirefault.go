@@ -1,0 +1,312 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Wire-level fault injection: the sock engine's analogue of mpi.FaultPlan,
+// applied below the frame codec instead of above it. A WirePlan wraps this
+// rank's outgoing data connections in a net.Conn whose Write path can
+// silently discard a frame, flip bytes, stall, pace to a bandwidth, or
+// hard-close the connection mid-frame — the failure modes of a real
+// network, landing on real sockets. Faults are seeded and deterministic
+// given the same sequence of writes; they perturb only the write path (the
+// sender's view), mirroring the chan engine's sender-side fault plans.
+//
+// Unlike mpi.FaultPlan, which exempts internal traffic by tag, a wire
+// fault cannot tell a collective's frame from an application payload —
+// everything on the connection is perturbed, including the session
+// handshake. That is the point: the recovery machinery (reconnect with
+// backoff, sequence-numbered resend) has to keep every layer above the
+// codec correct, not just the payloads a plan chose to target.
+
+// WireAction selects what a matched WireRule does to a write.
+type WireAction int
+
+const (
+	// WireDelay stalls the write for Delay before letting it through:
+	// a congested or distant link.
+	WireDelay WireAction = iota
+	// WireDrop silently discards the write while reporting success to the
+	// sender — bytes lost in flight with no error anywhere. Only the
+	// receiver's sequence gap (or the sender's ack-progress timeout)
+	// reveals it.
+	WireDrop
+	// WireCorrupt flips 1–4 bytes of the write at seeded positions. The
+	// frame CRC (or a sequence mismatch, if the flip lands on the seq
+	// prefix) catches it on the receiving side.
+	WireCorrupt
+	// WireReset writes a prefix of the buffer, then hard-closes the
+	// connection: a mid-frame RST. The receiver sees a truncated frame,
+	// the sender a write error.
+	WireReset
+	// WirePartition opens a time window, starting at the rule's first
+	// armed match, during which every matching write is silently
+	// discarded; the link heals after Duration.
+	WirePartition
+	// WireThrottle paces matching writes to Bandwidth bytes/second,
+	// serializing them FIFO on the link. Unlike the chan engine's
+	// modeled FaultThrottle, a throttled wire backpressures the sender —
+	// which is what a real slow link does.
+	WireThrottle
+)
+
+// String names the action for logs and test output.
+func (a WireAction) String() string {
+	switch a {
+	case WireDelay:
+		return "delay"
+	case WireDrop:
+		return "drop"
+	case WireCorrupt:
+		return "corrupt"
+	case WireReset:
+		return "reset"
+	case WirePartition:
+		return "partition"
+	case WireThrottle:
+		return "throttle"
+	default:
+		return fmt.Sprintf("WireAction(%d)", int(a))
+	}
+}
+
+// WireAnyRank matches any rank in WireRule.Src.
+const WireAnyRank = -1
+
+// WireDst encodes a destination rank for WireRule.Dst (0 means any peer),
+// mirroring mpi.DstRank.
+func WireDst(rank int) int { return rank + 1 }
+
+// WireRule scopes one fault to a slice of the wire traffic. All fields are
+// JSON-serializable so a plan can ride the child-process environment to
+// spawned rank processes.
+type WireRule struct {
+	// Action is what happens to a matched write.
+	Action WireAction `json:"action"`
+	// Src is the rank whose outgoing writes this rule perturbs
+	// (WireAnyRank matches all). Each process applies only the rules
+	// scoped to its own rank.
+	Src int `json:"src"`
+	// Dst restricts the rule to connections toward one peer,
+	// WireDst-encoded; 0 matches any peer.
+	Dst int `json:"dst,omitempty"`
+	// After lets that many matching writes pass clean before the rule
+	// arms.
+	After int `json:"after,omitempty"`
+	// Count caps how many times the rule fires; 0 is unlimited. Bounding
+	// Count is what makes a lossy plan deterministically survivable.
+	Count int `json:"count,omitempty"`
+	// Prob fires the armed rule with this probability per match; 0 means
+	// always.
+	Prob float64 `json:"prob,omitempty"`
+	// Delay is the stall of a WireDelay.
+	Delay time.Duration `json:"delay,omitempty"`
+	// Duration is the width of a WirePartition window.
+	Duration time.Duration `json:"duration,omitempty"`
+	// Bandwidth is the bytes/second pace of a WireThrottle.
+	Bandwidth float64 `json:"bandwidth,omitempty"`
+}
+
+// WirePlan is a seeded set of wire fault rules for one run. The zero plan
+// (or a nil pointer) injects nothing.
+type WirePlan struct {
+	// Seed derives every random decision; runs with equal seeds and equal
+	// write sequences fault identically. Mixed with the local rank so
+	// each process draws an independent stream.
+	Seed int64 `json:"seed"`
+	// Rules are matched in order; the first armed match decides the
+	// write's fate.
+	Rules []WireRule `json:"rules,omitempty"`
+}
+
+// wireFaults is the per-process runtime of a WirePlan: the subset of rules
+// scoped to this rank, their match/fire counters, partition windows and
+// throttle pacing, and the rank's private random stream.
+type wireFaults struct {
+	rank int
+
+	mu        sync.Mutex
+	rules     []WireRule
+	rng       uint64 // xorshift64 stream, seeded from (plan.Seed, rank)
+	seen      []int  // armed-match counter per rule
+	fired     []int  // firing counter per rule
+	partStart []time.Time
+	freeAt    []time.Time // per-rule throttle pacing: when the link is free
+}
+
+// newWireFaults compiles the plan for one rank, keeping only rules scoped
+// to it. Returns nil when nothing can match, so the fast path stays a nil
+// check.
+func newWireFaults(plan *WirePlan, rank int) *wireFaults {
+	if plan == nil {
+		return nil
+	}
+	var rules []WireRule
+	for _, r := range plan.Rules {
+		if r.Src == WireAnyRank || r.Src == rank {
+			rules = append(rules, r)
+		}
+	}
+	if len(rules) == 0 {
+		return nil
+	}
+	seed := uint64(plan.Seed)*0x9e3779b97f4a7c15 ^ uint64(rank+1)*0xbf58476d1ce4e5b9
+	if seed == 0 {
+		seed = 1
+	}
+	return &wireFaults{
+		rank:      rank,
+		rules:     rules,
+		rng:       seed,
+		seen:      make([]int, len(rules)),
+		fired:     make([]int, len(rules)),
+		partStart: make([]time.Time, len(rules)),
+		freeAt:    make([]time.Time, len(rules)),
+	}
+}
+
+// wrap interposes the fault layer on one outgoing connection toward dst.
+func (w *wireFaults) wrap(conn net.Conn, dst int) net.Conn {
+	if w == nil {
+		return conn
+	}
+	for _, r := range w.rules {
+		if r.Dst == 0 || r.Dst == WireDst(dst) {
+			return &faultConn{Conn: conn, w: w, dst: dst}
+		}
+	}
+	return conn
+}
+
+// rand draws the next value of this plan's xorshift64 stream. Caller holds
+// w.mu.
+func (w *wireFaults) rand() uint64 {
+	x := w.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	w.rng = x
+	return x
+}
+
+// randFloat draws uniform [0,1). Caller holds w.mu.
+func (w *wireFaults) randFloat() float64 {
+	return float64(w.rand()>>11) / float64(1<<53)
+}
+
+// wireVerdict is one write's fate: the action to apply (or -1 for none)
+// and any precomputed parameters, resolved under w.mu so the sleep/write
+// happens outside the lock.
+type wireVerdict struct {
+	action WireAction // -1: pass through
+	sleep  time.Duration
+	flips  []int // corrupt positions
+}
+
+// decide matches one write of n bytes toward dst against the rules. The
+// first armed match wins, mirroring mpi's faultState.decide ordering.
+func (w *wireFaults) decide(dst, n int) wireVerdict {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	now := time.Now()
+	for i := range w.rules {
+		r := &w.rules[i]
+		if r.Dst != 0 && r.Dst != WireDst(dst) {
+			continue
+		}
+		// An open partition window swallows every matching write,
+		// regardless of After/Count/Prob — those gate when the window
+		// opens, not what it does.
+		if r.Action == WirePartition && !w.partStart[i].IsZero() {
+			if now.Sub(w.partStart[i]) < r.Duration {
+				return wireVerdict{action: WireDrop}
+			}
+			continue // healed
+		}
+		w.seen[i]++
+		if w.seen[i] <= r.After {
+			continue
+		}
+		if r.Count > 0 && w.fired[i] >= r.Count {
+			continue
+		}
+		if r.Prob > 0 && w.randFloat() >= r.Prob {
+			continue
+		}
+		w.fired[i]++
+		switch r.Action {
+		case WirePartition:
+			w.partStart[i] = now
+			return wireVerdict{action: WireDrop}
+		case WireThrottle:
+			if r.Bandwidth <= 0 {
+				continue
+			}
+			cost := time.Duration(float64(n) / r.Bandwidth * float64(time.Second))
+			start := now
+			if w.freeAt[i].After(start) {
+				start = w.freeAt[i]
+			}
+			w.freeAt[i] = start.Add(cost)
+			return wireVerdict{action: WireThrottle, sleep: w.freeAt[i].Sub(now)}
+		case WireCorrupt:
+			nflips := int(w.rand()%4) + 1
+			flips := make([]int, nflips)
+			for f := range flips {
+				flips[f] = int(w.rand() % uint64(n))
+			}
+			return wireVerdict{action: WireCorrupt, flips: flips}
+		case WireDelay:
+			return wireVerdict{action: WireDelay, sleep: r.Delay}
+		default:
+			return wireVerdict{action: r.Action}
+		}
+	}
+	return wireVerdict{action: -1}
+}
+
+// faultConn applies a wireFaults runtime to one connection's writes. Reads
+// and closes pass through untouched.
+type faultConn struct {
+	net.Conn
+	w   *wireFaults
+	dst int
+}
+
+// errWireReset is the write error a WireReset surfaces to the sender.
+var errWireReset = fmt.Errorf("transport: wire fault: connection reset mid-frame")
+
+func (fc *faultConn) Write(b []byte) (int, error) {
+	if len(b) == 0 {
+		return fc.Conn.Write(b)
+	}
+	v := fc.w.decide(fc.dst, len(b))
+	switch v.action {
+	case WireDrop:
+		// Report success, deliver nothing: the bytes die on the wire.
+		return len(b), nil
+	case WireDelay, WireThrottle:
+		if v.sleep > 0 {
+			time.Sleep(v.sleep)
+		}
+		return fc.Conn.Write(b)
+	case WireCorrupt:
+		c := make([]byte, len(b))
+		copy(c, b)
+		for _, p := range v.flips {
+			c[p] ^= 0x2a
+		}
+		return fc.Conn.Write(c)
+	case WireReset:
+		// Half the frame escapes, then the connection dies under it.
+		n, _ := fc.Conn.Write(b[:len(b)/2])
+		fc.Conn.Close()
+		return n, errWireReset
+	default:
+		return fc.Conn.Write(b)
+	}
+}

@@ -1,0 +1,160 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWireFaultScoping(t *testing.T) {
+	plan := &WirePlan{Seed: 1, Rules: []WireRule{
+		{Action: WireDrop, Src: 0, Dst: WireDst(1)},
+	}}
+	if w := newWireFaults(plan, 1); w != nil {
+		t.Fatalf("rank 1 compiled a plan scoped to rank 0's writes")
+	}
+	w := newWireFaults(plan, 0)
+	if w == nil {
+		t.Fatal("rank 0 got no fault runtime")
+	}
+	// A connection toward a peer no rule matches must stay unwrapped: the
+	// fault layer's fast path is its absence.
+	if v := w.decide(2, 100); v.action != -1 {
+		t.Fatalf("write toward unmatched dst got action %v", v.action)
+	}
+	if v := w.decide(1, 100); v.action != WireDrop {
+		t.Fatalf("write toward matched dst got action %v, want drop", v.action)
+	}
+	if newWireFaults(nil, 0) != nil {
+		t.Fatal("nil plan compiled to a non-nil runtime")
+	}
+	if newWireFaults(&WirePlan{Seed: 3}, 0) != nil {
+		t.Fatal("empty plan compiled to a non-nil runtime")
+	}
+}
+
+func TestWireFaultAnyRank(t *testing.T) {
+	plan := &WirePlan{Seed: 9, Rules: []WireRule{{Action: WireDrop, Src: WireAnyRank}}}
+	for rank := 0; rank < 3; rank++ {
+		w := newWireFaults(plan, rank)
+		if w == nil {
+			t.Fatalf("rank %d: AnyRank rule not compiled", rank)
+		}
+		if v := w.decide(0, 10); v.action != WireDrop {
+			t.Fatalf("rank %d: got %v, want drop", rank, v.action)
+		}
+	}
+}
+
+// After lets writes through before arming, Count caps firings: the gates
+// that make a lossy plan deterministically survivable.
+func TestWireFaultGating(t *testing.T) {
+	w := newWireFaults(&WirePlan{Seed: 2, Rules: []WireRule{
+		{Action: WireDrop, Src: 0, After: 3, Count: 2},
+	}}, 0)
+	var got []WireAction
+	for i := 0; i < 8; i++ {
+		got = append(got, w.decide(1, 64).action)
+	}
+	want := []WireAction{-1, -1, -1, WireDrop, WireDrop, -1, -1, -1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("write %d: action %v, want %v (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// Equal seeds and equal write sequences must fault identically — the
+// whole point of seeding is a reproducible failure schedule.
+func TestWireFaultDeterminism(t *testing.T) {
+	mk := func() *wireFaults {
+		return newWireFaults(&WirePlan{Seed: 77, Rules: []WireRule{
+			{Action: WireCorrupt, Src: 0, Prob: 0.3, Count: 5},
+		}}, 0)
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 50; i++ {
+		va, vb := a.decide(1, 256), b.decide(1, 256)
+		if va.action != vb.action || len(va.flips) != len(vb.flips) {
+			t.Fatalf("write %d: verdicts diverged: %+v vs %+v", i, va, vb)
+		}
+		for j := range va.flips {
+			if va.flips[j] != vb.flips[j] {
+				t.Fatalf("write %d: flip positions diverged", i)
+			}
+			if va.flips[j] < 0 || va.flips[j] >= 256 {
+				t.Fatalf("write %d: flip position %d out of buffer", i, va.flips[j])
+			}
+		}
+	}
+	// A different rank draws a different stream from the same plan.
+	c := newWireFaults(&WirePlan{Seed: 77, Rules: []WireRule{
+		{Action: WireCorrupt, Src: WireAnyRank, Prob: 0.3, Count: 5},
+	}}, 1)
+	same := true
+	a2 := mk()
+	for i := 0; i < 50; i++ {
+		if a2.decide(1, 256).action != c.decide(0, 256).action {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("ranks 0 and 1 drew identical fault schedules from one seed")
+	}
+}
+
+// A partition is a time window, not a counter: once armed it swallows
+// every matching write regardless of the gates, then heals for good.
+func TestWirePartitionWindow(t *testing.T) {
+	w := newWireFaults(&WirePlan{Seed: 4, Rules: []WireRule{
+		{Action: WirePartition, Src: 0, After: 2, Duration: 60 * time.Millisecond},
+	}}, 0)
+	if v := w.decide(1, 8); v.action != -1 {
+		t.Fatalf("write 0: %v, want pass", v.action)
+	}
+	if v := w.decide(1, 8); v.action != -1 {
+		t.Fatalf("write 1: %v, want pass", v.action)
+	}
+	// Third write arms the window and is the first casualty.
+	if v := w.decide(1, 8); v.action != WireDrop {
+		t.Fatalf("write 2: %v, want drop (window open)", v.action)
+	}
+	if v := w.decide(1, 8); v.action != WireDrop {
+		t.Fatalf("write 3: %v, want drop (window still open)", v.action)
+	}
+	time.Sleep(80 * time.Millisecond)
+	if v := w.decide(1, 8); v.action != -1 {
+		t.Fatalf("post-heal write: %v, want pass", v.action)
+	}
+}
+
+// Throttled writes serialize on the link: each write's release time stacks
+// on the previous one's, like bytes queueing behind a slow NIC.
+func TestWireThrottlePacing(t *testing.T) {
+	w := newWireFaults(&WirePlan{Seed: 5, Rules: []WireRule{
+		{Action: WireThrottle, Src: 0, Bandwidth: 1 << 20}, // 1 MiB/s
+	}}, 0)
+	perWrite := time.Duration(float64(64*1024) / float64(1<<20) * float64(time.Second)) // 62.5ms
+	v1 := w.decide(1, 64*1024)
+	v2 := w.decide(1, 64*1024)
+	if v1.action != WireThrottle || v2.action != WireThrottle {
+		t.Fatalf("actions %v, %v, want throttle", v1.action, v2.action)
+	}
+	if v1.sleep <= 0 || v1.sleep > perWrite+10*time.Millisecond {
+		t.Fatalf("first write pays %v, want ~%v", v1.sleep, perWrite)
+	}
+	if v2.sleep < v1.sleep+perWrite/2 {
+		t.Fatalf("second write pays %v after first's %v: writes are not serializing", v2.sleep, v1.sleep)
+	}
+}
+
+func TestWireActionString(t *testing.T) {
+	want := map[WireAction]string{
+		WireDelay: "delay", WireDrop: "drop", WireCorrupt: "corrupt",
+		WireReset: "reset", WirePartition: "partition", WireThrottle: "throttle",
+	}
+	for a, s := range want {
+		if a.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", int(a), a.String(), s)
+		}
+	}
+}

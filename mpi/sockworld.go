@@ -2,9 +2,58 @@ package mpi
 
 import (
 	"fmt"
+	"time"
 
 	"lowfive/internal/transport"
+	"lowfive/metrics"
 )
+
+// Wire-fault vocabulary re-exported so launchers and harnesses can build
+// plans without importing internal/transport.
+type (
+	// WirePlan is a seeded set of wire-level fault rules applied below
+	// the frame codec of a sock world (transport.WirePlan).
+	WirePlan = transport.WirePlan
+	// WireRule is one wire fault rule.
+	WireRule = transport.WireRule
+	// WireActionKind selects what a wire rule does to a write.
+	WireActionKind = transport.WireAction
+	// SockRecoveryEvent is one observation from the sock engine's
+	// reconnect/resend machinery.
+	SockRecoveryEvent = transport.RecoveryEvent
+	// JoinTimeoutError reports a sock world that did not form in time.
+	JoinTimeoutError = transport.JoinTimeoutError
+	// SockStats is the sock engine's traffic/recovery counter snapshot.
+	SockStats = transport.SockStats
+)
+
+// Wire actions, mirroring the mpi fault-plan vocabulary one layer down.
+const (
+	WireDelay     = transport.WireDelay
+	WireDrop      = transport.WireDrop
+	WireCorrupt   = transport.WireCorrupt
+	WireReset     = transport.WireReset
+	WirePartition = transport.WirePartition
+	WireThrottle  = transport.WireThrottle
+	WireAnyRank   = transport.WireAnyRank
+)
+
+// WireDst encodes a destination rank for WireRule.Dst (0 means any peer).
+func WireDst(rank int) int { return transport.WireDst(rank) }
+
+// SockTuning overrides the sock engine's recovery timings; zero fields
+// keep the transport defaults. Tests and fault sweeps tighten these so
+// tear/redial/resend cycles converge in milliseconds.
+type SockTuning struct {
+	JoinTimeout       time.Duration
+	WriteTimeout      time.Duration
+	HandshakeTimeout  time.Duration
+	ReconnectTimeout  time.Duration
+	RetransmitTimeout time.Duration
+	HeartbeatInterval time.Duration
+	AckInterval       time.Duration
+	DrainTimeout      time.Duration
+}
 
 // SockWorldConfig configures one process's membership in a sock-transport
 // world: every rank is a separate OS process, frames travel CRC-framed
@@ -21,6 +70,15 @@ type SockWorldConfig struct {
 	// supervisor for each respawn so peers distinguish the restart from
 	// the process it replaced.
 	Inc uint32
+	// Wire, if set, injects seeded wire-level faults into this process's
+	// outgoing connections (transport.WirePlan semantics).
+	Wire *WirePlan
+	// Tuning overrides recovery timings; the zero value keeps defaults.
+	Tuning SockTuning
+	// Flight, if set, records recovery events (reconnects, resends, peers
+	// declared unreachable) alongside the slow queries the consumer's
+	// flight recorder already holds — one place to look after a bad run.
+	Flight *metrics.FlightRecorder
 }
 
 // NewSockWorld joins (or forms) a multi-process world. It blocks until
@@ -60,13 +118,99 @@ func NewSockWorld(cfg SockWorldConfig, opts ...Option) (*World, error) {
 		OnPeerDeath: func(rank int) { w.markFailed(rank) },
 		// A respawned peer is revived like a supervised in-proc restart:
 		// incarnation bump, mailbox purge, fresh failure channel.
-		OnPeerRejoin: func(rank int) { w.reviveRank(rank) },
+		OnPeerRejoin:      func(rank int) { w.reviveRank(rank) },
+		OnRecovery:        w.sockRecoveryHook(cfg.Flight),
+		WirePlan:          cfg.Wire,
+		JoinTimeout:       cfg.Tuning.JoinTimeout,
+		WriteTimeout:      cfg.Tuning.WriteTimeout,
+		HandshakeTimeout:  cfg.Tuning.HandshakeTimeout,
+		ReconnectTimeout:  cfg.Tuning.ReconnectTimeout,
+		RetransmitTimeout: cfg.Tuning.RetransmitTimeout,
+		HeartbeatInterval: cfg.Tuning.HeartbeatInterval,
+		AckInterval:       cfg.Tuning.AckInterval,
+		DrainTimeout:      cfg.Tuning.DrainTimeout,
 	})
 	if err != nil {
 		return nil, err
 	}
 	w.xport = sock
 	return w, nil
+}
+
+// sockRecoveryHook turns transport recovery events into metrics counters
+// (when the world carries a registry) and flight-recorder entries (when
+// the launcher passes one), so a run that survived wire faults shows its
+// scars: how often connections tore, how many frames were resent, which
+// peers went unreachable.
+func (w *World) sockRecoveryHook(flight *metrics.FlightRecorder) func(transport.RecoveryEvent) {
+	if w.metrics == nil && flight == nil {
+		return nil
+	}
+	var tears, redials, reconnects, resent, unreachable *metrics.Counter
+	if w.metrics != nil {
+		tears = w.metrics.Counter("sock.tears")
+		redials = w.metrics.Counter("sock.redials")
+		reconnects = w.metrics.Counter("sock.reconnects")
+		resent = w.metrics.Counter("sock.resent.frames")
+		unreachable = w.metrics.Counter("sock.peer.unreachable")
+	}
+	return func(ev transport.RecoveryEvent) {
+		if w.metrics != nil {
+			switch ev.Kind {
+			case "tear":
+				tears.Inc()
+			case "redial":
+				redials.Inc()
+			case "reconnect":
+				reconnects.Inc()
+			case "resend":
+				resent.Add(int64(ev.Frames))
+			case "peer-unreachable":
+				unreachable.Inc()
+			}
+		}
+		// Tears and redials are high-frequency noise under a fault plan;
+		// the recorder keeps the episodes that matter for postmortems.
+		if ev.Kind == "reconnect" || ev.Kind == "resend" || ev.Kind == "peer-unreachable" {
+			flight.Record(metrics.SlowQuery{
+				Time:      time.Now(),
+				Producers: []int{ev.Peer},
+				Chunks:    int64(ev.Frames),
+				Reason:    "sock-" + ev.Kind,
+			})
+		}
+	}
+}
+
+// RunWorkflowLocal executes this process's slice of a multi-task workflow
+// on a sock world: the same contiguous rank layout and intercomm wiring
+// RunWorkflow uses in-proc, but with exactly one rank local and every
+// other rank a peer process. Each rank process of the world calls this
+// with identical specs.
+func (w *World) RunWorkflowLocal(specs []TaskSpec) error {
+	if w.localRank < 0 {
+		return fmt.Errorf("mpi: RunWorkflowLocal requires a sock world (use RunWorkflow)")
+	}
+	ranges, total, err := layoutWorkflow(specs)
+	if err != nil {
+		return err
+	}
+	if total != w.size {
+		return fmt.Errorf("mpi: workflow wants %d procs, world has %d", total, w.size)
+	}
+	wr := w.localRank
+	ti := 0
+	for wr >= ranges[ti][0]+len(ranges[ti]) {
+		ti++
+	}
+	taskRank := wr - ranges[ti][0]
+	inc := w.incs[wr].Load()
+	return w.RunLocal(func(*Comm) {
+		// The incarnation doubles as the attempt counter: a respawned
+		// process reruns its task main with Attempt = Inc, same as a
+		// supervised in-proc restart.
+		specs[ti].Main(buildProc(w, specs, ranges, ti, taskRank, inc, int(inc)))
+	})
 }
 
 // LocalRank returns this process's world rank in a sock world, or -1 when

@@ -61,6 +61,25 @@ type recoveryBench struct {
 	Identical bool    `json:"identical"`
 }
 
+// stormBench is one tenant's view of the query-storm sweep: closed-loop
+// throughput, admitted-query tail latency, and the shed fraction that
+// admission control converted into typed refusals. The favored row carries
+// the unloaded-baseline p99 the storm p99 is bounded against; the greedy row
+// carries the breaker-open count proving client-side fast-fail engaged.
+type stormBench struct {
+	Name          string  `json:"name"`
+	Tenant        string  `json:"tenant"`
+	QPS           float64 `json:"qps"`
+	QueryP99Us    int64   `json:"query_p99_us"`
+	UnloadedP99Us int64   `json:"unloaded_p99_us,omitempty"`
+	ShedRate      float64 `json:"shed_rate"`
+	Issued        int     `json:"issued"`
+	Admitted      int     `json:"admitted"`
+	Shed          int     `json:"shed"`
+	BreakerOpens  int64   `json:"breaker_opens,omitempty"`
+	Identical     bool    `json:"identical"`
+}
+
 type benchReport struct {
 	Date       string          `json:"date"`
 	GOOS       string          `json:"goos"`
@@ -68,6 +87,7 @@ type benchReport struct {
 	Note       string          `json:"note,omitempty"`
 	Benchmarks []benchResult   `json:"benchmarks"`
 	Recoveries []recoveryBench `json:"recoveries,omitempty"`
+	Storms     []stormBench    `json:"storms,omitempty"`
 }
 
 type benchCase struct {
@@ -188,7 +208,84 @@ func measureBenchmarks(cfg harness.Config, iters int) (benchReport, error) {
 		return report, err
 	}
 	report.Recoveries = recs
+	storms, err := measureStorms(cfg)
+	if err != nil {
+		return report, err
+	}
+	report.Storms = storms
 	return report, nil
+}
+
+// benchStormSeed fixes the storm's deterministic query sequences, so the
+// committed baseline and every CI re-measurement run the same storm.
+const benchStormSeed = 42
+
+// stormP99Factor bounds the favored tenant's storm-phase p99 as a multiple
+// of its unloaded baseline p99 — the report-level fairness contract.
+const stormP99Factor = 5
+
+// measureStorms runs the query-storm sweep once and distills it into the
+// report's per-tenant storm rows. The storm runs its own quick-profile
+// config: unlike the allocation benchmarks above, it needs the modeled
+// network delays ON — overload only exists when serves take time — and a
+// small chunk size so the pool budget is a live constraint.
+func measureStorms(cfg harness.Config) ([]stormBench, error) {
+	sc := harness.QuickConfig()
+	sc.ChunkBytes = 4 << 10
+	sc.Metrics = metrics.NewRegistry()
+	sc.Flight = metrics.NewFlightRecorder(512, harness.DefaultSlowQuery)
+	sc.Verbose = cfg.Verbose
+	sc.Log = cfg.Log
+	spec := workload.Spec{Producers: 4, Consumers: 2, GridPointsPerProducer: 1000, ParticlesPerProducer: 100}
+	res, err := sc.StormSweep(spec, workload.StormSpec{Seed: benchStormSeed}, harness.DefaultStormTuning())
+	if err != nil {
+		return nil, fmt.Errorf("storm sweep: %w", err)
+	}
+	if reasons := res.FailureReasons(stormP99Factor); len(reasons) > 0 {
+		return nil, fmt.Errorf("storm sweep violated its contract: %s", strings.Join(reasons, "; "))
+	}
+	rows := stormRows(res)
+	for _, s := range rows {
+		fmt.Fprintf(os.Stderr, "%-40s %8.1f qps %7dus p99 %8.3f shed_rate %4d issued %4d admitted %4d shed identical=%v\n",
+			s.Name, s.QPS, s.QueryP99Us, s.ShedRate, s.Issued, s.Admitted, s.Shed, s.Identical)
+	}
+	return rows, nil
+}
+
+// stormRows flattens one storm result into the report's per-tenant rows.
+func stormRows(res harness.StormResult) []stormBench {
+	tenantRate := func(shed, issued int) float64 {
+		if issued == 0 {
+			return 0
+		}
+		return float64(shed) / float64(issued)
+	}
+	tenantQPS := func(issued int) float64 {
+		if res.StormSeconds <= 0 {
+			return 0
+		}
+		return float64(issued) / res.StormSeconds
+	}
+	return []stormBench{
+		{
+			Name: "QueryStorm/favored", Tenant: "favored",
+			QPS:           tenantQPS(res.FavoredIssued),
+			QueryP99Us:    res.FavoredP99.Microseconds(),
+			UnloadedP99Us: res.UnloadedP99.Microseconds(),
+			ShedRate:      tenantRate(res.FavoredShed, res.FavoredIssued),
+			Issued:        res.FavoredIssued, Admitted: res.FavoredAdmitted, Shed: res.FavoredShed,
+			Identical: res.Identical,
+		},
+		{
+			Name: "QueryStorm/greedy", Tenant: "greedy",
+			QPS:        tenantQPS(res.GreedyIssued),
+			QueryP99Us: res.GreedyP99.Microseconds(),
+			ShedRate:   tenantRate(res.GreedyShed, res.GreedyIssued),
+			Issued:     res.GreedyIssued, Admitted: res.GreedyAdmitted, Shed: res.GreedyShed,
+			BreakerOpens: res.Query.BreakerOpens,
+			Identical:    res.Identical,
+		},
+	}
 }
 
 // measureRecoveries runs the staged-log fault sweep once and distills each
@@ -400,8 +497,56 @@ func validateBenchJSON(file string) error {
 	if restarted == 0 {
 		return fmt.Errorf("%s: no recovery case forced a restart — replay_ms was never exercised", file)
 	}
-	fmt.Printf("%s: %d distributed-VOL cases carry nonzero query latency fields; %d recovery cases carry replay_ms (%d with restarts)\n",
-		file, checked, len(report.Recoveries), restarted)
+	if err := validateStormRows(file, report.Storms); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d distributed-VOL cases carry nonzero query latency fields; %d recovery cases carry replay_ms (%d with restarts); %d storm rows carry qps/query_p99_us/shed_rate\n",
+		file, checked, len(report.Recoveries), restarted, len(report.Storms))
+	return nil
+}
+
+// validateStormRows enforces the overload-protection rows of a chan report:
+// the query-storm sweep must have run, both tenants must carry live
+// throughput and tail-latency numbers, the storm must actually have shed
+// (a shed_rate of zero means the sweep silently stopped saturating), the
+// greedy tenant's breaker must have opened, and every admitted query must
+// have validated bit-identical.
+func validateStormRows(file string, storms []stormBench) error {
+	if len(storms) == 0 {
+		return fmt.Errorf("%s: no storm rows — the query-storm sweep did not run", file)
+	}
+	byTenant := map[string]stormBench{}
+	for _, s := range storms {
+		if s.QPS <= 0 || s.QueryP99Us <= 0 {
+			return fmt.Errorf("%s: storm row %s: qps/query_p99_us missing or zero (qps=%g p99=%dus)",
+				file, s.Name, s.QPS, s.QueryP99Us)
+		}
+		if !s.Identical {
+			return fmt.Errorf("%s: storm row %s: admitted query data not bit-identical", file, s.Name)
+		}
+		byTenant[s.Tenant] = s
+	}
+	fav, ok := byTenant["favored"]
+	if !ok {
+		return fmt.Errorf("%s: storm rows missing the favored tenant", file)
+	}
+	if fav.UnloadedP99Us <= 0 {
+		return fmt.Errorf("%s: storm row %s: unloaded baseline p99 missing", file, fav.Name)
+	}
+	if lim := stormP99Factor * fav.UnloadedP99Us; fav.QueryP99Us > lim {
+		return fmt.Errorf("%s: storm row %s: favored p99 %dus exceeds %dx unloaded p99 %dus",
+			file, fav.Name, fav.QueryP99Us, stormP99Factor, fav.UnloadedP99Us)
+	}
+	greedy, ok := byTenant["greedy"]
+	if !ok {
+		return fmt.Errorf("%s: storm rows missing the greedy tenant", file)
+	}
+	if greedy.ShedRate <= 0 || greedy.Shed == 0 {
+		return fmt.Errorf("%s: storm row %s: shed_rate is zero — the storm never saturated admission", file, greedy.Name)
+	}
+	if greedy.BreakerOpens == 0 {
+		return fmt.Errorf("%s: storm row %s: no breaker ever opened on the greedy side", file, greedy.Name)
+	}
 	return nil
 }
 

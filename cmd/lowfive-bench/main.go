@@ -12,6 +12,7 @@
 //	lowfive-bench -profile             # one instrumented exchange + summary
 //	lowfive-bench -trace out.json -profile   # also write a Chrome trace
 //	lowfive-bench -faults              # fault + supervised-recovery sweeps (chaos testing)
+//	lowfive-bench -storm               # query-storm overload sweep (admission control, load shedding)
 //	lowfive-bench -json                # write BENCH_<date>.json benchmark baseline
 //	lowfive-bench -compare BENCH_2026-08-06.json -bench-iters 1   # warn-only diff vs baseline
 package main
@@ -37,29 +38,34 @@ func main() {
 	rankmain.ChildFromEnv()
 
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|fig5|fig6|fig7|fig8|fig9|fig11|overlap|all")
-		scales   = flag.String("scales", "", "comma-separated total process counts (default 4,16,64,256)")
-		factor   = flag.Int64("factor", 0, "divide the paper's per-producer element counts (10^6) by this (default 10)")
-		large    = flag.Int64("large-factor", 0, "scale factor for the Fig. 11 large-data runs (default 1 = the paper-size data)")
-		trials   = flag.Int("trials", 0, "trials averaged per point (default 3, as in the paper)")
-		alpha    = flag.Duration("net-alpha", -1, "interconnect per-message latency (default 2ms, the scaled-Aries regime)")
-		beta     = flag.Float64("net-beta", 0, "interconnect bandwidth, bytes/s (default 50e6, the scaled-Aries regime)")
-		quick    = flag.Bool("quick", false, "tiny configuration for a fast smoke run")
-		format   = flag.String("format", "table", "output format: table|csv")
-		verbose  = flag.Bool("v", true, "print per-trial progress")
-		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON of one profiled exchange to this file (implies -profile)")
-		profile  = flag.Bool("profile", false, "run one instrumented exchange and print its per-task per-phase summary instead of the figure suite")
-		faults   = flag.Bool("faults", false, "run the fault-injection sweep: exchanges under seeded chaos plans, checked bit-for-bit against a fault-free baseline")
-		seed     = flag.Int64("seed", 0, "seed for the fault-injection plans (0 defers to -fault-seed)")
-		oldSeed  = flag.Int64("fault-seed", 1, "deprecated alias for -seed")
-		jsonOut  = flag.Bool("json", false, "measure the allocation-sensitive benchmarks (Fig 5/7/11, redistribution) and write BENCH_<date>.json")
-		compare  = flag.String("compare", "", "measure a fresh benchmark run and diff it against this committed BENCH_*.json baseline (warn-only; writes nothing)")
-		iters    = flag.Int("bench-iters", 0, "fixed iteration count for -json/-compare measurements (0 = auto-scale until stable)")
-		outFile  = flag.String("out", "", "output path for -json (default BENCH_<date>.json in the current directory)")
-		validate = flag.String("validate", "", "validate a BENCH_*.json file's metrics-plane latency fields and exit")
-		httpAddr = flag.String("http", "", "serve live metrics (/metrics, /metrics.json, /stats, /slow) on this address while the run executes (e.g. :8080 or 127.0.0.1:0)")
-		statsOut  = flag.String("stats-out", "", "with -profile, also write the run artifact (stats + metrics snapshot + slow queries) as JSON to this file")
-		transport = flag.String("transport", harness.TransportChan, "message engine: chan (in-proc, cost-modeled — runs the figure suite) or sock (real sockets, one process per rank — runs the socket smoke sweep)")
+		exp          = flag.String("exp", "all", "experiment: table1|fig5|fig6|fig7|fig8|fig9|fig11|overlap|all")
+		scales       = flag.String("scales", "", "comma-separated total process counts (default 4,16,64,256)")
+		factor       = flag.Int64("factor", 0, "divide the paper's per-producer element counts (10^6) by this (default 10)")
+		large        = flag.Int64("large-factor", 0, "scale factor for the Fig. 11 large-data runs (default 1 = the paper-size data)")
+		trials       = flag.Int("trials", 0, "trials averaged per point (default 3, as in the paper)")
+		alpha        = flag.Duration("net-alpha", -1, "interconnect per-message latency (default 2ms, the scaled-Aries regime)")
+		beta         = flag.Float64("net-beta", 0, "interconnect bandwidth, bytes/s (default 50e6, the scaled-Aries regime)")
+		quick        = flag.Bool("quick", false, "tiny configuration for a fast smoke run")
+		format       = flag.String("format", "table", "output format: table|csv")
+		verbose      = flag.Bool("v", true, "print per-trial progress")
+		traceOut     = flag.String("trace", "", "write a Chrome trace_event JSON of one profiled exchange to this file (implies -profile)")
+		profile      = flag.Bool("profile", false, "run one instrumented exchange and print its per-task per-phase summary instead of the figure suite")
+		faults       = flag.Bool("faults", false, "run the fault-injection sweep: exchanges under seeded chaos plans, checked bit-for-bit against a fault-free baseline")
+		storm        = flag.Bool("storm", false, "run the query-storm overload sweep: a greedy tenant saturates admission while the favored tenant's p99 stays bounded and admitted data validates bit-for-bit")
+		stormClients = flag.Int("storm-clients", 0, "greedy-tenant closed-loop client count for -storm (0 = default tuning)")
+		stormZipf    = flag.Float64("storm-zipf", 0, "zipf skew of storm box popularity, must be > 1 (0 = default 1.2)")
+		stormQueries = flag.Int("storm-queries", 0, "queries per favored client for -storm — the closed-loop stand-in for a storm duration (0 = default tuning)")
+		stormSeed    = flag.Uint64("storm-seed", benchStormSeed, "seed for the storm's deterministic query sequences")
+		seed         = flag.Int64("seed", 0, "seed for the fault-injection plans (0 defers to -fault-seed)")
+		oldSeed      = flag.Int64("fault-seed", 1, "deprecated alias for -seed")
+		jsonOut      = flag.Bool("json", false, "measure the allocation-sensitive benchmarks (Fig 5/7/11, redistribution) and write BENCH_<date>.json")
+		compare      = flag.String("compare", "", "measure a fresh benchmark run and diff it against this committed BENCH_*.json baseline (warn-only; writes nothing)")
+		iters        = flag.Int("bench-iters", 0, "fixed iteration count for -json/-compare measurements (0 = auto-scale until stable)")
+		outFile      = flag.String("out", "", "output path for -json (default BENCH_<date>.json in the current directory)")
+		validate     = flag.String("validate", "", "validate a BENCH_*.json file's metrics-plane latency fields and exit")
+		httpAddr     = flag.String("http", "", "serve live metrics (/metrics, /metrics.json, /stats, /slow) on this address while the run executes (e.g. :8080 or 127.0.0.1:0)")
+		statsOut     = flag.String("stats-out", "", "with -profile, also write the run artifact (stats + metrics snapshot + slow queries) as JSON to this file")
+		transport    = flag.String("transport", harness.TransportChan, "message engine: chan (in-proc, cost-modeled — runs the figure suite) or sock (real sockets, one process per rank — runs the socket smoke sweep)")
 	)
 	flag.Parse()
 
@@ -175,6 +181,22 @@ func main() {
 		}
 		if err := runFaults(cfg, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "fault sweep failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *storm {
+		st := workload.StormSpec{Seed: *stormSeed, ZipfS: *stormZipf}
+		tune := harness.DefaultStormTuning()
+		if *stormClients > 0 {
+			tune.GreedyClients = *stormClients
+		}
+		if *stormQueries > 0 {
+			tune.FavoredQueries = *stormQueries
+		}
+		if err := runStorm(cfg, st, tune); err != nil {
+			fmt.Fprintf(os.Stderr, "storm sweep failed: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -347,6 +369,50 @@ func runFaultSweeps(cfg harness.Config, seed int64) error {
 		}
 	}
 	fmt.Println("all fault, partition and recovery cases delivered bit-identical consumer data")
+	return nil
+}
+
+// runStorm runs the query-storm overload sweep at the smallest configured
+// scale: an unloaded baseline, then the storm itself — a greedy tenant
+// saturating the producers' admission controllers while the favored tenant
+// keeps its weighted fair share. The sweep's contract (sheds happened,
+// breakers opened, favored p99 bounded, admitted data bit-identical, no
+// leaked chunks) makes the run exit nonzero with the violated clauses named
+// and the slow-query flight recorder dumped, replayable via -storm-seed.
+func runStorm(cfg harness.Config, st workload.StormSpec, tune harness.StormTuning) error {
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	if cfg.Flight == nil {
+		cfg.Flight = metrics.NewFlightRecorder(256, harness.DefaultSlowQuery)
+	}
+	procs := 4
+	if len(cfg.Scales) > 0 {
+		procs = cfg.Scales[0]
+	}
+	spec := workload.PaperSpec(procs).Scaled(cfg.ScaleFactor)
+	fmt.Fprintf(os.Stderr, "query storm: %d producers, %d consumers, %d greedy clients, seed %d\n",
+		spec.Producers, spec.Consumers, tune.GreedyClients, st.Seed)
+	dumpFlight := func() {
+		if cfg.Flight.Total() > 0 {
+			fmt.Fprintln(os.Stderr, "\nslow-query flight recorder at failure:")
+			cfg.Flight.WriteText(os.Stderr)
+		}
+	}
+	res, err := cfg.StormSweep(spec, st, tune)
+	if err != nil {
+		dumpFlight()
+		return fmt.Errorf("seed %d: %w", st.Seed, err)
+	}
+	harness.PrintStormTable(os.Stdout, res)
+	if reasons := res.FailureReasons(stormP99Factor); len(reasons) > 0 {
+		dumpFlight()
+		for _, r := range reasons {
+			fmt.Fprintf(os.Stderr, "storm contract violated: %s\n", r)
+		}
+		return fmt.Errorf("seed %d: %d storm contract clause(s) violated", st.Seed, len(reasons))
+	}
+	fmt.Println("storm sweep passed: admitted data bit-identical, favored p99 bounded, greedy tenant shed and broken")
 	return nil
 }
 

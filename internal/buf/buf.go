@@ -112,6 +112,10 @@ func SharedPool(size int) *Pool {
 // ChunkBytes returns the pool's chunk size.
 func (p *Pool) ChunkBytes() int { return p.size }
 
+// Limit returns the pool's bound on outstanding chunks (0 means unbounded).
+// Admission control reads it to convert Outstanding into a pressure ratio.
+func (p *Pool) Limit() int { return p.limit }
+
 // Get returns a chunk with one reference. It blocks while the pool is at
 // its outstanding limit, falling back to a fresh unpooled slab after the
 // grace period so a leaked chunk can never wedge a producer.
@@ -243,6 +247,7 @@ func (p *Pool) RegisterMetrics(r *metrics.Registry, prefix string) {
 	r.GaugeFunc(prefix+".highwater", func() int64 { return int64(p.HighWater()) })
 	r.GaugeFunc(prefix+".overflow", p.Overflow)
 	r.GaugeFunc(prefix+".gets", p.Gets)
+	r.GaugeFunc(prefix+".limit", func() int64 { return int64(p.Limit()) })
 }
 
 // Chunk is one pooled buffer with explicit reference-counted ownership.

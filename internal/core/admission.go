@@ -1,0 +1,358 @@
+// Admission control for the producer's serve path: a bounded concurrency
+// semaphore in front of data-stream dispatch, a per-tenant weighted fair
+// queue behind it, and load shedding when the queue (or the chunk pool)
+// saturates.
+//
+// The scheduler is stride scheduling over tenants: each tenant queue carries
+// a pass value advanced by strideK/weight per admitted request, and dispatch
+// always picks the non-empty tenant with the smallest pass — so over any
+// contended interval tenants are admitted in proportion to their weights,
+// FIFO within a tenant, and an idle tenant accumulates no credit (its pass
+// is forwarded to the current virtual time when it becomes busy again).
+//
+// Back-pressure is layered, cheapest refusal first:
+//
+//  1. pool pressure ≥ shedFrac of the byte budget → shed outright;
+//  2. pool pressure ≥ squeezeFrac → the concurrency bound halves (streams
+//     in flight are the only source of new chunks, so narrowing the window
+//     lets the pool drain before shedding is needed);
+//  3. queue longer than the per-tenant cap → shed;
+//  4. queued longer than the queue deadline → shed that waiter.
+//
+// A shed is answered with rpc's overloaded reply carrying RetryAfter, so
+// consumers back off instead of re-storming.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"lowfive/internal/buf"
+	"lowfive/metrics"
+)
+
+// ErrOverloaded reports that admission control refused a request: the
+// producer is saturated and the consumer should retry after the hint.
+type ErrOverloaded struct {
+	// Tenant is the consumer task the refused request belonged to.
+	Tenant string
+	// RetryAfter is the backoff hint carried back in the shed reply.
+	RetryAfter time.Duration
+	// Reason says which limit refused: "queue-full", "queue-deadline",
+	// "pool-pressure".
+	Reason string
+}
+
+func (e *ErrOverloaded) Error() string {
+	return fmt.Sprintf("lowfive: overloaded (%s, tenant %q, retry after %v)",
+		e.Reason, e.Tenant, e.RetryAfter)
+}
+
+const (
+	// strideK is the stride numerator; weights divide it, so relative
+	// precision holds for weights up to ~1e4.
+	strideK = 1 << 20
+
+	// defaultQueueDeadline bounds how long a request may wait for admission
+	// when the VOL does not configure one. A deadline must exist: a waiter
+	// whose client died would otherwise be queued forever and wedge drain.
+	defaultQueueDeadline = 50 * time.Millisecond
+
+	// defaultMaxQueuedPerTenant caps each tenant's admission queue.
+	defaultMaxQueuedPerTenant = 64
+
+	// squeezeFrac and shedFrac are the pool-pressure thresholds, in tenths
+	// of the chunk budget: at squeezeFrac the concurrency bound halves, at
+	// shedFrac admission sheds outright.
+	squeezeFrac = 7 // 70%
+	shedFrac    = 9 // 90%
+)
+
+// admWaiter is one queued admission request. ready is closed exactly once —
+// on admit (err nil) or on shed (err set first, under the admission lock).
+type admWaiter struct {
+	ready chan struct{}
+	err   error
+	enq   time.Time
+}
+
+// tenantQ is one tenant's FIFO plus its stride-scheduling state.
+type tenantQ struct {
+	name   string
+	stride uint64
+	pass   uint64
+	q      []*admWaiter
+}
+
+// admission is the controller. One per VOL, shared by every intercomm's
+// serve loop, so the concurrency bound and the fairness ledger are global
+// across tenants.
+type admission struct {
+	maxInflight int
+	deadline    time.Duration
+	maxQueued   int
+	weights     map[string]int
+	pool        *buf.Pool
+
+	mu       sync.Mutex
+	idle     *sync.Cond // signaled when inflight+queued returns to zero
+	inflight int
+	nqueued  int
+	vtime    uint64 // pass of the last dispatched tenant (virtual time)
+	tenants  map[string]*tenantQ
+
+	admitted int64
+	shed     int64
+	queuedEv int64 // requests that had to queue (did not fast-path)
+
+	queueWait *metrics.Histogram // admission queue wait, µs
+
+	mInflight *metrics.Gauge
+	mQueued   *metrics.Gauge
+	mAdmitted *metrics.Counter
+	mShed     *metrics.Counter
+}
+
+// newAdmission builds the controller. reg may be nil (counters still work;
+// only the registry surface is absent). pool may be nil (no pressure
+// coupling).
+func newAdmission(maxInflight int, deadline time.Duration, maxQueued int,
+	weights map[string]int, pool *buf.Pool, reg *metrics.Registry) *admission {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	if deadline <= 0 {
+		deadline = defaultQueueDeadline
+	}
+	if maxQueued < 1 {
+		maxQueued = defaultMaxQueuedPerTenant
+	}
+	a := &admission{
+		maxInflight: maxInflight,
+		deadline:    deadline,
+		maxQueued:   maxQueued,
+		weights:     weights,
+		pool:        pool,
+		tenants:     map[string]*tenantQ{},
+		queueWait:   &metrics.Histogram{},
+	}
+	a.idle = sync.NewCond(&a.mu)
+	if reg != nil {
+		a.queueWait = reg.Histogram("core.admission.queue_us")
+		a.mInflight = reg.Gauge("core.admission.inflight")
+		a.mQueued = reg.Gauge("core.admission.queued")
+		a.mAdmitted = reg.Counter("core.admission.admitted")
+		a.mShed = reg.Counter("core.admission.shed")
+	}
+	return a
+}
+
+// retryAfter is the backoff hint carried in shed replies: the queue deadline
+// — by construction the horizon over which the current congestion can clear.
+func (a *admission) retryAfter() time.Duration { return a.deadline }
+
+// effectiveMax is the concurrency bound under current pool pressure: the
+// configured bound, halved (to at least 1) while Outstanding is past the
+// squeeze threshold of the chunk budget.
+func (a *admission) effectiveMax() int {
+	m := a.maxInflight
+	if a.pool != nil {
+		if limit := a.pool.Limit(); limit > 0 && a.pool.Outstanding() >= limit*squeezeFrac/10 {
+			m /= 2
+		}
+	}
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// overPressure reports whether the chunk pool is so close to its budget
+// that admitting any stream risks overflowing it.
+func (a *admission) overPressure() bool {
+	if a.pool == nil {
+		return false
+	}
+	limit := a.pool.Limit()
+	return limit > 0 && a.pool.Outstanding() >= limit*shedFrac/10
+}
+
+// tenant returns (creating on demand) the tenant's queue, forwarding its
+// pass to the current virtual time so an idle tenant cannot bank credit.
+func (a *admission) tenant(name string) *tenantQ {
+	tq, ok := a.tenants[name]
+	if !ok {
+		w := a.weights[name]
+		if w < 1 {
+			w = 1
+		}
+		tq = &tenantQ{name: name, stride: strideK / uint64(w)}
+		a.tenants[tq.name] = tq
+	}
+	if len(tq.q) == 0 && tq.pass < a.vtime {
+		tq.pass = a.vtime
+	}
+	return tq
+}
+
+// acquire admits one request for tenant, queueing it under the weighted
+// fair scheduler when the concurrency bound is reached. It blocks until
+// admitted or shed; a shed returns *ErrOverloaded. Every successful acquire
+// must be paired with a release.
+func (a *admission) acquire(tenant string) error {
+	a.mu.Lock()
+	if a.overPressure() {
+		a.shed++
+		a.mShed.Inc()
+		ra := a.retryAfter()
+		a.mu.Unlock()
+		return &ErrOverloaded{Tenant: tenant, RetryAfter: ra, Reason: "pool-pressure"}
+	}
+	if a.nqueued == 0 && a.inflight < a.effectiveMax() {
+		a.inflight++
+		a.admitted++
+		a.mAdmitted.Inc()
+		a.mInflight.Set(int64(a.inflight))
+		a.mu.Unlock()
+		a.queueWait.Record(0)
+		return nil
+	}
+	tq := a.tenant(tenant)
+	if len(tq.q) >= a.maxQueued {
+		a.shed++
+		a.mShed.Inc()
+		ra := a.retryAfter()
+		a.mu.Unlock()
+		return &ErrOverloaded{Tenant: tenant, RetryAfter: ra, Reason: "queue-full"}
+	}
+	w := &admWaiter{ready: make(chan struct{}), enq: time.Now()}
+	tq.q = append(tq.q, w)
+	a.nqueued++
+	a.queuedEv++
+	a.mQueued.Set(int64(a.nqueued))
+	a.mu.Unlock()
+
+	t := time.NewTimer(a.deadline)
+	select {
+	case <-w.ready:
+		t.Stop()
+		if w.err == nil {
+			a.queueWait.Observe(time.Since(w.enq))
+		}
+		return w.err
+	case <-t.C:
+	}
+	a.mu.Lock()
+	select {
+	case <-w.ready:
+		// Admitted (or shed by drain) in the race with the timer.
+		a.mu.Unlock()
+		if w.err == nil {
+			a.queueWait.Observe(time.Since(w.enq))
+		}
+		return w.err
+	default:
+	}
+	a.removeLocked(tenant, w)
+	a.shed++
+	a.mShed.Inc()
+	ra := a.retryAfter()
+	w.err = &ErrOverloaded{Tenant: tenant, RetryAfter: ra, Reason: "queue-deadline"}
+	close(w.ready)
+	a.maybeIdleLocked()
+	a.mu.Unlock()
+	return w.err
+}
+
+// removeLocked unlinks an expired waiter from its tenant's FIFO.
+func (a *admission) removeLocked(tenant string, w *admWaiter) {
+	tq := a.tenants[tenant]
+	if tq == nil {
+		return
+	}
+	for i, have := range tq.q {
+		if have == w {
+			tq.q = append(tq.q[:i], tq.q[i+1:]...)
+			a.nqueued--
+			a.mQueued.Set(int64(a.nqueued))
+			return
+		}
+	}
+}
+
+// release returns one admission slot and dispatches queued waiters.
+func (a *admission) release() {
+	a.mu.Lock()
+	a.inflight--
+	a.mInflight.Set(int64(a.inflight))
+	a.dispatchLocked()
+	a.maybeIdleLocked()
+	a.mu.Unlock()
+}
+
+// dispatchLocked admits queued waiters while slots are free: always the
+// non-empty tenant with the smallest pass, advancing it by its stride.
+func (a *admission) dispatchLocked() {
+	for a.inflight < a.effectiveMax() {
+		var next *tenantQ
+		for _, tq := range a.tenants {
+			if len(tq.q) == 0 {
+				continue
+			}
+			if next == nil || tq.pass < next.pass ||
+				(tq.pass == next.pass && tq.name < next.name) {
+				next = tq
+			}
+		}
+		if next == nil {
+			return
+		}
+		w := next.q[0]
+		next.q = next.q[1:]
+		a.vtime = next.pass
+		next.pass += next.stride
+		a.nqueued--
+		a.inflight++
+		a.admitted++
+		a.mAdmitted.Inc()
+		a.mQueued.Set(int64(a.nqueued))
+		a.mInflight.Set(int64(a.inflight))
+		close(w.ready)
+	}
+}
+
+// maybeIdleLocked wakes quiesce waiters when the controller has gone idle.
+func (a *admission) maybeIdleLocked() {
+	if a.inflight == 0 && a.nqueued == 0 {
+		a.idle.Broadcast()
+	}
+}
+
+// quiesce blocks until no request is in flight or queued — the end-of-serve
+// barrier that guarantees no admitted stream goroutine outlives its session
+// (and no pooled chunk is left in a half-written frame). Queued waiters
+// resolve on their own: they are either dispatched by releases or shed by
+// their queue deadline.
+func (a *admission) quiesce() {
+	a.mu.Lock()
+	for a.inflight > 0 || a.nqueued > 0 {
+		a.idle.Wait()
+	}
+	a.mu.Unlock()
+}
+
+// admissionStats is a snapshot of the controller's counters.
+type admissionStats struct {
+	admitted, shed, queued int64
+	queueP99               time.Duration
+}
+
+func (a *admission) stats() admissionStats {
+	a.mu.Lock()
+	s := admissionStats{admitted: a.admitted, shed: a.shed, queued: a.queuedEv}
+	a.mu.Unlock()
+	p99 := a.queueWait.Snapshot().Quantile(0.99)
+	s.queueP99 = time.Duration(p99 * float64(time.Microsecond))
+	return s
+}

@@ -65,6 +65,40 @@ type DistMetadataVOL struct {
 	// before its timeout. Zero disables hedging. Requires CallTimeout.
 	HedgeDelay time.Duration
 
+	// MaxInflightServes enables producer-side admission control on streamed
+	// data queries: at most this many streams are dispatched concurrently
+	// (no longer serialized under serveMu), excess requests wait in a
+	// per-tenant weighted fair queue, and a full queue or an expired queue
+	// deadline sheds the request with an overloaded reply carrying a
+	// RetryAfter hint. Zero (the default) keeps the original fully
+	// serialized, never-shedding serve path.
+	MaxInflightServes int
+	// TenantWeights sets the fair-queue share of each tenant (consumer
+	// task), by the name registered with SetTenant. Admission under
+	// contention is proportional to weight; unlisted tenants weigh 1.
+	TenantWeights map[string]int
+	// QueueDeadline bounds how long a request may wait for admission before
+	// it is shed; it doubles as the RetryAfter hint in shed replies. Zero
+	// defaults to 50ms (a deadline must exist, or an abandoned waiter could
+	// wedge the serve teardown).
+	QueueDeadline time.Duration
+	// MaxQueuedPerTenant caps each tenant's admission queue; a request
+	// arriving to a full queue is shed immediately. Zero defaults to 64.
+	MaxQueuedPerTenant int
+	// ShedRetries is how many overloaded replies a consumer-side call
+	// absorbs (backing off by the carried RetryAfter) before giving up with
+	// the typed overload error. Zero fails on the first shed.
+	ShedRetries int
+	// BreakerThreshold arms a per-(producer rank, method) circuit breaker on
+	// the consumer side: after this many consecutive failures (sheds,
+	// timeouts, crashes) of one request kind against one rank, such calls to
+	// it fast-fail until BreakerCooldown elapses and a half-open probe
+	// succeeds. Zero disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is the breaker's open interval before a half-open
+	// probe. Zero defaults to 25ms.
+	BreakerCooldown time.Duration
+
 	// ReplicationFactor stores each distributed-index entry on this many
 	// consecutive ranks of the producer task ((owner+k) mod size), so a
 	// consumer can re-route a redirect query around a failed owner. 0 or 1
@@ -159,6 +193,15 @@ type DistMetadataVOL struct {
 	// and straggler demotion.
 	health map[*mpi.Intercomm]*rankHealth
 
+	// tenants names the consumer task behind each intercommunicator for
+	// fair queueing; unnamed intercomms share the "default" tenant.
+	tenants map[*mpi.Intercomm]string
+
+	// adm is the producer-side admission controller, created lazily on the
+	// first admitted request when MaxInflightServes > 0.
+	admOnce sync.Once
+	adm     *admission
+
 	stats ServeStats
 
 	// qmu guards qstats: the consumer side of a rank is single-threaded,
@@ -211,6 +254,14 @@ type ServeStats struct {
 	ParkedRequests int64
 	// ChunksServed is the number of stream frames sent for data queries.
 	ChunksServed int64
+	// Shed counts requests refused by admission control (overloaded reply
+	// sent instead of a stream).
+	Shed int64
+	// Queued counts admitted requests that had to wait in the fair queue
+	// (did not fast-path past an idle controller).
+	Queued int64
+	// QueueP99 is the 99th-percentile admission queue wait.
+	QueueP99 time.Duration
 }
 
 // QueryStats counts this rank's consumer-side query activity (Alg. 3) —
@@ -249,6 +300,12 @@ type QueryStats struct {
 	// StragglersDemoted counts queries routed away from their preferred
 	// rank because its response EWMA marked it a straggler.
 	StragglersDemoted int64
+	// Sheds counts overloaded (load-shed) replies this rank's queries
+	// absorbed from saturated producers.
+	Sheds int64
+	// BreakerOpens counts circuit-breaker transitions to open across this
+	// rank's RPC clients.
+	BreakerOpens int64
 }
 
 type parkedReq struct {
@@ -335,6 +392,42 @@ func (v *DistMetadataVOL) SetIntercommRole(filePat string, role Role, ics ...*mp
 		idx = append(idx, found)
 	}
 	v.dataPatterns = append(v.dataPatterns, icPattern{pat: filePat, role: role, ics: idx})
+}
+
+// SetTenant names the consumer task behind an intercommunicator for
+// admission control: requests arriving over ic are queued (and weighted,
+// via TenantWeights) under this tenant. Unnamed intercomms share the
+// "default" tenant. Call before serving starts.
+func (v *DistMetadataVOL) SetTenant(ic *mpi.Intercomm, name string) {
+	v.serveMu.Lock()
+	if v.tenants == nil {
+		v.tenants = map[*mpi.Intercomm]string{}
+	}
+	v.tenants[ic] = name
+	v.serveMu.Unlock()
+}
+
+// tenantOf returns the tenant name of an intercommunicator.
+func (v *DistMetadataVOL) tenantOf(ic *mpi.Intercomm) string {
+	v.serveMu.Lock()
+	defer v.serveMu.Unlock()
+	if name, ok := v.tenants[ic]; ok {
+		return name
+	}
+	return "default"
+}
+
+// admission returns the producer-side admission controller, or nil when
+// MaxInflightServes is unset (the legacy serialized serve path).
+func (v *DistMetadataVOL) admission() *admission {
+	if v.MaxInflightServes <= 0 {
+		return nil
+	}
+	v.admOnce.Do(func() {
+		v.adm = newAdmission(v.MaxInflightServes, v.QueueDeadline,
+			v.MaxQueuedPerTenant, v.TenantWeights, v.chunkPool(), v.Metrics)
+	})
+	return v.adm
 }
 
 // fileIntercomms returns the intercomms registered for a file name in a
@@ -431,6 +524,13 @@ func (v *DistMetadataVOL) Serve(name string) error {
 		}(i, ic)
 	}
 	wg.Wait()
+	// With admission control on, wait out any still-running or queued
+	// stream goroutines before declaring the epoch done: no admitted stream
+	// may outlive its session, and no pooled chunk may be left in a
+	// half-written frame.
+	if adm := v.admission(); adm != nil {
+		adm.quiesce()
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -502,6 +602,9 @@ func (v *DistMetadataVOL) ServeAsync(name string) (*ServeHandle, error) {
 			}(i, ic)
 		}
 		wg.Wait()
+		if adm := v.admission(); adm != nil {
+			adm.quiesce()
+		}
 		var first error
 		for _, err := range errs {
 			if err != nil {
@@ -721,6 +824,16 @@ func (v *DistMetadataVOL) processRequest(s *icServer, src int, seq uint64, req [
 	if len(req) > 0 && req[0] == opDataStream {
 		// Streamed responses write frames directly; they never park (a
 		// missing file streams empty, like the scalar zero-piece response).
+		if adm := v.admission(); adm != nil {
+			// Admission-controlled path: dispatch on a goroutine so the
+			// receive loop keeps draining (and shedding) while up to
+			// MaxInflightServes streams run concurrently. Goroutine count is
+			// bounded by the requests actually in flight: each one either
+			// holds an admission slot, waits in a capped tenant queue, or
+			// sheds within the queue deadline.
+			go v.serveDataStreamAdmitted(adm, s, src, seq, req)
+			return
+		}
 		v.serveDataStream(s, src, seq, req)
 		return
 	}
@@ -851,10 +964,18 @@ func opName(op uint8) string {
 }
 
 // Stats returns a snapshot of this rank's producer-side serve counters.
+// Admission-control counters are folded in at snapshot time.
 func (v *DistMetadataVOL) Stats() ServeStats {
 	v.serveMu.Lock()
-	defer v.serveMu.Unlock()
-	return v.stats
+	s := v.stats
+	v.serveMu.Unlock()
+	if adm := v.admission(); adm != nil {
+		as := adm.stats()
+		s.Shed = as.shed
+		s.Queued = as.queued
+		s.QueueP99 = as.queueP99
+	}
+	return s
 }
 
 // QueryStats returns a snapshot of this rank's consumer-side query counters.
@@ -869,6 +990,8 @@ func (v *DistMetadataVOL) QueryStats() QueryStats {
 		qs.Retries += cs.Retries
 		qs.HedgedCalls += cs.HedgedCalls
 		qs.HedgeWins += cs.HedgeWins
+		qs.Sheds += cs.Sheds
+		qs.BreakerOpens += cs.BreakerOpens
 	}
 	return qs
 }
@@ -901,6 +1024,9 @@ func (v *DistMetadataVOL) clientFor(ic *mpi.Intercomm) *rpc.Client {
 			Backoff: v.CallBackoff, RetryFailed: v.WaitForRestart,
 			Budget: v.CallBudget, HedgeDelay: v.HedgeDelay, Track: v.track(),
 			Metrics: v.Metrics, Method: rpcMethod,
+			ShedRetries:      v.ShedRetries,
+			BreakerThreshold: v.BreakerThreshold,
+			BreakerCooldown:  v.BreakerCooldown,
 		}
 		v.clients[ic] = c
 	}
@@ -1238,10 +1364,24 @@ func (d *distDataset) Read(memSpace, fileSpace *h5.Dataspace, data []byte) error
 		// fails on this query must be able to show it afterwards.
 		reason := "file-fallback"
 		var tmo *rpc.TimeoutError
-		if errors.As(err, &tmo) {
+		var ovl *rpc.OverloadedError
+		var brk *rpc.BreakerOpenError
+		switch {
+		case errors.As(err, &ovl):
+			reason = "shed"
+		case errors.As(err, &brk):
+			reason = "breaker-open"
+		case errors.As(err, &tmo):
 			reason = "retries-exhausted"
 		}
 		v.recordQueryFault(d.file.name, d.node.Path(), time.Since(tq), reason)
+		if ovl != nil || brk != nil {
+			// Overload is transient by design: the producer is alive and
+			// told us when to come back, so degrading to the file system
+			// would both mask the shed and pile more load onto shared
+			// storage. Surface the typed error; the caller backs off.
+			return fmt.Errorf("lowfive: reading %q: %w", d.node.Path(), err)
+		}
 		// The in-memory transport failed (a producer crashed, or retries
 		// ran dry). The data a crashed rank held exists nowhere else in
 		// memory — but if the producer also wrote the file to storage, the

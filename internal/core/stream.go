@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -73,12 +74,75 @@ func (n *Node) StreamRegions(st *rpc.Stream, query *h5.Dataspace) error {
 	return nil
 }
 
-// serveDataStream answers one opDataStream request. A file or dataset this
-// rank does not have yields an empty stream (mirroring the scalar path's
+// serveDataStream answers one opDataStream request on the legacy serialized
+// path: the whole stream runs under serveMu, preserving single-threaded
+// rank semantics when admission control is off. A file or dataset this rank
+// does not have yields an empty stream (mirroring the scalar path's
 // zero-piece response); the consumer's other producers hold the data.
 func (v *DistMetadataVOL) serveDataStream(s *icServer, src int, seq uint64, req []byte) {
 	v.serveMu.Lock()
 	defer v.serveMu.Unlock()
+	bytes, frames := v.streamResponse(s, src, seq, req)
+	v.stats.DataQueries++
+	v.stats.BytesServed += bytes
+	v.stats.ChunksServed += frames
+}
+
+// serveDataStreamAdmitted answers one opDataStream request under admission
+// control: acquire a slot (or shed with an overloaded reply), stream
+// WITHOUT serveMu — the metadata tree is immutable during a serve session
+// and the chunk pool bounds memory — and fold the stats in under serveMu
+// afterwards. Runs on its own goroutine, so comm halt panics (this rank
+// crashing mid-stream) are recovered here instead of killing the process.
+func (v *DistMetadataVOL) serveDataStreamAdmitted(adm *admission, s *icServer, src int, seq uint64, req []byte) {
+	defer func() {
+		if r := recover(); r != nil && !mpi.IsHaltPanic(r) {
+			panic(r)
+		}
+	}()
+	tenant := v.tenantOf(s.ic)
+	if err := adm.acquire(tenant); err != nil {
+		var ov *ErrOverloaded
+		ra := time.Duration(0)
+		if errors.As(err, &ov) {
+			ra = ov.RetryAfter
+			v.recordShed(src, ov)
+		}
+		v.serveMu.Lock()
+		v.stats.Shed++ // running count; Stats() overwrites from the controller
+		v.serveMu.Unlock()
+		s.srv.RespondOverloaded(src, seq, ra)
+		return
+	}
+	defer adm.release()
+	bytes, frames := v.streamResponse(s, src, seq, req)
+	v.serveMu.Lock()
+	v.stats.DataQueries++
+	v.stats.BytesServed += bytes
+	v.stats.ChunksServed += frames
+	v.serveMu.Unlock()
+}
+
+// recordShed puts one shed into the flight recorder, so a failed storm
+// sweep can show who was refused, when, and why.
+func (v *DistMetadataVOL) recordShed(src int, ov *ErrOverloaded) {
+	if v.Flight == nil {
+		return
+	}
+	v.Flight.Record(metrics.SlowQuery{
+		Time:      time.Now(),
+		File:      ov.Tenant,
+		Producers: []int{src},
+		Duration:  ov.RetryAfter,
+		Reason:    "shed-" + ov.Reason,
+	})
+}
+
+// streamResponse decodes one opDataStream request and writes the response
+// stream, returning the payload bytes and frame count. It touches no shared
+// serve state: File is guarded by its own lock and the metadata tree is
+// immutable while being served, so admitted streams may run concurrently.
+func (v *DistMetadataVOL) streamResponse(s *icServer, src int, seq uint64, req []byte) (bytes int64, frames int64) {
 	d := &h5.Decoder{Buf: req}
 	_ = d.U8()
 	file := d.String()
@@ -101,9 +165,6 @@ func (v *DistMetadataVOL) serveDataStream(s *icServer, src int, seq uint64, req 
 		}
 	}
 	st.Close()
-	v.stats.DataQueries++
-	v.stats.BytesServed += st.Bytes()
-	v.stats.ChunksServed += int64(st.Frames())
 	if v.mServeLat != nil {
 		v.mServeLat.Observe(time.Since(t0))
 	}
@@ -112,6 +173,7 @@ func (v *DistMetadataVOL) serveDataStream(s *icServer, src int, seq uint64, req 
 			trace.Str("file", file), trace.I64("bytes", st.Bytes()),
 			trace.I64("chunks", int64(st.Frames())))
 	}
+	return st.Bytes(), int64(st.Frames())
 }
 
 // chunkPool returns the pool streamed responses draw frames from: the
@@ -225,6 +287,12 @@ func (v *DistMetadataVOL) queryStream(client *rpc.Client, ic *mpi.Intercomm, fil
 			return target.consume(payload)
 		})
 		if err != nil {
+			// Drain the window's other started streams before giving up:
+			// abandoning them would strand their in-flight frames (pooled
+			// chunks) in the mailbox.
+			for j := i + 1; j < started; j++ {
+				calls[j].Discard()
+			}
 			return fmt.Errorf("lowfive: data stream from producer %d: %w", order[i], err)
 		}
 		startThrough(i + 1 + streamWindow)

@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"lowfive/h5"
 	"lowfive/internal/grid"
@@ -46,20 +47,23 @@ type Triple struct {
 	// Owned reports whether Data is the tree's own copy.
 	Owned bool
 
-	packed []byte // lazily packed selection-order bytes for shallow triples
+	packOnce sync.Once
+	packed   []byte // lazily packed selection-order bytes for shallow triples
 }
 
 // PackedData returns the triple's bytes packed in FileSpace selection
 // order, gathering (and caching) from a shallow user buffer on first use —
 // this is the moment a zero-copy write finally pays its serialization cost,
-// and only if the data is actually consumed.
+// and only if the data is actually consumed. The cache fill is a sync.Once:
+// with admission control, several data streams can pack the same triple
+// concurrently.
 func (t *Triple) PackedData(elemSize int) []byte {
 	if t.MemSpace == nil {
 		return t.Data
 	}
-	if t.packed == nil {
+	t.packOnce.Do(func() {
 		t.packed = h5.GatherSelected(nil, t.Data, t.MemSpace, elemSize)
-	}
+	})
 	return t.packed
 }
 

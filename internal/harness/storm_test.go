@@ -1,0 +1,56 @@
+package harness
+
+import (
+	"os"
+	"testing"
+
+	"lowfive/internal/workload"
+	"lowfive/metrics"
+)
+
+// TestStormSweep runs the full query-storm contract: a greedy tenant
+// saturates producers that have one serve slot, and the sweep must shed,
+// trip breakers, keep the favored tenant's tail bounded, validate every
+// admitted byte, and drain the chunk pool. On violation the flight
+// recorder is dumped so the failing queries are visible in the test log.
+func TestStormSweep(t *testing.T) {
+	c := QuickConfig()
+	c.ChunkBytes = 4 << 10
+	c.Metrics = metrics.NewRegistry()
+	c.Flight = metrics.NewFlightRecorder(512, DefaultSlowQuery)
+	c.Verbose = testing.Verbose()
+	if c.Verbose {
+		c.Log = os.Stderr
+	}
+	spec := workload.Spec{
+		Producers: 4, Consumers: 2,
+		GridPointsPerProducer: 1000, ParticlesPerProducer: 100,
+	}
+	st := workload.StormSpec{Seed: 42}
+	res, err := c.StormSweep(spec, st, DefaultStormTuning())
+	if err != nil {
+		c.Flight.WriteText(os.Stderr)
+		t.Fatalf("storm sweep: %v", err)
+	}
+	if reasons := res.FailureReasons(5); len(reasons) > 0 {
+		c.Flight.WriteText(os.Stderr)
+		PrintStormTable(os.Stderr, res)
+		for _, r := range reasons {
+			t.Errorf("storm contract: %s", r)
+		}
+	}
+	// The storm metrics surface feeds the bench rows; make sure the
+	// admission instruments actually recorded.
+	snap := map[string]bool{}
+	for _, m := range c.Metrics.Snapshot() {
+		snap[m.Name] = true
+	}
+	for _, name := range []string{
+		"core.admission.shed", "core.admission.admitted",
+		"rpc.client.sheds", "rpc.client.breaker_opens",
+	} {
+		if !snap[name] {
+			t.Errorf("metric %q not registered during storm", name)
+		}
+	}
+}

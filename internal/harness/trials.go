@@ -7,9 +7,9 @@ import (
 
 	"lowfive/h5"
 	"lowfive/internal/baselines/bredala"
-	"lowfive/internal/buf"
 	"lowfive/internal/baselines/dataspaces"
 	"lowfive/internal/baselines/puremp"
+	"lowfive/internal/buf"
 	"lowfive/internal/core"
 	"lowfive/internal/grid"
 	"lowfive/internal/native"

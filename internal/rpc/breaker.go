@@ -1,0 +1,187 @@
+// Per-destination circuit breakers: after enough consecutive failures
+// (sheds, timeouts, crashes) a client stops sending to that rank entirely —
+// the typed fast-fail is cheaper for everyone than another request the
+// overloaded peer must receive just to shed. After a cooldown, one probe is
+// let through (half-open); its success closes the breaker, its failure
+// reopens it for a fresh cooldown. Classic three-state breaker, keyed per
+// (remote rank, method class): a shed is an overload signal about one kind
+// of work, and a healthy scalar metadata response interleaved between two
+// shed data streams must not reset the stream class's failure count — with
+// a single per-rank breaker the alternating pattern of a saturated serve
+// path would keep the count forever below threshold.
+package rpc
+
+import (
+	"sync"
+	"time"
+)
+
+type breakerState uint8
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// defaultBreakerCooldown is the open interval before a half-open probe when
+// the client does not configure one.
+const defaultBreakerCooldown = 25 * time.Millisecond
+
+// breaker is the state machine for one destination rank. now is injectable
+// so tests drive the clock deterministically.
+type breaker struct {
+	mu        sync.Mutex
+	state     breakerState
+	fails     int       // consecutive failures while closed
+	until     time.Time // open: when the cooldown expires
+	probing   bool      // half-open: a probe is in flight
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if cooldown <= 0 {
+		cooldown = defaultBreakerCooldown
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether a call may proceed. When the breaker is open it
+// returns false and the remaining cooldown; when the cooldown has elapsed
+// the caller becomes the half-open probe (exactly one at a time — other
+// callers keep fast-failing until the probe resolves).
+func (b *breaker) allow() (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, 0
+	case breakerOpen:
+		if remain := b.until.Sub(b.now()); remain > 0 {
+			return false, remain
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true, 0
+	default: // half-open
+		if b.probing {
+			return false, b.cooldown
+		}
+		b.probing = true
+		return true, 0
+	}
+}
+
+// onSuccess records a successful response: it closes a half-open breaker
+// and resets the consecutive-failure count.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.fails = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// onFailure records one failure (shed, timeout, or peer crash). It returns
+// true when this failure transitioned the breaker to open — either the
+// threshold'th consecutive failure while closed, or a failed half-open
+// probe.
+func (b *breaker) onFailure() (opened bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		b.fails++
+		if b.fails < b.threshold {
+			return false
+		}
+	case breakerOpen:
+		return false // already open; late failures of in-flight calls
+	case breakerHalfOpen:
+		// The probe failed: back to open for a fresh cooldown.
+	}
+	b.state = breakerOpen
+	b.fails = 0
+	b.probing = false
+	b.until = b.now().Add(b.cooldown)
+	return true
+}
+
+// breakerKey identifies one breaker: a destination rank and the method
+// class of the guarded calls ("" when the client has no Method classifier —
+// then one breaker guards all of a rank's traffic).
+type breakerKey struct {
+	dest   int
+	method string
+}
+
+// method classifies a request for breaker keying and exemption checks.
+func (c *Client) method(req []byte) string {
+	if c.Method == nil {
+		return ""
+	}
+	return c.Method(req)
+}
+
+// breakerFor returns the breaker guarding (dest, method), creating it on
+// first use. Nil when the client has no BreakerThreshold configured.
+func (c *Client) breakerFor(dest int, method string) *breaker {
+	if c.BreakerThreshold <= 0 {
+		return nil
+	}
+	c.bmu.Lock()
+	defer c.bmu.Unlock()
+	if c.brk == nil {
+		c.brk = map[breakerKey]*breaker{}
+	}
+	k := breakerKey{dest, method}
+	b, ok := c.brk[k]
+	if !ok {
+		b = newBreaker(c.BreakerThreshold, c.BreakerCooldown)
+		c.brk[k] = b
+	}
+	return b
+}
+
+// breakerAllow gates one outgoing call on its breaker, returning the typed
+// fast-fail when it is open. Done notifications are exempt — refusing to
+// deliver a consumer's done would strand the producer's serve session long
+// after the overload has passed.
+func (c *Client) breakerAllow(dest int, req []byte) error {
+	m := c.method(req)
+	if m == "done" {
+		return nil
+	}
+	b := c.breakerFor(dest, m)
+	if b == nil {
+		return nil
+	}
+	if ok, ra := b.allow(); !ok {
+		return &BreakerOpenError{Dest: dest, RetryAfter: ra}
+	}
+	return nil
+}
+
+// breakerOnFailure feeds one failure into the call's breaker and counts the
+// open transition on the stats and metrics planes.
+func (c *Client) breakerOnFailure(dest int, req []byte) (opened bool) {
+	b := c.breakerFor(dest, c.method(req))
+	if b == nil {
+		return false
+	}
+	if b.onFailure() {
+		c.breakerOpens.Add(1)
+		c.mBreakerOpen.Inc()
+		return true
+	}
+	return false
+}
+
+// breakerOnSuccess feeds one success into the call's breaker.
+func (c *Client) breakerOnSuccess(dest int, req []byte) {
+	if b := c.breakerFor(dest, c.method(req)); b != nil {
+		b.onSuccess()
+	}
+}

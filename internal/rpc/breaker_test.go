@@ -1,0 +1,229 @@
+package rpc
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"lowfive/mpi"
+)
+
+// TestBreakerStateMachine drives one breaker through
+// closed -> open -> half-open -> open -> half-open -> closed with an
+// injected clock, asserting the single-probe rule in half-open.
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBreaker(3, 100*time.Millisecond)
+	b.now = func() time.Time { return now }
+
+	for i := 0; i < 2; i++ {
+		if b.onFailure() {
+			t.Fatalf("failure %d opened the breaker before threshold", i+1)
+		}
+		if ok, _ := b.allow(); !ok {
+			t.Fatalf("breaker not closed after %d failures", i+1)
+		}
+	}
+	if !b.onFailure() {
+		t.Fatal("threshold'th failure did not open the breaker")
+	}
+	ok, ra := b.allow()
+	if ok {
+		t.Fatal("open breaker allowed a call")
+	}
+	if ra <= 0 || ra > 100*time.Millisecond {
+		t.Fatalf("retryAfter = %v, want (0, 100ms]", ra)
+	}
+
+	// Cooldown elapses: exactly one probe is let through.
+	now = now.Add(101 * time.Millisecond)
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if ok, _ := b.allow(); ok {
+		t.Fatal("half-open breaker allowed a second concurrent probe")
+	}
+
+	// Probe fails: back to open for a fresh cooldown.
+	if !b.onFailure() {
+		t.Fatal("failed probe did not reopen the breaker")
+	}
+	if ok, _ := b.allow(); ok {
+		t.Fatal("reopened breaker allowed a call within the new cooldown")
+	}
+
+	// Second probe succeeds: closed, and the failure count is reset (it
+	// takes a full threshold of fresh failures to open again).
+	now = now.Add(101 * time.Millisecond)
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("half-open breaker refused the second probe")
+	}
+	b.onSuccess()
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.allow(); !ok {
+			t.Fatal("closed breaker refused a call")
+		}
+		if b.onFailure() {
+			t.Fatalf("failure %d after close opened the breaker early", i+1)
+		}
+	}
+	if !b.onFailure() {
+		t.Fatal("threshold'th failure after close did not reopen")
+	}
+}
+
+// TestBreakerPerMethodKeying asserts breakers are independent per
+// (dest, method class): opening the stream class of one rank must not gate
+// its metadata class, another rank, or done notifications.
+func TestBreakerPerMethodKeying(t *testing.T) {
+	c := &Client{
+		BreakerThreshold: 2,
+		Method:           func(req []byte) string { return string(req) },
+	}
+	data, meta, done := []byte("datastream"), []byte("dataset"), []byte("done")
+
+	c.breakerOnFailure(1, data)
+	if opened := c.breakerOnFailure(1, data); !opened {
+		t.Fatal("second consecutive data failure did not open the breaker")
+	}
+	var boe *BreakerOpenError
+	if err := c.breakerAllow(1, data); !errors.As(err, &boe) {
+		t.Fatalf("data call to rank 1 = %v, want *BreakerOpenError", err)
+	}
+	if boe.Dest != 1 {
+		t.Fatalf("BreakerOpenError.Dest = %d, want 1", boe.Dest)
+	}
+	if err := c.breakerAllow(1, meta); err != nil {
+		t.Fatalf("metadata call gated by the stream breaker: %v", err)
+	}
+	if err := c.breakerAllow(2, data); err != nil {
+		t.Fatalf("data call to another rank gated: %v", err)
+	}
+	// Done notifications are exempt even when everything else is failing.
+	c.breakerOnFailure(1, done)
+	c.breakerOnFailure(1, done)
+	if err := c.breakerAllow(1, done); err != nil {
+		t.Fatalf("done notification gated by breaker: %v", err)
+	}
+	// A success in the data class alone closes the data breaker.
+	c.brk[breakerKey{1, "datastream"}].state = breakerHalfOpen
+	c.breakerOnSuccess(1, data)
+	if err := c.breakerAllow(1, data); err != nil {
+		t.Fatalf("data call refused after successful probe: %v", err)
+	}
+	if got := c.Stats().BreakerOpens; got < 1 {
+		t.Fatalf("BreakerOpens = %d, want >= 1", got)
+	}
+}
+
+// TestShedRoundTrip covers the wire protocol: a server sheds a request
+// twice with RespondOverloaded, the client backs off by the carried
+// RetryAfter and resends the same sequence number, and the third attempt is
+// served normally.
+func TestShedRoundTrip(t *testing.T) {
+	const retryAfter = 2 * time.Millisecond
+	err := mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "client", Procs: 1, Main: func(p *mpi.Proc) {
+			c := &Client{IC: p.Intercomm("server"), ShedRetries: 3}
+			start := time.Now()
+			resp, err := c.Call(0, []byte("q"))
+			if err != nil {
+				t.Errorf("call after sheds: %v", err)
+				return
+			}
+			if string(resp) != "served" {
+				t.Errorf("resp = %q", resp)
+			}
+			if elapsed := time.Since(start); elapsed < 2*retryAfter {
+				t.Errorf("call returned in %v, backoff should enforce >= %v", elapsed, 2*retryAfter)
+			}
+			if st := c.Stats(); st.Sheds != 2 {
+				t.Errorf("Sheds = %d, want 2", st.Sheds)
+			}
+		}},
+		{Name: "server", Procs: 1, Main: func(p *mpi.Proc) {
+			s := &Server{IC: p.Intercomm("client")}
+			for i := 0; i < 2; i++ {
+				src, seq, _ := s.Recv()
+				s.RespondOverloaded(src, seq, retryAfter)
+			}
+			src, seq, _ := s.Recv()
+			s.Respond(src, seq, []byte("served"))
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShedExhaustionTyped: a server that sheds past the client's retry
+// budget yields a typed *OverloadedError carrying the RetryAfter hint.
+func TestShedExhaustionTyped(t *testing.T) {
+	const retryAfter = 2 * time.Millisecond
+	err := mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "client", Procs: 1, Main: func(p *mpi.Proc) {
+			c := &Client{IC: p.Intercomm("server"), ShedRetries: 1}
+			_, err := c.Call(0, []byte("q"))
+			var ov *OverloadedError
+			if !errors.As(err, &ov) {
+				t.Errorf("call = %v, want *OverloadedError", err)
+				return
+			}
+			if ov.RetryAfter != retryAfter {
+				t.Errorf("RetryAfter = %v, want %v", ov.RetryAfter, retryAfter)
+			}
+			if ov.Sheds != 2 {
+				t.Errorf("Sheds = %d, want 2", ov.Sheds)
+			}
+		}},
+		{Name: "server", Procs: 1, Main: func(p *mpi.Proc) {
+			s := &Server{IC: p.Intercomm("client")}
+			for i := 0; i < 2; i++ {
+				src, seq, _ := s.Recv()
+				s.RespondOverloaded(src, seq, retryAfter)
+			}
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBreakerOpensOnConsecutiveSheds: consecutive sheds open the client's
+// breaker mid-call, and the next call to the same rank fast-fails without
+// sending anything.
+func TestBreakerOpensOnConsecutiveSheds(t *testing.T) {
+	err := mpi.RunWorkflow([]mpi.TaskSpec{
+		{Name: "client", Procs: 1, Main: func(p *mpi.Proc) {
+			c := &Client{
+				IC: p.Intercomm("server"), ShedRetries: 10,
+				BreakerThreshold: 2, BreakerCooldown: time.Minute,
+			}
+			_, err := c.Call(0, []byte("q"))
+			var ov *OverloadedError
+			if !errors.As(err, &ov) {
+				t.Errorf("first call = %v, want *OverloadedError (breaker opened mid-call)", err)
+				return
+			}
+			if st := c.Stats(); st.BreakerOpens != 1 {
+				t.Errorf("BreakerOpens = %d, want 1", st.BreakerOpens)
+			}
+			// Second call fast-fails without reaching the server (the server
+			// main has exited; a real send would wedge or crash).
+			var boe *BreakerOpenError
+			if _, err := c.Call(0, []byte("q2")); !errors.As(err, &boe) {
+				t.Errorf("second call = %v, want *BreakerOpenError", err)
+			}
+		}},
+		{Name: "server", Procs: 1, Main: func(p *mpi.Proc) {
+			s := &Server{IC: p.Intercomm("client")}
+			for i := 0; i < 2; i++ {
+				src, seq, _ := s.Recv()
+				s.RespondOverloaded(src, seq, time.Millisecond)
+			}
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -170,24 +170,47 @@ type Client struct {
 	Metrics *metrics.Registry
 	Method  func(req []byte) string
 
+	// ShedRetries is how many overloaded (load-shed) replies a call absorbs
+	// — backing off by at least the server's RetryAfter each time — before
+	// giving up with a *OverloadedError. Zero fails on the first shed.
+	ShedRetries int
+	// BreakerThreshold arms a circuit breaker per (destination rank, method
+	// class): after this many consecutive failures (sheds, timeouts, peer
+	// crashes) of one method against one rank, calls of that method to it
+	// fast-fail with *BreakerOpenError until BreakerCooldown elapses and a
+	// half-open probe succeeds. Keying by method keeps healthy scalar
+	// metadata responses from resetting a saturated stream path's failure
+	// count. Zero disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is the open interval before a half-open probe is
+	// allowed. Zero defaults to 25ms.
+	BreakerCooldown time.Duration
+
 	mu  sync.Mutex
 	seq uint64
 
-	retries   atomic.Int64
-	timeouts  atomic.Int64
-	hedged    atomic.Int64
-	hedgeWins atomic.Int64
+	retries      atomic.Int64
+	timeouts     atomic.Int64
+	hedged       atomic.Int64
+	hedgeWins    atomic.Int64
+	sheds        atomic.Int64
+	breakerOpens atomic.Int64
+
+	bmu sync.Mutex
+	brk map[breakerKey]*breaker
 
 	// Instrument handles, resolved once so recording never touches the
 	// registry lock; per-method histograms are cached under histMu.
-	instOnce  sync.Once
-	mAttempts *metrics.Histogram
-	mRetries  *metrics.Counter
-	mTimeouts *metrics.Counter
-	mHedged   *metrics.Counter
-	mHedgeWin *metrics.Counter
-	histMu    sync.Mutex
-	mCalls    map[string]*metrics.Histogram
+	instOnce     sync.Once
+	mAttempts    *metrics.Histogram
+	mRetries     *metrics.Counter
+	mTimeouts    *metrics.Counter
+	mHedged      *metrics.Counter
+	mHedgeWin    *metrics.Counter
+	mSheds       *metrics.Counter
+	mBreakerOpen *metrics.Counter
+	histMu       sync.Mutex
+	mCalls       map[string]*metrics.Histogram
 }
 
 // instruments lazily resolves the client's fixed instrument handles. With
@@ -203,6 +226,8 @@ func (c *Client) instruments() {
 		c.mTimeouts = c.Metrics.Counter("rpc.client.timeouts")
 		c.mHedged = c.Metrics.Counter("rpc.client.hedged")
 		c.mHedgeWin = c.Metrics.Counter("rpc.client.hedge_wins")
+		c.mSheds = c.Metrics.Counter("rpc.client.sheds")
+		c.mBreakerOpen = c.Metrics.Counter("rpc.client.breaker_opens")
 		c.mCalls = map[string]*metrics.Histogram{}
 	})
 }
@@ -245,15 +270,21 @@ type ClientStats struct {
 	HedgedCalls int64
 	// HedgeWins counts hedged calls the hedge rank answered first.
 	HedgeWins int64
+	// Sheds counts overloaded (load-shed) replies absorbed by this client.
+	Sheds int64
+	// BreakerOpens counts circuit-breaker transitions to open.
+	BreakerOpens int64
 }
 
 // Stats snapshots the client's counters.
 func (c *Client) Stats() ClientStats {
 	return ClientStats{
-		Retries:     c.retries.Load(),
-		Timeouts:    c.timeouts.Load(),
-		HedgedCalls: c.hedged.Load(),
-		HedgeWins:   c.hedgeWins.Load(),
+		Retries:      c.retries.Load(),
+		Timeouts:     c.timeouts.Load(),
+		HedgedCalls:  c.hedged.Load(),
+		HedgeWins:    c.hedgeWins.Load(),
+		Sheds:        c.sheds.Load(),
+		BreakerOpens: c.breakerOpens.Load(),
 	}
 }
 
@@ -289,6 +320,9 @@ func (c *Client) nextSeq() uint64 {
 // configured, lost or corrupted messages return a *CallError wrapping
 // TimeoutError once the retry budget is spent.
 func (c *Client) Call(dest int, req []byte) ([]byte, error) {
+	if err := c.breakerAllow(dest, req); err != nil {
+		return nil, err
+	}
 	seq := c.nextSeq()
 	dl := c.deadline()
 	c.IC.Send(dest, tagRequest, seal(seq, dl, req))
@@ -302,6 +336,11 @@ func (c *Client) Call(dest int, req []byte) ([]byte, error) {
 // for failover); responses already received stay in their slots, the failed
 // and later slots are nil.
 func (c *Client) CallAll(dests []int, req []byte) ([][]byte, error) {
+	for _, d := range dests {
+		if err := c.breakerAllow(d, req); err != nil {
+			return make([][]byte, len(dests)), err
+		}
+	}
 	seqs := make([]uint64, len(dests))
 	dl := c.deadline() // posted together, so the calls share one deadline
 	for i, d := range dests {
@@ -343,18 +382,29 @@ func (c *Client) await(dest int, seq uint64, overall int64, req []byte) (resp []
 	defer func() {
 		if r := recover(); r != nil {
 			if rf, ok := r.(*mpi.RankFailedError); ok {
+				c.breakerOnFailure(dest, req)
 				resp, err = nil, &CallError{Dest: dest, Attempts: attempts, Elapsed: time.Since(start), Err: rf}
 				return
 			}
 			panic(r)
 		}
 	}()
+	var ss shedState
 	if c.Timeout <= 0 {
 		// Fail-stop mode: block until the response (or a peer crash) arrives.
 		for {
 			msg, _ := c.IC.Recv(dest, tagResponse)
-			rseq, _, body, ok := unseal(msg)
+			rseq, rdl, body, ok := unseal(msg)
 			if ok && rseq == seq {
+				if ra, isShed := shedRetryAfter(rdl); isShed {
+					buf.Release(msg)
+					retry, serr := c.handleShed(&ss, dest, seq, overall, ra, req)
+					if !retry {
+						return nil, serr
+					}
+					continue
+				}
+				c.breakerOnSuccess(dest, req)
 				return body, nil
 			}
 			// Stale or corrupt — possibly a pooled frame from an abandoned
@@ -385,8 +435,26 @@ func (c *Client) await(dest int, seq uint64, overall int64, req []byte) (resp []
 				spin.Wait(pollInterval)
 				continue
 			}
-			rseq, _, body, ok := unseal(msg)
+			rseq, rdl, body, ok := unseal(msg)
 			if ok && rseq == seq {
+				if ra, isShed := shedRetryAfter(rdl); isShed {
+					buf.Release(msg)
+					retry, serr := c.handleShed(&ss, dest, seq, overall, ra, req)
+					if !retry {
+						return nil, serr
+					}
+					// A shed proves the server alive: restart the attempt
+					// clock for the post-backoff resend instead of charging
+					// the sleep against this attempt's receive window.
+					deadline = time.Now().Add(c.Timeout)
+					if overall != 0 {
+						if od := time.Unix(0, overall); od.Before(deadline) {
+							deadline = od
+						}
+					}
+					continue
+				}
+				c.breakerOnSuccess(dest, req)
 				return body, nil
 			}
 			buf.Release(msg)
@@ -395,6 +463,7 @@ func (c *Client) await(dest int, seq uint64, overall int64, req []byte) (resp []
 		if attempt >= c.Retries || spent {
 			c.timeouts.Add(1)
 			c.mTimeouts.Inc()
+			c.breakerOnFailure(dest, req)
 			if down != nil {
 				return nil, &CallError{Dest: dest, Attempts: attempts, Elapsed: time.Since(start), Err: down}
 			}
@@ -423,6 +492,13 @@ func (c *Client) CallHedged(dest, hedge int, req []byte) (resp []byte, winner in
 		resp, err = c.Call(dest, req)
 		return resp, dest, err
 	}
+	if berr := c.breakerAllow(dest, req); berr != nil {
+		// Primary's breaker is open: route straight to the replica (its own
+		// breaker gate applies inside Call) instead of fast-failing the
+		// whole query.
+		resp, err = c.Call(hedge, req)
+		return resp, hedge, err
+	}
 	start := time.Now()
 	c.instruments()
 	seq := c.nextSeq()
@@ -434,6 +510,8 @@ func (c *Client) CallHedged(dest, hedge int, req []byte) (resp []byte, winner in
 	}
 	targets := []int{dest}
 	downs := make(map[int]*mpi.RankFailedError)
+	shedRA := make(map[int]time.Duration) // last RetryAfter per shed target
+	shedCount := 0
 	hedgedSent := false
 	sendHedge := func() {
 		hedgedSent = true
@@ -459,7 +537,7 @@ func (c *Client) CallHedged(dest, hedge int, req []byte) (resp []byte, winner in
 			}
 		}
 		for time.Now().Before(deadline) {
-			if !hedgedSent && (time.Since(start) >= hd || downs[dest] != nil) {
+			if !hedgedSent && (time.Since(start) >= hd || downs[dest] != nil || shedRA[dest] > 0) {
 				sendHedge()
 			}
 			progress := false
@@ -473,8 +551,20 @@ func (c *Client) CallHedged(dest, hedge int, req []byte) (resp []byte, winner in
 					continue
 				}
 				progress = true
-				rseq, _, body, ok := unseal(msg)
+				rseq, rdl, body, ok := unseal(msg)
 				if ok && rseq == seq {
+					if ra, isShed := shedRetryAfter(rdl); isShed {
+						// This target shed us: count it, feed its breaker,
+						// and let the race continue — the other target (or
+						// the next timed resend) may still answer.
+						buf.Release(msg)
+						c.noteShed(d)
+						c.breakerOnFailure(d, req)
+						shedRA[d] = ra
+						shedCount++
+						continue
+					}
+					c.breakerOnSuccess(d, req)
 					if d == hedge {
 						c.hedgeWins.Add(1)
 						c.mHedgeWin.Inc()
@@ -502,8 +592,17 @@ func (c *Client) CallHedged(dest, hedge int, req []byte) (resp []byte, winner in
 		if attempt >= c.Retries || spent {
 			c.timeouts.Add(1)
 			c.mTimeouts.Inc()
+			c.breakerOnFailure(dest, req)
+			if hedgedSent {
+				c.breakerOnFailure(hedge, req)
+			}
 			if pd := downs[dest]; pd != nil {
 				return nil, dest, &CallError{Dest: dest, Attempts: attempts, Elapsed: time.Since(start), Err: pd}
+			}
+			if ra := shedRA[dest]; ra > 0 && shedCount > 0 {
+				// The primary's last word was a shed, not silence: surface
+				// the overload (with its backoff hint) rather than a timeout.
+				return nil, dest, &OverloadedError{Dest: dest, RetryAfter: ra, Sheds: shedCount}
 			}
 			to := &TimeoutError{Dest: dest, Timeout: c.Timeout, Attempts: attempts, Elapsed: time.Since(start)}
 			return nil, dest, &CallError{Dest: dest, Attempts: attempts, Elapsed: time.Since(start), Err: to}
@@ -514,6 +613,9 @@ func (c *Client) CallHedged(dest, hedge int, req []byte) (resp []byte, winner in
 		}
 		for d := range downs {
 			delete(downs, d)
+		}
+		for d := range shedRA {
+			delete(shedRA, d)
 		}
 		for _, d := range targets {
 			c.noteRetry(d, attempt+1)

@@ -121,12 +121,17 @@ type StreamCall struct {
 	req     []byte
 	next    uint32
 	sent    time.Time // when StartStream posted the request, for the latency histogram
+	err     error     // breaker fast-fail, surfaced by Drain before any receive
 }
 
 // StartStream sends req to dest and returns the handle to drain the framed
 // response. The request body must stay valid until Drain returns (it is
-// resent on retry).
+// resent on retry). If dest's circuit breaker is open the request is not
+// sent; Drain returns the *BreakerOpenError immediately.
 func (c *Client) StartStream(dest int, req []byte) *StreamCall {
+	if err := c.breakerAllow(dest, req); err != nil {
+		return &StreamCall{c: c, dest: dest, req: req, sent: time.Now(), err: err}
+	}
 	seq := c.nextSeq()
 	dl := c.deadline()
 	sent := time.Now()
@@ -144,6 +149,9 @@ func (c *Client) StartStream(dest int, req []byte) *StreamCall {
 // already-consumed indices are discarded. A crashed peer returns a
 // *CallError wrapping mpi.RankFailedError.
 func (sc *StreamCall) Drain(onFrame func(payload []byte) error) (err error) {
+	if sc.err != nil {
+		return sc.err // breaker fast-fail: the request was never sent
+	}
 	c := sc.c
 	start := time.Now()
 	attempts := 1
@@ -155,17 +163,27 @@ func (sc *StreamCall) Drain(onFrame func(payload []byte) error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if rf, ok := r.(*mpi.RankFailedError); ok {
+				c.breakerOnFailure(sc.dest, sc.req)
 				err = &CallError{Dest: sc.dest, Attempts: attempts, Elapsed: time.Since(start), Err: rf}
 				return
 			}
 			panic(r)
 		}
 	}()
+	var ss shedState
 	if c.Timeout <= 0 {
 		// Fail-stop mode: the transport delivers in order and never drops,
 		// so block per frame until the last flag.
 		for {
 			msg, _ := c.IC.Recv(sc.dest, tagResponse)
+			if ra, isShed := sc.shedCheck(msg); isShed {
+				buf.Release(msg)
+				retry, serr := c.handleShed(&ss, sc.dest, sc.seq, sc.overall, ra, sc.req)
+				if !retry {
+					return serr
+				}
+				continue
+			}
 			payload, last, ok := sc.accept(msg)
 			if !ok {
 				continue
@@ -176,6 +194,7 @@ func (sc *StreamCall) Drain(onFrame func(payload []byte) error) (err error) {
 				return ferr
 			}
 			if last {
+				c.breakerOnSuccess(sc.dest, sc.req)
 				return nil
 			}
 		}
@@ -201,6 +220,24 @@ func (sc *StreamCall) Drain(onFrame func(payload []byte) error) (err error) {
 				spin.Wait(pollInterval)
 				continue
 			}
+			if ra, isShed := sc.shedCheck(msg); isShed {
+				buf.Release(msg)
+				retry, serr := c.handleShed(&ss, sc.dest, sc.seq, sc.overall, ra, sc.req)
+				if !retry {
+					return serr
+				}
+				// The post-backoff resend re-streams from frame 0; the
+				// cursor stays put so already-consumed indices are skipped,
+				// exactly like loss recovery. A shed proves the server
+				// alive, so restart the attempt clock.
+				deadline = time.Now().Add(c.Timeout)
+				if sc.overall != 0 {
+					if od := time.Unix(0, sc.overall); od.Before(deadline) {
+						deadline = od
+					}
+				}
+				continue
+			}
 			payload, last, ok := sc.accept(msg)
 			if !ok {
 				continue
@@ -211,6 +248,7 @@ func (sc *StreamCall) Drain(onFrame func(payload []byte) error) (err error) {
 				return ferr
 			}
 			if last {
+				c.breakerOnSuccess(sc.dest, sc.req)
 				return nil
 			}
 			// Progress: each accepted frame refreshes the deadline and the
@@ -223,6 +261,7 @@ func (sc *StreamCall) Drain(onFrame func(payload []byte) error) (err error) {
 		if attempt >= c.Retries || spent {
 			c.timeouts.Add(1)
 			c.mTimeouts.Inc()
+			c.breakerOnFailure(sc.dest, sc.req)
 			if down != nil {
 				return &CallError{Dest: sc.dest, Attempts: attempts, Elapsed: time.Since(start), Err: down}
 			}
@@ -250,6 +289,81 @@ func (sc *StreamCall) Drain(onFrame func(payload []byte) error) (err error) {
 		c.noteRetry(sc.dest, attempt+1)
 		c.IC.Send(sc.dest, tagRequest, seal(sc.seq, sc.overall, sc.req))
 	}
+}
+
+// Discard drains the stream's remaining frames without consuming them,
+// releasing each back to its pool — the cleanup path for a windowed query
+// that is abandoning streams it already started after another producer
+// failed. An overloaded reply ends the discard immediately (the server
+// refused; nothing more is coming), as does a crashed peer. In timeout mode
+// the discard gives up after one quiet Timeout; stragglers that arrive later
+// are released by the stale-seq handling of subsequent calls.
+func (sc *StreamCall) Discard() {
+	if sc.err != nil {
+		return // never sent
+	}
+	c := sc.c
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(*mpi.RankFailedError); ok {
+				return
+			}
+			panic(r)
+		}
+	}()
+	if c.Timeout <= 0 {
+		for {
+			msg, _ := c.IC.Recv(sc.dest, tagResponse)
+			if _, isShed := sc.shedCheck(msg); isShed {
+				buf.Release(msg)
+				return
+			}
+			_, last, ok := sc.accept(msg)
+			if !ok {
+				continue
+			}
+			buf.Release(msg)
+			if last {
+				return
+			}
+		}
+	}
+	deadline := time.Now().Add(c.Timeout)
+	for time.Now().Before(deadline) {
+		msg, got, pd := c.tryRecv(sc.dest)
+		if pd != nil {
+			return
+		}
+		if !got {
+			spin.Wait(pollInterval)
+			continue
+		}
+		if _, isShed := sc.shedCheck(msg); isShed {
+			buf.Release(msg)
+			return
+		}
+		_, last, ok := sc.accept(msg)
+		if !ok {
+			continue
+		}
+		buf.Release(msg)
+		if last {
+			return
+		}
+		deadline = time.Now().Add(c.Timeout)
+	}
+}
+
+// shedCheck recognizes an overloaded reply addressed to this stream: a
+// sealed empty body (too short to be a frame — accept requires idx+flags)
+// whose envelope deadline is negative, carrying -RetryAfter. The message is
+// not released; the caller owns it either way.
+func (sc *StreamCall) shedCheck(msg []byte) (retryAfter time.Duration, isShed bool) {
+	rseq, rdl, body, ok := unseal(msg)
+	if !ok || rseq != sc.seq || len(body) != 0 {
+		return 0, false
+	}
+	return shedRetryAfter(rdl)
 }
 
 // accept validates one received message against the stream: envelope CRC,

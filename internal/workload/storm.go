@@ -1,0 +1,123 @@
+// Query-storm generation: seeded-deterministic sequences of small box
+// queries with zipf popularity, the load profile of ROADMAP item 3's
+// thousand-consumer storms (many tenants hammering a handful of hot regions
+// of a live producer's grid). Determinism is the point — a storm sweep that
+// sheds, trips breakers, and still validates bit-identical data must be
+// replayable from its seed.
+package workload
+
+import (
+	"hash/fnv"
+	"math/rand"
+
+	"lowfive/internal/grid"
+)
+
+// StormSpec sizes one query storm against the synthetic grid.
+type StormSpec struct {
+	// Seed makes the whole storm deterministic: the box population, every
+	// client's query sequence, everything.
+	Seed uint64
+	// ZipfS is the zipf skew of box popularity (must be > 1; larger means
+	// hotter hot-spots). Zero defaults to 1.2.
+	ZipfS float64
+	// Boxes is the size of the candidate box population the storm samples
+	// from, ranked by popularity. Zero defaults to 64.
+	Boxes int
+	// BoxSide is the edge length of each query box, clamped to the grid
+	// extent. Zero defaults to a quarter of the smallest dimension.
+	BoxSide int64
+	// QueriesPerClient is how many queries each closed-loop client issues.
+	// Zero defaults to 32.
+	QueriesPerClient int
+}
+
+func (st StormSpec) zipfS() float64 {
+	if st.ZipfS <= 1 {
+		return 1.2
+	}
+	return st.ZipfS
+}
+
+func (st StormSpec) boxes() int {
+	if st.Boxes <= 0 {
+		return 64
+	}
+	return st.Boxes
+}
+
+func (st StormSpec) queries() int {
+	if st.QueriesPerClient <= 0 {
+		return 32
+	}
+	return st.QueriesPerClient
+}
+
+func (st StormSpec) side(dims []int64) int64 {
+	side := st.BoxSide
+	if side <= 0 {
+		min := dims[0]
+		for _, d := range dims {
+			if d < min {
+				min = d
+			}
+		}
+		side = min / 4
+	}
+	if side < 1 {
+		side = 1
+	}
+	for _, d := range dims {
+		if side > d {
+			side = d
+		}
+	}
+	return side
+}
+
+// Population returns the storm's candidate boxes over a grid of the given
+// dims, in popularity-rank order (index 0 is the hottest). It depends only
+// on (Seed, dims) so every client of every tenant samples the same ranked
+// population — which is what makes the hot boxes genuinely shared.
+func (st StormSpec) Population(dims []int64) []grid.Box {
+	rng := rand.New(rand.NewSource(int64(st.Seed)))
+	side := st.side(dims)
+	out := make([]grid.Box, st.boxes())
+	for i := range out {
+		b := grid.Box{Min: make([]int64, len(dims)), Max: make([]int64, len(dims))}
+		for d, ext := range dims {
+			lo := int64(0)
+			if ext > side {
+				lo = rng.Int63n(ext - side + 1)
+			}
+			b.Min[d] = lo
+			b.Max[d] = lo + side - 1
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// clientSeed derives one client's RNG seed from the storm seed and the
+// client's identity, so adding a tenant or a rank never perturbs another
+// client's sequence.
+func (st StormSpec) clientSeed(tenant string, client int) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(tenant))
+	h.Write([]byte{byte(client), byte(client >> 8), byte(client >> 16), byte(client >> 24)})
+	return int64(st.Seed ^ h.Sum64())
+}
+
+// Queries returns the deterministic query sequence of one closed-loop
+// client: QueriesPerClient boxes drawn zipf-distributed from the shared
+// ranked population.
+func (st StormSpec) Queries(dims []int64, tenant string, client int) []grid.Box {
+	pop := st.Population(dims)
+	rng := rand.New(rand.NewSource(st.clientSeed(tenant, client)))
+	z := rand.NewZipf(rng, st.zipfS(), 1, uint64(len(pop)-1))
+	out := make([]grid.Box, st.queries())
+	for i := range out {
+		out[i] = pop[z.Uint64()]
+	}
+	return out
+}

@@ -32,7 +32,10 @@ type SlowQuery struct {
 	// Reason classifies why the query was recorded: empty or "slow" for a
 	// threshold crossing, "retries-exhausted" when the retry budget ran
 	// dry, "file-fallback"/"stage-truncated"/"stage-wait-exhausted" when
-	// the query degraded to the container file — recorded regardless of
+	// the query degraded to the container file, "shed" when a saturated
+	// producer refused it under admission control, "breaker-open" when the
+	// consumer's circuit breaker fast-failed it, and "shed-<reason>" on the
+	// producer side for each refused request — recorded regardless of
 	// duration, so a sweep failure shows the failing query even when the
 	// failure itself was fast.
 	Reason string  `json:"reason,omitempty"`
